@@ -1,0 +1,348 @@
+//! Shared machinery of the conventional two-ring baselines.
+//!
+//! ORNoC and CTORing share the same structure — every node on two
+//! counter-propagating ring waveguides, a sender per node per waveguide,
+//! every two senders joined by a PDN splitter — and differ only in the node
+//! order and the wavelength-allocation policy. This module builds that
+//! structure once.
+
+use onoc_graph::{CommGraph, NodeId};
+use onoc_layout::{Cycle, Layout, SegmentRange, WaveguideId};
+use onoc_photonics::{
+    DesignError, PathGeometry, PdnDesign, PdnStyle, RouterDesign, SignalPath,
+};
+use onoc_units::Wavelength;
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// Error from a baseline synthesis.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BaselineError {
+    /// The application has no messages.
+    NoMessages,
+    /// The application has fewer than two nodes.
+    TooFewNodes,
+    /// The assembled design failed validation (an internal invariant).
+    Design(DesignError),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::NoMessages => write!(f, "application has no messages"),
+            BaselineError::TooFewNodes => write!(f, "application has fewer than two nodes"),
+            BaselineError::Design(e) => write!(f, "design validation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+impl From<DesignError> for BaselineError {
+    fn from(e: DesignError) -> Self {
+        BaselineError::Design(e)
+    }
+}
+
+/// The wavelength-allocation policy of a two-ring baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocationPolicy {
+    /// ORNoC: each message takes the geometrically shorter direction, then
+    /// first-fit on that waveguide. Simple, but wavelength-hungry.
+    ShorterDirectionFirstFit,
+    /// CTORing: both directions are tried and the `(wavelength index,
+    /// path length)` lexicographic best wins — reusing wavelengths beats
+    /// shortest paths, so fewer wavelengths are opened.
+    BestOfBothDirections,
+}
+
+/// Tracks first-fit wavelength availability per waveguide channel.
+#[derive(Debug, Default)]
+pub(crate) struct ChannelTable {
+    used: HashMap<(usize, usize), BTreeSet<usize>>,
+}
+
+impl ChannelTable {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Smallest wavelength index free on every given channel.
+    pub(crate) fn first_fit(&self, channels: &[(usize, usize)]) -> usize {
+        let mut w = 0usize;
+        'outer: loop {
+            for ch in channels {
+                if self.used.get(ch).is_some_and(|s| s.contains(&w)) {
+                    w += 1;
+                    continue 'outer;
+                }
+            }
+            return w;
+        }
+    }
+
+    /// Marks a wavelength as used on the given channels.
+    pub(crate) fn commit(&mut self, channels: &[(usize, usize)], w: usize) {
+        for &ch in channels {
+            self.used.entry(ch).or_default().insert(w);
+        }
+    }
+}
+
+/// Builds a conventional two-ring router over `order` and allocates
+/// wavelengths with the given policy.
+///
+/// # Errors
+///
+/// Returns [`BaselineError::NoMessages`]/[`BaselineError::TooFewNodes`] for
+/// degenerate applications.
+pub fn build_two_ring_design(
+    method: &str,
+    app: &CommGraph,
+    order: Vec<NodeId>,
+    policy: AllocationPolicy,
+) -> Result<RouterDesign, BaselineError> {
+    if app.message_count() == 0 {
+        return Err(BaselineError::NoMessages);
+    }
+    if app.node_count() < 2 {
+        return Err(BaselineError::TooFewNodes);
+    }
+
+    let cw = Cycle::new(order).expect("caller provides a valid node order");
+    let ccw = cw.reversed();
+    let positions: Vec<_> = app.node_ids().map(|v| app.position(v)).collect();
+    let mut layout = Layout::new(positions);
+    let wg_cw = layout.route_cycle(&cw);
+    let wg_ccw = layout.route_cycle(&ccw);
+
+    // Candidate route of a message on one waveguide.
+    struct Candidate {
+        wg: WaveguideId,
+        range: SegmentRange,
+        geometry: PathGeometry,
+        occupancy: Vec<(WaveguideId, usize)>,
+    }
+    let candidate = |layout: &Layout, wg: WaveguideId, cycle: &Cycle, src, dst| -> Candidate {
+        let range = cycle
+            .path_segments(src, dst)
+            .expect("all nodes lie on both rings");
+        let routed = layout.waveguide(wg);
+        let mut geometry = PathGeometry::new();
+        let mut occupancy = Vec::with_capacity(range.len());
+        for seg in range.iter() {
+            geometry.length += routed.segment(seg).length;
+            geometry.bends += routed.segment(seg).bends;
+            occupancy.push((wg, seg));
+        }
+        geometry.crossings = layout.path_crossings(wg, &range);
+        Candidate {
+            wg,
+            range,
+            geometry,
+            occupancy,
+        }
+    };
+
+    // Allocation order: CTORing processes long paths first so they grab
+    // low wavelengths; ORNoC sticks to message id order.
+    let mut ids: Vec<_> = app.message_ids().collect();
+    if policy == AllocationPolicy::BestOfBothDirections {
+        ids.sort_by(|&a, &b| {
+            let la = app.manhattan(app.message(a).src, app.message(a).dst);
+            let lb = app.manhattan(app.message(b).src, app.message(b).dst);
+            lb.partial_cmp(&la).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+        });
+    }
+
+    // CTORing may route a message the long way round to reuse a
+    // wavelength, but never beyond the order's own worst shortest-direction
+    // length — wavelength reuse must not degrade the longest signal path.
+    let dist = |a: NodeId, b: NodeId| app.manhattan(a, b).0;
+    let length_bound = app
+        .messages()
+        .iter()
+        .map(|m| {
+            let f = cw.path_length(m.src, m.dst, dist).expect("on ring");
+            let b = ccw.path_length(m.src, m.dst, dist).expect("on ring");
+            f.min(b)
+        })
+        .fold(0.0, f64::max);
+
+    let mut table = ChannelTable::new();
+    let mut paths = Vec::with_capacity(app.message_count());
+    for id in ids {
+        let msg = app.message(id);
+        let on_cw = candidate(&layout, wg_cw, &cw, msg.src, msg.dst);
+        let on_ccw = candidate(&layout, wg_ccw, &ccw, msg.src, msg.dst);
+        let chosen = match policy {
+            AllocationPolicy::ShorterDirectionFirstFit => {
+                if on_cw.geometry.length.0 <= on_ccw.geometry.length.0 {
+                    on_cw
+                } else {
+                    on_ccw
+                }
+            }
+            AllocationPolicy::BestOfBothDirections => {
+                let key = |c: &Candidate| {
+                    let channels: Vec<_> =
+                        c.occupancy.iter().map(|&(w, s)| (w.index(), s)).collect();
+                    (table.first_fit(&channels), c.geometry.length.0)
+                };
+                let eligible =
+                    |c: &Candidate| c.geometry.length.0 <= length_bound + 1e-9;
+                match (eligible(&on_cw), eligible(&on_ccw)) {
+                    (true, false) => on_cw,
+                    (false, true) => on_ccw,
+                    _ => {
+                        let (k_cw, k_ccw) = (key(&on_cw), key(&on_ccw));
+                        if k_cw.0 < k_ccw.0 || (k_cw.0 == k_ccw.0 && k_cw.1 <= k_ccw.1) {
+                            on_cw
+                        } else {
+                            on_ccw
+                        }
+                    }
+                }
+            }
+        };
+        let channels: Vec<_> = chosen
+            .occupancy
+            .iter()
+            .map(|&(w, s)| (w.index(), s))
+            .collect();
+        let w = table.first_fit(&channels);
+        table.commit(&channels, w);
+        let _ = chosen.range;
+        paths.push(SignalPath {
+            message: id,
+            src: msg.src,
+            dst: msg.dst,
+            waveguide: chosen.wg,
+            occupancy: chosen.occupancy,
+            geometry: chosen.geometry,
+            wavelength: Wavelength(w),
+        });
+    }
+    paths.sort_by_key(|p| p.message);
+
+    // Conventional PDN: every node carries two senders joined by a
+    // splitter; the distribution tree reaches all nodes.
+    let pdn = PdnDesign::new(
+        PdnStyle::SharedTree,
+        vec![true; app.node_count()],
+        app.node_count(),
+    );
+    let design = RouterDesign::new(method, app.name(), layout, paths, pdn)?;
+    design.validate_against(app)?;
+    Ok(design)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onoc_graph::benchmarks;
+    use onoc_units::TechnologyParameters;
+    use onoc_layout::ring_order::tour_order;
+
+    fn tech() -> TechnologyParameters {
+        TechnologyParameters::default()
+    }
+
+    fn physical_order(app: &CommGraph) -> Vec<NodeId> {
+        let positions: Vec<_> = app.node_ids().map(|v| app.position(v)).collect();
+        tour_order(&positions)
+    }
+
+    #[test]
+    fn channel_table_first_fit() {
+        let mut t = ChannelTable::new();
+        assert_eq!(t.first_fit(&[(0, 0)]), 0);
+        t.commit(&[(0, 0), (0, 1)], 0);
+        assert_eq!(t.first_fit(&[(0, 0)]), 1);
+        assert_eq!(t.first_fit(&[(0, 2)]), 0);
+        t.commit(&[(0, 0)], 1);
+        assert_eq!(t.first_fit(&[(0, 0), (0, 2)]), 2);
+    }
+
+    #[test]
+    fn two_ring_design_serves_all_messages() {
+        for b in benchmarks::Benchmark::ALL {
+            let app = b.graph();
+            let order = physical_order(&app);
+            for policy in [
+                AllocationPolicy::ShorterDirectionFirstFit,
+                AllocationPolicy::BestOfBothDirections,
+            ] {
+                let design =
+                    build_two_ring_design("test", &app, order.clone(), policy).unwrap();
+                design.validate_against(&app).unwrap();
+                assert_eq!(design.paths().len(), app.message_count());
+                assert_eq!(design.sub_ring_count(), 2, "{b}: two ring waveguides");
+            }
+        }
+    }
+
+    #[test]
+    fn best_of_both_never_uses_more_wavelengths() {
+        for b in benchmarks::Benchmark::ALL {
+            let app = b.graph();
+            let order = physical_order(&app);
+            let simple = build_two_ring_design(
+                "a",
+                &app,
+                order.clone(),
+                AllocationPolicy::ShorterDirectionFirstFit,
+            )
+            .unwrap();
+            let smart = build_two_ring_design(
+                "b",
+                &app,
+                order,
+                AllocationPolicy::BestOfBothDirections,
+            )
+            .unwrap();
+            assert!(
+                smart.wavelength_count() <= simple.wavelength_count(),
+                "{b}: {} vs {}",
+                smart.wavelength_count(),
+                simple.wavelength_count()
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_apps_rejected() {
+        let empty = CommGraph::builder()
+            .node("a", onoc_graph::Point::new(0.0, 0.0))
+            .node("b", onoc_graph::Point::new(1.0, 0.0))
+            .build()
+            .unwrap();
+        assert_eq!(
+            build_two_ring_design(
+                "t",
+                &empty,
+                vec![NodeId(0), NodeId(1)],
+                AllocationPolicy::ShorterDirectionFirstFit,
+            )
+            .unwrap_err(),
+            BaselineError::NoMessages
+        );
+    }
+
+    #[test]
+    fn every_node_pays_the_conventional_splitter() {
+        let app = benchmarks::mwd();
+        let order = physical_order(&app);
+        let design = build_two_ring_design(
+            "t",
+            &app,
+            order,
+            AllocationPolicy::ShorterDirectionFirstFit,
+        )
+        .unwrap();
+        // 12 nodes → 4 tree levels + 1 node splitter = 5 (Table I, ORNoC).
+        let analysis = design.analyze(&tech());
+        assert_eq!(analysis.max_splitters_passed, 5);
+    }
+}

@@ -1,0 +1,187 @@
+//! CTORing (Ortín-Obón et al., *A tool for synthesizing power-efficient
+//! and custom-tailored wavelength-routed optical rings*, ASP-DAC 2017).
+//!
+//! CTORing keeps ORNoC's two-ring structure but tailors it to the
+//! application in two ways:
+//!
+//! 1. **Custom node order** — the position of each node on the ring is
+//!    optimized so communicating nodes sit close together, shrinking the
+//!    longest signal path (the reason CTORing's `L` column beats ORNoC's
+//!    in the paper's Table I);
+//! 2. **Improved wavelength assignment** — each message tries both
+//!    transmission directions and takes the one that avoids opening a new
+//!    wavelength, reducing wavelength usage below ORNoC's.
+
+use crate::common::{build_two_ring_design, AllocationPolicy, BaselineError};
+use onoc_graph::{CommGraph, NodeId};
+use onoc_layout::ring_order::tour_order;
+use onoc_layout::Cycle;
+use onoc_photonics::RouterDesign;
+use onoc_units::TechnologyParameters;
+
+/// Synthesizes a CTORing two-ring router for `app`.
+///
+/// # Errors
+///
+/// Returns [`BaselineError`] for applications with no messages or fewer
+/// than two nodes.
+///
+/// # Examples
+///
+/// ```
+/// use onoc_baselines::ctoring;
+/// use onoc_graph::benchmarks;
+/// use onoc_units::TechnologyParameters;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let design = ctoring::synthesize(&benchmarks::vopd(), &TechnologyParameters::default())?;
+/// assert_eq!(design.method(), "CTORing");
+/// # Ok(())
+/// # }
+/// ```
+pub fn synthesize(
+    app: &CommGraph,
+    tech: &TechnologyParameters,
+) -> Result<RouterDesign, BaselineError> {
+    let _ = tech;
+    if app.node_count() < 2 {
+        return Err(BaselineError::TooFewNodes);
+    }
+    let order = tailored_order(app);
+    build_two_ring_design(
+        "CTORing",
+        app,
+        order,
+        AllocationPolicy::BestOfBothDirections,
+    )
+}
+
+/// Optimizes the ring node order for the application: starting from the
+/// physical tour, 2-opt reversals and single-node relocations are applied
+/// while they shrink the longest communicating-pair ring path (ties broken
+/// by the sum of all message path lengths).
+#[must_use]
+pub fn tailored_order(app: &CommGraph) -> Vec<NodeId> {
+    let positions: Vec<_> = app.node_ids().map(|v| app.position(v)).collect();
+    let mut order = tour_order(&positions);
+    let n = order.len();
+    if n < 4 || app.message_count() == 0 {
+        return order;
+    }
+
+    let score = |order: &[NodeId]| -> (f64, f64) {
+        let ring = Cycle::new(order.to_vec()).expect("order is a permutation");
+        let rev = ring.reversed();
+        let dist = |a, b| app.manhattan(a, b).0;
+        let mut worst = 0.0f64;
+        let mut total = 0.0f64;
+        for m in app.messages() {
+            let f = ring.path_length(m.src, m.dst, dist).expect("on ring");
+            let b = rev.path_length(m.src, m.dst, dist).expect("on ring");
+            let l = f.min(b);
+            worst = worst.max(l);
+            total += l;
+        }
+        (worst, total)
+    };
+
+    let better = |a: (f64, f64), b: (f64, f64)| a.0 < b.0 - 1e-9 || ((a.0 - b.0).abs() <= 1e-9 && a.1 < b.1 - 1e-9);
+    let mut current = score(&order);
+    let mut improved = true;
+    while improved {
+        improved = false;
+        // 2-opt reversals.
+        for i in 0..n - 1 {
+            for j in i + 1..n {
+                order[i..=j].reverse();
+                let trial = score(&order);
+                if better(trial, current) {
+                    current = trial;
+                    improved = true;
+                } else {
+                    order[i..=j].reverse();
+                }
+            }
+        }
+        // Single-node relocations.
+        for i in 0..n {
+            let node = order[i];
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let mut trial_order = order.clone();
+                trial_order.remove(i);
+                trial_order.insert(if j > i { j - 1 } else { j }, node);
+                let trial = score(&trial_order);
+                if better(trial, current) {
+                    order = trial_order;
+                    current = trial;
+                    improved = true;
+                    break;
+                }
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ornoc;
+    use onoc_graph::benchmarks;
+
+    #[test]
+    fn ctoring_covers_all_benchmarks() {
+        let tech = TechnologyParameters::default();
+        for b in benchmarks::Benchmark::ALL {
+            let app = b.graph();
+            let design = synthesize(&app, &tech).unwrap();
+            design.validate_against(&app).unwrap();
+        }
+    }
+
+    #[test]
+    fn tailored_order_is_a_permutation() {
+        for b in benchmarks::Benchmark::ALL {
+            let app = b.graph();
+            let order = tailored_order(&app);
+            let mut ids: Vec<_> = order.iter().map(|n| n.index()).collect();
+            ids.sort_unstable();
+            assert_eq!(ids, (0..app.node_count()).collect::<Vec<_>>(), "{b}");
+        }
+    }
+
+    #[test]
+    fn ctoring_beats_or_ties_ornoc_on_worst_path() {
+        let tech = TechnologyParameters::default();
+        for b in benchmarks::Benchmark::ALL {
+            let app = b.graph();
+            let c = synthesize(&app, &tech).unwrap().analyze(&tech);
+            let o = ornoc::synthesize(&app, &tech).unwrap().analyze(&tech);
+            assert!(
+                c.longest_path.0 <= o.longest_path.0 + 1e-9,
+                "{b}: CTORing {} vs ORNoC {}",
+                c.longest_path,
+                o.longest_path
+            );
+        }
+    }
+
+    #[test]
+    fn ctoring_uses_no_more_wavelengths_than_ornoc() {
+        let tech = TechnologyParameters::default();
+        for b in benchmarks::Benchmark::ALL {
+            let app = b.graph();
+            let c = synthesize(&app, &tech).unwrap();
+            let o = ornoc::synthesize(&app, &tech).unwrap();
+            assert!(
+                c.wavelength_count() <= o.wavelength_count(),
+                "{b}: CTORing {} vs ORNoC {}",
+                c.wavelength_count(),
+                o.wavelength_count()
+            );
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! A crossbar-style λ-router — the *other* WR-ONoC family of the paper's
+//! Fig. 1.
+//!
+//! The paper motivates ring routers by contrasting them with crossbar
+//! topologies (λ-router \[8\], GWOR, …): a matrix of waveguides whose
+//! crossings host the switching, which maps poorly onto a floorplan —
+//! Fig. 1(c) shows the detours and crossings a λ-router picks up during
+//! physical design, Fig. 1(d) the clean ring. This module implements a
+//! simple placed λ-router so that contrast can be *measured*:
+//!
+//! * every sender node drives one horizontal row waveguide,
+//! * every receiver node taps one vertical column waveguide,
+//! * message `i → j` hops from row `i` to column `j` at their crossing
+//!   (one MRR drop), and wavelengths follow the classic diagonal function
+//!   `λ(i, j) = (i + j) mod N`, which is collision-free on rows and
+//!   columns by construction.
+//!
+//! Rows and columns are routed on the real floorplan from each node's
+//! position to the matrix edge, so the design racks up exactly the
+//! crossings and detours the paper's Fig. 1(c) cartoon warns about.
+
+use crate::common::BaselineError;
+use onoc_graph::{CommGraph, NodeId};
+use onoc_layout::{Layout, WaveguideId};
+use onoc_photonics::{PathGeometry, PdnDesign, PdnStyle, RouterDesign, SignalPath};
+use onoc_units::{Millimeters, TechnologyParameters, Wavelength};
+
+/// Synthesizes a placed λ-router for `app`.
+///
+/// # Errors
+///
+/// Returns [`BaselineError`] for applications with no messages or fewer
+/// than two nodes.
+///
+/// # Examples
+///
+/// ```
+/// use onoc_baselines::lambda_router;
+/// use onoc_graph::benchmarks;
+/// use onoc_units::TechnologyParameters;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let app = benchmarks::mwd();
+/// let design = lambda_router::synthesize(&app, &TechnologyParameters::default())?;
+/// // The crossbar pays crossings a ring router never would (paper Fig. 1).
+/// assert!(design.analyze(&TechnologyParameters::default()).total_crossings > 0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn synthesize(
+    app: &CommGraph,
+    tech: &TechnologyParameters,
+) -> Result<RouterDesign, BaselineError> {
+    let _ = tech;
+    if app.message_count() == 0 {
+        return Err(BaselineError::NoMessages);
+    }
+    let n = app.node_count();
+    if n < 2 {
+        return Err(BaselineError::TooFewNodes);
+    }
+
+    // The matrix region sits to the right of and above the floorplan:
+    // row i runs horizontally at the sender's y, column j vertically at an
+    // x lane beyond the chip, one lane per receiver.
+    let (min, max) = app.bounding_box();
+    let pitch = lane_pitch(app);
+    let positions: Vec<_> = app.node_ids().map(|v| app.position(v)).collect();
+
+    // Virtual lane endpoints are modeled as extra placed points appended
+    // after the real nodes: for each node i, a row-end point at
+    // (matrix_x(i), y_i) and a column-top point at (matrix_x(i), max.y + pitch).
+    let matrix_x = |j: usize| max.x + pitch * (j + 1) as f64;
+    let mut all_points = positions.clone();
+    let row_end = |i: usize| NodeId(n + i);
+    let col_top = |j: usize| NodeId(2 * n + j);
+    for i in 0..n {
+        // Row i extends to the farthest column lane it must reach.
+        all_points.push(onoc_graph::Point::new(matrix_x(n - 1), positions[i].y));
+        let _ = i;
+    }
+    for j in 0..n {
+        all_points.push(onoc_graph::Point::new(
+            matrix_x(j),
+            min.y - pitch,
+        ));
+    }
+    let mut layout = Layout::new(all_points);
+
+    // Route senders' row waveguides and receivers' column waveguides (only
+    // for nodes that actually send/receive — footnote e of the paper).
+    let senders: Vec<bool> = {
+        let mut v = vec![false; n];
+        for m in app.messages() {
+            v[m.src.index()] = true;
+        }
+        v
+    };
+    let receivers: Vec<bool> = {
+        let mut v = vec![false; n];
+        for m in app.messages() {
+            v[m.dst.index()] = true;
+        }
+        v
+    };
+    let mut row_wg: Vec<Option<WaveguideId>> = vec![None; n];
+    let mut col_wg: Vec<Option<WaveguideId>> = vec![None; n];
+    for i in 0..n {
+        if senders[i] {
+            row_wg[i] = Some(layout.route_open_path(&[NodeId(i), row_end(i)]));
+        }
+    }
+    for j in 0..n {
+        if receivers[j] {
+            col_wg[j] = Some(layout.route_open_path(&[col_top(j), NodeId(j)]));
+        }
+    }
+
+    // Signal paths: along row i to column j's lane, drop, down column j.
+    let mut paths = Vec::with_capacity(app.message_count());
+    for id in app.message_ids() {
+        let msg = app.message(id);
+        let (i, j) = (msg.src.index(), msg.dst.index());
+        let row = row_wg[i].expect("sender row routed");
+        let col = col_wg[j].expect("receiver column routed");
+        // Row travel: from the sender to column j's x lane.
+        let row_len = matrix_x(j) - positions[i].x;
+        // Column travel: from the crossing at y_i down to the receiver.
+        let col_len = (positions[i].y - positions[j].y).abs()
+            + (matrix_x(j) - positions[j].x);
+        let crossings = layout.segment_crossings(row, 0) + layout.segment_crossings(col, 0);
+        let geometry = PathGeometry {
+            length: Millimeters(row_len + col_len),
+            bends: 2,
+            crossings,
+            mrr_through_hops: 0,
+            // The row→column hop is an extra MRR drop (the crossbar's OSE).
+            mrr_drop_hops: 1,
+        };
+        paths.push(SignalPath {
+            message: id,
+            src: msg.src,
+            dst: msg.dst,
+            waveguide: row,
+            occupancy: vec![(row, 0), (col, 0)],
+            geometry,
+            wavelength: Wavelength((i + j) % n),
+        });
+    }
+
+    // One sender per node: no node-level splitters; shared tree PDN.
+    let sender_count = senders.iter().filter(|&&b| b).count();
+    let pdn = PdnDesign::new(PdnStyle::SharedTree, vec![false; n], sender_count);
+    let design = RouterDesign::new("λ-router", app.name(), layout, paths, pdn)?;
+    design.validate_against(app)?;
+    Ok(design)
+}
+
+/// Lane spacing of the matrix region: a fifth of the tile pitch keeps the
+/// crossbar compact relative to the floorplan.
+fn lane_pitch(app: &CommGraph) -> f64 {
+    let mut best = f64::MAX;
+    let nodes: Vec<_> = app.node_ids().collect();
+    for (k, &a) in nodes.iter().enumerate() {
+        for &b in &nodes[k + 1..] {
+            best = best.min(app.manhattan(a, b).0);
+        }
+    }
+    if best.is_finite() && best > 0.0 {
+        best / 5.0
+    } else {
+        0.05
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onoc_graph::benchmarks;
+
+    fn tech() -> TechnologyParameters {
+        TechnologyParameters::default()
+    }
+
+    #[test]
+    fn lambda_router_serves_all_benchmarks() {
+        for b in benchmarks::Benchmark::ALL {
+            let app = b.graph();
+            let design = synthesize(&app, &tech()).unwrap();
+            design.validate_against(&app).unwrap();
+            assert_eq!(design.paths().len(), app.message_count(), "{b}");
+        }
+    }
+
+    #[test]
+    fn diagonal_wavelength_function_is_collision_free() {
+        // RouterDesign::new would reject a collision; reaching here proves
+        // λ(i,j) = (i+j) mod N works on the shared rows and columns. Check
+        // the function explicitly too.
+        let app = benchmarks::pm8_44();
+        let design = synthesize(&app, &tech()).unwrap();
+        for p in design.paths() {
+            let expected = (p.src.index() + p.dst.index()) % app.node_count();
+            assert_eq!(p.wavelength.index(), expected);
+        }
+    }
+
+    #[test]
+    fn crossbar_pays_crossings_rings_avoid() {
+        // The quantitative Fig. 1: on the same application the λ-router
+        // racks up crossings while SRing's MWD layout has none.
+        let app = benchmarks::mwd();
+        let crossbar = synthesize(&app, &tech()).unwrap().analyze(&tech());
+        assert!(
+            crossbar.total_crossings >= app.message_count() / 2,
+            "a placed crossbar accumulates row/column crossings, got {}",
+            crossbar.total_crossings
+        );
+    }
+
+    #[test]
+    fn non_communicating_nodes_get_no_lanes() {
+        let app = onoc_graph::CommGraph::builder()
+            .name("t")
+            .node("a", onoc_graph::Point::new(0.0, 0.0))
+            .node("b", onoc_graph::Point::new(0.3, 0.0))
+            .node("idle", onoc_graph::Point::new(0.6, 0.0))
+            .message(NodeId(0), NodeId(1))
+            .build()
+            .unwrap();
+        let design = synthesize(&app, &tech()).unwrap();
+        // One row (sender a) + one column (receiver b).
+        assert_eq!(design.layout().waveguide_count(), 2);
+    }
+
+    #[test]
+    fn degenerate_apps_rejected() {
+        let empty = onoc_graph::CommGraph::builder()
+            .node("a", onoc_graph::Point::new(0.0, 0.0))
+            .node("b", onoc_graph::Point::new(1.0, 0.0))
+            .build()
+            .unwrap();
+        assert_eq!(
+            synthesize(&empty, &tech()).unwrap_err(),
+            BaselineError::NoMessages
+        );
+    }
+}

@@ -1,0 +1,350 @@
+//! XRing (Zheng et al., *XRing: A Crosstalk-Aware Synthesis Method for
+//! Wavelength-Routed Optical Ring Routers*, DATE 2023).
+//!
+//! XRing augments the custom-ordered ring with optical switching elements
+//! (OSEs) that open chord shortcuts across the ring, cutting the longest
+//! signal paths well below what any pure ring can reach. Redundant senders
+//! are removed (a node transmitting in only one direction keeps a single
+//! sender), and wavelengths are shared aggressively for the smallest
+//! wavelength count of all four methods. The price is its hierarchical
+//! PDN, which spends two extra splitter levels — the high `#sp_w` column
+//! of the paper's Table I — and the OSE drop losses on shortcut paths.
+
+use crate::common::{BaselineError, ChannelTable};
+use crate::ctoring::tailored_order;
+use onoc_graph::{CommGraph, MessageId, NodeId};
+use onoc_layout::{Cycle, Layout, WaveguideId};
+use onoc_photonics::{PathGeometry, PdnDesign, PdnStyle, RouterDesign, SignalPath};
+use onoc_units::{TechnologyParameters, Wavelength};
+use std::collections::HashMap;
+
+/// Maximum number of OSE chord shortcuts XRing may insert.
+pub const DEFAULT_MAX_OSES: usize = 6;
+
+/// A chord shortcut must shrink the path to at most this fraction of its
+/// ring length to be worth an OSE pair.
+const IMPROVEMENT_FACTOR: f64 = 0.8;
+
+/// Synthesizes an XRing router for `app` with the default OSE budget.
+///
+/// # Errors
+///
+/// Returns [`BaselineError`] for applications with no messages or fewer
+/// than two nodes.
+///
+/// # Examples
+///
+/// ```
+/// use onoc_baselines::xring;
+/// use onoc_graph::benchmarks;
+/// use onoc_units::TechnologyParameters;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let design = xring::synthesize(&benchmarks::mwd(), &TechnologyParameters::default())?;
+/// assert_eq!(design.method(), "XRing");
+/// # Ok(())
+/// # }
+/// ```
+pub fn synthesize(
+    app: &CommGraph,
+    tech: &TechnologyParameters,
+) -> Result<RouterDesign, BaselineError> {
+    synthesize_with_oses(app, tech, DEFAULT_MAX_OSES)
+}
+
+/// Synthesizes an XRing router with an explicit OSE budget (0 disables the
+/// shortcuts, leaving a CTORing-ordered ring with XRing's PDN — useful for
+/// ablation).
+///
+/// # Errors
+///
+/// Returns [`BaselineError`] for applications with no messages or fewer
+/// than two nodes.
+pub fn synthesize_with_oses(
+    app: &CommGraph,
+    tech: &TechnologyParameters,
+    max_oses: usize,
+) -> Result<RouterDesign, BaselineError> {
+    if app.message_count() == 0 {
+        return Err(BaselineError::NoMessages);
+    }
+    if app.node_count() < 2 {
+        return Err(BaselineError::TooFewNodes);
+    }
+
+    let order = tailored_order(app);
+    let cw = Cycle::new(order).expect("order is a valid permutation");
+    let ccw = cw.reversed();
+    let positions: Vec<_> = app.node_ids().map(|v| app.position(v)).collect();
+    let mut layout = Layout::new(positions);
+    let wg_cw = layout.route_cycle(&cw);
+    let wg_ccw = layout.route_cycle(&ccw);
+
+    // Route of a message: initially the shorter ring direction.
+    struct Route {
+        message: MessageId,
+        src: NodeId,
+        dst: NodeId,
+        waveguide: WaveguideId,
+        occupancy: Vec<(WaveguideId, usize)>,
+        length: f64,
+        bends: usize,
+        ose_hops: usize,
+    }
+    let ring_route = |layout: &Layout, wg: WaveguideId, cycle: &Cycle, id: MessageId| -> Route {
+        let msg = app.message(id);
+        let range = cycle
+            .path_segments(msg.src, msg.dst)
+            .expect("all nodes lie on both rings");
+        let routed = layout.waveguide(wg);
+        let mut length = 0.0;
+        let mut bends = 0;
+        let mut occupancy = Vec::with_capacity(range.len());
+        for seg in range.iter() {
+            length += routed.segment(seg).length.0;
+            bends += routed.segment(seg).bends;
+            occupancy.push((wg, seg));
+        }
+        Route {
+            message: id,
+            src: msg.src,
+            dst: msg.dst,
+            waveguide: wg,
+            occupancy,
+            length,
+            bends,
+            ose_hops: 0,
+        }
+    };
+
+    let mut routes: Vec<Route> = app
+        .message_ids()
+        .map(|id| {
+            let on_cw = ring_route(&layout, wg_cw, &cw, id);
+            let on_ccw = ring_route(&layout, wg_ccw, &ccw, id);
+            if on_cw.length <= on_ccw.length {
+                on_cw
+            } else {
+                on_ccw
+            }
+        })
+        .collect();
+
+    // OSE shortcut insertion: repeatedly cut the worst path while an OSE
+    // chord improves it enough.
+    let mut chords: HashMap<(NodeId, NodeId), WaveguideId> = HashMap::new();
+    while chords.len() < max_oses {
+        let Some(worst) = routes
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.ose_hops == 0)
+            .max_by(|a, b| {
+                a.1.length
+                    .partial_cmp(&b.1.length)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(i, _)| i)
+        else {
+            break;
+        };
+        let (src, dst) = (routes[worst].src, routes[worst].dst);
+        let direct = app.manhattan(src, dst).0;
+        if direct > routes[worst].length * IMPROVEMENT_FACTOR {
+            break;
+        }
+        let chord = *chords
+            .entry((src, dst))
+            .or_insert_with(|| layout.route_open_path(&[src, dst]));
+        let routed = layout.waveguide(chord);
+        routes[worst] = Route {
+            message: routes[worst].message,
+            src,
+            dst,
+            waveguide: chord,
+            occupancy: vec![(chord, 0)],
+            length: routed.segment(0).length.0,
+            bends: routed.segment(0).bends,
+            // One OSE couples the signal onto the chord; the receiver's
+            // own MRR drops it off at the destination.
+            ose_hops: 1,
+        };
+    }
+
+    // Aggressive wavelength sharing: longest paths first; ring messages may
+    // take either direction if it reuses a lower wavelength, bounded by the
+    // worst path length realized after the shortcuts.
+    let length_bound = routes.iter().map(|r| r.length).fold(0.0, f64::max);
+    let mut order_ids: Vec<usize> = (0..routes.len()).collect();
+    order_ids.sort_by(|&a, &b| {
+        routes[b]
+            .length
+            .partial_cmp(&routes[a].length)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+
+    let mut table = ChannelTable::new();
+    let mut paths: Vec<SignalPath> = Vec::with_capacity(routes.len());
+    for idx in order_ids {
+        let r = &routes[idx];
+        // For pure ring routes, re-evaluate both directions for reuse.
+        let alternatives: Vec<Route> = if r.ose_hops == 0 {
+            vec![
+                ring_route(&layout, wg_cw, &cw, r.message),
+                ring_route(&layout, wg_ccw, &ccw, r.message),
+            ]
+            .into_iter()
+            .filter(|alt| alt.length <= length_bound + 1e-9)
+            .collect()
+        } else {
+            Vec::new()
+        };
+        let chosen: &Route = alternatives
+            .iter()
+            .chain(std::iter::once(r))
+            .min_by(|a, b| {
+                let ka = (
+                    table.first_fit(
+                        &a.occupancy
+                            .iter()
+                            .map(|&(w, s)| (w.index(), s))
+                            .collect::<Vec<_>>(),
+                    ),
+                    a.length,
+                );
+                let kb = (
+                    table.first_fit(
+                        &b.occupancy
+                            .iter()
+                            .map(|&(w, s)| (w.index(), s))
+                            .collect::<Vec<_>>(),
+                    ),
+                    b.length,
+                );
+                ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("the original route is always present");
+        let channels: Vec<_> = chosen
+            .occupancy
+            .iter()
+            .map(|&(w, s)| (w.index(), s))
+            .collect();
+        let w = table.first_fit(&channels);
+        table.commit(&channels, w);
+        let crossings: usize = chosen
+            .occupancy
+            .iter()
+            .map(|&(wg, seg)| layout.segment_crossings(wg, seg))
+            .sum();
+        let geometry = PathGeometry {
+            length: onoc_units::Millimeters(chosen.length),
+            bends: chosen.bends,
+            crossings,
+            mrr_through_hops: 0,
+            mrr_drop_hops: chosen.ose_hops,
+        };
+        paths.push(SignalPath {
+            message: chosen.message,
+            src: chosen.src,
+            dst: chosen.dst,
+            waveguide: chosen.waveguide,
+            occupancy: chosen.occupancy.clone(),
+            geometry,
+            wavelength: Wavelength(w),
+        });
+    }
+    paths.sort_by_key(|p| p.message);
+    let _ = tech;
+
+    // XRing's hierarchical PDN: two extra splitter levels, no node-level
+    // splitters (senders were de-duplicated).
+    let pdn = PdnDesign::new(
+        PdnStyle::XRingHierarchical,
+        vec![false; app.node_count()],
+        app.node_count(),
+    );
+    let design = RouterDesign::new("XRing", app.name(), layout, paths, pdn)?;
+    design.validate_against(app)?;
+    Ok(design)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctoring;
+    use onoc_graph::benchmarks;
+
+    fn tech() -> TechnologyParameters {
+        TechnologyParameters::default()
+    }
+
+    #[test]
+    fn xring_covers_all_benchmarks() {
+        for b in benchmarks::Benchmark::ALL {
+            let app = b.graph();
+            let design = synthesize(&app, &tech()).unwrap();
+            design.validate_against(&app).unwrap();
+        }
+    }
+
+    #[test]
+    fn shortcuts_never_lengthen_the_worst_path() {
+        for b in benchmarks::Benchmark::ALL {
+            let app = b.graph();
+            let with = synthesize(&app, &tech()).unwrap().analyze(&tech());
+            let without = synthesize_with_oses(&app, &tech(), 0)
+                .unwrap()
+                .analyze(&tech());
+            assert!(
+                with.longest_path.0 <= without.longest_path.0 + 1e-9,
+                "{b}: {} vs {}",
+                with.longest_path,
+                without.longest_path
+            );
+        }
+    }
+
+    #[test]
+    fn xring_beats_or_ties_ctoring_on_worst_path() {
+        for b in benchmarks::Benchmark::ALL {
+            let app = b.graph();
+            let x = synthesize(&app, &tech()).unwrap().analyze(&tech());
+            let c = ctoring::synthesize(&app, &tech()).unwrap().analyze(&tech());
+            assert!(
+                x.longest_path.0 <= c.longest_path.0 + 1e-9,
+                "{b}: XRing {} vs CTORing {}",
+                x.longest_path,
+                c.longest_path
+            );
+        }
+    }
+
+    #[test]
+    fn xring_pays_the_highest_splitter_depth() {
+        let app = benchmarks::vopd();
+        let x = synthesize(&app, &tech()).unwrap().analyze(&tech());
+        // 16 nodes → 4 levels + 2 hierarchical = 6 (Table I).
+        assert_eq!(x.max_splitters_passed, 6);
+    }
+
+    #[test]
+    fn shortcut_paths_carry_ose_drops() {
+        let app = benchmarks::mwd();
+        let design = synthesize(&app, &tech()).unwrap();
+        let shortcut_paths = design
+            .paths()
+            .iter()
+            .filter(|p| p.geometry.mrr_drop_hops > 0)
+            .count();
+        // MWD's long se→hs style messages attract at least one shortcut.
+        assert!(shortcut_paths >= 1, "expected at least one OSE shortcut");
+    }
+
+    #[test]
+    fn zero_ose_budget_is_a_pure_ring() {
+        let app = benchmarks::mwd();
+        let design = synthesize_with_oses(&app, &tech(), 0).unwrap();
+        assert_eq!(design.layout().waveguide_count(), 2);
+        assert!(design.paths().iter().all(|p| p.geometry.mrr_drop_hops == 0));
+    }
+}

@@ -1,0 +1,75 @@
+//! Ablation benches for the design choices called out in `DESIGN.md` §7:
+//!
+//! * SRing with the MILP vs the heuristic wavelength assignment,
+//! * XRing with and without its OSE shortcuts,
+//! * the clustering's `L_max` search resolution (tree height).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use onoc_baselines::xring;
+use onoc_graph::benchmarks::Benchmark;
+use onoc_units::TechnologyParameters;
+use sring_core::{AssignmentStrategy, ClusteringConfig, MilpOptions, SringConfig, SringSynthesizer};
+use std::time::Duration;
+
+fn bench_assignment_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/assignment");
+    group.sample_size(10);
+    let app = Benchmark::Mwd.graph();
+    for (name, strategy) in [
+        ("heuristic", AssignmentStrategy::Heuristic),
+        (
+            "milp",
+            AssignmentStrategy::Milp(MilpOptions {
+                time_limit: Duration::from_secs(5),
+                ..MilpOptions::default()
+            }),
+        ),
+    ] {
+        let synth = SringSynthesizer::with_config(SringConfig {
+            strategy: strategy.clone(),
+            ..SringConfig::default()
+        });
+        group.bench_function(BenchmarkId::new("MWD", name), |bencher| {
+            bencher.iter(|| synth.synthesize(&app).expect("synthesizes"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_xring_oses(c: &mut Criterion) {
+    let tech = TechnologyParameters::default();
+    let mut group = c.benchmark_group("ablation/xring_oses");
+    group.sample_size(10);
+    let app = Benchmark::Mwd.graph();
+    for oses in [0usize, 3, 6] {
+        group.bench_with_input(BenchmarkId::from_parameter(oses), &oses, |bencher, &oses| {
+            bencher.iter(|| xring::synthesize_with_oses(&app, &tech, oses).expect("synthesizes"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_tree_height(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/tree_height");
+    group.sample_size(10);
+    let app = Benchmark::Vopd.graph();
+    for h in [3u32, 5, 7] {
+        let synth = SringSynthesizer::with_config(SringConfig {
+            clustering: ClusteringConfig { tree_height: h },
+            strategy: AssignmentStrategy::Heuristic,
+            ..SringConfig::default()
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(h), &h, |bencher, _| {
+            bencher.iter(|| synth.synthesize(&app).expect("synthesizes"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_assignment_strategies,
+    bench_xring_oses,
+    bench_tree_height
+);
+criterion_main!(benches);

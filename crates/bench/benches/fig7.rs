@@ -1,0 +1,43 @@
+//! Criterion timings behind Fig. 7: the loss/PDN/laser analysis of a
+//! finished design, and a full four-method comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use onoc_eval::comparison::compare;
+use onoc_eval::methods::Method;
+use onoc_graph::benchmarks::Benchmark;
+use onoc_units::TechnologyParameters;
+use sring_core::AssignmentStrategy;
+
+fn bench_analysis(c: &mut Criterion) {
+    let tech = TechnologyParameters::default();
+    let mut group = c.benchmark_group("fig7/analyze");
+    for b in [Benchmark::Mwd, Benchmark::D26] {
+        let app = b.graph();
+        let design = Method::Ctoring.synthesize(&app, &tech).expect("synthesizes");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(b.name()),
+            &design,
+            |bencher, design| {
+                bencher.iter(|| design.analyze(&tech));
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig7/compare_all_methods");
+    group.sample_size(10);
+    let methods = [
+        Method::Ornoc,
+        Method::Ctoring,
+        Method::Xring,
+        Method::Sring(AssignmentStrategy::Heuristic),
+    ];
+    let app = Benchmark::Mwd.graph();
+    group.bench_function("MWD", |bencher| {
+        bencher.iter(|| compare(&app, &tech, &methods).expect("synthesizes"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

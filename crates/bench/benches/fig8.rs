@@ -1,0 +1,28 @@
+//! Criterion timings behind Fig. 8: random-solution sampling throughput.
+//! The `fig8` binary draws the full 100 000 samples; here we time blocks
+//! of 1 000 to track sampler performance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use onoc_eval::random_baseline::{sample_random_solutions, RandomSolutionConfig};
+use onoc_graph::benchmarks::Benchmark;
+use onoc_units::TechnologyParameters;
+
+fn bench_sampler(c: &mut Criterion) {
+    let tech = TechnologyParameters::default();
+    let mut group = c.benchmark_group("fig8/random_solutions_1k");
+    group.sample_size(10);
+    for b in [Benchmark::Mwd, Benchmark::Vopd] {
+        let app = b.graph();
+        let config = RandomSolutionConfig {
+            samples: 1_000,
+            ..RandomSolutionConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(b.name()), &app, |bencher, app| {
+            bencher.iter(|| sample_random_solutions(app, &tech, &config));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampler);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion timings behind Table I: synthesis cost of each of the four
+//! methods. The `table1` binary prints the table itself; this bench tracks
+//! how expensive each synthesis method is per benchmark.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use onoc_eval::methods::Method;
+use onoc_graph::benchmarks::Benchmark;
+use onoc_units::TechnologyParameters;
+use sring_core::AssignmentStrategy;
+
+fn bench_methods(c: &mut Criterion) {
+    let tech = TechnologyParameters::default();
+    let mut group = c.benchmark_group("table1/synthesize");
+    group.sample_size(10);
+    // SRing runs its heuristic here so the bench isolates construction
+    // cost; MILP cost is covered by the dedicated `milp` bench.
+    let methods = [
+        Method::Ornoc,
+        Method::Ctoring,
+        Method::Xring,
+        Method::Sring(AssignmentStrategy::Heuristic),
+    ];
+    for b in [Benchmark::Mwd, Benchmark::Vopd, Benchmark::Pm8x24, Benchmark::Pm8x44] {
+        let app = b.graph();
+        for m in &methods {
+            group.bench_with_input(
+                BenchmarkId::new(m.name(), b.name()),
+                &app,
+                |bencher, app| {
+                    bencher.iter(|| m.synthesize(app, &tech).expect("synthesizes"));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Ablation report: how much each design ingredient contributes.
+//!
+//! * SRing's MILP wavelength assignment vs the greedy heuristic,
+//! * XRing's OSE shortcut budget,
+//! * the clustering's `L_max` search resolution (tree height).
+//!
+//! Quality figures only; the Criterion `ablation` bench times the same
+//! configurations.
+
+use onoc_baselines::xring;
+use onoc_bench::harness_tech;
+use onoc_graph::benchmarks::Benchmark;
+use sring_core::{AssignmentStrategy, ClusteringConfig, MilpOptions, SringConfig, SringSynthesizer};
+
+fn main() {
+    let tech = harness_tech();
+
+    println!("1. SRing wavelength assignment: heuristic vs MILP (Eqs. 1-8)\n");
+    println!(
+        "{:<10} {:>14} {:>14} {:>12} {:>12}",
+        "benchmark", "heur #wl/P[mW]", "milp #wl/P[mW]", "heur #sp_w", "milp #sp_w"
+    );
+    for b in [Benchmark::Mwd, Benchmark::Vopd, Benchmark::Mpeg, Benchmark::Pm8x24] {
+        let app = b.graph();
+        let mut results = Vec::new();
+        for strategy in [
+            AssignmentStrategy::Heuristic,
+            AssignmentStrategy::Milp(MilpOptions::default()),
+        ] {
+            let synth = SringSynthesizer::with_config(SringConfig {
+                strategy,
+                tech: tech.clone(),
+                ..SringConfig::default()
+            });
+            let a = synth
+                .synthesize(&app)
+                .expect("benchmark synthesizes")
+                .analyze(&tech);
+            results.push(a);
+        }
+        println!(
+            "{:<10} {:>8}/{:>5.2} {:>8}/{:>5.2} {:>12} {:>12}",
+            b.name(),
+            results[0].wavelength_count,
+            results[0].total_laser_power.0,
+            results[1].wavelength_count,
+            results[1].total_laser_power.0,
+            results[0].max_splitters_passed,
+            results[1].max_splitters_passed,
+        );
+    }
+
+    println!("\n2. XRing OSE shortcut budget (MWD)\n");
+    println!("{:<6} {:>8} {:>10} {:>10}", "OSEs", "L[mm]", "il_w[dB]", "P[mW]");
+    let app = Benchmark::Mwd.graph();
+    for oses in [0usize, 1, 2, 4, 6] {
+        let a = xring::synthesize_with_oses(&app, &tech, oses)
+            .expect("synthesizes")
+            .analyze(&tech);
+        println!(
+            "{:<6} {:>8.2} {:>10.2} {:>10.2}",
+            oses, a.longest_path.0, a.worst_insertion_loss.0, a.total_laser_power.0
+        );
+    }
+
+    println!("\n3. SRing L_max search resolution (VOPD)\n");
+    println!("{:<6} {:>8} {:>8} {:>10}", "h", "L[mm]", "#wl", "P[mW]");
+    for h in [2u32, 3, 4, 6] {
+        let synth = SringSynthesizer::with_config(SringConfig {
+            clustering: ClusteringConfig { tree_height: h },
+            strategy: AssignmentStrategy::Heuristic,
+            tech: tech.clone(),
+            ..SringConfig::default()
+        });
+        let a = synth
+            .synthesize(&Benchmark::Vopd.graph())
+            .expect("synthesizes")
+            .analyze(&tech);
+        println!(
+            "{:<6} {:>8.2} {:>8} {:>10.2}",
+            h, a.longest_path.0, a.wavelength_count, a.total_laser_power.0
+        );
+    }
+}

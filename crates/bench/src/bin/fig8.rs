@@ -1,0 +1,91 @@
+//! Regenerates the paper's Fig. 8 and the Sec. IV-B solution-quality
+//! study: 100 000 random solutions per application, feasibility counts,
+//! and histograms of `#wl` and `il_w` over the feasible ones with SRing's
+//! own result marked.
+//!
+//! Pass a sample count as the first argument to override the default
+//! 100 000 (e.g. `cargo run -p onoc-bench --bin fig8 -- 10000`).
+
+use onoc_bench::harness_tech;
+use onoc_eval::random_baseline::{sample_random_solutions, RandomSolutionConfig};
+use onoc_eval::Histogram;
+use onoc_graph::benchmarks::Benchmark;
+use sring_core::{SringConfig, SringSynthesizer};
+
+fn main() {
+    let samples: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100_000);
+    let tech = harness_tech();
+
+    // The paper reports feasible random solutions only for MWD (≈7 %) and
+    // VOPD (< 1 %); we sweep all seven and report the rates.
+    println!("Sec. IV-B — feasibility of {samples} random solutions per benchmark\n");
+    let mut mwd_stats = None;
+    for b in Benchmark::ALL {
+        let app = b.graph();
+        let config = RandomSolutionConfig {
+            samples,
+            ..RandomSolutionConfig::for_app(&app)
+        };
+        let stats = sample_random_solutions(&app, &tech, &config);
+        println!(
+            "{:<10} feasible: {:>7} / {} ({:.2} %)",
+            b.name(),
+            stats.feasible.len(),
+            stats.attempted,
+            stats.feasibility_rate() * 100.0
+        );
+        if b == Benchmark::Mwd {
+            // SRing's own MWD result is the paper's red circle.
+            let synth = SringSynthesizer::with_config(SringConfig {
+                tech: tech.clone(),
+                ..SringConfig::default()
+            });
+            let report = synth.synthesize_detailed(&app).expect("MWD synthesizes");
+            mwd_stats = Some((stats, report));
+        }
+    }
+
+    // Fig. 8: histograms for MWD.
+    let (stats, report) = mwd_stats.expect("MWD was sampled");
+    let analysis = report.design.analyze(&tech);
+    println!("\nFIG. 8(a) — #wl over feasible MWD random solutions");
+    let max_wl = stats
+        .feasible
+        .iter()
+        .map(|o| o.wavelength_count)
+        .max()
+        .unwrap_or(1) as f64;
+    let mut h_wl = Histogram::new(0.5, max_wl + 0.5, max_wl as usize);
+    for o in &stats.feasible {
+        h_wl.add(o.wavelength_count as f64);
+    }
+    print!("{h_wl}");
+    println!("SRing: #wl = {} (red circle of the paper)\n", analysis.wavelength_count);
+
+    println!("FIG. 8(b) — il_w (dB) over feasible MWD random solutions");
+    let (lo, hi) = stats.feasible.iter().fold((f64::MAX, f64::MIN), |(lo, hi), o| {
+        (lo.min(o.worst_loss.0), hi.max(o.worst_loss.0))
+    });
+    let mut h_il = Histogram::new(lo - 1e-9, hi + 1e-6, 10);
+    for o in &stats.feasible {
+        h_il.add(o.worst_loss.0);
+    }
+    print!("{h_il}");
+    println!(
+        "SRing: il_w = {:.2} dB (red circle of the paper)",
+        analysis.worst_insertion_loss.0
+    );
+    let beaten = stats
+        .feasible
+        .iter()
+        .filter(|o| o.worst_loss.0 < analysis.worst_insertion_loss.0)
+        .count();
+    println!(
+        "Random solutions beating SRing on il_w: {} of {} feasible",
+        beaten,
+        stats.feasible.len()
+    );
+}

@@ -1,0 +1,51 @@
+//! Scalability study: synthesis time and quality of SRing vs CTORing on
+//! generated application families of growing size (pipelines, hub-and-
+//! spoke, neighbour meshes). Not a paper figure — the downstream-user
+//! question the paper leaves open.
+
+use onoc_bench::harness_tech;
+use onoc_eval::methods::Method;
+use onoc_graph::synth;
+use onoc_graph::CommGraph;
+use onoc_units::Millimeters;
+use sring_core::AssignmentStrategy;
+use std::time::Instant;
+
+fn run(app: &CommGraph) {
+    let tech = harness_tech();
+    print!("{:<16} #N={:>3} #M={:>3}", app.name(), app.node_count(), app.message_count());
+    for m in [
+        Method::Sring(AssignmentStrategy::Heuristic),
+        Method::Ctoring,
+    ] {
+        let t = Instant::now();
+        let design = m.synthesize(app, &tech).expect("synthesizes");
+        let elapsed = t.elapsed();
+        let a = design.analyze(&tech);
+        print!(
+            "   {}: {:>7.2?} L={:.2}mm #wl={:<3} P={:.2}mW",
+            m.name(),
+            elapsed,
+            a.longest_path.0,
+            a.wavelength_count,
+            a.total_laser_power.0
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let pitch = Millimeters(0.26);
+    println!("pipelines (feed-forward chains):");
+    for stages in [8usize, 16, 24, 32, 48] {
+        run(&synth::pipeline(stages, pitch));
+    }
+    println!("\nhub-and-spoke (accelerator-style):");
+    for spokes in [4usize, 8, 12, 16] {
+        run(&synth::hub_spoke(spokes, pitch));
+    }
+    println!("\nneighbour meshes (local traffic):");
+    for (c, r) in [(3usize, 3usize), (4, 4), (5, 5), (6, 6)] {
+        run(&synth::neighbor_mesh(c, r, pitch));
+    }
+}

@@ -1,0 +1,46 @@
+//! Regenerates the paper's Table I: `L`, `il_w`, `#sp_w` and `il_w^all`
+//! for ORNoC, CTORing, XRing and SRing across all seven benchmarks, with
+//! the paper's published values printed side by side.
+
+use onoc_bench::{harness_benchmarks, harness_tech, paper_reference};
+use onoc_eval::comparison::{compare, to_csv};
+use onoc_eval::methods::Method;
+
+fn main() {
+    let tech = harness_tech();
+    let methods = Method::standard();
+    let csv_path = std::env::args().nth(1);
+    let mut comparisons = Vec::new();
+    println!("TABLE I — measured vs paper (paper values in parentheses)\n");
+    for b in harness_benchmarks() {
+        let app = b.graph();
+        let cmp = compare(&app, &tech, &methods).expect("benchmark synthesizes");
+        println!("{} (#N = {}, #M = {})", b.name(), cmp.node_count, cmp.message_count);
+        println!(
+            "{:<10} {:>16} {:>16} {:>12} {:>16}",
+            "method", "L[mm]", "il_w[dB]", "#sp_w", "il_w^all[dB]"
+        );
+        for r in &cmp.rows {
+            let (pl, pil, psp, pall) =
+                paper_reference(b.name(), &r.method).expect("paper row exists");
+            println!(
+                "{:<10} {:>7.2} ({:>5.1}) {:>8.2} ({:>4.1}) {:>5} ({:>3}) {:>8.2} ({:>5.1})",
+                r.method,
+                r.longest_path.0,
+                pl,
+                r.worst_insertion_loss.0,
+                pil,
+                r.max_splitters_passed,
+                psp,
+                r.worst_loss_with_pdn.0,
+                pall,
+            );
+        }
+        println!();
+        comparisons.push(cmp);
+    }
+    if let Some(path) = csv_path {
+        std::fs::write(&path, to_csv(&comparisons)).expect("CSV written");
+        println!("CSV written to {path}");
+    }
+}

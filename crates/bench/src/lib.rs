@@ -1,0 +1,107 @@
+//! Shared helpers for the benchmark harness that regenerates every table
+//! and figure of the SRing paper.
+//!
+//! The `table1`, `table2`, `fig7` and `fig8` binaries print the paper's
+//! rows/series next to the paper's published values; the Criterion benches
+//! in `benches/` time the underlying pipelines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use onoc_graph::benchmarks::Benchmark;
+use onoc_units::TechnologyParameters;
+
+/// The paper's published Table I values, used for side-by-side reporting:
+/// `(benchmark, method, L, il_w, #sp_w, il_w_all)`.
+pub const PAPER_TABLE1: [(&str, &str, f64, f64, usize, f64); 28] = [
+    ("MWD", "ORNoC", 1.8, 5.2, 5, 21.7),
+    ("MWD", "CTORing", 1.4, 4.4, 5, 21.0),
+    ("MWD", "XRing", 0.7, 4.2, 5, 20.3),
+    ("MWD", "SRing", 0.4, 4.1, 4, 17.5),
+    ("VOPD", "ORNoC", 3.0, 6.0, 5, 22.7),
+    ("VOPD", "CTORing", 1.4, 4.9, 5, 21.5),
+    ("VOPD", "XRing", 1.4, 4.4, 6, 23.9),
+    ("VOPD", "SRing", 1.4, 4.4, 4, 17.7),
+    ("MPEG", "ORNoC", 2.2, 5.5, 5, 21.7),
+    ("MPEG", "CTORing", 1.1, 4.7, 5, 21.0),
+    ("MPEG", "XRing", 1.0, 4.4, 6, 23.6),
+    ("MPEG", "SRing", 1.0, 4.4, 4, 17.6),
+    ("D26", "ORNoC", 5.0, 7.9, 6, 29.2),
+    ("D26", "CTORing", 2.4, 5.8, 6, 26.7),
+    ("D26", "XRing", 2.4, 4.9, 7, 28.4),
+    ("D26", "SRing", 2.4, 4.9, 5, 21.7),
+    ("8PM-24", "ORNoC", 1.2, 4.8, 4, 17.6),
+    ("8PM-24", "CTORing", 0.7, 4.2, 4, 17.9),
+    ("8PM-24", "XRing", 0.6, 4.2, 5, 20.0),
+    ("8PM-24", "SRing", 0.6, 4.2, 3, 14.2),
+    ("8PM-32", "ORNoC", 1.4, 4.9, 4, 18.2),
+    ("8PM-32", "CTORing", 0.9, 4.2, 4, 18.0),
+    ("8PM-32", "XRing", 1.4, 4.5, 5, 20.1),
+    ("8PM-32", "SRing", 1.4, 4.6, 3, 14.5),
+    ("8PM-44", "ORNoC", 1.8, 5.2, 4, 18.4),
+    ("8PM-44", "CTORing", 0.8, 4.5, 4, 18.4),
+    ("8PM-44", "XRing", 0.8, 4.3, 6, 23.7),
+    ("8PM-44", "SRing", 1.4, 4.7, 3, 14.7),
+];
+
+/// The paper's Table II runtimes in seconds.
+pub const PAPER_TABLE2: [(&str, f64); 7] = [
+    ("MWD", 0.12),
+    ("VOPD", 0.22),
+    ("MPEG", 0.36),
+    ("D26", 6.32),
+    ("8PM-24", 0.27),
+    ("8PM-32", 0.52),
+    ("8PM-44", 2.40),
+];
+
+/// The paper's published reference row for one `(benchmark, method)` pair.
+#[must_use]
+pub fn paper_reference(benchmark: &str, method: &str) -> Option<(f64, f64, usize, f64)> {
+    PAPER_TABLE1
+        .iter()
+        .find(|(b, m, ..)| *b == benchmark && *m == method)
+        .map(|&(_, _, l, il, sp, il_all)| (l, il, sp, il_all))
+}
+
+/// The technology parameters used by every harness binary.
+#[must_use]
+pub fn harness_tech() -> TechnologyParameters {
+    TechnologyParameters::default()
+}
+
+/// The benchmarks in Table I order.
+#[must_use]
+pub fn harness_benchmarks() -> Vec<Benchmark> {
+    Benchmark::ALL.to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table_covers_all_pairs() {
+        for b in Benchmark::ALL {
+            for m in ["ORNoC", "CTORing", "XRing", "SRing"] {
+                assert!(
+                    paper_reference(b.name(), m).is_some(),
+                    "missing paper row {b} / {m}"
+                );
+            }
+        }
+        assert!(paper_reference("MWD", "nope").is_none());
+    }
+
+    #[test]
+    fn paper_values_show_sring_winning_on_il_all() {
+        // Internal consistency of the transcription: SRing has the lowest
+        // il_w^all in every benchmark of the paper's Table I.
+        for b in Benchmark::ALL {
+            let sring = paper_reference(b.name(), "SRing").unwrap().3;
+            for m in ["ORNoC", "CTORing", "XRing"] {
+                assert!(sring < paper_reference(b.name(), m).unwrap().3, "{b}/{m}");
+            }
+        }
+    }
+}

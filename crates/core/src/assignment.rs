@@ -1,0 +1,878 @@
+//! Wavelength assignment: the paper's MILP model (Eqs. 1–8) plus a greedy
+//! heuristic used for warm starts and for large instances.
+//!
+//! For every signal path exactly one wavelength is chosen (Eq. 1) such that
+//! overlapping paths never share a wavelength (Eq. 2). A node whose intra-
+//! and inter-cluster senders share any wavelength needs a PDN splitter
+//! (Eq. 4), which adds `L_sp` to its paths' insertion losses (Eq. 5). The
+//! objective (Eq. 8) jointly minimizes wavelength usage `i_wl` (Eq. 3), the
+//! worst-case insertion loss `il^Smax` (Eq. 6) and the sum of per-
+//! wavelength worst-case losses `Σ il_λ^max` (Eq. 7) with weights
+//! `α = β = γ = 1`.
+
+use milp_solver::{Model, ModelError, Sense, SolveOptions as MilpSolveOptions, Status};
+use onoc_graph::NodeId;
+use onoc_units::{Decibels, Wavelength};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::time::Duration;
+
+/// One signal path as seen by the wavelength assigner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssignPath {
+    /// The sending node (owner of the sender whose splitter is at stake).
+    pub src: NodeId,
+    /// `true` if the path rides the inter-cluster sub-ring, `false` for an
+    /// intra-cluster path. Determines which of the paper's `S_intra`/`S_inter`
+    /// sets the path belongs to.
+    pub is_inter: bool,
+    /// The path's insertion loss `L_s` excluding PDN and splitters.
+    pub loss: Decibels,
+    /// The waveguide channels `(ring, segment)` the path occupies; two
+    /// paths sharing any channel conflict.
+    pub channels: Vec<(usize, usize)>,
+}
+
+/// A wavelength-assignment instance: the paths plus the derived conflict
+/// relation.
+#[derive(Debug, Clone)]
+pub struct AssignmentProblem {
+    node_count: usize,
+    paths: Vec<AssignPath>,
+    conflicts: Vec<Vec<usize>>,
+    splitter_loss: Decibels,
+}
+
+impl AssignmentProblem {
+    /// Builds the instance and computes pairwise conflicts (shared
+    /// channels, the paper's `S_conflict` sets).
+    #[must_use]
+    pub fn new(node_count: usize, paths: Vec<AssignPath>, splitter_loss: Decibels) -> Self {
+        let n = paths.len();
+        let mut conflicts = vec![Vec::new(); n];
+        for i in 0..n {
+            let set_i: BTreeSet<_> = paths[i].channels.iter().copied().collect();
+            for j in i + 1..n {
+                if paths[j].channels.iter().any(|c| set_i.contains(c)) {
+                    conflicts[i].push(j);
+                    conflicts[j].push(i);
+                }
+            }
+        }
+        AssignmentProblem {
+            node_count,
+            paths,
+            conflicts,
+            splitter_loss,
+        }
+    }
+
+    /// The paths of the instance.
+    #[must_use]
+    pub fn paths(&self) -> &[AssignPath] {
+        &self.paths
+    }
+
+    /// The conflict partners of path `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn conflicts_of(&self, i: usize) -> &[usize] {
+        &self.conflicts[i]
+    }
+
+    /// Evaluates the paper's Eq. 8 objective (α = β = γ = 1) for a complete
+    /// wavelength vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wavelengths.len()` differs from the path count.
+    #[must_use]
+    pub fn objective(&self, wavelengths: &[Wavelength]) -> f64 {
+        assert_eq!(wavelengths.len(), self.paths.len());
+        let splitters = self.node_splitters(wavelengths);
+        let used: BTreeSet<Wavelength> = wavelengths.iter().copied().collect();
+        let il = |i: usize| {
+            self.paths[i].loss.0
+                + if splitters[self.paths[i].src.index()] {
+                    self.splitter_loss.0
+                } else {
+                    0.0
+                }
+        };
+        let il_smax = (0..self.paths.len()).map(il).fold(0.0, f64::max);
+        let sum_il_max: f64 = used
+            .iter()
+            .map(|&w| {
+                (0..self.paths.len())
+                    .filter(|&i| wavelengths[i] == w)
+                    .map(il)
+                    .fold(0.0, f64::max)
+            })
+            .sum();
+        used.len() as f64 + il_smax + sum_il_max
+    }
+
+    /// Derives the node-splitter flags `b_sp` (Eq. 4) implied by a
+    /// wavelength vector: a node needs a splitter iff one of its intra
+    /// paths and one of its inter paths share a wavelength.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wavelengths.len()` differs from the path count.
+    #[must_use]
+    pub fn node_splitters(&self, wavelengths: &[Wavelength]) -> Vec<bool> {
+        assert_eq!(wavelengths.len(), self.paths.len());
+        let mut flags = vec![false; self.node_count];
+        for i in 0..self.paths.len() {
+            if !self.paths[i].is_inter {
+                continue;
+            }
+            for j in 0..self.paths.len() {
+                if i != j
+                    && !self.paths[j].is_inter
+                    && self.paths[i].src == self.paths[j].src
+                    && wavelengths[i] == wavelengths[j]
+                {
+                    flags[self.paths[i].src.index()] = true;
+                }
+            }
+        }
+        flags
+    }
+
+    /// Checks Eq. 2: no two conflicting paths share a wavelength.
+    #[must_use]
+    pub fn is_collision_free(&self, wavelengths: &[Wavelength]) -> bool {
+        if wavelengths.len() != self.paths.len() {
+            return false;
+        }
+        for i in 0..self.paths.len() {
+            for &j in &self.conflicts[i] {
+                if wavelengths[i] == wavelengths[j] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// How to solve the assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AssignmentStrategy {
+    /// Greedy construction plus local search only.
+    Heuristic,
+    /// Full MILP (Eqs. 1–8) warm-started by the heuristic, with limits.
+    Milp(MilpOptions),
+    /// MILP for instances up to `milp_max_paths` paths, heuristic beyond.
+    Auto {
+        /// Largest instance (in paths) still sent to the MILP.
+        milp_max_paths: usize,
+        /// MILP limits when used.
+        options: MilpOptions,
+    },
+}
+
+impl Default for AssignmentStrategy {
+    fn default() -> Self {
+        AssignmentStrategy::Auto {
+            milp_max_paths: 30,
+            options: MilpOptions::default(),
+        }
+    }
+}
+
+/// Limits for the MILP run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MilpOptions {
+    /// Wall-clock budget for the branch-and-bound search.
+    pub time_limit: Duration,
+    /// Extra wavelengths offered beyond the heuristic's count: the MILP may
+    /// *increase* wavelength usage to remove splitters (the trade-off the
+    /// paper highlights for MPEG/8PM-44).
+    pub pool_slack: usize,
+    /// Node budget for the branch-and-bound search.
+    pub node_limit: usize,
+}
+
+impl Default for MilpOptions {
+    fn default() -> Self {
+        MilpOptions {
+            time_limit: Duration::from_secs(3),
+            pool_slack: 3,
+            node_limit: 20_000,
+        }
+    }
+}
+
+/// The assignment outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    /// Chosen wavelength per path (indexed like the problem's paths).
+    pub wavelengths: Vec<Wavelength>,
+    /// Node-splitter flags `b_sp` per node.
+    pub node_splitter: Vec<bool>,
+    /// Number of wavelengths used (`i_wl`).
+    pub wavelength_count: usize,
+    /// Eq. 8 objective value achieved.
+    pub objective: f64,
+    /// `true` when the MILP proved optimality; `false` for heuristic or
+    /// limit-terminated results.
+    pub proven_optimal: bool,
+}
+
+/// Error from [`assign`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AssignError {
+    /// The instance has no paths.
+    Empty,
+    /// The MILP solver failed in an unexpected way.
+    Solver(ModelError),
+}
+
+impl fmt::Display for AssignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AssignError::Empty => write!(f, "assignment instance has no paths"),
+            AssignError::Solver(e) => write!(f, "MILP solver failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AssignError {}
+
+/// Solves the wavelength assignment with the chosen strategy.
+///
+/// # Errors
+///
+/// Returns [`AssignError::Empty`] for an instance without paths, or
+/// [`AssignError::Solver`] if the MILP fails even though the heuristic
+/// warm start was feasible (which should not happen).
+pub fn assign(
+    problem: &AssignmentProblem,
+    strategy: &AssignmentStrategy,
+) -> Result<Assignment, AssignError> {
+    if problem.paths.is_empty() {
+        return Err(AssignError::Empty);
+    }
+    let heuristic = heuristic_assignment(problem);
+    let use_milp = match strategy {
+        AssignmentStrategy::Heuristic => None,
+        AssignmentStrategy::Milp(opts) => Some(opts),
+        AssignmentStrategy::Auto {
+            milp_max_paths,
+            options,
+        } => (problem.paths.len() <= *milp_max_paths).then_some(options),
+    };
+    match use_milp {
+        None => Ok(finish(problem, heuristic, false)),
+        Some(opts) => match milp_assignment(problem, &heuristic, opts) {
+            Ok((wavelengths, optimal)) => {
+                // Keep whichever of heuristic/MILP scores better (the MILP
+                // explores a bounded pool, so the heuristic can in corner
+                // cases win).
+                if problem.objective(&wavelengths) <= problem.objective(&heuristic) + 1e-9 {
+                    Ok(finish(problem, wavelengths, optimal))
+                } else {
+                    Ok(finish(problem, heuristic, false))
+                }
+            }
+            Err(e) => Err(AssignError::Solver(e)),
+        },
+    }
+}
+
+fn finish(problem: &AssignmentProblem, wavelengths: Vec<Wavelength>, optimal: bool) -> Assignment {
+    let wavelengths = canonicalize(&wavelengths);
+    let node_splitter = problem.node_splitters(&wavelengths);
+    let used: BTreeSet<_> = wavelengths.iter().copied().collect();
+    Assignment {
+        objective: problem.objective(&wavelengths),
+        wavelength_count: used.len(),
+        node_splitter,
+        wavelengths,
+        proven_optimal: optimal,
+    }
+}
+
+/// Relabels wavelengths in first-use order (path 0's wavelength becomes
+/// λ₀, the next new one λ₁, …) — the canonical form assumed by the MILP's
+/// symmetry-breaking constraints.
+#[must_use]
+pub fn canonicalize(wavelengths: &[Wavelength]) -> Vec<Wavelength> {
+    let mut map: Vec<(Wavelength, Wavelength)> = Vec::new();
+    let mut out = Vec::with_capacity(wavelengths.len());
+    for &w in wavelengths {
+        let relabeled = match map.iter().find(|(old, _)| *old == w) {
+            Some((_, new)) => *new,
+            None => {
+                let new = Wavelength(map.len());
+                map.push((w, new));
+                new
+            }
+        };
+        out.push(relabeled);
+    }
+    out
+}
+
+/// Greedy construction + steepest-descent local search on the exact Eq. 8
+/// objective.
+fn heuristic_assignment(problem: &AssignmentProblem) -> Vec<Wavelength> {
+    let n = problem.paths.len();
+    // Order: highest conflict degree first, then highest loss.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        problem.conflicts[b]
+            .len()
+            .cmp(&problem.conflicts[a].len())
+            .then(
+                problem.paths[b]
+                    .loss
+                    .partial_cmp(&problem.paths[a].loss)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+            .then(a.cmp(&b))
+    });
+
+    const UNASSIGNED: Wavelength = Wavelength(usize::MAX);
+    let mut assignment = vec![UNASSIGNED; n];
+    let mut max_used = 0usize;
+    for &p in &order {
+        // Candidate wavelengths: every used one plus one fresh.
+        let mut best: Option<(f64, Wavelength)> = None;
+        for w in 0..=max_used {
+            let w = Wavelength(w);
+            let clash = problem.conflicts[p]
+                .iter()
+                .any(|&q| assignment[q] == w);
+            if clash {
+                continue;
+            }
+            assignment[p] = w;
+            let score = partial_objective(problem, &assignment);
+            assignment[p] = UNASSIGNED;
+            let better = match best {
+                None => true,
+                Some((bs, _)) => score < bs - 1e-12,
+            };
+            if better {
+                best = Some((score, w));
+            }
+        }
+        let (_, w) = best.expect("a fresh wavelength never clashes");
+        assignment[p] = w;
+        max_used = max_used.max(w.index() + 1);
+    }
+
+    // Local search: steepest single-path recolor until no improvement.
+    let mut current = problem.objective(&assignment);
+    loop {
+        let mut best_move: Option<(f64, usize, Wavelength)> = None;
+        let used: BTreeSet<Wavelength> = assignment.iter().copied().collect();
+        let fresh = Wavelength(used.iter().map(|w| w.index() + 1).max().unwrap_or(0));
+        for p in 0..n {
+            let original = assignment[p];
+            for &w in used.iter().chain(std::iter::once(&fresh)) {
+                if w == original {
+                    continue;
+                }
+                if problem.conflicts[p].iter().any(|&q| assignment[q] == w) {
+                    continue;
+                }
+                assignment[p] = w;
+                let score = problem.objective(&assignment);
+                assignment[p] = original;
+                if score < current - 1e-9 {
+                    let better = match best_move {
+                        None => true,
+                        Some((bs, _, _)) => score < bs - 1e-12,
+                    };
+                    if better {
+                        best_move = Some((score, p, w));
+                    }
+                }
+            }
+        }
+        match best_move {
+            Some((score, p, w)) => {
+                assignment[p] = w;
+                current = score;
+            }
+            None => break,
+        }
+    }
+    canonicalize(&assignment)
+}
+
+/// Eq. 8 objective over the assigned prefix (unassigned paths ignored).
+fn partial_objective(problem: &AssignmentProblem, assignment: &[Wavelength]) -> f64 {
+    const UNASSIGNED: Wavelength = Wavelength(usize::MAX);
+    let assigned: Vec<usize> = (0..assignment.len())
+        .filter(|&i| assignment[i] != UNASSIGNED)
+        .collect();
+    if assigned.is_empty() {
+        return 0.0;
+    }
+    // Splitter flags over the assigned subset.
+    let mut split = vec![false; problem.node_count];
+    for &i in &assigned {
+        if !problem.paths[i].is_inter {
+            continue;
+        }
+        for &j in &assigned {
+            if i != j
+                && !problem.paths[j].is_inter
+                && problem.paths[i].src == problem.paths[j].src
+                && assignment[i] == assignment[j]
+            {
+                split[problem.paths[i].src.index()] = true;
+            }
+        }
+    }
+    let il = |i: usize| {
+        problem.paths[i].loss.0
+            + if split[problem.paths[i].src.index()] {
+                problem.splitter_loss.0
+            } else {
+                0.0
+            }
+    };
+    let used: BTreeSet<Wavelength> = assigned.iter().map(|&i| assignment[i]).collect();
+    let il_smax = assigned.iter().map(|&i| il(i)).fold(0.0, f64::max);
+    let sum_il: f64 = used
+        .iter()
+        .map(|&w| {
+            assigned
+                .iter()
+                .filter(|&&i| assignment[i] == w)
+                .map(|&i| il(i))
+                .fold(0.0, f64::max)
+        })
+        .sum();
+    used.len() as f64 + il_smax + sum_il
+}
+
+/// Builds and solves the paper's MILP. Returns the wavelength vector and
+/// whether optimality (over the offered pool) was proven.
+fn milp_assignment(
+    problem: &AssignmentProblem,
+    warm: &[Wavelength],
+    opts: &MilpOptions,
+) -> Result<(Vec<Wavelength>, bool), ModelError> {
+    let n = problem.paths.len();
+    let heuristic_wl = warm.iter().map(|w| w.index() + 1).max().unwrap_or(1);
+    let pool = (heuristic_wl + opts.pool_slack).min(n.max(1));
+    let l_sp = problem.splitter_loss.0;
+    let xi = problem
+        .paths
+        .iter()
+        .map(|p| p.loss.0)
+        .fold(0.0, f64::max)
+        + l_sp
+        + 1.0;
+
+    let mut m = Model::new();
+    // b[s][λ] — Eq. 1 variables.
+    let b: Vec<Vec<_>> = (0..n)
+        .map(|s| {
+            (0..pool)
+                .map(|l| m.add_binary(format!("b_{s}_{l}")))
+                .collect()
+        })
+        .collect();
+    // u[λ] — wavelength-used indicators for Eq. 3.
+    let u: Vec<_> = (0..pool).map(|l| m.add_binary(format!("u_{l}"))).collect();
+    // b_sp[n] — Eq. 4 splitter indicators (only for nodes that send).
+    let sender_nodes: BTreeSet<NodeId> = problem.paths.iter().map(|p| p.src).collect();
+    let mut bsp = vec![None; problem.node_count];
+    for &node in &sender_nodes {
+        bsp[node.index()] = Some(m.add_binary(format!("bsp_{}", node.index())));
+    }
+    let il_smax = m.add_continuous("il_smax");
+    let il_max: Vec<_> = (0..pool)
+        .map(|l| m.add_continuous(format!("ilmax_{l}")))
+        .collect();
+
+    // Eq. 1: each path gets exactly one wavelength.
+    for s in 0..n {
+        let sum: Vec<_> = (0..pool).map(|l| (b[s][l], 1.0)).collect();
+        m.add_constraint(sum, Sense::Eq, 1.0)?;
+    }
+    // Eq. 2: conflicting paths use distinct wavelengths. The paper sums
+    // over the whole conflict set of `s`; that aggregated form is only
+    // valid when the set is a clique, so we post the exact pairwise form.
+    for s in 0..n {
+        for &q in &problem.conflicts[s] {
+            if q < s {
+                continue; // each pair once
+            }
+            for l in 0..pool {
+                m.add_constraint([(b[s][l], 1.0), (b[q][l], 1.0)], Sense::Le, 1.0)?;
+            }
+        }
+    }
+    // Eq. 3 linearization: u[λ] ≥ b[s][λ].
+    for s in 0..n {
+        for l in 0..pool {
+            m.add_constraint([(u[l], 1.0), (b[s][l], -1.0)], Sense::Ge, 0.0)?;
+        }
+    }
+    // Eq. 4: a node whose intra sender and inter sender share a wavelength
+    // needs its splitter. The paper sums over all of the node's paths,
+    // which is equivalent when same-ring paths of a node always conflict
+    // (true for ring routers, where they share the sender's first
+    // segment); the pairwise intra×inter form below is the exact general
+    // statement and never cuts a valid assignment.
+    for &node in &sender_nodes {
+        let node_bsp = bsp[node.index()].expect("sender node has a bsp var");
+        let intra: Vec<usize> = (0..n)
+            .filter(|&s| problem.paths[s].src == node && !problem.paths[s].is_inter)
+            .collect();
+        let inter: Vec<usize> = (0..n)
+            .filter(|&s| problem.paths[s].src == node && problem.paths[s].is_inter)
+            .collect();
+        for &s in &intra {
+            for &q in &inter {
+                for l in 0..pool {
+                    m.add_constraint(
+                        [(b[s][l], 1.0), (b[q][l], 1.0), (node_bsp, -1.0)],
+                        Sense::Le,
+                        1.0,
+                    )?;
+                }
+            }
+        }
+    }
+    // Eqs. 5–6 (with il_s substituted): il_smax ≥ L_s + b_sp·L_sp.
+    for s in 0..n {
+        let node_bsp = bsp[problem.paths[s].src.index()].expect("sender node has a bsp var");
+        m.add_constraint(
+            [(il_smax, 1.0), (node_bsp, -l_sp)],
+            Sense::Ge,
+            problem.paths[s].loss.0,
+        )?;
+    }
+    // Eq. 7: il_max[λ] ≥ L_s + b_sp·L_sp − (1 − b[s][λ])·Ξ.
+    for s in 0..n {
+        let node_bsp = bsp[problem.paths[s].src.index()].expect("sender node has a bsp var");
+        for l in 0..pool {
+            m.add_constraint(
+                [(il_max[l], 1.0), (node_bsp, -l_sp), (b[s][l], -xi)],
+                Sense::Ge,
+                problem.paths[s].loss.0 - xi,
+            )?;
+        }
+    }
+    // Symmetry breaking: wavelengths are used in index order, and path 0
+    // takes λ₀ (the warm start is canonicalized to match).
+    for l in 1..pool {
+        m.add_constraint([(u[l - 1], 1.0), (u[l], -1.0)], Sense::Ge, 0.0)?;
+    }
+    m.add_constraint([(b[0][0], 1.0)], Sense::Eq, 1.0)?;
+
+    // Eq. 8 with α = β = γ = 1.
+    let mut objective: Vec<(milp_solver::Var, f64)> = u.iter().map(|&v| (v, 1.0)).collect();
+    objective.push((il_smax, 1.0));
+    objective.extend(il_max.iter().map(|&v| (v, 1.0)));
+    m.set_objective(objective);
+
+    // Warm start from the (canonicalized) heuristic.
+    let warm = canonicalize(warm);
+    let mut start = vec![0.0; m.var_count()];
+    let split = problem.node_splitters(&warm);
+    for s in 0..n {
+        start[b[s][warm[s].index()].index()] = 1.0;
+    }
+    for l in 0..pool {
+        if warm.iter().any(|w| w.index() == l) {
+            start[u[l].index()] = 1.0;
+        }
+    }
+    let il = |s: usize| {
+        problem.paths[s].loss.0
+            + if split[problem.paths[s].src.index()] {
+                l_sp
+            } else {
+                0.0
+            }
+    };
+    for &node in &sender_nodes {
+        if split[node.index()] {
+            start[bsp[node.index()].expect("sender").index()] = 1.0;
+        }
+    }
+    start[il_smax.index()] = (0..n).map(il).fold(0.0, f64::max);
+    for l in 0..pool {
+        let worst = (0..n)
+            .filter(|&s| warm[s].index() == l)
+            .map(il)
+            .fold(0.0, f64::max);
+        start[il_max[l].index()] = worst;
+    }
+
+    #[cfg(debug_assertions)]
+    if !m.is_feasible(&start, 1e-6) {
+        for (ci, info) in m.debug_violations(&start, 1e-6) {
+            eprintln!("violated constraint {ci}: {info}");
+        }
+        panic!("heuristic warm start must satisfy the MILP");
+    }
+    let options = MilpSolveOptions::default()
+        .with_time_limit(opts.time_limit)
+        .with_node_limit(opts.node_limit)
+        .with_warm_start(start);
+    let sol = m.solve(&options)?;
+
+    let mut wavelengths = Vec::with_capacity(n);
+    for s in 0..n {
+        let l = (0..pool)
+            .find(|&l| sol.value(b[s][l]) > 0.5)
+            .expect("Eq. 1 guarantees one wavelength");
+        wavelengths.push(Wavelength(l));
+    }
+    Ok((wavelengths, sol.status() == Status::Optimal))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(src: usize, inter: bool, loss: f64, channels: &[(usize, usize)]) -> AssignPath {
+        AssignPath {
+            src: NodeId(src),
+            is_inter: inter,
+            loss: Decibels(loss),
+            channels: channels.to_vec(),
+        }
+    }
+
+    fn splitter() -> Decibels {
+        Decibels(3.1)
+    }
+
+    #[test]
+    fn empty_instance_rejected() {
+        let p = AssignmentProblem::new(2, vec![], splitter());
+        assert_eq!(
+            assign(&p, &AssignmentStrategy::Heuristic),
+            Err(AssignError::Empty)
+        );
+    }
+
+    #[test]
+    fn conflicts_derived_from_shared_channels() {
+        let p = AssignmentProblem::new(
+            3,
+            vec![
+                path(0, false, 4.0, &[(0, 0), (0, 1)]),
+                path(1, false, 4.0, &[(0, 1), (0, 2)]),
+                path(2, false, 4.0, &[(1, 0)]),
+            ],
+            splitter(),
+        );
+        assert_eq!(p.conflicts_of(0), &[1]);
+        assert_eq!(p.conflicts_of(1), &[0]);
+        assert!(p.conflicts_of(2).is_empty());
+    }
+
+    #[test]
+    fn heuristic_is_collision_free() {
+        // A 5-path chain of conflicts.
+        let paths: Vec<_> = (0..5)
+            .map(|i| path(i, false, 4.0 + i as f64 * 0.1, &[(0, i), (0, i + 1)]))
+            .collect();
+        let p = AssignmentProblem::new(5, paths, splitter());
+        let a = assign(&p, &AssignmentStrategy::Heuristic).unwrap();
+        assert!(p.is_collision_free(&a.wavelengths));
+        // A chain is 2-colorable.
+        assert_eq!(a.wavelength_count, 2);
+        assert!(!a.proven_optimal);
+    }
+
+    #[test]
+    fn milp_matches_or_beats_heuristic() {
+        let paths = vec![
+            path(0, false, 4.0, &[(0, 0), (0, 1)]),
+            path(0, true, 4.2, &[(2, 0)]),
+            path(1, false, 4.1, &[(0, 1), (0, 2)]),
+            path(1, true, 4.3, &[(2, 1)]),
+            path(2, false, 3.9, &[(0, 2), (0, 0)]),
+        ];
+        let p = AssignmentProblem::new(3, paths, splitter());
+        let h = assign(&p, &AssignmentStrategy::Heuristic).unwrap();
+        let m = assign(&p, &AssignmentStrategy::Milp(MilpOptions::default())).unwrap();
+        assert!(p.is_collision_free(&m.wavelengths));
+        assert!(m.objective <= h.objective + 1e-9);
+    }
+
+    #[test]
+    fn splitter_detection() {
+        // Node 0 sends one intra and one inter path; same wavelength →
+        // splitter, different → none.
+        let paths = vec![
+            path(0, false, 4.0, &[(0, 0)]),
+            path(0, true, 4.0, &[(1, 0)]),
+        ];
+        let p = AssignmentProblem::new(1, paths, splitter());
+        let shared = vec![Wavelength(0), Wavelength(0)];
+        assert_eq!(p.node_splitters(&shared), vec![true]);
+        let distinct = vec![Wavelength(0), Wavelength(1)];
+        assert_eq!(p.node_splitters(&distinct), vec![false]);
+        // Objective prefers paying a wavelength over a 3.1 dB splitter.
+        assert!(p.objective(&distinct) < p.objective(&shared));
+    }
+
+    #[test]
+    fn milp_avoids_splitter_by_spending_a_wavelength() {
+        // Intra and inter paths of the same node do not conflict (different
+        // rings) — sharing λ would save a wavelength but cost a splitter.
+        let paths = vec![
+            path(0, false, 4.0, &[(0, 0)]),
+            path(0, true, 4.0, &[(1, 0)]),
+        ];
+        let p = AssignmentProblem::new(1, paths, splitter());
+        let a = assign(&p, &AssignmentStrategy::Milp(MilpOptions::default())).unwrap();
+        assert_eq!(a.node_splitter, vec![false]);
+        assert_eq!(a.wavelength_count, 2);
+        assert!(a.proven_optimal);
+    }
+
+    #[test]
+    fn canonicalize_relabels_in_first_use_order() {
+        let w = vec![Wavelength(5), Wavelength(2), Wavelength(5), Wavelength(9)];
+        assert_eq!(
+            canonicalize(&w),
+            vec![Wavelength(0), Wavelength(1), Wavelength(0), Wavelength(2)]
+        );
+    }
+
+    #[test]
+    fn auto_strategy_picks_by_size() {
+        let paths = vec![
+            path(0, false, 4.0, &[(0, 0)]),
+            path(0, true, 4.0, &[(1, 0)]),
+        ];
+        let p = AssignmentProblem::new(1, paths, splitter());
+        let auto_small = AssignmentStrategy::Auto {
+            milp_max_paths: 10,
+            options: MilpOptions::default(),
+        };
+        let a = assign(&p, &auto_small).unwrap();
+        assert!(a.proven_optimal, "small instance goes to the MILP");
+        let auto_tiny = AssignmentStrategy::Auto {
+            milp_max_paths: 1,
+            options: MilpOptions::default(),
+        };
+        let a = assign(&p, &auto_tiny).unwrap();
+        assert!(!a.proven_optimal, "instance above the cutoff stays heuristic");
+    }
+
+    #[test]
+    fn clique_needs_clique_many_wavelengths() {
+        // Three mutually conflicting paths.
+        let paths = vec![
+            path(0, false, 4.0, &[(0, 0)]),
+            path(1, false, 4.0, &[(0, 0), (0, 1)]),
+            path(2, false, 4.0, &[(0, 1), (0, 0)]),
+        ];
+        let p = AssignmentProblem::new(3, paths, splitter());
+        let a = assign(&p, &AssignmentStrategy::Milp(MilpOptions::default())).unwrap();
+        assert_eq!(a.wavelength_count, 3);
+        assert!(p.is_collision_free(&a.wavelengths));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Random assignment instances: up to 12 paths over 3 rings of 6
+        /// segments, random sources and ring roles.
+        fn arb_problem() -> impl Strategy<Value = AssignmentProblem> {
+            proptest::collection::vec(
+                (
+                    0usize..5,                               // src node
+                    any::<bool>(),                           // is_inter
+                    0.0f64..5.0,                             // extra loss
+                    0usize..3,                               // ring
+                    0usize..6,                               // first segment
+                    1usize..3,                               // span
+                ),
+                1..12,
+            )
+            .prop_map(|raw| {
+                let paths = raw
+                    .into_iter()
+                    .map(|(src, is_inter, loss, ring, seg, span)| AssignPath {
+                        src: NodeId(src),
+                        is_inter,
+                        loss: Decibels(3.4 + loss),
+                        channels: (0..span).map(|k| (ring, (seg + k) % 6)).collect(),
+                    })
+                    .collect();
+                AssignmentProblem::new(5, paths, Decibels(3.1))
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            #[test]
+            fn prop_heuristic_is_always_collision_free(problem in arb_problem()) {
+                let a = assign(&problem, &AssignmentStrategy::Heuristic).unwrap();
+                prop_assert!(problem.is_collision_free(&a.wavelengths));
+                prop_assert_eq!(a.wavelengths.len(), problem.paths().len());
+                // The reported objective matches a recomputation.
+                prop_assert!((a.objective - problem.objective(&a.wavelengths)).abs() < 1e-9);
+                // The splitter flags match the wavelength vector.
+                prop_assert_eq!(
+                    a.node_splitter.clone(),
+                    problem.node_splitters(&a.wavelengths)
+                );
+            }
+
+            #[test]
+            fn prop_milp_never_loses_to_heuristic(problem in arb_problem()) {
+                // Keep the MILP cases small and cheap: one second is ample
+                // for instances of this size, and proptest runs dozens.
+                prop_assume!(problem.paths().len() <= 8);
+                let h = assign(&problem, &AssignmentStrategy::Heuristic).unwrap();
+                let opts = MilpOptions {
+                    time_limit: std::time::Duration::from_secs(1),
+                    ..MilpOptions::default()
+                };
+                let m = assign(&problem, &AssignmentStrategy::Milp(opts)).unwrap();
+                prop_assert!(problem.is_collision_free(&m.wavelengths));
+                prop_assert!(m.objective <= h.objective + 1e-9);
+            }
+
+            #[test]
+            fn prop_canonicalize_is_idempotent(raw in proptest::collection::vec(0usize..9, 1..20)) {
+                let w: Vec<Wavelength> = raw.into_iter().map(Wavelength).collect();
+                let once = canonicalize(&w);
+                let twice = canonicalize(&once);
+                prop_assert_eq!(once.clone(), twice);
+                // Canonicalization preserves the partition into equal groups.
+                for i in 0..w.len() {
+                    for j in 0..w.len() {
+                        prop_assert_eq!(w[i] == w[j], once[i] == once[j]);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn objective_components_add_up() {
+        let paths = vec![path(0, false, 4.0, &[(0, 0)]), path(1, false, 5.0, &[(1, 0)])];
+        let p = AssignmentProblem::new(2, paths, splitter());
+        // Same wavelength (no conflict): 1 wl + il_smax 5 + Σ il_λ 5 = 11.
+        assert!((p.objective(&[Wavelength(0), Wavelength(0)]) - 11.0).abs() < 1e-9);
+        // Distinct: 2 + 5 + (4 + 5) = 16.
+        assert!((p.objective(&[Wavelength(0), Wavelength(1)]) - 16.0).abs() < 1e-9);
+    }
+}

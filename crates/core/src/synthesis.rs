@@ -1,0 +1,453 @@
+//! The end-to-end SRing synthesis pipeline: clustering → physical
+//! implementation → wavelength assignment → router design.
+
+use crate::assignment::{
+    assign, AssignError, Assignment, AssignmentProblem, AssignmentStrategy, AssignPath,
+};
+use crate::cluster::{cluster, Cluster, ClusterError, Clustering, ClusteringConfig};
+use onoc_graph::{CommGraph, NodeId};
+use onoc_layout::{Layout, WaveguideId};
+use onoc_photonics::{
+    insertion_loss, DesignError, PathGeometry, PdnDesign, PdnStyle, RouterDesign, SignalPath,
+};
+use onoc_units::TechnologyParameters;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Configuration of the SRing synthesizer.
+#[derive(Debug, Clone)]
+pub struct SringConfig {
+    /// Clustering (sub-ring construction) parameters.
+    pub clustering: ClusteringConfig,
+    /// Wavelength-assignment strategy (heuristic / MILP / auto).
+    pub strategy: AssignmentStrategy,
+    /// Technology parameters for the loss model.
+    pub tech: TechnologyParameters,
+    /// Congestion-aware route choice: a same-cluster message whose
+    /// endpoints both lie on the inter-cluster sub-ring may ride the inter
+    /// ring instead of its cluster ring when that lowers the peak channel
+    /// load. Every node still has at most two senders (its intra and inter
+    /// ones), so SRing's resource bound is preserved; disable for a
+    /// strictly paper-literal route assignment.
+    pub flexible_routing: bool,
+}
+
+impl Default for SringConfig {
+    fn default() -> Self {
+        SringConfig {
+            clustering: ClusteringConfig::default(),
+            strategy: AssignmentStrategy::default(),
+            tech: TechnologyParameters::default(),
+            flexible_routing: true,
+        }
+    }
+}
+
+/// The SRing synthesizer: produces an application-specific multi-sub-ring
+/// WR-ONoC router from a communication graph.
+///
+/// # Examples
+///
+/// ```
+/// use sring_core::SringSynthesizer;
+/// use onoc_graph::benchmarks;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let design = SringSynthesizer::new().synthesize(&benchmarks::mwd())?;
+/// assert!(design.sub_ring_count() >= 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SringSynthesizer {
+    config: SringConfig,
+}
+
+/// Everything the evaluation harness wants to know about one synthesis run.
+#[derive(Debug, Clone)]
+pub struct SringReport {
+    /// The synthesized router.
+    pub design: RouterDesign,
+    /// The clustering solution (sub-rings, `L_max`).
+    pub clustering: Clustering,
+    /// The wavelength assignment outcome.
+    pub assignment: Assignment,
+    /// Wall-clock time of the whole pipeline (the paper's Table II).
+    pub runtime: Duration,
+}
+
+/// Error from SRing synthesis.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SringError {
+    /// Clustering failed.
+    Cluster(ClusterError),
+    /// Wavelength assignment failed.
+    Assign(AssignError),
+    /// The assembled design failed validation (an internal invariant).
+    Design(DesignError),
+}
+
+impl fmt::Display for SringError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SringError::Cluster(e) => write!(f, "clustering failed: {e}"),
+            SringError::Assign(e) => write!(f, "wavelength assignment failed: {e}"),
+            SringError::Design(e) => write!(f, "design validation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SringError {}
+
+impl From<ClusterError> for SringError {
+    fn from(e: ClusterError) -> Self {
+        SringError::Cluster(e)
+    }
+}
+impl From<AssignError> for SringError {
+    fn from(e: AssignError) -> Self {
+        SringError::Assign(e)
+    }
+}
+impl From<DesignError> for SringError {
+    fn from(e: DesignError) -> Self {
+        SringError::Design(e)
+    }
+}
+
+impl SringSynthesizer {
+    /// A synthesizer with default configuration (auto assignment strategy,
+    /// paper-calibrated technology parameters).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A synthesizer with explicit configuration.
+    #[must_use]
+    pub fn with_config(config: SringConfig) -> Self {
+        SringSynthesizer { config }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &SringConfig {
+        &self.config
+    }
+
+    /// Synthesizes a router design for `app`.
+    ///
+    /// # Errors
+    ///
+    /// See [`SringError`]; an application without messages is the only
+    /// realistic failure.
+    pub fn synthesize(&self, app: &CommGraph) -> Result<RouterDesign, SringError> {
+        Ok(self.synthesize_detailed(app)?.design)
+    }
+
+    /// Synthesizes a router design and reports every intermediate result.
+    ///
+    /// # Errors
+    ///
+    /// See [`SringError`].
+    pub fn synthesize_detailed(&self, app: &CommGraph) -> Result<SringReport, SringError> {
+        let start = Instant::now();
+        let clustering = cluster(app, &self.config.clustering)?;
+
+        // --- Physical implementation (Sec. III-A-3). ---
+        let positions: Vec<_> = app.node_ids().map(|v| app.position(v)).collect();
+        let mut layout = Layout::new(positions);
+        let mut intra_wg: Vec<Option<WaveguideId>> = Vec::with_capacity(clustering.clusters.len());
+        for Cluster { ring, .. } in &clustering.clusters {
+            intra_wg.push(ring.as_ref().map(|r| layout.route_cycle(r)));
+        }
+        let inter_wg = clustering.inter_ring.as_ref().map(|r| layout.route_cycle(r));
+
+        // --- Signal-path construction. ---
+        // Candidate routes per message: the cluster ring for same-cluster
+        // messages, the inter ring for cross-cluster ones, and (with
+        // flexible routing) the inter ring as an alternative whenever both
+        // endpoints happen to lie on it.
+        struct Candidate {
+            wg: WaveguideId,
+            occupancy: Vec<(WaveguideId, usize)>,
+            geometry: PathGeometry,
+            is_inter: bool,
+        }
+        let build_candidate = |wg: WaveguideId,
+                               cycle: &onoc_layout::Cycle,
+                               src: NodeId,
+                               dst: NodeId,
+                               is_inter: bool|
+         -> Candidate {
+            let range = cycle
+                .path_segments(src, dst)
+                .expect("message endpoints lie on the chosen ring");
+            let routed = layout.waveguide(wg);
+            let mut geometry = PathGeometry::new();
+            let mut occupancy = Vec::with_capacity(range.len());
+            for seg in range.iter() {
+                let g = routed.segment(seg);
+                geometry.length += g.length;
+                geometry.bends += g.bends;
+                occupancy.push((wg, seg));
+            }
+            geometry.crossings = layout.path_crossings(wg, &range);
+            Candidate {
+                wg,
+                occupancy,
+                geometry,
+                is_inter,
+            }
+        };
+
+        let mut candidates: Vec<Vec<Candidate>> = Vec::with_capacity(app.message_count());
+        for id in app.message_ids() {
+            let msg = app.message(id);
+            let mut options = Vec::with_capacity(2);
+            if clustering.same_cluster(msg.src, msg.dst) {
+                let c = clustering.cluster_of[msg.src.index()];
+                let ring = clustering.clusters[c]
+                    .ring
+                    .as_ref()
+                    .expect("a same-cluster message implies a multi-node cluster");
+                options.push(build_candidate(
+                    intra_wg[c].expect("multi-node clusters are routed"),
+                    ring,
+                    msg.src,
+                    msg.dst,
+                    false,
+                ));
+                if self.config.flexible_routing {
+                    if let (Some(wg), Some(ring)) = (inter_wg, clustering.inter_ring.as_ref()) {
+                        if ring.contains(msg.src) && ring.contains(msg.dst) {
+                            options.push(build_candidate(wg, ring, msg.src, msg.dst, true));
+                        }
+                    }
+                }
+            } else {
+                options.push(build_candidate(
+                    inter_wg.expect("cross-cluster messages imply an inter ring"),
+                    clustering
+                        .inter_ring
+                        .as_ref()
+                        .expect("cross-cluster messages imply an inter ring"),
+                    msg.src,
+                    msg.dst,
+                    true,
+                ));
+            }
+            candidates.push(options);
+        }
+
+        // Greedy route selection: forced routes first, then flexible ones
+        // (longest first) choosing the option with the lower resulting peak
+        // channel load, ties to the shorter route.
+        let mut load: std::collections::HashMap<(usize, usize), usize> =
+            std::collections::HashMap::new();
+        let mut chosen: Vec<Option<usize>> = vec![None; candidates.len()];
+        let commit = |cand: &Candidate, load: &mut std::collections::HashMap<(usize, usize), usize>| {
+            for &(wg, seg) in &cand.occupancy {
+                *load.entry((wg.index(), seg)).or_insert(0) += 1;
+            }
+        };
+        for (i, options) in candidates.iter().enumerate() {
+            if options.len() == 1 {
+                commit(&options[0], &mut load);
+                chosen[i] = Some(0);
+            }
+        }
+        let mut flexible: Vec<usize> = (0..candidates.len())
+            .filter(|&i| chosen[i].is_none())
+            .collect();
+        flexible.sort_by(|&a, &b| {
+            candidates[b][0]
+                .geometry
+                .length
+                .partial_cmp(&candidates[a][0].geometry.length)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        for i in flexible {
+            let best = candidates[i]
+                .iter()
+                .enumerate()
+                .min_by(|(_, x), (_, y)| {
+                    let peak = |c: &Candidate| {
+                        c.occupancy
+                            .iter()
+                            .map(|&(wg, seg)| load.get(&(wg.index(), seg)).copied().unwrap_or(0) + 1)
+                            .max()
+                            .unwrap_or(1)
+                    };
+                    (peak(x), x.geometry.length.0)
+                        .partial_cmp(&(peak(y), y.geometry.length.0))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .map(|(k, _)| k)
+                .expect("every message has at least one candidate");
+            commit(&candidates[i][best], &mut load);
+            chosen[i] = Some(best);
+        }
+
+        let mut signal_paths = Vec::with_capacity(app.message_count());
+        let mut assign_paths = Vec::with_capacity(app.message_count());
+        for (i, id) in app.message_ids().enumerate() {
+            let msg = app.message(id);
+            let cand = &candidates[i][chosen[i].expect("all messages routed")];
+            let loss = insertion_loss(&cand.geometry, &self.config.tech);
+            assign_paths.push(AssignPath {
+                src: msg.src,
+                is_inter: cand.is_inter,
+                loss,
+                channels: cand
+                    .occupancy
+                    .iter()
+                    .map(|&(w, s)| (w.index(), s))
+                    .collect(),
+            });
+            signal_paths.push(SignalPath {
+                message: id,
+                src: msg.src,
+                dst: msg.dst,
+                waveguide: cand.wg,
+                occupancy: cand.occupancy.clone(),
+                geometry: cand.geometry,
+                wavelength: onoc_units::Wavelength(0), // set after assignment
+            });
+        }
+
+        // --- Wavelength assignment (Sec. III-B). ---
+        let problem = AssignmentProblem::new(
+            app.node_count(),
+            assign_paths,
+            self.config.tech.splitter_loss(),
+        );
+        let assignment = assign(&problem, &self.config.strategy)?;
+        for (p, &w) in signal_paths.iter_mut().zip(&assignment.wavelengths) {
+            p.wavelength = w;
+        }
+
+        // --- PDN (construction of ref. [22]). ---
+        let sender_nodes: BTreeSet<NodeId> = signal_paths.iter().map(|p| p.src).collect();
+        let pdn = PdnDesign::new(
+            PdnStyle::SharedTree,
+            assignment.node_splitter.clone(),
+            sender_nodes.len(),
+        );
+
+        let design = RouterDesign::new("SRing", app.name(), layout, signal_paths, pdn)?;
+        design.validate_against(app)?;
+        Ok(SringReport {
+            design,
+            clustering,
+            assignment,
+            runtime: start.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment::MilpOptions;
+    use onoc_graph::benchmarks;
+
+    fn heuristic_synth() -> SringSynthesizer {
+        SringSynthesizer::with_config(SringConfig {
+            strategy: AssignmentStrategy::Heuristic,
+            ..SringConfig::default()
+        })
+    }
+
+    /// One heuristic synthesis per benchmark, shared across tests.
+    fn reports() -> &'static Vec<(benchmarks::Benchmark, SringReport)> {
+        static CACHE: std::sync::OnceLock<Vec<(benchmarks::Benchmark, SringReport)>> =
+            std::sync::OnceLock::new();
+        CACHE.get_or_init(|| {
+            benchmarks::Benchmark::ALL
+                .into_iter()
+                .map(|b| {
+                    (
+                        b,
+                        heuristic_synth()
+                            .synthesize_detailed(&b.graph())
+                            .expect("synthesizes"),
+                    )
+                })
+                .collect()
+        })
+    }
+
+    #[test]
+    fn synthesizes_every_benchmark() {
+        for (b, report) in reports() {
+            let app = b.graph();
+            report.design.validate_against(&app).unwrap();
+            assert_eq!(report.design.paths().len(), app.message_count(), "{b}");
+            assert!(report.design.sub_ring_count() >= 1, "{b}");
+        }
+    }
+
+    #[test]
+    fn mwd_with_milp_avoids_node_splitters() {
+        let app = benchmarks::mwd();
+        let synth = SringSynthesizer::with_config(SringConfig {
+            strategy: AssignmentStrategy::Milp(MilpOptions::default()),
+            ..SringConfig::default()
+        });
+        let report = synth.synthesize_detailed(&app).unwrap();
+        // Paper Table I: SRing reaches #sp_w = 4 on MWD, i.e. the tree
+        // levels only — no node-level splitters on the worst path.
+        let analysis = report.design.analyze(&TechnologyParameters::default());
+        assert!(analysis.max_splitters_passed <= 4);
+    }
+
+    #[test]
+    fn at_most_two_senders_per_node() {
+        for (b, report) in reports() {
+            let app = b.graph();
+            let senders = report.design.senders();
+            for v in app.node_ids() {
+                let count = senders.iter().filter(|(n, _)| *n == v).count();
+                assert!(count <= 2, "{b}: node {v} has {count} senders");
+            }
+        }
+    }
+
+    #[test]
+    fn detailed_report_is_consistent() {
+        let app = benchmarks::vopd();
+        let report = heuristic_synth().synthesize_detailed(&app).unwrap();
+        assert_eq!(
+            report.design.wavelength_count(),
+            report.assignment.wavelength_count
+        );
+        assert_eq!(
+            report.design.sub_ring_count(),
+            report.clustering.sub_ring_count()
+        );
+        assert!(report.runtime.as_nanos() > 0);
+    }
+
+    #[test]
+    fn longest_design_path_matches_clustering() {
+        let app = benchmarks::mwd();
+        let report = heuristic_synth().synthesize_detailed(&app).unwrap();
+        let analysis = report.design.analyze(&TechnologyParameters::default());
+        assert!((analysis.longest_path.0 - report.clustering.longest_path.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_app_fails_cleanly() {
+        let app = CommGraph::builder()
+            .node("a", onoc_graph::Point::new(0.0, 0.0))
+            .build()
+            .unwrap();
+        let err = heuristic_synth().synthesize(&app).unwrap_err();
+        assert_eq!(err, SringError::Cluster(ClusterError::NoMessages));
+        assert!(err.to_string().contains("clustering failed"));
+    }
+}

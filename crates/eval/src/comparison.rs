@@ -1,0 +1,237 @@
+//! Method-versus-method comparison and the paper's Table I / Fig. 7
+//! formatting.
+
+use crate::methods::{EvalError, Method};
+use onoc_graph::CommGraph;
+use onoc_photonics::RouterAnalysis;
+use onoc_units::TechnologyParameters;
+use std::fmt::Write as _;
+
+/// All methods' analyses for one benchmark.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Benchmark name.
+    pub app_name: String,
+    /// `#N` of the benchmark.
+    pub node_count: usize,
+    /// `#M` of the benchmark.
+    pub message_count: usize,
+    /// One analysis per method, in the order requested.
+    pub rows: Vec<RouterAnalysis>,
+}
+
+impl Comparison {
+    /// The analysis of the given method, if present.
+    #[must_use]
+    pub fn row(&self, method: &str) -> Option<&RouterAnalysis> {
+        self.rows.iter().find(|r| r.method == method)
+    }
+}
+
+/// Runs every method on `app` and collects the analyses.
+///
+/// # Errors
+///
+/// Returns the first synthesis failure.
+pub fn compare(
+    app: &CommGraph,
+    tech: &TechnologyParameters,
+    methods: &[Method],
+) -> Result<Comparison, EvalError> {
+    let mut rows = Vec::with_capacity(methods.len());
+    for m in methods {
+        let design = m.synthesize(app, tech)?;
+        rows.push(design.analyze(tech));
+    }
+    Ok(Comparison {
+        app_name: app.name().to_string(),
+        node_count: app.node_count(),
+        message_count: app.message_count(),
+        rows,
+    })
+}
+
+/// Formats the paper's Table I: per benchmark and method the columns
+/// `L` (mm), `il_w` (dB), `#sp_w` and `il_w^all` (dB).
+#[must_use]
+pub fn format_table1(comparisons: &[Comparison]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "TABLE I — comparison of ORNoC, CTORing, XRing and SRing"
+    );
+    for cmp in comparisons {
+        let _ = writeln!(
+            out,
+            "\n{} (#N = {}, #M = {})",
+            cmp.app_name, cmp.node_count, cmp.message_count
+        );
+        let _ = writeln!(
+            out,
+            "{:<10} {:>8} {:>8} {:>6} {:>9}",
+            "method", "L[mm]", "il_w[dB]", "#sp_w", "il_w^all"
+        );
+        for r in &cmp.rows {
+            let _ = writeln!(
+                out,
+                "{:<10} {:>8.2} {:>8.2} {:>6} {:>9.2}",
+                r.method,
+                r.longest_path.0,
+                r.worst_insertion_loss.0,
+                r.max_splitters_passed,
+                r.worst_loss_with_pdn.0
+            );
+        }
+    }
+    out
+}
+
+/// Formats the paper's Fig. 7 data: total laser power (mW) and wavelength
+/// usage per method and benchmark.
+#[must_use]
+pub fn format_fig7(comparisons: &[Comparison]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "FIG. 7 — total laser power and wavelength usage");
+    let _ = writeln!(
+        out,
+        "{:<10} {:<10} {:>12} {:>6}",
+        "benchmark", "method", "power[mW]", "#wl"
+    );
+    for cmp in comparisons {
+        for r in &cmp.rows {
+            let _ = writeln!(
+                out,
+                "{:<10} {:<10} {:>12.3} {:>6}",
+                cmp.app_name, r.method, r.total_laser_power.0, r.wavelength_count
+            );
+        }
+    }
+    out
+}
+
+/// Renders the comparisons as CSV — one row per `(benchmark, method)` with
+/// every Table I and Fig. 7 column — ready for external plotting.
+///
+/// # Examples
+///
+/// ```
+/// use onoc_eval::comparison::{compare, to_csv};
+/// use onoc_eval::methods::Method;
+/// use onoc_graph::benchmarks;
+/// use onoc_units::TechnologyParameters;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cmp = compare(
+///     &benchmarks::mwd(),
+///     &TechnologyParameters::default(),
+///     &Method::standard(),
+/// )?;
+/// let csv = to_csv(std::slice::from_ref(&cmp));
+/// assert!(csv.starts_with("benchmark,method,"));
+/// assert_eq!(csv.lines().count(), 1 + 4);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn to_csv(comparisons: &[Comparison]) -> String {
+    let mut out = String::from(
+        "benchmark,method,nodes,messages,longest_path_mm,il_w_db,sp_w,il_w_all_db,wavelengths,laser_power_mw,sub_rings,crossings
+",
+    );
+    for cmp in comparisons {
+        for r in &cmp.rows {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{:.4},{:.4},{},{:.4},{},{:.6},{},{}",
+                cmp.app_name,
+                r.method,
+                cmp.node_count,
+                cmp.message_count,
+                r.longest_path.0,
+                r.worst_insertion_loss.0,
+                r.max_splitters_passed,
+                r.worst_loss_with_pdn.0,
+                r.wavelength_count,
+                r.total_laser_power.0,
+                r.sub_ring_count,
+                r.total_crossings
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onoc_graph::benchmarks;
+
+    fn mwd_comparison() -> Comparison {
+        compare(
+            &benchmarks::mwd(),
+            &TechnologyParameters::default(),
+            &Method::standard(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn comparison_holds_all_methods() {
+        let cmp = mwd_comparison();
+        assert_eq!(cmp.rows.len(), 4);
+        assert!(cmp.row("SRing").is_some());
+        assert!(cmp.row("nope").is_none());
+        assert_eq!(cmp.node_count, 12);
+        assert_eq!(cmp.message_count, 13);
+    }
+
+    #[test]
+    fn sring_wins_on_power_for_mwd() {
+        // The paper's headline: SRing has the minimum laser power in every
+        // case (Fig. 7).
+        let cmp = mwd_comparison();
+        let sring = cmp.row("SRing").unwrap().total_laser_power.0;
+        for r in &cmp.rows {
+            assert!(
+                sring <= r.total_laser_power.0 + 1e-12,
+                "SRing {} vs {} {}",
+                sring,
+                r.method,
+                r.total_laser_power.0
+            );
+        }
+    }
+
+    #[test]
+    fn sring_has_fewest_worst_case_splitters_for_mwd() {
+        let cmp = mwd_comparison();
+        let sring = cmp.row("SRing").unwrap().max_splitters_passed;
+        for r in &cmp.rows {
+            assert!(sring <= r.max_splitters_passed, "{}", r.method);
+        }
+    }
+
+    #[test]
+    fn csv_has_one_row_per_method() {
+        let cmp = mwd_comparison();
+        let csv = to_csv(std::slice::from_ref(&cmp));
+        assert_eq!(csv.lines().count(), 5);
+        let header_cols = csv.lines().next().unwrap().split(',').count();
+        for line in csv.lines().skip(1) {
+            assert_eq!(line.split(',').count(), header_cols);
+            assert!(line.starts_with("MWD,"));
+        }
+    }
+
+    #[test]
+    fn tables_render() {
+        let cmp = mwd_comparison();
+        let t1 = format_table1(std::slice::from_ref(&cmp));
+        assert!(t1.contains("MWD"));
+        assert!(t1.contains("SRing"));
+        assert!(t1.contains("il_w^all"));
+        let f7 = format_fig7(std::slice::from_ref(&cmp));
+        assert!(f7.contains("power[mW]"));
+        assert_eq!(f7.lines().count(), 2 + 4);
+    }
+}

@@ -1,0 +1,188 @@
+//! Fixed-bin histograms with ASCII rendering, used for the paper's Fig. 8.
+
+use std::fmt;
+
+/// A histogram over `[min, max)` with equally wide bins.
+///
+/// # Examples
+///
+/// ```
+/// use onoc_eval::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5);
+/// h.add(1.0);
+/// h.add(1.5);
+/// h.add(9.9);
+/// assert_eq!(h.counts(), &[2, 0, 0, 0, 1]);
+/// assert_eq!(h.total(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    min: f64,
+    max: f64,
+    counts: Vec<usize>,
+    outliers: usize,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min >= max` or `bins == 0`.
+    #[must_use]
+    pub fn new(min: f64, max: f64, bins: usize) -> Self {
+        assert!(min < max, "histogram range must be non-empty");
+        assert!(bins > 0, "histogram needs at least one bin");
+        Histogram {
+            min,
+            max,
+            counts: vec![0; bins],
+            outliers: 0,
+        }
+    }
+
+    /// Adds a sample; values outside `[min, max)` are counted as outliers.
+    pub fn add(&mut self, value: f64) {
+        if !value.is_finite() || value < self.min || value >= self.max {
+            self.outliers += 1;
+            return;
+        }
+        let width = (self.max - self.min) / self.counts.len() as f64;
+        let bin = (((value - self.min) / width) as usize).min(self.counts.len() - 1);
+        self.counts[bin] += 1;
+    }
+
+    /// The per-bin counts.
+    #[must_use]
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Samples that fell outside the range.
+    #[must_use]
+    pub fn outliers(&self) -> usize {
+        self.outliers
+    }
+
+    /// Total in-range samples.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// The half-open value range `[lo, hi)` of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn bin_range(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.counts.len(), "bin index out of range");
+        let width = (self.max - self.min) / self.counts.len() as f64;
+        (self.min + i as f64 * width, self.min + (i + 1) as f64 * width)
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let peak = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        for (i, &c) in self.counts.iter().enumerate() {
+            let (lo, hi) = self.bin_range(i);
+            let bar = "#".repeat(c * 50 / peak);
+            writeln!(f, "[{lo:>9.3}, {hi:>9.3})  {c:>7}  {bar}")?;
+        }
+        if self.outliers > 0 {
+            writeln!(f, "outliers: {}", self.outliers)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binning_is_half_open() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        h.add(0.0);
+        h.add(0.999);
+        h.add(1.0);
+        h.add(3.999);
+        h.add(4.0); // outlier: max excluded
+        assert_eq!(h.counts(), &[2, 1, 0, 1]);
+        assert_eq!(h.outliers(), 1);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn nan_counts_as_outlier() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(f64::NAN);
+        assert_eq!(h.outliers(), 1);
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn bin_ranges_tile_the_domain() {
+        let h = Histogram::new(2.0, 12.0, 5);
+        let (lo0, hi0) = h.bin_range(0);
+        let (lo4, hi4) = h.bin_range(4);
+        assert_eq!(lo0, 2.0);
+        assert_eq!(hi0, 4.0);
+        assert_eq!(lo4, 10.0);
+        assert_eq!(hi4, 12.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_range_panics() {
+        let _ = Histogram::new(1.0, 1.0, 3);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn prop_every_sample_lands_somewhere(
+                samples in proptest::collection::vec(-5.0f64..15.0, 0..200),
+                bins in 1usize..20,
+            ) {
+                let mut h = Histogram::new(0.0, 10.0, bins);
+                for &x in &samples {
+                    h.add(x);
+                }
+                prop_assert_eq!(h.total() + h.outliers(), samples.len());
+                let expected_in = samples.iter().filter(|&&x| (0.0..10.0).contains(&x)).count();
+                prop_assert_eq!(h.total(), expected_in);
+            }
+
+            #[test]
+            fn prop_bin_ranges_partition(bins in 1usize..30) {
+                let h = Histogram::new(-3.0, 7.0, bins);
+                let mut edge = -3.0;
+                for i in 0..bins {
+                    let (lo, hi) = h.bin_range(i);
+                    prop_assert!((lo - edge).abs() < 1e-9);
+                    prop_assert!(hi > lo);
+                    edge = hi;
+                }
+                prop_assert!((edge - 7.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn render_contains_bars() {
+        let mut h = Histogram::new(0.0, 2.0, 2);
+        h.add(0.5);
+        h.add(0.6);
+        h.add(1.5);
+        let s = h.to_string();
+        assert!(s.contains('#'));
+        assert!(s.lines().count() >= 2);
+    }
+}

@@ -1,0 +1,152 @@
+//! A uniform handle over the four synthesis methods.
+
+use onoc_baselines::{ctoring, ornoc, xring, BaselineError};
+use onoc_graph::CommGraph;
+use onoc_photonics::RouterDesign;
+use onoc_units::TechnologyParameters;
+use sring_core::{AssignmentStrategy, SringConfig, SringError, SringSynthesizer};
+use std::fmt;
+
+/// One of the four compared synthesis methods.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Method {
+    /// ORNoC \[12\]: physical-order two-ring router.
+    Ornoc,
+    /// CTORing \[13\]: application-tailored two-ring router.
+    Ctoring,
+    /// XRing \[14\]: ring with OSE chord shortcuts.
+    Xring,
+    /// SRing (this paper) with the given wavelength-assignment strategy.
+    Sring(AssignmentStrategy),
+}
+
+impl Method {
+    /// The four methods in the paper's Table I row order, with SRing on
+    /// its default (auto) assignment strategy.
+    #[must_use]
+    pub fn standard() -> Vec<Method> {
+        vec![
+            Method::Ornoc,
+            Method::Ctoring,
+            Method::Xring,
+            Method::Sring(AssignmentStrategy::default()),
+        ]
+    }
+
+    /// The method's display name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::Ornoc => "ORNoC",
+            Method::Ctoring => "CTORing",
+            Method::Xring => "XRing",
+            Method::Sring(_) => "SRing",
+        }
+    }
+
+    /// Synthesizes a router design for `app` with this method.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError`] when the underlying synthesis fails (only
+    /// degenerate applications in practice).
+    pub fn synthesize(
+        &self,
+        app: &CommGraph,
+        tech: &TechnologyParameters,
+    ) -> Result<RouterDesign, EvalError> {
+        match self {
+            Method::Ornoc => Ok(ornoc::synthesize(app, tech)?),
+            Method::Ctoring => Ok(ctoring::synthesize(app, tech)?),
+            Method::Xring => Ok(xring::synthesize(app, tech)?),
+            Method::Sring(strategy) => {
+                let synth = SringSynthesizer::with_config(SringConfig {
+                    strategy: strategy.clone(),
+                    tech: tech.clone(),
+                    ..SringConfig::default()
+                });
+                Ok(synth.synthesize(app)?)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error from the evaluation harness.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EvalError {
+    /// A baseline method failed.
+    Baseline(BaselineError),
+    /// SRing failed.
+    Sring(SringError),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Baseline(e) => write!(f, "baseline synthesis failed: {e}"),
+            EvalError::Sring(e) => write!(f, "SRing synthesis failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<BaselineError> for EvalError {
+    fn from(e: BaselineError) -> Self {
+        EvalError::Baseline(e)
+    }
+}
+impl From<SringError> for EvalError {
+    fn from(e: SringError) -> Self {
+        EvalError::Sring(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onoc_graph::benchmarks;
+
+    #[test]
+    fn standard_set_has_paper_order() {
+        let methods = Method::standard();
+        let names: Vec<_> = methods.iter().map(Method::name).collect();
+        assert_eq!(names, vec!["ORNoC", "CTORing", "XRing", "SRing"]);
+        assert_eq!(methods[0].to_string(), "ORNoC");
+    }
+
+    #[test]
+    fn all_methods_synthesize_mwd() {
+        let tech = TechnologyParameters::default();
+        let app = benchmarks::mwd();
+        for m in Method::standard() {
+            let design = m.synthesize(&app, &tech).unwrap();
+            assert_eq!(design.method(), m.name());
+            design.validate_against(&app).unwrap();
+        }
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let tech = TechnologyParameters::default();
+        let empty = CommGraph::builder()
+            .node("a", onoc_graph::Point::new(0.0, 0.0))
+            .node("b", onoc_graph::Point::new(1.0, 0.0))
+            .build()
+            .unwrap();
+        let err = Method::Ornoc.synthesize(&empty, &tech).unwrap_err();
+        assert!(matches!(err, EvalError::Baseline(_)));
+        assert!(err.to_string().contains("baseline"));
+        let err = Method::Sring(AssignmentStrategy::Heuristic)
+            .synthesize(&empty, &tech)
+            .unwrap_err();
+        assert!(matches!(err, EvalError::Sring(_)));
+    }
+}

@@ -1,0 +1,92 @@
+//! SRing pipeline runtime measurement — the paper's Table II.
+
+use crate::methods::EvalError;
+use onoc_graph::benchmarks::Benchmark;
+use sring_core::{SringConfig, SringSynthesizer};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// One Table II entry.
+#[derive(Debug, Clone)]
+pub struct RuntimeRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Wall-clock time of the full SRing pipeline.
+    pub runtime: Duration,
+    /// Wavelengths used by the produced design.
+    pub wavelength_count: usize,
+    /// Whether the MILP proved optimality.
+    pub proven_optimal: bool,
+}
+
+/// Runs the SRing pipeline on every given benchmark and records wall-clock
+/// runtimes (Table II).
+///
+/// # Errors
+///
+/// Returns the first synthesis failure (none occur for the shipped
+/// benchmarks).
+pub fn measure_runtimes(
+    benchmarks: &[Benchmark],
+    config: &SringConfig,
+) -> Result<Vec<RuntimeRow>, EvalError> {
+    let synth = SringSynthesizer::with_config(config.clone());
+    let mut rows = Vec::with_capacity(benchmarks.len());
+    for b in benchmarks {
+        let app = b.graph_with_pitch(config.tech.tile_pitch);
+        let report = synth.synthesize_detailed(&app)?;
+        rows.push(RuntimeRow {
+            benchmark: b.name().to_string(),
+            runtime: report.runtime,
+            wavelength_count: report.assignment.wavelength_count,
+            proven_optimal: report.assignment.proven_optimal,
+        });
+    }
+    Ok(rows)
+}
+
+/// Formats Table II.
+#[must_use]
+pub fn format_table2(rows: &[RuntimeRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "TABLE II — program runtime of SRing (seconds)");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>10} {:>6} {:>9}",
+        "benchmark", "runtime[s]", "#wl", "optimal?"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>10.3} {:>6} {:>9}",
+            r.benchmark,
+            r.runtime.as_secs_f64(),
+            r.wavelength_count,
+            if r.proven_optimal { "yes" } else { "no" }
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onoc_units::TechnologyParameters;
+    use sring_core::AssignmentStrategy;
+
+    #[test]
+    fn runtimes_measured_for_small_benchmarks() {
+        let config = SringConfig {
+            strategy: AssignmentStrategy::Heuristic,
+            tech: TechnologyParameters::default(),
+            ..SringConfig::default()
+        };
+        let rows = measure_runtimes(&[Benchmark::Mwd, Benchmark::Pm8x24], &config).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].benchmark, "MWD");
+        assert!(rows.iter().all(|r| r.runtime.as_nanos() > 0));
+        let table = format_table2(&rows);
+        assert!(table.contains("TABLE II"));
+        assert!(table.contains("MWD"));
+    }
+}

@@ -1,0 +1,187 @@
+//! Regular grid placement of network nodes on the chip floorplan.
+//!
+//! The paper assumes "the nodes are arranged regularly on the chip"
+//! (Sec. I, discussion of Fig. 2). [`GridPlacement`] models that regular
+//! arrangement: a `cols × rows` grid of tiles with a fixed pitch, plus the
+//! canonical node orders a conventional ring router uses to visit every tile.
+
+use crate::node::Point;
+use onoc_units::Millimeters;
+
+/// A `cols × rows` tile grid with a fixed pitch in millimetres.
+///
+/// Grid coordinates are `(col, row)` with the origin at the bottom-left
+/// tile; positions are the tile centres.
+///
+/// # Examples
+///
+/// ```
+/// use onoc_graph::GridPlacement;
+/// use onoc_units::Millimeters;
+///
+/// let grid = GridPlacement::new(4, 3, Millimeters(0.35));
+/// let p = grid.position(3, 2);
+/// assert!((p.x - 1.05).abs() < 1e-12);
+/// assert!((p.y - 0.70).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridPlacement {
+    cols: usize,
+    rows: usize,
+    pitch: Millimeters,
+}
+
+impl GridPlacement {
+    /// Creates a grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols` or `rows` is zero or the pitch is not positive.
+    #[must_use]
+    pub fn new(cols: usize, rows: usize, pitch: Millimeters) -> Self {
+        assert!(cols > 0 && rows > 0, "grid must have at least one tile");
+        assert!(pitch.0 > 0.0, "grid pitch must be positive");
+        GridPlacement { cols, rows, pitch }
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Tile pitch.
+    #[must_use]
+    pub fn pitch(&self) -> Millimeters {
+        self.pitch
+    }
+
+    /// Total number of tiles.
+    #[must_use]
+    pub fn tile_count(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// Physical position of tile `(col, row)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are outside the grid.
+    #[must_use]
+    pub fn position(&self, col: usize, row: usize) -> Point {
+        assert!(col < self.cols && row < self.rows, "tile outside the grid");
+        Point::new(col as f64 * self.pitch.0, row as f64 * self.pitch.0)
+    }
+
+    /// The serpentine (boustrophedon) visiting order of all tiles: row 0
+    /// left→right, row 1 right→left, and so on. A conventional ring router
+    /// that must visit every tile follows this order and closes the loop
+    /// from the last tile back to the first; it is the order used for the
+    /// paper's "classic ring router design" (Fig. 2(b)) and for the upper
+    /// bound `d₂` of the `L_max` search.
+    ///
+    /// ```
+    /// use onoc_graph::GridPlacement;
+    /// use onoc_units::Millimeters;
+    /// let g = GridPlacement::new(3, 2, Millimeters(1.0));
+    /// let order = g.serpentine_order();
+    /// assert_eq!(order, vec![(0, 0), (1, 0), (2, 0), (2, 1), (1, 1), (0, 1)]);
+    /// ```
+    #[must_use]
+    pub fn serpentine_order(&self) -> Vec<(usize, usize)> {
+        let mut order = Vec::with_capacity(self.tile_count());
+        for row in 0..self.rows {
+            if row % 2 == 0 {
+                for col in 0..self.cols {
+                    order.push((col, row));
+                }
+            } else {
+                for col in (0..self.cols).rev() {
+                    order.push((col, row));
+                }
+            }
+        }
+        order
+    }
+
+    /// Length of the closed serpentine ring: the sum of Manhattan distances
+    /// between consecutive tiles in [`GridPlacement::serpentine_order`],
+    /// including the closing segment.
+    #[must_use]
+    pub fn serpentine_ring_length(&self) -> Millimeters {
+        let order = self.serpentine_order();
+        let mut total = Millimeters(0.0);
+        for i in 0..order.len() {
+            let (c0, r0) = order[i];
+            let (c1, r1) = order[(i + 1) % order.len()];
+            total += self
+                .position(c0, r0)
+                .manhattan(self.position(c1, r1));
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positions_scale_with_pitch() {
+        let g = GridPlacement::new(4, 3, Millimeters(0.5));
+        assert_eq!(g.position(0, 0), Point::new(0.0, 0.0));
+        assert_eq!(g.position(2, 1), Point::new(1.0, 0.5));
+        assert_eq!(g.tile_count(), 12);
+        assert_eq!(g.cols(), 4);
+        assert_eq!(g.rows(), 3);
+        assert_eq!(g.pitch(), Millimeters(0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "tile outside the grid")]
+    fn position_out_of_range_panics() {
+        let g = GridPlacement::new(2, 2, Millimeters(1.0));
+        let _ = g.position(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "grid pitch must be positive")]
+    fn zero_pitch_panics() {
+        let _ = GridPlacement::new(2, 2, Millimeters(0.0));
+    }
+
+    #[test]
+    fn serpentine_visits_every_tile_once() {
+        let g = GridPlacement::new(5, 4, Millimeters(1.0));
+        let order = g.serpentine_order();
+        assert_eq!(order.len(), 20);
+        let unique: std::collections::BTreeSet<_> = order.iter().collect();
+        assert_eq!(unique.len(), 20);
+    }
+
+    #[test]
+    fn serpentine_consecutive_tiles_are_adjacent() {
+        let g = GridPlacement::new(4, 3, Millimeters(1.0));
+        let order = g.serpentine_order();
+        for w in order.windows(2) {
+            let d = g
+                .position(w[0].0, w[0].1)
+                .manhattan(g.position(w[1].0, w[1].1));
+            assert_eq!(d, Millimeters(1.0), "non-adjacent consecutive tiles");
+        }
+    }
+
+    #[test]
+    fn serpentine_ring_length_closed() {
+        // 3×2 grid, pitch 1: 5 unit steps + closing segment of length
+        // |0-0| + |1-0| = 1 → wait, last tile is (0,1), first is (0,0): 1.
+        let g = GridPlacement::new(3, 2, Millimeters(1.0));
+        assert_eq!(g.serpentine_ring_length(), Millimeters(6.0));
+    }
+}

@@ -1,0 +1,426 @@
+//! Logical (sub-)ring cycles: closed node visiting orders with directed
+//! signal-path queries.
+//!
+//! A [`Cycle`] is the *logical* structure of a ring waveguide: the order in
+//! which the waveguide visits its nodes. Signals travel forward along the
+//! order (index `i` → `i + 1 mod n`); a counter-propagating waveguide is the
+//! [`Cycle::reversed`] cycle. The clustering algorithm's *absorption* step
+//! (paper Sec. III-A-1) is [`Cycle::insert_at`]: replacing segment
+//! `(v_y, v_z)` by `(v_y, v_x)` and `(v_x, v_z)`.
+
+use onoc_graph::NodeId;
+use std::fmt;
+
+/// A closed, directed visiting order of at least two distinct nodes.
+///
+/// Segment `i` runs from `nodes[i]` to `nodes[(i + 1) % n]`. A two-node
+/// cycle has two segments — the two antiparallel waveguide pieces between
+/// the pair, exactly the initial cluster of the paper's Fig. 5(c).
+///
+/// # Examples
+///
+/// ```
+/// use onoc_graph::NodeId;
+/// use onoc_layout::Cycle;
+///
+/// # fn main() -> Result<(), onoc_layout::BuildCycleError> {
+/// let ring = Cycle::new(vec![NodeId(2), NodeId(0), NodeId(1)])?;
+/// let range = ring.path_segments(NodeId(0), NodeId(2)).unwrap();
+/// assert_eq!(range.iter().collect::<Vec<_>>(), vec![1, 2]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Cycle {
+    nodes: Vec<NodeId>,
+}
+
+impl Cycle {
+    /// Creates a cycle from a visiting order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildCycleError`] if fewer than two nodes are given or a
+    /// node appears twice.
+    pub fn new(nodes: Vec<NodeId>) -> Result<Self, BuildCycleError> {
+        if nodes.len() < 2 {
+            return Err(BuildCycleError::TooFewNodes(nodes.len()));
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for &n in &nodes {
+            if !seen.insert(n) {
+                return Err(BuildCycleError::DuplicateNode(n));
+            }
+        }
+        Ok(Cycle { nodes })
+    }
+
+    /// Number of nodes (equal to the number of segments).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Always `false`: a cycle has at least two nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The visiting order.
+    #[must_use]
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// `true` if `node` lies on this cycle.
+    #[must_use]
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.nodes.contains(&node)
+    }
+
+    /// The index of `node` in the visiting order.
+    #[must_use]
+    pub fn position_of(&self, node: NodeId) -> Option<usize> {
+        self.nodes.iter().position(|&n| n == node)
+    }
+
+    /// The endpoints of segment `i`: `(nodes[i], nodes[(i + 1) % n])`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[must_use]
+    pub fn segment(&self, i: usize) -> (NodeId, NodeId) {
+        let n = self.nodes.len();
+        assert!(i < n, "segment index out of range");
+        (self.nodes[i], self.nodes[(i + 1) % n])
+    }
+
+    /// Iterator over all segments in index order.
+    pub fn segments(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.len()).map(move |i| self.segment(i))
+    }
+
+    /// The contiguous range of segment indices a signal from `src` to `dst`
+    /// occupies, travelling forward along the cycle.
+    ///
+    /// Returns `None` if either node is not on the cycle or `src == dst`.
+    #[must_use]
+    pub fn path_segments(&self, src: NodeId, dst: NodeId) -> Option<SegmentRange> {
+        if src == dst {
+            return None;
+        }
+        let i = self.position_of(src)?;
+        let j = self.position_of(dst)?;
+        let n = self.nodes.len();
+        let len = (j + n - i) % n;
+        Some(SegmentRange {
+            start: i,
+            len,
+            cycle_len: n,
+        })
+    }
+
+    /// Total length of the signal path from `src` to `dst`, where
+    /// `distance(a, b)` gives the physical length of the segment between
+    /// consecutive nodes `a` and `b`.
+    ///
+    /// Returns `None` under the same conditions as
+    /// [`Cycle::path_segments`].
+    #[must_use]
+    pub fn path_length<F>(&self, src: NodeId, dst: NodeId, mut distance: F) -> Option<f64>
+    where
+        F: FnMut(NodeId, NodeId) -> f64,
+    {
+        let range = self.path_segments(src, dst)?;
+        Some(
+            range
+                .iter()
+                .map(|i| {
+                    let (a, b) = self.segment(i);
+                    distance(a, b)
+                })
+                .sum(),
+        )
+    }
+
+    /// Total physical length of the cycle.
+    #[must_use]
+    pub fn total_length<F>(&self, mut distance: F) -> f64
+    where
+        F: FnMut(NodeId, NodeId) -> f64,
+    {
+        self.segments().map(|(a, b)| distance(a, b)).sum()
+    }
+
+    /// The *absorption* primitive: a new cycle with `node` inserted into
+    /// segment `i`, replacing `(v_y, v_z)` by `(v_y, node)` and
+    /// `(node, v_z)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildCycleError::DuplicateNode`] if `node` is already on
+    /// the cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn insert_at(&self, i: usize, node: NodeId) -> Result<Cycle, BuildCycleError> {
+        assert!(i < self.len(), "segment index out of range");
+        if self.contains(node) {
+            return Err(BuildCycleError::DuplicateNode(node));
+        }
+        let mut nodes = self.nodes.clone();
+        nodes.insert(i + 1, node);
+        Ok(Cycle { nodes })
+    }
+
+    /// The same loop traversed in the opposite direction (the
+    /// counter-propagating waveguide of a conventional two-ring router).
+    #[must_use]
+    pub fn reversed(&self) -> Cycle {
+        let mut nodes = self.nodes.clone();
+        nodes.reverse();
+        Cycle { nodes }
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, n) in self.nodes.iter().enumerate() {
+            if i > 0 {
+                write!(f, " → ")?;
+            }
+            write!(f, "{n}")?;
+        }
+        write!(f, " → …⟩")
+    }
+}
+
+/// A contiguous, cyclic range of segment indices occupied by a signal path.
+///
+/// Two paths on the same waveguide conflict — and must be assigned
+/// different wavelengths (paper Eq. 2) — iff their ranges
+/// [`SegmentRange::overlaps`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SegmentRange {
+    start: usize,
+    len: usize,
+    cycle_len: usize,
+}
+
+impl SegmentRange {
+    /// First segment index of the range.
+    #[must_use]
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Number of segments in the range.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the range covers no segments (a degenerate path).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterator over the segment indices, in travel order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        let (start, n) = (self.start, self.cycle_len);
+        (0..self.len).map(move |k| (start + k) % n)
+    }
+
+    /// `true` if segment `i` belongs to the range.
+    #[must_use]
+    pub fn contains(&self, i: usize) -> bool {
+        if i >= self.cycle_len {
+            return false;
+        }
+        let off = (i + self.cycle_len - self.start) % self.cycle_len;
+        off < self.len
+    }
+
+    /// `true` if the two ranges share at least one segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ranges come from cycles of different lengths — they
+    /// would not be comparable.
+    #[must_use]
+    pub fn overlaps(&self, other: &SegmentRange) -> bool {
+        assert_eq!(
+            self.cycle_len, other.cycle_len,
+            "segment ranges from different cycles are not comparable"
+        );
+        // The shorter range probes the longer one.
+        let (probe, target) = if self.len <= other.len {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        probe.iter().any(|i| target.contains(i))
+    }
+}
+
+/// Error constructing a [`Cycle`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BuildCycleError {
+    /// A cycle needs at least two nodes; this many were given.
+    TooFewNodes(usize),
+    /// The node appears more than once in the visiting order.
+    DuplicateNode(NodeId),
+}
+
+impl fmt::Display for BuildCycleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildCycleError::TooFewNodes(n) => {
+                write!(f, "cycle needs at least two nodes, got {n}")
+            }
+            BuildCycleError::DuplicateNode(n) => write!(f, "node {n} appears twice in cycle"),
+        }
+    }
+}
+
+impl std::error::Error for BuildCycleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cycle(ids: &[usize]) -> Cycle {
+        Cycle::new(ids.iter().map(|&i| NodeId(i)).collect()).unwrap()
+    }
+
+    #[test]
+    fn rejects_invalid() {
+        assert_eq!(
+            Cycle::new(vec![NodeId(0)]).unwrap_err(),
+            BuildCycleError::TooFewNodes(1)
+        );
+        assert_eq!(
+            Cycle::new(vec![NodeId(0), NodeId(1), NodeId(0)]).unwrap_err(),
+            BuildCycleError::DuplicateNode(NodeId(0))
+        );
+        assert!(BuildCycleError::TooFewNodes(1).to_string().contains("two"));
+    }
+
+    #[test]
+    fn two_node_cycle_has_two_segments() {
+        let c = cycle(&[3, 7]);
+        let segs: Vec<_> = c.segments().collect();
+        assert_eq!(segs, vec![(NodeId(3), NodeId(7)), (NodeId(7), NodeId(3))]);
+    }
+
+    #[test]
+    fn path_segments_forward_only() {
+        let c = cycle(&[0, 1, 2, 3]);
+        let r = c.path_segments(NodeId(1), NodeId(3)).unwrap();
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![1, 2]);
+        // Wrap-around path.
+        let r = c.path_segments(NodeId(3), NodeId(1)).unwrap();
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![3, 0]);
+        assert!(c.path_segments(NodeId(1), NodeId(1)).is_none());
+        assert!(c.path_segments(NodeId(1), NodeId(9)).is_none());
+    }
+
+    #[test]
+    fn path_length_sums_segments() {
+        let c = cycle(&[0, 1, 2]);
+        // distances: 0->1 = 1, 1->2 = 2, 2->0 = 3.
+        let d = |a: NodeId, b: NodeId| ((a.0 + b.0) as f64) / 1.0_f64.max(1.0) * 0.0
+            + match (a.0, b.0) {
+                (0, 1) => 1.0,
+                (1, 2) => 2.0,
+                (2, 0) => 3.0,
+                _ => panic!("unexpected segment"),
+            };
+        assert_eq!(c.path_length(NodeId(0), NodeId(2), d), Some(3.0));
+        assert_eq!(c.path_length(NodeId(2), NodeId(1), d), Some(4.0));
+        assert_eq!(c.total_length(d), 6.0);
+    }
+
+    #[test]
+    fn insert_at_replaces_segment() {
+        let c = cycle(&[0, 1]);
+        let c2 = c.insert_at(0, NodeId(2)).unwrap();
+        assert_eq!(c2.nodes(), &[NodeId(0), NodeId(2), NodeId(1)]);
+        let c3 = c.insert_at(1, NodeId(2)).unwrap();
+        assert_eq!(c3.nodes(), &[NodeId(0), NodeId(1), NodeId(2)]);
+        assert!(c.insert_at(0, NodeId(1)).is_err());
+    }
+
+    #[test]
+    fn reversed_reverses_paths() {
+        let c = cycle(&[0, 1, 2, 3]);
+        let r = c.reversed();
+        assert_eq!(r.nodes(), &[NodeId(3), NodeId(2), NodeId(1), NodeId(0)]);
+        // Forward path 0→3 on c takes 3 segments; on r it takes 1.
+        assert_eq!(c.path_segments(NodeId(0), NodeId(3)).unwrap().len(), 3);
+        assert_eq!(r.path_segments(NodeId(0), NodeId(3)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn range_contains_and_overlap() {
+        let c = cycle(&[0, 1, 2, 3, 4]);
+        let a = c.path_segments(NodeId(0), NodeId(2)).unwrap(); // segs 0,1
+        let b = c.path_segments(NodeId(1), NodeId(3)).unwrap(); // segs 1,2
+        let d = c.path_segments(NodeId(3), NodeId(0)).unwrap(); // segs 3,4
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&d));
+        assert!(a.contains(0) && a.contains(1) && !a.contains(2));
+        assert!(!a.contains(99));
+        assert!(d.contains(4) && d.contains(3));
+    }
+
+    #[test]
+    fn wraparound_overlap() {
+        let c = cycle(&[0, 1, 2, 3]);
+        let wrap = c.path_segments(NodeId(2), NodeId(1)).unwrap(); // segs 2,3,0
+        let head = c.path_segments(NodeId(0), NodeId(1)).unwrap(); // seg 0
+        assert!(wrap.overlaps(&head));
+        assert!(head.overlaps(&wrap));
+    }
+
+    #[test]
+    fn display_shows_order() {
+        let c = cycle(&[0, 1]);
+        assert!(c.to_string().contains("n0 → n1"));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_path_segments_partition_cycle(n in 2usize..10, i in 0usize..10, j in 0usize..10) {
+            let c = Cycle::new((0..n).map(NodeId).collect()).unwrap();
+            let (i, j) = (i % n, j % n);
+            prop_assume!(i != j);
+            let fwd = c.path_segments(NodeId(i), NodeId(j)).unwrap();
+            let back = c.path_segments(NodeId(j), NodeId(i)).unwrap();
+            // The two directed paths partition the segments.
+            prop_assert_eq!(fwd.len() + back.len(), n);
+            prop_assert!(!fwd.overlaps(&back));
+        }
+
+        #[test]
+        fn prop_insert_preserves_other_segments(n in 2usize..8, seg in 0usize..8) {
+            let c = Cycle::new((0..n).map(NodeId).collect()).unwrap();
+            let seg = seg % n;
+            let c2 = c.insert_at(seg, NodeId(100)).unwrap();
+            prop_assert_eq!(c2.len(), n + 1);
+            // The replaced segment's endpoints now sandwich the new node.
+            let (a, b) = c.segment(seg);
+            let pos = c2.position_of(NodeId(100)).unwrap();
+            let before = c2.nodes()[(pos + c2.len() - 1) % c2.len()];
+            let after = c2.nodes()[(pos + 1) % c2.len()];
+            prop_assert_eq!((before, after), (a, b));
+        }
+    }
+}

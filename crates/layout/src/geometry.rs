@@ -1,0 +1,302 @@
+//! Axis-aligned waveguide geometry: spans, orientations and crossing tests.
+
+use onoc_graph::Point;
+use onoc_units::Millimeters;
+use std::fmt;
+
+/// The routing orientation of an L-shaped node-to-node connection:
+/// horizontal first, then vertical — or the other way round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Orientation {
+    /// Route horizontally from the source, then vertically to the target.
+    HorizontalFirst,
+    /// Route vertically from the source, then horizontally to the target.
+    VerticalFirst,
+}
+
+impl Orientation {
+    /// Both candidate orientations, in the order the greedy router tries
+    /// them.
+    pub const BOTH: [Orientation; 2] = [Orientation::HorizontalFirst, Orientation::VerticalFirst];
+}
+
+/// An axis-aligned piece of waveguide between two points that share a
+/// coordinate.
+///
+/// Spans are the atoms of the physical layout: crossing counting and
+/// length accounting operate on spans. A span may be degenerate (zero
+/// length) when an L-shaped connection collapses to a straight one.
+///
+/// # Examples
+///
+/// ```
+/// use onoc_graph::Point;
+/// use onoc_layout::Span;
+///
+/// let h = Span::new(Point::new(0.0, 1.0), Point::new(2.0, 1.0));
+/// let v = Span::new(Point::new(1.0, 0.0), Point::new(1.0, 2.0));
+/// assert!(h.crosses(&v));
+/// assert_eq!(h.length().0, 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Span {
+    a: Point,
+    b: Point,
+}
+
+impl Span {
+    /// Creates a span between two points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the points do not share an x or y coordinate (the span
+    /// would not be axis-aligned).
+    #[must_use]
+    pub fn new(a: Point, b: Point) -> Self {
+        assert!(
+            (a.x - b.x).abs() < 1e-9 || (a.y - b.y).abs() < 1e-9,
+            "span endpoints must be axis-aligned"
+        );
+        Span { a, b }
+    }
+
+    /// The first endpoint.
+    #[must_use]
+    pub fn start(&self) -> Point {
+        self.a
+    }
+
+    /// The second endpoint.
+    #[must_use]
+    pub fn end(&self) -> Point {
+        self.b
+    }
+
+    /// `true` if the span runs horizontally (or is degenerate).
+    #[must_use]
+    pub fn is_horizontal(&self) -> bool {
+        (self.a.y - self.b.y).abs() < 1e-9
+    }
+
+    /// `true` if the span has (near-)zero length.
+    #[must_use]
+    pub fn is_degenerate(&self) -> bool {
+        self.length().0 < 1e-9
+    }
+
+    /// Rectilinear length of the span.
+    #[must_use]
+    pub fn length(&self) -> Millimeters {
+        self.a.manhattan(self.b)
+    }
+
+    /// Exact proper-crossing test: two spans cross iff one is horizontal,
+    /// the other vertical, and they intersect in both spans' interiors.
+    ///
+    /// Touching at endpoints (T-junctions at shared node positions) and
+    /// collinear overlaps are *not* crossings: physically those are either
+    /// the shared node interface or parallel tracks that the layout offsets.
+    #[must_use]
+    pub fn crosses(&self, other: &Span) -> bool {
+        if self.is_degenerate() || other.is_degenerate() {
+            return false;
+        }
+        let (h, v) = match (self.is_horizontal(), other.is_horizontal()) {
+            (true, false) => (self, other),
+            (false, true) => (other, self),
+            _ => return false,
+        };
+        let (hx1, hx2) = minmax(h.a.x, h.b.x);
+        let hy = h.a.y;
+        let vx = v.a.x;
+        let (vy1, vy2) = minmax(v.a.y, v.b.y);
+        const EPS: f64 = 1e-9;
+        vx > hx1 + EPS && vx < hx2 - EPS && hy > vy1 + EPS && hy < vy2 - EPS
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} — {}", self.a, self.b)
+    }
+}
+
+fn minmax(a: f64, b: f64) -> (f64, f64) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Expands the L-shaped connection from `from` to `to` with the given
+/// orientation into its (up to two) axis-aligned spans, plus the number of
+/// 90° bends it contains (1 when both coordinates differ, else 0).
+///
+/// # Examples
+///
+/// ```
+/// use onoc_graph::Point;
+/// use onoc_layout::geometry::{l_shape, Orientation};
+///
+/// let (spans, bends) = l_shape(Point::new(0.0, 0.0), Point::new(2.0, 1.0),
+///                              Orientation::HorizontalFirst);
+/// assert_eq!(spans.len(), 2);
+/// assert_eq!(bends, 1);
+/// ```
+#[must_use]
+pub fn l_shape(from: Point, to: Point, orientation: Orientation) -> (Vec<Span>, usize) {
+    let dx = (from.x - to.x).abs() > 1e-9;
+    let dy = (from.y - to.y).abs() > 1e-9;
+    match (dx, dy) {
+        (false, false) => (Vec::new(), 0),
+        (true, false) | (false, true) => (vec![Span::new(from, to)], 0),
+        (true, true) => {
+            let corner = match orientation {
+                Orientation::HorizontalFirst => Point::new(to.x, from.y),
+                Orientation::VerticalFirst => Point::new(from.x, to.y),
+            };
+            (
+                vec![Span::new(from, corner), Span::new(corner, to)],
+                1,
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn horizontal_vertical_detection() {
+        let h = Span::new(Point::new(0.0, 0.0), Point::new(3.0, 0.0));
+        let v = Span::new(Point::new(0.0, 0.0), Point::new(0.0, 3.0));
+        assert!(h.is_horizontal());
+        assert!(!v.is_horizontal());
+        assert_eq!(h.length(), Millimeters(3.0));
+        assert_eq!(h.start(), Point::new(0.0, 0.0));
+        assert_eq!(h.end(), Point::new(3.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "axis-aligned")]
+    fn diagonal_span_panics() {
+        let _ = Span::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0));
+    }
+
+    #[test]
+    fn proper_crossing_detected() {
+        let h = Span::new(Point::new(-1.0, 0.0), Point::new(1.0, 0.0));
+        let v = Span::new(Point::new(0.0, -1.0), Point::new(0.0, 1.0));
+        assert!(h.crosses(&v));
+        assert!(v.crosses(&h));
+    }
+
+    #[test]
+    fn endpoint_touch_is_not_crossing() {
+        let h = Span::new(Point::new(0.0, 0.0), Point::new(2.0, 0.0));
+        // T-junction: vertical span ends exactly on the horizontal one.
+        let t = Span::new(Point::new(1.0, 0.0), Point::new(1.0, 2.0));
+        assert!(!h.crosses(&t));
+        // Corner touch.
+        let c = Span::new(Point::new(2.0, 0.0), Point::new(2.0, 2.0));
+        assert!(!h.crosses(&c));
+    }
+
+    #[test]
+    fn parallel_overlap_is_not_crossing() {
+        let a = Span::new(Point::new(0.0, 0.0), Point::new(3.0, 0.0));
+        let b = Span::new(Point::new(1.0, 0.0), Point::new(4.0, 0.0));
+        assert!(!a.crosses(&b));
+    }
+
+    #[test]
+    fn disjoint_perpendicular_is_not_crossing() {
+        let h = Span::new(Point::new(0.0, 0.0), Point::new(1.0, 0.0));
+        let v = Span::new(Point::new(5.0, -1.0), Point::new(5.0, 1.0));
+        assert!(!h.crosses(&v));
+    }
+
+    #[test]
+    fn degenerate_span_never_crosses() {
+        let d = Span::new(Point::new(0.5, 0.0), Point::new(0.5, 0.0));
+        let v = Span::new(Point::new(0.5, -1.0), Point::new(0.5, 1.0));
+        assert!(d.is_degenerate());
+        assert!(!d.crosses(&v));
+    }
+
+    #[test]
+    fn l_shape_variants() {
+        let (spans, bends) = l_shape(
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 3.0),
+            Orientation::HorizontalFirst,
+        );
+        assert_eq!(bends, 1);
+        assert_eq!(spans[0], Span::new(Point::new(0.0, 0.0), Point::new(2.0, 0.0)));
+        assert_eq!(spans[1], Span::new(Point::new(2.0, 0.0), Point::new(2.0, 3.0)));
+
+        let (spans, bends) = l_shape(
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 3.0),
+            Orientation::VerticalFirst,
+        );
+        assert_eq!(bends, 1);
+        assert_eq!(spans[0], Span::new(Point::new(0.0, 0.0), Point::new(0.0, 3.0)));
+
+        let (spans, bends) = l_shape(
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Orientation::VerticalFirst,
+        );
+        assert_eq!(bends, 0);
+        assert_eq!(spans.len(), 1);
+
+        let (spans, bends) = l_shape(
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 1.0),
+            Orientation::HorizontalFirst,
+        );
+        assert!(spans.is_empty());
+        assert_eq!(bends, 0);
+    }
+
+    #[test]
+    fn l_shape_length_is_manhattan() {
+        for o in Orientation::BOTH {
+            let from = Point::new(0.3, -1.0);
+            let to = Point::new(-0.7, 2.0);
+            let (spans, _) = l_shape(from, to, o);
+            let total: f64 = spans.iter().map(|s| s.length().0).sum();
+            assert!((total - from.manhattan(to).0).abs() < 1e-9);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_crossing_is_symmetric(
+            hx1 in -5.0f64..5.0, hx2 in -5.0f64..5.0, hy in -5.0f64..5.0,
+            vx in -5.0f64..5.0, vy1 in -5.0f64..5.0, vy2 in -5.0f64..5.0,
+        ) {
+            let h = Span::new(Point::new(hx1, hy), Point::new(hx2, hy));
+            let v = Span::new(Point::new(vx, vy1), Point::new(vx, vy2));
+            prop_assert_eq!(h.crosses(&v), v.crosses(&h));
+        }
+
+        #[test]
+        fn prop_l_shape_preserves_manhattan_length(
+            x1 in -5.0f64..5.0, y1 in -5.0f64..5.0,
+            x2 in -5.0f64..5.0, y2 in -5.0f64..5.0,
+        ) {
+            let from = Point::new(x1, y1);
+            let to = Point::new(x2, y2);
+            for o in Orientation::BOTH {
+                let (spans, _) = l_shape(from, to, o);
+                let total: f64 = spans.iter().map(|s| s.length().0).sum();
+                prop_assert!((total - from.manhattan(to).0).abs() < 1e-9);
+            }
+        }
+    }
+}

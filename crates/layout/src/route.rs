@@ -1,0 +1,562 @@
+//! Chip-level rectilinear routing of ring waveguides.
+//!
+//! [`Layout`] owns the node placement and all routed waveguides. Each
+//! node-to-node connection is an L-shape whose orientation (horizontal-first
+//! or vertical-first) is chosen greedily to minimize crossings against
+//! everything already routed — the automated stand-in for the paper's
+//! "manually optimize the routing results" step (Sec. III-A-3).
+
+use crate::cycle::{Cycle, SegmentRange};
+use crate::geometry::{l_shape, Orientation, Span};
+use onoc_graph::{NodeId, Point};
+use onoc_units::Millimeters;
+use std::fmt;
+
+/// Identifier of a routed waveguide within a [`Layout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WaveguideId(pub usize);
+
+impl WaveguideId {
+    /// The dense index of this waveguide.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for WaveguideId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wg{}", self.0)
+    }
+}
+
+/// Physical geometry of one logical segment of a routed waveguide.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentGeometry {
+    /// Rectilinear length of the segment.
+    pub length: Millimeters,
+    /// Number of 90° bends inside the segment (0 for straight, 1 for an
+    /// L-shape).
+    pub bends: usize,
+    /// The axis-aligned spans realizing the segment.
+    pub spans: Vec<Span>,
+}
+
+/// A waveguide routed onto the chip: its visiting order plus per-segment
+/// geometry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutedWaveguide {
+    nodes: Vec<NodeId>,
+    closed: bool,
+    segments: Vec<SegmentGeometry>,
+}
+
+impl RoutedWaveguide {
+    /// The nodes in visiting order.
+    #[must_use]
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// `true` for a closed ring, `false` for an open chord/link.
+    #[must_use]
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Number of segments: `n` for a closed ring over `n` nodes, `n − 1`
+    /// for an open path.
+    #[must_use]
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Geometry of segment `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn segment(&self, i: usize) -> &SegmentGeometry {
+        &self.segments[i]
+    }
+
+    /// The node pair of segment `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn segment_nodes(&self, i: usize) -> (NodeId, NodeId) {
+        assert!(i < self.segments.len(), "segment index out of range");
+        (self.nodes[i], self.nodes[(i + 1) % self.nodes.len()])
+    }
+
+    /// Total routed length of the waveguide.
+    #[must_use]
+    pub fn total_length(&self) -> Millimeters {
+        self.segments.iter().map(|s| s.length).sum()
+    }
+
+    /// Total bends of the waveguide.
+    #[must_use]
+    pub fn total_bends(&self) -> usize {
+        self.segments.iter().map(|s| s.bends).sum()
+    }
+}
+
+/// The chip floorplan: node positions plus every routed waveguide, with
+/// crossing accounting across all of them.
+///
+/// # Examples
+///
+/// ```
+/// use onoc_graph::{NodeId, Point};
+/// use onoc_layout::{Cycle, Layout};
+///
+/// # fn main() -> Result<(), onoc_layout::BuildCycleError> {
+/// let mut layout = Layout::new(vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(1.0, 0.0),
+///     Point::new(1.0, 1.0),
+///     Point::new(0.0, 1.0),
+/// ]);
+/// let ring = Cycle::new((0..4).map(NodeId).collect())?;
+/// let wg = layout.route_cycle(&ring);
+/// assert_eq!(layout.waveguide(wg).segment_count(), 4);
+/// assert_eq!(layout.total_crossings(), 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Layout {
+    positions: Vec<Point>,
+    waveguides: Vec<RoutedWaveguide>,
+}
+
+impl Layout {
+    /// Creates an empty layout over the given node placement. Node `i`'s
+    /// position is `positions[i]`.
+    #[must_use]
+    pub fn new(positions: Vec<Point>) -> Self {
+        Layout {
+            positions,
+            waveguides: Vec::new(),
+        }
+    }
+
+    /// The placement of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the placement.
+    #[must_use]
+    pub fn position(&self, node: NodeId) -> Point {
+        self.positions[node.0]
+    }
+
+    /// Number of routed waveguides.
+    #[must_use]
+    pub fn waveguide_count(&self) -> usize {
+        self.waveguides.len()
+    }
+
+    /// The routed waveguide with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn waveguide(&self, id: WaveguideId) -> &RoutedWaveguide {
+        &self.waveguides[id.0]
+    }
+
+    /// All routed waveguides in id order.
+    #[must_use]
+    pub fn waveguides(&self) -> &[RoutedWaveguide] {
+        &self.waveguides
+    }
+
+    /// Routes a closed ring visiting the cycle's nodes in order.
+    ///
+    /// Each segment's L-shape orientation is chosen greedily to minimize
+    /// crossings against everything already routed (then fewer bends).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any node of the cycle is outside the placement.
+    pub fn route_cycle(&mut self, cycle: &Cycle) -> WaveguideId {
+        self.route(cycle.nodes().to_vec(), true)
+    }
+
+    /// Routes an open waveguide (e.g. an OSE chord) visiting `nodes` in
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two nodes are given, a node repeats, or a node
+    /// is outside the placement.
+    pub fn route_open_path(&mut self, nodes: &[NodeId]) -> WaveguideId {
+        assert!(nodes.len() >= 2, "open path needs at least two nodes");
+        let unique: std::collections::BTreeSet<_> = nodes.iter().collect();
+        assert_eq!(unique.len(), nodes.len(), "open path nodes must be distinct");
+        self.route(nodes.to_vec(), false)
+    }
+
+    fn route(&mut self, nodes: Vec<NodeId>, closed: bool) -> WaveguideId {
+        let seg_count = if closed { nodes.len() } else { nodes.len() - 1 };
+        let mut segments = Vec::with_capacity(seg_count);
+        for i in 0..seg_count {
+            let from = self.position(nodes[i]);
+            let to = self.position(nodes[(i + 1) % nodes.len()]);
+            let mut best: Option<(usize, usize, Vec<Span>)> = None;
+            for orientation in Orientation::BOTH {
+                let (spans, bends) = l_shape(from, to, orientation);
+                let crossings = self.count_crossings_against_all(&spans)
+                    + count_pair_crossings(
+                        &spans,
+                        segments
+                            .iter()
+                            .flat_map(|s: &SegmentGeometry| s.spans.iter()),
+                    );
+                let better = match &best {
+                    None => true,
+                    Some((bc, bb, _)) => {
+                        crossings < *bc || (crossings == *bc && bends < *bb)
+                    }
+                };
+                if better {
+                    best = Some((crossings, bends, spans));
+                }
+            }
+            let (_, bends, spans) = best.expect("at least one orientation evaluated");
+            segments.push(SegmentGeometry {
+                length: from.manhattan(to),
+                bends,
+                spans,
+            });
+        }
+        self.waveguides.push(RoutedWaveguide {
+            nodes,
+            closed,
+            segments,
+        });
+        WaveguideId(self.waveguides.len() - 1)
+    }
+
+    fn count_crossings_against_all(&self, spans: &[Span]) -> usize {
+        count_pair_crossings(
+            spans,
+            self.waveguides
+                .iter()
+                .flat_map(|wg| wg.segments.iter())
+                .flat_map(|s| s.spans.iter()),
+        )
+    }
+
+    /// Crossings incurred by segment `seg` of waveguide `wg` against every
+    /// other span on the chip (other waveguides, plus other segments of the
+    /// same waveguide).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the waveguide or segment index is out of range.
+    #[must_use]
+    pub fn segment_crossings(&self, wg: WaveguideId, seg: usize) -> usize {
+        let target = &self.waveguides[wg.0].segments[seg];
+        let mut count = 0;
+        for (wi, other) in self.waveguides.iter().enumerate() {
+            for (si, s) in other.segments.iter().enumerate() {
+                if wi == wg.0 && si == seg {
+                    continue;
+                }
+                count += count_pair_crossings(&target.spans, s.spans.iter());
+            }
+        }
+        count
+    }
+
+    /// Crossings a signal path over the given segment range of waveguide
+    /// `wg` traverses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the waveguide or any segment index is out of range, or the
+    /// range does not match the waveguide's segment count.
+    #[must_use]
+    pub fn path_crossings(&self, wg: WaveguideId, range: &SegmentRange) -> usize {
+        range.iter().map(|i| self.segment_crossings(wg, i)).sum()
+    }
+
+    /// Every crossing on the chip as an identified pair of channels
+    /// `((waveguide, segment), (waveguide, segment))`, each pair reported
+    /// once. Crosstalk analysis uses this to find which signals leak into
+    /// which.
+    #[must_use]
+    pub fn crossing_pairs(&self) -> Vec<((WaveguideId, usize), (WaveguideId, usize))> {
+        let mut channels: Vec<((WaveguideId, usize), &SegmentGeometry)> = Vec::new();
+        for (wi, wg) in self.waveguides.iter().enumerate() {
+            for (si, seg) in wg.segments.iter().enumerate() {
+                channels.push(((WaveguideId(wi), si), seg));
+            }
+        }
+        let mut pairs = Vec::new();
+        for i in 0..channels.len() {
+            for j in i + 1..channels.len() {
+                let crossing = channels[i]
+                    .1
+                    .spans
+                    .iter()
+                    .any(|a| channels[j].1.spans.iter().any(|b| a.crosses(b)));
+                if crossing {
+                    pairs.push((channels[i].0, channels[j].0));
+                }
+            }
+        }
+        pairs
+    }
+
+    /// Total number of distinct crossing points on the chip (each crossing
+    /// pair counted once).
+    #[must_use]
+    pub fn total_crossings(&self) -> usize {
+        let all: Vec<&Span> = self
+            .waveguides
+            .iter()
+            .flat_map(|wg| wg.segments.iter())
+            .flat_map(|s| s.spans.iter())
+            .collect();
+        let mut count = 0;
+        for i in 0..all.len() {
+            for j in i + 1..all.len() {
+                if all[i].crosses(all[j]) {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Total routed waveguide length on the chip.
+    #[must_use]
+    pub fn total_length(&self) -> Millimeters {
+        self.waveguides.iter().map(|wg| wg.total_length()).sum()
+    }
+}
+
+fn count_pair_crossings<'a, I>(spans: &[Span], others: I) -> usize
+where
+    I: IntoIterator<Item = &'a Span>,
+{
+    let mut count = 0;
+    for other in others {
+        for s in spans {
+            if s.crosses(other) {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_layout() -> Layout {
+        Layout::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 2.0),
+            Point::new(0.0, 2.0),
+        ])
+    }
+
+    #[test]
+    fn square_ring_has_no_crossings_or_bends() {
+        let mut layout = square_layout();
+        let ring = Cycle::new((0..4).map(NodeId).collect()).unwrap();
+        let wg = layout.route_cycle(&ring);
+        let routed = layout.waveguide(wg);
+        assert_eq!(routed.segment_count(), 4);
+        assert_eq!(routed.total_bends(), 0);
+        assert_eq!(routed.total_length(), Millimeters(8.0));
+        assert_eq!(layout.total_crossings(), 0);
+        assert!(routed.is_closed());
+    }
+
+    #[test]
+    fn diagonal_segment_gets_one_bend() {
+        let mut layout = square_layout();
+        let ring = Cycle::new(vec![NodeId(0), NodeId(2)]).unwrap();
+        let wg = layout.route_cycle(&ring);
+        let routed = layout.waveguide(wg);
+        assert_eq!(routed.segment_count(), 2);
+        assert_eq!(routed.segment(0).bends, 1);
+        assert_eq!(routed.segment(0).length, Millimeters(4.0));
+        assert_eq!(routed.segment_nodes(1), (NodeId(2), NodeId(0)));
+    }
+
+    #[test]
+    fn open_path_has_one_fewer_segment() {
+        let mut layout = square_layout();
+        let wg = layout.route_open_path(&[NodeId(0), NodeId(1), NodeId(2)]);
+        let routed = layout.waveguide(wg);
+        assert!(!routed.is_closed());
+        assert_eq!(routed.segment_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn open_path_rejects_single_node() {
+        let mut layout = square_layout();
+        let _ = layout.route_open_path(&[NodeId(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be distinct")]
+    fn open_path_rejects_duplicates() {
+        let mut layout = square_layout();
+        let _ = layout.route_open_path(&[NodeId(0), NodeId(1), NodeId(0)]);
+    }
+
+    #[test]
+    fn crossing_waveguides_are_counted() {
+        // Two straight waveguides forming a plus sign.
+        let mut layout = Layout::new(vec![
+            Point::new(-1.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, -1.0),
+            Point::new(0.0, 1.0),
+        ]);
+        let h = layout.route_open_path(&[NodeId(0), NodeId(1)]);
+        let v = layout.route_open_path(&[NodeId(2), NodeId(3)]);
+        assert_eq!(layout.total_crossings(), 1);
+        assert_eq!(layout.segment_crossings(h, 0), 1);
+        assert_eq!(layout.segment_crossings(v, 0), 1);
+    }
+
+    #[test]
+    fn greedy_orientation_avoids_avoidable_crossing() {
+        // A vertical waveguide at x = 1 between y = -3 and y = 3, then an
+        // L-shaped link from (0,0) to (2,4): horizontal-first crosses the
+        // vertical waveguide (at (1,0)), vertical-first also crosses? VF
+        // goes up x=0 then across y=4 — the vertical span ends at y=3, so
+        // no crossing. The router must pick vertical-first.
+        let mut layout = Layout::new(vec![
+            Point::new(1.0, -3.0),
+            Point::new(1.0, 3.0),
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 4.0),
+        ]);
+        let _v = layout.route_open_path(&[NodeId(0), NodeId(1)]);
+        let _l = layout.route_open_path(&[NodeId(2), NodeId(3)]);
+        assert_eq!(layout.total_crossings(), 0);
+    }
+
+    #[test]
+    fn path_crossings_accumulate_over_range() {
+        let mut layout = Layout::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 2.0),
+            Point::new(0.0, 2.0),
+            Point::new(1.0, -1.0),
+            Point::new(1.0, 3.0),
+        ]);
+        let ring = Cycle::new((0..4).map(NodeId).collect()).unwrap();
+        let wg = layout.route_cycle(&ring);
+        // A vertical waveguide cutting through both horizontal ring sides.
+        let _cut = layout.route_open_path(&[NodeId(4), NodeId(5)]);
+        assert_eq!(layout.total_crossings(), 2);
+        let ring_cycle = Cycle::new((0..4).map(NodeId).collect()).unwrap();
+        let range = ring_cycle.path_segments(NodeId(0), NodeId(2)).unwrap();
+        // Path 0→1→2 traverses the bottom side (crossed) and right side.
+        assert_eq!(layout.path_crossings(wg, &range), 1);
+    }
+
+    #[test]
+    fn total_length_sums_waveguides() {
+        let mut layout = square_layout();
+        let ring = Cycle::new((0..4).map(NodeId).collect()).unwrap();
+        layout.route_cycle(&ring);
+        layout.route_open_path(&[NodeId(0), NodeId(1)]);
+        assert_eq!(layout.total_length(), Millimeters(10.0));
+        assert_eq!(layout.waveguide_count(), 2);
+        assert_eq!(layout.waveguides().len(), 2);
+    }
+
+    #[test]
+    fn crossing_pairs_identify_the_channels() {
+        let mut layout = Layout::new(vec![
+            Point::new(-1.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, -1.0),
+            Point::new(0.0, 1.0),
+        ]);
+        let h = layout.route_open_path(&[NodeId(0), NodeId(1)]);
+        let v = layout.route_open_path(&[NodeId(2), NodeId(3)]);
+        let pairs = layout.crossing_pairs();
+        assert_eq!(pairs, vec![((h, 0), (v, 0))]);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_positions() -> impl Strategy<Value = Vec<Point>> {
+            proptest::collection::btree_set((0i32..6, 0i32..6), 3..8).prop_map(|set| {
+                set.into_iter()
+                    .map(|(x, y)| Point::new(f64::from(x) * 0.5, f64::from(y) * 0.5))
+                    .collect()
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            #[test]
+            fn prop_routed_segment_lengths_are_manhattan(positions in arb_positions()) {
+                let n = positions.len();
+                let mut layout = Layout::new(positions.clone());
+                let ring = Cycle::new((0..n).map(NodeId).collect()).unwrap();
+                let wg = layout.route_cycle(&ring);
+                let routed = layout.waveguide(wg);
+                for i in 0..routed.segment_count() {
+                    let (a, b) = routed.segment_nodes(i);
+                    let expected = positions[a.index()].manhattan(positions[b.index()]);
+                    prop_assert!((routed.segment(i).length.0 - expected.0).abs() < 1e-9);
+                    // The spans tile the segment exactly.
+                    let span_total: f64 =
+                        routed.segment(i).spans.iter().map(|s| s.length().0).sum();
+                    prop_assert!((span_total - expected.0).abs() < 1e-9);
+                }
+            }
+
+            #[test]
+            fn prop_crossing_pairs_count_matches_total(positions in arb_positions()) {
+                let n = positions.len();
+                let mut layout = Layout::new(positions);
+                let ring = Cycle::new((0..n).map(NodeId).collect()).unwrap();
+                layout.route_cycle(&ring);
+                // Add a chord to force potential crossings.
+                layout.route_open_path(&[NodeId(0), NodeId(n / 2)]);
+                // Each identified pair accounts for at least one crossing
+                // point; pairs whose segments cross multiple times are rare
+                // with L-shapes but allowed, hence ≤.
+                prop_assert!(layout.crossing_pairs().len() <= layout.total_crossings());
+                // And zero pairs iff zero crossings.
+                prop_assert_eq!(
+                    layout.crossing_pairs().is_empty(),
+                    layout.total_crossings() == 0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn waveguide_id_display() {
+        assert_eq!(WaveguideId(3).to_string(), "wg3");
+        assert_eq!(WaveguideId(3).index(), 3);
+    }
+}

@@ -1,0 +1,172 @@
+//! SVG rendering of routed layouts.
+//!
+//! A picture of the waveguide plan is the fastest way to review a router
+//! design (the paper communicates its designs through exactly such figures
+//! — Fig. 1(d), Fig. 2(e), Fig. 6(b)). [`render`] draws every waveguide in
+//! its own color, marks the node positions, and labels them.
+//!
+//! # Examples
+//!
+//! ```
+//! use onoc_graph::{NodeId, Point};
+//! use onoc_layout::{svg, Cycle, Layout};
+//!
+//! # fn main() -> Result<(), onoc_layout::BuildCycleError> {
+//! let mut layout = Layout::new(vec![
+//!     Point::new(0.0, 0.0),
+//!     Point::new(1.0, 0.0),
+//!     Point::new(1.0, 1.0),
+//! ]);
+//! layout.route_cycle(&Cycle::new((0..3).map(NodeId).collect())?);
+//! let document = svg::render(&layout, &["a", "b", "c"]);
+//! assert!(document.starts_with("<svg"));
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::route::Layout;
+use std::fmt::Write as _;
+
+/// Categorical colors cycled per waveguide.
+const PALETTE: [&str; 8] = [
+    "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd", "#8c564b", "#e377c2", "#17becf",
+];
+
+/// Pixels per millimetre in the output document.
+const SCALE: f64 = 220.0;
+/// Margin around the drawing, in pixels.
+const MARGIN: f64 = 40.0;
+
+/// Renders the layout as a standalone SVG document. `labels[i]` names node
+/// `i`; missing labels fall back to `n{i}`.
+#[must_use]
+pub fn render(layout: &Layout, labels: &[&str]) -> String {
+    // Bounding box over all span endpoints and node positions.
+    let mut points: Vec<(f64, f64)> = Vec::new();
+    for wg in layout.waveguides() {
+        for i in 0..wg.segment_count() {
+            for span in &wg.segment(i).spans {
+                points.push((span.start().x, span.start().y));
+                points.push((span.end().x, span.end().y));
+            }
+        }
+    }
+    for i in 0..labels.len() {
+        let p = layout.position(onoc_graph::NodeId(i));
+        points.push((p.x, p.y));
+    }
+    if points.is_empty() {
+        points.push((0.0, 0.0));
+        points.push((1.0, 1.0));
+    }
+    let min_x = points.iter().map(|p| p.0).fold(f64::MAX, f64::min);
+    let min_y = points.iter().map(|p| p.1).fold(f64::MAX, f64::min);
+    let max_x = points.iter().map(|p| p.0).fold(f64::MIN, f64::max);
+    let max_y = points.iter().map(|p| p.1).fold(f64::MIN, f64::max);
+
+    let width = (max_x - min_x).max(0.1) * SCALE + 2.0 * MARGIN;
+    let height = (max_y - min_y).max(0.1) * SCALE + 2.0 * MARGIN;
+    // SVG's y axis points down; flip so the floorplan reads naturally.
+    let tx = |x: f64| (x - min_x) * SCALE + MARGIN;
+    let ty = |y: f64| height - ((y - min_y) * SCALE + MARGIN);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0}" height="{height:.0}" viewBox="0 0 {width:.0} {height:.0}">"#
+    );
+    let _ = writeln!(out, r#"  <rect width="100%" height="100%" fill="white"/>"#);
+
+    // Waveguides.
+    for (wi, wg) in layout.waveguides().iter().enumerate() {
+        let color = PALETTE[wi % PALETTE.len()];
+        let _ = writeln!(out, r#"  <g stroke="{color}" stroke-width="3" fill="none">"#);
+        for i in 0..wg.segment_count() {
+            for span in &wg.segment(i).spans {
+                if span.is_degenerate() {
+                    continue;
+                }
+                let _ = writeln!(
+                    out,
+                    r#"    <line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}"/>"#,
+                    tx(span.start().x),
+                    ty(span.start().y),
+                    tx(span.end().x),
+                    ty(span.end().y)
+                );
+            }
+        }
+        let _ = writeln!(out, "  </g>");
+    }
+
+    // Nodes on top.
+    let node_count = labels.len();
+    for i in 0..node_count {
+        let p = layout.position(onoc_graph::NodeId(i));
+        let label = labels.get(i).copied().unwrap_or("");
+        let _ = writeln!(
+            out,
+            r##"  <circle cx="{:.1}" cy="{:.1}" r="7" fill="#333"/>"##,
+            tx(p.x),
+            ty(p.y)
+        );
+        let _ = writeln!(
+            out,
+            r##"  <text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="13" fill="#111">{label}</text>"##,
+            tx(p.x) + 9.0,
+            ty(p.y) - 6.0
+        );
+    }
+
+    let _ = writeln!(out, "</svg>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Cycle;
+    use onoc_graph::{NodeId, Point};
+
+    fn sample_layout() -> Layout {
+        let mut layout = Layout::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 1.0),
+        ]);
+        layout.route_cycle(&Cycle::new((0..4).map(NodeId).collect()).unwrap());
+        layout
+    }
+
+    #[test]
+    fn renders_a_well_formed_document() {
+        let layout = sample_layout();
+        let svg = render(&layout, &["a", "b", "c", "d"]);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // One line per span: 4 straight segments → 4 lines.
+        assert_eq!(svg.matches("<line").count(), 4);
+        assert_eq!(svg.matches("<circle").count(), 4);
+        assert!(svg.contains(">a</text>"));
+        // Balanced groups.
+        assert_eq!(svg.matches("<g ").count(), svg.matches("</g>").count());
+    }
+
+    #[test]
+    fn waveguides_get_distinct_colors() {
+        let mut layout = sample_layout();
+        layout.route_open_path(&[NodeId(0), NodeId(2)]);
+        let svg = render(&layout, &["a", "b", "c", "d"]);
+        assert!(svg.contains(PALETTE[0]));
+        assert!(svg.contains(PALETTE[1]));
+    }
+
+    #[test]
+    fn empty_layout_still_renders() {
+        let layout = Layout::new(vec![]);
+        let svg = render(&layout, &[]);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("</svg>"));
+    }
+}

@@ -1,0 +1,713 @@
+//! Branch-and-bound search over the LP relaxation.
+//!
+//! Best-first node selection (smallest LP bound first), most-fractional
+//! branching, optional warm-start incumbent, wall-clock and node limits.
+//! The search is *anytime*: hitting a limit returns the incumbent and the
+//! proven global bound with [`Status::Feasible`].
+
+use crate::model::{Model, ModelError, VarType};
+use crate::simplex::{solve_lp, LpProblem, LpRow, LpStatus};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+const INT_TOL: f64 = 1e-6;
+
+/// Options controlling the branch-and-bound search.
+#[derive(Debug, Clone)]
+pub struct SolveOptions {
+    /// Wall-clock budget; `None` means unlimited.
+    pub time_limit: Option<Duration>,
+    /// Maximum number of explored nodes; `None` means unlimited.
+    pub node_limit: Option<usize>,
+    /// A feasible starting assignment (one value per variable). If it
+    /// validates against the model it becomes the initial incumbent,
+    /// letting the search prune from the start.
+    pub warm_start: Option<Vec<f64>>,
+    /// Stop when `(incumbent − bound) ≤ gap · max(1, |incumbent|)`.
+    /// Zero (the default) demands full optimality.
+    pub relative_gap: f64,
+    /// Run the conservative presolve reductions before the search
+    /// (default `true`; see the [`presolve`](mod@crate::presolve) module).
+    pub presolve: bool,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            time_limit: None,
+            node_limit: None,
+            warm_start: None,
+            relative_gap: 0.0,
+            presolve: true,
+        }
+    }
+}
+
+impl SolveOptions {
+    /// Unlimited search to proven optimality.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets a wall-clock budget.
+    #[must_use]
+    pub fn with_time_limit(mut self, limit: Duration) -> Self {
+        self.time_limit = Some(limit);
+        self
+    }
+
+    /// Sets a node budget.
+    #[must_use]
+    pub fn with_node_limit(mut self, limit: usize) -> Self {
+        self.node_limit = Some(limit);
+        self
+    }
+
+    /// Supplies a warm-start assignment.
+    #[must_use]
+    pub fn with_warm_start(mut self, values: Vec<f64>) -> Self {
+        self.warm_start = Some(values);
+        self
+    }
+}
+
+/// How the search ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// The incumbent is proven optimal (within the requested gap).
+    Optimal,
+    /// A limit was reached; the incumbent is feasible but not proven
+    /// optimal.
+    Feasible,
+}
+
+/// The result of a MILP solve.
+#[derive(Debug, Clone)]
+pub struct MilpSolution {
+    status: Status,
+    objective: f64,
+    bound: f64,
+    values: Vec<f64>,
+    nodes_explored: usize,
+}
+
+impl MilpSolution {
+    /// Whether optimality was proven.
+    #[must_use]
+    pub fn status(&self) -> Status {
+        self.status
+    }
+
+    /// Objective value of the incumbent (including any constant term of the
+    /// objective expression).
+    #[must_use]
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// The proven global lower bound on the optimum (equals
+    /// [`MilpSolution::objective`] when optimal).
+    #[must_use]
+    pub fn bound(&self) -> f64 {
+        self.bound
+    }
+
+    /// The absolute optimality gap `objective − bound`.
+    #[must_use]
+    pub fn gap(&self) -> f64 {
+        (self.objective - self.bound).max(0.0)
+    }
+
+    /// The value of a variable in the incumbent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable does not belong to the solved model.
+    #[must_use]
+    pub fn value(&self, var: crate::expr::Var) -> f64 {
+        self.values[var.index()]
+    }
+
+    /// The full assignment, indexed by variable index.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of branch-and-bound nodes explored.
+    #[must_use]
+    pub fn nodes_explored(&self) -> usize {
+        self.nodes_explored
+    }
+}
+
+struct Node {
+    bound: f64,
+    depth: usize,
+    seq: usize,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+}
+
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Node {}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; we want the *smallest* bound on top,
+        // breaking ties toward deeper nodes (diving) and then recency.
+        other
+            .bound
+            .partial_cmp(&self.bound)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.depth.cmp(&other.depth))
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+fn build_lp(model: &Model) -> (LpProblem, Vec<f64>, Vec<f64>) {
+    let n = model.vars.len();
+    let mut cost = vec![0.0; n];
+    for (v, c) in model.objective.terms() {
+        cost[v.index()] = c;
+    }
+    let mut lower = Vec::with_capacity(n);
+    let mut upper = Vec::with_capacity(n);
+    for data in &model.vars {
+        // Integer variables get their bounds rounded inward.
+        let (l, u) = if data.var_type == VarType::Continuous {
+            (data.lower, data.upper)
+        } else {
+            (
+                if data.lower.is_finite() {
+                    data.lower.ceil()
+                } else {
+                    data.lower
+                },
+                if data.upper.is_finite() {
+                    data.upper.floor()
+                } else {
+                    data.upper
+                },
+            )
+        };
+        lower.push(l);
+        upper.push(u);
+    }
+    let rows = model
+        .constraints
+        .iter()
+        .map(|c| LpRow {
+            coeffs: c.expr.terms().map(|(v, a)| (v.index(), a)).collect(),
+            sense: c.sense,
+            rhs: c.rhs,
+        })
+        .collect();
+    (
+        LpProblem {
+            cost,
+            lower: lower.clone(),
+            upper: upper.clone(),
+            rows,
+        },
+        lower,
+        upper,
+    )
+}
+
+/// Solves `model` by branch and bound. Used through
+/// [`Model::solve`](crate::Model::solve).
+pub(crate) fn solve(model: &Model, options: &SolveOptions) -> Result<MilpSolution, ModelError> {
+    // Presolve keeps the variable set, so solutions map back one-to-one.
+    if options.presolve {
+        let reduced = crate::presolve::presolve(model)?;
+        let mut inner = options.clone();
+        inner.presolve = false;
+        let mut sol = solve(&reduced.model, &inner)?;
+        // Report the objective against the original model (identical by
+        // construction, but re-evaluating guards against drift).
+        sol.objective = model.objective.evaluate(sol.values());
+        return Ok(sol);
+    }
+    let start = Instant::now();
+    let obj_constant = model.objective.constant();
+    let (lp, root_lower, root_upper) = build_lp(model);
+    let integer_vars: Vec<usize> = model
+        .vars
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| d.var_type != VarType::Continuous)
+        .map(|(i, _)| i)
+        .collect();
+
+    // Warm start → initial incumbent (objective tracked without constant).
+    let mut incumbent: Option<(f64, Vec<f64>)> = None;
+    if let Some(ws) = &options.warm_start {
+        if model.is_feasible(ws, 1e-6) {
+            let obj = model.objective.evaluate(ws) - obj_constant;
+            incumbent = Some((obj, ws.clone()));
+        }
+    }
+
+    let mut heap = BinaryHeap::new();
+    let mut seq = 0usize;
+    heap.push(Node {
+        bound: f64::NEG_INFINITY,
+        depth: 0,
+        seq,
+        lower: root_lower,
+        upper: root_upper,
+    });
+
+    let mut nodes_explored = 0usize;
+    let mut limit_hit = false;
+    let mut global_bound = f64::NEG_INFINITY;
+    let mut root_infeasible = true;
+    let mut root_unbounded = false;
+
+    while let Some(node) = heap.pop() {
+        global_bound = node.bound;
+        // Prune against the incumbent (best-first: once the best open bound
+        // cannot improve, the search is done).
+        if let Some((inc_obj, _)) = &incumbent {
+            let gap_ok = *inc_obj - node.bound
+                <= options.relative_gap * inc_obj.abs().max(1.0) + 1e-9;
+            if node.bound >= *inc_obj - 1e-9 || gap_ok {
+                global_bound = *inc_obj;
+                break;
+            }
+        }
+        if let Some(limit) = options.time_limit {
+            if start.elapsed() >= limit {
+                limit_hit = true;
+                break;
+            }
+        }
+        if let Some(limit) = options.node_limit {
+            if nodes_explored >= limit {
+                limit_hit = true;
+                break;
+            }
+        }
+        nodes_explored += 1;
+
+        let result = solve_lp(&lp, &node.lower, &node.upper);
+        match result.status {
+            LpStatus::Infeasible => continue,
+            LpStatus::IterationLimit => {
+                // Numerical trouble in this subtree: treat conservatively
+                // as unexplored (soundness of the bound is kept by never
+                // using this node to prune).
+                if node.depth == 0 {
+                    return Err(ModelError::IterationLimit);
+                }
+                limit_hit = true;
+                continue;
+            }
+            LpStatus::Unbounded => {
+                if node.depth == 0 {
+                    root_unbounded = true;
+                    break;
+                }
+                continue;
+            }
+            LpStatus::Optimal => {}
+        }
+        root_infeasible = false;
+        let lp_obj = result.objective;
+        if let Some((inc_obj, _)) = &incumbent {
+            if lp_obj >= *inc_obj - 1e-9 {
+                continue;
+            }
+        }
+
+        // Find the most fractional integer variable.
+        let mut branch_var: Option<(usize, f64)> = None; // (var, fractionality)
+        for &j in &integer_vars {
+            let x = result.values[j];
+            let frac = (x - x.round()).abs();
+            if frac > INT_TOL {
+                let score = (x - x.floor() - 0.5).abs(); // smaller = more fractional
+                let better = match branch_var {
+                    None => true,
+                    Some((_, best)) => score < best,
+                };
+                if better {
+                    branch_var = Some((j, score));
+                }
+            }
+        }
+
+        match branch_var {
+            None => {
+                // Integral: candidate incumbent. Round integer variables
+                // exactly and re-validate.
+                let mut values = result.values.clone();
+                for &j in &integer_vars {
+                    values[j] = values[j].round();
+                }
+                let values = if model.is_feasible(&values, 1e-6) {
+                    values
+                } else {
+                    result.values.clone()
+                };
+                let obj = model.objective.evaluate(&values) - obj_constant;
+                let better = match &incumbent {
+                    None => true,
+                    Some((inc_obj, _)) => obj < *inc_obj - 1e-12,
+                };
+                if better {
+                    incumbent = Some((obj, values));
+                }
+            }
+            Some((j, _)) => {
+                let x = result.values[j];
+                // Down child: xⱼ ≤ floor(x).
+                let mut down = Node {
+                    bound: lp_obj,
+                    depth: node.depth + 1,
+                    seq: {
+                        seq += 1;
+                        seq
+                    },
+                    lower: node.lower.clone(),
+                    upper: node.upper.clone(),
+                };
+                down.upper[j] = x.floor();
+                if down.lower[j] <= down.upper[j] {
+                    heap.push(down);
+                }
+                // Up child: xⱼ ≥ ceil(x).
+                let mut up = Node {
+                    bound: lp_obj,
+                    depth: node.depth + 1,
+                    seq: {
+                        seq += 1;
+                        seq
+                    },
+                    lower: node.lower,
+                    upper: node.upper,
+                };
+                up.lower[j] = x.ceil();
+                if up.lower[j] <= up.upper[j] {
+                    heap.push(up);
+                }
+            }
+        }
+    }
+
+    if root_unbounded && incumbent.is_none() {
+        return Err(ModelError::Unbounded);
+    }
+
+    match incumbent {
+        Some((obj, values)) => {
+            let exhausted = heap.is_empty() && !limit_hit;
+            let bound = if exhausted {
+                obj
+            } else {
+                // The best open bound (or the point we stopped at).
+                heap.peek().map(|n| n.bound).unwrap_or(global_bound).min(obj)
+            };
+            let status = if exhausted || obj - bound <= options.relative_gap * obj.abs().max(1.0) + 1e-9 {
+                Status::Optimal
+            } else {
+                Status::Feasible
+            };
+            Ok(MilpSolution {
+                status,
+                objective: obj + obj_constant,
+                bound: bound + obj_constant,
+                values,
+                nodes_explored,
+            })
+        }
+        None => {
+            if limit_hit {
+                Err(ModelError::NoSolutionFound)
+            } else if root_infeasible {
+                Err(ModelError::Infeasible)
+            } else {
+                Err(ModelError::Infeasible)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::LinExpr;
+    use crate::model::{Model, Sense, VarType};
+
+    #[test]
+    fn pure_lp_solves_without_branching() {
+        let mut m = Model::new();
+        let x = m.add_continuous("x");
+        let y = m.add_continuous("y");
+        m.add_constraint([(x, 1.0), (y, 1.0)], Sense::Ge, 4.0).unwrap();
+        m.set_objective([(x, 1.0), (y, 2.0)]);
+        let sol = m.solve(&SolveOptions::default()).unwrap();
+        assert_eq!(sol.status(), Status::Optimal);
+        assert!((sol.objective() - 4.0).abs() < 1e-6);
+        assert_eq!(sol.nodes_explored(), 1);
+    }
+
+    #[test]
+    fn knapsack_finds_optimum() {
+        let mut m = Model::new();
+        let items = [(3.0, 4.0), (4.0, 5.0), (5.0, 6.0)];
+        let vars: Vec<_> = items
+            .iter()
+            .enumerate()
+            .map(|(i, _)| m.add_binary(format!("x{i}")))
+            .collect();
+        let weight: Vec<_> = vars.iter().zip(&items).map(|(&v, &(w, _))| (v, w)).collect();
+        m.add_constraint(weight, Sense::Le, 7.0).unwrap();
+        let value: Vec<_> = vars.iter().zip(&items).map(|(&v, &(_, p))| (v, -p)).collect();
+        m.set_objective(value);
+        let sol = m.solve(&SolveOptions::default()).unwrap();
+        assert_eq!(sol.status(), Status::Optimal);
+        assert!((sol.objective() + 9.0).abs() < 1e-6);
+        assert!(sol.value(vars[0]) > 0.5 && sol.value(vars[1]) > 0.5);
+        assert!(sol.value(vars[2]) < 0.5);
+    }
+
+    #[test]
+    fn integer_rounding_matters() {
+        // max x + y s.t. 2x + 2y ≤ 5, integers → LP gives 2.5, MILP 2.
+        let mut m = Model::new();
+        let x = m.add_var(VarType::Integer, 0.0, 10.0, "x").unwrap();
+        let y = m.add_var(VarType::Integer, 0.0, 10.0, "y").unwrap();
+        m.add_constraint([(x, 2.0), (y, 2.0)], Sense::Le, 5.0).unwrap();
+        m.set_objective([(x, -1.0), (y, -1.0)]);
+        let sol = m.solve(&SolveOptions::default()).unwrap();
+        assert!((sol.objective() + 2.0).abs() < 1e-6);
+        assert_eq!(sol.gap(), 0.0);
+    }
+
+    #[test]
+    fn set_packing_requires_search() {
+        // Pairwise conflicts force at most one of three; LP relaxation
+        // says 1.5.
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        let z = m.add_binary("z");
+        m.add_constraint([(x, 1.0), (y, 1.0)], Sense::Le, 1.0).unwrap();
+        m.add_constraint([(x, 1.0), (z, 1.0)], Sense::Le, 1.0).unwrap();
+        m.add_constraint([(y, 1.0), (z, 1.0)], Sense::Le, 1.0).unwrap();
+        m.set_objective([(x, -1.0), (y, -1.0), (z, -1.0)]);
+        let sol = m.solve(&SolveOptions::default()).unwrap();
+        assert!((sol.objective() + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_milp_reported() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        m.add_constraint([(x, 1.0)], Sense::Ge, 2.0).unwrap();
+        assert!(matches!(m.solve(&SolveOptions::default()), Err(ModelError::Infeasible)));
+    }
+
+    #[test]
+    fn unbounded_milp_reported() {
+        let mut m = Model::new();
+        let x = m.add_continuous("x");
+        m.set_objective([(x, -1.0)]);
+        assert!(matches!(m.solve(&SolveOptions::default()), Err(ModelError::Unbounded)));
+    }
+
+    #[test]
+    fn warm_start_is_used() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        m.add_constraint([(x, 1.0), (y, 1.0)], Sense::Le, 1.0).unwrap();
+        m.set_objective([(x, -2.0), (y, -1.0)]);
+        // Warm start with the suboptimal y=1.
+        let options = SolveOptions::default().with_warm_start(vec![0.0, 1.0]);
+        let sol = m.solve(&options).unwrap();
+        assert_eq!(sol.status(), Status::Optimal);
+        assert!((sol.objective() + 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn node_limit_returns_feasible_incumbent() {
+        // A problem needing branching, with a zero node budget and a warm
+        // start: the warm start must come back as Feasible.
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        let z = m.add_binary("z");
+        m.add_constraint([(x, 1.0), (y, 1.0)], Sense::Le, 1.0).unwrap();
+        m.add_constraint([(x, 1.0), (z, 1.0)], Sense::Le, 1.0).unwrap();
+        m.add_constraint([(y, 1.0), (z, 1.0)], Sense::Le, 1.0).unwrap();
+        m.set_objective([(x, -1.0), (y, -1.0), (z, -1.0)]);
+        let options = SolveOptions::default()
+            .with_node_limit(0)
+            .with_warm_start(vec![1.0, 0.0, 0.0]);
+        let sol = m.solve(&options).unwrap();
+        assert_eq!(sol.status(), Status::Feasible);
+        assert!((sol.objective() + 1.0).abs() < 1e-9);
+        assert!(sol.bound() <= sol.objective());
+        assert!(sol.gap() >= 0.0);
+    }
+
+    #[test]
+    fn node_limit_without_incumbent_errors() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        m.add_constraint([(x, 1.0), (y, 1.0)], Sense::Le, 1.0).unwrap();
+        m.set_objective([(x, -1.0), (y, -1.0)]);
+        let options = SolveOptions::default().with_node_limit(0);
+        assert!(matches!(m.solve(&options), Err(ModelError::NoSolutionFound)));
+    }
+
+    #[test]
+    fn objective_constant_is_reported() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        m.set_objective(LinExpr::from(x) + 10.0);
+        let sol = m.solve(&SolveOptions::default()).unwrap();
+        assert!((sol.objective() - 10.0).abs() < 1e-9);
+        assert!(sol.value(x) < 0.5);
+    }
+
+    #[test]
+    fn equality_constrained_binaries() {
+        // Exactly-one constraints — the shape of the paper's Eq. 1.
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..4).map(|i| m.add_binary(format!("b{i}"))).collect();
+        let sum: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
+        m.add_constraint(sum, Sense::Eq, 1.0).unwrap();
+        m.set_objective([(vars[2], -1.0)]);
+        let sol = m.solve(&SolveOptions::default()).unwrap();
+        assert!((sol.objective() + 1.0).abs() < 1e-6);
+        assert!(sol.value(vars[2]) > 0.5);
+        let chosen: f64 = vars.iter().map(|&v| sol.value(v)).sum();
+        assert!((chosen - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn big_m_indicator_pattern() {
+        // The shape of the paper's Eq. 7: il ≥ loss − (1 − b)·Ξ.
+        let mut m = Model::new();
+        let b = m.add_binary("b");
+        let il = m.add_continuous("il");
+        let xi = 1e4;
+        // il ≥ 7 − (1 − b)·Ξ  ⇔  il + Ξ·(1−b) ≥ 7  ⇔ il − Ξ·b ≥ 7 − Ξ.
+        m.add_constraint([(il, 1.0), (b, -xi)], Sense::Ge, 7.0 - xi).unwrap();
+        // Force b = 1.
+        m.add_constraint([(b, 1.0)], Sense::Ge, 1.0).unwrap();
+        m.set_objective([(il, 1.0)]);
+        let sol = m.solve(&SolveOptions::default()).unwrap();
+        assert!((sol.objective() - 7.0).abs() < 1e-5);
+    }
+
+    /// Brute-force reference: enumerate all 2^n binary assignments.
+    fn brute_force(m: &Model) -> Option<f64> {
+        let n = m.var_count();
+        let mut best: Option<f64> = None;
+        for mask in 0u32..(1 << n) {
+            let values: Vec<f64> = (0..n).map(|i| f64::from((mask >> i) & 1)).collect();
+            if m.is_feasible(&values, 1e-9) {
+                let obj = m.objective().evaluate(&values);
+                best = Some(best.map_or(obj, |b: f64| b.min(obj)));
+            }
+        }
+        best
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        /// Random small binary programs: branch and bound must agree with
+        /// exhaustive enumeration, both on feasibility and on the optimum.
+        #[test]
+        fn prop_bb_matches_brute_force(
+            n in 2usize..7,
+            rows in proptest::collection::vec(
+                (proptest::collection::vec(-3i8..4, 6), -4i8..8), 0..5
+            ),
+            cost in proptest::collection::vec(-5i8..6, 6),
+        ) {
+            let mut m = Model::new();
+            let vars: Vec<_> = (0..n).map(|i| m.add_binary(format!("b{i}"))).collect();
+            for (coeffs, rhs) in &rows {
+                let terms: Vec<_> = vars
+                    .iter()
+                    .zip(coeffs)
+                    .filter(|(_, &c)| c != 0)
+                    .map(|(&v, &c)| (v, f64::from(c)))
+                    .collect();
+                if !terms.is_empty() {
+                    m.add_constraint(terms, Sense::Le, f64::from(*rhs)).unwrap();
+                }
+            }
+            let obj: Vec<_> = vars
+                .iter()
+                .zip(&cost)
+                .map(|(&v, &c)| (v, f64::from(c)))
+                .collect();
+            m.set_objective(obj);
+
+            let reference = brute_force(&m);
+            match m.solve(&SolveOptions::default()) {
+                Ok(sol) => {
+                    let expected = reference.expect("solver found a point, brute force must too");
+                    proptest::prop_assert!(
+                        (sol.objective() - expected).abs() < 1e-6,
+                        "solver {} vs brute force {}", sol.objective(), expected
+                    );
+                    proptest::prop_assert!(m.is_feasible(sol.values(), 1e-6));
+                    proptest::prop_assert_eq!(sol.status(), Status::Optimal);
+                }
+                Err(ModelError::Infeasible) => {
+                    proptest::prop_assert!(reference.is_none(), "solver said infeasible, brute force found {:?}", reference);
+                }
+                Err(e) => return Err(proptest::test_runner::TestCaseError::fail(format!("unexpected error {e}"))),
+            }
+        }
+    }
+
+    #[test]
+    fn twenty_variable_assignment_solves_quickly() {
+        // 10 items → 4 bins with pairwise conflicts along a path; a
+        // miniature of the wavelength-assignment structure.
+        let mut m = Model::new();
+        let n = 10;
+        let k = 4;
+        let mut b = Vec::new();
+        for s in 0..n {
+            let row: Vec<_> = (0..k).map(|l| m.add_binary(format!("b_{s}_{l}"))).collect();
+            let sum: Vec<_> = row.iter().map(|&v| (v, 1.0)).collect();
+            m.add_constraint(sum, Sense::Eq, 1.0).unwrap();
+            b.push(row);
+        }
+        // Conflicts: consecutive items must differ.
+        for s in 0..n - 1 {
+            for l in 0..k {
+                m.add_constraint([(b[s][l], 1.0), (b[s + 1][l], 1.0)], Sense::Le, 1.0)
+                    .unwrap();
+            }
+        }
+        // Minimize use of the last bin.
+        let obj: Vec<_> = (0..n).map(|s| (b[s][k - 1], 1.0)).collect();
+        m.set_objective(obj);
+        let sol = m.solve(&SolveOptions::default()).unwrap();
+        assert_eq!(sol.status(), Status::Optimal);
+        assert!(sol.objective().abs() < 1e-6);
+    }
+}

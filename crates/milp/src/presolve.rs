@@ -1,0 +1,294 @@
+//! Conservative presolve reductions applied before branch and bound.
+//!
+//! Real MILP solvers spend much of their effort here; this module
+//! implements the safe, always-correct subset that pays off on the
+//! wavelength-assignment models:
+//!
+//! * **singleton rows** become bound tightenings (`3·x ≤ 6` → `x ≤ 2`),
+//! * **bound tightening for integers** rounds bounds inward,
+//! * **empty rows** are checked and dropped (or declare infeasibility),
+//! * **fixed variables** (`l = u`) are substituted into every row and the
+//!   objective,
+//! * **redundant rows** whose activity bounds already satisfy the
+//!   constraint are dropped.
+//!
+//! Every reduction preserves the feasible set exactly (no primal
+//! heuristics, no dual reductions), so the reduced model has the same
+//! optimal value and every solution maps back one-to-one.
+
+use crate::expr::LinExpr;
+use crate::model::{Model, ModelError, Sense, VarType};
+
+/// The outcome of presolving a model.
+#[derive(Debug, Clone)]
+pub struct Presolved {
+    /// The reduced model (same variable set; bounds tightened, rows
+    /// dropped or simplified).
+    pub model: Model,
+    /// Rows removed as redundant or converted into bounds.
+    pub rows_removed: usize,
+    /// Variables whose bounds were tightened (including fixings).
+    pub bounds_tightened: usize,
+}
+
+/// Applies the reductions. Returns [`ModelError::Infeasible`] when a
+/// reduction proves the model empty (for example an empty row `0 ≤ −1` or
+/// crossed bounds after tightening).
+///
+/// # Errors
+///
+/// [`ModelError::Infeasible`] when infeasibility is proven.
+pub fn presolve(model: &Model) -> Result<Presolved, ModelError> {
+    let mut m = model.clone();
+    let mut rows_removed = 0usize;
+    let mut bounds_tightened = 0usize;
+    const TOL: f64 = 1e-9;
+
+    // --- Pass 1: singleton rows → bounds; empty rows → checks. ---
+    let mut kept = Vec::with_capacity(m.constraints.len());
+    for c in std::mem::take(&mut m.constraints) {
+        let terms: Vec<_> = c.expr.terms().collect();
+        match terms.len() {
+            0 => {
+                let ok = match c.sense {
+                    Sense::Le => 0.0 <= c.rhs + TOL,
+                    Sense::Ge => 0.0 >= c.rhs - TOL,
+                    Sense::Eq => c.rhs.abs() <= TOL,
+                };
+                if !ok {
+                    return Err(ModelError::Infeasible);
+                }
+                rows_removed += 1;
+            }
+            1 => {
+                let (v, a) = terms[0];
+                debug_assert!(a != 0.0, "LinExpr drops zero coefficients");
+                let bound = c.rhs / a;
+                let data = &mut m.vars[v.index()];
+                // a·x ≤ rhs → x ≤ bound (a > 0) or x ≥ bound (a < 0).
+                let (new_lower, new_upper) = match (c.sense, a > 0.0) {
+                    (Sense::Le, true) | (Sense::Ge, false) => (f64::NEG_INFINITY, bound),
+                    (Sense::Le, false) | (Sense::Ge, true) => (bound, f64::INFINITY),
+                    (Sense::Eq, _) => (bound, bound),
+                };
+                if new_lower > data.lower + TOL {
+                    data.lower = new_lower;
+                    bounds_tightened += 1;
+                }
+                if new_upper < data.upper - TOL {
+                    data.upper = new_upper;
+                    bounds_tightened += 1;
+                }
+                rows_removed += 1;
+            }
+            _ => kept.push(c),
+        }
+    }
+    m.constraints = kept;
+
+    // --- Pass 2: integer bound rounding and crossed-bound check. ---
+    for data in &mut m.vars {
+        if data.var_type != VarType::Continuous {
+            let l = if data.lower.is_finite() {
+                data.lower.ceil()
+            } else {
+                data.lower
+            };
+            let u = if data.upper.is_finite() {
+                data.upper.floor()
+            } else {
+                data.upper
+            };
+            if l > data.lower + TOL {
+                data.lower = l;
+                bounds_tightened += 1;
+            }
+            if u < data.upper - TOL {
+                data.upper = u;
+                bounds_tightened += 1;
+            }
+        }
+        if data.lower > data.upper + TOL {
+            return Err(ModelError::Infeasible);
+        }
+    }
+
+    // --- Pass 3: substitute fixed variables. ---
+    let fixed: Vec<(usize, f64)> = m
+        .vars
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| d.lower.is_finite() && (d.upper - d.lower).abs() <= TOL)
+        .map(|(i, d)| (i, d.lower))
+        .collect();
+    if !fixed.is_empty() {
+        let is_fixed = |idx: usize| fixed.iter().find(|(i, _)| *i == idx).map(|(_, v)| *v);
+        for c in &mut m.constraints {
+            let mut shift = 0.0;
+            let mut new_expr = LinExpr::new();
+            for (v, a) in c.expr.terms() {
+                match is_fixed(v.index()) {
+                    Some(value) => shift += a * value,
+                    None => {
+                        new_expr.add_term(v, a);
+                    }
+                }
+            }
+            if shift != 0.0 {
+                c.rhs -= shift;
+                c.expr = new_expr;
+            }
+        }
+        let mut new_obj = LinExpr::new();
+        let mut obj_shift = 0.0;
+        for (v, a) in m.objective.terms() {
+            match is_fixed(v.index()) {
+                Some(value) => obj_shift += a * value,
+                None => {
+                    new_obj.add_term(v, a);
+                }
+            }
+        }
+        new_obj.add_constant(m.objective.constant() + obj_shift);
+        m.objective = new_obj;
+    }
+
+    // --- Pass 4: drop rows proven redundant by activity bounds. ---
+    let mut kept = Vec::with_capacity(m.constraints.len());
+    for c in std::mem::take(&mut m.constraints) {
+        let (mut min_act, mut max_act) = (0.0f64, 0.0f64);
+        for (v, a) in c.expr.terms() {
+            let d = &m.vars[v.index()];
+            let (lo, hi) = if a >= 0.0 {
+                (a * d.lower, a * d.upper)
+            } else {
+                (a * d.upper, a * d.lower)
+            };
+            min_act += lo;
+            max_act += hi;
+        }
+        let redundant = match c.sense {
+            Sense::Le => max_act <= c.rhs + TOL,
+            Sense::Ge => min_act >= c.rhs - TOL,
+            Sense::Eq => (max_act - c.rhs).abs() <= TOL && (min_act - c.rhs).abs() <= TOL,
+        };
+        let impossible = match c.sense {
+            Sense::Le => min_act > c.rhs + TOL,
+            Sense::Ge => max_act < c.rhs - TOL,
+            Sense::Eq => min_act > c.rhs + TOL || max_act < c.rhs - TOL,
+        };
+        if impossible {
+            return Err(ModelError::Infeasible);
+        }
+        if redundant {
+            rows_removed += 1;
+        } else {
+            kept.push(c);
+        }
+    }
+    m.constraints = kept;
+
+    Ok(Presolved {
+        model: m,
+        rows_removed,
+        bounds_tightened,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::branch_bound::SolveOptions;
+
+    #[test]
+    fn singleton_rows_become_bounds() {
+        let mut m = Model::new();
+        let x = m.add_continuous("x");
+        m.add_constraint([(x, 3.0)], Sense::Le, 6.0).unwrap();
+        m.add_constraint([(x, -1.0)], Sense::Le, -1.0).unwrap(); // x ≥ 1
+        let p = presolve(&m).unwrap();
+        assert_eq!(p.model.constraint_count(), 0);
+        assert_eq!(p.rows_removed, 2);
+        assert!(p.bounds_tightened >= 2);
+        assert!((p.model.vars[0].upper - 2.0).abs() < 1e-9);
+        assert!((p.model.vars[0].lower - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn integer_bounds_round_inward() {
+        let mut m = Model::new();
+        let x = m.add_var(VarType::Integer, 0.2, 4.9, "x").unwrap();
+        let _ = x;
+        let p = presolve(&m).unwrap();
+        assert_eq!(p.model.vars[0].lower, 1.0);
+        assert_eq!(p.model.vars[0].upper, 4.0);
+    }
+
+    #[test]
+    fn crossed_bounds_infeasible() {
+        let mut m = Model::new();
+        let x = m.add_var(VarType::Integer, 0.6, 0.9, "x").unwrap();
+        let _ = x;
+        assert!(matches!(presolve(&m), Err(ModelError::Infeasible)));
+    }
+
+    #[test]
+    fn empty_row_checked() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        // x − x ≤ −1 folds to an empty, impossible row.
+        m.add_constraint([(x, 1.0), (x, -1.0)], Sense::Le, -1.0).unwrap();
+        assert!(matches!(presolve(&m), Err(ModelError::Infeasible)));
+    }
+
+    #[test]
+    fn fixed_variables_substituted() {
+        let mut m = Model::new();
+        let x = m.add_var(VarType::Continuous, 2.0, 2.0, "x").unwrap();
+        let y = m.add_continuous("y");
+        m.add_constraint([(x, 1.0), (y, 1.0)], Sense::Ge, 5.0).unwrap();
+        m.set_objective([(x, 3.0), (y, 1.0)]);
+        let p = presolve(&m).unwrap();
+        // x is folded out: the row becomes y ≥ 3 and the objective gains 6.
+        let c = &p.model.constraints[0];
+        assert_eq!(c.expr.coefficient(x), 0.0);
+        assert_eq!(c.rhs, 3.0);
+        assert_eq!(p.model.objective().constant(), 6.0);
+    }
+
+    #[test]
+    fn redundant_row_dropped() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        // x + y ≤ 5 can never bind for binaries.
+        m.add_constraint([(x, 1.0), (y, 1.0)], Sense::Le, 5.0).unwrap();
+        let p = presolve(&m).unwrap();
+        assert_eq!(p.model.constraint_count(), 0);
+        assert_eq!(p.rows_removed, 1);
+    }
+
+    #[test]
+    fn impossible_row_detected() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        m.add_constraint([(x, 1.0), (y, 1.0)], Sense::Ge, 3.0).unwrap();
+        assert!(matches!(presolve(&m), Err(ModelError::Infeasible)));
+    }
+
+    #[test]
+    fn presolved_model_has_same_optimum() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        let z = m.add_var(VarType::Continuous, 1.5, 1.5, "z").unwrap();
+        m.add_constraint([(x, 1.0), (y, 1.0)], Sense::Le, 1.0).unwrap();
+        m.add_constraint([(x, 2.0)], Sense::Le, 2.0).unwrap(); // singleton, redundant
+        m.set_objective([(x, -2.0), (y, -1.0), (z, 1.0)]);
+        let direct = m.solve(&SolveOptions::default()).unwrap();
+        let p = presolve(&m).unwrap();
+        let reduced = p.model.solve(&SolveOptions::default()).unwrap();
+        assert!((direct.objective() - reduced.objective()).abs() < 1e-6);
+    }
+}

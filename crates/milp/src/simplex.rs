@@ -1,0 +1,891 @@
+//! Dense two-phase primal simplex with bounded variables.
+//!
+//! The LP relaxations solved during branch and bound have the form
+//!
+//! ```text
+//! minimize    c·x
+//! subject to  Aᵢ·x  {≤, ≥, =}  bᵢ          i = 1..m
+//!             lⱼ ≤ xⱼ ≤ uⱼ                 j = 1..n
+//! ```
+//!
+//! Bounds are handled natively by the **upper-bounded simplex** technique
+//! (nonbasic variables rest at either bound; the ratio test allows bound
+//! flips), so a binary variable costs no extra rows. Phase 1 minimizes the
+//! sum of artificial variables; where a slack can serve as the initial
+//! basic variable no artificial is created. Degeneracy triggers Bland's
+//! rule to guarantee termination.
+//!
+//! This module is `pub` for transparency and direct LP use, but the main
+//! consumer is [`crate::branch_bound`].
+
+use crate::model::Sense;
+
+/// A linear-programming problem in the solver's input form.
+#[derive(Debug, Clone)]
+pub struct LpProblem {
+    /// Objective coefficients (minimization), one per structural variable.
+    pub cost: Vec<f64>,
+    /// Per-variable lower bounds (may be `-inf`).
+    pub lower: Vec<f64>,
+    /// Per-variable upper bounds (may be `+inf`).
+    pub upper: Vec<f64>,
+    /// Constraint rows.
+    pub rows: Vec<LpRow>,
+}
+
+/// One constraint row: a sparse left-hand side, a sense and a right-hand
+/// side.
+#[derive(Debug, Clone)]
+pub struct LpRow {
+    /// `(column, coefficient)` pairs; columns must be in range and unique.
+    pub coeffs: Vec<(usize, f64)>,
+    /// Comparison sense.
+    pub sense: Sense,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// Outcome class of an LP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpStatus {
+    /// An optimal basic solution was found.
+    Optimal,
+    /// No point satisfies the constraints and bounds.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+    /// The iteration budget was exhausted (numerical trouble).
+    IterationLimit,
+}
+
+/// Result of an LP solve: status, objective value and a value per
+/// structural variable (meaningful when the status is
+/// [`LpStatus::Optimal`]).
+#[derive(Debug, Clone)]
+pub struct LpResult {
+    /// Outcome class.
+    pub status: LpStatus,
+    /// Objective value `c·x` (0 unless optimal).
+    pub objective: f64,
+    /// Variable assignment (empty unless optimal).
+    pub values: Vec<f64>,
+}
+
+const PIVOT_TOL: f64 = 1e-9;
+const COST_TOL: f64 = 1e-9;
+const FEAS_TOL: f64 = 1e-7;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum VarStatus {
+    Basic(usize),
+    AtLower,
+    AtUpper,
+}
+
+/// How an original variable maps onto internal non-negative variables.
+#[derive(Debug, Clone, Copy)]
+enum Recover {
+    /// `x = x_int + shift`
+    Shift { col: usize, shift: f64 },
+    /// `x = mirror − x_int` (used for `(-inf, u]` variables)
+    Mirror { col: usize, mirror: f64 },
+    /// `x = x_plus − x_minus` (free variables)
+    Split { plus: usize, minus: usize },
+}
+
+struct Tableau {
+    m: usize,
+    ntot: usize,
+    /// Row-major `m × ntot` coefficient matrix (current `B⁻¹A`).
+    t: Vec<f64>,
+    /// Basic-variable values.
+    beta: Vec<f64>,
+    /// Reduced-cost row.
+    cost_row: Vec<f64>,
+    basis: Vec<usize>,
+    status: Vec<VarStatus>,
+    /// Internal upper bounds (lower bounds are all 0).
+    ub: Vec<f64>,
+    /// Columns banned from entering (artificials in phase 2).
+    banned: Vec<bool>,
+    iterations: usize,
+    degenerate_streak: usize,
+    use_bland: bool,
+}
+
+impl Tableau {
+    #[inline]
+    fn at(&self, i: usize, j: usize) -> f64 {
+        self.t[i * self.ntot + j]
+    }
+
+    fn nonbasic_value(&self, j: usize) -> f64 {
+        match self.status[j] {
+            VarStatus::Basic(r) => self.beta[r],
+            VarStatus::AtLower => 0.0,
+            VarStatus::AtUpper => self.ub[j],
+        }
+    }
+
+    /// One phase of the simplex. Returns `Ok(())` at optimality,
+    /// `Err(LpStatus::Unbounded)` or `Err(LpStatus::IterationLimit)`.
+    fn optimize(&mut self, max_iterations: usize) -> Result<(), LpStatus> {
+        loop {
+            if self.iterations >= max_iterations {
+                return Err(LpStatus::IterationLimit);
+            }
+            self.iterations += 1;
+
+            // --- Pricing: choose the entering column. ---
+            let mut entering: Option<(usize, f64, f64)> = None; // (col, dir, score)
+            for j in 0..self.ntot {
+                // Banned columns (artificials in phase 2) and fixed
+                // variables (zero range) can never improve the objective.
+                if self.banned[j] || self.ub[j] == 0.0 {
+                    continue;
+                }
+                let (dir, score) = match self.status[j] {
+                    VarStatus::Basic(_) => continue,
+                    VarStatus::AtLower => {
+                        if self.cost_row[j] < -COST_TOL {
+                            (1.0, -self.cost_row[j])
+                        } else {
+                            continue;
+                        }
+                    }
+                    VarStatus::AtUpper => {
+                        if self.cost_row[j] > COST_TOL {
+                            (-1.0, self.cost_row[j])
+                        } else {
+                            continue;
+                        }
+                    }
+                };
+                if self.use_bland {
+                    // Bland's rule: the first improving index terminates
+                    // the scan, guaranteeing no cycling.
+                    entering = Some((j, dir, score));
+                    break;
+                }
+                let better = match entering {
+                    None => true,
+                    Some((_, _, bscore)) => score > bscore,
+                };
+                if better {
+                    entering = Some((j, dir, score));
+                }
+            }
+            let Some((j, dir, _)) = entering else {
+                return Ok(()); // optimal
+            };
+
+            // --- Ratio test. ---
+            #[derive(Clone, Copy, PartialEq)]
+            enum Limit {
+                OwnBound,
+                Row { r: usize, to_upper: bool },
+            }
+            let mut delta = self.ub[j]; // may be +inf
+            let mut limit = Limit::OwnBound;
+            let mut best_pivot_mag = 0.0_f64;
+            for r in 0..self.m {
+                let t_eff = self.at(r, j) * dir;
+                if t_eff > PIVOT_TOL {
+                    // Basic variable decreases toward 0.
+                    let d = self.beta[r] / t_eff;
+                    if d < delta - PIVOT_TOL
+                        || (d < delta + PIVOT_TOL && t_eff.abs() > best_pivot_mag)
+                    {
+                        delta = d.max(0.0);
+                        limit = Limit::Row { r, to_upper: false };
+                        best_pivot_mag = t_eff.abs();
+                    }
+                } else if t_eff < -PIVOT_TOL {
+                    // Basic variable increases toward its upper bound.
+                    let u = self.ub[self.basis[r]];
+                    if u.is_finite() {
+                        let d = (u - self.beta[r]) / (-t_eff);
+                        if d < delta - PIVOT_TOL
+                            || (d < delta + PIVOT_TOL && t_eff.abs() > best_pivot_mag)
+                        {
+                            delta = d.max(0.0);
+                            limit = Limit::Row { r, to_upper: true };
+                            best_pivot_mag = t_eff.abs();
+                        }
+                    }
+                }
+            }
+            if delta.is_infinite() {
+                return Err(LpStatus::Unbounded);
+            }
+
+            if delta < PIVOT_TOL {
+                self.degenerate_streak += 1;
+                if self.degenerate_streak > 2 * (self.m + self.ntot) {
+                    self.use_bland = true;
+                }
+            } else {
+                self.degenerate_streak = 0;
+            }
+
+            match limit {
+                Limit::OwnBound => {
+                    // Bound flip: the entering variable runs to its other
+                    // bound without a basis change.
+                    for r in 0..self.m {
+                        let t = self.at(r, j);
+                        if t != 0.0 {
+                            self.beta[r] -= t * dir * delta;
+                        }
+                    }
+                    self.status[j] = match self.status[j] {
+                        VarStatus::AtLower => VarStatus::AtUpper,
+                        VarStatus::AtUpper => VarStatus::AtLower,
+                        VarStatus::Basic(_) => unreachable!("entering var is nonbasic"),
+                    };
+                }
+                Limit::Row { r, to_upper } => {
+                    self.pivot(r, j, dir, delta, to_upper);
+                }
+            }
+        }
+    }
+
+    /// Pivot: entering column `j` (moving in direction `dir` by `delta`),
+    /// leaving the basic variable of row `r` at its lower (`to_upper =
+    /// false`) or upper bound.
+    fn pivot(&mut self, r: usize, j: usize, dir: f64, delta: f64, to_upper: bool) {
+        // Update all basic values for the entering variable's movement.
+        for i in 0..self.m {
+            let t = self.at(i, j);
+            if t != 0.0 {
+                self.beta[i] -= t * dir * delta;
+            }
+        }
+        // Entering variable's new value.
+        let start = match self.status[j] {
+            VarStatus::AtLower => 0.0,
+            VarStatus::AtUpper => self.ub[j],
+            VarStatus::Basic(_) => unreachable!("entering var is nonbasic"),
+        };
+        let v_enter = start + dir * delta;
+
+        let leaving = self.basis[r];
+        self.status[leaving] = if to_upper {
+            VarStatus::AtUpper
+        } else {
+            VarStatus::AtLower
+        };
+        self.basis[r] = j;
+        self.status[j] = VarStatus::Basic(r);
+        self.beta[r] = v_enter;
+
+        // Row elimination on the coefficient matrix and the cost row.
+        let pivot = self.at(r, j);
+        debug_assert!(pivot.abs() > PIVOT_TOL, "pivot too small");
+        let inv = 1.0 / pivot;
+        let row_start = r * self.ntot;
+        for k in 0..self.ntot {
+            self.t[row_start + k] *= inv;
+        }
+        for i in 0..self.m {
+            if i == r {
+                continue;
+            }
+            let factor = self.at(i, j);
+            if factor != 0.0 {
+                let i_start = i * self.ntot;
+                for k in 0..self.ntot {
+                    self.t[i_start + k] -= factor * self.t[row_start + k];
+                }
+            }
+        }
+        let cfactor = self.cost_row[j];
+        if cfactor != 0.0 {
+            for k in 0..self.ntot {
+                self.cost_row[k] -= cfactor * self.t[row_start + k];
+            }
+        }
+    }
+
+    /// Rebuilds the reduced-cost row for a new objective vector.
+    fn set_costs(&mut self, cost: &[f64]) {
+        self.cost_row.copy_from_slice(cost);
+        for i in 0..self.m {
+            let cb = cost[self.basis[i]];
+            if cb != 0.0 {
+                let i_start = i * self.ntot;
+                for k in 0..self.ntot {
+                    self.cost_row[k] -= cb * self.t[i_start + k];
+                }
+            }
+        }
+    }
+}
+
+/// Solves an LP with optional per-variable bound overrides (used by branch
+/// and bound to tighten bounds without rebuilding the problem).
+///
+/// # Panics
+///
+/// Panics if the override slices are non-empty but shorter than the number
+/// of variables, or if a row references an out-of-range column.
+#[must_use]
+pub fn solve_lp(problem: &LpProblem, lower_override: &[f64], upper_override: &[f64]) -> LpResult {
+    let n = problem.cost.len();
+    let lower = |j: usize| {
+        if lower_override.is_empty() {
+            problem.lower[j]
+        } else {
+            lower_override[j]
+        }
+    };
+    let upper = |j: usize| {
+        if upper_override.is_empty() {
+            problem.upper[j]
+        } else {
+            upper_override[j]
+        }
+    };
+
+    // Quick bound sanity: crossing bounds → infeasible.
+    for j in 0..n {
+        if lower(j) > upper(j) + FEAS_TOL {
+            return LpResult {
+                status: LpStatus::Infeasible,
+                objective: 0.0,
+                values: Vec::new(),
+            };
+        }
+    }
+
+    // --- Transform original variables to internal non-negative ones. ---
+    let mut recover = Vec::with_capacity(n);
+    let mut internal_ub: Vec<f64> = Vec::new();
+    let mut internal_cost: Vec<f64> = Vec::new();
+    let mut cost_constant = 0.0;
+    for j in 0..n {
+        let (l, u) = (lower(j), upper(j));
+        if l.is_finite() {
+            let col = internal_ub.len();
+            internal_ub.push((u - l).max(0.0));
+            internal_cost.push(problem.cost[j]);
+            cost_constant += problem.cost[j] * l;
+            recover.push(Recover::Shift { col, shift: l });
+        } else if u.is_finite() {
+            let col = internal_ub.len();
+            internal_ub.push(f64::INFINITY);
+            internal_cost.push(-problem.cost[j]);
+            cost_constant += problem.cost[j] * u;
+            recover.push(Recover::Mirror { col, mirror: u });
+        } else {
+            let plus = internal_ub.len();
+            internal_ub.push(f64::INFINITY);
+            internal_cost.push(problem.cost[j]);
+            let minus = internal_ub.len();
+            internal_ub.push(f64::INFINITY);
+            internal_cost.push(-problem.cost[j]);
+            recover.push(Recover::Split { plus, minus });
+        }
+    }
+
+    // --- Build internal equality rows with slacks. ---
+    struct InternalRow {
+        coeffs: Vec<(usize, f64)>,
+        rhs: f64,
+        slack: Option<usize>,
+    }
+    let mut internal_rows = Vec::with_capacity(problem.rows.len());
+    let mut next_col = internal_ub.len();
+    for row in &problem.rows {
+        let mut coeffs: Vec<(usize, f64)> = Vec::with_capacity(row.coeffs.len() + 1);
+        let mut rhs = row.rhs;
+        for &(col, a) in &row.coeffs {
+            assert!(col < n, "row references out-of-range column {col}");
+            match recover[col] {
+                Recover::Shift { col: ic, shift } => {
+                    coeffs.push((ic, a));
+                    rhs -= a * shift;
+                }
+                Recover::Mirror { col: ic, mirror } => {
+                    coeffs.push((ic, -a));
+                    rhs -= a * mirror;
+                }
+                Recover::Split { plus, minus } => {
+                    coeffs.push((plus, a));
+                    coeffs.push((minus, -a));
+                }
+            }
+        }
+        let slack = match row.sense {
+            Sense::Le => {
+                let s = next_col;
+                next_col += 1;
+                coeffs.push((s, 1.0));
+                Some(s)
+            }
+            Sense::Ge => {
+                let s = next_col;
+                next_col += 1;
+                coeffs.push((s, -1.0));
+                Some(s)
+            }
+            Sense::Eq => None,
+        };
+        internal_rows.push(InternalRow { coeffs, rhs, slack });
+    }
+    let n_slacks = next_col - internal_ub.len();
+    internal_ub.extend(std::iter::repeat(f64::INFINITY).take(n_slacks));
+    internal_cost.extend(std::iter::repeat(0.0).take(n_slacks));
+
+    // --- Normalize rows to rhs ≥ 0 and pick initial basics. ---
+    let m = internal_rows.len();
+    // Count artificials first.
+    let mut needs_artificial = vec![false; m];
+    for (i, row) in internal_rows.iter_mut().enumerate() {
+        if row.rhs < 0.0 {
+            row.rhs = -row.rhs;
+            for c in row.coeffs.iter_mut() {
+                c.1 = -c.1;
+            }
+        }
+        // A slack with +1 coefficient (after normalization) can be the
+        // initial basic variable.
+        let slack_ok = row
+            .slack
+            .map(|s| {
+                row.coeffs
+                    .iter()
+                    .any(|&(c, a)| c == s && (a - 1.0).abs() < 1e-12)
+            })
+            .unwrap_or(false);
+        needs_artificial[i] = !slack_ok;
+    }
+    let n_struct_slack = next_col;
+    let n_art: usize = needs_artificial.iter().filter(|&&b| b).count();
+    let ntot = n_struct_slack + n_art;
+    internal_ub.extend(std::iter::repeat(f64::INFINITY).take(n_art));
+
+    // --- Assemble the dense tableau. ---
+    let mut t = vec![0.0; m * ntot];
+    let mut basis = vec![usize::MAX; m];
+    let mut status = vec![VarStatus::AtLower; ntot];
+    let mut beta = vec![0.0; m];
+    let mut art_col = n_struct_slack;
+    let mut phase1_cost = vec![0.0; ntot];
+    for (i, row) in internal_rows.iter().enumerate() {
+        for &(c, a) in &row.coeffs {
+            t[i * ntot + c] += a;
+        }
+        beta[i] = row.rhs;
+        if needs_artificial[i] {
+            t[i * ntot + art_col] = 1.0;
+            basis[i] = art_col;
+            status[art_col] = VarStatus::Basic(i);
+            phase1_cost[art_col] = 1.0;
+            art_col += 1;
+        } else {
+            let s = row.slack.expect("slack exists when no artificial needed");
+            basis[i] = s;
+            status[s] = VarStatus::Basic(i);
+        }
+    }
+
+    let mut tab = Tableau {
+        m,
+        ntot,
+        t,
+        beta,
+        cost_row: vec![0.0; ntot],
+        basis,
+        status,
+        ub: internal_ub,
+        banned: vec![false; ntot],
+        iterations: 0,
+        degenerate_streak: 0,
+        use_bland: false,
+    };
+    let max_iterations = 50_000 + 100 * (m + ntot);
+
+    // --- Phase 1. ---
+    if n_art > 0 {
+        tab.set_costs(&phase1_cost);
+        match tab.optimize(max_iterations) {
+            Ok(()) => {}
+            Err(LpStatus::IterationLimit) => {
+                return LpResult {
+                    status: LpStatus::IterationLimit,
+                    objective: 0.0,
+                    values: Vec::new(),
+                }
+            }
+            Err(_) => unreachable!("phase 1 objective is bounded below by zero"),
+        }
+        let infeasibility: f64 = (0..m)
+            .filter(|&i| tab.basis[i] >= n_struct_slack)
+            .map(|i| tab.beta[i])
+            .sum();
+        if infeasibility > FEAS_TOL {
+            return LpResult {
+                status: LpStatus::Infeasible,
+                objective: 0.0,
+                values: Vec::new(),
+            };
+        }
+        // Drive basic artificials out where possible; ban all artificials.
+        for i in 0..m {
+            if tab.basis[i] >= n_struct_slack {
+                if let Some(j) = (0..n_struct_slack)
+                    .find(|&j| !matches!(tab.status[j], VarStatus::Basic(_)) && tab.at(i, j).abs() > 1e-7)
+                {
+                    tab.pivot(i, j, 1.0, 0.0, false);
+                }
+            }
+        }
+        for j in n_struct_slack..ntot {
+            tab.banned[j] = true;
+        }
+    }
+
+    // --- Phase 2. ---
+    let mut full_cost = vec![0.0; ntot];
+    full_cost[..internal_cost.len()].copy_from_slice(&internal_cost);
+    tab.set_costs(&full_cost);
+    match tab.optimize(max_iterations) {
+        Ok(()) => {}
+        Err(status) => {
+            return LpResult {
+                status,
+                objective: 0.0,
+                values: Vec::new(),
+            }
+        }
+    }
+
+    // --- Recover original variable values. ---
+    let internal_value = |j: usize| tab.nonbasic_value(j);
+    let mut values = vec![0.0; n];
+    for (j, rec) in recover.iter().enumerate() {
+        values[j] = match *rec {
+            Recover::Shift { col, shift } => internal_value(col) + shift,
+            Recover::Mirror { col, mirror } => mirror - internal_value(col),
+            Recover::Split { plus, minus } => internal_value(plus) - internal_value(minus),
+        };
+    }
+    let objective = values
+        .iter()
+        .zip(&problem.cost)
+        .map(|(x, c)| x * c)
+        .sum::<f64>();
+    debug_assert!((objective
+        - (cost_constant
+            + (0..tab.m).map(|i| full_cost[tab.basis[i]] * tab.beta[i]).sum::<f64>()
+            + (0..ntot)
+                .filter(|&j| !matches!(tab.status[j], VarStatus::Basic(_)))
+                .map(|j| full_cost[j] * tab.nonbasic_value(j))
+                .sum::<f64>()))
+    .abs()
+        < 1e-4 * (1.0 + objective.abs()));
+
+    LpResult {
+        status: LpStatus::Optimal,
+        objective,
+        values,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(coeffs: &[(usize, f64)], sense: Sense, rhs: f64) -> LpRow {
+        LpRow {
+            coeffs: coeffs.to_vec(),
+            sense,
+            rhs,
+        }
+    }
+
+    fn solve(p: &LpProblem) -> LpResult {
+        solve_lp(p, &[], &[])
+    }
+
+    #[test]
+    fn simple_two_var_lp() {
+        // min -x - y  s.t.  x + y ≤ 4, x ≤ 3, y ≤ 2 → x=3, y=1? No: x+y≤4
+        // with x≤3, y≤2 → best is x=3, y=1 → obj −4; or x=2,y=2 → −4 too.
+        let p = LpProblem {
+            cost: vec![-1.0, -1.0],
+            lower: vec![0.0, 0.0],
+            upper: vec![3.0, 2.0],
+            rows: vec![row(&[(0, 1.0), (1, 1.0)], Sense::Le, 4.0)],
+        };
+        let r = solve(&p);
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert!((r.objective + 4.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn equality_constraint_needs_phase1() {
+        // min x + y  s.t.  x + y = 3, 0 ≤ x,y ≤ 10 → obj 3.
+        let p = LpProblem {
+            cost: vec![1.0, 1.0],
+            lower: vec![0.0, 0.0],
+            upper: vec![10.0, 10.0],
+            rows: vec![row(&[(0, 1.0), (1, 1.0)], Sense::Eq, 3.0)],
+        };
+        let r = solve(&p);
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert!((r.objective - 3.0).abs() < 1e-7);
+        assert!((r.values[0] + r.values[1] - 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn ge_constraint() {
+        // min 2x + 3y  s.t.  x + y ≥ 5 → all on x, obj 10.
+        let p = LpProblem {
+            cost: vec![2.0, 3.0],
+            lower: vec![0.0, 0.0],
+            upper: vec![f64::INFINITY, f64::INFINITY],
+            rows: vec![row(&[(0, 1.0), (1, 1.0)], Sense::Ge, 5.0)],
+        };
+        let r = solve(&p);
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert!((r.objective - 10.0).abs() < 1e-7);
+        assert!((r.values[0] - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x ≤ 1 and x ≥ 2.
+        let p = LpProblem {
+            cost: vec![0.0],
+            lower: vec![0.0],
+            upper: vec![f64::INFINITY],
+            rows: vec![
+                row(&[(0, 1.0)], Sense::Le, 1.0),
+                row(&[(0, 1.0)], Sense::Ge, 2.0),
+            ],
+        };
+        assert_eq!(solve(&p).status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let p = LpProblem {
+            cost: vec![-1.0],
+            lower: vec![0.0],
+            upper: vec![f64::INFINITY],
+            rows: vec![],
+        };
+        assert_eq!(solve(&p).status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn crossing_bounds_infeasible() {
+        let p = LpProblem {
+            cost: vec![1.0],
+            lower: vec![2.0],
+            upper: vec![1.0],
+            rows: vec![],
+        };
+        assert_eq!(solve(&p).status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn negative_lower_bounds() {
+        // min x  s.t.  x ≥ −5 → x = −5.
+        let p = LpProblem {
+            cost: vec![1.0],
+            lower: vec![-5.0],
+            upper: vec![5.0],
+            rows: vec![],
+        };
+        let r = solve(&p);
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert!((r.objective + 5.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn free_variable_split() {
+        // min x  s.t.  x ≥ −7 via a row (variable itself is free).
+        let p = LpProblem {
+            cost: vec![1.0],
+            lower: vec![f64::NEG_INFINITY],
+            upper: vec![f64::INFINITY],
+            rows: vec![row(&[(0, 1.0)], Sense::Ge, -7.0)],
+        };
+        let r = solve(&p);
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert!((r.objective + 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn upper_only_bounded_variable() {
+        // max x (min −x) with x ≤ 9 and no lower bound, plus x ≥ 0 row.
+        let p = LpProblem {
+            cost: vec![-1.0],
+            lower: vec![f64::NEG_INFINITY],
+            upper: vec![9.0],
+            rows: vec![row(&[(0, 1.0)], Sense::Ge, 0.0)],
+        };
+        let r = solve(&p);
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert!((r.objective + 9.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bound_override_tightens() {
+        let p = LpProblem {
+            cost: vec![-1.0],
+            lower: vec![0.0],
+            upper: vec![10.0],
+            rows: vec![],
+        };
+        let r = solve_lp(&p, &[0.0], &[4.0]);
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert!((r.objective + 4.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Several redundant constraints through the same vertex.
+        let p = LpProblem {
+            cost: vec![-1.0, -1.0],
+            lower: vec![0.0, 0.0],
+            upper: vec![f64::INFINITY, f64::INFINITY],
+            rows: vec![
+                row(&[(0, 1.0), (1, 1.0)], Sense::Le, 2.0),
+                row(&[(0, 1.0), (1, 1.0)], Sense::Le, 2.0),
+                row(&[(0, 2.0), (1, 2.0)], Sense::Le, 4.0),
+                row(&[(0, 1.0)], Sense::Le, 2.0),
+                row(&[(1, 1.0)], Sense::Le, 2.0),
+            ],
+        };
+        let r = solve(&p);
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert!((r.objective + 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn classic_lp_textbook() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → (2, 6), obj 36.
+        let p = LpProblem {
+            cost: vec![-3.0, -5.0],
+            lower: vec![0.0, 0.0],
+            upper: vec![f64::INFINITY, f64::INFINITY],
+            rows: vec![
+                row(&[(0, 1.0)], Sense::Le, 4.0),
+                row(&[(1, 2.0)], Sense::Le, 12.0),
+                row(&[(0, 3.0), (1, 2.0)], Sense::Le, 18.0),
+            ],
+        };
+        let r = solve(&p);
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert!((r.objective + 36.0).abs() < 1e-7);
+        assert!((r.values[0] - 2.0).abs() < 1e-6);
+        assert!((r.values[1] - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn negative_rhs_rows() {
+        // min y s.t. −x − y ≤ −3 (i.e. x + y ≥ 3), x ≤ 1 → y = 2.
+        let p = LpProblem {
+            cost: vec![0.0, 1.0],
+            lower: vec![0.0, 0.0],
+            upper: vec![1.0, f64::INFINITY],
+            rows: vec![row(&[(0, -1.0), (1, -1.0)], Sense::Le, -3.0)],
+        };
+        let r = solve(&p);
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert!((r.objective - 2.0).abs() < 1e-7);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Random bounded LPs with non-negative coefficients and generous
+        /// right-hand sides: always feasible (the origin qualifies).
+        fn arb_lp() -> impl Strategy<Value = LpProblem> {
+            (
+                2usize..6,
+                proptest::collection::vec(
+                    (proptest::collection::vec(0.0f64..3.0, 6), 1.0f64..12.0),
+                    1..5,
+                ),
+                proptest::collection::vec(-4.0f64..4.0, 6),
+            )
+                .prop_map(|(n, rows, cost)| LpProblem {
+                    cost: cost[..n].to_vec(),
+                    lower: vec![0.0; n],
+                    upper: vec![3.0; n],
+                    rows: rows
+                        .into_iter()
+                        .map(|(coeffs, rhs)| LpRow {
+                            coeffs: coeffs[..n]
+                                .iter()
+                                .enumerate()
+                                .map(|(j, &a)| (j, a))
+                                .collect(),
+                            sense: Sense::Le,
+                            rhs,
+                        })
+                        .collect(),
+                })
+        }
+
+        fn feasible(p: &LpProblem, x: &[f64]) -> bool {
+            x.iter()
+                .zip(p.lower.iter().zip(&p.upper))
+                .all(|(&v, (&l, &u))| v >= l - 1e-7 && v <= u + 1e-7)
+                && p.rows.iter().all(|r| {
+                    let lhs: f64 = r.coeffs.iter().map(|&(j, a)| a * x[j]).sum();
+                    lhs <= r.rhs + 1e-7
+                })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            #[test]
+            fn prop_simplex_solution_is_feasible_and_beats_samples(
+                p in arb_lp(),
+                samples in proptest::collection::vec(
+                    proptest::collection::vec(0.0f64..3.0, 6), 8),
+            ) {
+                let r = solve_lp(&p, &[], &[]);
+                prop_assert_eq!(r.status, LpStatus::Optimal);
+                prop_assert!(feasible(&p, &r.values), "solution violates constraints");
+                // No sampled feasible point may beat the reported optimum.
+                for s in &samples {
+                    let x = &s[..p.cost.len()];
+                    if feasible(&p, x) {
+                        let obj: f64 = x.iter().zip(&p.cost).map(|(v, c)| v * c).sum();
+                        prop_assert!(r.objective <= obj + 1e-6,
+                            "sampled point {obj} beats reported optimum {}", r.objective);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fractional_relaxation_value() {
+        // Relaxation of a set-packing: x + y ≤ 1, x + z ≤ 1, y + z ≤ 1,
+        // max x + y + z → LP optimum 1.5 (all at 0.5).
+        let p = LpProblem {
+            cost: vec![-1.0, -1.0, -1.0],
+            lower: vec![0.0; 3],
+            upper: vec![1.0; 3],
+            rows: vec![
+                row(&[(0, 1.0), (1, 1.0)], Sense::Le, 1.0),
+                row(&[(0, 1.0), (2, 1.0)], Sense::Le, 1.0),
+                row(&[(1, 1.0), (2, 1.0)], Sense::Le, 1.0),
+            ],
+        };
+        let r = solve(&p);
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert!((r.objective + 1.5).abs() < 1e-7);
+    }
+}

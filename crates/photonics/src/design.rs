@@ -1,0 +1,594 @@
+//! The common router-design representation produced by every synthesis
+//! method and consumed by the evaluation harness.
+
+use crate::laser::laser_power_for_loss;
+use crate::loss::{insertion_loss, PathGeometry};
+use crate::pdn::PdnDesign;
+use onoc_graph::{CommGraph, MessageId, NodeId};
+use onoc_layout::{Layout, WaveguideId};
+use onoc_units::{Decibels, Millimeters, Milliwatts, TechnologyParameters, Wavelength};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// One reserved signal path: the physical route and wavelength serving one
+/// message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignalPath {
+    /// The message this path serves.
+    pub message: MessageId,
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// The waveguide hosting the sender of this path (a node may have at
+    /// most one sender per waveguide).
+    pub waveguide: WaveguideId,
+    /// Every `(waveguide, segment)` channel the signal occupies. Two paths
+    /// sharing a channel must use different wavelengths (paper Eq. 2).
+    pub occupancy: Vec<(WaveguideId, usize)>,
+    /// Geometric footprint for the loss model.
+    pub geometry: PathGeometry,
+    /// The assigned WDM channel.
+    pub wavelength: Wavelength,
+}
+
+/// A complete WR-ONoC ring-router design: the routed layout, the reserved
+/// signal paths with their wavelength assignment, and the PDN.
+///
+/// Construction validates the structural invariants every correct
+/// wavelength-routed design must satisfy; [`RouterDesign::analyze`] then
+/// produces all Table I / Fig. 7 metrics.
+///
+/// # Examples
+///
+/// ```
+/// use onoc_graph::{NodeId, MessageId, Point};
+/// use onoc_layout::{Cycle, Layout};
+/// use onoc_photonics::{PathGeometry, PdnDesign, PdnStyle, RouterDesign, SignalPath};
+/// use onoc_units::{Millimeters, TechnologyParameters, Wavelength};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut layout = Layout::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)]);
+/// let ring = Cycle::new(vec![NodeId(0), NodeId(1)])?;
+/// let wg = layout.route_cycle(&ring);
+/// let path = SignalPath {
+///     message: MessageId(0),
+///     src: NodeId(0),
+///     dst: NodeId(1),
+///     waveguide: wg,
+///     occupancy: vec![(wg, 0)],
+///     geometry: PathGeometry { length: Millimeters(1.0), ..Default::default() },
+///     wavelength: Wavelength(0),
+/// };
+/// let pdn = PdnDesign::new(PdnStyle::SharedTree, vec![false; 2], 1);
+/// let design = RouterDesign::new("demo", "two-node", layout, vec![path], pdn)?;
+/// let report = design.analyze(&TechnologyParameters::default());
+/// assert_eq!(report.wavelength_count, 1);
+/// assert_eq!(report.longest_path, Millimeters(1.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RouterDesign {
+    method: String,
+    app_name: String,
+    layout: Layout,
+    paths: Vec<SignalPath>,
+    pdn: PdnDesign,
+}
+
+impl RouterDesign {
+    /// Assembles and validates a design.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DesignError`] if a path references a waveguide or
+    /// segment outside the layout, two paths serve the same message, a path
+    /// has empty occupancy, or two paths on the same wavelength share a
+    /// waveguide segment (a data collision, violating paper Eq. 2).
+    pub fn new(
+        method: impl Into<String>,
+        app_name: impl Into<String>,
+        layout: Layout,
+        paths: Vec<SignalPath>,
+        pdn: PdnDesign,
+    ) -> Result<Self, DesignError> {
+        let mut seen_messages = BTreeSet::new();
+        let mut channel_users: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
+        for (i, p) in paths.iter().enumerate() {
+            if !seen_messages.insert(p.message) {
+                return Err(DesignError::DuplicateMessagePath(p.message));
+            }
+            if p.occupancy.is_empty() {
+                return Err(DesignError::EmptyOccupancy(p.message));
+            }
+            for &(wg, seg) in &p.occupancy {
+                if wg.index() >= layout.waveguide_count() {
+                    return Err(DesignError::WaveguideOutOfRange(p.message, wg));
+                }
+                if seg >= layout.waveguide(wg).segment_count() {
+                    return Err(DesignError::SegmentOutOfRange(p.message, wg, seg));
+                }
+                channel_users.entry((wg.index(), seg)).or_default().push(i);
+            }
+        }
+        for users in channel_users.values() {
+            for (a_idx, &a) in users.iter().enumerate() {
+                for &b in &users[a_idx + 1..] {
+                    if a != b && paths[a].wavelength == paths[b].wavelength {
+                        return Err(DesignError::WavelengthCollision {
+                            first: paths[a].message,
+                            second: paths[b].message,
+                            wavelength: paths[a].wavelength,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(RouterDesign {
+            method: method.into(),
+            app_name: app_name.into(),
+            layout,
+            paths,
+            pdn,
+        })
+    }
+
+    /// The synthesis method that produced this design (e.g. `"SRing"`).
+    #[must_use]
+    pub fn method(&self) -> &str {
+        &self.method
+    }
+
+    /// The application the design was synthesized for.
+    #[must_use]
+    pub fn app_name(&self) -> &str {
+        &self.app_name
+    }
+
+    /// The routed physical layout.
+    #[must_use]
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// The reserved signal paths, one per message.
+    #[must_use]
+    pub fn paths(&self) -> &[SignalPath] {
+        &self.paths
+    }
+
+    /// The power-distribution network.
+    #[must_use]
+    pub fn pdn(&self) -> &PdnDesign {
+        &self.pdn
+    }
+
+    /// The set of wavelengths in use.
+    #[must_use]
+    pub fn wavelengths_used(&self) -> BTreeSet<Wavelength> {
+        self.paths.iter().map(|p| p.wavelength).collect()
+    }
+
+    /// Number of wavelengths in use (`#wl` of Fig. 7, `i_wl` of Eq. 3).
+    #[must_use]
+    pub fn wavelength_count(&self) -> usize {
+        self.wavelengths_used().len()
+    }
+
+    /// The set of senders: every `(node, waveguide)` pair from which at
+    /// least one signal is launched. Each costs a modulator + MRR array.
+    #[must_use]
+    pub fn senders(&self) -> BTreeSet<(NodeId, WaveguideId)> {
+        self.paths.iter().map(|p| (p.src, p.waveguide)).collect()
+    }
+
+    /// Number of closed ring waveguides in the design (sub-rings for SRing,
+    /// the two big rings for conventional designs).
+    #[must_use]
+    pub fn sub_ring_count(&self) -> usize {
+        self.layout
+            .waveguides()
+            .iter()
+            .filter(|wg| wg.is_closed())
+            .count()
+    }
+
+    /// Checks that the design serves exactly the messages of `app`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesignError::MessageNotServed`] for the first required
+    /// message without a path, or [`DesignError::UnknownMessage`] for a
+    /// path serving a message the application does not contain (or whose
+    /// endpoints disagree with the application).
+    pub fn validate_against(&self, app: &CommGraph) -> Result<(), DesignError> {
+        let served: BTreeSet<MessageId> = self.paths.iter().map(|p| p.message).collect();
+        for id in app.message_ids() {
+            if !served.contains(&id) {
+                return Err(DesignError::MessageNotServed(id));
+            }
+        }
+        for p in &self.paths {
+            if p.message.index() >= app.message_count() {
+                return Err(DesignError::UnknownMessage(p.message));
+            }
+            let m = app.message(p.message);
+            if m.src != p.src || m.dst != p.dst {
+                return Err(DesignError::UnknownMessage(p.message));
+            }
+        }
+        Ok(())
+    }
+
+    /// Computes every evaluation metric of the paper's Table I and Fig. 7.
+    #[must_use]
+    pub fn analyze(&self, tech: &TechnologyParameters) -> RouterAnalysis {
+        let mut per_wavelength: BTreeMap<Wavelength, WavelengthReport> = BTreeMap::new();
+        let mut longest_path = Millimeters(0.0);
+        let mut worst_insertion_loss = Decibels(0.0);
+        let mut worst_loss_with_pdn = Decibels(0.0);
+        let mut max_splitters_passed = 0usize;
+
+        for p in &self.paths {
+            let l_s = insertion_loss(&p.geometry, tech);
+            let pdn_loss = self.pdn.pdn_loss(p.src, tech);
+            let with_pdn = l_s + pdn_loss;
+            longest_path = longest_path.max(p.geometry.length);
+            worst_insertion_loss = worst_insertion_loss.max(l_s);
+            worst_loss_with_pdn = worst_loss_with_pdn.max(with_pdn);
+            max_splitters_passed = max_splitters_passed.max(self.pdn.splitters_passed(p.src));
+
+            let entry = per_wavelength
+                .entry(p.wavelength)
+                .or_insert_with(|| WavelengthReport {
+                    wavelength: p.wavelength,
+                    worst_loss: Decibels(0.0),
+                    worst_loss_with_pdn: Decibels(0.0),
+                    laser_power: Milliwatts(0.0),
+                    path_count: 0,
+                });
+            entry.worst_loss = entry.worst_loss.max(l_s);
+            entry.worst_loss_with_pdn = entry.worst_loss_with_pdn.max(with_pdn);
+            entry.path_count += 1;
+        }
+
+        let mut reports: Vec<WavelengthReport> = per_wavelength.into_values().collect();
+        for r in &mut reports {
+            r.laser_power = laser_power_for_loss(r.worst_loss_with_pdn, tech);
+        }
+        let total_laser_power = reports.iter().map(|r| r.laser_power).sum();
+
+        RouterAnalysis {
+            method: self.method.clone(),
+            app_name: self.app_name.clone(),
+            longest_path,
+            worst_insertion_loss,
+            max_splitters_passed,
+            worst_loss_with_pdn,
+            wavelength_count: reports.len(),
+            total_laser_power,
+            sender_count: self.senders().len(),
+            sub_ring_count: self.sub_ring_count(),
+            total_waveguide_length: self.layout.total_length(),
+            total_crossings: self.layout.total_crossings(),
+            per_wavelength: reports,
+        }
+    }
+}
+
+impl fmt::Display for RouterDesign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} design for {}: {} paths, {} wavelengths, {} waveguides",
+            self.method,
+            self.app_name,
+            self.paths.len(),
+            self.wavelength_count(),
+            self.layout.waveguide_count()
+        )
+    }
+}
+
+/// Per-wavelength slice of the analysis: the quantities of the paper's
+/// Eq. 7 (`il_λ^max`) and the wavelength's laser power.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WavelengthReport {
+    /// The WDM channel.
+    pub wavelength: Wavelength,
+    /// Worst-case insertion loss over the wavelength's signals, excluding
+    /// PDN losses.
+    pub worst_loss: Decibels,
+    /// Worst-case insertion loss including PDN losses — the quantity that
+    /// defines the wavelength's laser power.
+    pub worst_loss_with_pdn: Decibels,
+    /// Electrical laser power of this wavelength.
+    pub laser_power: Milliwatts,
+    /// Number of signal paths sharing the wavelength.
+    pub path_count: usize,
+}
+
+/// Every evaluation metric for one router design — the columns of Table I
+/// plus the Fig. 7 series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouterAnalysis {
+    /// Synthesis method name.
+    pub method: String,
+    /// Application name.
+    pub app_name: String,
+    /// `L`: length of the longest signal path.
+    pub longest_path: Millimeters,
+    /// `il_w`: worst-case insertion loss excluding PDN losses.
+    pub worst_insertion_loss: Decibels,
+    /// `#sp_w`: the largest number of splitters passed by any signal path.
+    pub max_splitters_passed: usize,
+    /// `il_w^all`: worst-case insertion loss of a wavelength including PDN
+    /// losses.
+    pub worst_loss_with_pdn: Decibels,
+    /// `#wl`: number of wavelengths used.
+    pub wavelength_count: usize,
+    /// Total electrical laser power (Fig. 7).
+    pub total_laser_power: Milliwatts,
+    /// Number of senders instantiated.
+    pub sender_count: usize,
+    /// Number of closed ring waveguides.
+    pub sub_ring_count: usize,
+    /// Total routed waveguide length.
+    pub total_waveguide_length: Millimeters,
+    /// Total waveguide crossings on the chip.
+    pub total_crossings: usize,
+    /// Per-wavelength details.
+    pub per_wavelength: Vec<WavelengthReport>,
+}
+
+/// Error assembling or validating a [`RouterDesign`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DesignError {
+    /// Two paths claim to serve the same message.
+    DuplicateMessagePath(MessageId),
+    /// A path occupies no waveguide segment.
+    EmptyOccupancy(MessageId),
+    /// A path references a waveguide the layout does not contain.
+    WaveguideOutOfRange(MessageId, WaveguideId),
+    /// A path references a segment beyond its waveguide's segment count.
+    SegmentOutOfRange(MessageId, WaveguideId, usize),
+    /// Two paths on the same wavelength share a waveguide segment.
+    WavelengthCollision {
+        /// First colliding message.
+        first: MessageId,
+        /// Second colliding message.
+        second: MessageId,
+        /// The shared wavelength.
+        wavelength: Wavelength,
+    },
+    /// A required message of the application has no signal path.
+    MessageNotServed(MessageId),
+    /// A path serves a message the application does not contain (or the
+    /// endpoints disagree).
+    UnknownMessage(MessageId),
+}
+
+impl fmt::Display for DesignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DesignError::DuplicateMessagePath(m) => {
+                write!(f, "message {m} is served by more than one path")
+            }
+            DesignError::EmptyOccupancy(m) => {
+                write!(f, "path for message {m} occupies no waveguide segment")
+            }
+            DesignError::WaveguideOutOfRange(m, wg) => {
+                write!(f, "path for message {m} references missing waveguide {wg}")
+            }
+            DesignError::SegmentOutOfRange(m, wg, seg) => {
+                write!(
+                    f,
+                    "path for message {m} references missing segment {seg} of {wg}"
+                )
+            }
+            DesignError::WavelengthCollision {
+                first,
+                second,
+                wavelength,
+            } => write!(
+                f,
+                "messages {first} and {second} collide on {wavelength}"
+            ),
+            DesignError::MessageNotServed(m) => write!(f, "required message {m} has no path"),
+            DesignError::UnknownMessage(m) => {
+                write!(f, "path serves message {m} unknown to the application")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DesignError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pdn::PdnStyle;
+    use onoc_graph::Point;
+    use onoc_layout::Cycle;
+
+    fn two_node_layout() -> (Layout, WaveguideId) {
+        let mut layout = Layout::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)]);
+        let ring = Cycle::new(vec![NodeId(0), NodeId(1)]).unwrap();
+        let wg = layout.route_cycle(&ring);
+        (layout, wg)
+    }
+
+    fn path(message: usize, src: usize, dst: usize, wg: WaveguideId, seg: usize, wl: usize) -> SignalPath {
+        SignalPath {
+            message: MessageId(message),
+            src: NodeId(src),
+            dst: NodeId(dst),
+            waveguide: wg,
+            occupancy: vec![(wg, seg)],
+            geometry: PathGeometry {
+                length: Millimeters(1.0),
+                ..Default::default()
+            },
+            wavelength: Wavelength(wl),
+        }
+    }
+
+    fn pdn(n: usize) -> PdnDesign {
+        PdnDesign::new(PdnStyle::SharedTree, vec![false; n], n)
+    }
+
+    #[test]
+    fn valid_design_builds_and_analyzes() {
+        let (layout, wg) = two_node_layout();
+        let design = RouterDesign::new(
+            "t",
+            "app",
+            layout,
+            vec![path(0, 0, 1, wg, 0, 0), path(1, 1, 0, wg, 1, 0)],
+            pdn(2),
+        )
+        .unwrap();
+        assert_eq!(design.wavelength_count(), 1);
+        assert_eq!(design.senders().len(), 2);
+        assert_eq!(design.sub_ring_count(), 1);
+        let a = design.analyze(&TechnologyParameters::default());
+        assert_eq!(a.wavelength_count, 1);
+        assert_eq!(a.per_wavelength[0].path_count, 2);
+        assert_eq!(a.longest_path, Millimeters(1.0));
+        // L_s = 3.4 terminal + 1.0 prop; PDN: 1 tree level × 3.1 + 1.0 trunk.
+        assert!((a.worst_insertion_loss.0 - 4.4).abs() < 1e-9);
+        assert!((a.worst_loss_with_pdn.0 - (4.4 + 3.1 + 1.0)).abs() < 1e-9);
+        assert_eq!(a.max_splitters_passed, 1);
+        assert!(a.total_laser_power.0 > 0.0);
+        assert!(design.to_string().contains("t design for app"));
+    }
+
+    #[test]
+    fn collision_on_shared_segment_rejected() {
+        let (layout, wg) = two_node_layout();
+        let err = RouterDesign::new(
+            "t",
+            "app",
+            layout,
+            vec![path(0, 0, 1, wg, 0, 0), path(1, 0, 1, wg, 0, 0)],
+            pdn(2),
+        )
+        .unwrap_err();
+        assert!(matches!(err, DesignError::WavelengthCollision { .. }));
+        assert!(err.to_string().contains("collide"));
+    }
+
+    #[test]
+    fn shared_segment_with_distinct_wavelengths_is_fine() {
+        let (layout, wg) = two_node_layout();
+        let design = RouterDesign::new(
+            "t",
+            "app",
+            layout,
+            vec![path(0, 0, 1, wg, 0, 0), path(1, 0, 1, wg, 0, 1)],
+            pdn(2),
+        )
+        .unwrap();
+        assert_eq!(design.wavelength_count(), 2);
+    }
+
+    #[test]
+    fn duplicate_message_rejected() {
+        let (layout, wg) = two_node_layout();
+        let err = RouterDesign::new(
+            "t",
+            "app",
+            layout,
+            vec![path(0, 0, 1, wg, 0, 0), path(0, 1, 0, wg, 1, 1)],
+            pdn(2),
+        )
+        .unwrap_err();
+        assert_eq!(err, DesignError::DuplicateMessagePath(MessageId(0)));
+    }
+
+    #[test]
+    fn out_of_range_references_rejected() {
+        let (layout, wg) = two_node_layout();
+        let err = RouterDesign::new(
+            "t",
+            "app",
+            layout.clone(),
+            vec![path(0, 0, 1, WaveguideId(5), 0, 0)],
+            pdn(2),
+        )
+        .unwrap_err();
+        assert!(matches!(err, DesignError::WaveguideOutOfRange(..)));
+
+        let err = RouterDesign::new("t", "app", layout.clone(), vec![path(0, 0, 1, wg, 9, 0)], pdn(2))
+            .unwrap_err();
+        assert!(matches!(err, DesignError::SegmentOutOfRange(..)));
+
+        let mut bad = path(0, 0, 1, wg, 0, 0);
+        bad.occupancy.clear();
+        let err = RouterDesign::new("t", "app", layout, vec![bad], pdn(2)).unwrap_err();
+        assert_eq!(err, DesignError::EmptyOccupancy(MessageId(0)));
+    }
+
+    #[test]
+    fn validate_against_checks_coverage() {
+        let app = onoc_graph::CommGraph::builder()
+            .name("app")
+            .node("a", Point::new(0.0, 0.0))
+            .node("b", Point::new(1.0, 0.0))
+            .message(NodeId(0), NodeId(1))
+            .message(NodeId(1), NodeId(0))
+            .build()
+            .unwrap();
+
+        let (layout, wg) = two_node_layout();
+        let partial =
+            RouterDesign::new("t", "app", layout.clone(), vec![path(0, 0, 1, wg, 0, 0)], pdn(2))
+                .unwrap();
+        assert_eq!(
+            partial.validate_against(&app).unwrap_err(),
+            DesignError::MessageNotServed(MessageId(1))
+        );
+
+        let full = RouterDesign::new(
+            "t",
+            "app",
+            layout.clone(),
+            vec![path(0, 0, 1, wg, 0, 0), path(1, 1, 0, wg, 1, 0)],
+            pdn(2),
+        )
+        .unwrap();
+        full.validate_against(&app).unwrap();
+
+        // Wrong endpoints.
+        let swapped = RouterDesign::new(
+            "t",
+            "app",
+            layout,
+            vec![path(0, 1, 0, wg, 0, 0), path(1, 0, 1, wg, 1, 0)],
+            pdn(2),
+        )
+        .unwrap();
+        assert!(matches!(
+            swapped.validate_against(&app).unwrap_err(),
+            DesignError::UnknownMessage(_)
+        ));
+    }
+
+    #[test]
+    fn per_wavelength_power_accumulates() {
+        let (layout, wg) = two_node_layout();
+        let mut long = path(1, 1, 0, wg, 1, 1);
+        long.geometry.length = Millimeters(3.0);
+        let design =
+            RouterDesign::new("t", "app", layout, vec![path(0, 0, 1, wg, 0, 0), long], pdn(2))
+                .unwrap();
+        let a = design.analyze(&TechnologyParameters::default());
+        assert_eq!(a.per_wavelength.len(), 2);
+        // The longer path's wavelength needs more power.
+        assert!(a.per_wavelength[1].laser_power.0 > a.per_wavelength[0].laser_power.0);
+        let sum: f64 = a.per_wavelength.iter().map(|r| r.laser_power.0).sum();
+        assert!((a.total_laser_power.0 - sum).abs() < 1e-12);
+    }
+}

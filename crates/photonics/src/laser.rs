@@ -1,0 +1,100 @@
+//! Laser-power model.
+//!
+//! The worst-case insertion loss of a wavelength — over all signals carried
+//! by that wavelength, including PDN losses — defines the laser power that
+//! must be injected for the weakest signal to still reach its detector at
+//! the sensitivity threshold (paper Sec. II-B, refs. \[22\], \[25\]). The total
+//! laser power of Fig. 7 is the linear sum over all used wavelengths,
+//! corrected by the laser's wall-plug efficiency.
+
+use onoc_units::{Decibels, Milliwatts, TechnologyParameters};
+
+/// Electrical laser power required for one wavelength whose worst-case
+/// insertion loss (including PDN) is `worst_loss`.
+///
+/// The optical output must be `sensitivity + worst_loss` dBm; dividing the
+/// linear power by the wall-plug efficiency gives the electrical power.
+///
+/// # Examples
+///
+/// ```
+/// use onoc_photonics::laser_power_for_loss;
+/// use onoc_units::{Decibels, TechnologyParameters};
+///
+/// let tech = TechnologyParameters::default();
+/// let p = laser_power_for_loss(Decibels(21.7), &tech);
+/// // −26 dBm + 21.7 dB = −4.3 dBm ≈ 0.372 mW optical → /0.3 electrical.
+/// assert!((p.0 - 0.372 / 0.3).abs() < 5e-3);
+/// ```
+#[must_use]
+pub fn laser_power_for_loss(worst_loss: Decibels, tech: &TechnologyParameters) -> Milliwatts {
+    let optical = (tech.detector_sensitivity + worst_loss).to_milliwatts();
+    Milliwatts(optical.0 / tech.laser_efficiency)
+}
+
+/// Total electrical laser power over a collection of per-wavelength
+/// worst-case losses.
+#[must_use]
+pub fn total_laser_power<I>(per_wavelength_losses: I, tech: &TechnologyParameters) -> Milliwatts
+where
+    I: IntoIterator<Item = Decibels>,
+{
+    per_wavelength_losses
+        .into_iter()
+        .map(|l| laser_power_for_loss(l, tech))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn tech() -> TechnologyParameters {
+        TechnologyParameters::default()
+    }
+
+    #[test]
+    fn three_db_doubles_power() {
+        let t = tech();
+        let base = laser_power_for_loss(Decibels(10.0), &t);
+        let plus3 = laser_power_for_loss(Decibels(13.0), &t);
+        assert!((plus3.0 / base.0 - 10f64.powf(0.3)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_is_linear_sum() {
+        let t = tech();
+        let losses = [Decibels(10.0), Decibels(12.0), Decibels(14.0)];
+        let total = total_laser_power(losses, &t);
+        let by_hand: f64 = losses
+            .iter()
+            .map(|&l| laser_power_for_loss(l, &t).0)
+            .sum();
+        assert!((total.0 - by_hand).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_collection_is_zero() {
+        assert_eq!(total_laser_power([], &tech()), Milliwatts(0.0));
+    }
+
+    #[test]
+    fn efficiency_scales_inverse() {
+        let mut t = tech();
+        let p1 = laser_power_for_loss(Decibels(10.0), &t);
+        t.laser_efficiency = 0.15;
+        let p2 = laser_power_for_loss(Decibels(10.0), &t);
+        assert!((p2.0 / p1.0 - 2.0).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_power_monotone_in_loss(l1 in 0.0f64..40.0, l2 in 0.0f64..40.0) {
+            let t = tech();
+            let p1 = laser_power_for_loss(Decibels(l1), &t);
+            let p2 = laser_power_for_loss(Decibels(l2), &t);
+            prop_assert_eq!(p1.0 <= p2.0, l1 <= l2);
+        }
+    }
+}

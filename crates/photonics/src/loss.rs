@@ -1,0 +1,183 @@
+//! Per-signal-path insertion loss.
+//!
+//! The insertion loss of a signal is the sum of (paper Sec. II-B):
+//! modulator and photodetector loss, the drop losses at the sender and
+//! receiver MRRs (all folded into the calibrated
+//! [`terminal_loss`](onoc_units::TechnologyParameters::terminal_loss)),
+//! propagation loss along the waveguide (with the distributed MRR through
+//! losses folded into the calibrated per-millimetre coefficient), plus
+//! explicit crossing losses, bend losses and — for designs with optical
+//! switching elements such as XRing — extra MRR drop/through hops.
+//!
+//! This module computes `L_s`: the loss *excluding* the PDN and splitters,
+//! exactly the quantity the paper's MILP treats as a constant per path
+//! (Eq. 5). PDN losses are added by [`crate::pdn`] and [`crate::laser`].
+
+use onoc_units::{Decibels, Millimeters, TechnologyParameters};
+
+/// Geometric footprint of one signal path, sufficient to evaluate its
+/// insertion loss.
+///
+/// # Examples
+///
+/// ```
+/// use onoc_photonics::{insertion_loss, PathGeometry};
+/// use onoc_units::{Millimeters, TechnologyParameters};
+///
+/// let tech = TechnologyParameters::default();
+/// let geom = PathGeometry {
+///     length: Millimeters(1.8),
+///     bends: 2,
+///     crossings: 0,
+///     mrr_through_hops: 0,
+///     mrr_drop_hops: 0,
+/// };
+/// let loss = insertion_loss(&geom, &tech);
+/// assert!((loss.0 - (3.4 + 1.8 + 0.01)).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PathGeometry {
+    /// Rectilinear length of the path.
+    pub length: Millimeters,
+    /// 90° bends the signal traverses.
+    pub bends: usize,
+    /// Waveguide crossings the signal traverses.
+    pub crossings: usize,
+    /// Off-resonance MRRs passed explicitly (OSE through hops); the ordinary
+    /// distributed through losses of ring interfaces are already folded into
+    /// the propagation coefficient.
+    pub mrr_through_hops: usize,
+    /// Extra on-resonance MRR drops beyond the sender/receiver pair (OSE
+    /// drop hops).
+    pub mrr_drop_hops: usize,
+}
+
+impl PathGeometry {
+    /// A zero-footprint geometry; useful as a starting accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Component-wise accumulation of another path fragment.
+    #[must_use]
+    pub fn merged(self, other: PathGeometry) -> PathGeometry {
+        PathGeometry {
+            length: self.length + other.length,
+            bends: self.bends + other.bends,
+            crossings: self.crossings + other.crossings,
+            mrr_through_hops: self.mrr_through_hops + other.mrr_through_hops,
+            mrr_drop_hops: self.mrr_drop_hops + other.mrr_drop_hops,
+        }
+    }
+}
+
+/// Computes the insertion loss `L_s` of a signal path, excluding PDN and
+/// splitter losses (paper Sec. II-B; the constant of Eq. 5).
+#[must_use]
+pub fn insertion_loss(geometry: &PathGeometry, tech: &TechnologyParameters) -> Decibels {
+    tech.terminal_loss
+        + Decibels(tech.propagation_loss_per_mm.0 * geometry.length.0)
+        + tech.bend_loss * geometry.bends as f64
+        + tech.crossing_loss * geometry.crossings as f64
+        + tech.mrr_through_loss * geometry.mrr_through_hops as f64
+        + tech.mrr_drop_loss * geometry.mrr_drop_hops as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn tech() -> TechnologyParameters {
+        TechnologyParameters::default()
+    }
+
+    #[test]
+    fn zero_geometry_costs_terminal_loss_only() {
+        let loss = insertion_loss(&PathGeometry::new(), &tech());
+        assert_eq!(loss, tech().terminal_loss);
+    }
+
+    #[test]
+    fn each_component_contributes() {
+        let t = tech();
+        let base = insertion_loss(&PathGeometry::new(), &t);
+        let with_len = insertion_loss(
+            &PathGeometry {
+                length: Millimeters(2.0),
+                ..PathGeometry::new()
+            },
+            &t,
+        );
+        assert!((with_len.0 - base.0 - 2.0 * t.propagation_loss_per_mm.0).abs() < 1e-12);
+
+        let with_crossings = insertion_loss(
+            &PathGeometry {
+                crossings: 3,
+                ..PathGeometry::new()
+            },
+            &t,
+        );
+        assert!((with_crossings.0 - base.0 - 3.0 * t.crossing_loss.0).abs() < 1e-12);
+
+        let with_ose = insertion_loss(
+            &PathGeometry {
+                mrr_drop_hops: 1,
+                mrr_through_hops: 4,
+                ..PathGeometry::new()
+            },
+            &t,
+        );
+        assert!(
+            (with_ose.0 - base.0 - t.mrr_drop_loss.0 - 4.0 * t.mrr_through_loss.0).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn merged_accumulates_componentwise() {
+        let a = PathGeometry {
+            length: Millimeters(1.0),
+            bends: 1,
+            crossings: 2,
+            mrr_through_hops: 3,
+            mrr_drop_hops: 0,
+        };
+        let b = PathGeometry {
+            length: Millimeters(0.5),
+            bends: 0,
+            crossings: 1,
+            mrr_through_hops: 1,
+            mrr_drop_hops: 2,
+        };
+        let m = a.merged(b);
+        assert_eq!(m.length, Millimeters(1.5));
+        assert_eq!(m.bends, 1);
+        assert_eq!(m.crossings, 3);
+        assert_eq!(m.mrr_through_hops, 4);
+        assert_eq!(m.mrr_drop_hops, 2);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_loss_is_monotone_in_length(l1 in 0.0f64..10.0, l2 in 0.0f64..10.0) {
+            let t = tech();
+            let a = insertion_loss(&PathGeometry { length: Millimeters(l1), ..Default::default() }, &t);
+            let b = insertion_loss(&PathGeometry { length: Millimeters(l2), ..Default::default() }, &t);
+            prop_assert_eq!(a.0 <= b.0, l1 <= l2);
+        }
+
+        #[test]
+        fn prop_loss_of_merge_is_sum_minus_terminal(
+            l1 in 0.0f64..5.0, l2 in 0.0f64..5.0,
+            b1 in 0usize..5, b2 in 0usize..5,
+        ) {
+            let t = tech();
+            let g1 = PathGeometry { length: Millimeters(l1), bends: b1, ..Default::default() };
+            let g2 = PathGeometry { length: Millimeters(l2), bends: b2, ..Default::default() };
+            let merged = insertion_loss(&g1.merged(g2), &t);
+            let parts = insertion_loss(&g1, &t) + insertion_loss(&g2, &t) - t.terminal_loss;
+            prop_assert!((merged.0 - parts.0).abs() < 1e-9);
+        }
+    }
+}

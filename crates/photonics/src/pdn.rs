@@ -1,0 +1,224 @@
+//! Power-distribution-network (PDN) model.
+//!
+//! Off-chip lasers supply every sender through a PDN of waveguides and 1×2
+//! splitters (paper Sec. I–II, construction of ref. \[22\]): the wavelength
+//! comb is coupled onto a trunk and split through a balanced binary tree to
+//! every node that hosts at least one sender; at a node whose two senders
+//! share a wavelength, one more splitter divides the power between them
+//! (paper Fig. 2(c)/3(c) and Eq. 4).
+//!
+//! Every splitter a signal's laser power passes costs
+//! [`splitter_loss`](onoc_units::TechnologyParameters::splitter_loss)
+//! (insertion + 3 dB split). The paper's `#sp_w` metric is the maximum
+//! number of splitters passed over all signal paths; minimizing it is the
+//! heart of SRing's MILP.
+
+use onoc_graph::NodeId;
+use onoc_units::{Decibels, TechnologyParameters};
+
+/// The PDN construction style of a design method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PdnStyle {
+    /// The shared splitter-tree construction of ref. \[22\], used by the paper
+    /// for ORNoC, CTORing and SRing: ⌈log₂ k⌉ tree levels over the `k`
+    /// active sender nodes, plus the optional node-level splitter.
+    SharedTree,
+    /// XRing's hierarchical PDN, which spends two extra splitter levels on
+    /// its per-pair power sharing (see `DESIGN.md` §3.4).
+    XRingHierarchical,
+}
+
+impl PdnStyle {
+    fn extra_levels(self) -> usize {
+        match self {
+            PdnStyle::SharedTree => 0,
+            PdnStyle::XRingHierarchical => 2,
+        }
+    }
+}
+
+/// A concrete PDN for a router design.
+///
+/// # Examples
+///
+/// ```
+/// use onoc_graph::NodeId;
+/// use onoc_photonics::{PdnDesign, PdnStyle};
+///
+/// // 12 sender nodes, node 0 needs a node-level splitter.
+/// let mut splitters = vec![false; 12];
+/// splitters[0] = true;
+/// let pdn = PdnDesign::new(PdnStyle::SharedTree, splitters, 12);
+/// assert_eq!(pdn.splitters_passed(NodeId(0)), 4 + 1);
+/// assert_eq!(pdn.splitters_passed(NodeId(1)), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PdnDesign {
+    style: PdnStyle,
+    node_splitter: Vec<bool>,
+    active_sender_nodes: usize,
+}
+
+impl PdnDesign {
+    /// Creates a PDN.
+    ///
+    /// * `node_splitter[v]` — whether node `v` needs a node-level splitter
+    ///   because its two senders share at least one wavelength (the `b_sp`
+    ///   variable of the paper's Eq. 4).
+    /// * `active_sender_nodes` — the number of nodes the distribution tree
+    ///   must reach (nodes with at least one sender).
+    #[must_use]
+    pub fn new(style: PdnStyle, node_splitter: Vec<bool>, active_sender_nodes: usize) -> Self {
+        PdnDesign {
+            style,
+            node_splitter,
+            active_sender_nodes,
+        }
+    }
+
+    /// The construction style.
+    #[must_use]
+    pub fn style(&self) -> PdnStyle {
+        self.style
+    }
+
+    /// Number of nodes reached by the distribution tree.
+    #[must_use]
+    pub fn active_sender_nodes(&self) -> usize {
+        self.active_sender_nodes
+    }
+
+    /// Whether `node` has a node-level splitter (`b_sp` of Eq. 4).
+    ///
+    /// Nodes beyond the recorded range have no splitter.
+    #[must_use]
+    pub fn has_node_splitter(&self, node: NodeId) -> bool {
+        self.node_splitter.get(node.0).copied().unwrap_or(false)
+    }
+
+    /// Number of node-level splitters in the whole PDN.
+    #[must_use]
+    pub fn node_splitter_count(&self) -> usize {
+        self.node_splitter.iter().filter(|&&b| b).count()
+    }
+
+    /// Depth of the balanced distribution tree: ⌈log₂ k⌉ splitter levels
+    /// reach `k` leaves (0 levels for a single leaf).
+    #[must_use]
+    pub fn tree_levels(&self) -> usize {
+        ceil_log2(self.active_sender_nodes)
+    }
+
+    /// Number of splitters the laser power of a signal sent by `src`
+    /// passes: tree levels + style-specific extra levels + the node-level
+    /// splitter if present. This is the per-path quantity whose maximum is
+    /// the paper's `#sp_w`.
+    #[must_use]
+    pub fn splitters_passed(&self, src: NodeId) -> usize {
+        self.tree_levels() + self.style.extra_levels() + usize::from(self.has_node_splitter(src))
+    }
+
+    /// The PDN contribution to the insertion loss of a signal sent by
+    /// `src`: splitters passed × splitter loss + the trunk propagation
+    /// allowance. Together with `L_s` this gives the per-wavelength
+    /// `il^all` of Table I.
+    #[must_use]
+    pub fn pdn_loss(&self, src: NodeId, tech: &TechnologyParameters) -> Decibels {
+        tech.splitter_loss() * self.splitters_passed(src) as f64 + tech.pdn_trunk_loss
+    }
+}
+
+fn ceil_log2(k: usize) -> usize {
+    if k <= 1 {
+        0
+    } else {
+        usize::BITS as usize - (k - 1).leading_zeros() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ceil_log2_table() {
+        assert_eq!(ceil_log2(0), 0);
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(8), 3);
+        assert_eq!(ceil_log2(11), 4);
+        assert_eq!(ceil_log2(12), 4);
+        assert_eq!(ceil_log2(26), 5);
+        assert_eq!(ceil_log2(52), 6);
+    }
+
+    #[test]
+    fn ornoc_style_matches_table1() {
+        // ORNoC/CTORing on MWD: 12 sender nodes, every node pays the
+        // node-level splitter → #sp = 4 + 1 = 5 (Table I).
+        let pdn = PdnDesign::new(PdnStyle::SharedTree, vec![true; 12], 12);
+        assert_eq!(pdn.splitters_passed(NodeId(0)), 5);
+        // D26: 26 nodes → 5 + 1 = 6.
+        let pdn = PdnDesign::new(PdnStyle::SharedTree, vec![true; 26], 26);
+        assert_eq!(pdn.splitters_passed(NodeId(3)), 6);
+        // 8PM: 8 nodes → 3 + 1 = 4.
+        let pdn = PdnDesign::new(PdnStyle::SharedTree, vec![true; 8], 8);
+        assert_eq!(pdn.splitters_passed(NodeId(7)), 4);
+    }
+
+    #[test]
+    fn sring_avoids_node_splitters() {
+        // SRing on 8PM: 8 nodes, MILP sets all b_sp = 0 → #sp = 3 (Table I).
+        let pdn = PdnDesign::new(PdnStyle::SharedTree, vec![false; 8], 8);
+        assert_eq!(pdn.splitters_passed(NodeId(0)), 3);
+        assert_eq!(pdn.node_splitter_count(), 0);
+    }
+
+    #[test]
+    fn xring_pays_two_extra_levels() {
+        // XRing on VOPD: 16 nodes → 4 + 2 = 6 (Table I).
+        let pdn = PdnDesign::new(PdnStyle::XRingHierarchical, vec![false; 16], 16);
+        assert_eq!(pdn.splitters_passed(NodeId(0)), 6);
+        assert_eq!(pdn.style(), PdnStyle::XRingHierarchical);
+    }
+
+    #[test]
+    fn pdn_loss_combines_splitters_and_trunk() {
+        let tech = onoc_units::TechnologyParameters::default();
+        let pdn = PdnDesign::new(PdnStyle::SharedTree, vec![true; 12], 12);
+        let loss = pdn.pdn_loss(NodeId(0), &tech);
+        assert!((loss.0 - (5.0 * 3.1 + 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn out_of_range_node_has_no_splitter() {
+        let pdn = PdnDesign::new(PdnStyle::SharedTree, vec![true; 2], 2);
+        assert!(!pdn.has_node_splitter(NodeId(10)));
+        assert_eq!(pdn.active_sender_nodes(), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_tree_levels_cover_leaves(k in 1usize..500) {
+            let levels = ceil_log2(k);
+            prop_assert!(1usize << levels >= k);
+            if levels > 0 {
+                prop_assert!(1usize << (levels - 1) < k);
+            }
+        }
+
+        #[test]
+        fn prop_node_splitter_adds_exactly_one(k in 1usize..64, node in 0usize..64) {
+            let node = node % k;
+            let mut flags = vec![false; k];
+            let without = PdnDesign::new(PdnStyle::SharedTree, flags.clone(), k)
+                .splitters_passed(NodeId(node));
+            flags[node] = true;
+            let with = PdnDesign::new(PdnStyle::SharedTree, flags, k)
+                .splitters_passed(NodeId(node));
+            prop_assert_eq!(with, without + 1);
+        }
+    }
+}

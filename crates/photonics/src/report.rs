@@ -1,0 +1,185 @@
+//! Human-readable text reports of router designs.
+//!
+//! The analysis structs carry the numbers; this module renders the whole
+//! design — waveguides, signal paths, wavelengths, PDN — the way a designer
+//! wants to read it during review.
+
+use crate::design::RouterDesign;
+use onoc_graph::CommGraph;
+use onoc_units::TechnologyParameters;
+use std::fmt::Write as _;
+
+/// Renders a full text report of `design` for `app` (used for node names;
+/// pass the application the design was synthesized for).
+///
+/// # Examples
+///
+/// ```
+/// use onoc_graph::benchmarks;
+/// use onoc_photonics::report::render_report;
+/// use onoc_units::TechnologyParameters;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let app = benchmarks::mwd();
+/// let design = onoc_baselines_free_example(&app)?;
+/// let text = render_report(&design, &app, &TechnologyParameters::default());
+/// assert!(text.contains("signal paths"));
+/// # Ok(())
+/// # }
+/// # use onoc_photonics::RouterDesign;
+/// # fn onoc_baselines_free_example(app: &onoc_graph::CommGraph)
+/// #     -> Result<RouterDesign, Box<dyn std::error::Error>> {
+/// #     // Minimal two-ring construction without depending on the baselines crate.
+/// #     use onoc_graph::NodeId;
+/// #     use onoc_layout::{Cycle, Layout};
+/// #     use onoc_photonics::{PathGeometry, PdnDesign, PdnStyle, SignalPath};
+/// #     use onoc_units::Wavelength;
+/// #     let order: Vec<NodeId> = app.node_ids().collect();
+/// #     let ring = Cycle::new(order)?;
+/// #     let positions: Vec<_> = app.node_ids().map(|v| app.position(v)).collect();
+/// #     let mut layout = Layout::new(positions);
+/// #     let wg = layout.route_cycle(&ring);
+/// #     let mut paths = Vec::new();
+/// #     for id in app.message_ids() {
+/// #         let m = app.message(id);
+/// #         let range = ring.path_segments(m.src, m.dst).expect("on ring");
+/// #         let mut geometry = PathGeometry::new();
+/// #         let mut occupancy = Vec::new();
+/// #         for seg in range.iter() {
+/// #             geometry.length += layout.waveguide(wg).segment(seg).length;
+/// #             occupancy.push((wg, seg));
+/// #         }
+/// #         paths.push(SignalPath {
+/// #             message: id, src: m.src, dst: m.dst, waveguide: wg,
+/// #             occupancy, geometry, wavelength: Wavelength(id.index()),
+/// #         });
+/// #     }
+/// #     let pdn = PdnDesign::new(PdnStyle::SharedTree, vec![true; app.node_count()], app.node_count());
+/// #     Ok(RouterDesign::new("demo", app.name(), layout, paths, pdn)?)
+/// # }
+/// ```
+#[must_use]
+pub fn render_report(
+    design: &RouterDesign,
+    app: &CommGraph,
+    tech: &TechnologyParameters,
+) -> String {
+    let mut out = String::new();
+    let name = |n: onoc_graph::NodeId| app.node_name(n);
+    let _ = writeln!(out, "{design}");
+    let _ = writeln!(out);
+
+    // Waveguides.
+    let _ = writeln!(out, "waveguides ({}):", design.layout().waveguide_count());
+    for (i, wg) in design.layout().waveguides().iter().enumerate() {
+        let order: Vec<&str> = wg.nodes().iter().map(|&n| name(n)).collect();
+        let _ = writeln!(
+            out,
+            "  wg{i} ({}, {:.2} mm, {} bends): {}",
+            if wg.is_closed() { "ring" } else { "chord" },
+            wg.total_length().0,
+            wg.total_bends(),
+            order.join(" → ")
+        );
+    }
+
+    // Signal paths.
+    let _ = writeln!(out, "\nsignal paths ({}):", design.paths().len());
+    let _ = writeln!(
+        out,
+        "  {:<4} {:<22} {:>4} {:>5} {:>9} {:>9}",
+        "msg", "route", "wg", "λ", "len[mm]", "L_s[dB]"
+    );
+    for p in design.paths() {
+        let loss = crate::loss::insertion_loss(&p.geometry, tech);
+        let _ = writeln!(
+            out,
+            "  {:<4} {:<22} {:>4} {:>5} {:>9.2} {:>9.2}",
+            p.message.index(),
+            format!("{} → {}", name(p.src), name(p.dst)),
+            p.waveguide.index(),
+            p.wavelength.index(),
+            p.geometry.length.0,
+            loss.0
+        );
+    }
+
+    // PDN and summary.
+    let a = design.analyze(tech);
+    let _ = writeln!(
+        out,
+        "\nPDN: {} tree levels over {} sender nodes, {} node-level splitters",
+        design.pdn().tree_levels(),
+        design.pdn().active_sender_nodes(),
+        design.pdn().node_splitter_count()
+    );
+    let _ = writeln!(
+        out,
+        "summary: L = {:.2} mm, il_w = {:.2} dB, #sp_w = {}, il_w^all = {:.2} dB, #wl = {}, power = {:.3} mW",
+        a.longest_path.0,
+        a.worst_insertion_loss.0,
+        a.max_splitters_passed,
+        a.worst_loss_with_pdn.0,
+        a.wavelength_count,
+        a.total_laser_power.0
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::SignalPath;
+    use crate::loss::PathGeometry;
+    use crate::pdn::{PdnDesign, PdnStyle};
+    use onoc_graph::{CommGraph, NodeId, Point};
+    use onoc_layout::{Cycle, Layout};
+    use onoc_units::{Millimeters, Wavelength};
+
+    fn sample() -> (RouterDesign, CommGraph) {
+        let app = CommGraph::builder()
+            .name("two")
+            .node("alpha", Point::new(0.0, 0.0))
+            .node("beta", Point::new(1.0, 0.0))
+            .message(NodeId(0), NodeId(1))
+            .build()
+            .unwrap();
+        let mut layout = Layout::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)]);
+        let ring = Cycle::new(vec![NodeId(0), NodeId(1)]).unwrap();
+        let wg = layout.route_cycle(&ring);
+        let path = SignalPath {
+            message: onoc_graph::MessageId(0),
+            src: NodeId(0),
+            dst: NodeId(1),
+            waveguide: wg,
+            occupancy: vec![(wg, 0)],
+            geometry: PathGeometry {
+                length: Millimeters(1.0),
+                ..Default::default()
+            },
+            wavelength: Wavelength(0),
+        };
+        let pdn = PdnDesign::new(PdnStyle::SharedTree, vec![false; 2], 1);
+        let design = RouterDesign::new("demo", "two", layout, vec![path], pdn).unwrap();
+        (design, app)
+    }
+
+    #[test]
+    fn report_mentions_everything() {
+        let (design, app) = sample();
+        let text = render_report(&design, &app, &TechnologyParameters::default());
+        assert!(text.contains("waveguides (1)"));
+        assert!(text.contains("alpha → beta"));
+        assert!(text.contains("signal paths (1)"));
+        assert!(text.contains("PDN:"));
+        assert!(text.contains("summary: L = 1.00 mm"));
+    }
+
+    #[test]
+    fn report_shows_ring_vs_chord() {
+        let (design, app) = sample();
+        let text = render_report(&design, &app, &TechnologyParameters::default());
+        assert!(text.contains("(ring,"));
+        assert!(!text.contains("(chord,"));
+    }
+}

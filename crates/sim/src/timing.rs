@@ -1,0 +1,143 @@
+//! Latency analysis: propagation plus serialization delay per message.
+//!
+//! The paper's introduction quotes silicon-photonic waveguide propagation
+//! at 10.45 ps/mm; a message's end-to-end latency is that propagation
+//! delay over its signal path plus the time to serialize its payload at
+//! the transceiver data rate. WR-ONoCs have no arbitration, so this *is*
+//! the whole latency — the headline advantage over active ONoCs and
+//! electrical NoCs.
+
+use onoc_graph::MessageId;
+use onoc_photonics::RouterDesign;
+
+/// Waveguide propagation delay, picoseconds per millimetre (paper Sec. I).
+pub const PROPAGATION_DELAY_PS_PER_MM: f64 = 10.45;
+
+/// Latency of one message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MessageLatency {
+    /// The message.
+    pub message: MessageId,
+    /// Time of flight of the first bit, picoseconds.
+    pub propagation_ps: f64,
+    /// Serialization time of the payload, picoseconds.
+    pub serialization_ps: f64,
+}
+
+impl MessageLatency {
+    /// Total latency until the last bit arrives.
+    #[must_use]
+    pub fn total_ps(&self) -> f64 {
+        self.propagation_ps + self.serialization_ps
+    }
+}
+
+/// Whole-design latency report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyReport {
+    /// Per-message latencies, in message order.
+    pub messages: Vec<MessageLatency>,
+    /// The worst total latency, picoseconds.
+    pub worst_ps: f64,
+    /// The mean total latency, picoseconds.
+    pub mean_ps: f64,
+}
+
+/// Computes the latency of every message for a payload of `payload_bits`
+/// at `data_rate_gbps` gigabits per second.
+///
+/// # Panics
+///
+/// Panics if `data_rate_gbps` is not positive.
+#[must_use]
+pub fn latency_report(
+    design: &RouterDesign,
+    payload_bits: usize,
+    data_rate_gbps: f64,
+) -> LatencyReport {
+    assert!(data_rate_gbps > 0.0, "data rate must be positive");
+    let ps_per_bit = 1000.0 / data_rate_gbps;
+    let mut messages = Vec::with_capacity(design.paths().len());
+    let mut worst = 0.0f64;
+    let mut sum = 0.0f64;
+    for p in design.paths() {
+        let propagation_ps = p.geometry.length.0 * PROPAGATION_DELAY_PS_PER_MM;
+        let serialization_ps = payload_bits as f64 * ps_per_bit;
+        let lat = MessageLatency {
+            message: p.message,
+            propagation_ps,
+            serialization_ps,
+        };
+        worst = worst.max(lat.total_ps());
+        sum += lat.total_ps();
+        messages.push(lat);
+    }
+    let mean_ps = if messages.is_empty() {
+        0.0
+    } else {
+        sum / messages.len() as f64
+    };
+    LatencyReport {
+        messages,
+        worst_ps: worst,
+        mean_ps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onoc_graph::benchmarks;
+    use onoc_units::TechnologyParameters;
+
+    fn sring_design() -> RouterDesign {
+        sring_core::SringSynthesizer::with_config(sring_core::SringConfig {
+            strategy: sring_core::AssignmentStrategy::Heuristic,
+            ..Default::default()
+        })
+        .synthesize(&benchmarks::mwd())
+        .expect("synthesizes")
+    }
+
+    #[test]
+    fn latency_matches_longest_path() {
+        let design = sring_design();
+        let analysis = design.analyze(&TechnologyParameters::default());
+        let report = latency_report(&design, 0, 10.0);
+        // With a zero-bit payload the worst latency is pure propagation of
+        // the longest path.
+        let expected = analysis.longest_path.0 * PROPAGATION_DELAY_PS_PER_MM;
+        assert!((report.worst_ps - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serialization_adds_uniformly() {
+        let design = sring_design();
+        let a = latency_report(&design, 0, 10.0);
+        let b = latency_report(&design, 1024, 10.0);
+        // 1024 bits at 10 Gb/s = 102.4 ns = 102 400 ps on every message.
+        for (x, y) in a.messages.iter().zip(&b.messages) {
+            assert!((y.total_ps() - x.total_ps() - 102_400.0).abs() < 1e-6);
+        }
+        assert!((b.mean_ps - a.mean_ps - 102_400.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn faster_links_serialize_faster() {
+        let design = sring_design();
+        let slow = latency_report(&design, 512, 10.0);
+        let fast = latency_report(&design, 512, 40.0);
+        assert!(fast.worst_ps < slow.worst_ps);
+        assert_eq!(slow.messages.len(), fast.messages.len());
+    }
+
+    #[test]
+    fn sub_millimeter_paths_fly_in_picoseconds() {
+        // The WR-ONoC pitch: an MWD sub-ring path of < 1 mm propagates in
+        // about ten picoseconds — the paper's low-latency argument.
+        let design = sring_design();
+        let report = latency_report(&design, 0, 10.0);
+        assert!(report.worst_ps < 100.0, "worst {}", report.worst_ps);
+        assert!(report.mean_ps > 0.0);
+    }
+}

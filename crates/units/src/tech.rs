@@ -1,0 +1,250 @@
+//! Silicon-photonics technology parameters.
+//!
+//! The defaults reproduce the loss scale of the SRing paper (DATE 2025),
+//! which itself applies the technology parameters of Ortín-Obón et al.
+//! (TVLSI 2017, ref. \[22\] of the paper). Two effective constants —
+//! [`TechnologyParameters::terminal_loss`] and
+//! [`TechnologyParameters::propagation_loss_per_mm`] — are calibrated against
+//! the paper's Table I as explained in `DESIGN.md` §3–§4; all other constants
+//! are the standard published device figures.
+
+use crate::quantity::{Dbm, Decibels, Millimeters};
+
+/// The complete set of loss coefficients and laser constants used by the
+/// insertion-loss and laser-power models.
+///
+/// All fields are public: this is a plain record of physical constants that a
+/// user tunes for their own process node. [`TechnologyParameters::default`]
+/// returns the paper-calibrated values.
+///
+/// # Examples
+///
+/// ```
+/// use onoc_units::{TechnologyParameters, Decibels};
+///
+/// // Default (paper-calibrated) parameters.
+/// let tech = TechnologyParameters::default();
+/// assert_eq!(tech.splitter_split_loss, Decibels(3.0));
+///
+/// // A custom process with lower propagation loss.
+/// let custom = TechnologyParameters {
+///     propagation_loss_per_mm: Decibels(0.5),
+///     ..TechnologyParameters::default()
+/// };
+/// assert!(custom.propagation_loss_per_mm < tech.propagation_loss_per_mm);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TechnologyParameters {
+    /// Fixed per-path terminal loss: modulator insertion + laser-to-chip
+    /// coupling + the two MRR drops (inject at the sender, extract at the
+    /// receiver) + photodetector loss. Calibrated intercept of Table I.
+    pub terminal_loss: Decibels,
+    /// Effective propagation loss per millimetre of signal path, including
+    /// the distributed MRR through-loss of the ring interfaces the signal
+    /// passes. Calibrated slope of Table I (≈1 dB/mm).
+    pub propagation_loss_per_mm: Decibels,
+    /// Loss per waveguide crossing.
+    pub crossing_loss: Decibels,
+    /// Loss per 90° waveguide bend.
+    pub bend_loss: Decibels,
+    /// Through loss per off-resonance MRR explicitly passed (used for OSE
+    /// structures such as XRing's switching elements).
+    pub mrr_through_loss: Decibels,
+    /// Drop loss of an on-resonance MRR (used for OSE drop hops).
+    pub mrr_drop_loss: Decibels,
+    /// Insertion loss of a 1×2 splitter, excluding the splitting ratio.
+    pub splitter_insertion_loss: Decibels,
+    /// Power division penalty of a 50 % splitting ratio.
+    pub splitter_split_loss: Decibels,
+    /// Propagation/trunk allowance of the power-distribution network from the
+    /// off-chip laser coupler to the farthest sender.
+    pub pdn_trunk_loss: Decibels,
+    /// Receiver photodetector sensitivity: the minimum power that must reach
+    /// the detector.
+    pub detector_sensitivity: Dbm,
+    /// Wall-plug efficiency of the off-chip laser (0 < η ≤ 1).
+    pub laser_efficiency: f64,
+    /// Pitch of the regular node grid on the chip floorplan.
+    pub tile_pitch: Millimeters,
+    /// Suppression of an adjacent-channel signal at an MRR drop port
+    /// (positive dB; larger is better filtering).
+    pub mrr_adjacent_suppression: Decibels,
+    /// Suppression of a far-channel signal at an MRR drop port.
+    pub mrr_far_suppression: Decibels,
+    /// Suppression of the leaked signal at a waveguide crossing.
+    pub crossing_suppression: Decibels,
+}
+
+impl TechnologyParameters {
+    /// Paper-calibrated parameters (identical to [`Default::default`]).
+    ///
+    /// ```
+    /// use onoc_units::TechnologyParameters;
+    /// assert_eq!(TechnologyParameters::new(), TechnologyParameters::default());
+    /// ```
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Combined per-splitter loss: insertion loss plus the 50 % split
+    /// penalty. This is the constant `L_sp` of the paper's Eq. 5.
+    ///
+    /// ```
+    /// use onoc_units::{TechnologyParameters, Decibels};
+    /// let tech = TechnologyParameters::default();
+    /// assert_eq!(tech.splitter_loss(), Decibels(3.1));
+    /// ```
+    #[must_use]
+    pub fn splitter_loss(&self) -> Decibels {
+        self.splitter_insertion_loss + self.splitter_split_loss
+    }
+
+    /// Validates that every coefficient is physically meaningful
+    /// (finite, non-negative losses; efficiency in `(0, 1]`; positive pitch).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ValidateTechError`] naming the offending field.
+    pub fn validate(&self) -> Result<(), ValidateTechError> {
+        let nonneg = [
+            ("terminal_loss", self.terminal_loss),
+            ("propagation_loss_per_mm", self.propagation_loss_per_mm),
+            ("crossing_loss", self.crossing_loss),
+            ("bend_loss", self.bend_loss),
+            ("mrr_through_loss", self.mrr_through_loss),
+            ("mrr_drop_loss", self.mrr_drop_loss),
+            ("splitter_insertion_loss", self.splitter_insertion_loss),
+            ("splitter_split_loss", self.splitter_split_loss),
+            ("pdn_trunk_loss", self.pdn_trunk_loss),
+            ("mrr_adjacent_suppression", self.mrr_adjacent_suppression),
+            ("mrr_far_suppression", self.mrr_far_suppression),
+            ("crossing_suppression", self.crossing_suppression),
+        ];
+        for (name, v) in nonneg {
+            if !v.0.is_finite() || v.0 < 0.0 {
+                return Err(ValidateTechError { field: name });
+            }
+        }
+        if !self.detector_sensitivity.0.is_finite() {
+            return Err(ValidateTechError {
+                field: "detector_sensitivity",
+            });
+        }
+        if !(self.laser_efficiency > 0.0 && self.laser_efficiency <= 1.0) {
+            return Err(ValidateTechError {
+                field: "laser_efficiency",
+            });
+        }
+        if !(self.tile_pitch.0 > 0.0 && self.tile_pitch.0.is_finite()) {
+            return Err(ValidateTechError { field: "tile_pitch" });
+        }
+        Ok(())
+    }
+}
+
+impl Default for TechnologyParameters {
+    fn default() -> Self {
+        Self {
+            terminal_loss: Decibels(3.4),
+            propagation_loss_per_mm: Decibels(1.0),
+            crossing_loss: Decibels(0.04),
+            bend_loss: Decibels(0.005),
+            mrr_through_loss: Decibels(0.005),
+            mrr_drop_loss: Decibels(0.5),
+            splitter_insertion_loss: Decibels(0.1),
+            splitter_split_loss: Decibels(3.0),
+            pdn_trunk_loss: Decibels(1.0),
+            detector_sensitivity: Dbm(-26.0),
+            laser_efficiency: 0.3,
+            tile_pitch: Millimeters(0.26),
+            mrr_adjacent_suppression: Decibels(25.0),
+            mrr_far_suppression: Decibels(40.0),
+            crossing_suppression: Decibels(40.0),
+        }
+    }
+}
+
+/// Error returned by [`TechnologyParameters::validate`], naming the field
+/// whose value is out of its physical range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidateTechError {
+    field: &'static str,
+}
+
+impl ValidateTechError {
+    /// The name of the offending field.
+    #[must_use]
+    pub fn field(&self) -> &'static str {
+        self.field
+    }
+}
+
+impl std::fmt::Display for ValidateTechError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "technology parameter `{}` is out of range", self.field)
+    }
+}
+
+impl std::error::Error for ValidateTechError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        TechnologyParameters::default().validate().expect("defaults valid");
+    }
+
+    #[test]
+    fn splitter_loss_is_sum() {
+        let tech = TechnologyParameters::default();
+        assert!((tech.splitter_loss().0 - 3.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_loss_rejected() {
+        let tech = TechnologyParameters {
+            crossing_loss: Decibels(-0.1),
+            ..TechnologyParameters::default()
+        };
+        let err = tech.validate().unwrap_err();
+        assert_eq!(err.field(), "crossing_loss");
+        assert!(err.to_string().contains("crossing_loss"));
+    }
+
+    #[test]
+    fn bad_efficiency_rejected() {
+        for eff in [0.0, -0.5, 1.5, f64::NAN] {
+            let tech = TechnologyParameters {
+                laser_efficiency: eff,
+                ..TechnologyParameters::default()
+            };
+            assert_eq!(tech.validate().unwrap_err().field(), "laser_efficiency");
+        }
+    }
+
+    #[test]
+    fn bad_pitch_rejected() {
+        let tech = TechnologyParameters {
+            tile_pitch: Millimeters(0.0),
+            ..TechnologyParameters::default()
+        };
+        assert_eq!(tech.validate().unwrap_err().field(), "tile_pitch");
+    }
+
+    #[test]
+    fn nan_sensitivity_rejected() {
+        let tech = TechnologyParameters {
+            detector_sensitivity: Dbm(f64::NAN),
+            ..TechnologyParameters::default()
+        };
+        assert_eq!(tech.validate().unwrap_err().field(), "detector_sensitivity");
+    }
+
+    #[test]
+    fn new_equals_default() {
+        assert_eq!(TechnologyParameters::new(), TechnologyParameters::default());
+    }
+}

@@ -1,0 +1,68 @@
+//! Design-space exploration in the style of the paper's Sec. IV-B: how
+//! does SRing's solution compare with thousands of random sub-ring
+//! constructions?
+//!
+//! ```sh
+//! cargo run --release --example design_space [samples]
+//! ```
+
+use sring::core::SringSynthesizer;
+use sring::eval::random_baseline::{sample_random_solutions, RandomSolutionConfig};
+use sring::eval::Histogram;
+use sring::graph::benchmarks;
+use sring::units::TechnologyParameters;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let samples: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000);
+    let app = benchmarks::mwd();
+    let tech = TechnologyParameters::default();
+
+    // SRing's own solution, as the reference point.
+    let report = SringSynthesizer::new().synthesize_detailed(&app)?;
+    let analysis = report.design.analyze(&tech);
+
+    // Blind search over the same design space.
+    let config = RandomSolutionConfig {
+        samples,
+        ..RandomSolutionConfig::for_app(&app)
+    };
+    let stats = sample_random_solutions(&app, &tech, &config);
+    println!(
+        "{}: {} of {} random solutions feasible ({:.2} %)",
+        app.name(),
+        stats.feasible.len(),
+        stats.attempted,
+        stats.feasibility_rate() * 100.0
+    );
+    if stats.feasible.is_empty() {
+        println!("no feasible random solutions — nothing to plot");
+        return Ok(());
+    }
+
+    let (lo, hi) = stats.feasible.iter().fold((f64::MAX, f64::MIN), |(lo, hi), o| {
+        (lo.min(o.worst_loss.0), hi.max(o.worst_loss.0))
+    });
+    let mut hist = Histogram::new(lo - 1e-9, hi + 1e-6, 12);
+    for o in &stats.feasible {
+        hist.add(o.worst_loss.0);
+    }
+    println!("\nil_w (dB) of feasible random solutions:");
+    print!("{hist}");
+    println!("SRing achieves il_w = {:.2} dB", analysis.worst_insertion_loss.0);
+
+    let better = stats
+        .feasible
+        .iter()
+        .filter(|o| o.worst_loss.0 < analysis.worst_insertion_loss.0)
+        .count();
+    println!(
+        "random solutions beating SRing: {} of {} ({:.3} % of all samples)",
+        better,
+        stats.feasible.len(),
+        better as f64 / stats.attempted as f64 * 100.0
+    );
+    Ok(())
+}

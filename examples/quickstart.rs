@@ -1,0 +1,37 @@
+//! Quickstart: synthesize an application-specific sub-ring router for the
+//! MWD benchmark and print the paper's headline metrics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use sring::core::SringSynthesizer;
+use sring::graph::benchmarks;
+use sring::units::TechnologyParameters;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Pick an application: node placement + required messages.
+    let app = benchmarks::mwd();
+    println!("application: {app}");
+
+    // 2. Synthesize: clustering → sub-ring layout → MILP wavelength
+    //    assignment → power-distribution network.
+    let tech = TechnologyParameters::default();
+    let report = SringSynthesizer::new().synthesize_detailed(&app)?;
+    println!(
+        "synthesized {} sub-rings under L_max = {:.2} in {:?}",
+        report.design.sub_ring_count(),
+        report.clustering.l_max,
+        report.runtime
+    );
+
+    // 3. Analyze: every Table I / Fig. 7 metric.
+    let analysis = report.design.analyze(&tech);
+    println!("longest signal path  L        = {:.2}", analysis.longest_path);
+    println!("worst insertion loss il_w     = {:.2}", analysis.worst_insertion_loss);
+    println!("worst-case splitters #sp_w    = {}", analysis.max_splitters_passed);
+    println!("with PDN             il_w^all = {:.2}", analysis.worst_loss_with_pdn);
+    println!("wavelengths          #wl      = {}", analysis.wavelength_count);
+    println!("total laser power             = {:.3}", analysis.total_laser_power);
+    Ok(())
+}

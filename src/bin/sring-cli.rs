@@ -1,0 +1,208 @@
+//! `sring-cli` — command-line front end for the SRing reproduction.
+//!
+//! ```text
+//! sring-cli list
+//! sring-cli synth   --benchmark mwd [--method sring|ornoc|ctoring|xring]
+//!                   [--pitch 0.26] [--svg out.svg] [--crosstalk] [--report]
+//! sring-cli compare --benchmark vopd [--pitch 0.26]
+//! ```
+
+use std::process::ExitCode;
+
+use sring::eval::comparison::{compare, format_table1};
+use sring::eval::methods::Method;
+use sring::graph::benchmarks::Benchmark;
+use sring::graph::CommGraph;
+use sring::layout::svg;
+use sring::photonics::{analyze_crosstalk, render_report};
+use sring::units::{Millimeters, TechnologyParameters};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  sring-cli list\n  sring-cli synth --benchmark <name> [--method sring|ornoc|ctoring|xring] [--pitch <mm>] [--svg <path>] [--crosstalk] [--report]\n  sring-cli compare --benchmark <name> [--pitch <mm>]"
+    );
+    ExitCode::from(2)
+}
+
+struct Args {
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Option<Args> {
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < raw.len() {
+            let arg = &raw[i];
+            if let Some(name) = arg.strip_prefix("--") {
+                let value = raw.get(i + 1).filter(|v| !v.starts_with("--")).cloned();
+                if value.is_some() {
+                    i += 1;
+                }
+                flags.push((name.to_string(), value));
+            } else {
+                return None;
+            }
+            i += 1;
+        }
+        Some(Args { flags })
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+}
+
+fn benchmark_by_name(name: &str) -> Option<Benchmark> {
+    Benchmark::ALL
+        .into_iter()
+        .find(|b| b.name().eq_ignore_ascii_case(name) || b.name().replace('-', "").eq_ignore_ascii_case(&name.replace('-', "")))
+}
+
+fn load_app(args: &Args) -> Result<CommGraph, String> {
+    let name = args
+        .value("benchmark")
+        .ok_or_else(|| "missing --benchmark".to_string())?;
+    let b = benchmark_by_name(name)
+        .ok_or_else(|| format!("unknown benchmark `{name}` (try `sring-cli list`)"))?;
+    match args.value("pitch") {
+        Some(p) => {
+            let pitch: f64 = p.parse().map_err(|_| format!("bad --pitch `{p}`"))?;
+            if pitch <= 0.0 {
+                return Err("--pitch must be positive".to_string());
+            }
+            Ok(b.graph_with_pitch(Millimeters(pitch)))
+        }
+        None => Ok(b.graph()),
+    }
+}
+
+fn method_by_name(name: &str) -> Option<Method> {
+    match name.to_ascii_lowercase().as_str() {
+        "sring" => Some(Method::Sring(Default::default())),
+        "ornoc" => Some(Method::Ornoc),
+        "ctoring" => Some(Method::Ctoring),
+        "xring" => Some(Method::Xring),
+        _ => None,
+    }
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = raw.split_first() else {
+        return usage();
+    };
+    let Some(args) = Args::parse(rest) else {
+        return usage();
+    };
+    let tech = TechnologyParameters::default();
+
+    match command.as_str() {
+        "list" => {
+            println!("available benchmarks:");
+            for b in Benchmark::ALL {
+                println!(
+                    "  {:<8} #N = {:>2}  #M = {:>2}",
+                    b.name(),
+                    b.node_count(),
+                    b.message_count()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "synth" => {
+            let app = match load_app(&args) {
+                Ok(app) => app,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let method = match args.value("method") {
+                None => Method::Sring(Default::default()),
+                Some(name) => match method_by_name(name) {
+                    Some(m) => m,
+                    None => {
+                        eprintln!("error: unknown method `{name}`");
+                        return ExitCode::from(2);
+                    }
+                },
+            };
+            let design = match method.synthesize(&app, &tech) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("error: synthesis failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let a = design.analyze(&tech);
+            println!("{design}");
+            println!("L        = {:.2}", a.longest_path);
+            println!("il_w     = {:.2}", a.worst_insertion_loss);
+            println!("#sp_w    = {}", a.max_splitters_passed);
+            println!("il_w^all = {:.2}", a.worst_loss_with_pdn);
+            println!("#wl      = {}", a.wavelength_count);
+            println!("power    = {:.3}", a.total_laser_power);
+            println!("crossings = {}", a.total_crossings);
+            if args.has("report") {
+                println!("\n{}", render_report(&design, &app, &tech));
+            }
+            if args.has("crosstalk") {
+                let x = analyze_crosstalk(&design, &tech);
+                let snr = if x.worst_snr.0.is_finite() {
+                    format!("{:.1} dB", x.worst_snr.0)
+                } else {
+                    "unbounded (no interferer reaches a detector)".to_string()
+                };
+                println!(
+                    "worst SNR = {snr} over {} interfering contributions",
+                    x.total_interferers
+                );
+            }
+            if let Some(path) = args.value("svg") {
+                let labels: Vec<&str> = app.node_ids().map(|n| app.node_name(n)).collect();
+                let doc = svg::render(design.layout(), &labels);
+                if let Err(e) = std::fs::write(path, doc) {
+                    eprintln!("error: cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("layout written to {path}");
+            }
+            ExitCode::SUCCESS
+        }
+        "compare" => {
+            let app = match load_app(&args) {
+                Ok(app) => app,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match compare(&app, &tech, &Method::standard()) {
+                Ok(cmp) => {
+                    print!("{}", format_table1(std::slice::from_ref(&cmp)));
+                    println!("\n{:<10} {:>10} {:>6}", "method", "power[mW]", "#wl");
+                    for r in &cmp.rows {
+                        println!(
+                            "{:<10} {:>10.3} {:>6}",
+                            r.method, r.total_laser_power.0, r.wavelength_count
+                        );
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

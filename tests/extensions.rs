@@ -1,0 +1,165 @@
+//! Integration tests for the beyond-the-paper extensions: crosstalk
+//! analysis, SVG export, LP-format export, flexible routing and the
+//! synthetic application generators.
+
+use sring::core::{AssignmentStrategy, SringConfig, SringSynthesizer};
+use sring::eval::methods::Method;
+use sring::graph::benchmarks::Benchmark;
+use sring::graph::synth;
+use sring::layout::svg;
+use sring::milp::{io::to_lp_format, Model, Sense, SolveOptions};
+use sring::photonics::{analyze_crosstalk, render_report};
+use sring::units::{Millimeters, TechnologyParameters};
+
+fn tech() -> TechnologyParameters {
+    TechnologyParameters::default()
+}
+
+#[test]
+fn crosstalk_report_is_consistent_per_method() {
+    let app = Benchmark::Vopd.graph();
+    for m in Method::standard() {
+        let design = m.synthesize(&app, &tech()).expect("synthesizes");
+        let report = analyze_crosstalk(&design, &tech());
+        assert_eq!(report.paths.len(), app.message_count(), "{}", m.name());
+        let per_path: usize = report.paths.iter().map(|p| p.interferer_count).sum();
+        assert_eq!(per_path, report.total_interferers);
+        for p in &report.paths {
+            // SNR must equal signal minus crosstalk (in dB), and any path
+            // with at least one interferer must have finite SNR.
+            if p.interferer_count > 0 {
+                assert!(p.snr.0.is_finite());
+                assert!((p.snr.0 - (p.signal_dbm - p.crosstalk_dbm)).abs() < 1e-9);
+            } else {
+                assert!(p.crosstalk_dbm.is_infinite());
+            }
+        }
+        // The design must close its link budget with margin: worst SNR
+        // above 10 dB for every method on this benchmark.
+        assert!(report.worst_snr.0 > 10.0, "{}: {}", m.name(), report.worst_snr);
+    }
+}
+
+#[test]
+fn pure_ring_designs_have_no_crossing_interference() {
+    // SRing's MWD design routes without crossings; all its crosstalk (if
+    // any) must come from MRR leakage, which the crossing suppression
+    // parameter cannot influence.
+    let app = Benchmark::Mwd.graph();
+    let design = Method::Sring(AssignmentStrategy::Heuristic)
+        .synthesize(&app, &tech())
+        .expect("synthesizes");
+    assert_eq!(design.analyze(&tech()).total_crossings, 0);
+    let base = analyze_crosstalk(&design, &tech());
+    let worse_crossings = TechnologyParameters {
+        crossing_suppression: sring::units::Decibels(10.0),
+        ..tech()
+    };
+    let perturbed = analyze_crosstalk(&design, &worse_crossings);
+    assert_eq!(base.total_interferers, perturbed.total_interferers);
+    match (base.worst_snr.0.is_finite(), perturbed.worst_snr.0.is_finite()) {
+        (true, true) => assert!((base.worst_snr.0 - perturbed.worst_snr.0).abs() < 1e-9),
+        (false, false) => {} // no interferer reaches any detector in either run
+        _ => panic!("crossing suppression changed interference reachability"),
+    }
+}
+
+#[test]
+fn svg_export_renders_every_benchmark_design() {
+    for b in [Benchmark::Mwd, Benchmark::Pm8x24] {
+        let app = b.graph();
+        for m in [Method::Ornoc, Method::Sring(AssignmentStrategy::Heuristic)] {
+            let design = m.synthesize(&app, &tech()).expect("synthesizes");
+            let labels: Vec<&str> = app.node_ids().map(|n| app.node_name(n)).collect();
+            let doc = svg::render(design.layout(), &labels);
+            assert!(doc.starts_with("<svg"), "{b}/{}", m.name());
+            assert!(doc.contains("</svg>"));
+            // Every node label appears.
+            for n in app.node_ids() {
+                assert!(doc.contains(&format!(">{}</text>", app.node_name(n))));
+            }
+            // At least one line per waveguide segment group.
+            assert!(doc.matches("<line").count() >= design.layout().waveguide_count());
+        }
+    }
+}
+
+#[test]
+fn design_report_renders_every_method() {
+    let app = Benchmark::Pm8x24.graph();
+    for m in Method::standard() {
+        let design = m.synthesize(&app, &tech()).expect("synthesizes");
+        let text = render_report(&design, &app, &tech());
+        assert!(text.contains("signal paths (24)"), "{}", m.name());
+        assert!(text.contains("summary: L = "));
+    }
+}
+
+#[test]
+fn lp_export_describes_a_solvable_model() {
+    // Build a small model, export it, and sanity-check the text mirrors
+    // what the solver sees (same counts of rows and integer declarations).
+    let mut m = Model::new();
+    let vars: Vec<_> = (0..6).map(|i| m.add_binary(format!("b{i}"))).collect();
+    for w in vars.windows(2) {
+        m.add_constraint([(w[0], 1.0), (w[1], 1.0)], Sense::Le, 1.0)
+            .expect("valid");
+    }
+    let obj: Vec<_> = vars.iter().map(|&v| (v, -1.0)).collect();
+    m.set_objective(obj);
+    let lp = to_lp_format(&m);
+    assert_eq!(lp.matches("<=").count(), m.constraint_count());
+    assert!(lp.contains("Binaries"));
+    let sol = m.solve(&SolveOptions::default()).expect("solves");
+    // Max independent set on a path of 6: 3 nodes.
+    assert!((sol.objective() + 3.0).abs() < 1e-6);
+}
+
+#[test]
+fn flexible_routing_never_worsens_peak_congestion() {
+    for b in [Benchmark::D26, Benchmark::Pm8x44] {
+        let app = b.graph();
+        let run = |flexible: bool| {
+            let synth = SringSynthesizer::with_config(SringConfig {
+                strategy: AssignmentStrategy::Heuristic,
+                flexible_routing: flexible,
+                ..SringConfig::default()
+            });
+            synth.synthesize(&app).expect("synthesizes").wavelength_count()
+        };
+        assert!(run(true) <= run(false), "{b}");
+    }
+}
+
+#[test]
+fn generated_apps_full_pipeline() {
+    let pitch = Millimeters(0.26);
+    for app in [
+        synth::pipeline(12, pitch),
+        synth::hub_spoke(6, pitch),
+        synth::neighbor_mesh(4, 3, pitch),
+        synth::random_app(10, 18, 3, pitch),
+    ] {
+        for m in Method::standard() {
+            let design = m.synthesize(&app, &tech()).expect("synthesizes");
+            design.validate_against(&app).expect("valid");
+        }
+    }
+}
+
+#[test]
+fn sring_dominates_on_feed_forward_meshes() {
+    // The structural sweet spot: local feed-forward traffic lets SRing's
+    // small sub-rings crush the big-ring baselines on power.
+    let app = synth::neighbor_mesh(4, 4, Millimeters(0.26));
+    let sring = Method::Sring(AssignmentStrategy::Heuristic)
+        .synthesize(&app, &tech())
+        .expect("synthesizes")
+        .analyze(&tech());
+    let ctoring = Method::Ctoring
+        .synthesize(&app, &tech())
+        .expect("synthesizes")
+        .analyze(&tech());
+    assert!(sring.total_laser_power.0 < ctoring.total_laser_power.0 / 2.0);
+    assert!(sring.longest_path.0 < ctoring.longest_path.0);
+}

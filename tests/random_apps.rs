@@ -1,0 +1,109 @@
+//! Property-based integration tests: randomly generated applications are
+//! synthesized by every method and the resulting designs must always be
+//! structurally valid.
+
+use proptest::prelude::*;
+use sring::core::{AssignmentStrategy, SringConfig, SringSynthesizer};
+use sring::eval::methods::Method;
+use sring::graph::{CommGraph, NodeId, Point};
+use sring::units::TechnologyParameters;
+
+/// Builds a random connected-ish application: `n` nodes on a jittered
+/// grid, `edges` random directed messages (deduplicated, no self-loops).
+fn arb_app() -> impl Strategy<Value = CommGraph> {
+    (3usize..9, 2usize..16, any::<u64>()).prop_map(|(n, edges, seed)| {
+        // Simple deterministic LCG so the strategy stays reproducible.
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let cols = (n as f64).sqrt().ceil() as usize;
+        let mut b = CommGraph::builder().name("random");
+        for i in 0..n {
+            let (c, r) = (i % cols, i / cols);
+            b = b.node(
+                format!("n{i}"),
+                Point::new(c as f64 * 0.3, r as f64 * 0.3),
+            );
+        }
+        let mut pairs = std::collections::BTreeSet::new();
+        // Always connect node 0 to node 1 so at least one message exists.
+        pairs.insert((0usize, 1usize));
+        for _ in 0..edges {
+            let s = next() % n;
+            let d = next() % n;
+            if s != d {
+                pairs.insert((s, d));
+            }
+        }
+        for (s, d) in pairs {
+            b = b.message(NodeId(s), NodeId(d));
+        }
+        b.build().expect("generated application is valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_methods_valid_on_random_apps(app in arb_app()) {
+        let tech = TechnologyParameters::default();
+        for m in [
+            Method::Ornoc,
+            Method::Ctoring,
+            Method::Xring,
+            Method::Sring(AssignmentStrategy::Heuristic),
+        ] {
+            let design = m.synthesize(&app, &tech)
+                .unwrap_or_else(|e| panic!("{}: {e}", m.name()));
+            design.validate_against(&app)
+                .unwrap_or_else(|e| panic!("{}: {e}", m.name()));
+            let a = design.analyze(&tech);
+            prop_assert!(a.wavelength_count >= 1);
+            prop_assert!(a.total_laser_power.0 > 0.0);
+            prop_assert!(a.worst_loss_with_pdn >= a.worst_insertion_loss);
+        }
+    }
+
+    #[test]
+    fn sring_longest_path_never_exceeds_one_way_bound(app in arb_app()) {
+        let tech = TechnologyParameters::default();
+        let synth = SringSynthesizer::with_config(SringConfig {
+            strategy: AssignmentStrategy::Heuristic,
+            tech,
+            ..SringConfig::default()
+        });
+        let report = synth.synthesize_detailed(&app).expect("synthesizes");
+        let bound = sring::core::cluster::one_way_upper_bound(&app);
+        prop_assert!(
+            report.clustering.longest_path.0 <= bound.0 + 1e-9,
+            "longest {} vs bound {}",
+            report.clustering.longest_path,
+            bound
+        );
+    }
+
+    #[test]
+    fn sring_milp_never_loses_to_heuristic(app in arb_app()) {
+        // Only small instances go to the MILP in this test.
+        prop_assume!(app.message_count() <= 10);
+        let tech = TechnologyParameters::default();
+        let heuristic = SringSynthesizer::with_config(SringConfig {
+            strategy: AssignmentStrategy::Heuristic,
+            tech: tech.clone(),
+            ..SringConfig::default()
+        })
+        .synthesize_detailed(&app)
+        .expect("synthesizes");
+        let milp = SringSynthesizer::with_config(SringConfig {
+            strategy: AssignmentStrategy::Milp(Default::default()),
+            tech,
+            ..SringConfig::default()
+        })
+        .synthesize_detailed(&app)
+        .expect("synthesizes");
+        prop_assert!(milp.assignment.objective <= heuristic.assignment.objective + 1e-9);
+    }
+}
