@@ -1,0 +1,12 @@
+#!/usr/bin/env sh
+# The gate every PR must pass, runnable locally: `sh ci/check.sh`.
+# Formatting, lints-as-errors, a release build (bins + benches compile),
+# and the full workspace test suite.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+cargo fmt --all --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo build --release --workspace
+cargo test --workspace -q

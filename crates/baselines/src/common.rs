@@ -8,9 +8,7 @@
 
 use onoc_graph::{CommGraph, NodeId};
 use onoc_layout::{Cycle, Layout, SegmentRange, WaveguideId};
-use onoc_photonics::{
-    DesignError, PathGeometry, PdnDesign, PdnStyle, RouterDesign, SignalPath,
-};
+use onoc_photonics::{DesignError, PathGeometry, PdnDesign, PdnStyle, RouterDesign, SignalPath};
 use onoc_units::Wavelength;
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
@@ -152,7 +150,9 @@ pub fn build_two_ring_design(
         ids.sort_by(|&a, &b| {
             let la = app.manhattan(app.message(a).src, app.message(a).dst);
             let lb = app.manhattan(app.message(b).src, app.message(b).dst);
-            lb.partial_cmp(&la).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+            lb.partial_cmp(&la)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
         });
     }
 
@@ -190,8 +190,7 @@ pub fn build_two_ring_design(
                         c.occupancy.iter().map(|&(w, s)| (w.index(), s)).collect();
                     (table.first_fit(&channels), c.geometry.length.0)
                 };
-                let eligible =
-                    |c: &Candidate| c.geometry.length.0 <= length_bound + 1e-9;
+                let eligible = |c: &Candidate| c.geometry.length.0 <= length_bound + 1e-9;
                 match (eligible(&on_cw), eligible(&on_ccw)) {
                     (true, false) => on_cw,
                     (false, true) => on_ccw,
@@ -242,8 +241,8 @@ pub fn build_two_ring_design(
 mod tests {
     use super::*;
     use onoc_graph::benchmarks;
-    use onoc_units::TechnologyParameters;
     use onoc_layout::ring_order::tour_order;
+    use onoc_units::TechnologyParameters;
 
     fn tech() -> TechnologyParameters {
         TechnologyParameters::default()
@@ -274,8 +273,7 @@ mod tests {
                 AllocationPolicy::ShorterDirectionFirstFit,
                 AllocationPolicy::BestOfBothDirections,
             ] {
-                let design =
-                    build_two_ring_design("test", &app, order.clone(), policy).unwrap();
+                let design = build_two_ring_design("test", &app, order.clone(), policy).unwrap();
                 design.validate_against(&app).unwrap();
                 assert_eq!(design.paths().len(), app.message_count());
                 assert_eq!(design.sub_ring_count(), 2, "{b}: two ring waveguides");
@@ -295,13 +293,9 @@ mod tests {
                 AllocationPolicy::ShorterDirectionFirstFit,
             )
             .unwrap();
-            let smart = build_two_ring_design(
-                "b",
-                &app,
-                order,
-                AllocationPolicy::BestOfBothDirections,
-            )
-            .unwrap();
+            let smart =
+                build_two_ring_design("b", &app, order, AllocationPolicy::BestOfBothDirections)
+                    .unwrap();
             assert!(
                 smart.wavelength_count() <= simple.wavelength_count(),
                 "{b}: {} vs {}",
@@ -334,13 +328,9 @@ mod tests {
     fn every_node_pays_the_conventional_splitter() {
         let app = benchmarks::mwd();
         let order = physical_order(&app);
-        let design = build_two_ring_design(
-            "t",
-            &app,
-            order,
-            AllocationPolicy::ShorterDirectionFirstFit,
-        )
-        .unwrap();
+        let design =
+            build_two_ring_design("t", &app, order, AllocationPolicy::ShorterDirectionFirstFit)
+                .unwrap();
         // 12 nodes → 4 tree levels + 1 node splitter = 5 (Table I, ORNoC).
         let analysis = design.analyze(&tech());
         assert_eq!(analysis.max_splitters_passed, 5);

@@ -85,7 +85,9 @@ pub fn tailored_order(app: &CommGraph) -> Vec<NodeId> {
         (worst, total)
     };
 
-    let better = |a: (f64, f64), b: (f64, f64)| a.0 < b.0 - 1e-9 || ((a.0 - b.0).abs() <= 1e-9 && a.1 < b.1 - 1e-9);
+    let better = |a: (f64, f64), b: (f64, f64)| {
+        a.0 < b.0 - 1e-9 || ((a.0 - b.0).abs() <= 1e-9 && a.1 < b.1 - 1e-9)
+    };
     let mut current = score(&order);
     let mut improved = true;
     while improved {

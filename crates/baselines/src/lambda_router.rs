@@ -74,16 +74,12 @@ pub fn synthesize(
     let mut all_points = positions.clone();
     let row_end = |i: usize| NodeId(n + i);
     let col_top = |j: usize| NodeId(2 * n + j);
-    for i in 0..n {
-        // Row i extends to the farthest column lane it must reach.
-        all_points.push(onoc_graph::Point::new(matrix_x(n - 1), positions[i].y));
-        let _ = i;
+    for p in positions.iter().take(n) {
+        // Each row extends to the farthest column lane it must reach.
+        all_points.push(onoc_graph::Point::new(matrix_x(n - 1), p.y));
     }
     for j in 0..n {
-        all_points.push(onoc_graph::Point::new(
-            matrix_x(j),
-            min.y - pitch,
-        ));
+        all_points.push(onoc_graph::Point::new(matrix_x(j), min.y - pitch));
     }
     let mut layout = Layout::new(all_points);
 
@@ -126,8 +122,7 @@ pub fn synthesize(
         // Row travel: from the sender to column j's x lane.
         let row_len = matrix_x(j) - positions[i].x;
         // Column travel: from the crossing at y_i down to the receiver.
-        let col_len = (positions[i].y - positions[j].y).abs()
-            + (matrix_x(j) - positions[j].x);
+        let col_len = (positions[i].y - positions[j].y).abs() + (matrix_x(j) - positions[j].x);
         let crossings = layout.segment_crossings(row, 0) + layout.segment_crossings(col, 0);
         let geometry = PathGeometry {
             length: Millimeters(row_len + col_len),

@@ -8,7 +8,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use onoc_baselines::xring;
 use onoc_graph::benchmarks::Benchmark;
 use onoc_units::TechnologyParameters;
-use sring_core::{AssignmentStrategy, ClusteringConfig, MilpOptions, SringConfig, SringSynthesizer};
+use sring_core::{
+    AssignmentStrategy, ClusteringConfig, MilpOptions, SringConfig, SringSynthesizer,
+};
 use std::time::Duration;
 
 fn bench_assignment_strategies(c: &mut Criterion) {
@@ -42,9 +44,14 @@ fn bench_xring_oses(c: &mut Criterion) {
     group.sample_size(10);
     let app = Benchmark::Mwd.graph();
     for oses in [0usize, 3, 6] {
-        group.bench_with_input(BenchmarkId::from_parameter(oses), &oses, |bencher, &oses| {
-            bencher.iter(|| xring::synthesize_with_oses(&app, &tech, oses).expect("synthesizes"));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(oses),
+            &oses,
+            |bencher, &oses| {
+                bencher
+                    .iter(|| xring::synthesize_with_oses(&app, &tech, oses).expect("synthesizes"));
+            },
+        );
     }
     group.finish();
 }

@@ -13,7 +13,9 @@ fn bench_analysis(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig7/analyze");
     for b in [Benchmark::Mwd, Benchmark::D26] {
         let app = b.graph();
-        let design = Method::Ctoring.synthesize(&app, &tech).expect("synthesizes");
+        let design = Method::Ctoring
+            .synthesize(&app, &tech)
+            .expect("synthesizes");
         group.bench_with_input(
             BenchmarkId::from_parameter(b.name()),
             &design,

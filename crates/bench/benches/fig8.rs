@@ -15,11 +15,16 @@ fn bench_sampler(c: &mut Criterion) {
         let app = b.graph();
         let config = RandomSolutionConfig {
             samples: 1_000,
+            threads: onoc_bench::threads_from_env_args(),
             ..RandomSolutionConfig::default()
         };
-        group.bench_with_input(BenchmarkId::from_parameter(b.name()), &app, |bencher, app| {
-            bencher.iter(|| sample_random_solutions(app, &tech, &config));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(b.name()),
+            &app,
+            |bencher, app| {
+                bencher.iter(|| sample_random_solutions(app, &tech, &config));
+            },
+        );
     }
     group.finish();
 }

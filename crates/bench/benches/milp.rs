@@ -20,10 +20,7 @@ fn lp_instance(n: usize) -> LpProblem {
             sense: Sense::Le,
             rhs: 10.0 + i as f64,
         });
-        let coeffs: Vec<(usize, f64)> = (0..n)
-            .filter(|j| j / k == i)
-            .map(|j| (j, 1.0))
-            .collect();
+        let coeffs: Vec<(usize, f64)> = (0..n).filter(|j| j / k == i).map(|j| (j, 1.0)).collect();
         rows.push(LpRow {
             coeffs,
             sense: Sense::Ge,
@@ -49,13 +46,13 @@ fn coloring_model(paths: usize, colors: usize) -> Model {
                 .collect()
         })
         .collect();
-    for s in 0..paths {
-        let sum: Vec<_> = (0..colors).map(|l| (b[s][l], 1.0)).collect();
+    for bs in &b {
+        let sum: Vec<_> = bs.iter().map(|&v| (v, 1.0)).collect();
         m.add_constraint(sum, Sense::Eq, 1.0).expect("valid");
     }
     for s in 0..paths.saturating_sub(1) {
-        for l in 0..colors {
-            m.add_constraint([(b[s][l], 1.0), (b[s + 1][l], 1.0)], Sense::Le, 1.0)
+        for (&bs, &bn) in b[s].iter().zip(&b[s + 1]) {
+            m.add_constraint([(bs, 1.0), (bn, 1.0)], Sense::Le, 1.0)
                 .expect("valid");
         }
     }
@@ -78,6 +75,9 @@ fn bench_simplex(c: &mut Criterion) {
 fn bench_branch_and_bound(c: &mut Criterion) {
     let mut group = c.benchmark_group("milp/branch_and_bound");
     group.sample_size(10);
+    // Serial baseline next to the parallel search (`--threads N`, default
+    // one worker per core) on the same instances.
+    let threads = onoc_eval::par::resolve_threads(onoc_bench::threads_from_env_args());
     for (paths, colors) in [(8usize, 3usize), (14, 4), (20, 4)] {
         let m = coloring_model(paths, colors);
         group.bench_with_input(
@@ -87,6 +87,18 @@ fn bench_branch_and_bound(c: &mut Criterion) {
                 bencher.iter(|| m.solve(&SolveOptions::default()).expect("solves"));
             },
         );
+        if threads > 1 {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("{paths}x{colors}/threads={threads}")),
+                &m,
+                |bencher, m| {
+                    bencher.iter(|| {
+                        m.solve(&SolveOptions::default().with_threads(threads))
+                            .expect("solves")
+                    });
+                },
+            );
+        }
     }
     group.finish();
 }

@@ -20,7 +20,12 @@ fn bench_methods(c: &mut Criterion) {
         Method::Xring,
         Method::Sring(AssignmentStrategy::Heuristic),
     ];
-    for b in [Benchmark::Mwd, Benchmark::Vopd, Benchmark::Pm8x24, Benchmark::Pm8x44] {
+    for b in [
+        Benchmark::Mwd,
+        Benchmark::Vopd,
+        Benchmark::Pm8x24,
+        Benchmark::Pm8x44,
+    ] {
         let app = b.graph();
         for m in &methods {
             group.bench_with_input(

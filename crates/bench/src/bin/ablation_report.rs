@@ -10,7 +10,9 @@
 use onoc_baselines::xring;
 use onoc_bench::harness_tech;
 use onoc_graph::benchmarks::Benchmark;
-use sring_core::{AssignmentStrategy, ClusteringConfig, MilpOptions, SringConfig, SringSynthesizer};
+use sring_core::{
+    AssignmentStrategy, ClusteringConfig, MilpOptions, SringConfig, SringSynthesizer,
+};
 
 fn main() {
     let tech = harness_tech();
@@ -20,7 +22,12 @@ fn main() {
         "{:<10} {:>14} {:>14} {:>12} {:>12}",
         "benchmark", "heur #wl/P[mW]", "milp #wl/P[mW]", "heur #sp_w", "milp #sp_w"
     );
-    for b in [Benchmark::Mwd, Benchmark::Vopd, Benchmark::Mpeg, Benchmark::Pm8x24] {
+    for b in [
+        Benchmark::Mwd,
+        Benchmark::Vopd,
+        Benchmark::Mpeg,
+        Benchmark::Pm8x24,
+    ] {
         let app = b.graph();
         let mut results = Vec::new();
         for strategy in [
@@ -51,7 +58,10 @@ fn main() {
     }
 
     println!("\n2. XRing OSE shortcut budget (MWD)\n");
-    println!("{:<6} {:>8} {:>10} {:>10}", "OSEs", "L[mm]", "il_w[dB]", "P[mW]");
+    println!(
+        "{:<6} {:>8} {:>10} {:>10}",
+        "OSEs", "L[mm]", "il_w[dB]", "P[mW]"
+    );
     let app = Benchmark::Mwd.graph();
     for oses in [0usize, 1, 2, 4, 6] {
         let a = xring::synthesize_with_oses(&app, &tech, oses)

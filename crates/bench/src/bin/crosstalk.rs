@@ -8,9 +8,7 @@ use onoc_photonics::analyze_crosstalk;
 
 fn main() {
     let tech = harness_tech();
-    println!(
-        "worst-case SNR (dB) and total interfering contributions per design\n"
-    );
+    println!("worst-case SNR (dB) and total interfering contributions per design\n");
     println!(
         "{:<10} {:>18} {:>18} {:>18} {:>18}",
         "benchmark", "ORNoC", "CTORing", "XRing", "SRing"

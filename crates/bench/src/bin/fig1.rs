@@ -10,9 +10,7 @@ use sring_core::AssignmentStrategy;
 
 fn main() {
     let tech = harness_tech();
-    println!(
-        "FIG. 1 (quantified) — placed crossbar λ-router vs ring routers\n"
-    );
+    println!("FIG. 1 (quantified) — placed crossbar λ-router vs ring routers\n");
     println!(
         "{:<10} {:<10} {:>10} {:>8} {:>10} {:>10} {:>10}",
         "benchmark", "design", "crossings", "L[mm]", "il_w[dB]", "P[mW]", "SNR[dB]"

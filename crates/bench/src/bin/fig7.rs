@@ -2,24 +2,31 @@
 //! of ORNoC, CTORing, XRing and SRing for (a) the four multimedia systems
 //! and (b) the three 8-node processor-memory networks.
 
-use onoc_bench::harness_tech;
-use onoc_eval::comparison::{compare, format_fig7};
+use onoc_bench::{harness_tech, take_threads_flag};
+use onoc_eval::comparison::{compare, compare_grid, format_fig7};
 use onoc_eval::methods::Method;
 use onoc_graph::benchmarks::Benchmark;
 
 fn main() {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let threads = take_threads_flag(&mut raw);
     let tech = harness_tech();
     let methods = Method::standard();
 
     for (title, set) in [
-        ("(a) multimedia communication systems", &Benchmark::MULTIMEDIA[..]),
-        ("(b) 8-node processor-memory networks", &Benchmark::PROCESSOR_MEMORY[..]),
+        (
+            "(a) multimedia communication systems",
+            &Benchmark::MULTIMEDIA[..],
+        ),
+        (
+            "(b) 8-node processor-memory networks",
+            &Benchmark::PROCESSOR_MEMORY[..],
+        ),
     ] {
         println!("FIG. 7 {title}\n");
-        let comparisons: Vec<_> = set
-            .iter()
-            .map(|b| compare(&b.graph(), &tech, &methods).expect("benchmark synthesizes"))
-            .collect();
+        let apps: Vec<_> = set.iter().map(|b| b.graph()).collect();
+        let comparisons =
+            compare_grid(&apps, &tech, &methods, threads).expect("benchmark synthesizes");
         print!("{}", format_fig7(&comparisons));
 
         // The paper's qualitative claims, checked live.

@@ -4,17 +4,23 @@
 //! own result marked.
 //!
 //! Pass a sample count as the first argument to override the default
-//! 100 000 (e.g. `cargo run -p onoc-bench --bin fig8 -- 10000`).
+//! 100 000 (e.g. `cargo run -p onoc-bench --bin fig8 -- 10000`), and
+//! `--threads N` to spread the sampling over N workers (default: one per
+//! core) — the drawn samples are sharded by seed, not by thread, so the
+//! reported statistics are identical for every thread count.
 
-use onoc_bench::harness_tech;
+use onoc_bench::{harness_tech, take_threads_flag};
 use onoc_eval::random_baseline::{sample_random_solutions, RandomSolutionConfig};
 use onoc_eval::Histogram;
 use onoc_graph::benchmarks::Benchmark;
 use sring_core::{SringConfig, SringSynthesizer};
 
 fn main() {
-    let samples: usize = std::env::args()
-        .nth(1)
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let threads = take_threads_flag(&mut raw);
+    let samples: usize = raw
+        .into_iter()
+        .next()
         .and_then(|s| s.parse().ok())
         .unwrap_or(100_000);
     let tech = harness_tech();
@@ -27,6 +33,7 @@ fn main() {
         let app = b.graph();
         let config = RandomSolutionConfig {
             samples,
+            threads,
             ..RandomSolutionConfig::for_app(&app)
         };
         let stats = sample_random_solutions(&app, &tech, &config);
@@ -63,12 +70,18 @@ fn main() {
         h_wl.add(o.wavelength_count as f64);
     }
     print!("{h_wl}");
-    println!("SRing: #wl = {} (red circle of the paper)\n", analysis.wavelength_count);
+    println!(
+        "SRing: #wl = {} (red circle of the paper)\n",
+        analysis.wavelength_count
+    );
 
     println!("FIG. 8(b) — il_w (dB) over feasible MWD random solutions");
-    let (lo, hi) = stats.feasible.iter().fold((f64::MAX, f64::MIN), |(lo, hi), o| {
-        (lo.min(o.worst_loss.0), hi.max(o.worst_loss.0))
-    });
+    let (lo, hi) = stats
+        .feasible
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), o| {
+            (lo.min(o.worst_loss.0), hi.max(o.worst_loss.0))
+        });
     let mut h_il = Histogram::new(lo - 1e-9, hi + 1e-6, 10);
     for o in &stats.feasible {
         h_il.add(o.worst_loss.0);

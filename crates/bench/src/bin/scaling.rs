@@ -2,18 +2,30 @@
 //! generated application families of growing size (pipelines, hub-and-
 //! spoke, neighbour meshes). Not a paper figure — the downstream-user
 //! question the paper leaves open.
+//!
+//! `--threads N` spreads each family's applications over N workers
+//! (default: one per core); output stays in size order. Per-app synthesis
+//! times are each app's own wall-clock, so they remain comparable up to
+//! core contention.
 
-use onoc_bench::harness_tech;
+use onoc_bench::{harness_tech, take_threads_flag};
 use onoc_eval::methods::Method;
+use onoc_eval::par::run_indexed;
 use onoc_graph::synth;
 use onoc_graph::CommGraph;
 use onoc_units::Millimeters;
 use sring_core::AssignmentStrategy;
+use std::fmt::Write as _;
 use std::time::Instant;
 
-fn run(app: &CommGraph) {
+fn run(app: &CommGraph) -> String {
     let tech = harness_tech();
-    print!("{:<16} #N={:>3} #M={:>3}", app.name(), app.node_count(), app.message_count());
+    let mut line = format!(
+        "{:<16} #N={:>3} #M={:>3}",
+        app.name(),
+        app.node_count(),
+        app.message_count()
+    );
     for m in [
         Method::Sring(AssignmentStrategy::Heuristic),
         Method::Ctoring,
@@ -22,7 +34,8 @@ fn run(app: &CommGraph) {
         let design = m.synthesize(app, &tech).expect("synthesizes");
         let elapsed = t.elapsed();
         let a = design.analyze(&tech);
-        print!(
+        let _ = write!(
+            line,
             "   {}: {:>7.2?} L={:.2}mm #wl={:<3} P={:.2}mW",
             m.name(),
             elapsed,
@@ -31,21 +44,35 @@ fn run(app: &CommGraph) {
             a.total_laser_power.0
         );
     }
-    println!();
+    line
+}
+
+fn sweep(apps: &[CommGraph], threads: usize) {
+    for line in run_indexed(apps.len(), threads, |i| run(&apps[i])) {
+        println!("{line}");
+    }
 }
 
 fn main() {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let threads = take_threads_flag(&mut raw);
     let pitch = Millimeters(0.26);
     println!("pipelines (feed-forward chains):");
-    for stages in [8usize, 16, 24, 32, 48] {
-        run(&synth::pipeline(stages, pitch));
-    }
+    let apps: Vec<_> = [8usize, 16, 24, 32, 48]
+        .iter()
+        .map(|&stages| synth::pipeline(stages, pitch))
+        .collect();
+    sweep(&apps, threads);
     println!("\nhub-and-spoke (accelerator-style):");
-    for spokes in [4usize, 8, 12, 16] {
-        run(&synth::hub_spoke(spokes, pitch));
-    }
+    let apps: Vec<_> = [4usize, 8, 12, 16]
+        .iter()
+        .map(|&spokes| synth::hub_spoke(spokes, pitch))
+        .collect();
+    sweep(&apps, threads);
     println!("\nneighbour meshes (local traffic):");
-    for (c, r) in [(3usize, 3usize), (4, 4), (5, 5), (6, 6)] {
-        run(&synth::neighbor_mesh(c, r, pitch));
-    }
+    let apps: Vec<_> = [(3usize, 3usize), (4, 4), (5, 5), (6, 6)]
+        .iter()
+        .map(|&(c, r)| synth::neighbor_mesh(c, r, pitch))
+        .collect();
+    sweep(&apps, threads);
 }

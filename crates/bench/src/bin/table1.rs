@@ -1,21 +1,30 @@
 //! Regenerates the paper's Table I: `L`, `il_w`, `#sp_w` and `il_w^all`
 //! for ORNoC, CTORing, XRing and SRing across all seven benchmarks, with
 //! the paper's published values printed side by side.
+//!
+//! The benchmark×method grid runs on `--threads N` workers (default: one
+//! per core); an optional positional argument names a CSV output path.
 
-use onoc_bench::{harness_benchmarks, harness_tech, paper_reference};
-use onoc_eval::comparison::{compare, to_csv};
+use onoc_bench::{harness_benchmarks, harness_tech, paper_reference, take_threads_flag};
+use onoc_eval::comparison::{compare_grid, to_csv};
 use onoc_eval::methods::Method;
 
 fn main() {
     let tech = harness_tech();
     let methods = Method::standard();
-    let csv_path = std::env::args().nth(1);
-    let mut comparisons = Vec::new();
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let threads = take_threads_flag(&mut raw);
+    let csv_path = raw.into_iter().next();
+    let apps: Vec<_> = harness_benchmarks().iter().map(|b| b.graph()).collect();
+    let comparisons = compare_grid(&apps, &tech, &methods, threads).expect("benchmarks synthesize");
     println!("TABLE I — measured vs paper (paper values in parentheses)\n");
-    for b in harness_benchmarks() {
-        let app = b.graph();
-        let cmp = compare(&app, &tech, &methods).expect("benchmark synthesizes");
-        println!("{} (#N = {}, #M = {})", b.name(), cmp.node_count, cmp.message_count);
+    for (b, cmp) in harness_benchmarks().iter().zip(&comparisons) {
+        println!(
+            "{} (#N = {}, #M = {})",
+            b.name(),
+            cmp.node_count,
+            cmp.message_count
+        );
         println!(
             "{:<10} {:>16} {:>16} {:>12} {:>16}",
             "method", "L[mm]", "il_w[dB]", "#sp_w", "il_w^all[dB]"
@@ -37,7 +46,6 @@ fn main() {
             );
         }
         println!();
-        comparisons.push(cmp);
     }
     if let Some(path) = csv_path {
         std::fs::write(&path, to_csv(&comparisons)).expect("CSV written");

@@ -1,17 +1,25 @@
 //! Regenerates the paper's Table II: wall-clock runtime of the full SRing
 //! pipeline per benchmark, next to the paper's published seconds.
+//!
+//! `--threads N` distributes the benchmarks over N workers (default: one
+//! per core). Each row's time is that benchmark's own pipeline wall-clock;
+//! on an oversubscribed machine run with `--threads 1` when the absolute
+//! times are the point.
 
-use onoc_bench::{harness_tech, PAPER_TABLE2};
-use onoc_eval::runtime::measure_runtimes;
+use onoc_bench::{harness_tech, take_threads_flag, PAPER_TABLE2};
+use onoc_eval::runtime::measure_runtimes_parallel;
 use onoc_graph::benchmarks::Benchmark;
 use sring_core::SringConfig;
 
 fn main() {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let threads = take_threads_flag(&mut raw);
     let config = SringConfig {
         tech: harness_tech(),
         ..SringConfig::default()
     };
-    let rows = measure_runtimes(&Benchmark::ALL, &config).expect("benchmarks synthesize");
+    let rows = measure_runtimes_parallel(&Benchmark::ALL, &config, threads)
+        .expect("benchmarks synthesize");
     println!("TABLE II — program runtime of SRing in seconds (paper in parentheses)\n");
     println!(
         "{:<10} {:>12} {:>10} {:>6} {:>9}",

@@ -76,9 +76,62 @@ pub fn harness_benchmarks() -> Vec<Benchmark> {
     Benchmark::ALL.to_vec()
 }
 
+/// Removes a `--threads N` / `--threads=N` flag from `args` and returns
+/// the requested worker count. Absent or malformed → `0`, which every
+/// harness entry point resolves to one worker per available core (see
+/// [`onoc_eval::par::resolve_threads`]).
+pub fn take_threads_flag(args: &mut Vec<String>) -> usize {
+    if let Some(pos) = args.iter().position(|a| a == "--threads") {
+        let value = args.get(pos + 1).and_then(|v| v.parse().ok());
+        args.remove(pos);
+        if value.is_some() {
+            args.remove(pos);
+        }
+        return value.unwrap_or(0);
+    }
+    if let Some(pos) = args.iter().position(|a| a.starts_with("--threads=")) {
+        let value = args[pos]["--threads=".len()..].parse().ok();
+        args.remove(pos);
+        return value.unwrap_or(0);
+    }
+    0
+}
+
+/// Scans the process arguments for `--threads` without consuming anything
+/// — for Criterion bench binaries, whose argument list is owned by the
+/// harness.
+#[must_use]
+pub fn threads_from_env_args() -> usize {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    take_threads_flag(&mut raw)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn threads_flag_parsing() {
+        let mut args: Vec<String> = ["out.csv", "--threads", "4"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        assert_eq!(take_threads_flag(&mut args), 4);
+        assert_eq!(args, vec!["out.csv".to_string()]);
+
+        let mut args = vec!["--threads=8".to_string()];
+        assert_eq!(take_threads_flag(&mut args), 8);
+        assert!(args.is_empty());
+
+        let mut args = vec!["10000".to_string()];
+        assert_eq!(take_threads_flag(&mut args), 0);
+        assert_eq!(args.len(), 1);
+
+        // A dangling flag is removed, mapping to the default.
+        let mut args = vec!["--threads".to_string()];
+        assert_eq!(take_threads_flag(&mut args), 0);
+        assert!(args.is_empty());
+    }
 
     #[test]
     fn paper_table_covers_all_pairs() {

@@ -196,6 +196,11 @@ pub struct MilpOptions {
     pub pool_slack: usize,
     /// Node budget for the branch-and-bound search.
     pub node_limit: usize,
+    /// Worker threads for the branch-and-bound search (`1` = serial,
+    /// `0` = one per available core). The parallel search is work-sharing
+    /// with a deterministic node ordering, so the reported objective does
+    /// not depend on the thread count.
+    pub threads: usize,
 }
 
 impl Default for MilpOptions {
@@ -204,6 +209,7 @@ impl Default for MilpOptions {
             time_limit: Duration::from_secs(3),
             pool_slack: 3,
             node_limit: 20_000,
+            threads: 1,
         }
     }
 }
@@ -347,9 +353,7 @@ fn heuristic_assignment(problem: &AssignmentProblem) -> Vec<Wavelength> {
         let mut best: Option<(f64, Wavelength)> = None;
         for w in 0..=max_used {
             let w = Wavelength(w);
-            let clash = problem.conflicts[p]
-                .iter()
-                .any(|&q| assignment[q] == w);
+            let clash = problem.conflicts[p].iter().any(|&q| assignment[q] == w);
             if clash {
                 continue;
             }
@@ -468,13 +472,7 @@ fn milp_assignment(
     let heuristic_wl = warm.iter().map(|w| w.index() + 1).max().unwrap_or(1);
     let pool = (heuristic_wl + opts.pool_slack).min(n.max(1));
     let l_sp = problem.splitter_loss.0;
-    let xi = problem
-        .paths
-        .iter()
-        .map(|p| p.loss.0)
-        .fold(0.0, f64::max)
-        + l_sp
-        + 1.0;
+    let xi = problem.paths.iter().map(|p| p.loss.0).fold(0.0, f64::max) + l_sp + 1.0;
 
     let mut m = Model::new();
     // b[s][λ] — Eq. 1 variables.
@@ -499,8 +497,8 @@ fn milp_assignment(
         .collect();
 
     // Eq. 1: each path gets exactly one wavelength.
-    for s in 0..n {
-        let sum: Vec<_> = (0..pool).map(|l| (b[s][l], 1.0)).collect();
+    for bs in &b {
+        let sum: Vec<_> = bs.iter().map(|&v| (v, 1.0)).collect();
         m.add_constraint(sum, Sense::Eq, 1.0)?;
     }
     // Eq. 2: conflicting paths use distinct wavelengths. The paper sums
@@ -511,15 +509,15 @@ fn milp_assignment(
             if q < s {
                 continue; // each pair once
             }
-            for l in 0..pool {
-                m.add_constraint([(b[s][l], 1.0), (b[q][l], 1.0)], Sense::Le, 1.0)?;
+            for (&bs, &bq) in b[s].iter().zip(&b[q]) {
+                m.add_constraint([(bs, 1.0), (bq, 1.0)], Sense::Le, 1.0)?;
             }
         }
     }
     // Eq. 3 linearization: u[λ] ≥ b[s][λ].
-    for s in 0..n {
+    for bs in &b {
         for l in 0..pool {
-            m.add_constraint([(u[l], 1.0), (b[s][l], -1.0)], Sense::Ge, 0.0)?;
+            m.add_constraint([(u[l], 1.0), (bs[l], -1.0)], Sense::Ge, 0.0)?;
         }
     }
     // Eq. 4: a node whose intra sender and inter sender share a wavelength
@@ -538,12 +536,8 @@ fn milp_assignment(
             .collect();
         for &s in &intra {
             for &q in &inter {
-                for l in 0..pool {
-                    m.add_constraint(
-                        [(b[s][l], 1.0), (b[q][l], 1.0), (node_bsp, -1.0)],
-                        Sense::Le,
-                        1.0,
-                    )?;
+                for (&bs, &bq) in b[s].iter().zip(&b[q]) {
+                    m.add_constraint([(bs, 1.0), (bq, 1.0), (node_bsp, -1.0)], Sense::Le, 1.0)?;
                 }
             }
         }
@@ -625,13 +619,14 @@ fn milp_assignment(
     let options = MilpSolveOptions::default()
         .with_time_limit(opts.time_limit)
         .with_node_limit(opts.node_limit)
+        .with_threads(opts.threads)
         .with_warm_start(start);
     let sol = m.solve(&options)?;
 
     let mut wavelengths = Vec::with_capacity(n);
-    for s in 0..n {
+    for bs in &b {
         let l = (0..pool)
-            .find(|&l| sol.value(b[s][l]) > 0.5)
+            .find(|&l| sol.value(bs[l]) > 0.5)
             .expect("Eq. 1 guarantees one wavelength");
         wavelengths.push(Wavelength(l));
     }
@@ -769,7 +764,10 @@ mod tests {
             options: MilpOptions::default(),
         };
         let a = assign(&p, &auto_tiny).unwrap();
-        assert!(!a.proven_optimal, "instance above the cutoff stays heuristic");
+        assert!(
+            !a.proven_optimal,
+            "instance above the cutoff stays heuristic"
+        );
     }
 
     #[test]
@@ -795,12 +793,12 @@ mod tests {
         fn arb_problem() -> impl Strategy<Value = AssignmentProblem> {
             proptest::collection::vec(
                 (
-                    0usize..5,                               // src node
-                    any::<bool>(),                           // is_inter
-                    0.0f64..5.0,                             // extra loss
-                    0usize..3,                               // ring
-                    0usize..6,                               // first segment
-                    1usize..3,                               // span
+                    0usize..5,     // src node
+                    any::<bool>(), // is_inter
+                    0.0f64..5.0,   // extra loss
+                    0usize..3,     // ring
+                    0usize..6,     // first segment
+                    1usize..3,     // span
                 ),
                 1..12,
             )
@@ -866,9 +864,75 @@ mod tests {
         }
     }
 
+    /// The shrunken instance of the checked-in proptest regression
+    /// `proptest-regressions/assignment.txt` (seed `cf30faa3…`): eleven
+    /// paths over five nodes where eight paths form a single dense
+    /// conflict clique on channel `(0, 0)`, two more conflict on `(0, 3)`
+    /// and one is conflict-free. The vendored proptest stub cannot replay
+    /// upstream ChaCha seeds, so the instance is locked in here verbatim.
+    fn regression_cf30faa3_problem() -> AssignmentProblem {
+        let paths = vec![
+            path(4, false, 5.641472277503231, &[(0, 3), (0, 4)]),
+            path(0, false, 3.4, &[(0, 0)]),
+            path(1, false, 7.517934001127685, &[(0, 0)]),
+            path(4, false, 3.4, &[(0, 3)]),
+            path(1, false, 4.605855069997706, &[(0, 0)]),
+            path(0, false, 3.4, &[(0, 0)]),
+            path(0, false, 3.4, &[(0, 0)]),
+            path(0, false, 3.4, &[(0, 0)]),
+            path(0, false, 3.4, &[(0, 0)]),
+            path(1, false, 3.4, &[(1, 0)]),
+            path(0, false, 3.4, &[(0, 0)]),
+        ];
+        AssignmentProblem::new(5, paths, splitter())
+    }
+
+    #[test]
+    fn regression_cf30faa3_dense_clique_heuristic() {
+        let problem = regression_cf30faa3_problem();
+        // The conflict sets recorded in the regression file must match
+        // what `AssignmentProblem::new` derives.
+        let expected_conflicts: [&[usize]; 11] = [
+            &[3],
+            &[2, 4, 5, 6, 7, 8, 10],
+            &[1, 4, 5, 6, 7, 8, 10],
+            &[0],
+            &[1, 2, 5, 6, 7, 8, 10],
+            &[1, 2, 4, 6, 7, 8, 10],
+            &[1, 2, 4, 5, 7, 8, 10],
+            &[1, 2, 4, 5, 6, 8, 10],
+            &[1, 2, 4, 5, 6, 7, 10],
+            &[],
+            &[1, 2, 4, 5, 6, 7, 8],
+        ];
+        for (i, expected) in expected_conflicts.iter().enumerate() {
+            assert_eq!(problem.conflicts_of(i), *expected, "conflicts of path {i}");
+        }
+
+        let a = assign(&problem, &AssignmentStrategy::Heuristic).unwrap();
+        assert!(problem.is_collision_free(&a.wavelengths));
+        assert_eq!(a.wavelengths.len(), problem.paths().len());
+        assert!((a.objective - problem.objective(&a.wavelengths)).abs() < 1e-9);
+        assert_eq!(a.node_splitter, problem.node_splitters(&a.wavelengths));
+        // The eight-path clique on channel (0, 0) forces eight wavelengths.
+        assert_eq!(a.wavelength_count, 8);
+    }
+
+    #[test]
+    fn regression_cf30faa3_dense_clique_milp() {
+        let problem = regression_cf30faa3_problem();
+        let h = assign(&problem, &AssignmentStrategy::Heuristic).unwrap();
+        let m = assign(&problem, &AssignmentStrategy::Milp(MilpOptions::default())).unwrap();
+        assert!(problem.is_collision_free(&m.wavelengths));
+        assert!(m.objective <= h.objective + 1e-9);
+    }
+
     #[test]
     fn objective_components_add_up() {
-        let paths = vec![path(0, false, 4.0, &[(0, 0)]), path(1, false, 5.0, &[(1, 0)])];
+        let paths = vec![
+            path(0, false, 4.0, &[(0, 0)]),
+            path(1, false, 5.0, &[(1, 0)]),
+        ];
         let p = AssignmentProblem::new(2, paths, splitter());
         // Same wavelength (no conflict): 1 wl + il_smax 5 + Σ il_λ 5 = 11.
         assert!((p.objective(&[Wavelength(0), Wavelength(0)]) - 11.0).abs() < 1e-9);

@@ -99,7 +99,11 @@ impl Clustering {
             }
         };
         // Count per (ring identity, segment) occupancy.
-        let mut rings: Vec<&Cycle> = self.clusters.iter().filter_map(|c| c.ring.as_ref()).collect();
+        let mut rings: Vec<&Cycle> = self
+            .clusters
+            .iter()
+            .filter_map(|c| c.ring.as_ref())
+            .collect();
         if let Some(r) = &self.inter_ring {
             rings.push(r);
         }
@@ -277,7 +281,10 @@ pub fn cluster_with_l_max(graph: &CommGraph, l_max: f64) -> Option<Clustering> {
     // which is what bounds wavelength usage on dense applications.
     let caps = [n, n.div_ceil(2), n.div_ceil(3), n.div_ceil(4)];
     let mut best: Option<(Clustering, (f64, f64))> = None;
-    for criterion in [SelectionCriterion::LargestFirst, SelectionCriterion::TightestFirst] {
+    for criterion in [
+        SelectionCriterion::LargestFirst,
+        SelectionCriterion::TightestFirst,
+    ] {
         // A cap at or above the largest cluster the uncapped pass grows
         // cannot change the outcome; track it to skip redundant passes.
         let mut binding_size = usize::MAX;
@@ -286,7 +293,12 @@ pub fn cluster_with_l_max(graph: &CommGraph, l_max: f64) -> Option<Clustering> {
                 continue;
             }
             if let Some(c) = cluster_pass(graph, l_max, criterion, cap) {
-                let max_cluster = c.clusters.iter().map(|cl| cl.members.len()).max().unwrap_or(0);
+                let max_cluster = c
+                    .clusters
+                    .iter()
+                    .map(|cl| cl.members.len())
+                    .max()
+                    .unwrap_or(0);
                 if max_cluster < cap {
                     binding_size = binding_size.min(max_cluster.max(2));
                 }
@@ -294,7 +306,8 @@ pub fn cluster_with_l_max(graph: &CommGraph, l_max: f64) -> Option<Clustering> {
                 let better = match &best {
                     None => true,
                     Some((_, bk)) => {
-                        key.0 < bk.0 - 1e-12 || ((key.0 - bk.0).abs() <= 1e-12 && key.1 < bk.1 - 1e-12)
+                        key.0 < bk.0 - 1e-12
+                            || ((key.0 - bk.0).abs() <= 1e-12 && key.1 < bk.1 - 1e-12)
                     }
                 };
                 if better {
@@ -439,7 +452,10 @@ fn cluster_pass(
     let inter_ring = if v_inter.is_empty() {
         None
     } else {
-        debug_assert!(v_inter.len() >= 2, "cross-cluster messages have two endpoints");
+        debug_assert!(
+            v_inter.len() >= 2,
+            "cross-cluster messages have two endpoints"
+        );
         // Bounded growth first (the paper's construction), from every
         // initial vertex; the best raw ring is refined once at the end.
         let mut best: Option<(f64, Cycle)> = None;
@@ -500,7 +516,6 @@ fn cluster_pass(
         cluster_of,
     })
 }
-
 
 /// The insertion positions worth evaluating when absorbing `x` into
 /// `cycle`: the `k` segments with the smallest rectilinear detour
@@ -810,7 +825,9 @@ fn grow_inter(
                 if l <= l_max + 1e-12 {
                     let better = match &best {
                         None => true,
-                        Some((bl, bx, _)) => l < *bl - 1e-12 || ((l - *bl).abs() <= 1e-12 && x < *bx),
+                        Some((bl, bx, _)) => {
+                            l < *bl - 1e-12 || ((l - *bl).abs() <= 1e-12 && x < *bx)
+                        }
                     };
                     if better {
                         best = Some((l, x, oriented));

@@ -45,7 +45,7 @@ pub mod cluster;
 pub mod synthesis;
 
 pub use assignment::{
-    assign, Assignment, AssignmentProblem, AssignmentStrategy, AssignPath, MilpOptions,
+    assign, AssignPath, Assignment, AssignmentProblem, AssignmentStrategy, MilpOptions,
 };
-pub use cluster::{cluster, Clustering, ClusteringConfig, ClusterError};
+pub use cluster::{cluster, ClusterError, Clustering, ClusteringConfig};
 pub use synthesis::{SringConfig, SringError, SringReport, SringSynthesizer};

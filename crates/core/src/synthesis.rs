@@ -2,7 +2,7 @@
 //! implementation → wavelength assignment → router design.
 
 use crate::assignment::{
-    assign, AssignError, Assignment, AssignmentProblem, AssignmentStrategy, AssignPath,
+    assign, AssignError, AssignPath, Assignment, AssignmentProblem, AssignmentStrategy,
 };
 use crate::cluster::{cluster, Cluster, ClusterError, Clustering, ClusteringConfig};
 use onoc_graph::{CommGraph, NodeId};
@@ -163,7 +163,10 @@ impl SringSynthesizer {
         for Cluster { ring, .. } in &clustering.clusters {
             intra_wg.push(ring.as_ref().map(|r| layout.route_cycle(r)));
         }
-        let inter_wg = clustering.inter_ring.as_ref().map(|r| layout.route_cycle(r));
+        let inter_wg = clustering
+            .inter_ring
+            .as_ref()
+            .map(|r| layout.route_cycle(r));
 
         // --- Signal-path construction. ---
         // Candidate routes per message: the cluster ring for same-cluster
@@ -248,11 +251,12 @@ impl SringSynthesizer {
         let mut load: std::collections::HashMap<(usize, usize), usize> =
             std::collections::HashMap::new();
         let mut chosen: Vec<Option<usize>> = vec![None; candidates.len()];
-        let commit = |cand: &Candidate, load: &mut std::collections::HashMap<(usize, usize), usize>| {
-            for &(wg, seg) in &cand.occupancy {
-                *load.entry((wg.index(), seg)).or_insert(0) += 1;
-            }
-        };
+        let commit =
+            |cand: &Candidate, load: &mut std::collections::HashMap<(usize, usize), usize>| {
+                for &(wg, seg) in &cand.occupancy {
+                    *load.entry((wg.index(), seg)).or_insert(0) += 1;
+                }
+            };
         for (i, options) in candidates.iter().enumerate() {
             if options.len() == 1 {
                 commit(&options[0], &mut load);
@@ -278,7 +282,9 @@ impl SringSynthesizer {
                     let peak = |c: &Candidate| {
                         c.occupancy
                             .iter()
-                            .map(|&(wg, seg)| load.get(&(wg.index(), seg)).copied().unwrap_or(0) + 1)
+                            .map(|&(wg, seg)| {
+                                load.get(&(wg.index(), seg)).copied().unwrap_or(0) + 1
+                            })
                             .max()
                             .unwrap_or(1)
                     };

@@ -2,6 +2,7 @@
 //! formatting.
 
 use crate::methods::{EvalError, Method};
+use crate::par::run_indexed;
 use onoc_graph::CommGraph;
 use onoc_photonics::RouterAnalysis;
 use onoc_units::TechnologyParameters;
@@ -49,6 +50,43 @@ pub fn compare(
         message_count: app.message_count(),
         rows,
     })
+}
+
+/// Runs every method on every benchmark — the full Table I / Fig. 7 grid —
+/// with the `benchmark × method` cells distributed over `threads` workers
+/// (`0` = one per available core). The result is identical to calling
+/// [`compare`] per benchmark, whatever the thread count: cells are
+/// index-addressed and reassembled in grid order.
+///
+/// # Errors
+///
+/// Returns the first synthesis failure in grid (row-major) order, matching
+/// the sequential harness.
+pub fn compare_grid(
+    apps: &[CommGraph],
+    tech: &TechnologyParameters,
+    methods: &[Method],
+    threads: usize,
+) -> Result<Vec<Comparison>, EvalError> {
+    let cells = run_indexed(apps.len() * methods.len(), threads, |cell| {
+        let app = &apps[cell / methods.len()];
+        let method = &methods[cell % methods.len()];
+        method.synthesize(app, tech).map(|d| d.analyze(tech))
+    });
+    let mut cells = cells.into_iter();
+    apps.iter()
+        .map(|app| {
+            let rows = (&mut cells)
+                .take(methods.len())
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Comparison {
+                app_name: app.name().to_string(),
+                node_count: app.node_count(),
+                message_count: app.message_count(),
+                rows,
+            })
+        })
+        .collect()
 }
 
 /// Formats the paper's Table I: per benchmark and method the columns
@@ -209,6 +247,46 @@ mod tests {
         for r in &cmp.rows {
             assert!(sring <= r.max_splitters_passed, "{}", r.method);
         }
+    }
+
+    #[test]
+    fn grid_matches_sequential_compare_for_any_thread_count() {
+        let tech = TechnologyParameters::default();
+        let apps = vec![benchmarks::mwd(), benchmarks::vopd()];
+        let methods = Method::standard();
+        let sequential: Vec<Comparison> = apps
+            .iter()
+            .map(|app| compare(app, &tech, &methods).unwrap())
+            .collect();
+        for threads in [1, 3, 8] {
+            let grid = compare_grid(&apps, &tech, &methods, threads).unwrap();
+            assert_eq!(grid.len(), sequential.len());
+            for (g, s) in grid.iter().zip(&sequential) {
+                assert_eq!(g.app_name, s.app_name);
+                assert_eq!(g.rows.len(), s.rows.len());
+                for (gr, sr) in g.rows.iter().zip(&s.rows) {
+                    assert_eq!(gr.method, sr.method);
+                    assert_eq!(gr.wavelength_count, sr.wavelength_count);
+                    assert!((gr.total_laser_power.0 - sr.total_laser_power.0).abs() < 1e-12);
+                    assert!((gr.worst_insertion_loss.0 - sr.worst_insertion_loss.0).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grid_reports_first_error_in_grid_order() {
+        let tech = TechnologyParameters::default();
+        let degenerate = CommGraph::builder()
+            .node("a", onoc_graph::Point::new(0.0, 0.0))
+            .node("b", onoc_graph::Point::new(1.0, 0.0))
+            .build()
+            .unwrap();
+        let apps = vec![benchmarks::mwd(), degenerate];
+        let err = compare_grid(&apps, &tech, &Method::standard(), 4).unwrap_err();
+        // The degenerate benchmark's first method (ORNoC) fails first in
+        // grid order, so the error is a baseline one.
+        assert!(matches!(err, crate::methods::EvalError::Baseline(_)));
     }
 
     #[test]

@@ -80,7 +80,10 @@ impl Histogram {
     pub fn bin_range(&self, i: usize) -> (f64, f64) {
         assert!(i < self.counts.len(), "bin index out of range");
         let width = (self.max - self.min) / self.counts.len() as f64;
-        (self.min + i as f64 * width, self.min + (i + 1) as f64 * width)
+        (
+            self.min + i as f64 * width,
+            self.min + (i + 1) as f64 * width,
+        )
     }
 }
 

@@ -8,7 +8,9 @@
 //! * [`random_baseline`] — the Fig. 8 protocol: 100 000 random solutions
 //!   (random clustering, sequential connection, random wavelengths),
 //!   feasibility counting and histograms of `#wl` and `il_w`,
-//! * [`histogram`] — plain fixed-bin histograms with ASCII rendering.
+//! * [`histogram`] — plain fixed-bin histograms with ASCII rendering,
+//! * [`par`] — std-only fork-join helpers; every harness entry point takes
+//!   a thread count and returns thread-count-invariant results.
 //!
 //! # Examples
 //!
@@ -32,11 +34,13 @@
 pub mod comparison;
 pub mod histogram;
 pub mod methods;
+pub mod par;
 pub mod random_baseline;
 pub mod runtime;
 
-pub use comparison::{compare, format_fig7, format_table1, to_csv, Comparison};
+pub use comparison::{compare, compare_grid, format_fig7, format_table1, to_csv, Comparison};
 pub use histogram::Histogram;
 pub use methods::{EvalError, Method};
+pub use par::resolve_threads;
 pub use random_baseline::{sample_random_solutions, RandomSolutionConfig, RandomSolutionStats};
-pub use runtime::{measure_runtimes, RuntimeRow};
+pub use runtime::{measure_runtimes, measure_runtimes_parallel, RuntimeRow};

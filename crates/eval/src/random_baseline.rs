@@ -10,14 +10,30 @@
 //! feasible ones only for MWD (≈7 %) and VOPD (<1 %) — demonstrating how
 //! hard the design space is for blind search compared to SRing.
 
+//!
+//! # Parallelism and determinism
+//!
+//! The sample budget is split over [`SHARD_COUNT`] *fixed* shards, each
+//! with its own [`SmallRng`] seeded deterministically from
+//! `(config.seed, shard index)`. Shards — not threads — own the random
+//! streams, so the sampler returns bit-identical statistics for any
+//! [`RandomSolutionConfig::threads`] value; the thread count only decides
+//! how many shards run concurrently.
+
+use crate::par::run_indexed;
 use onoc_graph::{CommGraph, NodeId};
 use onoc_layout::Cycle;
 use onoc_photonics::{insertion_loss, PathGeometry};
 use onoc_units::{Decibels, Millimeters, TechnologyParameters};
-use rand::rngs::StdRng;
+use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
+
+/// Number of independent RNG shards the sample budget is split over.
+/// Fixed (rather than derived from the thread count) so the drawn sample
+/// set is a pure function of the seed.
+pub const SHARD_COUNT: usize = 64;
 
 /// Sampler parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,6 +44,9 @@ pub struct RandomSolutionConfig {
     pub pool_size: usize,
     /// RNG seed, for reproducible figures.
     pub seed: u64,
+    /// Worker threads (`0` = one per available core). Does not affect the
+    /// drawn samples, only wall-clock time.
+    pub threads: usize,
 }
 
 impl Default for RandomSolutionConfig {
@@ -36,6 +55,7 @@ impl Default for RandomSolutionConfig {
             samples: 100_000,
             pool_size: 8,
             seed: 0xC0FFEE,
+            threads: 1,
         }
     }
 }
@@ -100,32 +120,45 @@ pub fn sample_random_solutions(
     tech: &TechnologyParameters,
     config: &RandomSolutionConfig,
 ) -> RandomSolutionStats {
-    let mut rng = StdRng::seed_from_u64(config.seed);
     let n = app.node_count();
-    let mut feasible = Vec::new();
     if n < 2 || app.message_count() == 0 || config.pool_size == 0 {
         return RandomSolutionStats {
             attempted: 0,
-            feasible,
+            feasible: Vec::new(),
         };
     }
 
-    for _ in 0..config.samples {
-        if let Some(outcome) = draw_one(app, tech, config.pool_size, &mut rng) {
-            feasible.push(outcome);
+    // Fixed shard sizes: the first `samples % SHARD_COUNT` shards get one
+    // extra sample, independent of the thread count.
+    let base = config.samples / SHARD_COUNT;
+    let extra = config.samples % SHARD_COUNT;
+    let shards = run_indexed(SHARD_COUNT, config.threads, |shard| {
+        let mut rng = SmallRng::seed_from_u64(shard_seed(config.seed, shard));
+        let count = base + usize::from(shard < extra);
+        let mut found = Vec::new();
+        for _ in 0..count {
+            if let Some(outcome) = draw_one(app, tech, config.pool_size, &mut rng) {
+                found.push(outcome);
+            }
         }
-    }
+        found
+    });
     RandomSolutionStats {
         attempted: config.samples,
-        feasible,
+        feasible: shards.into_iter().flatten().collect(),
     }
+}
+
+/// Decorrelates per-shard streams (SplitMix64-style odd-constant mix).
+fn shard_seed(seed: u64, shard: usize) -> u64 {
+    seed ^ (shard as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
 fn draw_one(
     app: &CommGraph,
     tech: &TechnologyParameters,
     pool_size: usize,
-    rng: &mut StdRng,
+    rng: &mut SmallRng,
 ) -> Option<RandomOutcome> {
     let n = app.node_count();
     let dist = |a: NodeId, b: NodeId| app.manhattan(a, b).0;
@@ -253,6 +286,36 @@ mod tests {
         let a = sample_random_solutions(&app, &tech(), &config(500));
         let b = sample_random_solutions(&app, &tech(), &config(500));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sampler_is_thread_count_invariant() {
+        // The shards, not the threads, own the RNG streams: 1, 2 and 8
+        // workers must produce bit-identical statistics, including the
+        // order of the feasible outcomes.
+        let app = benchmarks::mwd();
+        let reference = sample_random_solutions(&app, &tech(), &config(2_000));
+        assert!(!reference.feasible.is_empty());
+        for threads in [2, 8] {
+            let cfg = RandomSolutionConfig {
+                threads,
+                ..config(2_000)
+            };
+            assert_eq!(
+                sample_random_solutions(&app, &tech(), &cfg),
+                reference,
+                "{threads} threads diverged from serial"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_split_covers_every_sample() {
+        // A budget not divisible by the shard count must still draw
+        // exactly `samples` attempts.
+        let app = benchmarks::mwd();
+        let stats = sample_random_solutions(&app, &tech(), &config(1_003));
+        assert_eq!(stats.attempted, 1_003);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! SRing pipeline runtime measurement — the paper's Table II.
 
 use crate::methods::EvalError;
+use crate::par::run_indexed;
 use onoc_graph::benchmarks::Benchmark;
 use sring_core::{SringConfig, SringSynthesizer};
 use std::fmt::Write as _;
@@ -30,19 +31,41 @@ pub fn measure_runtimes(
     benchmarks: &[Benchmark],
     config: &SringConfig,
 ) -> Result<Vec<RuntimeRow>, EvalError> {
+    measure_runtimes_parallel(benchmarks, config, 1)
+}
+
+/// [`measure_runtimes`] with the benchmarks distributed over `threads`
+/// workers (`0` = one per available core). Rows come back in benchmark
+/// order regardless of the thread count.
+///
+/// The recorded `runtime` of each row is the wall-clock time of that
+/// benchmark's own pipeline, so concurrent rows measure the same thing as
+/// sequential ones up to core contention — on an oversubscribed machine
+/// prefer `threads = 1` when the *times* (rather than the designs) are the
+/// point of the run.
+///
+/// # Errors
+///
+/// Returns the first synthesis failure in benchmark order.
+pub fn measure_runtimes_parallel(
+    benchmarks: &[Benchmark],
+    config: &SringConfig,
+    threads: usize,
+) -> Result<Vec<RuntimeRow>, EvalError> {
     let synth = SringSynthesizer::with_config(config.clone());
-    let mut rows = Vec::with_capacity(benchmarks.len());
-    for b in benchmarks {
+    run_indexed(benchmarks.len(), threads, |i| {
+        let b = &benchmarks[i];
         let app = b.graph_with_pitch(config.tech.tile_pitch);
         let report = synth.synthesize_detailed(&app)?;
-        rows.push(RuntimeRow {
+        Ok(RuntimeRow {
             benchmark: b.name().to_string(),
             runtime: report.runtime,
             wavelength_count: report.assignment.wavelength_count,
             proven_optimal: report.assignment.proven_optimal,
-        });
-    }
-    Ok(rows)
+        })
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Formats Table II.
@@ -88,5 +111,25 @@ mod tests {
         let table = format_table2(&rows);
         assert!(table.contains("TABLE II"));
         assert!(table.contains("MWD"));
+    }
+
+    #[test]
+    fn parallel_rows_match_sequential_designs() {
+        let config = SringConfig {
+            strategy: AssignmentStrategy::Heuristic,
+            tech: TechnologyParameters::default(),
+            ..SringConfig::default()
+        };
+        let benches = [Benchmark::Mwd, Benchmark::Vopd, Benchmark::Pm8x24];
+        let sequential = measure_runtimes(&benches, &config).unwrap();
+        let parallel = measure_runtimes_parallel(&benches, &config, 3).unwrap();
+        assert_eq!(sequential.len(), parallel.len());
+        for (s, p) in sequential.iter().zip(&parallel) {
+            // Wall-clock differs run to run; the produced designs must not.
+            assert_eq!(s.benchmark, p.benchmark);
+            assert_eq!(s.wavelength_count, p.wavelength_count);
+            assert_eq!(s.proven_optimal, p.proven_optimal);
+            assert!(p.runtime.as_nanos() > 0);
+        }
     }
 }

@@ -289,7 +289,9 @@ pub fn mpeg_with_pitch(pitch: Millimeters) -> CommGraph {
         ("rast", 2, 2),
         ("adsp", 3, 2),
     ];
-    let hub1 = ["vu", "au", "med_cpu", "idct", "upsamp", "bab", "rast", "adsp"];
+    let hub1 = [
+        "vu", "au", "med_cpu", "idct", "upsamp", "bab", "rast", "adsp",
+    ];
     let hub2 = ["vu", "med_cpu", "risc", "rast"];
     let mut b = grid_builder("MPEG", grid, &nodes);
     for n in hub1 {
@@ -643,11 +645,7 @@ mod tests {
             .neighbors(v2)
             .iter()
             .copied()
-            .min_by(|&a, &b| {
-                g.manhattan(v2, a)
-                    .partial_cmp(&g.manhattan(v2, b))
-                    .unwrap()
-            })
+            .min_by(|&a, &b| g.manhattan(v2, a).partial_cmp(&g.manhattan(v2, b)).unwrap())
             .unwrap();
         assert_eq!(closest, v1);
     }

@@ -433,7 +433,13 @@ mod tests {
         assert_eq!(g.node_by_name("b"), Some(NodeId(1)));
         assert_eq!(g.node_by_name("zz"), None);
         assert_eq!(g.node_name(NodeId(0)), "a");
-        assert_eq!(g.message(MessageId(0)), Message { src: NodeId(0), dst: NodeId(1) });
+        assert_eq!(
+            g.message(MessageId(0)),
+            Message {
+                src: NodeId(0),
+                dst: NodeId(1)
+            }
+        );
     }
 
     #[test]
@@ -493,7 +499,13 @@ mod tests {
             .message_by_name("x", "y")
             .build()
             .unwrap();
-        assert_eq!(g.messages()[0], Message { src: NodeId(0), dst: NodeId(1) });
+        assert_eq!(
+            g.messages()[0],
+            Message {
+                src: NodeId(0),
+                dst: NodeId(1)
+            }
+        );
     }
 
     #[test]

@@ -120,9 +120,7 @@ impl GridPlacement {
         for i in 0..order.len() {
             let (c0, r0) = order[i];
             let (c1, r1) = order[(i + 1) % order.len()];
-            total += self
-                .position(c0, r0)
-                .manhattan(self.position(c1, r1));
+            total += self.position(c0, r0).manhattan(self.position(c1, r1));
         }
         total
     }

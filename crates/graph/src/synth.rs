@@ -70,11 +70,17 @@ pub fn hub_spoke(spokes: usize, pitch: Millimeters) -> CommGraph {
     tiles.insert(0, centre);
     let mut b = CommGraph::builder().name(format!("hub-{spokes}"));
     for (i, &(c, r)) in tiles.iter().enumerate() {
-        let name = if i == 0 { "hub".to_string() } else { format!("w{i}") };
+        let name = if i == 0 {
+            "hub".to_string()
+        } else {
+            format!("w{i}")
+        };
         b = b.node(name, grid.position(c, r));
     }
     for i in 1..=spokes {
-        b = b.message(NodeId(0), NodeId(i)).message(NodeId(i), NodeId(0));
+        b = b
+            .message(NodeId(0), NodeId(i))
+            .message(NodeId(i), NodeId(0));
     }
     b.build().expect("hub-and-spoke is valid")
 }

@@ -336,13 +336,15 @@ mod tests {
     fn path_length_sums_segments() {
         let c = cycle(&[0, 1, 2]);
         // distances: 0->1 = 1, 1->2 = 2, 2->0 = 3.
-        let d = |a: NodeId, b: NodeId| ((a.0 + b.0) as f64) / 1.0_f64.max(1.0) * 0.0
-            + match (a.0, b.0) {
-                (0, 1) => 1.0,
-                (1, 2) => 2.0,
-                (2, 0) => 3.0,
-                _ => panic!("unexpected segment"),
-            };
+        let d = |a: NodeId, b: NodeId| {
+            ((a.0 + b.0) as f64) / 1.0_f64.max(1.0) * 0.0
+                + match (a.0, b.0) {
+                    (0, 1) => 1.0,
+                    (1, 2) => 2.0,
+                    (2, 0) => 3.0,
+                    _ => panic!("unexpected segment"),
+                }
+        };
         assert_eq!(c.path_length(NodeId(0), NodeId(2), d), Some(3.0));
         assert_eq!(c.path_length(NodeId(2), NodeId(1), d), Some(4.0));
         assert_eq!(c.total_length(d), 6.0);

@@ -156,10 +156,7 @@ pub fn l_shape(from: Point, to: Point, orientation: Orientation) -> (Vec<Span>, 
                 Orientation::HorizontalFirst => Point::new(to.x, from.y),
                 Orientation::VerticalFirst => Point::new(from.x, to.y),
             };
-            (
-                vec![Span::new(from, corner), Span::new(corner, to)],
-                1,
-            )
+            (vec![Span::new(from, corner), Span::new(corner, to)], 1)
         }
     }
 }
@@ -235,8 +232,14 @@ mod tests {
             Orientation::HorizontalFirst,
         );
         assert_eq!(bends, 1);
-        assert_eq!(spans[0], Span::new(Point::new(0.0, 0.0), Point::new(2.0, 0.0)));
-        assert_eq!(spans[1], Span::new(Point::new(2.0, 0.0), Point::new(2.0, 3.0)));
+        assert_eq!(
+            spans[0],
+            Span::new(Point::new(0.0, 0.0), Point::new(2.0, 0.0))
+        );
+        assert_eq!(
+            spans[1],
+            Span::new(Point::new(2.0, 0.0), Point::new(2.0, 3.0))
+        );
 
         let (spans, bends) = l_shape(
             Point::new(0.0, 0.0),
@@ -244,7 +247,10 @@ mod tests {
             Orientation::VerticalFirst,
         );
         assert_eq!(bends, 1);
-        assert_eq!(spans[0], Span::new(Point::new(0.0, 0.0), Point::new(0.0, 3.0)));
+        assert_eq!(
+            spans[0],
+            Span::new(Point::new(0.0, 0.0), Point::new(0.0, 3.0))
+        );
 
         let (spans, bends) = l_shape(
             Point::new(0.0, 0.0),

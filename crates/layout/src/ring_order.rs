@@ -159,7 +159,10 @@ mod tests {
         let mut order: Vec<NodeId> = (0..4).map(NodeId).collect();
         two_opt(&mut order, &positions);
         let len = tour_length(&order, &positions).0;
-        assert!((len - 4.0).abs() < 1e-9, "expected optimal square tour, got {len}");
+        assert!(
+            (len - 4.0).abs() < 1e-9,
+            "expected optimal square tour, got {len}"
+        );
     }
 
     #[test]
@@ -172,6 +175,9 @@ mod tests {
             tour_length(&two, &[Point::new(0.0, 0.0), Point::new(2.0, 0.0)]),
             Millimeters(4.0)
         );
-        assert_eq!(tour_length(&[NodeId(0)], &[Point::new(0.0, 0.0)]), Millimeters(0.0));
+        assert_eq!(
+            tour_length(&[NodeId(0)], &[Point::new(0.0, 0.0)]),
+            Millimeters(0.0)
+        );
     }
 }

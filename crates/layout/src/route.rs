@@ -199,7 +199,11 @@ impl Layout {
     pub fn route_open_path(&mut self, nodes: &[NodeId]) -> WaveguideId {
         assert!(nodes.len() >= 2, "open path needs at least two nodes");
         let unique: std::collections::BTreeSet<_> = nodes.iter().collect();
-        assert_eq!(unique.len(), nodes.len(), "open path nodes must be distinct");
+        assert_eq!(
+            unique.len(),
+            nodes.len(),
+            "open path nodes must be distinct"
+        );
         self.route(nodes.to_vec(), false)
     }
 
@@ -221,9 +225,7 @@ impl Layout {
                     );
                 let better = match &best {
                     None => true,
-                    Some((bc, bb, _)) => {
-                        crossings < *bc || (crossings == *bc && bends < *bb)
-                    }
+                    Some((bc, bb, _)) => crossings < *bc || (crossings == *bc && bends < *bb),
                 };
                 if better {
                     best = Some((crossings, bends, spans));

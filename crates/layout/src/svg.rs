@@ -80,7 +80,10 @@ pub fn render(layout: &Layout, labels: &[&str]) -> String {
     // Waveguides.
     for (wi, wg) in layout.waveguides().iter().enumerate() {
         let color = PALETTE[wi % PALETTE.len()];
-        let _ = writeln!(out, r#"  <g stroke="{color}" stroke-width="3" fill="none">"#);
+        let _ = writeln!(
+            out,
+            r#"  <g stroke="{color}" stroke-width="3" fill="none">"#
+        );
         for i in 0..wg.segment_count() {
             for span in &wg.segment(i).spans {
                 if span.is_degenerate() {

@@ -3,15 +3,23 @@
 //! Best-first node selection (smallest LP bound first), most-fractional
 //! branching, optional warm-start incumbent, wall-clock and node limits.
 //! The search is *anytime*: hitting a limit returns the incumbent and the
-//! proven global bound with [`Status::Feasible`].
+//! proven global bound with [`Status::Feasible`]. The wall-clock deadline
+//! reaches into the simplex itself (see
+//! [`LpOptions`](crate::simplex::LpOptions)), so a single long LP
+//! relaxation cannot blow the budget.
+//!
+//! With [`SolveOptions::threads`] above one the tree search runs on a
+//! work-sharing worker pool (see [`crate::parallel`]): a shared open-node
+//! pool, a mutex-protected incumbent with an atomic best-objective mirror
+//! for lock-free pruning, and one reusable simplex workspace per worker.
 
 use crate::model::{Model, ModelError, VarType};
-use crate::simplex::{solve_lp, LpProblem, LpRow, LpStatus};
+use crate::simplex::{solve_lp_with, LpOptions, LpProblem, LpRow, LpStatus, SimplexWorkspace};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::time::{Duration, Instant};
 
-const INT_TOL: f64 = 1e-6;
+pub(crate) const INT_TOL: f64 = 1e-6;
 
 /// Options controlling the branch-and-bound search.
 #[derive(Debug, Clone)]
@@ -30,6 +38,18 @@ pub struct SolveOptions {
     /// Run the conservative presolve reductions before the search
     /// (default `true`; see the [`presolve`](mod@crate::presolve) module).
     pub presolve: bool,
+    /// Worker threads for the tree search. `1` (the default) searches
+    /// serially on the calling thread; `0` uses one worker per available
+    /// core; any other value that many workers.
+    pub threads: usize,
+    /// Deterministic parallel mode (default `true`): nodes are ordered by
+    /// the fixed `(bound, depth, id)` tie-break in the shared pool and
+    /// incumbent replacement requires strict improvement, so a search
+    /// that runs to completion returns exactly the serial objective.
+    /// `false` lets each worker dive on one child locally (plunging) —
+    /// less pool contention, but exploration departs from global
+    /// best-first, so anytime results under limits may differ.
+    pub deterministic: bool,
 }
 
 impl Default for SolveOptions {
@@ -40,6 +60,8 @@ impl Default for SolveOptions {
             warm_start: None,
             relative_gap: 0.0,
             presolve: true,
+            threads: 1,
+            deterministic: true,
         }
     }
 }
@@ -70,6 +92,23 @@ impl SolveOptions {
     pub fn with_warm_start(mut self, values: Vec<f64>) -> Self {
         self.warm_start = Some(values);
         self
+    }
+
+    /// Sets the worker-thread count (`0` = one per available core).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The resolved worker count: `threads`, with `0` mapped to the
+    /// machine's available parallelism.
+    #[must_use]
+    pub fn effective_threads(&self) -> usize {
+        match self.threads {
+            0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            n => n,
+        }
     }
 }
 
@@ -143,12 +182,12 @@ impl MilpSolution {
     }
 }
 
-struct Node {
-    bound: f64,
-    depth: usize,
-    seq: usize,
-    lower: Vec<f64>,
-    upper: Vec<f64>,
+pub(crate) struct Node {
+    pub(crate) bound: f64,
+    pub(crate) depth: usize,
+    pub(crate) seq: usize,
+    pub(crate) lower: Vec<f64>,
+    pub(crate) upper: Vec<f64>,
 }
 
 impl PartialEq for Node {
@@ -165,7 +204,9 @@ impl PartialOrd for Node {
 impl Ord for Node {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; we want the *smallest* bound on top,
-        // breaking ties toward deeper nodes (diving) and then recency.
+        // breaking ties toward deeper nodes (diving) and then by the fixed
+        // node id (`seq`) — never by anything timing- or address-dependent,
+        // so the pool order is well-defined under concurrency too.
         other
             .bound
             .partial_cmp(&self.bound)
@@ -225,6 +266,211 @@ fn build_lp(model: &Model) -> (LpProblem, Vec<f64>, Vec<f64>) {
     )
 }
 
+/// Immutable per-search context shared by the serial loop and every
+/// parallel worker.
+pub(crate) struct SearchCtx<'a> {
+    pub(crate) model: &'a Model,
+    pub(crate) lp: &'a LpProblem,
+    pub(crate) integer_vars: &'a [usize],
+    pub(crate) obj_constant: f64,
+    pub(crate) options: &'a SolveOptions,
+    pub(crate) start: Instant,
+    pub(crate) deadline: Option<Instant>,
+}
+
+impl SearchCtx<'_> {
+    pub(crate) fn time_limit_reached(&self) -> bool {
+        self.options
+            .time_limit
+            .is_some_and(|limit| self.start.elapsed() >= limit)
+    }
+
+    pub(crate) fn node_limit_reached(&self, nodes_explored: usize) -> bool {
+        self.options
+            .node_limit
+            .is_some_and(|limit| nodes_explored >= limit)
+    }
+}
+
+/// What processing one node produced.
+pub(crate) enum NodeOutcome {
+    /// The node's LP is infeasible — subtree closed.
+    Infeasible,
+    /// The node's LP is unbounded (only possible at the root).
+    Unbounded,
+    /// The LP solve hit its iteration budget or the deadline; the subtree
+    /// stays unexplored and must weaken the reported global bound.
+    LpTrouble(LpStatus),
+    /// The LP optimum is no better than the incumbent — subtree closed.
+    PrunedByBound,
+    /// The LP optimum is integral: a candidate incumbent (objective
+    /// without the model's constant term).
+    Integral { obj: f64, values: Vec<f64> },
+    /// Fractional optimum: branch on variable `var` at value `x`.
+    Branched { lp_obj: f64, var: usize, x: f64 },
+}
+
+/// Solves one node's LP relaxation and classifies the result. `inc_obj`
+/// is the incumbent objective (sans constant) used for pruning, if any.
+pub(crate) fn evaluate_node(
+    ctx: &SearchCtx<'_>,
+    node: &Node,
+    inc_obj: Option<f64>,
+    workspace: &mut SimplexWorkspace,
+) -> NodeOutcome {
+    let lp_options = LpOptions {
+        deadline: ctx.deadline,
+    };
+    let result = solve_lp_with(ctx.lp, &node.lower, &node.upper, &lp_options, workspace);
+    match result.status {
+        LpStatus::Infeasible => return NodeOutcome::Infeasible,
+        LpStatus::Unbounded => return NodeOutcome::Unbounded,
+        LpStatus::IterationLimit | LpStatus::TimedOut => {
+            return NodeOutcome::LpTrouble(result.status)
+        }
+        LpStatus::Optimal => {}
+    }
+    let lp_obj = result.objective;
+    if let Some(inc) = inc_obj {
+        if lp_obj >= inc - 1e-9 {
+            return NodeOutcome::PrunedByBound;
+        }
+    }
+
+    // Find the most fractional integer variable.
+    let mut branch_var: Option<(usize, f64)> = None; // (var, fractionality score)
+    for &j in ctx.integer_vars {
+        let x = result.values[j];
+        let frac = (x - x.round()).abs();
+        if frac > INT_TOL {
+            let score = (x - x.floor() - 0.5).abs(); // smaller = more fractional
+            let better = match branch_var {
+                None => true,
+                Some((_, best)) => score < best,
+            };
+            if better {
+                branch_var = Some((j, score));
+            }
+        }
+    }
+
+    match branch_var {
+        None => {
+            // Integral: candidate incumbent. Round integer variables
+            // exactly and re-validate.
+            let mut values = result.values.clone();
+            for &j in ctx.integer_vars {
+                values[j] = values[j].round();
+            }
+            let values = if ctx.model.is_feasible(&values, 1e-6) {
+                values
+            } else {
+                result.values.clone()
+            };
+            let obj = ctx.model.objective.evaluate(&values) - ctx.obj_constant;
+            NodeOutcome::Integral { obj, values }
+        }
+        Some((j, _)) => NodeOutcome::Branched {
+            lp_obj,
+            var: j,
+            x: result.values[j],
+        },
+    }
+}
+
+/// Builds the down (`xⱼ ≤ ⌊x⌋`) and up (`xⱼ ≥ ⌈x⌉`) children of a
+/// branched node, consuming it. Node ids come from `next_seq` — always
+/// two ids per branching (down first), even for a child whose bounds
+/// cross, so serial ids are reproducible.
+pub(crate) fn make_children(
+    node: Node,
+    j: usize,
+    x: f64,
+    lp_obj: f64,
+    next_seq: &mut usize,
+) -> (Option<Node>, Option<Node>) {
+    let mut down = Node {
+        bound: lp_obj,
+        depth: node.depth + 1,
+        seq: {
+            *next_seq += 1;
+            *next_seq
+        },
+        lower: node.lower.clone(),
+        upper: node.upper.clone(),
+    };
+    down.upper[j] = x.floor();
+    let down = (down.lower[j] <= down.upper[j]).then_some(down);
+    let mut up = Node {
+        bound: lp_obj,
+        depth: node.depth + 1,
+        seq: {
+            *next_seq += 1;
+            *next_seq
+        },
+        lower: node.lower,
+        upper: node.upper,
+    };
+    up.lower[j] = x.ceil();
+    let up = (up.lower[j] <= up.upper[j]).then_some(up);
+    (down, up)
+}
+
+/// Everything the final assembly needs, however the search ran.
+pub(crate) struct SearchEnd {
+    pub(crate) incumbent: Option<(f64, Vec<f64>)>,
+    /// Minimum bound over all nodes left open: the heap remainder plus any
+    /// subtree dropped on numerical trouble or an interrupted dive. `+inf`
+    /// when the tree was exhausted.
+    pub(crate) open_bound: f64,
+    pub(crate) limit_hit: bool,
+    pub(crate) nodes_explored: usize,
+    pub(crate) root_unbounded: bool,
+    pub(crate) root_iteration_limit: bool,
+}
+
+pub(crate) fn assemble(ctx: &SearchCtx<'_>, end: SearchEnd) -> Result<MilpSolution, ModelError> {
+    if end.root_iteration_limit {
+        return Err(ModelError::IterationLimit);
+    }
+    if end.root_unbounded && end.incumbent.is_none() {
+        return Err(ModelError::Unbounded);
+    }
+    let options = ctx.options;
+    match end.incumbent {
+        Some((obj, values)) => {
+            let exhausted = end.open_bound.is_infinite() && !end.limit_hit;
+            let bound = if exhausted {
+                obj
+            } else {
+                end.open_bound.min(obj)
+            };
+            let status =
+                if exhausted || obj - bound <= options.relative_gap * obj.abs().max(1.0) + 1e-9 {
+                    Status::Optimal
+                } else {
+                    Status::Feasible
+                };
+            Ok(MilpSolution {
+                status,
+                objective: obj + ctx.obj_constant,
+                bound: bound + ctx.obj_constant,
+                values,
+                nodes_explored: end.nodes_explored,
+            })
+        }
+        None => {
+            if end.limit_hit {
+                // A limit stopped the search before any integer point was
+                // found; infeasibility is not proven.
+                Err(ModelError::NoSolutionFound)
+            } else {
+                Err(ModelError::Infeasible)
+            }
+        }
+    }
+}
+
 /// Solves `model` by branch and bound. Used through
 /// [`Model::solve`](crate::Model::solve).
 pub(crate) fn solve(model: &Model, options: &SolveOptions) -> Result<MilpSolution, ModelError> {
@@ -249,6 +495,15 @@ pub(crate) fn solve(model: &Model, options: &SolveOptions) -> Result<MilpSolutio
         .filter(|(_, d)| d.var_type != VarType::Continuous)
         .map(|(i, _)| i)
         .collect();
+    let ctx = SearchCtx {
+        model,
+        lp: &lp,
+        integer_vars: &integer_vars,
+        obj_constant,
+        options,
+        start,
+        deadline: options.time_limit.map(|limit| start + limit),
+    };
 
     // Warm start → initial incumbent (objective tracked without constant).
     let mut incumbent: Option<(f64, Vec<f64>)> = None;
@@ -259,109 +514,84 @@ pub(crate) fn solve(model: &Model, options: &SolveOptions) -> Result<MilpSolutio
         }
     }
 
-    let mut heap = BinaryHeap::new();
-    let mut seq = 0usize;
-    heap.push(Node {
+    let root = Node {
         bound: f64::NEG_INFINITY,
         depth: 0,
-        seq,
+        seq: 0,
         lower: root_lower,
         upper: root_upper,
-    });
+    };
 
+    let threads = options.effective_threads();
+    let end = if threads > 1 {
+        crate::parallel::search(&ctx, root, incumbent, threads)
+    } else {
+        search_serial(&ctx, root, incumbent)
+    };
+    assemble(&ctx, end)
+}
+
+fn search_serial(
+    ctx: &SearchCtx<'_>,
+    root: Node,
+    mut incumbent: Option<(f64, Vec<f64>)>,
+) -> SearchEnd {
+    let mut heap = BinaryHeap::new();
+    let mut next_seq = root.seq;
+    heap.push(root);
+
+    let mut workspace = SimplexWorkspace::new();
     let mut nodes_explored = 0usize;
     let mut limit_hit = false;
-    let mut global_bound = f64::NEG_INFINITY;
-    let mut root_infeasible = true;
+    // Minimum bound over subtrees dropped without exploration (LP
+    // iteration limit / deadline, non-root unbounded): the reported global
+    // bound must not claim more than these subtrees allow.
+    let mut lost_bound = f64::INFINITY;
     let mut root_unbounded = false;
+    let mut root_iteration_limit = false;
 
     while let Some(node) = heap.pop() {
-        global_bound = node.bound;
         // Prune against the incumbent (best-first: once the best open bound
         // cannot improve, the search is done).
         if let Some((inc_obj, _)) = &incumbent {
-            let gap_ok = *inc_obj - node.bound
-                <= options.relative_gap * inc_obj.abs().max(1.0) + 1e-9;
+            let gap_ok =
+                *inc_obj - node.bound <= ctx.options.relative_gap * inc_obj.abs().max(1.0) + 1e-9;
             if node.bound >= *inc_obj - 1e-9 || gap_ok {
-                global_bound = *inc_obj;
                 break;
             }
         }
-        if let Some(limit) = options.time_limit {
-            if start.elapsed() >= limit {
-                limit_hit = true;
-                break;
-            }
-        }
-        if let Some(limit) = options.node_limit {
-            if nodes_explored >= limit {
-                limit_hit = true;
-                break;
-            }
+        if ctx.time_limit_reached() || ctx.node_limit_reached(nodes_explored) {
+            // The popped node is still open: put it back so its bound
+            // counts toward the reported global bound.
+            limit_hit = true;
+            heap.push(node);
+            break;
         }
         nodes_explored += 1;
 
-        let result = solve_lp(&lp, &node.lower, &node.upper);
-        match result.status {
-            LpStatus::Infeasible => continue,
-            LpStatus::IterationLimit => {
-                // Numerical trouble in this subtree: treat conservatively
-                // as unexplored (soundness of the bound is kept by never
-                // using this node to prune).
-                if node.depth == 0 {
-                    return Err(ModelError::IterationLimit);
+        let inc_obj = incumbent.as_ref().map(|(obj, _)| *obj);
+        match evaluate_node(ctx, &node, inc_obj, &mut workspace) {
+            NodeOutcome::Infeasible => {}
+            NodeOutcome::LpTrouble(status) => {
+                // Numerical trouble or deadline in this subtree: it stays
+                // unexplored, so fold its bound into the reported one.
+                if node.depth == 0 && status == LpStatus::IterationLimit {
+                    root_iteration_limit = true;
+                    break;
                 }
                 limit_hit = true;
-                continue;
+                lost_bound = lost_bound.min(node.bound);
             }
-            LpStatus::Unbounded => {
+            NodeOutcome::Unbounded => {
                 if node.depth == 0 {
                     root_unbounded = true;
                     break;
                 }
-                continue;
+                limit_hit = true;
+                lost_bound = lost_bound.min(node.bound);
             }
-            LpStatus::Optimal => {}
-        }
-        root_infeasible = false;
-        let lp_obj = result.objective;
-        if let Some((inc_obj, _)) = &incumbent {
-            if lp_obj >= *inc_obj - 1e-9 {
-                continue;
-            }
-        }
-
-        // Find the most fractional integer variable.
-        let mut branch_var: Option<(usize, f64)> = None; // (var, fractionality)
-        for &j in &integer_vars {
-            let x = result.values[j];
-            let frac = (x - x.round()).abs();
-            if frac > INT_TOL {
-                let score = (x - x.floor() - 0.5).abs(); // smaller = more fractional
-                let better = match branch_var {
-                    None => true,
-                    Some((_, best)) => score < best,
-                };
-                if better {
-                    branch_var = Some((j, score));
-                }
-            }
-        }
-
-        match branch_var {
-            None => {
-                // Integral: candidate incumbent. Round integer variables
-                // exactly and re-validate.
-                let mut values = result.values.clone();
-                for &j in &integer_vars {
-                    values[j] = values[j].round();
-                }
-                let values = if model.is_feasible(&values, 1e-6) {
-                    values
-                } else {
-                    result.values.clone()
-                };
-                let obj = model.objective.evaluate(&values) - obj_constant;
+            NodeOutcome::PrunedByBound => {}
+            NodeOutcome::Integral { obj, values } => {
                 let better = match &incumbent {
                     None => true,
                     Some((inc_obj, _)) => obj < *inc_obj - 1e-12,
@@ -370,77 +600,29 @@ pub(crate) fn solve(model: &Model, options: &SolveOptions) -> Result<MilpSolutio
                     incumbent = Some((obj, values));
                 }
             }
-            Some((j, _)) => {
-                let x = result.values[j];
-                // Down child: xⱼ ≤ floor(x).
-                let mut down = Node {
-                    bound: lp_obj,
-                    depth: node.depth + 1,
-                    seq: {
-                        seq += 1;
-                        seq
-                    },
-                    lower: node.lower.clone(),
-                    upper: node.upper.clone(),
-                };
-                down.upper[j] = x.floor();
-                if down.lower[j] <= down.upper[j] {
-                    heap.push(down);
+            NodeOutcome::Branched { lp_obj, var, x } => {
+                let (down, up) = make_children(node, var, x, lp_obj, &mut next_seq);
+                if let Some(child) = down {
+                    heap.push(child);
                 }
-                // Up child: xⱼ ≥ ceil(x).
-                let mut up = Node {
-                    bound: lp_obj,
-                    depth: node.depth + 1,
-                    seq: {
-                        seq += 1;
-                        seq
-                    },
-                    lower: node.lower,
-                    upper: node.upper,
-                };
-                up.lower[j] = x.ceil();
-                if up.lower[j] <= up.upper[j] {
-                    heap.push(up);
+                if let Some(child) = up {
+                    heap.push(child);
                 }
             }
         }
     }
 
-    if root_unbounded && incumbent.is_none() {
-        return Err(ModelError::Unbounded);
-    }
-
-    match incumbent {
-        Some((obj, values)) => {
-            let exhausted = heap.is_empty() && !limit_hit;
-            let bound = if exhausted {
-                obj
-            } else {
-                // The best open bound (or the point we stopped at).
-                heap.peek().map(|n| n.bound).unwrap_or(global_bound).min(obj)
-            };
-            let status = if exhausted || obj - bound <= options.relative_gap * obj.abs().max(1.0) + 1e-9 {
-                Status::Optimal
-            } else {
-                Status::Feasible
-            };
-            Ok(MilpSolution {
-                status,
-                objective: obj + obj_constant,
-                bound: bound + obj_constant,
-                values,
-                nodes_explored,
-            })
-        }
-        None => {
-            if limit_hit {
-                Err(ModelError::NoSolutionFound)
-            } else if root_infeasible {
-                Err(ModelError::Infeasible)
-            } else {
-                Err(ModelError::Infeasible)
-            }
-        }
+    let open_bound = heap
+        .peek()
+        .map_or(f64::INFINITY, |n| n.bound)
+        .min(lost_bound);
+    SearchEnd {
+        incumbent,
+        open_bound,
+        limit_hit,
+        nodes_explored,
+        root_unbounded,
+        root_iteration_limit,
     }
 }
 
@@ -455,7 +637,8 @@ mod tests {
         let mut m = Model::new();
         let x = m.add_continuous("x");
         let y = m.add_continuous("y");
-        m.add_constraint([(x, 1.0), (y, 1.0)], Sense::Ge, 4.0).unwrap();
+        m.add_constraint([(x, 1.0), (y, 1.0)], Sense::Ge, 4.0)
+            .unwrap();
         m.set_objective([(x, 1.0), (y, 2.0)]);
         let sol = m.solve(&SolveOptions::default()).unwrap();
         assert_eq!(sol.status(), Status::Optimal);
@@ -472,9 +655,17 @@ mod tests {
             .enumerate()
             .map(|(i, _)| m.add_binary(format!("x{i}")))
             .collect();
-        let weight: Vec<_> = vars.iter().zip(&items).map(|(&v, &(w, _))| (v, w)).collect();
+        let weight: Vec<_> = vars
+            .iter()
+            .zip(&items)
+            .map(|(&v, &(w, _))| (v, w))
+            .collect();
         m.add_constraint(weight, Sense::Le, 7.0).unwrap();
-        let value: Vec<_> = vars.iter().zip(&items).map(|(&v, &(_, p))| (v, -p)).collect();
+        let value: Vec<_> = vars
+            .iter()
+            .zip(&items)
+            .map(|(&v, &(_, p))| (v, -p))
+            .collect();
         m.set_objective(value);
         let sol = m.solve(&SolveOptions::default()).unwrap();
         assert_eq!(sol.status(), Status::Optimal);
@@ -489,7 +680,8 @@ mod tests {
         let mut m = Model::new();
         let x = m.add_var(VarType::Integer, 0.0, 10.0, "x").unwrap();
         let y = m.add_var(VarType::Integer, 0.0, 10.0, "y").unwrap();
-        m.add_constraint([(x, 2.0), (y, 2.0)], Sense::Le, 5.0).unwrap();
+        m.add_constraint([(x, 2.0), (y, 2.0)], Sense::Le, 5.0)
+            .unwrap();
         m.set_objective([(x, -1.0), (y, -1.0)]);
         let sol = m.solve(&SolveOptions::default()).unwrap();
         assert!((sol.objective() + 2.0).abs() < 1e-6);
@@ -504,9 +696,12 @@ mod tests {
         let x = m.add_binary("x");
         let y = m.add_binary("y");
         let z = m.add_binary("z");
-        m.add_constraint([(x, 1.0), (y, 1.0)], Sense::Le, 1.0).unwrap();
-        m.add_constraint([(x, 1.0), (z, 1.0)], Sense::Le, 1.0).unwrap();
-        m.add_constraint([(y, 1.0), (z, 1.0)], Sense::Le, 1.0).unwrap();
+        m.add_constraint([(x, 1.0), (y, 1.0)], Sense::Le, 1.0)
+            .unwrap();
+        m.add_constraint([(x, 1.0), (z, 1.0)], Sense::Le, 1.0)
+            .unwrap();
+        m.add_constraint([(y, 1.0), (z, 1.0)], Sense::Le, 1.0)
+            .unwrap();
         m.set_objective([(x, -1.0), (y, -1.0), (z, -1.0)]);
         let sol = m.solve(&SolveOptions::default()).unwrap();
         assert!((sol.objective() + 1.0).abs() < 1e-6);
@@ -517,7 +712,10 @@ mod tests {
         let mut m = Model::new();
         let x = m.add_binary("x");
         m.add_constraint([(x, 1.0)], Sense::Ge, 2.0).unwrap();
-        assert!(matches!(m.solve(&SolveOptions::default()), Err(ModelError::Infeasible)));
+        assert!(matches!(
+            m.solve(&SolveOptions::default()),
+            Err(ModelError::Infeasible)
+        ));
     }
 
     #[test]
@@ -525,7 +723,10 @@ mod tests {
         let mut m = Model::new();
         let x = m.add_continuous("x");
         m.set_objective([(x, -1.0)]);
-        assert!(matches!(m.solve(&SolveOptions::default()), Err(ModelError::Unbounded)));
+        assert!(matches!(
+            m.solve(&SolveOptions::default()),
+            Err(ModelError::Unbounded)
+        ));
     }
 
     #[test]
@@ -533,7 +734,8 @@ mod tests {
         let mut m = Model::new();
         let x = m.add_binary("x");
         let y = m.add_binary("y");
-        m.add_constraint([(x, 1.0), (y, 1.0)], Sense::Le, 1.0).unwrap();
+        m.add_constraint([(x, 1.0), (y, 1.0)], Sense::Le, 1.0)
+            .unwrap();
         m.set_objective([(x, -2.0), (y, -1.0)]);
         // Warm start with the suboptimal y=1.
         let options = SolveOptions::default().with_warm_start(vec![0.0, 1.0]);
@@ -550,9 +752,12 @@ mod tests {
         let x = m.add_binary("x");
         let y = m.add_binary("y");
         let z = m.add_binary("z");
-        m.add_constraint([(x, 1.0), (y, 1.0)], Sense::Le, 1.0).unwrap();
-        m.add_constraint([(x, 1.0), (z, 1.0)], Sense::Le, 1.0).unwrap();
-        m.add_constraint([(y, 1.0), (z, 1.0)], Sense::Le, 1.0).unwrap();
+        m.add_constraint([(x, 1.0), (y, 1.0)], Sense::Le, 1.0)
+            .unwrap();
+        m.add_constraint([(x, 1.0), (z, 1.0)], Sense::Le, 1.0)
+            .unwrap();
+        m.add_constraint([(y, 1.0), (z, 1.0)], Sense::Le, 1.0)
+            .unwrap();
         m.set_objective([(x, -1.0), (y, -1.0), (z, -1.0)]);
         let options = SolveOptions::default()
             .with_node_limit(0)
@@ -569,10 +774,14 @@ mod tests {
         let mut m = Model::new();
         let x = m.add_binary("x");
         let y = m.add_binary("y");
-        m.add_constraint([(x, 1.0), (y, 1.0)], Sense::Le, 1.0).unwrap();
+        m.add_constraint([(x, 1.0), (y, 1.0)], Sense::Le, 1.0)
+            .unwrap();
         m.set_objective([(x, -1.0), (y, -1.0)]);
         let options = SolveOptions::default().with_node_limit(0);
-        assert!(matches!(m.solve(&options), Err(ModelError::NoSolutionFound)));
+        assert!(matches!(
+            m.solve(&options),
+            Err(ModelError::NoSolutionFound)
+        ));
     }
 
     #[test]
@@ -608,12 +817,35 @@ mod tests {
         let il = m.add_continuous("il");
         let xi = 1e4;
         // il ≥ 7 − (1 − b)·Ξ  ⇔  il + Ξ·(1−b) ≥ 7  ⇔ il − Ξ·b ≥ 7 − Ξ.
-        m.add_constraint([(il, 1.0), (b, -xi)], Sense::Ge, 7.0 - xi).unwrap();
+        m.add_constraint([(il, 1.0), (b, -xi)], Sense::Ge, 7.0 - xi)
+            .unwrap();
         // Force b = 1.
         m.add_constraint([(b, 1.0)], Sense::Ge, 1.0).unwrap();
         m.set_objective([(il, 1.0)]);
         let sol = m.solve(&SolveOptions::default()).unwrap();
         assert!((sol.objective() - 7.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn tight_time_limit_keeps_anytime_contract() {
+        // With a zero wall-clock budget the deadline interrupts even the
+        // root LP mid-solve; the warm start must come back intact as a
+        // Feasible incumbent with a bound no better than the objective.
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..12).map(|i| m.add_binary(format!("b{i}"))).collect();
+        for w in vars.windows(2) {
+            m.add_constraint([(w[0], 1.0), (w[1], 1.0)], Sense::Le, 1.0)
+                .unwrap();
+        }
+        m.set_objective(vars.iter().map(|&v| (v, -1.0)).collect::<Vec<_>>());
+        let warm: Vec<f64> = (0..12).map(|i| f64::from(u8::from(i % 2 == 0))).collect();
+        let options = SolveOptions::default()
+            .with_time_limit(Duration::ZERO)
+            .with_warm_start(warm);
+        let sol = m.solve(&options).unwrap();
+        assert_eq!(sol.status(), Status::Feasible);
+        assert!((sol.objective() + 6.0).abs() < 1e-9);
+        assert!(sol.bound() <= sol.objective());
     }
 
     /// Brute-force reference: enumerate all 2^n binary assignments.
@@ -630,6 +862,30 @@ mod tests {
         best
     }
 
+    /// Random binary program used by the equivalence properties below.
+    fn random_model(n: usize, rows: &[(Vec<i8>, i8)], cost: &[i8]) -> Model {
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..n).map(|i| m.add_binary(format!("b{i}"))).collect();
+        for (coeffs, rhs) in rows {
+            let terms: Vec<_> = vars
+                .iter()
+                .zip(coeffs)
+                .filter(|(_, &c)| c != 0)
+                .map(|(&v, &c)| (v, f64::from(c)))
+                .collect();
+            if !terms.is_empty() {
+                m.add_constraint(terms, Sense::Le, f64::from(*rhs)).unwrap();
+            }
+        }
+        let obj: Vec<_> = vars
+            .iter()
+            .zip(cost)
+            .map(|(&v, &c)| (v, f64::from(c)))
+            .collect();
+        m.set_objective(obj);
+        m
+    }
+
     proptest::proptest! {
         #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
 
@@ -643,26 +899,7 @@ mod tests {
             ),
             cost in proptest::collection::vec(-5i8..6, 6),
         ) {
-            let mut m = Model::new();
-            let vars: Vec<_> = (0..n).map(|i| m.add_binary(format!("b{i}"))).collect();
-            for (coeffs, rhs) in &rows {
-                let terms: Vec<_> = vars
-                    .iter()
-                    .zip(coeffs)
-                    .filter(|(_, &c)| c != 0)
-                    .map(|(&v, &c)| (v, f64::from(c)))
-                    .collect();
-                if !terms.is_empty() {
-                    m.add_constraint(terms, Sense::Le, f64::from(*rhs)).unwrap();
-                }
-            }
-            let obj: Vec<_> = vars
-                .iter()
-                .zip(&cost)
-                .map(|(&v, &c)| (v, f64::from(c)))
-                .collect();
-            m.set_objective(obj);
-
+            let m = random_model(n, &rows, &cost);
             let reference = brute_force(&m);
             match m.solve(&SolveOptions::default()) {
                 Ok(sol) => {
@@ -680,6 +917,119 @@ mod tests {
                 Err(e) => return Err(proptest::test_runner::TestCaseError::fail(format!("unexpected error {e}"))),
             }
         }
+
+        /// The parallel search must return the serial objective on every
+        /// random program, in deterministic mode and with plunging.
+        #[test]
+        fn prop_parallel_matches_serial(
+            n in 2usize..7,
+            rows in proptest::collection::vec(
+                (proptest::collection::vec(-3i8..4, 6), -4i8..8), 0..5
+            ),
+            cost in proptest::collection::vec(-5i8..6, 6),
+            threads in 2usize..5,
+            deterministic in proptest::arbitrary::any::<bool>(),
+        ) {
+            let m = random_model(n, &rows, &cost);
+            let serial = m.solve(&SolveOptions::default());
+            let mut options = SolveOptions::default().with_threads(threads);
+            options.deterministic = deterministic;
+            let parallel = m.solve(&options);
+            match (serial, parallel) {
+                (Ok(s), Ok(p)) => {
+                    proptest::prop_assert!(
+                        (s.objective() - p.objective()).abs() < 1e-6,
+                        "serial {} vs parallel {}", s.objective(), p.objective()
+                    );
+                    proptest::prop_assert_eq!(s.status(), p.status());
+                    proptest::prop_assert!(m.is_feasible(p.values(), 1e-6));
+                }
+                (Err(se), Err(pe)) => proptest::prop_assert_eq!(
+                    format!("{se}"), format!("{pe}")
+                ),
+                (s, p) => return Err(proptest::test_runner::TestCaseError::fail(
+                    format!("serial {s:?} vs parallel {p:?}")
+                )),
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_knapsack_matches_serial() {
+        let build = || {
+            let mut m = Model::new();
+            let items = [(3.0, 4.0), (4.0, 5.0), (5.0, 6.0), (2.0, 3.0), (6.0, 8.0)];
+            let vars: Vec<_> = items
+                .iter()
+                .enumerate()
+                .map(|(i, _)| m.add_binary(format!("x{i}")))
+                .collect();
+            let weight: Vec<_> = vars
+                .iter()
+                .zip(&items)
+                .map(|(&v, &(w, _))| (v, w))
+                .collect();
+            m.add_constraint(weight, Sense::Le, 11.0).unwrap();
+            let value: Vec<_> = vars
+                .iter()
+                .zip(&items)
+                .map(|(&v, &(_, p))| (v, -p))
+                .collect();
+            m.set_objective(value);
+            m
+        };
+        let m = build();
+        let serial = m.solve(&SolveOptions::default()).unwrap();
+        for threads in [2, 4, 8] {
+            let sol = m
+                .solve(&SolveOptions::default().with_threads(threads))
+                .unwrap();
+            assert_eq!(sol.status(), Status::Optimal);
+            assert!(
+                (sol.objective() - serial.objective()).abs() < 1e-9,
+                "{threads} threads: {} vs serial {}",
+                sol.objective(),
+                serial.objective()
+            );
+            assert!(m.is_feasible(sol.values(), 1e-6));
+        }
+    }
+
+    #[test]
+    fn parallel_respects_node_limit() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        let z = m.add_binary("z");
+        m.add_constraint([(x, 1.0), (y, 1.0)], Sense::Le, 1.0)
+            .unwrap();
+        m.add_constraint([(x, 1.0), (z, 1.0)], Sense::Le, 1.0)
+            .unwrap();
+        m.add_constraint([(y, 1.0), (z, 1.0)], Sense::Le, 1.0)
+            .unwrap();
+        m.set_objective([(x, -1.0), (y, -1.0), (z, -1.0)]);
+        let options = SolveOptions::default()
+            .with_node_limit(0)
+            .with_threads(4)
+            .with_warm_start(vec![1.0, 0.0, 0.0]);
+        let sol = m.solve(&options).unwrap();
+        assert_eq!(sol.status(), Status::Feasible);
+        assert!((sol.objective() + 1.0).abs() < 1e-9);
+        assert!(sol.bound() <= sol.objective());
+    }
+
+    #[test]
+    fn parallel_infeasible_and_unbounded_reported() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        m.add_constraint([(x, 1.0)], Sense::Ge, 2.0).unwrap();
+        let options = SolveOptions::default().with_threads(3);
+        assert!(matches!(m.solve(&options), Err(ModelError::Infeasible)));
+
+        let mut m = Model::new();
+        let x = m.add_continuous("x");
+        m.set_objective([(x, -1.0)]);
+        assert!(matches!(m.solve(&options), Err(ModelError::Unbounded)));
     }
 
     #[test]
@@ -698,8 +1048,8 @@ mod tests {
         }
         // Conflicts: consecutive items must differ.
         for s in 0..n - 1 {
-            for l in 0..k {
-                m.add_constraint([(b[s][l], 1.0), (b[s + 1][l], 1.0)], Sense::Le, 1.0)
+            for (&bs, &bn) in b[s].iter().zip(&b[s + 1]) {
+                m.add_constraint([(bs, 1.0), (bn, 1.0)], Sense::Le, 1.0)
                     .unwrap();
             }
         }

@@ -107,12 +107,7 @@ impl LinExpr {
     /// Panics if a variable index is outside `values`.
     #[must_use]
     pub fn evaluate(&self, values: &[f64]) -> f64 {
-        self.constant
-            + self
-                .terms
-                .iter()
-                .map(|(v, c)| c * values[v.0])
-                .sum::<f64>()
+        self.constant + self.terms.iter().map(|(v, c)| c * values[v.0]).sum::<f64>()
     }
 }
 
@@ -332,7 +327,9 @@ mod tests {
 
     #[test]
     fn from_iterator_of_pairs() {
-        let e: LinExpr = [(v(0), 1.0), (v(1), 2.0), (v(0), 1.0)].into_iter().collect();
+        let e: LinExpr = [(v(0), 1.0), (v(1), 2.0), (v(0), 1.0)]
+            .into_iter()
+            .collect();
         assert_eq!(e.coefficient(v(0)), 2.0);
         assert_eq!(e.coefficient(v(1)), 2.0);
     }

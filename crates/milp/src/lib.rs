@@ -11,7 +11,9 @@
 //!   Bland's-rule anti-cycling ([`simplex`]),
 //! * a **branch-and-bound** tree search with best-first node selection,
 //!   most-fractional branching, warm-start incumbents and wall-clock/node
-//!   limits ([`branch_bound`]).
+//!   limits ([`branch_bound`]), optionally running on a work-sharing
+//!   worker pool ([`SolveOptions::threads`], see the [`parallel`] module
+//!   docs for the shared-incumbent design).
 //!
 //! The solver is *anytime*: when a limit is hit it returns the best
 //! incumbent together with the proven bound, flagged
@@ -48,10 +50,11 @@ pub mod branch_bound;
 pub mod expr;
 pub mod io;
 pub mod model;
+pub mod parallel;
 pub mod presolve;
 pub mod simplex;
 
 pub use branch_bound::{MilpSolution, SolveOptions, Status};
 pub use expr::{LinExpr, Var};
-pub use presolve::{presolve, Presolved};
 pub use model::{Model, ModelError, Sense, VarType};
+pub use presolve::{presolve, Presolved};

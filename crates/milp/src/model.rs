@@ -269,7 +269,10 @@ impl Model {
                 Sense::Eq => (lhs - c.rhs).abs() <= tolerance,
             };
             if !ok {
-                out.push((ci, format!("{} {} {} (lhs = {lhs})", c.expr, c.sense, c.rhs)));
+                out.push((
+                    ci,
+                    format!("{} {} {} (lhs = {lhs})", c.expr, c.sense, c.rhs),
+                ));
             }
         }
         out
@@ -414,7 +417,8 @@ mod tests {
         let mut m = Model::new();
         let x = m.add_binary("x");
         let y = m.add_binary("y");
-        m.add_constraint([(x, 1.0), (y, 1.0)], Sense::Le, 1.0).unwrap();
+        m.add_constraint([(x, 1.0), (y, 1.0)], Sense::Le, 1.0)
+            .unwrap();
         assert!(m.is_feasible(&[1.0, 0.0], 1e-9));
         assert!(!m.is_feasible(&[1.0, 1.0], 1e-9));
         assert!(!m.is_feasible(&[0.5, 0.0], 1e-9)); // fractional binary

@@ -1,0 +1,282 @@
+//! Work-sharing parallel branch-and-bound.
+//!
+//! The open-node pool ([`BinaryHeap`] with the same fixed
+//! `(bound, depth, id)` ordering as the serial search) lives behind one
+//! mutex together with the incumbent and the search counters. Workers pop
+//! a node, solve its LP relaxation *outside* the lock — each worker owns a
+//! reusable [`SimplexWorkspace`], so the tableau is allocated once per
+//! thread, not once per node — and re-lock only to apply the outcome.
+//!
+//! The incumbent objective is mirrored into an [`AtomicU64`] (its `f64`
+//! bit pattern) so a worker about to start an LP solve can read the
+//! freshest bound without touching the mutex. The mirror only ever
+//! decreases; a stale read merely prunes less, never incorrectly.
+//!
+//! Termination: the search is over when the pool is empty *and* no worker
+//! is mid-evaluation (`in_flight == 0`) — an in-flight node may still
+//! push children. Workers with nothing to do park on a [`Condvar`].
+//!
+//! In deterministic mode (the default) every child goes through the
+//! shared pool, so the set of explored subtrees is governed purely by
+//! bounds and the search provably returns the serial objective whenever
+//! it runs to completion. With `deterministic = false` each worker keeps
+//! the down-child of a branching local and dives on it (plunging), which
+//! reduces pool contention at the cost of departing from global
+//! best-first order.
+
+use crate::branch_bound::{evaluate_node, make_children, Node, NodeOutcome, SearchCtx, SearchEnd};
+use crate::simplex::{LpStatus, SimplexWorkspace};
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Mutable search state shared by every worker.
+struct SearchState {
+    heap: BinaryHeap<Node>,
+    next_seq: usize,
+    incumbent: Option<(f64, Vec<f64>)>,
+    /// Nodes currently being evaluated by some worker.
+    in_flight: usize,
+    nodes_explored: usize,
+    limit_hit: bool,
+    /// Minimum bound over subtrees dropped without exploration (LP
+    /// trouble, gap-based early stopping).
+    lost_bound: f64,
+    root_unbounded: bool,
+    root_iteration_limit: bool,
+    done: bool,
+}
+
+struct Shared {
+    state: Mutex<SearchState>,
+    cvar: Condvar,
+    /// Bit pattern of the incumbent objective (`f64::INFINITY` when none):
+    /// the lock-free pruning mirror.
+    best_obj_bits: AtomicU64,
+}
+
+impl Shared {
+    fn load_incumbent_obj(&self) -> Option<f64> {
+        let obj = f64::from_bits(self.best_obj_bits.load(Ordering::Acquire));
+        obj.is_finite().then_some(obj)
+    }
+}
+
+/// Why a popped (or locally held) node is being discarded unexplored.
+enum Drop {
+    /// Bound within `1e-9` of the incumbent: cannot meaningfully improve.
+    /// Not folded into the reported bound (same tolerance the serial
+    /// search accepts when it stops on a pruned pool top).
+    Prune,
+    /// Within the requested relative gap: intentionally left open, so its
+    /// bound must weaken the reported one.
+    Gap,
+}
+
+fn drop_reason(state: &SearchState, ctx: &SearchCtx<'_>, node: &Node) -> Option<Drop> {
+    let (inc_obj, _) = state.incumbent.as_ref()?;
+    if node.bound >= *inc_obj - 1e-9 {
+        return Some(Drop::Prune);
+    }
+    if *inc_obj - node.bound <= ctx.options.relative_gap * inc_obj.abs().max(1.0) + 1e-9 {
+        return Some(Drop::Gap);
+    }
+    None
+}
+
+pub(crate) fn search(
+    ctx: &SearchCtx<'_>,
+    root: Node,
+    incumbent: Option<(f64, Vec<f64>)>,
+    threads: usize,
+) -> SearchEnd {
+    let mut heap = BinaryHeap::new();
+    let next_seq = root.seq;
+    heap.push(root);
+    let best_bits = incumbent
+        .as_ref()
+        .map_or(f64::INFINITY, |(obj, _)| *obj)
+        .to_bits();
+    let shared = Shared {
+        state: Mutex::new(SearchState {
+            heap,
+            next_seq,
+            incumbent,
+            in_flight: 0,
+            nodes_explored: 0,
+            limit_hit: false,
+            lost_bound: f64::INFINITY,
+            root_unbounded: false,
+            root_iteration_limit: false,
+            done: false,
+        }),
+        cvar: Condvar::new(),
+        best_obj_bits: AtomicU64::new(best_bits),
+    };
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| worker(ctx, &shared));
+        }
+    });
+
+    let state = shared.state.into_inner().unwrap();
+    let open_bound = state
+        .heap
+        .peek()
+        .map_or(f64::INFINITY, |n| n.bound)
+        .min(state.lost_bound);
+    SearchEnd {
+        incumbent: state.incumbent,
+        open_bound,
+        limit_hit: state.limit_hit,
+        nodes_explored: state.nodes_explored,
+        root_unbounded: state.root_unbounded,
+        root_iteration_limit: state.root_iteration_limit,
+    }
+}
+
+fn worker(ctx: &SearchCtx<'_>, shared: &Shared) {
+    let mut workspace = SimplexWorkspace::new();
+    // The node this worker is diving on (plunging mode only). Invariant:
+    // while `local` is `Some`, this worker is counted in `in_flight`.
+    let mut local: Option<Node> = None;
+
+    'outer: loop {
+        // Acquire a node to evaluate.
+        let node = {
+            let mut state = shared.state.lock().unwrap();
+            loop {
+                if let Some(node) = local.take() {
+                    // A locally held dive node: re-check against the
+                    // (possibly improved) incumbent and the limits before
+                    // committing more work to it.
+                    if state.done {
+                        state.heap.push(node);
+                        state.in_flight -= 1;
+                        shared.cvar.notify_all();
+                        break 'outer;
+                    }
+                    match drop_reason(&state, ctx, &node) {
+                        Some(Drop::Prune) => {
+                            state.in_flight -= 1;
+                            finish_if_idle(&mut state, shared);
+                            continue;
+                        }
+                        Some(Drop::Gap) => {
+                            state.lost_bound = state.lost_bound.min(node.bound);
+                            state.in_flight -= 1;
+                            finish_if_idle(&mut state, shared);
+                            continue;
+                        }
+                        None => {}
+                    }
+                    if ctx.time_limit_reached() || ctx.node_limit_reached(state.nodes_explored) {
+                        state.limit_hit = true;
+                        state.heap.push(node);
+                        state.in_flight -= 1;
+                        state.done = true;
+                        shared.cvar.notify_all();
+                        break 'outer;
+                    }
+                    state.nodes_explored += 1;
+                    break node;
+                }
+                if state.done {
+                    break 'outer;
+                }
+                if let Some(node) = state.heap.pop() {
+                    match drop_reason(&state, ctx, &node) {
+                        Some(Drop::Prune) => continue,
+                        Some(Drop::Gap) => {
+                            state.lost_bound = state.lost_bound.min(node.bound);
+                            continue;
+                        }
+                        None => {}
+                    }
+                    if ctx.time_limit_reached() || ctx.node_limit_reached(state.nodes_explored) {
+                        state.limit_hit = true;
+                        state.heap.push(node);
+                        state.done = true;
+                        shared.cvar.notify_all();
+                        break 'outer;
+                    }
+                    state.nodes_explored += 1;
+                    state.in_flight += 1;
+                    break node;
+                }
+                if state.in_flight == 0 {
+                    state.done = true;
+                    shared.cvar.notify_all();
+                    break 'outer;
+                }
+                state = shared.cvar.wait(state).unwrap();
+            }
+        };
+
+        // The expensive part, outside the lock: the freshest incumbent
+        // bound comes from the atomic mirror, not the mutex.
+        let inc_obj = shared.load_incumbent_obj();
+        let outcome = evaluate_node(ctx, &node, inc_obj, &mut workspace);
+
+        let mut state = shared.state.lock().unwrap();
+        match outcome {
+            NodeOutcome::Infeasible => {}
+            NodeOutcome::LpTrouble(status) => {
+                if node.depth == 0 && status == LpStatus::IterationLimit {
+                    state.root_iteration_limit = true;
+                    state.done = true;
+                } else {
+                    state.limit_hit = true;
+                    state.lost_bound = state.lost_bound.min(node.bound);
+                }
+            }
+            NodeOutcome::Unbounded => {
+                if node.depth == 0 {
+                    state.root_unbounded = true;
+                    state.done = true;
+                } else {
+                    state.limit_hit = true;
+                    state.lost_bound = state.lost_bound.min(node.bound);
+                }
+            }
+            NodeOutcome::PrunedByBound => {}
+            NodeOutcome::Integral { obj, values } => {
+                let better = match &state.incumbent {
+                    None => true,
+                    Some((inc_obj, _)) => obj < *inc_obj - 1e-12,
+                };
+                if better {
+                    state.incumbent = Some((obj, values));
+                    shared.best_obj_bits.store(obj.to_bits(), Ordering::Release);
+                }
+            }
+            NodeOutcome::Branched { lp_obj, var, x } => {
+                let (down, up) = make_children(node, var, x, lp_obj, &mut state.next_seq);
+                if let Some(child) = up {
+                    state.heap.push(child);
+                }
+                if let Some(child) = down {
+                    if ctx.options.deterministic || state.done {
+                        state.heap.push(child);
+                    } else {
+                        // Plunge: dive on the down child without going
+                        // through the pool; `in_flight` stays held.
+                        local = Some(child);
+                    }
+                }
+            }
+        }
+        if local.is_none() {
+            state.in_flight -= 1;
+        }
+        finish_if_idle(&mut state, shared);
+    }
+}
+
+fn finish_if_idle(state: &mut SearchState, shared: &Shared) {
+    if state.heap.is_empty() && state.in_flight == 0 {
+        state.done = true;
+    }
+    shared.cvar.notify_all();
+}

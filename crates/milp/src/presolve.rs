@@ -237,7 +237,8 @@ mod tests {
         let mut m = Model::new();
         let x = m.add_binary("x");
         // x − x ≤ −1 folds to an empty, impossible row.
-        m.add_constraint([(x, 1.0), (x, -1.0)], Sense::Le, -1.0).unwrap();
+        m.add_constraint([(x, 1.0), (x, -1.0)], Sense::Le, -1.0)
+            .unwrap();
         assert!(matches!(presolve(&m), Err(ModelError::Infeasible)));
     }
 
@@ -246,7 +247,8 @@ mod tests {
         let mut m = Model::new();
         let x = m.add_var(VarType::Continuous, 2.0, 2.0, "x").unwrap();
         let y = m.add_continuous("y");
-        m.add_constraint([(x, 1.0), (y, 1.0)], Sense::Ge, 5.0).unwrap();
+        m.add_constraint([(x, 1.0), (y, 1.0)], Sense::Ge, 5.0)
+            .unwrap();
         m.set_objective([(x, 3.0), (y, 1.0)]);
         let p = presolve(&m).unwrap();
         // x is folded out: the row becomes y ≥ 3 and the objective gains 6.
@@ -262,7 +264,8 @@ mod tests {
         let x = m.add_binary("x");
         let y = m.add_binary("y");
         // x + y ≤ 5 can never bind for binaries.
-        m.add_constraint([(x, 1.0), (y, 1.0)], Sense::Le, 5.0).unwrap();
+        m.add_constraint([(x, 1.0), (y, 1.0)], Sense::Le, 5.0)
+            .unwrap();
         let p = presolve(&m).unwrap();
         assert_eq!(p.model.constraint_count(), 0);
         assert_eq!(p.rows_removed, 1);
@@ -273,7 +276,8 @@ mod tests {
         let mut m = Model::new();
         let x = m.add_binary("x");
         let y = m.add_binary("y");
-        m.add_constraint([(x, 1.0), (y, 1.0)], Sense::Ge, 3.0).unwrap();
+        m.add_constraint([(x, 1.0), (y, 1.0)], Sense::Ge, 3.0)
+            .unwrap();
         assert!(matches!(presolve(&m), Err(ModelError::Infeasible)));
     }
 
@@ -283,7 +287,8 @@ mod tests {
         let x = m.add_binary("x");
         let y = m.add_binary("y");
         let z = m.add_var(VarType::Continuous, 1.5, 1.5, "z").unwrap();
-        m.add_constraint([(x, 1.0), (y, 1.0)], Sense::Le, 1.0).unwrap();
+        m.add_constraint([(x, 1.0), (y, 1.0)], Sense::Le, 1.0)
+            .unwrap();
         m.add_constraint([(x, 2.0)], Sense::Le, 2.0).unwrap(); // singleton, redundant
         m.set_objective([(x, -2.0), (y, -1.0), (z, 1.0)]);
         let direct = m.solve(&SolveOptions::default()).unwrap();

@@ -19,6 +19,7 @@
 //! consumer is [`crate::branch_bound`].
 
 use crate::model::Sense;
+use std::time::Instant;
 
 /// A linear-programming problem in the solver's input form.
 #[derive(Debug, Clone)]
@@ -56,6 +57,44 @@ pub enum LpStatus {
     Unbounded,
     /// The iteration budget was exhausted (numerical trouble).
     IterationLimit,
+    /// The wall-clock deadline passed mid-solve (see [`LpOptions`]).
+    TimedOut,
+}
+
+/// Options for a single LP solve.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LpOptions {
+    /// Abort the solve once this instant passes. The check runs every 64
+    /// pivots, so overshoot is bounded by a handful of pivot times. A
+    /// solve aborted this way reports [`LpStatus::TimedOut`].
+    pub deadline: Option<Instant>,
+}
+
+/// Reusable scratch buffers for [`solve_lp_with`].
+///
+/// The dense tableau is the dominant allocation of an LP solve; branch and
+/// bound solves one LP per node, all of the same shape. Keeping one
+/// workspace per worker thread means the tableau is allocated once per
+/// thread instead of once per node.
+#[derive(Debug, Default)]
+pub struct SimplexWorkspace {
+    t: Vec<f64>,
+    beta: Vec<f64>,
+    cost_row: Vec<f64>,
+    basis: Vec<usize>,
+    status: Vec<VarStatus>,
+    ub: Vec<f64>,
+    banned: Vec<bool>,
+    phase1_cost: Vec<f64>,
+    full_cost: Vec<f64>,
+}
+
+impl SimplexWorkspace {
+    /// An empty workspace; buffers grow on first use and are reused after.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// Result of an LP solve: status, objective value and a value per
@@ -93,27 +132,28 @@ enum Recover {
     Split { plus: usize, minus: usize },
 }
 
-struct Tableau {
+struct Tableau<'w> {
     m: usize,
     ntot: usize,
     /// Row-major `m × ntot` coefficient matrix (current `B⁻¹A`).
-    t: Vec<f64>,
+    t: &'w mut Vec<f64>,
     /// Basic-variable values.
-    beta: Vec<f64>,
+    beta: &'w mut Vec<f64>,
     /// Reduced-cost row.
-    cost_row: Vec<f64>,
-    basis: Vec<usize>,
-    status: Vec<VarStatus>,
+    cost_row: &'w mut Vec<f64>,
+    basis: &'w mut Vec<usize>,
+    status: &'w mut Vec<VarStatus>,
     /// Internal upper bounds (lower bounds are all 0).
-    ub: Vec<f64>,
+    ub: &'w mut Vec<f64>,
     /// Columns banned from entering (artificials in phase 2).
-    banned: Vec<bool>,
+    banned: &'w mut Vec<bool>,
     iterations: usize,
     degenerate_streak: usize,
     use_bland: bool,
+    deadline: Option<Instant>,
 }
 
-impl Tableau {
+impl Tableau<'_> {
     #[inline]
     fn at(&self, i: usize, j: usize) -> f64 {
         self.t[i * self.ntot + j]
@@ -133,6 +173,13 @@ impl Tableau {
         loop {
             if self.iterations >= max_iterations {
                 return Err(LpStatus::IterationLimit);
+            }
+            if self.iterations.is_multiple_of(64) {
+                if let Some(deadline) = self.deadline {
+                    if Instant::now() >= deadline {
+                        return Err(LpStatus::TimedOut);
+                    }
+                }
             }
             self.iterations += 1;
 
@@ -190,29 +237,43 @@ impl Tableau {
             let mut best_pivot_mag = 0.0_f64;
             for r in 0..self.m {
                 let t_eff = self.at(r, j) * dir;
-                if t_eff > PIVOT_TOL {
+                let (d, to_upper) = if t_eff > PIVOT_TOL {
                     // Basic variable decreases toward 0.
-                    let d = self.beta[r] / t_eff;
-                    if d < delta - PIVOT_TOL
-                        || (d < delta + PIVOT_TOL && t_eff.abs() > best_pivot_mag)
-                    {
-                        delta = d.max(0.0);
-                        limit = Limit::Row { r, to_upper: false };
-                        best_pivot_mag = t_eff.abs();
-                    }
+                    (self.beta[r] / t_eff, false)
                 } else if t_eff < -PIVOT_TOL {
                     // Basic variable increases toward its upper bound.
                     let u = self.ub[self.basis[r]];
-                    if u.is_finite() {
-                        let d = (u - self.beta[r]) / (-t_eff);
-                        if d < delta - PIVOT_TOL
-                            || (d < delta + PIVOT_TOL && t_eff.abs() > best_pivot_mag)
-                        {
-                            delta = d.max(0.0);
-                            limit = Limit::Row { r, to_upper: true };
-                            best_pivot_mag = t_eff.abs();
-                        }
+                    if !u.is_finite() {
+                        continue;
                     }
+                    ((u - self.beta[r]) / (-t_eff), true)
+                } else {
+                    continue;
+                };
+                let better = if d < delta - PIVOT_TOL {
+                    true
+                } else if d < delta + PIVOT_TOL {
+                    if self.use_bland {
+                        // Bland's rule must also constrain the *leaving*
+                        // choice: among tied ratios, the smallest leaving
+                        // variable index wins (the entering variable's own
+                        // bound counts as index `j`). Tie-breaking by pivot
+                        // magnitude alone leaves cycling possible.
+                        let current = match limit {
+                            Limit::OwnBound => j,
+                            Limit::Row { r: cr, .. } => self.basis[cr],
+                        };
+                        self.basis[r] < current
+                    } else {
+                        t_eff.abs() > best_pivot_mag
+                    }
+                } else {
+                    false
+                };
+                if better {
+                    delta = d.max(0.0);
+                    limit = Limit::Row { r, to_upper };
+                    best_pivot_mag = t_eff.abs();
                 }
             }
             if delta.is_infinite() {
@@ -332,6 +393,31 @@ impl Tableau {
 /// of variables, or if a row references an out-of-range column.
 #[must_use]
 pub fn solve_lp(problem: &LpProblem, lower_override: &[f64], upper_override: &[f64]) -> LpResult {
+    solve_lp_with(
+        problem,
+        lower_override,
+        upper_override,
+        &LpOptions::default(),
+        &mut SimplexWorkspace::new(),
+    )
+}
+
+/// Like [`solve_lp`], but with a wall-clock deadline and reusable scratch
+/// buffers (see [`SimplexWorkspace`]). This is the entry point branch and
+/// bound uses: one workspace per worker thread, one deadline per search.
+///
+/// # Panics
+///
+/// Panics if the override slices are non-empty but shorter than the number
+/// of variables, or if a row references an out-of-range column.
+#[must_use]
+pub fn solve_lp_with(
+    problem: &LpProblem,
+    lower_override: &[f64],
+    upper_override: &[f64],
+    lp_options: &LpOptions,
+    workspace: &mut SimplexWorkspace,
+) -> LpResult {
     let n = problem.cost.len();
     let lower = |j: usize| {
         if lower_override.is_empty() {
@@ -359,10 +445,26 @@ pub fn solve_lp(problem: &LpProblem, lower_override: &[f64], upper_override: &[f
         }
     }
 
+    let SimplexWorkspace {
+        t,
+        beta,
+        cost_row,
+        basis,
+        status,
+        ub,
+        banned,
+        phase1_cost,
+        full_cost,
+    } = workspace;
+
     // --- Transform original variables to internal non-negative ones. ---
+    // `ub` and `full_cost` double as the build buffers for the internal
+    // bounds and costs.
     let mut recover = Vec::with_capacity(n);
-    let mut internal_ub: Vec<f64> = Vec::new();
-    let mut internal_cost: Vec<f64> = Vec::new();
+    let internal_ub = ub;
+    internal_ub.clear();
+    let internal_cost = full_cost;
+    internal_cost.clear();
     let mut cost_constant = 0.0;
     for j in 0..n {
         let (l, u) = (lower(j), upper(j));
@@ -435,8 +537,8 @@ pub fn solve_lp(problem: &LpProblem, lower_override: &[f64], upper_override: &[f
         internal_rows.push(InternalRow { coeffs, rhs, slack });
     }
     let n_slacks = next_col - internal_ub.len();
-    internal_ub.extend(std::iter::repeat(f64::INFINITY).take(n_slacks));
-    internal_cost.extend(std::iter::repeat(0.0).take(n_slacks));
+    internal_ub.extend(std::iter::repeat_n(f64::INFINITY, n_slacks));
+    internal_cost.extend(std::iter::repeat_n(0.0, n_slacks));
 
     // --- Normalize rows to rhs ≥ 0 and pick initial basics. ---
     let m = internal_rows.len();
@@ -464,15 +566,20 @@ pub fn solve_lp(problem: &LpProblem, lower_override: &[f64], upper_override: &[f
     let n_struct_slack = next_col;
     let n_art: usize = needs_artificial.iter().filter(|&&b| b).count();
     let ntot = n_struct_slack + n_art;
-    internal_ub.extend(std::iter::repeat(f64::INFINITY).take(n_art));
+    internal_ub.extend(std::iter::repeat_n(f64::INFINITY, n_art));
 
-    // --- Assemble the dense tableau. ---
-    let mut t = vec![0.0; m * ntot];
-    let mut basis = vec![usize::MAX; m];
-    let mut status = vec![VarStatus::AtLower; ntot];
-    let mut beta = vec![0.0; m];
+    // --- Assemble the dense tableau (into the reusable buffers). ---
+    t.clear();
+    t.resize(m * ntot, 0.0);
+    basis.clear();
+    basis.resize(m, usize::MAX);
+    status.clear();
+    status.resize(ntot, VarStatus::AtLower);
+    beta.clear();
+    beta.resize(m, 0.0);
     let mut art_col = n_struct_slack;
-    let mut phase1_cost = vec![0.0; ntot];
+    phase1_cost.clear();
+    phase1_cost.resize(ntot, 0.0);
     for (i, row) in internal_rows.iter().enumerate() {
         for &(c, a) in &row.coeffs {
             t[i * ntot + c] += a;
@@ -491,30 +598,35 @@ pub fn solve_lp(problem: &LpProblem, lower_override: &[f64], upper_override: &[f
         }
     }
 
+    cost_row.clear();
+    cost_row.resize(ntot, 0.0);
+    banned.clear();
+    banned.resize(ntot, false);
     let mut tab = Tableau {
         m,
         ntot,
         t,
         beta,
-        cost_row: vec![0.0; ntot],
+        cost_row,
         basis,
         status,
         ub: internal_ub,
-        banned: vec![false; ntot],
+        banned,
         iterations: 0,
         degenerate_streak: 0,
         use_bland: false,
+        deadline: lp_options.deadline,
     };
     let max_iterations = 50_000 + 100 * (m + ntot);
 
     // --- Phase 1. ---
     if n_art > 0 {
-        tab.set_costs(&phase1_cost);
+        tab.set_costs(phase1_cost);
         match tab.optimize(max_iterations) {
             Ok(()) => {}
-            Err(LpStatus::IterationLimit) => {
+            Err(status @ (LpStatus::IterationLimit | LpStatus::TimedOut)) => {
                 return LpResult {
-                    status: LpStatus::IterationLimit,
+                    status,
                     objective: 0.0,
                     values: Vec::new(),
                 }
@@ -535,9 +647,9 @@ pub fn solve_lp(problem: &LpProblem, lower_override: &[f64], upper_override: &[f
         // Drive basic artificials out where possible; ban all artificials.
         for i in 0..m {
             if tab.basis[i] >= n_struct_slack {
-                if let Some(j) = (0..n_struct_slack)
-                    .find(|&j| !matches!(tab.status[j], VarStatus::Basic(_)) && tab.at(i, j).abs() > 1e-7)
-                {
+                if let Some(j) = (0..n_struct_slack).find(|&j| {
+                    !matches!(tab.status[j], VarStatus::Basic(_)) && tab.at(i, j).abs() > 1e-7
+                }) {
                     tab.pivot(i, j, 1.0, 0.0, false);
                 }
             }
@@ -548,9 +660,8 @@ pub fn solve_lp(problem: &LpProblem, lower_override: &[f64], upper_override: &[f
     }
 
     // --- Phase 2. ---
-    let mut full_cost = vec![0.0; ntot];
-    full_cost[..internal_cost.len()].copy_from_slice(&internal_cost);
-    tab.set_costs(&full_cost);
+    internal_cost.resize(ntot, 0.0);
+    tab.set_costs(internal_cost);
     match tab.optimize(max_iterations) {
         Ok(()) => {}
         Err(status) => {
@@ -577,15 +688,19 @@ pub fn solve_lp(problem: &LpProblem, lower_override: &[f64], upper_override: &[f
         .zip(&problem.cost)
         .map(|(x, c)| x * c)
         .sum::<f64>();
-    debug_assert!((objective
-        - (cost_constant
-            + (0..tab.m).map(|i| full_cost[tab.basis[i]] * tab.beta[i]).sum::<f64>()
-            + (0..ntot)
-                .filter(|&j| !matches!(tab.status[j], VarStatus::Basic(_)))
-                .map(|j| full_cost[j] * tab.nonbasic_value(j))
-                .sum::<f64>()))
-    .abs()
-        < 1e-4 * (1.0 + objective.abs()));
+    debug_assert!(
+        (objective
+            - (cost_constant
+                + (0..tab.m)
+                    .map(|i| internal_cost[tab.basis[i]] * tab.beta[i])
+                    .sum::<f64>()
+                + (0..ntot)
+                    .filter(|&j| !matches!(tab.status[j], VarStatus::Basic(_)))
+                    .map(|j| internal_cost[j] * tab.nonbasic_value(j))
+                    .sum::<f64>()))
+        .abs()
+            < 1e-4 * (1.0 + objective.abs())
+    );
 
     LpResult {
         status: LpStatus::Optimal,
@@ -765,6 +880,109 @@ mod tests {
         let r = solve(&p);
         assert_eq!(r.status, LpStatus::Optimal);
         assert!((r.objective + 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn beale_cycling_example_terminates_optimal() {
+        // Beale's classic degenerate LP, the canonical cycling example for
+        // largest-coefficient pricing. The Bland fallback (including the
+        // smallest-leaving-index tie-break in the ratio test) must drive
+        // it to the optimum x = (1/25, 0, 1, 0), objective −1/20.
+        let p = LpProblem {
+            cost: vec![-0.75, 150.0, -0.02, 6.0],
+            lower: vec![0.0; 4],
+            upper: vec![f64::INFINITY; 4],
+            rows: vec![
+                row(
+                    &[(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)],
+                    Sense::Le,
+                    0.0,
+                ),
+                row(
+                    &[(0, 0.5), (1, -90.0), (2, -0.02), (3, 3.0)],
+                    Sense::Le,
+                    0.0,
+                ),
+                row(&[(2, 1.0)], Sense::Le, 1.0),
+            ],
+        };
+        let r = solve(&p);
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert!(
+            (r.objective + 0.05).abs() < 1e-9,
+            "objective {}",
+            r.objective
+        );
+        assert!((r.values[0] - 0.04).abs() < 1e-7);
+        assert!((r.values[2] - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn expired_deadline_times_out() {
+        // A deadline already in the past must abort the solve before any
+        // pivoting and report TimedOut — this is what lets branch and
+        // bound keep its anytime contract mid-LP.
+        let p = LpProblem {
+            cost: vec![-3.0, -5.0],
+            lower: vec![0.0, 0.0],
+            upper: vec![f64::INFINITY, f64::INFINITY],
+            rows: vec![
+                row(&[(0, 1.0)], Sense::Le, 4.0),
+                row(&[(1, 2.0)], Sense::Le, 12.0),
+                row(&[(0, 3.0), (1, 2.0)], Sense::Le, 18.0),
+            ],
+        };
+        let opts = LpOptions {
+            deadline: Some(Instant::now() - std::time::Duration::from_millis(1)),
+        };
+        let r = solve_lp_with(&p, &[], &[], &opts, &mut SimplexWorkspace::new());
+        assert_eq!(r.status, LpStatus::TimedOut);
+        // Without the deadline the same workspace solves it fine.
+        let r = solve_lp_with(
+            &p,
+            &[],
+            &[],
+            &LpOptions::default(),
+            &mut SimplexWorkspace::new(),
+        );
+        assert_eq!(r.status, LpStatus::Optimal);
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_solves() {
+        // The same workspace across differently shaped problems must give
+        // byte-identical results to fresh per-solve allocation.
+        let problems = vec![
+            LpProblem {
+                cost: vec![-1.0, -1.0],
+                lower: vec![0.0, 0.0],
+                upper: vec![3.0, 2.0],
+                rows: vec![row(&[(0, 1.0), (1, 1.0)], Sense::Le, 4.0)],
+            },
+            LpProblem {
+                cost: vec![1.0, 1.0, 0.5],
+                lower: vec![0.0; 3],
+                upper: vec![10.0; 3],
+                rows: vec![
+                    row(&[(0, 1.0), (1, 1.0)], Sense::Eq, 3.0),
+                    row(&[(1, 1.0), (2, 1.0)], Sense::Ge, 2.0),
+                ],
+            },
+            LpProblem {
+                cost: vec![2.0, 3.0],
+                lower: vec![0.0, 0.0],
+                upper: vec![f64::INFINITY, f64::INFINITY],
+                rows: vec![row(&[(0, 1.0), (1, 1.0)], Sense::Ge, 5.0)],
+            },
+        ];
+        let mut ws = SimplexWorkspace::new();
+        for p in &problems {
+            let reused = solve_lp_with(p, &[], &[], &LpOptions::default(), &mut ws);
+            let fresh = solve_lp(p, &[], &[]);
+            assert_eq!(reused.status, fresh.status);
+            assert_eq!(reused.objective.to_bits(), fresh.objective.to_bits());
+            assert_eq!(reused.values, fresh.values);
+        }
     }
 
     #[test]

@@ -109,7 +109,10 @@ pub fn analyze_crosstalk(design: &RouterDesign, tech: &TechnologyParameters) -> 
     for (i, victim) in design.paths().iter().enumerate() {
         // The victim's detector sits at the end of its last occupied
         // channel.
-        let last_channel = *victim.occupancy.last().expect("occupancy validated non-empty");
+        let last_channel = *victim
+            .occupancy
+            .last()
+            .expect("occupancy validated non-empty");
         let mut noise_mw = 0.0f64;
         let mut interferers = 0usize;
 

@@ -392,10 +392,7 @@ impl fmt::Display for DesignError {
                 first,
                 second,
                 wavelength,
-            } => write!(
-                f,
-                "messages {first} and {second} collide on {wavelength}"
-            ),
+            } => write!(f, "messages {first} and {second} collide on {wavelength}"),
             DesignError::MessageNotServed(m) => write!(f, "required message {m} has no path"),
             DesignError::UnknownMessage(m) => {
                 write!(f, "path serves message {m} unknown to the application")
@@ -420,7 +417,14 @@ mod tests {
         (layout, wg)
     }
 
-    fn path(message: usize, src: usize, dst: usize, wg: WaveguideId, seg: usize, wl: usize) -> SignalPath {
+    fn path(
+        message: usize,
+        src: usize,
+        dst: usize,
+        wg: WaveguideId,
+        seg: usize,
+        wl: usize,
+    ) -> SignalPath {
         SignalPath {
             message: MessageId(message),
             src: NodeId(src),
@@ -521,8 +525,14 @@ mod tests {
         .unwrap_err();
         assert!(matches!(err, DesignError::WaveguideOutOfRange(..)));
 
-        let err = RouterDesign::new("t", "app", layout.clone(), vec![path(0, 0, 1, wg, 9, 0)], pdn(2))
-            .unwrap_err();
+        let err = RouterDesign::new(
+            "t",
+            "app",
+            layout.clone(),
+            vec![path(0, 0, 1, wg, 9, 0)],
+            pdn(2),
+        )
+        .unwrap_err();
         assert!(matches!(err, DesignError::SegmentOutOfRange(..)));
 
         let mut bad = path(0, 0, 1, wg, 0, 0);
@@ -543,9 +553,14 @@ mod tests {
             .unwrap();
 
         let (layout, wg) = two_node_layout();
-        let partial =
-            RouterDesign::new("t", "app", layout.clone(), vec![path(0, 0, 1, wg, 0, 0)], pdn(2))
-                .unwrap();
+        let partial = RouterDesign::new(
+            "t",
+            "app",
+            layout.clone(),
+            vec![path(0, 0, 1, wg, 0, 0)],
+            pdn(2),
+        )
+        .unwrap();
         assert_eq!(
             partial.validate_against(&app).unwrap_err(),
             DesignError::MessageNotServed(MessageId(1))
@@ -581,9 +596,14 @@ mod tests {
         let (layout, wg) = two_node_layout();
         let mut long = path(1, 1, 0, wg, 1, 1);
         long.geometry.length = Millimeters(3.0);
-        let design =
-            RouterDesign::new("t", "app", layout, vec![path(0, 0, 1, wg, 0, 0), long], pdn(2))
-                .unwrap();
+        let design = RouterDesign::new(
+            "t",
+            "app",
+            layout,
+            vec![path(0, 0, 1, wg, 0, 0), long],
+            pdn(2),
+        )
+        .unwrap();
         let a = design.analyze(&TechnologyParameters::default());
         assert_eq!(a.per_wavelength.len(), 2);
         // The longer path's wavelength needs more power.

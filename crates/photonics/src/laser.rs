@@ -67,10 +67,7 @@ mod tests {
         let t = tech();
         let losses = [Decibels(10.0), Decibels(12.0), Decibels(14.0)];
         let total = total_laser_power(losses, &t);
-        let by_hand: f64 = losses
-            .iter()
-            .map(|&l| laser_power_for_loss(l, &t).0)
-            .sum();
+        let by_hand: f64 = losses.iter().map(|&l| laser_power_for_loss(l, &t).0).sum();
         assert!((total.0 - by_hand).abs() < 1e-12);
     }
 

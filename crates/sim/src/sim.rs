@@ -297,8 +297,7 @@ mod tests {
         // must now collide under a simultaneous schedule.
         let broken = vec![Wavelength(0); design.paths().len()];
         let schedule = TransmissionSchedule::all_at_once(design, 4096);
-        let report =
-            simulate_with_wavelengths(design, &schedule, &SimConfig::default(), &broken);
+        let report = simulate_with_wavelengths(design, &schedule, &SimConfig::default(), &broken);
         assert!(report.collisions > 0, "sabotage must be detected");
         assert!(report.delivered < design.paths().len());
         assert!(!report.collision_pairs.is_empty());
@@ -314,8 +313,7 @@ mod tests {
         let bits = 128;
         let gap = bits as f64 * 100.0 + 10_000.0;
         let schedule = TransmissionSchedule::staggered(design, bits, gap);
-        let report =
-            simulate_with_wavelengths(design, &schedule, &SimConfig::default(), &broken);
+        let report = simulate_with_wavelengths(design, &schedule, &SimConfig::default(), &broken);
         assert_eq!(report.collisions, 0);
         assert_eq!(report.delivered, design.paths().len());
     }

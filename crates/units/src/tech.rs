@@ -137,7 +137,9 @@ impl TechnologyParameters {
             });
         }
         if !(self.tile_pitch.0 > 0.0 && self.tile_pitch.0.is_finite()) {
-            return Err(ValidateTechError { field: "tile_pitch" });
+            return Err(ValidateTechError {
+                field: "tile_pitch",
+            });
         }
         Ok(())
     }
@@ -194,7 +196,9 @@ mod tests {
 
     #[test]
     fn defaults_validate() {
-        TechnologyParameters::default().validate().expect("defaults valid");
+        TechnologyParameters::default()
+            .validate()
+            .expect("defaults valid");
     }
 
     #[test]

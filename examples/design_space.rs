@@ -42,16 +42,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         return Ok(());
     }
 
-    let (lo, hi) = stats.feasible.iter().fold((f64::MAX, f64::MIN), |(lo, hi), o| {
-        (lo.min(o.worst_loss.0), hi.max(o.worst_loss.0))
-    });
+    let (lo, hi) = stats
+        .feasible
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), o| {
+            (lo.min(o.worst_loss.0), hi.max(o.worst_loss.0))
+        });
     let mut hist = Histogram::new(lo - 1e-9, hi + 1e-6, 12);
     for o in &stats.feasible {
         hist.add(o.worst_loss.0);
     }
     println!("\nil_w (dB) of feasible random solutions:");
     print!("{hist}");
-    println!("SRing achieves il_w = {:.2} dB", analysis.worst_insertion_loss.0);
+    println!(
+        "SRing achieves il_w = {:.2} dB",
+        analysis.worst_insertion_loss.0
+    );
 
     let better = stats
         .feasible

@@ -27,11 +27,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Analyze: every Table I / Fig. 7 metric.
     let analysis = report.design.analyze(&tech);
-    println!("longest signal path  L        = {:.2}", analysis.longest_path);
-    println!("worst insertion loss il_w     = {:.2}", analysis.worst_insertion_loss);
-    println!("worst-case splitters #sp_w    = {}", analysis.max_splitters_passed);
-    println!("with PDN             il_w^all = {:.2}", analysis.worst_loss_with_pdn);
-    println!("wavelengths          #wl      = {}", analysis.wavelength_count);
-    println!("total laser power             = {:.3}", analysis.total_laser_power);
+    println!(
+        "longest signal path  L        = {:.2}",
+        analysis.longest_path
+    );
+    println!(
+        "worst insertion loss il_w     = {:.2}",
+        analysis.worst_insertion_loss
+    );
+    println!(
+        "worst-case splitters #sp_w    = {}",
+        analysis.max_splitters_passed
+    );
+    println!(
+        "with PDN             il_w^all = {:.2}",
+        analysis.worst_loss_with_pdn
+    );
+    println!(
+        "wavelengths          #wl      = {}",
+        analysis.wavelength_count
+    );
+    println!(
+        "total laser power             = {:.3}",
+        analysis.total_laser_power
+    );
     Ok(())
 }

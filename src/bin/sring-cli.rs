@@ -3,13 +3,19 @@
 //! ```text
 //! sring-cli list
 //! sring-cli synth   --benchmark mwd [--method sring|ornoc|ctoring|xring]
-//!                   [--pitch 0.26] [--svg out.svg] [--crosstalk] [--report]
-//! sring-cli compare --benchmark vopd [--pitch 0.26]
+//!                   [--pitch 0.26] [--threads N] [--svg out.svg]
+//!                   [--crosstalk] [--report]
+//! sring-cli compare --benchmark vopd [--pitch 0.26] [--threads N]
 //! ```
+//!
+//! `--threads N` (default: one worker per available core) parallelizes
+//! `compare`'s method grid and SRing's MILP search in `synth`; results are
+//! identical for every thread count.
 
 use std::process::ExitCode;
 
-use sring::eval::comparison::{compare, format_table1};
+use sring::core::AssignmentStrategy;
+use sring::eval::comparison::{compare_grid, format_table1};
 use sring::eval::methods::Method;
 use sring::graph::benchmarks::Benchmark;
 use sring::graph::CommGraph;
@@ -19,7 +25,7 @@ use sring::units::{Millimeters, TechnologyParameters};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  sring-cli list\n  sring-cli synth --benchmark <name> [--method sring|ornoc|ctoring|xring] [--pitch <mm>] [--svg <path>] [--crosstalk] [--report]\n  sring-cli compare --benchmark <name> [--pitch <mm>]"
+        "usage:\n  sring-cli list\n  sring-cli synth --benchmark <name> [--method sring|ornoc|ctoring|xring] [--pitch <mm>] [--threads <n>] [--svg <path>] [--crosstalk] [--report]\n  sring-cli compare --benchmark <name> [--pitch <mm>] [--threads <n>]"
     );
     ExitCode::from(2)
 }
@@ -35,11 +41,16 @@ impl Args {
         while i < raw.len() {
             let arg = &raw[i];
             if let Some(name) = arg.strip_prefix("--") {
-                let value = raw.get(i + 1).filter(|v| !v.starts_with("--")).cloned();
-                if value.is_some() {
-                    i += 1;
+                // Both `--flag value` and `--flag=value` are accepted.
+                if let Some((name, value)) = name.split_once('=') {
+                    flags.push((name.to_string(), Some(value.to_string())));
+                } else {
+                    let value = raw.get(i + 1).filter(|v| !v.starts_with("--")).cloned();
+                    if value.is_some() {
+                        i += 1;
+                    }
+                    flags.push((name.to_string(), value));
                 }
-                flags.push((name.to_string(), value));
             } else {
                 return None;
             }
@@ -61,9 +72,12 @@ impl Args {
 }
 
 fn benchmark_by_name(name: &str) -> Option<Benchmark> {
-    Benchmark::ALL
-        .into_iter()
-        .find(|b| b.name().eq_ignore_ascii_case(name) || b.name().replace('-', "").eq_ignore_ascii_case(&name.replace('-', "")))
+    Benchmark::ALL.into_iter().find(|b| {
+        b.name().eq_ignore_ascii_case(name)
+            || b.name()
+                .replace('-', "")
+                .eq_ignore_ascii_case(&name.replace('-', ""))
+    })
 }
 
 fn load_app(args: &Args) -> Result<CommGraph, String> {
@@ -91,6 +105,39 @@ fn method_by_name(name: &str) -> Option<Method> {
         "ctoring" => Some(Method::Ctoring),
         "xring" => Some(Method::Xring),
         _ => None,
+    }
+}
+
+fn parse_threads(args: &Args) -> Result<usize, String> {
+    match args.value("threads") {
+        // Absent: one worker per available core.
+        None => Ok(0),
+        Some(v) => v.parse().map_err(|_| format!("bad --threads `{v}`")),
+    }
+}
+
+/// Routes a `--threads` request into the method: only SRing's MILP search
+/// is internally parallel, the baselines are single-pass constructions.
+fn method_with_threads(method: Method, threads: usize) -> Method {
+    match method {
+        Method::Sring(strategy) => Method::Sring(match strategy {
+            AssignmentStrategy::Milp(mut options) => {
+                options.threads = threads;
+                AssignmentStrategy::Milp(options)
+            }
+            AssignmentStrategy::Auto {
+                milp_max_paths,
+                mut options,
+            } => {
+                options.threads = threads;
+                AssignmentStrategy::Auto {
+                    milp_max_paths,
+                    options,
+                }
+            }
+            other => other,
+        }),
+        other => other,
     }
 }
 
@@ -134,6 +181,13 @@ fn main() -> ExitCode {
                         return ExitCode::from(2);
                     }
                 },
+            };
+            let method = match parse_threads(&args) {
+                Ok(threads) => method_with_threads(method, threads),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
             };
             let design = match method.synthesize(&app, &tech) {
                 Ok(d) => d,
@@ -185,7 +239,23 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             };
-            match compare(&app, &tech, &Method::standard()) {
+            let threads = match parse_threads(&args) {
+                Ok(threads) => threads,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            // The grid gets the workers; methods stay internally serial so
+            // the parallelism is not multiplicative.
+            match compare_grid(
+                std::slice::from_ref(&app),
+                &tech,
+                &Method::standard(),
+                threads,
+            )
+            .map(|mut v| v.remove(0))
+            {
                 Ok(cmp) => {
                     print!("{}", format_table1(std::slice::from_ref(&cmp)));
                     println!("\n{:<10} {:>10} {:>6}", "method", "power[mW]", "#wl");

@@ -36,7 +36,12 @@ fn crosstalk_report_is_consistent_per_method() {
         }
         // The design must close its link budget with margin: worst SNR
         // above 10 dB for every method on this benchmark.
-        assert!(report.worst_snr.0 > 10.0, "{}: {}", m.name(), report.worst_snr);
+        assert!(
+            report.worst_snr.0 > 10.0,
+            "{}: {}",
+            m.name(),
+            report.worst_snr
+        );
     }
 }
 
@@ -57,7 +62,10 @@ fn pure_ring_designs_have_no_crossing_interference() {
     };
     let perturbed = analyze_crosstalk(&design, &worse_crossings);
     assert_eq!(base.total_interferers, perturbed.total_interferers);
-    match (base.worst_snr.0.is_finite(), perturbed.worst_snr.0.is_finite()) {
+    match (
+        base.worst_snr.0.is_finite(),
+        perturbed.worst_snr.0.is_finite(),
+    ) {
         (true, true) => assert!((base.worst_snr.0 - perturbed.worst_snr.0).abs() < 1e-9),
         (false, false) => {} // no interferer reaches any detector in either run
         _ => panic!("crossing suppression changed interference reachability"),
@@ -125,7 +133,10 @@ fn flexible_routing_never_worsens_peak_congestion() {
                 flexible_routing: flexible,
                 ..SringConfig::default()
             });
-            synth.synthesize(&app).expect("synthesizes").wavelength_count()
+            synth
+                .synthesize(&app)
+                .expect("synthesizes")
+                .wavelength_count()
         };
         assert!(run(true) <= run(false), "{b}");
     }

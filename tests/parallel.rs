@@ -1,0 +1,102 @@
+//! End-to-end serial-vs-parallel equivalence: the full SRing pipeline
+//! with the MILP wavelength assignment, run on one worker and on many.
+//!
+//! The parallel search in deterministic mode (the default) shares one
+//! best-first node pool with a fixed tie-breaking order, so a search that
+//! *runs to completion* proves the same optimum as the serial search.
+//! MWD's search completes within the budget, pinning strict equality of
+//! the proof, the objective and the wavelength count. VOPD's and MPEG's
+//! searches exceed any practical budget on this solver (the table2 run
+//! reports `optimal? no` for them), so for those the test pins the
+//! *anytime* contract instead: every thread count returns a feasible
+//! incumbent no worse than the heuristic warm start — and strict equality
+//! whenever both searches happen to complete.
+
+use sring::core::{AssignmentStrategy, MilpOptions, SringConfig, SringSynthesizer};
+use sring::graph::benchmarks::Benchmark;
+use sring::units::TechnologyParameters;
+use std::time::Duration;
+
+fn config(strategy: AssignmentStrategy) -> SringConfig {
+    SringConfig {
+        strategy,
+        tech: TechnologyParameters::default(),
+        ..SringConfig::default()
+    }
+}
+
+fn milp_config(threads: usize, time_limit: Duration) -> SringConfig {
+    config(AssignmentStrategy::Milp(MilpOptions {
+        time_limit,
+        threads,
+        ..MilpOptions::default()
+    }))
+}
+
+#[test]
+fn parallel_milp_matches_serial_on_mwd() {
+    // MWD's search completes in ~1 s, so the deterministic-mode guarantee
+    // applies in full.
+    let app = Benchmark::Mwd.graph();
+    let budget = Duration::from_secs(60);
+    let serial = SringSynthesizer::with_config(milp_config(1, budget))
+        .synthesize_detailed(&app)
+        .expect("serial MWD synthesizes");
+    assert!(
+        serial.assignment.proven_optimal,
+        "MWD must be solved to optimality within the budget"
+    );
+    for threads in [2, 4] {
+        let parallel = SringSynthesizer::with_config(milp_config(threads, budget))
+            .synthesize_detailed(&app)
+            .expect("parallel MWD synthesizes");
+        assert!(parallel.assignment.proven_optimal, "{threads} threads");
+        assert!(
+            (serial.assignment.objective - parallel.assignment.objective).abs() < 1e-9,
+            "serial {} vs {}-thread {}",
+            serial.assignment.objective,
+            threads,
+            parallel.assignment.objective
+        );
+        assert_eq!(
+            serial.assignment.wavelength_count,
+            parallel.assignment.wavelength_count
+        );
+    }
+}
+
+#[test]
+fn parallel_milp_keeps_anytime_contract_on_vopd_and_mpeg() {
+    // These searches exceed the budget, so the runs exercise the anytime
+    // path: a valid incumbent at least as good as the heuristic warm
+    // start, for every thread count.
+    let budget = Duration::from_secs(4);
+    for b in [Benchmark::Vopd, Benchmark::Mpeg] {
+        let app = b.graph();
+        let heuristic = SringSynthesizer::with_config(config(AssignmentStrategy::Heuristic))
+            .synthesize_detailed(&app)
+            .unwrap_or_else(|e| panic!("heuristic {b}: {e}"));
+        let serial = SringSynthesizer::with_config(milp_config(1, budget))
+            .synthesize_detailed(&app)
+            .unwrap_or_else(|e| panic!("serial {b}: {e}"));
+        for threads in [2, 4] {
+            let parallel = SringSynthesizer::with_config(milp_config(threads, budget))
+                .synthesize_detailed(&app)
+                .unwrap_or_else(|e| panic!("{threads}-thread {b}: {e}"));
+            assert!(
+                parallel.assignment.objective <= heuristic.assignment.objective + 1e-9,
+                "{b}: {threads}-thread incumbent {} worse than heuristic {}",
+                parallel.assignment.objective,
+                heuristic.assignment.objective
+            );
+            // Strict equality is guaranteed whenever both searches ran to
+            // completion (deterministic shared-pool mode).
+            if serial.assignment.proven_optimal && parallel.assignment.proven_optimal {
+                assert!(
+                    (serial.assignment.objective - parallel.assignment.objective).abs() < 1e-9,
+                    "{b}: completed searches disagree"
+                );
+            }
+        }
+    }
+}

@@ -50,7 +50,10 @@ fn analysis_invariants_hold_for_all_designs() {
     for (b, name, _, a) in sweep() {
         let app = b.graph();
         // Loss including the PDN is never below the loss without it.
-        assert!(a.worst_loss_with_pdn >= a.worst_insertion_loss, "{b}/{name}");
+        assert!(
+            a.worst_loss_with_pdn >= a.worst_insertion_loss,
+            "{b}/{name}"
+        );
         // The wavelength count matches the distinct wavelengths of the
         // per-wavelength reports, and path counts add up.
         assert_eq!(a.wavelength_count, a.per_wavelength.len());
@@ -104,8 +107,14 @@ fn paper_shape_splitters_and_power() {
             .filter(|(bb, ..)| *bb == b)
             .map(|(_, _, _, a)| a)
             .collect();
-        let sring = rows.iter().find(|r| r.method == "SRing").expect("SRing row");
-        let xring = rows.iter().find(|r| r.method == "XRing").expect("XRing row");
+        let sring = rows
+            .iter()
+            .find(|r| r.method == "SRing")
+            .expect("SRing row");
+        let xring = rows
+            .iter()
+            .find(|r| r.method == "XRing")
+            .expect("XRing row");
         for r in &rows {
             assert!(
                 sring.max_splitters_passed <= r.max_splitters_passed,
@@ -129,7 +138,10 @@ fn power_ranking_on_multimedia_benchmarks() {
             .filter(|(bb, ..)| *bb == b)
             .map(|(_, _, _, a)| a)
             .collect();
-        let sring = rows.iter().find(|r| r.method == "SRing").expect("SRing row");
+        let sring = rows
+            .iter()
+            .find(|r| r.method == "SRing")
+            .expect("SRing row");
         for r in &rows {
             assert!(
                 sring.total_laser_power.0 <= r.total_laser_power.0 + 1e-9,

@@ -15,17 +15,16 @@ fn arb_app() -> impl Strategy<Value = CommGraph> {
         // Simple deterministic LCG so the strategy stays reproducible.
         let mut state = seed | 1;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as usize
         };
         let cols = (n as f64).sqrt().ceil() as usize;
         let mut b = CommGraph::builder().name("random");
         for i in 0..n {
             let (c, r) = (i % cols, i / cols);
-            b = b.node(
-                format!("n{i}"),
-                Point::new(c as f64 * 0.3, r as f64 * 0.3),
-            );
+            b = b.node(format!("n{i}"), Point::new(c as f64 * 0.3, r as f64 * 0.3));
         }
         let mut pairs = std::collections::BTreeSet::new();
         // Always connect node 0 to node 1 so at least one message exists.

@@ -1,0 +1,261 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment for this repository has no network access and no
+//! crates.io mirror, so the workspace vendors the API subset its benches
+//! use: `Criterion::benchmark_group`, `bench_function` /
+//! `bench_with_input`, `BenchmarkId`, `Bencher::iter` and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: after one warm-up batch, each
+//! benchmark runs `sample_size` samples (default 20) and reports the
+//! minimum, mean and maximum per-iteration time. Command-line behaviour
+//! matches upstream where it matters for cargo integration: `--test` (as
+//! passed by `cargo test --benches`) runs each benchmark once without
+//! timing, and a positional argument filters benchmarks by substring.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// A benchmark identifier: `group/function[/parameter]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter rendering.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter rendering alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Drives the iterations of one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `iters` times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Harness entry point handed to benchmark functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Criterion {
+    /// Applies command-line arguments (`--test`, an optional positional
+    /// filter); unknown flags are ignored.
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                "--bench" | "--profile-time" | "--save-baseline" | "--baseline"
+                | "--sample-size" | "--warm-up-time" | "--measurement-time" | "--threads" => {
+                    // Flags taking a value: skip it if present. `--threads`
+                    // is not an upstream Criterion flag — this repo's
+                    // benches read it themselves from the raw arguments —
+                    // but its value must not be mistaken for a filter.
+                    if matches!(
+                        arg.as_str(),
+                        "--profile-time"
+                            | "--save-baseline"
+                            | "--baseline"
+                            | "--sample-size"
+                            | "--warm-up-time"
+                            | "--measurement-time"
+                            | "--threads"
+                    ) {
+                        args.next();
+                    }
+                }
+                other if !other.starts_with('-') && self.filter.is_none() => {
+                    self.filter = Some(other.to_string());
+                }
+                _ => {}
+            }
+        }
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    /// Runs a single benchmark outside a group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(self, &id.id, 20, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(self.criterion, &full, self.sample_size, f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(self.criterion, &full, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", d.as_secs_f64() * 1e3)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", d.as_secs_f64() * 1e6)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+fn run_one<F>(criterion: &Criterion, full_id: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(filter) = &criterion.filter {
+        if !full_id.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    if criterion.test_mode {
+        f(&mut bencher);
+        println!("test {full_id} ... ok");
+        return;
+    }
+    // Warm-up: estimate the per-iteration cost.
+    f(&mut bencher);
+    let warm = bencher.elapsed.max(Duration::from_nanos(1));
+    // Aim for ~100 ms of work per sample, capped to keep slow pipelines
+    // bearable.
+    let iters =
+        ((Duration::from_millis(100).as_nanos() / warm.as_nanos()).max(1) as u64).min(10_000);
+    let mut samples = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        bencher.iters = iters;
+        f(&mut bencher);
+        samples.push(bencher.elapsed / (iters as u32));
+    }
+    let min = samples.iter().min().copied().unwrap_or_default();
+    let max = samples.iter().max().copied().unwrap_or_default();
+    let mean = samples.iter().sum::<Duration>() / (samples.len().max(1) as u32);
+    println!(
+        "{full_id:<50} time: [{} {} {}]  ({} samples × {} iters)",
+        format_duration(min),
+        format_duration(mean),
+        format_duration(max),
+        samples.len(),
+        iters,
+    );
+}
+
+/// Declares a benchmark group function list.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,237 @@
+//! The deterministic test runner, its RNG and error types.
+
+use crate::strategy::Strategy;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Why a single test case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case was rejected (e.g. by `prop_assume!`); it does not count
+    /// toward the case budget.
+    Reject(String),
+    /// The property does not hold.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// Builds a rejection.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Reject(r) => write!(f, "case rejected: {r}"),
+            TestCaseError::Fail(r) => write!(f, "case failed: {r}"),
+        }
+    }
+}
+
+/// Result type of one test case body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Upper bound on rejected cases (via `prop_assume!`) per test.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+/// The runner's random source (xoshiro256++ seeded via SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Builds a generator from a 64-bit seed.
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw from `[0, bound)`.
+    fn bounded(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        let mut m = (self.next_u64() as u128) * (bound as u128);
+        let mut low = m as u64;
+        if low < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while low < threshold {
+                m = (self.next_u64() as u128) * (bound as u128);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform signed integer in `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn int_in(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "empty integer range {lo}..={hi}");
+        let span = (hi as u64).wrapping_sub(lo as u64);
+        if span == u64::MAX {
+            return self.next_u64() as i64;
+        }
+        lo.wrapping_add(self.bounded(span + 1) as i64)
+    }
+
+    /// Uniform unsigned integer in `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty integer range {lo}..={hi}");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.bounded(span + 1)
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or not finite.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "empty float range {lo}..{hi}");
+        assert!(
+            lo.is_finite() && hi.is_finite(),
+            "float range must be finite"
+        );
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + unit * (hi - lo)
+    }
+
+    /// A raw uniform `bool`.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+fn seed_for(name: &str, case: u64) -> u64 {
+    let mut h = DefaultHasher::new();
+    name.hash(&mut h);
+    case.hash(&mut h);
+    h.finish()
+}
+
+/// Runs `cases` generated inputs of `strategy` through `body`.
+///
+/// Called by the expansion of [`proptest!`](crate::proptest); not meant
+/// for direct use.
+///
+/// # Panics
+///
+/// Panics (failing the surrounding `#[test]`) on the first failing case,
+/// with the case's seed and `Debug` rendering in the message, or when the
+/// rejection budget is exhausted.
+pub fn run<S, F>(config: &ProptestConfig, name: &str, strategy: S, body: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> TestCaseResult,
+{
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .unwrap_or(config.cases);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut case = 0u64;
+    while passed < cases {
+        let seed = seed_for(name, case);
+        case += 1;
+        let mut rng = TestRng::seed_from_u64(seed);
+        let value = strategy.generate(&mut rng);
+        let rendered = format!("{value:?}");
+        let outcome = catch_unwind(AssertUnwindSafe(|| body(value)));
+        match outcome {
+            Ok(Ok(())) => passed += 1,
+            Ok(Err(TestCaseError::Reject(_))) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!("{name}: too many rejected cases ({rejected}) after {passed} passes");
+                }
+            }
+            Ok(Err(TestCaseError::Fail(reason))) => {
+                panic!(
+                    "{name}: property failed at case #{case} (seed {seed:#x}): {reason}\n\
+                     input: {rendered}"
+                );
+            }
+            Err(panic_payload) => {
+                let msg = panic_payload
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| panic_payload.downcast_ref::<&str>().copied())
+                    .unwrap_or("<non-string panic>");
+                panic!(
+                    "{name}: case #{case} (seed {seed:#x}) panicked: {msg}\n\
+                     input: {rendered}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment for this repository has no network access and no
+//! crates.io mirror, so the workspace vendors the *API subset* of `rand`
+//! 0.8 that it actually uses: [`Rng::gen_range`], [`SeedableRng`], the
+//! [`rngs::StdRng`]/[`rngs::SmallRng`] generators and
+//! [`seq::SliceRandom`]. The generators are xoshiro256++ seeded through
+//! SplitMix64 — high-quality, fast, and fully deterministic for a given
+//! seed, which is what the evaluation harness relies on. The streams are
+//! *not* bit-compatible with the real `rand` crate; nothing in this
+//! workspace depends on the upstream streams.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A low-level source of random 32/64-bit words.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability {p} not in [0, 1]"
+        );
+        sample_unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Seedable generators (simplified: everything this workspace needs goes
+/// through [`SeedableRng::seed_from_u64`]).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Maps a random `u64` to the half-open unit interval `[0, 1)`.
+#[inline]
+fn sample_unit_f64(word: u64) -> f64 {
+    // 53 high bits → uniform double in [0, 1).
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draws one value from the range using `rng`.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (bounded_u64(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                let span = (end - start) as u64;
+                if span == u64::MAX as $t as u64 && start == 0 {
+                    return rng.next_u64() as $t;
+                }
+                start + (bounded_u64(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                (self.start as i64).wrapping_add(bounded_u64(rng, span) as i64) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                let span = (end as i64).wrapping_sub(start as i64) as u64;
+                (start as i64).wrapping_add(bounded_u64(rng, span.wrapping_add(1)) as i64) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        self.start + sample_unit_f64(rng.next_u64()) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        self.start + (sample_unit_f64(rng.next_u64()) as f32) * (self.end - self.start)
+    }
+}
+
+/// Uniform draw from `[0, bound)` via Lemire's multiply-shift rejection
+/// (`bound = 0` means the full 64-bit range).
+fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    if bound == 0 {
+        return rng.next_u64();
+    }
+    let mut m = (rng.next_u64() as u128) * (bound as u128);
+    let mut low = m as u64;
+    if low < bound {
+        let threshold = bound.wrapping_neg() % bound;
+        while low < threshold {
+            m = (rng.next_u64() as u128) * (bound as u128);
+            low = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+/// The xoshiro256++ core shared by [`rngs::StdRng`] and
+/// [`rngs::SmallRng`].
+#[derive(Debug, Clone)]
+struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    fn from_seed_u64(seed: u64) -> Self {
+        // SplitMix64 expansion, as recommended by the xoshiro authors.
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        Xoshiro256 { s }
+    }
+
+    #[inline]
+    fn next(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// The concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng, Xoshiro256};
+
+    /// Deterministic general-purpose generator (xoshiro256++ here; the
+    /// real crate uses ChaCha12).
+    #[derive(Debug, Clone)]
+    pub struct StdRng(Xoshiro256);
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng(Xoshiro256::from_seed_u64(seed))
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.0.next() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0.next()
+        }
+    }
+
+    /// Small fast generator for simulation workloads (xoshiro256++, with
+    /// a distinct stream from [`StdRng`] for the same seed).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng(Xoshiro256);
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Domain-separate from StdRng so the two never share streams.
+            SmallRng(Xoshiro256::from_seed_u64(seed ^ 0x5EED_5EED_5EED_5EED))
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.0.next() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0.next()
+        }
+    }
+}
+
+/// Sequence helpers.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Shuffling and choosing on slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// A uniformly random element, or `None` if empty.
+        fn choose<'a, R: RngCore + ?Sized>(&'a self, rng: &mut R) -> Option<&'a Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<'a, R: RngCore + ?Sized>(&'a self, rng: &mut R) -> Option<&'a T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+/// Re-exports mirroring `rand`'s prelude.
+pub mod prelude {
+    pub use super::rngs::{SmallRng, StdRng};
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(-2.0f64..2.0);
+            assert!((-2.0..2.0).contains(&f));
+            let i = rng.gen_range(-5i8..6);
+            assert!((-5..6).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "shuffle should permute");
+    }
+
+    #[test]
+    fn small_and_std_streams_differ() {
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = SmallRng::seed_from_u64(5);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}
