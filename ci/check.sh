@@ -1,7 +1,7 @@
 #!/usr/bin/env sh
 # The gate every PR must pass, runnable locally: `sh ci/check.sh`.
 # Formatting, lints-as-errors, a release build (bins + benches compile),
-# and the full workspace test suite.
+# the full workspace test suite, and a fast MILP solver smoke check.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -10,3 +10,9 @@ cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release --workspace
 cargo test --workspace -q
+
+# Solver smoke check: solve the MWD assignment MILP warm and cold
+# (sub-second) and fail on any solver error or empty statistics. The JSON
+# goes to a scratch path so the tracked BENCH_milp.json (full three-
+# benchmark run) is not clobbered by a partial one.
+./target/release/milp_stats "${TMPDIR:-/tmp}/BENCH_milp_smoke.json" --benchmark mwd

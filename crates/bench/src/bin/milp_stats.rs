@@ -1,0 +1,201 @@
+//! MILP solver statistics for the wavelength-assignment models: solves the
+//! MWD/VOPD/MPEG assignment MILPs once with warm-started dual simplex
+//! (basis inheritance, the default) and once cold-started, and writes both
+//! runs' counters to `BENCH_milp.json` so the solver's perf trajectory is
+//! tracked across PRs.
+//!
+//! ```text
+//! milp_stats [out.json] [--benchmark mwd] [--threads N]
+//! ```
+//!
+//! Exits non-zero when any solve fails or reports empty statistics, which
+//! makes the binary double as a CI smoke check (`ci/check.sh` runs it on
+//! MWD alone).
+
+use milp_solver::SolveStats;
+use onoc_bench::{harness_tech, take_threads_flag};
+use onoc_graph::benchmarks::Benchmark;
+use sring_core::{AssignmentStrategy, MilpOptions, SringConfig, SringSynthesizer};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Duration;
+
+/// The benchmarks whose assignment MILPs are tracked (the paper's three
+/// headline applications).
+const TRACKED: [&str; 3] = ["MWD", "VOPD", "MPEG"];
+
+struct Run {
+    wall_s: f64,
+    objective: f64,
+    proven_optimal: bool,
+    stats: SolveStats,
+}
+
+fn solve(benchmark: Benchmark, milp: MilpOptions) -> Result<Run, String> {
+    let config = SringConfig {
+        strategy: AssignmentStrategy::Milp(milp),
+        tech: harness_tech(),
+        ..SringConfig::default()
+    };
+    let report = SringSynthesizer::with_config(config)
+        .synthesize_detailed(&benchmark.graph())
+        .map_err(|e| format!("{benchmark}: synthesis failed: {e}"))?;
+    let stats = report
+        .assignment
+        .solver_stats
+        .ok_or_else(|| format!("{benchmark}: MILP strategy produced no solver stats"))?;
+    if stats.nodes_explored == 0 || stats.lp_solves == 0 || stats.total_pivots() == 0 {
+        return Err(format!("{benchmark}: empty solver stats: {stats:?}"));
+    }
+    Ok(Run {
+        wall_s: report.runtime.as_secs_f64(),
+        objective: report.assignment.objective,
+        proven_optimal: report.assignment.proven_optimal,
+        stats,
+    })
+}
+
+/// Fraction of non-root LP solves that re-optimized an inherited basis
+/// without a phase-1 solve (the acceptance metric of the warm-start work).
+fn non_root_warm_rate(s: &SolveStats) -> f64 {
+    if s.lp_solves <= 1 {
+        return 0.0;
+    }
+    #[allow(clippy::cast_precision_loss)]
+    let rate = s.warm_start_hits as f64 / (s.lp_solves - 1) as f64;
+    rate
+}
+
+fn json_run(out: &mut String, label: &str, run: &Run) {
+    let s = &run.stats;
+    let _ = write!(
+        out,
+        "    \"{label}\": {{\n      \"wall_s\": {:.6},\n      \"objective\": {:.6},\n      \
+         \"proven_optimal\": {},\n      \"nodes_explored\": {},\n      \"lp_solves\": {},\n      \
+         \"total_pivots\": {},\n      \"primal_pivots\": {},\n      \"dual_pivots\": {},\n      \
+         \"phase1_solves\": {},\n      \"warm_start_attempts\": {},\n      \
+         \"warm_start_hits\": {},\n      \"non_root_warm_rate\": {:.4}\n    }}",
+        run.wall_s,
+        run.objective,
+        run.proven_optimal,
+        s.nodes_explored,
+        s.lp_solves,
+        s.total_pivots(),
+        s.primal_pivots,
+        s.dual_pivots,
+        s.phase1_solves,
+        s.warm_start_attempts,
+        s.warm_start_hits,
+        non_root_warm_rate(s),
+    );
+}
+
+fn main() -> ExitCode {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    // Default to a serial search (not one-per-core): the recorded node and
+    // pivot counts are only comparable across PRs when the exploration
+    // order is deterministic.
+    let threads = match take_threads_flag(&mut raw) {
+        0 => 1,
+        n => n,
+    };
+    let mut only: Option<String> = None;
+    if let Some(pos) = raw.iter().position(|a| a == "--benchmark") {
+        raw.remove(pos);
+        if pos < raw.len() {
+            only = Some(raw.remove(pos));
+        } else {
+            eprintln!("error: --benchmark needs a value");
+            return ExitCode::from(2);
+        }
+    }
+    let out_path = raw
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "BENCH_milp.json".to_string());
+
+    let selected: Vec<Benchmark> = Benchmark::ALL
+        .into_iter()
+        .filter(|b| {
+            TRACKED.contains(&b.name())
+                && only
+                    .as_deref()
+                    .is_none_or(|o| b.name().eq_ignore_ascii_case(o))
+        })
+        .collect();
+    if selected.is_empty() {
+        eprintln!(
+            "error: no benchmark matches {:?} (tracked: {TRACKED:?})",
+            only.as_deref().unwrap_or("<all>")
+        );
+        return ExitCode::from(2);
+    }
+
+    println!(
+        "{:<8} {:>8} {:>8} {:>12} {:>12} {:>7} {:>9}",
+        "bench", "nodes", "lp", "warm pivots", "cold pivots", "ratio", "warm rate"
+    );
+    let mut entries = Vec::new();
+    for b in selected {
+        let warm = match solve(
+            b,
+            MilpOptions {
+                threads,
+                ..MilpOptions::default()
+            },
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        // The cold baseline gets the warm run's node count as its node
+        // budget with a relaxed wall-clock limit: on the larger models the
+        // default time limit truncates the cold search after far fewer
+        // nodes, which would make the pivot totals compare unequal work.
+        let cold = match solve(
+            b,
+            MilpOptions {
+                threads,
+                warm_basis: false,
+                node_limit: warm.stats.nodes_explored,
+                time_limit: Duration::from_secs(60),
+                ..MilpOptions::default()
+            },
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        #[allow(clippy::cast_precision_loss)]
+        let ratio = cold.stats.total_pivots() as f64 / warm.stats.total_pivots().max(1) as f64;
+        println!(
+            "{:<8} {:>8} {:>8} {:>12} {:>12} {:>6.2}x {:>8.1}%",
+            b.name(),
+            warm.stats.nodes_explored,
+            warm.stats.lp_solves,
+            warm.stats.total_pivots(),
+            cold.stats.total_pivots(),
+            ratio,
+            non_root_warm_rate(&warm.stats) * 100.0
+        );
+        let mut entry = String::new();
+        let _ = write!(entry, "  {{\n    \"benchmark\": \"{}\",\n", b.name());
+        json_run(&mut entry, "warm", &warm);
+        entry.push_str(",\n");
+        json_run(&mut entry, "cold", &cold);
+        let _ = write!(entry, ",\n    \"pivot_ratio\": {ratio:.4}\n  }}");
+        entries.push(entry);
+    }
+
+    let doc = format!("{{\n\"benchmarks\": [\n{}\n]\n}}\n", entries.join(",\n"));
+    if let Err(e) = std::fs::write(&out_path, doc) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("\nstats written to {out_path}");
+    ExitCode::SUCCESS
+}

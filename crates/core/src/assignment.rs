@@ -10,7 +10,7 @@
 //! wavelength worst-case losses `Σ il_λ^max` (Eq. 7) with weights
 //! `α = β = γ = 1`.
 
-use milp_solver::{Model, ModelError, Sense, SolveOptions as MilpSolveOptions, Status};
+use milp_solver::{Model, ModelError, Sense, SolveOptions as MilpSolveOptions, SolveStats, Status};
 use onoc_graph::NodeId;
 use onoc_units::{Decibels, Wavelength};
 use std::collections::BTreeSet;
@@ -201,6 +201,11 @@ pub struct MilpOptions {
     /// with a deterministic node ordering, so the reported objective does
     /// not depend on the thread count.
     pub threads: usize,
+    /// Inherit each parent node's optimal basis and re-optimize children
+    /// with the dual simplex (on by default). `false` forces cold-start
+    /// two-phase primal solves at every node — useful only as a baseline
+    /// when benchmarking.
+    pub warm_basis: bool,
 }
 
 impl Default for MilpOptions {
@@ -210,6 +215,7 @@ impl Default for MilpOptions {
             pool_slack: 3,
             node_limit: 20_000,
             threads: 1,
+            warm_basis: true,
         }
     }
 }
@@ -228,6 +234,11 @@ pub struct Assignment {
     /// `true` when the MILP proved optimality; `false` for heuristic or
     /// limit-terminated results.
     pub proven_optimal: bool,
+    /// Branch-and-bound counters from the MILP run (`None` when the
+    /// heuristic alone produced this assignment). Present even when the
+    /// heuristic outscored the MILP: the stats describe the solver work
+    /// that was actually performed.
+    pub solver_stats: Option<SolveStats>,
 }
 
 /// Error from [`assign`].
@@ -275,16 +286,16 @@ pub fn assign(
         } => (problem.paths.len() <= *milp_max_paths).then_some(options),
     };
     match use_milp {
-        None => Ok(finish(problem, heuristic, false)),
+        None => Ok(finish(problem, heuristic, false, None)),
         Some(opts) => match milp_assignment(problem, &heuristic, opts) {
-            Ok((wavelengths, optimal)) => {
+            Ok((wavelengths, optimal, stats)) => {
                 // Keep whichever of heuristic/MILP scores better (the MILP
                 // explores a bounded pool, so the heuristic can in corner
                 // cases win).
                 if problem.objective(&wavelengths) <= problem.objective(&heuristic) + 1e-9 {
-                    Ok(finish(problem, wavelengths, optimal))
+                    Ok(finish(problem, wavelengths, optimal, Some(stats)))
                 } else {
-                    Ok(finish(problem, heuristic, false))
+                    Ok(finish(problem, heuristic, false, Some(stats)))
                 }
             }
             Err(e) => Err(AssignError::Solver(e)),
@@ -292,7 +303,12 @@ pub fn assign(
     }
 }
 
-fn finish(problem: &AssignmentProblem, wavelengths: Vec<Wavelength>, optimal: bool) -> Assignment {
+fn finish(
+    problem: &AssignmentProblem,
+    wavelengths: Vec<Wavelength>,
+    optimal: bool,
+    solver_stats: Option<SolveStats>,
+) -> Assignment {
     let wavelengths = canonicalize(&wavelengths);
     let node_splitter = problem.node_splitters(&wavelengths);
     let used: BTreeSet<_> = wavelengths.iter().copied().collect();
@@ -302,6 +318,7 @@ fn finish(problem: &AssignmentProblem, wavelengths: Vec<Wavelength>, optimal: bo
         node_splitter,
         wavelengths,
         proven_optimal: optimal,
+        solver_stats,
     }
 }
 
@@ -467,7 +484,7 @@ fn milp_assignment(
     problem: &AssignmentProblem,
     warm: &[Wavelength],
     opts: &MilpOptions,
-) -> Result<(Vec<Wavelength>, bool), ModelError> {
+) -> Result<(Vec<Wavelength>, bool, SolveStats), ModelError> {
     let n = problem.paths.len();
     let heuristic_wl = warm.iter().map(|w| w.index() + 1).max().unwrap_or(1);
     let pool = (heuristic_wl + opts.pool_slack).min(n.max(1));
@@ -620,6 +637,7 @@ fn milp_assignment(
         .with_time_limit(opts.time_limit)
         .with_node_limit(opts.node_limit)
         .with_threads(opts.threads)
+        .with_warm_basis(opts.warm_basis)
         .with_warm_start(start);
     let sol = m.solve(&options)?;
 
@@ -630,7 +648,7 @@ fn milp_assignment(
             .expect("Eq. 1 guarantees one wavelength");
         wavelengths.push(Wavelength(l));
     }
-    Ok((wavelengths, sol.status() == Status::Optimal))
+    Ok((wavelengths, sol.status() == Status::Optimal, *sol.stats()))
 }
 
 #[cfg(test)]

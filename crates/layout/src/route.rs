@@ -322,21 +322,12 @@ impl Layout {
     /// pair counted once).
     #[must_use]
     pub fn total_crossings(&self) -> usize {
-        let all: Vec<&Span> = self
-            .waveguides
-            .iter()
-            .flat_map(|wg| wg.segments.iter())
-            .flat_map(|s| s.spans.iter())
-            .collect();
-        let mut count = 0;
-        for i in 0..all.len() {
-            for j in i + 1..all.len() {
-                if all[i].crosses(all[j]) {
-                    count += 1;
-                }
-            }
-        }
-        count
+        count_crossings_all(
+            self.waveguides
+                .iter()
+                .flat_map(|wg| wg.segments.iter())
+                .flat_map(|s| s.spans.iter()),
+        )
     }
 
     /// Total routed waveguide length on the chip.
@@ -346,17 +337,63 @@ impl Layout {
     }
 }
 
+/// Matches the strict-interior `EPS` used by [`Span::crosses`], so the
+/// pre-filters below never discard a pair the exact test would accept.
+const EPS: f64 = 1e-9;
+
+/// Crossings of the (few) query `spans` against a stream of `others`.
+///
+/// Only a horizontal and a vertical span can cross, so the query spans are
+/// split by axis once up front and every `other` is tested exclusively
+/// against the perpendicular group — orientation-disjoint and degenerate
+/// pairs are skipped without touching the exact predicate.
 fn count_pair_crossings<'a, I>(spans: &[Span], others: I) -> usize
 where
     I: IntoIterator<Item = &'a Span>,
 {
+    let live = |s: &&Span| !s.is_degenerate();
+    let (hs, vs): (Vec<&Span>, Vec<&Span>) =
+        spans.iter().filter(live).partition(|s| s.is_horizontal());
     let mut count = 0;
     for other in others {
-        for s in spans {
-            if s.crosses(other) {
-                count += 1;
-            }
+        if other.is_degenerate() {
+            continue;
         }
+        let perpendicular = if other.is_horizontal() { &vs } else { &hs };
+        count += perpendicular.iter().filter(|s| s.crosses(other)).count();
+    }
+    count
+}
+
+/// All-pairs crossing count over one span set, each pair counted once.
+///
+/// Instead of the naive `O(n²)` double loop this sorts the vertical spans
+/// by their x coordinate and, per horizontal span, binary-searches the
+/// verticals whose x falls strictly inside the horizontal's x-interval —
+/// every bounding-box-disjoint pair is skipped wholesale. The surviving
+/// candidates still go through [`Span::crosses`], so the count is exactly
+/// the naive one (the proptest below pins that equivalence).
+fn count_crossings_all<'a, I>(spans: I) -> usize
+where
+    I: IntoIterator<Item = &'a Span>,
+{
+    let live = |s: &&Span| !s.is_degenerate();
+    let (hs, mut vs): (Vec<&Span>, Vec<&Span>) = spans
+        .into_iter()
+        .filter(live)
+        .partition(|s| s.is_horizontal());
+    vs.sort_by(|a, b| a.start().x.total_cmp(&b.start().x));
+    let xs: Vec<f64> = vs.iter().map(|v| v.start().x).collect();
+    let mut count = 0;
+    for h in &hs {
+        let (hx1, hx2) = if h.start().x <= h.end().x {
+            (h.start().x, h.end().x)
+        } else {
+            (h.end().x, h.start().x)
+        };
+        let lo = xs.partition_point(|&x| x <= hx1 + EPS);
+        let hi = xs.partition_point(|&x| x < hx2 - EPS);
+        count += vs[lo..hi].iter().filter(|v| h.crosses(v)).count();
     }
     count
 }
@@ -514,6 +551,47 @@ mod tests {
             })
         }
 
+        /// Reference implementation of the all-pairs counter: the plain
+        /// double loop the sweep replaced.
+        fn naive_crossings(all: &[Span]) -> usize {
+            let mut count = 0;
+            for i in 0..all.len() {
+                for j in i + 1..all.len() {
+                    if all[i].crosses(&all[j]) {
+                        count += 1;
+                    }
+                }
+            }
+            count
+        }
+
+        /// Random axis-aligned spans on a half-unit grid, degenerate ones
+        /// included (they must count as never crossing).
+        fn arb_spans() -> impl Strategy<Value = Vec<Span>> {
+            proptest::collection::vec(
+                (
+                    -6i32..6,
+                    -6i32..6,
+                    0i32..8,
+                    proptest::arbitrary::any::<bool>(),
+                ),
+                0..40,
+            )
+            .prop_map(|raw| {
+                raw.into_iter()
+                    .map(|(x, y, len, horizontal)| {
+                        let a = Point::new(f64::from(x) * 0.5, f64::from(y) * 0.5);
+                        let b = if horizontal {
+                            Point::new(a.x + f64::from(len) * 0.5, a.y)
+                        } else {
+                            Point::new(a.x, a.y + f64::from(len) * 0.5)
+                        };
+                        Span::new(a, b)
+                    })
+                    .collect()
+            })
+        }
+
         proptest! {
             #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -533,6 +611,42 @@ mod tests {
                         routed.segment(i).spans.iter().map(|s| s.length().0).sum();
                     prop_assert!((span_total - expected.0).abs() < 1e-9);
                 }
+            }
+
+            #[test]
+            fn prop_swept_counter_matches_naive(spans in arb_spans()) {
+                let swept = count_crossings_all(spans.iter());
+                prop_assert_eq!(swept, naive_crossings(&spans));
+            }
+
+            #[test]
+            fn prop_pair_counter_matches_naive(spans in arb_spans(), split in 0usize..40) {
+                // `count_pair_crossings` counts query-vs-others pairs, so
+                // the reference is the rectangular double loop.
+                let split = split.min(spans.len());
+                let (query, others) = spans.split_at(split);
+                let fast = count_pair_crossings(query, others.iter());
+                let naive: usize = query
+                    .iter()
+                    .map(|q| others.iter().filter(|o| q.crosses(o)).count())
+                    .sum();
+                prop_assert_eq!(fast, naive);
+            }
+
+            #[test]
+            fn prop_layout_total_crossings_matches_naive(positions in arb_positions()) {
+                let n = positions.len();
+                let mut layout = Layout::new(positions);
+                let ring = Cycle::new((0..n).map(NodeId).collect()).unwrap();
+                layout.route_cycle(&ring);
+                layout.route_open_path(&[NodeId(0), NodeId(n / 2)]);
+                let all: Vec<Span> = layout
+                    .waveguides()
+                    .iter()
+                    .flat_map(|wg| wg.segments.iter())
+                    .flat_map(|s| s.spans.iter().copied())
+                    .collect();
+                prop_assert_eq!(layout.total_crossings(), naive_crossings(&all));
             }
 
             #[test]

@@ -14,9 +14,12 @@
 //! for lock-free pruning, and one reusable simplex workspace per worker.
 
 use crate::model::{Model, ModelError, VarType};
-use crate::simplex::{solve_lp_with, LpOptions, LpProblem, LpRow, LpStatus, SimplexWorkspace};
+use crate::simplex::{
+    solve_lp_warm, Basis, LpOptions, LpProblem, LpRow, LpStatus, SimplexWorkspace,
+};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 pub(crate) const INT_TOL: f64 = 1e-6;
@@ -50,6 +53,13 @@ pub struct SolveOptions {
     /// less pool contention, but exploration departs from global
     /// best-first, so anytime results under limits may differ.
     pub deterministic: bool,
+    /// Inherit each parent node's optimal basis and re-optimize child LP
+    /// relaxations with the dual simplex instead of a cold two-phase start
+    /// (default `true`; see [`crate::simplex::solve_lp_warm`]). Disable to
+    /// measure the cold-start baseline. Either setting reaches the same
+    /// optima — warm starting only changes how each node LP is solved, so
+    /// it is safe in deterministic mode too.
+    pub warm_basis: bool,
 }
 
 impl Default for SolveOptions {
@@ -62,6 +72,7 @@ impl Default for SolveOptions {
             presolve: true,
             threads: 1,
             deterministic: true,
+            warm_basis: true,
         }
     }
 }
@@ -101,6 +112,13 @@ impl SolveOptions {
         self
     }
 
+    /// Enables or disables warm-started node LPs (default enabled).
+    #[must_use]
+    pub fn with_warm_basis(mut self, warm_basis: bool) -> Self {
+        self.warm_basis = warm_basis;
+        self
+    }
+
     /// The resolved worker count: `threads`, with `0` mapped to the
     /// machine's available parallelism.
     #[must_use]
@@ -122,6 +140,70 @@ pub enum Status {
     Feasible,
 }
 
+/// Aggregate solver statistics for one MILP solve, accumulated per worker
+/// and merged at the end of the search.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Branch-and-bound nodes whose LP relaxation was solved.
+    pub nodes_explored: usize,
+    /// LP relaxation solves (one per explored node).
+    pub lp_solves: usize,
+    /// Primal simplex iterations (pivots and bound flips, both phases)
+    /// across all node LPs.
+    pub primal_pivots: usize,
+    /// Dual simplex iterations (pivots and bound flips) across all node
+    /// LPs.
+    pub dual_pivots: usize,
+    /// Node LPs that needed a phase-1 (artificial-variable) cold start.
+    pub phase1_solves: usize,
+    /// Node LPs that arrived with an inherited parent basis.
+    pub warm_start_attempts: usize,
+    /// Warm-start attempts that finished on the dual-simplex path — no
+    /// phase-1, no cold start.
+    pub warm_start_hits: usize,
+}
+
+impl SolveStats {
+    /// Total simplex iterations, primal and dual.
+    #[must_use]
+    pub fn total_pivots(&self) -> usize {
+        self.primal_pivots + self.dual_pivots
+    }
+
+    /// Fraction of warm-start attempts that re-optimized via the dual
+    /// simplex (0 when no attempt was made).
+    #[must_use]
+    pub fn warm_hit_rate(&self) -> f64 {
+        if self.warm_start_attempts == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.warm_start_hits as f64 / self.warm_start_attempts as f64
+            }
+        }
+    }
+
+    pub(crate) fn record_lp(&mut self, result: &crate::simplex::LpResult, attempted_warm: bool) {
+        self.lp_solves += 1;
+        self.primal_pivots += result.pivots;
+        self.dual_pivots += result.dual_pivots;
+        self.phase1_solves += usize::from(result.phase1);
+        self.warm_start_attempts += usize::from(attempted_warm);
+        self.warm_start_hits += usize::from(result.warm_used);
+    }
+
+    pub(crate) fn merge(&mut self, other: &SolveStats) {
+        self.nodes_explored += other.nodes_explored;
+        self.lp_solves += other.lp_solves;
+        self.primal_pivots += other.primal_pivots;
+        self.dual_pivots += other.dual_pivots;
+        self.phase1_solves += other.phase1_solves;
+        self.warm_start_attempts += other.warm_start_attempts;
+        self.warm_start_hits += other.warm_start_hits;
+    }
+}
+
 /// The result of a MILP solve.
 #[derive(Debug, Clone)]
 pub struct MilpSolution {
@@ -130,6 +212,7 @@ pub struct MilpSolution {
     bound: f64,
     values: Vec<f64>,
     nodes_explored: usize,
+    stats: SolveStats,
 }
 
 impl MilpSolution {
@@ -180,14 +263,36 @@ impl MilpSolution {
     pub fn nodes_explored(&self) -> usize {
         self.nodes_explored
     }
+
+    /// Solver statistics: pivot counts, phase-1 solves, warm-start hit
+    /// rate (see [`SolveStats`]).
+    #[must_use]
+    pub fn stats(&self) -> &SolveStats {
+        &self.stats
+    }
+}
+
+/// One bound tightening relative to the parent node. Nodes store these as
+/// a parent-linked chain (shared via [`Arc`]) instead of full `lower` /
+/// `upper` vector clones; [`WorkerScratch`] reconstructs the effective
+/// bounds by walking the chain leaf → root over the root bounds.
+pub(crate) struct BoundChange {
+    var: usize,
+    /// `true` tightens the upper bound, `false` the lower.
+    is_upper: bool,
+    value: f64,
+    parent: Option<Arc<BoundChange>>,
 }
 
 pub(crate) struct Node {
     pub(crate) bound: f64,
     pub(crate) depth: usize,
     pub(crate) seq: usize,
-    pub(crate) lower: Vec<f64>,
-    pub(crate) upper: Vec<f64>,
+    /// Bound tightenings accumulated along the path from the root.
+    pub(crate) changes: Option<Arc<BoundChange>>,
+    /// The parent node's optimal basis, inherited for warm-starting this
+    /// node's LP relaxation.
+    pub(crate) basis: Option<Arc<Basis>>,
 }
 
 impl PartialEq for Node {
@@ -216,7 +321,7 @@ impl Ord for Node {
     }
 }
 
-fn build_lp(model: &Model) -> (LpProblem, Vec<f64>, Vec<f64>) {
+fn build_lp(model: &Model) -> LpProblem {
     let n = model.vars.len();
     let mut cost = vec![0.0; n];
     for (v, c) in model.objective.terms() {
@@ -254,16 +359,12 @@ fn build_lp(model: &Model) -> (LpProblem, Vec<f64>, Vec<f64>) {
             rhs: c.rhs,
         })
         .collect();
-    (
-        LpProblem {
-            cost,
-            lower: lower.clone(),
-            upper: upper.clone(),
-            rows,
-        },
+    LpProblem {
+        cost,
         lower,
         upper,
-    )
+        rows,
+    }
 }
 
 /// Immutable per-search context shared by the serial loop and every
@@ -306,8 +407,58 @@ pub(crate) enum NodeOutcome {
     /// The LP optimum is integral: a candidate incumbent (objective
     /// without the model's constant term).
     Integral { obj: f64, values: Vec<f64> },
-    /// Fractional optimum: branch on variable `var` at value `x`.
-    Branched { lp_obj: f64, var: usize, x: f64 },
+    /// Fractional optimum: branch on variable `var` at value `x`,
+    /// handing `basis` down to the children for warm starting.
+    Branched {
+        lp_obj: f64,
+        var: usize,
+        x: f64,
+        basis: Option<Arc<Basis>>,
+    },
+}
+
+/// Per-worker mutable state: the reusable simplex workspace, the bound
+/// vectors reconstructed from each node's delta chain, and locally
+/// accumulated solver statistics (merged into the search totals at the
+/// end, so workers never contend on a shared counter).
+pub(crate) struct WorkerScratch {
+    pub(crate) workspace: SimplexWorkspace,
+    pub(crate) lower: Vec<f64>,
+    pub(crate) upper: Vec<f64>,
+    pub(crate) stats: SolveStats,
+}
+
+impl WorkerScratch {
+    pub(crate) fn new() -> Self {
+        WorkerScratch {
+            workspace: SimplexWorkspace::new(),
+            lower: Vec::new(),
+            upper: Vec::new(),
+            stats: SolveStats::default(),
+        }
+    }
+
+    /// Materializes `node`'s effective bounds into `self.lower` /
+    /// `self.upper`: root bounds overlaid with the node's delta chain.
+    /// Walking leaf → root, the leaf-most (tightest) change to a variable
+    /// is applied first, so ancestors may only keep — never loosen — it.
+    fn load_bounds(&mut self, ctx: &SearchCtx<'_>, node: &Node) {
+        self.lower.clear();
+        self.lower.extend_from_slice(&ctx.lp.lower);
+        self.upper.clear();
+        self.upper.extend_from_slice(&ctx.lp.upper);
+        let mut link = node.changes.as_deref();
+        while let Some(change) = link {
+            if change.is_upper {
+                let u = &mut self.upper[change.var];
+                *u = u.min(change.value);
+            } else {
+                let l = &mut self.lower[change.var];
+                *l = l.max(change.value);
+            }
+            link = change.parent.as_deref();
+        }
+    }
 }
 
 /// Solves one node's LP relaxation and classifies the result. `inc_obj`
@@ -316,12 +467,27 @@ pub(crate) fn evaluate_node(
     ctx: &SearchCtx<'_>,
     node: &Node,
     inc_obj: Option<f64>,
-    workspace: &mut SimplexWorkspace,
+    scratch: &mut WorkerScratch,
 ) -> NodeOutcome {
+    scratch.load_bounds(ctx, node);
     let lp_options = LpOptions {
         deadline: ctx.deadline,
+        capture_basis: ctx.options.warm_basis,
     };
-    let result = solve_lp_with(ctx.lp, &node.lower, &node.upper, &lp_options, workspace);
+    let warm = if ctx.options.warm_basis {
+        node.basis.as_deref()
+    } else {
+        None
+    };
+    let result = solve_lp_warm(
+        ctx.lp,
+        &scratch.lower,
+        &scratch.upper,
+        &lp_options,
+        &mut scratch.workspace,
+        warm,
+    );
+    scratch.stats.record_lp(&result, warm.is_some());
     match result.status {
         LpStatus::Infeasible => return NodeOutcome::Infeasible,
         LpStatus::Unbounded => return NodeOutcome::Unbounded,
@@ -374,45 +540,44 @@ pub(crate) fn evaluate_node(
             lp_obj,
             var: j,
             x: result.values[j],
+            basis: result.basis.map(Arc::new),
         },
     }
 }
 
 /// Builds the down (`xⱼ ≤ ⌊x⌋`) and up (`xⱼ ≥ ⌈x⌉`) children of a
-/// branched node, consuming it. Node ids come from `next_seq` — always
-/// two ids per branching (down first), even for a child whose bounds
-/// cross, so serial ids are reproducible.
+/// branched node. `bounds_j` are the node's effective bounds of the
+/// branch variable (from the caller's [`WorkerScratch`], still loaded
+/// from evaluating this node); `basis` is the node's optimal basis to
+/// inherit. Node ids come from `next_seq` — always two ids per branching
+/// (down first), even for a child whose bounds cross, so serial ids are
+/// reproducible.
 pub(crate) fn make_children(
-    node: Node,
+    node: &Node,
     j: usize,
     x: f64,
     lp_obj: f64,
+    bounds_j: (f64, f64),
+    basis: Option<Arc<Basis>>,
     next_seq: &mut usize,
 ) -> (Option<Node>, Option<Node>) {
-    let mut down = Node {
-        bound: lp_obj,
-        depth: node.depth + 1,
-        seq: {
-            *next_seq += 1;
-            *next_seq
-        },
-        lower: node.lower.clone(),
-        upper: node.upper.clone(),
+    let mut child = |is_upper: bool, value: f64, feasible: bool| {
+        *next_seq += 1;
+        feasible.then(|| Node {
+            bound: lp_obj,
+            depth: node.depth + 1,
+            seq: *next_seq,
+            changes: Some(Arc::new(BoundChange {
+                var: j,
+                is_upper,
+                value,
+                parent: node.changes.clone(),
+            })),
+            basis: basis.clone(),
+        })
     };
-    down.upper[j] = x.floor();
-    let down = (down.lower[j] <= down.upper[j]).then_some(down);
-    let mut up = Node {
-        bound: lp_obj,
-        depth: node.depth + 1,
-        seq: {
-            *next_seq += 1;
-            *next_seq
-        },
-        lower: node.lower,
-        upper: node.upper,
-    };
-    up.lower[j] = x.ceil();
-    let up = (up.lower[j] <= up.upper[j]).then_some(up);
+    let down = child(true, x.floor(), bounds_j.0 <= x.floor());
+    let up = child(false, x.ceil(), x.ceil() <= bounds_j.1);
     (down, up)
 }
 
@@ -427,6 +592,7 @@ pub(crate) struct SearchEnd {
     pub(crate) nodes_explored: usize,
     pub(crate) root_unbounded: bool,
     pub(crate) root_iteration_limit: bool,
+    pub(crate) stats: SolveStats,
 }
 
 pub(crate) fn assemble(ctx: &SearchCtx<'_>, end: SearchEnd) -> Result<MilpSolution, ModelError> {
@@ -451,12 +617,15 @@ pub(crate) fn assemble(ctx: &SearchCtx<'_>, end: SearchEnd) -> Result<MilpSoluti
                 } else {
                     Status::Feasible
                 };
+            let mut stats = end.stats;
+            stats.nodes_explored = end.nodes_explored;
             Ok(MilpSolution {
                 status,
                 objective: obj + ctx.obj_constant,
                 bound: bound + ctx.obj_constant,
                 values,
                 nodes_explored: end.nodes_explored,
+                stats,
             })
         }
         None => {
@@ -487,14 +656,8 @@ pub(crate) fn solve(model: &Model, options: &SolveOptions) -> Result<MilpSolutio
     }
     let start = Instant::now();
     let obj_constant = model.objective.constant();
-    let (lp, root_lower, root_upper) = build_lp(model);
-    let integer_vars: Vec<usize> = model
-        .vars
-        .iter()
-        .enumerate()
-        .filter(|(_, d)| d.var_type != VarType::Continuous)
-        .map(|(i, _)| i)
-        .collect();
+    let lp = build_lp(model);
+    let integer_vars = model.integer_var_indices();
     let ctx = SearchCtx {
         model,
         lp: &lp,
@@ -518,8 +681,8 @@ pub(crate) fn solve(model: &Model, options: &SolveOptions) -> Result<MilpSolutio
         bound: f64::NEG_INFINITY,
         depth: 0,
         seq: 0,
-        lower: root_lower,
-        upper: root_upper,
+        changes: None,
+        basis: None,
     };
 
     let threads = options.effective_threads();
@@ -540,7 +703,7 @@ fn search_serial(
     let mut next_seq = root.seq;
     heap.push(root);
 
-    let mut workspace = SimplexWorkspace::new();
+    let mut scratch = WorkerScratch::new();
     let mut nodes_explored = 0usize;
     let mut limit_hit = false;
     // Minimum bound over subtrees dropped without exploration (LP
@@ -570,7 +733,7 @@ fn search_serial(
         nodes_explored += 1;
 
         let inc_obj = incumbent.as_ref().map(|(obj, _)| *obj);
-        match evaluate_node(ctx, &node, inc_obj, &mut workspace) {
+        match evaluate_node(ctx, &node, inc_obj, &mut scratch) {
             NodeOutcome::Infeasible => {}
             NodeOutcome::LpTrouble(status) => {
                 // Numerical trouble or deadline in this subtree: it stays
@@ -600,8 +763,15 @@ fn search_serial(
                     incumbent = Some((obj, values));
                 }
             }
-            NodeOutcome::Branched { lp_obj, var, x } => {
-                let (down, up) = make_children(node, var, x, lp_obj, &mut next_seq);
+            NodeOutcome::Branched {
+                lp_obj,
+                var,
+                x,
+                basis,
+            } => {
+                let bounds_var = (scratch.lower[var], scratch.upper[var]);
+                let (down, up) =
+                    make_children(&node, var, x, lp_obj, bounds_var, basis, &mut next_seq);
                 if let Some(child) = down {
                     heap.push(child);
                 }
@@ -623,6 +793,7 @@ fn search_serial(
         nodes_explored,
         root_unbounded,
         root_iteration_limit,
+        stats: scratch.stats,
     }
 }
 
@@ -1059,5 +1230,129 @@ mod tests {
         let sol = m.solve(&SolveOptions::default()).unwrap();
         assert_eq!(sol.status(), Status::Optimal);
         assert!(sol.objective().abs() < 1e-6);
+    }
+
+    /// Assignment-shaped model whose LP relaxation is fractional: color an
+    /// odd cycle with `k` colors minimizing use of the last one. The LP
+    /// spreads each node over the first `k - 1` colors, but an odd cycle
+    /// is not `(k-1)`-colorable, so real branching is required; the Eq
+    /// rows make every cold node solve pay a phase 1.
+    fn assignment_model(n: usize, k: usize) -> Model {
+        assert!(n % 2 == 1);
+        let mut m = Model::new();
+        let mut b = Vec::new();
+        for s in 0..n {
+            let row: Vec<_> = (0..k).map(|l| m.add_binary(format!("b_{s}_{l}"))).collect();
+            let sum: Vec<_> = row.iter().map(|&v| (v, 1.0)).collect();
+            m.add_constraint(sum, Sense::Eq, 1.0).unwrap();
+            b.push(row);
+        }
+        for s in 0..n {
+            for (&bs, &bn) in b[s].iter().zip(&b[(s + 1) % n]) {
+                m.add_constraint([(bs, 1.0), (bn, 1.0)], Sense::Le, 1.0)
+                    .unwrap();
+            }
+        }
+        // Last color is expensive; tiny distinct costs break the cycle's
+        // rotational symmetry so best-first search stays small.
+        let obj: Vec<_> = (0..n)
+            .flat_map(|s| (0..k).map(move |l| (s, l)))
+            .map(|(s, l)| {
+                let tie = f64::from(u8::try_from((s * 3 + l) % 7).unwrap()) * 1e-3;
+                let cost = if l == k - 1 { 1.0 } else { 0.0 };
+                (b[s][l], cost + tie)
+            })
+            .collect();
+        m.set_objective(obj);
+        m
+    }
+
+    #[test]
+    fn warm_and_cold_solves_agree() {
+        let m = assignment_model(9, 3);
+        let warm = m.solve(&SolveOptions::default()).unwrap();
+        let cold = m
+            .solve(&SolveOptions::default().with_warm_basis(false))
+            .unwrap();
+        assert_eq!(warm.status(), cold.status());
+        assert!(
+            (warm.objective() - cold.objective()).abs() < 1e-9,
+            "warm {} vs cold {}",
+            warm.objective(),
+            cold.objective()
+        );
+        // The warm run must actually warm-start: every non-root node
+        // carries a parent basis on this model, and inheriting it skips
+        // phase 1.
+        let ws = warm.stats();
+        assert!(ws.lp_solves > 1, "model too easy: {ws:?}");
+        assert_eq!(ws.warm_start_attempts, ws.lp_solves - 1);
+        assert_eq!(ws.warm_start_hits, ws.warm_start_attempts, "{ws:?}");
+        assert_eq!(ws.phase1_solves, 1, "{ws:?}");
+        // The cold run never warm-starts and pays phase 1 at every node.
+        let cs = cold.stats();
+        assert_eq!(cs.warm_start_attempts, 0);
+        assert_eq!(cs.warm_start_hits, 0);
+        assert_eq!(cs.phase1_solves, cs.lp_solves);
+        assert_eq!(cs.dual_pivots, 0);
+        // The point of the exercise: warm starting pivots strictly less.
+        assert!(
+            ws.total_pivots() < cs.total_pivots(),
+            "warm {} vs cold {} pivots",
+            ws.total_pivots(),
+            cs.total_pivots()
+        );
+    }
+
+    #[test]
+    fn stats_are_consistent_serial_and_parallel() {
+        let m = assignment_model(9, 3);
+        for threads in [1, 4] {
+            let sol = m
+                .solve(&SolveOptions::default().with_threads(threads))
+                .unwrap();
+            let s = sol.stats();
+            assert_eq!(s.nodes_explored, sol.nodes_explored());
+            assert!(s.lp_solves <= s.nodes_explored);
+            assert!(s.warm_start_hits <= s.warm_start_attempts);
+            assert!(s.warm_start_attempts < s.lp_solves);
+            assert!(s.phase1_solves <= s.lp_solves);
+            assert!(s.warm_hit_rate() >= 0.9, "{threads} threads: {s:?}");
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(48))]
+
+        /// Basis inheritance is an optimization, not a semantics change:
+        /// warm and cold branch-and-bound agree on every random program.
+        #[test]
+        fn prop_warm_basis_matches_cold(
+            n in 2usize..7,
+            rows in proptest::collection::vec(
+                (proptest::collection::vec(-3i8..4, 6), -4i8..8), 0..5
+            ),
+            cost in proptest::collection::vec(-5i8..6, 6),
+        ) {
+            let m = random_model(n, &rows, &cost);
+            let warm = m.solve(&SolveOptions::default());
+            let cold = m.solve(&SolveOptions::default().with_warm_basis(false));
+            match (warm, cold) {
+                (Ok(w), Ok(c)) => {
+                    proptest::prop_assert!(
+                        (w.objective() - c.objective()).abs() < 1e-6,
+                        "warm {} vs cold {}", w.objective(), c.objective()
+                    );
+                    proptest::prop_assert_eq!(w.status(), c.status());
+                    proptest::prop_assert!(m.is_feasible(w.values(), 1e-6));
+                }
+                (Err(we), Err(ce)) => proptest::prop_assert_eq!(
+                    format!("{we}"), format!("{ce}")
+                ),
+                (w, c) => return Err(proptest::test_runner::TestCaseError::fail(
+                    format!("warm {w:?} vs cold {c:?}")
+                )),
+            }
+        }
     }
 }

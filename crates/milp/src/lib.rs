@@ -9,11 +9,16 @@
 //! * a dense **two-phase primal simplex** for the LP relaxation, with
 //!   bounded variables handled natively (bound flips, no extra rows) and
 //!   Bland's-rule anti-cycling ([`simplex`]),
+//! * a warm-startable **dual simplex** that re-optimizes a parent-optimal
+//!   basis after a bound tightening — the move branch and bound makes at
+//!   every child node — with a bound-flipping ratio test and automatic
+//!   fallback to the cold primal path ([`simplex::solve_lp_warm`]),
 //! * a **branch-and-bound** tree search with best-first node selection,
-//!   most-fractional branching, warm-start incumbents and wall-clock/node
-//!   limits ([`branch_bound`]), optionally running on a work-sharing
-//!   worker pool ([`SolveOptions::threads`], see the [`parallel`] module
-//!   docs for the shared-incumbent design).
+//!   most-fractional branching, parent-basis inheritance, warm-start
+//!   incumbents and wall-clock/node limits ([`branch_bound`]), optionally
+//!   running on a work-sharing worker pool ([`SolveOptions::threads`],
+//!   see the [`parallel`] module docs for the shared-incumbent design);
+//!   per-solve counters land in [`SolveStats`].
 //!
 //! The solver is *anytime*: when a limit is hit it returns the best
 //! incumbent together with the proven bound, flagged
@@ -54,7 +59,8 @@ pub mod parallel;
 pub mod presolve;
 pub mod simplex;
 
-pub use branch_bound::{MilpSolution, SolveOptions, Status};
+pub use branch_bound::{MilpSolution, SolveOptions, SolveStats, Status};
 pub use expr::{LinExpr, Var};
 pub use model::{Model, ModelError, Sense, VarType};
 pub use presolve::{presolve, Presolved};
+pub use simplex::Basis;

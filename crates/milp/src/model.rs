@@ -151,10 +151,19 @@ impl Model {
     /// Number of integer (including binary) variables.
     #[must_use]
     pub fn integer_count(&self) -> usize {
+        self.integer_var_indices().len()
+    }
+
+    /// Column indices of the integer (including binary) variables, in
+    /// declaration order — the branching candidates of the tree search.
+    #[must_use]
+    pub fn integer_var_indices(&self) -> Vec<usize> {
         self.vars
             .iter()
-            .filter(|v| v.var_type != VarType::Continuous)
-            .count()
+            .enumerate()
+            .filter(|(_, v)| v.var_type != VarType::Continuous)
+            .map(|(i, _)| i)
+            .collect()
     }
 
     /// The name of a variable.

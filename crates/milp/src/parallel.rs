@@ -24,8 +24,11 @@
 //! reduces pool contention at the cost of departing from global
 //! best-first order.
 
-use crate::branch_bound::{evaluate_node, make_children, Node, NodeOutcome, SearchCtx, SearchEnd};
-use crate::simplex::{LpStatus, SimplexWorkspace};
+use crate::branch_bound::{
+    evaluate_node, make_children, Node, NodeOutcome, SearchCtx, SearchEnd, SolveStats,
+    WorkerScratch,
+};
+use crate::simplex::LpStatus;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
@@ -45,6 +48,8 @@ struct SearchState {
     root_unbounded: bool,
     root_iteration_limit: bool,
     done: bool,
+    /// Per-worker LP/pivot counters, merged in as each worker exits.
+    stats: SolveStats,
 }
 
 struct Shared {
@@ -109,6 +114,7 @@ pub(crate) fn search(
             root_unbounded: false,
             root_iteration_limit: false,
             done: false,
+            stats: SolveStats::default(),
         }),
         cvar: Condvar::new(),
         best_obj_bits: AtomicU64::new(best_bits),
@@ -133,11 +139,12 @@ pub(crate) fn search(
         nodes_explored: state.nodes_explored,
         root_unbounded: state.root_unbounded,
         root_iteration_limit: state.root_iteration_limit,
+        stats: state.stats,
     }
 }
 
 fn worker(ctx: &SearchCtx<'_>, shared: &Shared) {
-    let mut workspace = SimplexWorkspace::new();
+    let mut scratch = WorkerScratch::new();
     // The node this worker is diving on (plunging mode only). Invariant:
     // while `local` is `Some`, this worker is counted in `in_flight`.
     let mut local: Option<Node> = None;
@@ -217,7 +224,7 @@ fn worker(ctx: &SearchCtx<'_>, shared: &Shared) {
         // The expensive part, outside the lock: the freshest incumbent
         // bound comes from the atomic mirror, not the mutex.
         let inc_obj = shared.load_incumbent_obj();
-        let outcome = evaluate_node(ctx, &node, inc_obj, &mut workspace);
+        let outcome = evaluate_node(ctx, &node, inc_obj, &mut scratch);
 
         let mut state = shared.state.lock().unwrap();
         match outcome {
@@ -251,8 +258,22 @@ fn worker(ctx: &SearchCtx<'_>, shared: &Shared) {
                     shared.best_obj_bits.store(obj.to_bits(), Ordering::Release);
                 }
             }
-            NodeOutcome::Branched { lp_obj, var, x } => {
-                let (down, up) = make_children(node, var, x, lp_obj, &mut state.next_seq);
+            NodeOutcome::Branched {
+                lp_obj,
+                var,
+                x,
+                basis,
+            } => {
+                let bounds_var = (scratch.lower[var], scratch.upper[var]);
+                let (down, up) = make_children(
+                    &node,
+                    var,
+                    x,
+                    lp_obj,
+                    bounds_var,
+                    basis,
+                    &mut state.next_seq,
+                );
                 if let Some(child) = up {
                     state.heap.push(child);
                 }
@@ -272,6 +293,11 @@ fn worker(ctx: &SearchCtx<'_>, shared: &Shared) {
         }
         finish_if_idle(&mut state, shared);
     }
+
+    // Fold this worker's counters into the shared totals exactly once, on
+    // the way out — stats never influence the search, so a final merge is
+    // enough and keeps the per-node lock sections small.
+    shared.state.lock().unwrap().stats.merge(&scratch.stats);
 }
 
 fn finish_if_idle(state: &mut SearchState, shared: &Shared) {

@@ -10,7 +10,13 @@
 //! * **fixed variables** (`l = u`) are substituted into every row and the
 //!   objective,
 //! * **redundant rows** whose activity bounds already satisfy the
-//!   constraint are dropped.
+//!   constraint are dropped,
+//! * **basis-friendly row normalization**: `≥` rows with a non-positive
+//!   right-hand side are negated into `≤` rows with a non-negative one,
+//!   so their slack column can start basic — the simplex then needs no
+//!   artificial variable for them (the paper's Eq. 3 linearization rows
+//!   `u − b ≥ 0` all have this shape), which both shrinks phase 1 in
+//!   cold solves and keeps warm-start basis snapshots artificial-free.
 //!
 //! Every reduction preserves the feasible set exactly (no primal
 //! heuristics, no dual reductions), so the reduced model has the same
@@ -29,6 +35,8 @@ pub struct Presolved {
     pub rows_removed: usize,
     /// Variables whose bounds were tightened (including fixings).
     pub bounds_tightened: usize,
+    /// `≥` rows negated into slack-basic-friendly `≤` rows.
+    pub rows_normalized: usize,
 }
 
 /// Applies the reductions. Returns [`ModelError::Infeasible`] when a
@@ -188,10 +196,33 @@ pub fn presolve(model: &Model) -> Result<Presolved, ModelError> {
     }
     m.constraints = kept;
 
+    // --- Pass 5: negate `≥ rhs` rows with rhs ≤ 0 into `≤ −rhs` rows. ---
+    // The simplex gives a row a basic slack (no artificial) exactly when
+    // it is `≤` with a non-negative right-hand side, so this turns the
+    // common `u − b ≥ 0` linearization rows from phase-1 work into free
+    // starting columns.
+    let mut rows_normalized = 0usize;
+    for c in &mut m.constraints {
+        if c.sense == Sense::Ge && c.rhs <= 0.0 {
+            let mut negated = LinExpr::new();
+            for (v, a) in c.expr.terms() {
+                negated.add_term(v, -a);
+            }
+            c.expr = negated;
+            c.sense = Sense::Le;
+            // `0.0 - rhs`, not `-rhs`: a rhs of exactly 0 must stay +0.0
+            // so the simplex's own sign normalization does not flip the
+            // row straight back.
+            c.rhs = 0.0 - c.rhs;
+            rows_normalized += 1;
+        }
+    }
+
     Ok(Presolved {
         model: m,
         rows_removed,
         bounds_tightened,
+        rows_normalized,
     })
 }
 
@@ -279,6 +310,33 @@ mod tests {
         m.add_constraint([(x, 1.0), (y, 1.0)], Sense::Ge, 3.0)
             .unwrap();
         assert!(matches!(presolve(&m), Err(ModelError::Infeasible)));
+    }
+
+    #[test]
+    fn ge_rows_with_nonpositive_rhs_become_le() {
+        // The Eq. 3 linearization shape: u − b ≥ 0 with u continuous.
+        let mut m = Model::new();
+        let b = m.add_binary("b");
+        let u = m.add_var(VarType::Continuous, 0.0, 1.0, "u").unwrap();
+        m.add_constraint([(u, 1.0), (b, -1.0)], Sense::Ge, 0.0)
+            .unwrap();
+        // Force b = 1 through a non-singleton row so it survives pass 1.
+        let c = m.add_binary("c");
+        m.add_constraint([(b, 1.0), (c, 1.0)], Sense::Ge, 2.0)
+            .unwrap();
+        m.set_objective([(u, 1.0)]);
+        let p = presolve(&m).unwrap();
+        assert_eq!(p.rows_normalized, 1);
+        let row = &p.model.constraints[0];
+        assert_eq!(row.sense, Sense::Le);
+        assert_eq!(row.rhs, 0.0);
+        assert!(row.rhs.is_sign_positive(), "rhs must not be -0.0");
+        assert_eq!(row.expr.coefficient(u), -1.0);
+        assert_eq!(row.expr.coefficient(b), 1.0);
+        // Semantics unchanged: b = 1 forces u = 1.
+        let sol = m.solve(&SolveOptions::default()).unwrap();
+        assert!((sol.objective() - 1.0).abs() < 1e-6);
+        assert!(sol.value(u) > 0.5);
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Dense two-phase primal simplex with bounded variables.
+//! Dense two-phase primal simplex with bounded variables, plus a
+//! warm-startable dual simplex.
 //!
 //! The LP relaxations solved during branch and bound have the form
 //!
@@ -14,6 +15,14 @@
 //! sum of artificial variables; where a slack can serve as the initial
 //! basic variable no artificial is created. Degeneracy triggers Bland's
 //! rule to guarantee termination.
+//!
+//! [`solve_lp_warm`] additionally accepts a [`Basis`] snapshot from a
+//! previous solve of a near-identical problem (branch and bound: the
+//! parent node). The snapshot is refactorized and re-optimized with a
+//! **bounded-variable dual simplex** using a bound-flipping ratio test;
+//! any validity or dual-feasibility failure falls back to the cold
+//! two-phase start, so warm starting never changes what is solved — only
+//! how fast.
 //!
 //! This module is `pub` for transparency and direct LP use, but the main
 //! consumer is [`crate::branch_bound`].
@@ -68,6 +77,59 @@ pub struct LpOptions {
     /// pivots, so overshoot is bounded by a handful of pivot times. A
     /// solve aborted this way reports [`LpStatus::TimedOut`].
     pub deadline: Option<Instant>,
+    /// Capture a [`Basis`] snapshot of the optimal basis into
+    /// [`LpResult::basis`]. Branch and bound turns this on so children can
+    /// warm-start from the parent's optimum. No snapshot is produced when
+    /// an artificial column remains basic (the snapshot could not seed a
+    /// dual solve) or when the solve does not reach optimality.
+    pub capture_basis: bool,
+}
+
+/// Status of one internal column in a [`Basis`] snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BasisCol {
+    Basic,
+    AtLower,
+    AtUpper,
+}
+
+/// A compact snapshot of an optimal simplex basis, captured after a solve
+/// (see [`LpOptions::capture_basis`]) and replayed by [`solve_lp_warm`] to
+/// start the dual simplex from a previous optimum.
+///
+/// The snapshot lives in the solver's *internal* column space — shifted /
+/// mirrored / split structural variables followed by slacks, artificials
+/// excluded — and records, per column, whether it is basic or resting at
+/// its lower or upper bound. Replaying it on a branch-and-bound child is
+/// sound because tightening a variable bound changes shifts, right-hand
+/// sides and internal upper bounds but **not** the constraint coefficients
+/// or reduced costs, so the parent's optimal basis stays dual-feasible.
+/// Validity (column count, row count, nonsingularity, dual feasibility) is
+/// re-checked on load; any mismatch falls back to the cold start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Basis {
+    cols: Vec<BasisCol>,
+    basic: usize,
+}
+
+impl Basis {
+    /// Number of internal (structural + slack) columns described.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Whether the snapshot describes an LP with no columns.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+
+    /// Number of basic columns — the row count of the LP it came from.
+    #[must_use]
+    pub fn basic_count(&self) -> usize {
+        self.basic
+    }
 }
 
 /// Reusable scratch buffers for [`solve_lp_with`].
@@ -87,6 +149,9 @@ pub struct SimplexWorkspace {
     banned: Vec<bool>,
     phase1_cost: Vec<f64>,
     full_cost: Vec<f64>,
+    /// Rows already claimed by a basic column during warm-start
+    /// refactorization.
+    row_done: Vec<bool>,
 }
 
 impl SimplexWorkspace {
@@ -108,6 +173,38 @@ pub struct LpResult {
     pub objective: f64,
     /// Variable assignment (empty unless optimal).
     pub values: Vec<f64>,
+    /// Primal simplex iterations spent (pivots and bound flips, both
+    /// phases).
+    pub pivots: usize,
+    /// Dual simplex iterations spent (pivots and bound flips).
+    pub dual_pivots: usize,
+    /// Whether a phase-1 (artificial-variable) solve ran.
+    pub phase1: bool,
+    /// Whether the solve finished on the warm-started dual-simplex path —
+    /// no cold two-phase start was needed.
+    pub warm_used: bool,
+    /// Optimal-basis snapshot (see [`LpOptions::capture_basis`]).
+    pub basis: Option<Basis>,
+}
+
+/// A result with no solution attached (infeasible / unbounded / limits).
+fn lp_terminal(
+    status: LpStatus,
+    pivots: usize,
+    dual_pivots: usize,
+    phase1: bool,
+    warm_used: bool,
+) -> LpResult {
+    LpResult {
+        status,
+        objective: 0.0,
+        values: Vec::new(),
+        pivots,
+        dual_pivots,
+        phase1,
+        warm_used,
+        basis: None,
+    }
 }
 
 const PIVOT_TOL: f64 = 1e-9;
@@ -369,6 +466,176 @@ impl Tableau<'_> {
         }
     }
 
+    /// Dual simplex for bounded variables: starting from a dual-feasible
+    /// basis (nonbasic at-lower columns have reduced cost ≥ 0, at-upper
+    /// ≤ 0), restores primal feasibility while keeping dual feasibility.
+    ///
+    /// Each iteration picks the basic variable with the largest bound
+    /// violation as the leaving variable and runs a **bound-flipping ratio
+    /// test** (Maros; Koberstein): eligible entering candidates are walked
+    /// in ascending dual-ratio order, and a candidate whose full range
+    /// cannot absorb the remaining violation is *flipped* to its other
+    /// bound instead of entering — the flip keeps dual feasibility because
+    /// its ratio is below the eventual dual step. The first candidate that
+    /// can absorb the rest enters via a regular pivot.
+    ///
+    /// Returns `Ok(())` at a primal-feasible (hence optimal) basis.
+    /// `Err(LpStatus::Infeasible)` is an exact certificate: the violated
+    /// row cannot reach its bound even with every eligible column at its
+    /// extreme. `Err(LpStatus::IterationLimit)` signals a stall — the
+    /// caller falls back to the cold start. `Err(LpStatus::TimedOut)`
+    /// propagates the deadline.
+    fn dual_optimize(&mut self, max_iterations: usize) -> Result<(), LpStatus> {
+        struct Cand {
+            j: usize,
+            /// `sigma · t[r][j]`: the row entry oriented so eligible
+            /// candidates are the ones that move the leaving variable
+            /// toward its violated bound.
+            t_sig: f64,
+            ratio: f64,
+        }
+        let mut cands: Vec<Cand> = Vec::new();
+        loop {
+            if self.iterations >= max_iterations {
+                return Err(LpStatus::IterationLimit);
+            }
+            if self.iterations.is_multiple_of(64) {
+                if let Some(deadline) = self.deadline {
+                    if Instant::now() >= deadline {
+                        return Err(LpStatus::TimedOut);
+                    }
+                }
+            }
+
+            // --- Leaving row: the largest primal bound violation. ---
+            let mut leave: Option<(usize, f64, bool)> = None; // (row, violation, at upper?)
+            for r in 0..self.m {
+                let below = -self.beta[r];
+                let u = self.ub[self.basis[r]];
+                let above = if u.is_finite() {
+                    self.beta[r] - u
+                } else {
+                    f64::NEG_INFINITY
+                };
+                let (v, to_upper) = if below >= above {
+                    (below, false)
+                } else {
+                    (above, true)
+                };
+                // Strict improvement keeps the first (smallest) row on
+                // ties — fully deterministic.
+                if v > FEAS_TOL && leave.is_none_or(|(_, best, _)| v > best) {
+                    leave = Some((r, v, to_upper));
+                }
+            }
+            let Some((r, violation, to_upper)) = leave else {
+                return Ok(()); // primal feasible + dual feasible = optimal
+            };
+            self.iterations += 1;
+
+            // --- Eligible entering candidates and their dual ratios. ---
+            // `sigma` is the desired sign of change of the leaving basic
+            // variable: up toward 0, or down toward its upper bound.
+            let sigma = if to_upper { -1.0 } else { 1.0 };
+            cands.clear();
+            for j in 0..self.ntot {
+                if self.banned[j] || self.ub[j] == 0.0 {
+                    continue;
+                }
+                let t_sig = sigma * self.at(r, j);
+                let cost_mag = match self.status[j] {
+                    VarStatus::Basic(_) => continue,
+                    // A variable at its lower bound can only increase
+                    // (and needs t_sig < 0 to help); its reduced cost is
+                    // ≥ 0 up to tolerance, clamp for the ratio.
+                    VarStatus::AtLower => {
+                        if t_sig >= -PIVOT_TOL {
+                            continue;
+                        }
+                        self.cost_row[j].max(0.0)
+                    }
+                    VarStatus::AtUpper => {
+                        if t_sig <= PIVOT_TOL {
+                            continue;
+                        }
+                        (-self.cost_row[j]).max(0.0)
+                    }
+                };
+                cands.push(Cand {
+                    j,
+                    t_sig,
+                    ratio: cost_mag / t_sig.abs(),
+                });
+            }
+            if cands.is_empty() {
+                // No column can move the violated row toward its bound:
+                // the LP is primal infeasible.
+                return Err(LpStatus::Infeasible);
+            }
+            // Ascending dual ratio. In normal mode ties prefer the larger
+            // pivot magnitude (numerical stability); under the stall
+            // fallback the smallest index decides (Bland-style
+            // anti-cycling). Both orders are fully deterministic.
+            if self.use_bland {
+                cands.sort_by(|a, b| a.ratio.total_cmp(&b.ratio).then(a.j.cmp(&b.j)));
+            } else {
+                cands.sort_by(|a, b| {
+                    a.ratio
+                        .total_cmp(&b.ratio)
+                        .then_with(|| b.t_sig.abs().total_cmp(&a.t_sig.abs()))
+                        .then(a.j.cmp(&b.j))
+                });
+            }
+
+            // --- Bound-flipping walk. ---
+            let mut remaining = violation;
+            let mut entered = false;
+            for c in &cands {
+                let dir = match self.status[c.j] {
+                    VarStatus::AtLower => 1.0,
+                    VarStatus::AtUpper => -1.0,
+                    VarStatus::Basic(_) => unreachable!("candidates are nonbasic"),
+                };
+                let cap = self.ub[c.j] * c.t_sig.abs(); // +inf for unbounded columns
+                if cap < remaining - FEAS_TOL {
+                    // Full-range bound flip: absorbs `cap` of the
+                    // violation without a basis change.
+                    let delta = self.ub[c.j];
+                    for i in 0..self.m {
+                        let tv = self.at(i, c.j);
+                        if tv != 0.0 {
+                            self.beta[i] -= tv * dir * delta;
+                        }
+                    }
+                    self.status[c.j] = match self.status[c.j] {
+                        VarStatus::AtLower => VarStatus::AtUpper,
+                        VarStatus::AtUpper => VarStatus::AtLower,
+                        VarStatus::Basic(_) => unreachable!("candidates are nonbasic"),
+                    };
+                    remaining -= cap;
+                } else {
+                    let delta = remaining / c.t_sig.abs();
+                    if delta < PIVOT_TOL {
+                        self.degenerate_streak += 1;
+                        if self.degenerate_streak > 2 * (self.m + self.ntot) {
+                            self.use_bland = true;
+                        }
+                    } else {
+                        self.degenerate_streak = 0;
+                    }
+                    self.pivot(r, c.j, dir, delta, to_upper);
+                    entered = true;
+                    break;
+                }
+            }
+            if !entered {
+                // Every eligible column flipped and the violation remains:
+                // the row cannot reach its bound — primal infeasible.
+                return Err(LpStatus::Infeasible);
+            }
+        }
+    }
+
     /// Rebuilds the reduced-cost row for a new objective vector.
     fn set_costs(&mut self, cost: &[f64]) {
         self.cost_row.copy_from_slice(cost);
@@ -403,8 +670,7 @@ pub fn solve_lp(problem: &LpProblem, lower_override: &[f64], upper_override: &[f
 }
 
 /// Like [`solve_lp`], but with a wall-clock deadline and reusable scratch
-/// buffers (see [`SimplexWorkspace`]). This is the entry point branch and
-/// bound uses: one workspace per worker thread, one deadline per search.
+/// buffers (see [`SimplexWorkspace`]).
 ///
 /// # Panics
 ///
@@ -417,6 +683,42 @@ pub fn solve_lp_with(
     upper_override: &[f64],
     lp_options: &LpOptions,
     workspace: &mut SimplexWorkspace,
+) -> LpResult {
+    solve_lp_warm(
+        problem,
+        lower_override,
+        upper_override,
+        lp_options,
+        workspace,
+        None,
+    )
+}
+
+/// Like [`solve_lp_with`], optionally warm-started from a [`Basis`]
+/// snapshot of a previous solve (typically the branch-and-bound parent
+/// node's optimum). This is the entry point branch and bound uses: one
+/// workspace per worker thread, one deadline per search, one inherited
+/// basis per node.
+///
+/// When the snapshot matches the internal column/row structure, it is
+/// refactorized (Gauss–Jordan with partial pivoting) and re-optimized with
+/// the dual simplex. On any mismatch — wrong shape, singular basis, dual
+/// infeasibility, or a dual stall — the solve silently falls back to the
+/// cold two-phase primal start, so the result is the same either way
+/// (see [`LpResult::warm_used`] for which path ran).
+///
+/// # Panics
+///
+/// Panics if the override slices are non-empty but shorter than the number
+/// of variables, or if a row references an out-of-range column.
+#[must_use]
+pub fn solve_lp_warm(
+    problem: &LpProblem,
+    lower_override: &[f64],
+    upper_override: &[f64],
+    lp_options: &LpOptions,
+    workspace: &mut SimplexWorkspace,
+    warm: Option<&Basis>,
 ) -> LpResult {
     let n = problem.cost.len();
     let lower = |j: usize| {
@@ -437,11 +739,7 @@ pub fn solve_lp_with(
     // Quick bound sanity: crossing bounds → infeasible.
     for j in 0..n {
         if lower(j) > upper(j) + FEAS_TOL {
-            return LpResult {
-                status: LpStatus::Infeasible,
-                objective: 0.0,
-                values: Vec::new(),
-            };
+            return lp_terminal(LpStatus::Infeasible, 0, 0, false, false);
         }
     }
 
@@ -455,6 +753,7 @@ pub fn solve_lp_with(
         banned,
         phase1_cost,
         full_cost,
+        row_done,
     } = workspace;
 
     // --- Transform original variables to internal non-negative ones. ---
@@ -565,7 +864,181 @@ pub fn solve_lp_with(
     }
     let n_struct_slack = next_col;
     let n_art: usize = needs_artificial.iter().filter(|&&b| b).count();
+
+    // --- Warm start: refactorize the inherited basis, dual-simplex it. ---
+    let mut dual_pivots = 0usize;
+    'warm: {
+        let Some(snapshot) = warm else { break 'warm };
+        // The snapshot must describe this LP's internal structure. (A
+        // bound change can alter the column layout — e.g. a variable
+        // turning from mirrored to shifted — in which case the column
+        // count differs and the snapshot is rejected here.)
+        if snapshot.cols.len() != n_struct_slack || snapshot.basic != m {
+            break 'warm;
+        }
+        let ntot = n_struct_slack;
+
+        // Assemble the raw (artificial-free) tableau; `beta` carries the
+        // right-hand side through the elimination below, after which it
+        // holds B⁻¹b.
+        t.clear();
+        t.resize(m * ntot, 0.0);
+        beta.clear();
+        beta.resize(m, 0.0);
+        for (i, row) in internal_rows.iter().enumerate() {
+            for &(c, a) in &row.coeffs {
+                t[i * ntot + c] += a;
+            }
+            beta[i] = row.rhs;
+        }
+        status.clear();
+        status.extend(snapshot.cols.iter().map(|c| match c {
+            BasisCol::AtUpper => VarStatus::AtUpper,
+            // Basic columns get their row assigned during refactorization.
+            BasisCol::Basic | BasisCol::AtLower => VarStatus::AtLower,
+        }));
+
+        // Gauss–Jordan refactorization with partial pivoting over the
+        // snapshot's basic columns. Row normalization signs cancel in
+        // B⁻¹A, so the parent's reduced costs carry over exactly.
+        basis.clear();
+        basis.resize(m, usize::MAX);
+        row_done.clear();
+        row_done.resize(m, false);
+        let mut singular = false;
+        for j in (0..ntot).filter(|&j| snapshot.cols[j] == BasisCol::Basic) {
+            let mut best_r = usize::MAX;
+            let mut best_mag = 1e-7; // below this the basis counts as singular
+            for (i, done) in row_done.iter().enumerate() {
+                if !done {
+                    let mag = t[i * ntot + j].abs();
+                    if mag > best_mag {
+                        best_mag = mag;
+                        best_r = i;
+                    }
+                }
+            }
+            if best_r == usize::MAX {
+                singular = true;
+                break;
+            }
+            let r = best_r;
+            row_done[r] = true;
+            basis[r] = j;
+            status[j] = VarStatus::Basic(r);
+            let r_start = r * ntot;
+            let inv = 1.0 / t[r_start + j];
+            for k in 0..ntot {
+                t[r_start + k] *= inv;
+            }
+            beta[r] *= inv;
+            for i in 0..m {
+                if i == r {
+                    continue;
+                }
+                let factor = t[i * ntot + j];
+                if factor != 0.0 {
+                    let i_start = i * ntot;
+                    for k in 0..ntot {
+                        t[i_start + k] -= factor * t[r_start + k];
+                    }
+                    beta[i] -= factor * beta[r];
+                }
+            }
+        }
+        if singular {
+            break 'warm;
+        }
+        // Nonbasic at-upper columns contribute to the basic values.
+        for j in 0..ntot {
+            if status[j] == VarStatus::AtUpper {
+                let u = internal_ub[j];
+                if !u.is_finite() {
+                    // The snapshot rests a now-unbounded column at its
+                    // upper bound — structure drifted, start cold.
+                    break 'warm;
+                }
+                if u != 0.0 {
+                    for i in 0..m {
+                        let tv = t[i * ntot + j];
+                        if tv != 0.0 {
+                            beta[i] -= tv * u;
+                        }
+                    }
+                }
+            }
+        }
+
+        banned.clear();
+        banned.resize(ntot, false);
+        cost_row.clear();
+        cost_row.resize(ntot, 0.0);
+        let mut tab = Tableau {
+            m,
+            ntot,
+            t: &mut *t,
+            beta: &mut *beta,
+            cost_row: &mut *cost_row,
+            basis: &mut *basis,
+            status: &mut *status,
+            ub: &mut *internal_ub,
+            banned: &mut *banned,
+            iterations: 0,
+            degenerate_streak: 0,
+            use_bland: false,
+            deadline: lp_options.deadline,
+        };
+        tab.set_costs(internal_cost);
+        // The inherited basis must be dual-feasible for the dual simplex
+        // to apply (fixed columns can never move, so their sign is moot).
+        let dual_ok = (0..ntot).all(|j| match tab.status[j] {
+            VarStatus::Basic(_) => true,
+            VarStatus::AtLower => tab.ub[j] == 0.0 || tab.cost_row[j] >= -FEAS_TOL,
+            VarStatus::AtUpper => tab.ub[j] == 0.0 || tab.cost_row[j] <= FEAS_TOL,
+        });
+        if !dual_ok {
+            break 'warm;
+        }
+        // Warm re-optimization should take a handful of pivots; past this
+        // budget a cold start is the better bet.
+        let dual_cap = 1_000 + 10 * (m + ntot);
+        match tab.dual_optimize(dual_cap) {
+            Ok(()) => {
+                return finish_optimal(
+                    &tab,
+                    &recover,
+                    problem,
+                    internal_cost,
+                    cost_constant,
+                    n_struct_slack,
+                    lp_options.capture_basis,
+                    0,
+                    tab.iterations,
+                    false,
+                    true,
+                );
+            }
+            Err(LpStatus::Infeasible) => {
+                // Exact certificate — the child LP is infeasible.
+                return lp_terminal(LpStatus::Infeasible, 0, tab.iterations, false, true);
+            }
+            Err(LpStatus::TimedOut) => {
+                return lp_terminal(LpStatus::TimedOut, 0, tab.iterations, false, false);
+            }
+            Err(LpStatus::IterationLimit) => {
+                // Dual stall: abandon the warm path, keep the effort on
+                // record, and start cold.
+                dual_pivots = tab.iterations;
+            }
+            Err(status @ (LpStatus::Optimal | LpStatus::Unbounded)) => {
+                unreachable!("dual simplex cannot report {status:?}")
+            }
+        }
+    }
+
+    // --- Cold start: two-phase primal with artificials. ---
     let ntot = n_struct_slack + n_art;
+    internal_ub.truncate(n_struct_slack);
     internal_ub.extend(std::iter::repeat_n(f64::INFINITY, n_art));
 
     // --- Assemble the dense tableau (into the reusable buffers). ---
@@ -620,16 +1093,13 @@ pub fn solve_lp_with(
     let max_iterations = 50_000 + 100 * (m + ntot);
 
     // --- Phase 1. ---
+    let phase1 = n_art > 0;
     if n_art > 0 {
         tab.set_costs(phase1_cost);
         match tab.optimize(max_iterations) {
             Ok(()) => {}
             Err(status @ (LpStatus::IterationLimit | LpStatus::TimedOut)) => {
-                return LpResult {
-                    status,
-                    objective: 0.0,
-                    values: Vec::new(),
-                }
+                return lp_terminal(status, tab.iterations, dual_pivots, phase1, false)
             }
             Err(_) => unreachable!("phase 1 objective is bounded below by zero"),
         }
@@ -638,11 +1108,13 @@ pub fn solve_lp_with(
             .map(|i| tab.beta[i])
             .sum();
         if infeasibility > FEAS_TOL {
-            return LpResult {
-                status: LpStatus::Infeasible,
-                objective: 0.0,
-                values: Vec::new(),
-            };
+            return lp_terminal(
+                LpStatus::Infeasible,
+                tab.iterations,
+                dual_pivots,
+                phase1,
+                false,
+            );
         }
         // Drive basic artificials out where possible; ban all artificials.
         for i in 0..m {
@@ -664,18 +1136,42 @@ pub fn solve_lp_with(
     tab.set_costs(internal_cost);
     match tab.optimize(max_iterations) {
         Ok(()) => {}
-        Err(status) => {
-            return LpResult {
-                status,
-                objective: 0.0,
-                values: Vec::new(),
-            }
-        }
+        Err(status) => return lp_terminal(status, tab.iterations, dual_pivots, phase1, false),
     }
 
-    // --- Recover original variable values. ---
+    finish_optimal(
+        &tab,
+        &recover,
+        problem,
+        internal_cost,
+        cost_constant,
+        n_struct_slack,
+        lp_options.capture_basis,
+        tab.iterations,
+        dual_pivots,
+        phase1,
+        false,
+    )
+}
+
+/// Recovers original-variable values from an optimal tableau, optionally
+/// capturing a [`Basis`] snapshot, and assembles the [`LpResult`].
+#[allow(clippy::too_many_arguments)]
+fn finish_optimal(
+    tab: &Tableau<'_>,
+    recover: &[Recover],
+    problem: &LpProblem,
+    internal_cost: &[f64],
+    cost_constant: f64,
+    n_struct_slack: usize,
+    capture_basis: bool,
+    pivots: usize,
+    dual_pivots: usize,
+    phase1: bool,
+    warm_used: bool,
+) -> LpResult {
     let internal_value = |j: usize| tab.nonbasic_value(j);
-    let mut values = vec![0.0; n];
+    let mut values = vec![0.0; recover.len()];
     for (j, rec) in recover.iter().enumerate() {
         values[j] = match *rec {
             Recover::Shift { col, shift } => internal_value(col) + shift,
@@ -694,7 +1190,7 @@ pub fn solve_lp_with(
                 + (0..tab.m)
                     .map(|i| internal_cost[tab.basis[i]] * tab.beta[i])
                     .sum::<f64>()
-                + (0..ntot)
+                + (0..tab.ntot)
                     .filter(|&j| !matches!(tab.status[j], VarStatus::Basic(_)))
                     .map(|j| internal_cost[j] * tab.nonbasic_value(j))
                     .sum::<f64>()))
@@ -702,10 +1198,35 @@ pub fn solve_lp_with(
             < 1e-4 * (1.0 + objective.abs())
     );
 
+    let basis = if capture_basis {
+        let mut cols = Vec::with_capacity(n_struct_slack);
+        let mut basic = 0usize;
+        for j in 0..n_struct_slack {
+            cols.push(match tab.status[j] {
+                VarStatus::Basic(_) => {
+                    basic += 1;
+                    BasisCol::Basic
+                }
+                VarStatus::AtLower => BasisCol::AtLower,
+                VarStatus::AtUpper => BasisCol::AtUpper,
+            });
+        }
+        // A basic artificial (degenerate phase-1 leftover) means the real
+        // columns alone cannot seed a basis — skip the snapshot.
+        (basic == tab.m).then_some(Basis { cols, basic })
+    } else {
+        None
+    };
+
     LpResult {
         status: LpStatus::Optimal,
         objective,
         values,
+        pivots,
+        dual_pivots,
+        phase1,
+        warm_used,
+        basis,
     }
 }
 
@@ -934,6 +1455,7 @@ mod tests {
         };
         let opts = LpOptions {
             deadline: Some(Instant::now() - std::time::Duration::from_millis(1)),
+            ..LpOptions::default()
         };
         let r = solve_lp_with(&p, &[], &[], &opts, &mut SimplexWorkspace::new());
         assert_eq!(r.status, LpStatus::TimedOut);
@@ -1019,6 +1541,104 @@ mod tests {
         assert!((r.objective - 2.0).abs() < 1e-7);
     }
 
+    /// Cold-solves `p`, captures the optimal basis, then re-solves with
+    /// tightened bounds both warm (dual simplex) and cold, returning
+    /// `(warm, cold)` for comparison.
+    fn resolve_warm_and_cold(
+        p: &LpProblem,
+        tight_lower: &[f64],
+        tight_upper: &[f64],
+    ) -> (LpResult, LpResult) {
+        let opts = LpOptions {
+            capture_basis: true,
+            ..LpOptions::default()
+        };
+        let mut ws = SimplexWorkspace::new();
+        let parent = solve_lp_warm(p, &[], &[], &opts, &mut ws, None);
+        assert_eq!(parent.status, LpStatus::Optimal);
+        let basis = parent.basis.expect("parent basis must be captured");
+        let warm = solve_lp_warm(p, tight_lower, tight_upper, &opts, &mut ws, Some(&basis));
+        let cold = solve_lp_warm(p, tight_lower, tight_upper, &opts, &mut ws, None);
+        (warm, cold)
+    }
+
+    #[test]
+    fn dual_simplex_reoptimizes_after_bound_cut() {
+        // Parent optimum: x0 basic at 10 (row binding), x1/x2/slack at
+        // lower. Cutting x0's upper bound to 8.5 leaves the basis primal
+        // infeasible but dual feasible; the dual simplex repairs it.
+        let p = LpProblem {
+            cost: vec![-1.0, -0.9, 0.0],
+            lower: vec![0.0; 3],
+            upper: vec![20.0, 0.3, 10.0],
+            rows: vec![row(&[(0, 1.0), (1, 1.0), (2, 1.0)], Sense::Le, 10.0)],
+        };
+        let (warm, cold) = resolve_warm_and_cold(&p, &p.lower, &[8.5, 0.3, 10.0]);
+        assert_eq!(warm.status, LpStatus::Optimal);
+        assert!(warm.warm_used, "inherited basis must be accepted");
+        assert!(!warm.phase1, "warm path must not run phase 1");
+        assert!(warm.dual_pivots >= 1);
+        assert!((warm.objective - cold.objective).abs() < 1e-7);
+        // The violation (1.5) exceeds x1's full range (0.3), so the
+        // bound-flipping ratio test flips x1 to its upper bound and lets
+        // the next candidate absorb the rest.
+        assert!((warm.objective + 8.77).abs() < 1e-7);
+        assert!((warm.values[1] - 0.3).abs() < 1e-7);
+    }
+
+    #[test]
+    fn dual_simplex_handles_degenerate_entering_cost() {
+        // Same geometry, but the absorbing candidate x2 has reduced cost 0
+        // at the parent optimum: the dual pivot is degenerate (dual
+        // objective unchanged) and must still terminate correctly.
+        let p = LpProblem {
+            cost: vec![-1.0, -0.9, -1.0],
+            lower: vec![0.0; 3],
+            upper: vec![20.0, 0.3, 10.0],
+            rows: vec![row(&[(0, 1.0), (1, 1.0), (2, 1.0)], Sense::Le, 10.0)],
+        };
+        let (warm, cold) = resolve_warm_and_cold(&p, &p.lower, &[8.5, 0.3, 10.0]);
+        assert_eq!(warm.status, LpStatus::Optimal);
+        assert!(warm.warm_used);
+        assert!((warm.objective - cold.objective).abs() < 1e-7);
+        assert!((warm.objective + 10.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn dual_simplex_detects_infeasible_bound_cut() {
+        // min x0 + 2·x1 s.t. x0 + x1 ≥ 4: tightening x1's upper bound to
+        // 0.25 with x0 ≤ 3 makes the LP infeasible; the exhausted ratio
+        // test is an exact certificate, no primal fallback needed.
+        let p = LpProblem {
+            cost: vec![1.0, 2.0],
+            lower: vec![0.0; 2],
+            upper: vec![3.0, 10.0],
+            rows: vec![row(&[(0, 1.0), (1, 1.0)], Sense::Ge, 4.0)],
+        };
+        let (warm, cold) = resolve_warm_and_cold(&p, &p.lower, &[3.0, 0.25]);
+        assert_eq!(warm.status, LpStatus::Infeasible);
+        assert_eq!(cold.status, LpStatus::Infeasible);
+        assert!(warm.warm_used);
+    }
+
+    #[test]
+    fn warm_start_without_violation_takes_zero_pivots() {
+        // Tightening a nonbasic-at-upper bound keeps the basis optimal
+        // after the rhs shift: the dual simplex verifies and exits.
+        let p = LpProblem {
+            cost: vec![1.0, 2.0, 10.0],
+            lower: vec![0.0; 3],
+            upper: vec![2.0, 3.0, 10.0],
+            rows: vec![row(&[(0, 1.0), (1, 1.0), (2, 1.0)], Sense::Ge, 6.0)],
+        };
+        let (warm, cold) = resolve_warm_and_cold(&p, &p.lower, &[0.5, 3.0, 10.0]);
+        assert_eq!(warm.status, LpStatus::Optimal);
+        assert!(warm.warm_used);
+        assert_eq!(warm.dual_pivots, 0);
+        assert_eq!(warm.pivots, 0);
+        assert!((warm.objective - cold.objective).abs() < 1e-7);
+    }
+
     mod properties {
         use super::*;
         use proptest::prelude::*;
@@ -1085,6 +1705,58 @@ mod tests {
                     }
                 }
             }
+
+            /// Basis-inherited dual re-optimization must agree with a cold
+            /// primal solve on status and objective for every random LP
+            /// and every single-variable bound tightening — the exact move
+            /// branch and bound makes.
+            #[test]
+            fn prop_dual_warm_matches_cold_primal(
+                p in arb_lp(),
+                var_pick in 0usize..6,
+                frac in 0.0f64..1.0,
+                cut_upper in proptest::arbitrary::any::<bool>(),
+            ) {
+                let opts = LpOptions { capture_basis: true, ..LpOptions::default() };
+                let mut ws = SimplexWorkspace::new();
+                let parent = solve_lp_warm(&p, &[], &[], &opts, &mut ws, None);
+                prop_assert_eq!(parent.status, LpStatus::Optimal);
+                let Some(basis) = parent.basis else {
+                    // Legitimately unavailable (basic artificial left
+                    // over): nothing to inherit, nothing to check.
+                    return Ok(());
+                };
+                let j = var_pick % p.cost.len();
+                let mut lower = p.lower.clone();
+                let mut upper = p.upper.clone();
+                let cut = p.lower[j] + frac * (p.upper[j] - p.lower[j]);
+                if cut_upper {
+                    upper[j] = cut;
+                } else {
+                    lower[j] = cut;
+                }
+                let warm = solve_lp_warm(&p, &lower, &upper, &opts, &mut ws, Some(&basis));
+                let cold = solve_lp_warm(&p, &lower, &upper, &opts, &mut ws, None);
+                prop_assert_eq!(warm.status, cold.status,
+                    "warm {:?} vs cold {:?}", warm.status, cold.status);
+                if warm.status == LpStatus::Optimal {
+                    prop_assert!(
+                        (warm.objective - cold.objective).abs() < 1e-6,
+                        "warm {} vs cold {}", warm.objective, cold.objective
+                    );
+                    prop_assert!(feasible_in(&p, &lower, &upper, &warm.values));
+                }
+            }
+        }
+
+        fn feasible_in(p: &LpProblem, lower: &[f64], upper: &[f64], x: &[f64]) -> bool {
+            x.iter()
+                .zip(lower.iter().zip(upper))
+                .all(|(&v, (&l, &u))| v >= l - 1e-7 && v <= u + 1e-7)
+                && p.rows.iter().all(|r| {
+                    let lhs: f64 = r.coeffs.iter().map(|&(j, a)| a * x[j]).sum();
+                    lhs <= r.rhs + 1e-7
+                })
         }
     }
 

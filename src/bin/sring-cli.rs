@@ -4,7 +4,7 @@
 //! sring-cli list
 //! sring-cli synth   --benchmark mwd [--method sring|ornoc|ctoring|xring]
 //!                   [--pitch 0.26] [--threads N] [--svg out.svg]
-//!                   [--crosstalk] [--report]
+//!                   [--crosstalk] [--report] [--solver-stats]
 //! sring-cli compare --benchmark vopd [--pitch 0.26] [--threads N]
 //! ```
 //!
@@ -14,7 +14,7 @@
 
 use std::process::ExitCode;
 
-use sring::core::AssignmentStrategy;
+use sring::core::{AssignmentStrategy, SringConfig, SringSynthesizer};
 use sring::eval::comparison::{compare_grid, format_table1};
 use sring::eval::methods::Method;
 use sring::graph::benchmarks::Benchmark;
@@ -25,7 +25,7 @@ use sring::units::{Millimeters, TechnologyParameters};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  sring-cli list\n  sring-cli synth --benchmark <name> [--method sring|ornoc|ctoring|xring] [--pitch <mm>] [--threads <n>] [--svg <path>] [--crosstalk] [--report]\n  sring-cli compare --benchmark <name> [--pitch <mm>] [--threads <n>]"
+        "usage:\n  sring-cli list\n  sring-cli synth --benchmark <name> [--method sring|ornoc|ctoring|xring] [--pitch <mm>] [--threads <n>] [--svg <path>] [--crosstalk] [--report] [--solver-stats]\n  sring-cli compare --benchmark <name> [--pitch <mm>] [--threads <n>]"
     );
     ExitCode::from(2)
 }
@@ -189,11 +189,33 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             };
-            let design = match method.synthesize(&app, &tech) {
-                Ok(d) => d,
-                Err(e) => {
-                    eprintln!("error: synthesis failed: {e}");
-                    return ExitCode::FAILURE;
+            // `--solver-stats` needs the detailed report (only SRing runs
+            // the MILP solver), the plain path keeps the uniform `Method`
+            // handle.
+            let (design, solver_stats) = if args.has("solver-stats") {
+                let Method::Sring(strategy) = &method else {
+                    eprintln!("error: --solver-stats requires --method sring");
+                    return ExitCode::from(2);
+                };
+                let synth = SringSynthesizer::with_config(SringConfig {
+                    strategy: strategy.clone(),
+                    tech: tech.clone(),
+                    ..SringConfig::default()
+                });
+                match synth.synthesize_detailed(&app) {
+                    Ok(report) => (report.design, Some(report.assignment.solver_stats)),
+                    Err(e) => {
+                        eprintln!("error: synthesis failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            } else {
+                match method.synthesize(&app, &tech) {
+                    Ok(d) => (d, None),
+                    Err(e) => {
+                        eprintln!("error: synthesis failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
                 }
             };
             let a = design.analyze(&tech);
@@ -205,6 +227,30 @@ fn main() -> ExitCode {
             println!("#wl      = {}", a.wavelength_count);
             println!("power    = {:.3}", a.total_laser_power);
             println!("crossings = {}", a.total_crossings);
+            match solver_stats {
+                Some(Some(s)) => {
+                    println!("\nMILP solver statistics:");
+                    println!("  nodes explored     = {}", s.nodes_explored);
+                    println!("  LP solves          = {}", s.lp_solves);
+                    println!(
+                        "  simplex pivots     = {} ({} primal, {} dual)",
+                        s.total_pivots(),
+                        s.primal_pivots,
+                        s.dual_pivots
+                    );
+                    println!("  phase-1 solves     = {}", s.phase1_solves);
+                    println!(
+                        "  warm starts        = {}/{} hit ({:.1}%)",
+                        s.warm_start_hits,
+                        s.warm_start_attempts,
+                        s.warm_hit_rate() * 100.0
+                    );
+                }
+                Some(None) => {
+                    println!("\nMILP solver statistics: none (heuristic assignment, MILP not run)");
+                }
+                None => {}
+            }
             if args.has("report") {
                 println!("\n{}", render_report(&design, &app, &tech));
             }
