@@ -16,3 +16,12 @@ cargo test --workspace -q
 # goes to a scratch path so the tracked BENCH_milp.json (full three-
 # benchmark run) is not clobbered by a partial one.
 ./target/release/milp_stats "${TMPDIR:-/tmp}/BENCH_milp_smoke.json" --benchmark mwd
+
+# Trace smoke check: a traced synthesis must emit a JSON report that
+# parses, names the expected pipeline phases, and whose top-level span
+# times sum to the recorded runtime within tolerance.
+./target/release/sring-cli synth --benchmark mwd \
+    --trace-json "${TMPDIR:-/tmp}/sring_trace_smoke.json"
+./target/release/sring-cli trace-check "${TMPDIR:-/tmp}/sring_trace_smoke.json" \
+    --phase synth --phase synth/cluster --phase synth/layout \
+    --phase synth/assign --phase synth/assign/milp

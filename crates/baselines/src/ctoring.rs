@@ -17,6 +17,7 @@ use onoc_graph::{CommGraph, NodeId};
 use onoc_layout::ring_order::tour_order;
 use onoc_layout::Cycle;
 use onoc_photonics::RouterDesign;
+use onoc_trace::Trace;
 use onoc_units::TechnologyParameters;
 
 /// Synthesizes a CTORing two-ring router for `app`.
@@ -43,11 +44,30 @@ pub fn synthesize(
     app: &CommGraph,
     tech: &TechnologyParameters,
 ) -> Result<RouterDesign, BaselineError> {
+    synthesize_traced(app, tech, &Trace::disabled())
+}
+
+/// [`synthesize`] with tracing: the construction runs under a `ctoring`
+/// span with `order` / `build` sub-phases.
+///
+/// # Errors
+///
+/// Same contract as [`synthesize`].
+pub fn synthesize_traced(
+    app: &CommGraph,
+    tech: &TechnologyParameters,
+    trace: &Trace,
+) -> Result<RouterDesign, BaselineError> {
     let _ = tech;
     if app.node_count() < 2 {
         return Err(BaselineError::TooFewNodes);
     }
-    let order = tailored_order(app);
+    let _span = trace.span("ctoring");
+    let order = {
+        let _s = trace.span("order");
+        tailored_order(app)
+    };
+    let _s = trace.span("build");
     build_two_ring_design(
         "CTORing",
         app,

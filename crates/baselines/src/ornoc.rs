@@ -13,6 +13,7 @@ use crate::common::{build_two_ring_design, AllocationPolicy, BaselineError};
 use onoc_graph::CommGraph;
 use onoc_layout::ring_order::tour_order;
 use onoc_photonics::RouterDesign;
+use onoc_trace::Trace;
 use onoc_units::TechnologyParameters;
 
 /// Synthesizes an ORNoC two-ring router for `app`.
@@ -43,9 +44,28 @@ pub fn synthesize(
     app: &CommGraph,
     tech: &TechnologyParameters,
 ) -> Result<RouterDesign, BaselineError> {
+    synthesize_traced(app, tech, &Trace::disabled())
+}
+
+/// [`synthesize`] with tracing: the construction runs under an `ornoc`
+/// span with `order` / `build` sub-phases.
+///
+/// # Errors
+///
+/// Same contract as [`synthesize`].
+pub fn synthesize_traced(
+    app: &CommGraph,
+    tech: &TechnologyParameters,
+    trace: &Trace,
+) -> Result<RouterDesign, BaselineError> {
     let _ = tech;
-    let positions: Vec<_> = app.node_ids().map(|v| app.position(v)).collect();
-    let order = tour_order(&positions);
+    let _span = trace.span("ornoc");
+    let order = {
+        let _s = trace.span("order");
+        let positions: Vec<_> = app.node_ids().map(|v| app.position(v)).collect();
+        tour_order(&positions)
+    };
+    let _s = trace.span("build");
     build_two_ring_design(
         "ORNoC",
         app,

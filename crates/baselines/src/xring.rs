@@ -15,6 +15,7 @@ use crate::ctoring::tailored_order;
 use onoc_graph::{CommGraph, MessageId, NodeId};
 use onoc_layout::{Cycle, Layout, WaveguideId};
 use onoc_photonics::{PathGeometry, PdnDesign, PdnStyle, RouterDesign, SignalPath};
+use onoc_trace::Trace;
 use onoc_units::{TechnologyParameters, Wavelength};
 use std::collections::HashMap;
 
@@ -52,6 +53,20 @@ pub fn synthesize(
     synthesize_with_oses(app, tech, DEFAULT_MAX_OSES)
 }
 
+/// [`synthesize`] with tracing: the construction runs under an `xring`
+/// span with `route` / `shortcuts` / `share` sub-phases.
+///
+/// # Errors
+///
+/// Same contract as [`synthesize`].
+pub fn synthesize_traced(
+    app: &CommGraph,
+    tech: &TechnologyParameters,
+    trace: &Trace,
+) -> Result<RouterDesign, BaselineError> {
+    synthesize_with_oses_traced(app, tech, DEFAULT_MAX_OSES, trace)
+}
+
 /// Synthesizes an XRing router with an explicit OSE budget (0 disables the
 /// shortcuts, leaving a CTORing-ordered ring with XRing's PDN — useful for
 /// ablation).
@@ -65,13 +80,29 @@ pub fn synthesize_with_oses(
     tech: &TechnologyParameters,
     max_oses: usize,
 ) -> Result<RouterDesign, BaselineError> {
+    synthesize_with_oses_traced(app, tech, max_oses, &Trace::disabled())
+}
+
+/// [`synthesize_with_oses`] with tracing (see [`synthesize_traced`]).
+///
+/// # Errors
+///
+/// Same contract as [`synthesize_with_oses`].
+pub fn synthesize_with_oses_traced(
+    app: &CommGraph,
+    tech: &TechnologyParameters,
+    max_oses: usize,
+    trace: &Trace,
+) -> Result<RouterDesign, BaselineError> {
     if app.message_count() == 0 {
         return Err(BaselineError::NoMessages);
     }
     if app.node_count() < 2 {
         return Err(BaselineError::TooFewNodes);
     }
+    let _span = trace.span("xring");
 
+    let span_route = trace.span("route");
     let order = tailored_order(app);
     let cw = Cycle::new(order).expect("order is a valid permutation");
     let ccw = cw.reversed();
@@ -130,19 +161,18 @@ pub fn synthesize_with_oses(
         })
         .collect();
 
+    drop(span_route);
+
     // OSE shortcut insertion: repeatedly cut the worst path while an OSE
     // chord improves it enough.
+    let span_shortcuts = trace.span("shortcuts");
     let mut chords: HashMap<(NodeId, NodeId), WaveguideId> = HashMap::new();
     while chords.len() < max_oses {
         let Some(worst) = routes
             .iter()
             .enumerate()
             .filter(|(_, r)| r.ose_hops == 0)
-            .max_by(|a, b| {
-                a.1.length
-                    .partial_cmp(&b.1.length)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
+            .max_by(|a, b| a.1.length.total_cmp(&b.1.length))
             .map(|(i, _)| i)
         else {
             break;
@@ -170,16 +200,22 @@ pub fn synthesize_with_oses(
         };
     }
 
+    drop(span_shortcuts);
+    trace.incr("xring/oses_inserted", chords.len() as u64);
+
     // Aggressive wavelength sharing: longest paths first; ring messages may
     // take either direction if it reuses a lower wavelength, bounded by the
     // worst path length realized after the shortcuts.
+    let span_share = trace.span("share");
     let length_bound = routes.iter().map(|r| r.length).fold(0.0, f64::max);
     let mut order_ids: Vec<usize> = (0..routes.len()).collect();
+    // `total_cmp`, not `partial_cmp(..).unwrap_or(Equal)`: a NaN length
+    // from a degenerate geometry must not make the sort order depend on
+    // comparison evaluation order.
     order_ids.sort_by(|&a, &b| {
         routes[b]
             .length
-            .partial_cmp(&routes[a].length)
-            .unwrap_or(std::cmp::Ordering::Equal)
+            .total_cmp(&routes[a].length)
             .then(a.cmp(&b))
     });
 
@@ -221,7 +257,7 @@ pub fn synthesize_with_oses(
                     ),
                     b.length,
                 );
-                ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal)
+                ka.0.cmp(&kb.0).then(ka.1.total_cmp(&kb.1))
             })
             .expect("the original route is always present");
         let channels: Vec<_> = chosen
@@ -254,6 +290,7 @@ pub fn synthesize_with_oses(
         });
     }
     paths.sort_by_key(|p| p.message);
+    drop(span_share);
     let _ = tech;
 
     // XRing's hierarchical PDN: two extra splitter levels, no node-level

@@ -8,13 +8,18 @@
 //! configurations.
 
 use onoc_baselines::xring;
-use onoc_bench::harness_tech;
+use onoc_bench::{finish_trace, harness_tech, harness_trace, take_trace_flag};
 use onoc_graph::benchmarks::Benchmark;
 use sring_core::{
     AssignmentStrategy, ClusteringConfig, MilpOptions, SringConfig, SringSynthesizer,
 };
+use std::time::Instant;
 
 fn main() {
+    let started = Instant::now();
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let trace_path = take_trace_flag(&mut raw);
+    let trace = harness_trace(trace_path.as_ref());
     let tech = harness_tech();
 
     println!("1. SRing wavelength assignment: heuristic vs MILP (Eqs. 1-8)\n");
@@ -40,8 +45,9 @@ fn main() {
                 ..SringConfig::default()
             });
             let a = synth
-                .synthesize(&app)
+                .synthesize_detailed_traced(&app, &trace)
                 .expect("benchmark synthesizes")
+                .design
                 .analyze(&tech);
             results.push(a);
         }
@@ -64,7 +70,7 @@ fn main() {
     );
     let app = Benchmark::Mwd.graph();
     for oses in [0usize, 1, 2, 4, 6] {
-        let a = xring::synthesize_with_oses(&app, &tech, oses)
+        let a = xring::synthesize_with_oses_traced(&app, &tech, oses, &trace)
             .expect("synthesizes")
             .analyze(&tech);
         println!(
@@ -83,12 +89,14 @@ fn main() {
             ..SringConfig::default()
         });
         let a = synth
-            .synthesize(&Benchmark::Vopd.graph())
+            .synthesize_detailed_traced(&Benchmark::Vopd.graph(), &trace)
             .expect("synthesizes")
+            .design
             .analyze(&tech);
         println!(
             "{:<6} {:>8.2} {:>8} {:>10.2}",
             h, a.longest_path.0, a.wavelength_count, a.total_laser_power.0
         );
     }
+    finish_trace(&trace, trace_path.as_deref(), started);
 }

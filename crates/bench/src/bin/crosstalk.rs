@@ -2,11 +2,16 @@
 //! benchmark. Quantifies the paper's Sec. II-B argument that ring routers
 //! keep crosstalk benign while OSE/crossing-based designs pay for it.
 
-use onoc_bench::{harness_benchmarks, harness_tech};
+use onoc_bench::{finish_trace, harness_benchmarks, harness_tech, harness_trace, take_trace_flag};
 use onoc_eval::methods::Method;
 use onoc_photonics::analyze_crosstalk;
+use std::time::Instant;
 
 fn main() {
+    let started = Instant::now();
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let trace_path = take_trace_flag(&mut raw);
+    let trace = harness_trace(trace_path.as_ref());
     let tech = harness_tech();
     println!("worst-case SNR (dB) and total interfering contributions per design\n");
     println!(
@@ -17,8 +22,13 @@ fn main() {
         let app = b.graph();
         print!("{:<10}", b.name());
         for m in Method::standard() {
-            let design = m.synthesize(&app, &tech).expect("synthesizes");
-            let x = analyze_crosstalk(&design, &tech);
+            let design = m
+                .synthesize_traced(&app, &tech, &trace)
+                .expect("synthesizes");
+            let x = {
+                let _span = trace.span("crosstalk_analysis");
+                analyze_crosstalk(&design, &tech)
+            };
             let snr = if x.worst_snr.0.is_finite() {
                 format!("{:.1}", x.worst_snr.0)
             } else {
@@ -33,4 +43,5 @@ fn main() {
          detector. Ring routers (no crossings) accumulate only MRR leakage;\n\
          XRing's chord crossings add same-wavelength coupling on top."
     );
+    finish_trace(&trace, trace_path.as_deref(), started);
 }

@@ -3,12 +3,17 @@
 //! crossings and detours are counted.
 
 use onoc_baselines::lambda_router;
-use onoc_bench::{harness_benchmarks, harness_tech};
+use onoc_bench::{finish_trace, harness_benchmarks, harness_tech, harness_trace, take_trace_flag};
 use onoc_eval::methods::Method;
 use onoc_photonics::analyze_crosstalk;
 use sring_core::AssignmentStrategy;
+use std::time::Instant;
 
 fn main() {
+    let started = Instant::now();
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let trace_path = take_trace_flag(&mut raw);
+    let trace = harness_trace(trace_path.as_ref());
     let tech = harness_tech();
     println!("FIG. 1 (quantified) — placed crossbar λ-router vs ring routers\n");
     println!(
@@ -17,9 +22,12 @@ fn main() {
     );
     for b in harness_benchmarks() {
         let app = b.graph();
-        let crossbar = lambda_router::synthesize(&app, &tech).expect("synthesizes");
+        let crossbar = {
+            let _span = trace.span("crossbar");
+            lambda_router::synthesize(&app, &tech).expect("synthesizes")
+        };
         let sring = Method::Sring(AssignmentStrategy::Heuristic)
-            .synthesize(&app, &tech)
+            .synthesize_traced(&app, &tech, &trace)
             .expect("synthesizes");
         for design in [&crossbar, &sring] {
             let a = design.analyze(&tech);
@@ -47,4 +55,5 @@ fn main() {
          detour length to the matrix region — the paper's motivation for\n\
          ring routers, measured."
     );
+    finish_trace(&trace, trace_path.as_deref(), started);
 }

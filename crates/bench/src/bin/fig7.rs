@@ -2,14 +2,18 @@
 //! of ORNoC, CTORing, XRing and SRing for (a) the four multimedia systems
 //! and (b) the three 8-node processor-memory networks.
 
-use onoc_bench::{harness_tech, take_threads_flag};
-use onoc_eval::comparison::{compare, compare_grid, format_fig7};
+use onoc_bench::{finish_trace, harness_tech, harness_trace, take_threads_flag, take_trace_flag};
+use onoc_eval::comparison::{compare, compare_grid_traced, format_fig7};
 use onoc_eval::methods::Method;
 use onoc_graph::benchmarks::Benchmark;
+use std::time::Instant;
 
 fn main() {
+    let started = Instant::now();
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
     let threads = take_threads_flag(&mut raw);
+    let trace_path = take_trace_flag(&mut raw);
+    let trace = harness_trace(trace_path.as_ref());
     let tech = harness_tech();
     let methods = Method::standard();
 
@@ -25,8 +29,8 @@ fn main() {
     ] {
         println!("FIG. 7 {title}\n");
         let apps: Vec<_> = set.iter().map(|b| b.graph()).collect();
-        let comparisons =
-            compare_grid(&apps, &tech, &methods, threads).expect("benchmark synthesizes");
+        let comparisons = compare_grid_traced(&apps, &tech, &methods, threads, &trace)
+            .expect("benchmark synthesizes");
         print!("{}", format_fig7(&comparisons));
 
         // The paper's qualitative claims, checked live.
@@ -60,4 +64,5 @@ fn main() {
         "D26 power reduction vs best competitor: {:.1}% (paper: > 64% vs all competitors)",
         (1.0 - sring / best_other) * 100.0
     );
+    finish_trace(&trace, trace_path.as_deref(), started);
 }

@@ -9,15 +9,19 @@
 //! core) — the drawn samples are sharded by seed, not by thread, so the
 //! reported statistics are identical for every thread count.
 
-use onoc_bench::{harness_tech, take_threads_flag};
-use onoc_eval::random_baseline::{sample_random_solutions, RandomSolutionConfig};
+use onoc_bench::{finish_trace, harness_tech, harness_trace, take_threads_flag, take_trace_flag};
+use onoc_eval::random_baseline::{sample_random_solutions_traced, RandomSolutionConfig};
 use onoc_eval::Histogram;
 use onoc_graph::benchmarks::Benchmark;
 use sring_core::{SringConfig, SringSynthesizer};
+use std::time::Instant;
 
 fn main() {
+    let started = Instant::now();
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
     let threads = take_threads_flag(&mut raw);
+    let trace_path = take_trace_flag(&mut raw);
+    let trace = harness_trace(trace_path.as_ref());
     let samples: usize = raw
         .into_iter()
         .next()
@@ -36,7 +40,7 @@ fn main() {
             threads,
             ..RandomSolutionConfig::for_app(&app)
         };
-        let stats = sample_random_solutions(&app, &tech, &config);
+        let stats = sample_random_solutions_traced(&app, &tech, &config, &trace);
         println!(
             "{:<10} feasible: {:>7} / {} ({:.2} %)",
             b.name(),
@@ -50,7 +54,9 @@ fn main() {
                 tech: tech.clone(),
                 ..SringConfig::default()
             });
-            let report = synth.synthesize_detailed(&app).expect("MWD synthesizes");
+            let report = synth
+                .synthesize_detailed_traced(&app, &trace)
+                .expect("MWD synthesizes");
             mwd_stats = Some((stats, report));
         }
     }
@@ -101,4 +107,5 @@ fn main() {
         beaten,
         stats.feasible.len()
     );
+    finish_trace(&trace, trace_path.as_deref(), started);
 }

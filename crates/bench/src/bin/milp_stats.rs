@@ -5,7 +5,7 @@
 //! tracked across PRs.
 //!
 //! ```text
-//! milp_stats [out.json] [--benchmark mwd] [--threads N]
+//! milp_stats [out.json] [--benchmark mwd] [--threads N] [--trace-json t.json]
 //! ```
 //!
 //! Exits non-zero when any solve fails or reports empty statistics, which
@@ -13,12 +13,13 @@
 //! MWD alone).
 
 use milp_solver::SolveStats;
-use onoc_bench::{harness_tech, take_threads_flag};
+use onoc_bench::{finish_trace, harness_tech, harness_trace, take_threads_flag, take_trace_flag};
 use onoc_graph::benchmarks::Benchmark;
+use onoc_trace::Trace;
 use sring_core::{AssignmentStrategy, MilpOptions, SringConfig, SringSynthesizer};
 use std::fmt::Write as _;
 use std::process::ExitCode;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// The benchmarks whose assignment MILPs are tracked (the paper's three
 /// headline applications).
@@ -31,14 +32,14 @@ struct Run {
     stats: SolveStats,
 }
 
-fn solve(benchmark: Benchmark, milp: MilpOptions) -> Result<Run, String> {
+fn solve(benchmark: Benchmark, milp: MilpOptions, trace: &Trace) -> Result<Run, String> {
     let config = SringConfig {
         strategy: AssignmentStrategy::Milp(milp),
         tech: harness_tech(),
         ..SringConfig::default()
     };
     let report = SringSynthesizer::with_config(config)
-        .synthesize_detailed(&benchmark.graph())
+        .synthesize_detailed_traced(&benchmark.graph(), trace)
         .map_err(|e| format!("{benchmark}: synthesis failed: {e}"))?;
     let stats = report
         .assignment
@@ -74,7 +75,10 @@ fn json_run(out: &mut String, label: &str, run: &Run) {
          \"proven_optimal\": {},\n      \"nodes_explored\": {},\n      \"lp_solves\": {},\n      \
          \"total_pivots\": {},\n      \"primal_pivots\": {},\n      \"dual_pivots\": {},\n      \
          \"phase1_solves\": {},\n      \"warm_start_attempts\": {},\n      \
-         \"warm_start_hits\": {},\n      \"non_root_warm_rate\": {:.4}\n    }}",
+         \"warm_start_hits\": {},\n      \"non_root_warm_rate\": {:.4},\n      \
+         \"lp_time_s\": {:.6},\n      \"time_in_dual_s\": {:.6},\n      \
+         \"time_in_primal_s\": {:.6},\n      \"presolve_time_s\": {:.6},\n      \
+         \"solve_time_s\": {:.6},\n      \"max_depth\": {}\n    }}",
         run.wall_s,
         run.objective,
         run.proven_optimal,
@@ -87,10 +91,17 @@ fn json_run(out: &mut String, label: &str, run: &Run) {
         s.warm_start_attempts,
         s.warm_start_hits,
         non_root_warm_rate(s),
+        s.lp_time().as_secs_f64(),
+        s.time_in_dual.as_secs_f64(),
+        s.time_in_primal.as_secs_f64(),
+        s.presolve_time.as_secs_f64(),
+        s.solve_time.as_secs_f64(),
+        s.max_depth(),
     );
 }
 
 fn main() -> ExitCode {
+    let started = Instant::now();
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
     // Default to a serial search (not one-per-core): the recorded node and
     // pivot counts are only comparable across PRs when the exploration
@@ -99,6 +110,8 @@ fn main() -> ExitCode {
         0 => 1,
         n => n,
     };
+    let trace_path = take_trace_flag(&mut raw);
+    let trace = harness_trace(trace_path.as_ref());
     let mut only: Option<String> = None;
     if let Some(pos) = raw.iter().position(|a| a == "--benchmark") {
         raw.remove(pos);
@@ -143,6 +156,7 @@ fn main() -> ExitCode {
                 threads,
                 ..MilpOptions::default()
             },
+            &trace,
         ) {
             Ok(r) => r,
             Err(e) => {
@@ -163,6 +177,7 @@ fn main() -> ExitCode {
                 time_limit: Duration::from_secs(60),
                 ..MilpOptions::default()
             },
+            &trace,
         ) {
             Ok(r) => r,
             Err(e) => {
@@ -197,5 +212,6 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("\nstats written to {out_path}");
+    finish_trace(&trace, trace_path.as_deref(), started);
     ExitCode::SUCCESS
 }

@@ -8,17 +8,18 @@
 //! times are each app's own wall-clock, so they remain comparable up to
 //! core contention.
 
-use onoc_bench::{harness_tech, take_threads_flag};
+use onoc_bench::{finish_trace, harness_tech, harness_trace, take_threads_flag, take_trace_flag};
 use onoc_eval::methods::Method;
 use onoc_eval::par::run_indexed;
 use onoc_graph::synth;
 use onoc_graph::CommGraph;
+use onoc_trace::Trace;
 use onoc_units::Millimeters;
 use sring_core::AssignmentStrategy;
 use std::fmt::Write as _;
 use std::time::Instant;
 
-fn run(app: &CommGraph) -> String {
+fn run(app: &CommGraph, trace: &Trace) -> String {
     let tech = harness_tech();
     let mut line = format!(
         "{:<16} #N={:>3} #M={:>3}",
@@ -31,7 +32,7 @@ fn run(app: &CommGraph) -> String {
         Method::Ctoring,
     ] {
         let t = Instant::now();
-        let design = m.synthesize(app, &tech).expect("synthesizes");
+        let design = m.synthesize_traced(app, &tech, trace).expect("synthesizes");
         let elapsed = t.elapsed();
         let a = design.analyze(&tech);
         let _ = write!(
@@ -47,32 +48,36 @@ fn run(app: &CommGraph) -> String {
     line
 }
 
-fn sweep(apps: &[CommGraph], threads: usize) {
-    for line in run_indexed(apps.len(), threads, |i| run(&apps[i])) {
+fn sweep(apps: &[CommGraph], threads: usize, trace: &Trace) {
+    for line in run_indexed(apps.len(), threads, |i| run(&apps[i], trace)) {
         println!("{line}");
     }
 }
 
 fn main() {
+    let started = Instant::now();
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
     let threads = take_threads_flag(&mut raw);
+    let trace_path = take_trace_flag(&mut raw);
+    let trace = harness_trace(trace_path.as_ref());
     let pitch = Millimeters(0.26);
     println!("pipelines (feed-forward chains):");
     let apps: Vec<_> = [8usize, 16, 24, 32, 48]
         .iter()
         .map(|&stages| synth::pipeline(stages, pitch))
         .collect();
-    sweep(&apps, threads);
+    sweep(&apps, threads, &trace);
     println!("\nhub-and-spoke (accelerator-style):");
     let apps: Vec<_> = [4usize, 8, 12, 16]
         .iter()
         .map(|&spokes| synth::hub_spoke(spokes, pitch))
         .collect();
-    sweep(&apps, threads);
+    sweep(&apps, threads, &trace);
     println!("\nneighbour meshes (local traffic):");
     let apps: Vec<_> = [(3usize, 3usize), (4, 4), (5, 5), (6, 6)]
         .iter()
         .map(|&(c, r)| synth::neighbor_mesh(c, r, pitch))
         .collect();
-    sweep(&apps, threads);
+    sweep(&apps, threads, &trace);
+    finish_trace(&trace, trace_path.as_deref(), started);
 }

@@ -5,18 +5,26 @@
 //! The benchmark×method grid runs on `--threads N` workers (default: one
 //! per core); an optional positional argument names a CSV output path.
 
-use onoc_bench::{harness_benchmarks, harness_tech, paper_reference, take_threads_flag};
-use onoc_eval::comparison::{compare_grid, to_csv};
+use onoc_bench::{
+    finish_trace, harness_benchmarks, harness_tech, harness_trace, paper_reference,
+    take_threads_flag, take_trace_flag,
+};
+use onoc_eval::comparison::{compare_grid_traced, to_csv};
 use onoc_eval::methods::Method;
+use std::time::Instant;
 
 fn main() {
+    let started = Instant::now();
     let tech = harness_tech();
     let methods = Method::standard();
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
     let threads = take_threads_flag(&mut raw);
+    let trace_path = take_trace_flag(&mut raw);
+    let trace = harness_trace(trace_path.as_ref());
     let csv_path = raw.into_iter().next();
     let apps: Vec<_> = harness_benchmarks().iter().map(|b| b.graph()).collect();
-    let comparisons = compare_grid(&apps, &tech, &methods, threads).expect("benchmarks synthesize");
+    let comparisons = compare_grid_traced(&apps, &tech, &methods, threads, &trace)
+        .expect("benchmarks synthesize");
     println!("TABLE I — measured vs paper (paper values in parentheses)\n");
     for (b, cmp) in harness_benchmarks().iter().zip(&comparisons) {
         println!(
@@ -51,4 +59,5 @@ fn main() {
         std::fs::write(&path, to_csv(&comparisons)).expect("CSV written");
         println!("CSV written to {path}");
     }
+    finish_trace(&trace, trace_path.as_deref(), started);
 }

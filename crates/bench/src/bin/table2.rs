@@ -6,20 +6,28 @@
 //! on an oversubscribed machine run with `--threads 1` when the absolute
 //! times are the point.
 
-use onoc_bench::{harness_tech, take_threads_flag, PAPER_TABLE2};
+use onoc_bench::{
+    finish_trace, harness_tech, harness_trace, take_threads_flag, take_trace_flag, PAPER_TABLE2,
+};
 use onoc_eval::runtime::measure_runtimes_parallel;
 use onoc_graph::benchmarks::Benchmark;
 use sring_core::SringConfig;
+use std::time::Instant;
 
 fn main() {
+    let started = Instant::now();
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
     let threads = take_threads_flag(&mut raw);
+    let trace_path = take_trace_flag(&mut raw);
+    let trace = harness_trace(trace_path.as_ref());
     let config = SringConfig {
         tech: harness_tech(),
         ..SringConfig::default()
     };
-    let rows = measure_runtimes_parallel(&Benchmark::ALL, &config, threads)
-        .expect("benchmarks synthesize");
+    let rows = {
+        let _span = trace.span("measure_runtimes");
+        measure_runtimes_parallel(&Benchmark::ALL, &config, threads).expect("benchmarks synthesize")
+    };
     println!("TABLE II — program runtime of SRing in seconds (paper in parentheses)\n");
     println!(
         "{:<10} {:>12} {:>10} {:>6} {:>9}",
@@ -45,4 +53,5 @@ fn main() {
          built-in branch-and-bound solver (see DESIGN.md §3.1), so absolute times\n\
          differ while staying in the same seconds-per-benchmark regime."
     );
+    finish_trace(&trace, trace_path.as_deref(), started);
 }

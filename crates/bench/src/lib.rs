@@ -9,7 +9,9 @@
 #![warn(missing_docs)]
 
 use onoc_graph::benchmarks::Benchmark;
+use onoc_trace::Trace;
 use onoc_units::TechnologyParameters;
+use std::time::Instant;
 
 /// The paper's published Table I values, used for side-by-side reporting:
 /// `(benchmark, method, L, il_w, #sp_w, il_w_all)`.
@@ -106,6 +108,56 @@ pub fn threads_from_env_args() -> usize {
     take_threads_flag(&mut raw)
 }
 
+/// Removes a `--trace-json PATH` / `--trace-json=PATH` flag from `args`
+/// and returns the requested trace output path, if any. A dangling
+/// `--trace-json` without a path is removed and ignored with a warning,
+/// mirroring [`take_threads_flag`]'s tolerance for malformed flags.
+pub fn take_trace_flag(args: &mut Vec<String>) -> Option<String> {
+    if let Some(pos) = args.iter().position(|a| a == "--trace-json") {
+        args.remove(pos);
+        if pos < args.len() {
+            return Some(args.remove(pos));
+        }
+        eprintln!("warning: --trace-json needs a path; tracing disabled");
+        return None;
+    }
+    if let Some(pos) = args.iter().position(|a| a.starts_with("--trace-json=")) {
+        let value = args[pos]["--trace-json=".len()..].to_string();
+        args.remove(pos);
+        if value.is_empty() {
+            eprintln!("warning: --trace-json needs a path; tracing disabled");
+            return None;
+        }
+        return Some(value);
+    }
+    None
+}
+
+/// The trace handle for a harness binary: live exactly when the user
+/// asked for a `--trace-json` output.
+#[must_use]
+pub fn harness_trace(trace_path: Option<&String>) -> Trace {
+    Trace::enabled_if(trace_path.is_some())
+}
+
+/// Finalizes a harness binary's trace: stamps the `total_ns` gauge with
+/// the wall-clock since `started` and writes the JSON sink to `path`.
+/// No-op when tracing is disabled.
+pub fn finish_trace(trace: &Trace, path: Option<&str>, started: Instant) {
+    let Some(path) = path else {
+        return;
+    };
+    if !trace.is_enabled() {
+        return;
+    }
+    #[allow(clippy::cast_precision_loss)] // runtimes stay far below 2^53 ns
+    trace.gauge("total_ns", started.elapsed().as_nanos() as f64);
+    match std::fs::write(path, trace.report().to_json()) {
+        Ok(()) => eprintln!("trace written to {path}"),
+        Err(e) => eprintln!("warning: cannot write trace to {path}: {e}"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,6 +183,36 @@ mod tests {
         let mut args = vec!["--threads".to_string()];
         assert_eq!(take_threads_flag(&mut args), 0);
         assert!(args.is_empty());
+    }
+
+    #[test]
+    fn trace_flag_parsing() {
+        let mut args: Vec<String> = ["out.csv", "--trace-json", "t.json"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        assert_eq!(take_trace_flag(&mut args), Some("t.json".to_string()));
+        assert_eq!(args, vec!["out.csv".to_string()]);
+
+        let mut args = vec!["--trace-json=x.json".to_string()];
+        assert_eq!(take_trace_flag(&mut args), Some("x.json".to_string()));
+        assert!(args.is_empty());
+
+        // Dangling flag: removed, tracing stays off.
+        let mut args = vec!["--trace-json".to_string()];
+        assert_eq!(take_trace_flag(&mut args), None);
+        assert!(args.is_empty());
+
+        let mut args = vec!["plain".to_string()];
+        assert_eq!(take_trace_flag(&mut args), None);
+        assert_eq!(args.len(), 1);
+    }
+
+    #[test]
+    fn harness_trace_follows_the_flag() {
+        assert!(!harness_trace(None).is_enabled());
+        let path = "t.json".to_string();
+        assert!(harness_trace(Some(&path)).is_enabled());
     }
 
     #[test]

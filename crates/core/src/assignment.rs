@@ -12,6 +12,7 @@
 
 use milp_solver::{Model, ModelError, Sense, SolveOptions as MilpSolveOptions, SolveStats, Status};
 use onoc_graph::NodeId;
+use onoc_trace::Trace;
 use onoc_units::{Decibels, Wavelength};
 use std::collections::BTreeSet;
 use std::fmt;
@@ -273,10 +274,28 @@ pub fn assign(
     problem: &AssignmentProblem,
     strategy: &AssignmentStrategy,
 ) -> Result<Assignment, AssignError> {
+    assign_traced(problem, strategy, &Trace::disabled())
+}
+
+/// [`assign`] with tracing: the heuristic and the MILP run under spans,
+/// and the solver's [`SolveStats`] are folded into `trace` as `milp/*`
+/// phases, counters and gauges.
+///
+/// # Errors
+///
+/// Same contract as [`assign`].
+pub fn assign_traced(
+    problem: &AssignmentProblem,
+    strategy: &AssignmentStrategy,
+    trace: &Trace,
+) -> Result<Assignment, AssignError> {
     if problem.paths.is_empty() {
         return Err(AssignError::Empty);
     }
-    let heuristic = heuristic_assignment(problem);
+    let heuristic = {
+        let _span = trace.span("heuristic");
+        heuristic_assignment(problem)
+    };
     let use_milp = match strategy {
         AssignmentStrategy::Heuristic => None,
         AssignmentStrategy::Milp(opts) => Some(opts),
@@ -287,20 +306,63 @@ pub fn assign(
     };
     match use_milp {
         None => Ok(finish(problem, heuristic, false, None)),
-        Some(opts) => match milp_assignment(problem, &heuristic, opts) {
-            Ok((wavelengths, optimal, stats)) => {
-                // Keep whichever of heuristic/MILP scores better (the MILP
-                // explores a bounded pool, so the heuristic can in corner
-                // cases win).
-                if problem.objective(&wavelengths) <= problem.objective(&heuristic) + 1e-9 {
-                    Ok(finish(problem, wavelengths, optimal, Some(stats)))
-                } else {
-                    Ok(finish(problem, heuristic, false, Some(stats)))
+        Some(opts) => {
+            let solved = {
+                let _span = trace.span("milp");
+                milp_assignment(problem, &heuristic, opts)
+            };
+            match solved {
+                Ok((wavelengths, optimal, stats)) => {
+                    record_solver_stats(trace, &stats);
+                    // Keep whichever of heuristic/MILP scores better (the MILP
+                    // explores a bounded pool, so the heuristic can in corner
+                    // cases win).
+                    if problem.objective(&wavelengths) <= problem.objective(&heuristic) + 1e-9 {
+                        Ok(finish(problem, wavelengths, optimal, Some(stats)))
+                    } else {
+                        Ok(finish(problem, heuristic, false, Some(stats)))
+                    }
                 }
+                Err(e) => Err(AssignError::Solver(e)),
             }
-            Err(e) => Err(AssignError::Solver(e)),
-        },
+        }
     }
+}
+
+/// Folds one MILP solve's counters and phase timers into the trace. The
+/// phase paths resolve under the calling thread's open span, so in the
+/// full pipeline they land at `synth/assign/milp/...`, right under the
+/// span that timed the solve; the counters and gauges are flat
+/// (`milp/...`) and additive across repeated solves.
+fn record_solver_stats(trace: &Trace, stats: &SolveStats) {
+    if !trace.is_enabled() {
+        return;
+    }
+    trace.add_time("milp/presolve", stats.presolve_time, 1);
+    trace.add_time(
+        "milp/lp/dual",
+        stats.time_in_dual,
+        stats.warm_start_hits as u64,
+    );
+    trace.add_time(
+        "milp/lp/primal",
+        stats.time_in_primal,
+        (stats.lp_solves - stats.warm_start_hits) as u64,
+    );
+    trace.add_time("milp/branching", stats.branching_time(), 1);
+    trace.incr("milp/nodes_explored", stats.nodes_explored as u64);
+    trace.incr("milp/lp_solves", stats.lp_solves as u64);
+    trace.incr("milp/primal_pivots", stats.primal_pivots as u64);
+    trace.incr("milp/dual_pivots", stats.dual_pivots as u64);
+    trace.incr("milp/phase1_solves", stats.phase1_solves as u64);
+    trace.incr("milp/warm_start_attempts", stats.warm_start_attempts as u64);
+    trace.incr("milp/warm_start_hits", stats.warm_start_hits as u64);
+    for (depth, &count) in stats.nodes_by_depth.iter().enumerate() {
+        if count > 0 {
+            trace.incr(&format!("milp/nodes_at_depth/{depth:02}"), count as u64);
+        }
+    }
+    trace.gauge("milp/warm_hit_rate", stats.warm_hit_rate());
 }
 
 fn finish(
@@ -648,7 +710,11 @@ fn milp_assignment(
             .expect("Eq. 1 guarantees one wavelength");
         wavelengths.push(Wavelength(l));
     }
-    Ok((wavelengths, sol.status() == Status::Optimal, *sol.stats()))
+    Ok((
+        wavelengths,
+        sol.status() == Status::Optimal,
+        sol.stats().clone(),
+    ))
 }
 
 #[cfg(test)]

@@ -2,7 +2,7 @@
 //! implementation → wavelength assignment → router design.
 
 use crate::assignment::{
-    assign, AssignError, AssignPath, Assignment, AssignmentProblem, AssignmentStrategy,
+    assign_traced, AssignError, AssignPath, Assignment, AssignmentProblem, AssignmentStrategy,
 };
 use crate::cluster::{cluster, Cluster, ClusterError, Clustering, ClusteringConfig};
 use onoc_graph::{CommGraph, NodeId};
@@ -10,6 +10,7 @@ use onoc_layout::{Layout, WaveguideId};
 use onoc_photonics::{
     insertion_loss, DesignError, PathGeometry, PdnDesign, PdnStyle, RouterDesign, SignalPath,
 };
+use onoc_trace::Trace;
 use onoc_units::TechnologyParameters;
 use std::collections::BTreeSet;
 use std::fmt;
@@ -153,10 +154,33 @@ impl SringSynthesizer {
     ///
     /// See [`SringError`].
     pub fn synthesize_detailed(&self, app: &CommGraph) -> Result<SringReport, SringError> {
+        self.synthesize_detailed_traced(app, &Trace::disabled())
+    }
+
+    /// [`SringSynthesizer::synthesize_detailed`] with tracing: every
+    /// pipeline stage runs under a span (`synth/cluster`, `synth/layout`,
+    /// `synth/route`, `synth/assign` with the MILP sub-phases beneath it,
+    /// `synth/pdn`, `synth/validate`), and headline results are recorded
+    /// as counters/gauges. Pass [`Trace::disabled`] (what
+    /// [`SringSynthesizer::synthesize_detailed`] does) to skip all of it.
+    ///
+    /// # Errors
+    ///
+    /// See [`SringError`].
+    pub fn synthesize_detailed_traced(
+        &self,
+        app: &CommGraph,
+        trace: &Trace,
+    ) -> Result<SringReport, SringError> {
         let start = Instant::now();
+        let span_synth = trace.span("synth");
+
+        let span_cluster = trace.span("cluster");
         let clustering = cluster(app, &self.config.clustering)?;
+        drop(span_cluster);
 
         // --- Physical implementation (Sec. III-A-3). ---
+        let span_layout = trace.span("layout");
         let positions: Vec<_> = app.node_ids().map(|v| app.position(v)).collect();
         let mut layout = Layout::new(positions);
         let mut intra_wg: Vec<Option<WaveguideId>> = Vec::with_capacity(clustering.clusters.len());
@@ -167,7 +191,9 @@ impl SringSynthesizer {
             .inter_ring
             .as_ref()
             .map(|r| layout.route_cycle(r));
+        drop(span_layout);
 
+        let span_route = trace.span("route");
         // --- Signal-path construction. ---
         // Candidate routes per message: the cluster ring for same-cluster
         // messages, the inter ring for cross-cluster ones, and (with
@@ -325,27 +351,41 @@ impl SringSynthesizer {
             });
         }
 
+        drop(span_route);
+
         // --- Wavelength assignment (Sec. III-B). ---
+        let span_assign = trace.span("assign");
         let problem = AssignmentProblem::new(
             app.node_count(),
             assign_paths,
             self.config.tech.splitter_loss(),
         );
-        let assignment = assign(&problem, &self.config.strategy)?;
+        let assignment = assign_traced(&problem, &self.config.strategy, trace)?;
         for (p, &w) in signal_paths.iter_mut().zip(&assignment.wavelengths) {
             p.wavelength = w;
         }
+        drop(span_assign);
 
         // --- PDN (construction of ref. [22]). ---
+        let span_pdn = trace.span("pdn");
         let sender_nodes: BTreeSet<NodeId> = signal_paths.iter().map(|p| p.src).collect();
         let pdn = PdnDesign::new(
             PdnStyle::SharedTree,
             assignment.node_splitter.clone(),
             sender_nodes.len(),
         );
-
         let design = RouterDesign::new("SRing", app.name(), layout, signal_paths, pdn)?;
+        drop(span_pdn);
+
+        let span_validate = trace.span("validate");
         design.validate_against(app)?;
+        drop(span_validate);
+        drop(span_synth);
+
+        trace.incr("synth/runs", 1);
+        trace.incr("synth/messages", app.message_count() as u64);
+        trace.gauge("synth/wavelengths", assignment.wavelength_count as f64);
+        trace.gauge("synth/sub_rings", clustering.sub_ring_count() as f64);
         Ok(SringReport {
             design,
             clustering,

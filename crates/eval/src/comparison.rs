@@ -5,6 +5,7 @@ use crate::methods::{EvalError, Method};
 use crate::par::run_indexed;
 use onoc_graph::CommGraph;
 use onoc_photonics::RouterAnalysis;
+use onoc_trace::Trace;
 use onoc_units::TechnologyParameters;
 use std::fmt::Write as _;
 
@@ -39,9 +40,27 @@ pub fn compare(
     tech: &TechnologyParameters,
     methods: &[Method],
 ) -> Result<Comparison, EvalError> {
+    compare_traced(app, tech, methods, &Trace::disabled())
+}
+
+/// [`compare`] with tracing: each method runs under a
+/// `compare/<method>` span on top of the method's own span tree.
+///
+/// # Errors
+///
+/// Same contract as [`compare`].
+pub fn compare_traced(
+    app: &CommGraph,
+    tech: &TechnologyParameters,
+    methods: &[Method],
+    trace: &Trace,
+) -> Result<Comparison, EvalError> {
     let mut rows = Vec::with_capacity(methods.len());
     for m in methods {
-        let design = m.synthesize(app, tech)?;
+        let design = {
+            let _span = trace.span_at(&format!("compare/{}", m.name()));
+            m.synthesize_traced(app, tech, trace)?
+        };
         rows.push(design.analyze(tech));
     }
     Ok(Comparison {
@@ -68,10 +87,31 @@ pub fn compare_grid(
     methods: &[Method],
     threads: usize,
 ) -> Result<Vec<Comparison>, EvalError> {
+    compare_grid_traced(apps, tech, methods, threads, &Trace::disabled())
+}
+
+/// [`compare_grid`] with tracing: each `benchmark × method` cell runs
+/// under a `compare/<method>` span. Workers record into the shared
+/// registry, so the aggregated phase totals are independent of the
+/// thread count (wall-clock sums, not wall-clock elapsed).
+///
+/// # Errors
+///
+/// Same contract as [`compare_grid`].
+pub fn compare_grid_traced(
+    apps: &[CommGraph],
+    tech: &TechnologyParameters,
+    methods: &[Method],
+    threads: usize,
+    trace: &Trace,
+) -> Result<Vec<Comparison>, EvalError> {
     let cells = run_indexed(apps.len() * methods.len(), threads, |cell| {
         let app = &apps[cell / methods.len()];
         let method = &methods[cell % methods.len()];
-        method.synthesize(app, tech).map(|d| d.analyze(tech))
+        let _span = trace.span_at(&format!("compare/{}", method.name()));
+        method
+            .synthesize_traced(app, tech, trace)
+            .map(|d| d.analyze(tech))
     });
     let mut cells = cells.into_iter();
     apps.iter()
@@ -272,6 +312,49 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn traced_compare_records_every_method_and_is_thread_count_invariant() {
+        let tech = TechnologyParameters::default();
+        let apps = vec![benchmarks::mwd(), benchmarks::vopd()];
+        let methods = Method::standard();
+        let run = |threads: usize| {
+            let trace = Trace::new();
+            compare_grid_traced(&apps, &tech, &methods, threads, &trace).unwrap();
+            trace.report()
+        };
+        let reference = run(1);
+        for m in &methods {
+            let stat = reference
+                .phase(&format!("compare/{}", m.name()))
+                .unwrap_or_else(|| panic!("no span for {}", m.name()));
+            assert_eq!(stat.calls, apps.len() as u64, "{}", m.name());
+        }
+        // SRing's pipeline spans nest under its compare cell.
+        assert!(reference.phase("compare/SRing/synth/assign").is_some());
+        // Span call counts and counters are identical whatever the
+        // thread count: the grid is index-addressed and deterministic.
+        // The MILP solver's own worker pool makes its node/pivot counts
+        // vary run to run, so `milp/` metrics are excluded here (the
+        // solver's objective determinism is covered in milp-solver).
+        let parallel = run(4);
+        let deterministic = |r: &onoc_trace::TraceReport| {
+            let counters: Vec<_> = r
+                .counters
+                .iter()
+                .filter(|(k, _)| !k.starts_with("milp/"))
+                .map(|(k, v)| (k.clone(), *v))
+                .collect();
+            let calls: Vec<_> = r
+                .phases
+                .iter()
+                .filter(|(k, _)| !k.contains("milp"))
+                .map(|(k, v)| (k.clone(), v.calls))
+                .collect();
+            (counters, calls)
+        };
+        assert_eq!(deterministic(&parallel), deterministic(&reference));
     }
 
     #[test]

@@ -4,6 +4,13 @@ use std::fmt;
 
 /// A histogram over `[min, max)` with equally wide bins.
 ///
+/// Out-of-range samples are never clamped into the edge bins: values
+/// below `min` count as *underflow*, values at or above `max` as
+/// *overflow*, and both are reported separately so a mis-sized range
+/// cannot silently distort the distribution. `NaN` is rejected with a
+/// debug assertion (a `NaN` sample is always an upstream bug); release
+/// builds count it as overflow rather than aborting an overnight run.
+///
 /// # Examples
 ///
 /// ```
@@ -13,15 +20,19 @@ use std::fmt;
 /// h.add(1.0);
 /// h.add(1.5);
 /// h.add(9.9);
+/// h.add(-0.5);
 /// assert_eq!(h.counts(), &[2, 0, 0, 0, 1]);
 /// assert_eq!(h.total(), 3);
+/// assert_eq!(h.underflow(), 1);
+/// assert_eq!(h.overflow(), 0);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     min: f64,
     max: f64,
     counts: Vec<usize>,
-    outliers: usize,
+    underflow: usize,
+    overflow: usize,
 }
 
 impl Histogram {
@@ -38,14 +49,26 @@ impl Histogram {
             min,
             max,
             counts: vec![0; bins],
-            outliers: 0,
+            underflow: 0,
+            overflow: 0,
         }
     }
 
-    /// Adds a sample; values outside `[min, max)` are counted as outliers.
+    /// Adds a sample; values below `min` count as underflow, values at or
+    /// above `max` as overflow.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic on a `NaN` sample.
     pub fn add(&mut self, value: f64) {
-        if !value.is_finite() || value < self.min || value >= self.max {
-            self.outliers += 1;
+        debug_assert!(!value.is_nan(), "NaN sample added to histogram");
+        if value < self.min {
+            self.underflow += 1;
+            return;
+        }
+        if value >= self.max || value.is_nan() {
+            // ≥ max, +inf — and NaN in release builds.
+            self.overflow += 1;
             return;
         }
         let width = (self.max - self.min) / self.counts.len() as f64;
@@ -59,10 +82,22 @@ impl Histogram {
         &self.counts
     }
 
-    /// Samples that fell outside the range.
+    /// Samples below `min`.
+    #[must_use]
+    pub fn underflow(&self) -> usize {
+        self.underflow
+    }
+
+    /// Samples at or above `max`.
+    #[must_use]
+    pub fn overflow(&self) -> usize {
+        self.overflow
+    }
+
+    /// Samples that fell outside the range (underflow + overflow).
     #[must_use]
     pub fn outliers(&self) -> usize {
-        self.outliers
+        self.underflow + self.overflow
     }
 
     /// Total in-range samples.
@@ -89,14 +124,17 @@ impl Histogram {
 
 impl fmt::Display for Histogram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.underflow > 0 {
+            writeln!(f, "[      below {:>9.3})  {:>7}", self.min, self.underflow)?;
+        }
         let peak = self.counts.iter().copied().max().unwrap_or(0).max(1);
         for (i, &c) in self.counts.iter().enumerate() {
             let (lo, hi) = self.bin_range(i);
             let bar = "#".repeat(c * 50 / peak);
             writeln!(f, "[{lo:>9.3}, {hi:>9.3})  {c:>7}  {bar}")?;
         }
-        if self.outliers > 0 {
-            writeln!(f, "outliers: {}", self.outliers)?;
+        if self.overflow > 0 {
+            writeln!(f, "[{:>9.3} and above)  {:>7}", self.max, self.overflow)?;
         }
         Ok(())
     }
@@ -113,18 +151,35 @@ mod tests {
         h.add(0.999);
         h.add(1.0);
         h.add(3.999);
-        h.add(4.0); // outlier: max excluded
+        h.add(4.0); // overflow: max excluded
         assert_eq!(h.counts(), &[2, 1, 0, 1]);
         assert_eq!(h.outliers(), 1);
+        assert_eq!(h.overflow(), 1);
         assert_eq!(h.total(), 4);
     }
 
     #[test]
-    fn nan_counts_as_outlier() {
+    fn underflow_and_overflow_tracked_separately() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(-0.001);
+        h.add(f64::NEG_INFINITY);
+        h.add(1.0);
+        h.add(f64::INFINITY);
+        h.add(0.5);
+        assert_eq!(h.underflow(), 2);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.outliers(), 4);
+        assert_eq!(h.total(), 1);
+        // Regression: nothing out of range was clamped into an edge bin.
+        assert_eq!(h.counts(), &[0, 1]);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "NaN sample")]
+    fn nan_panics_in_debug_builds() {
         let mut h = Histogram::new(0.0, 1.0, 2);
         h.add(f64::NAN);
-        assert_eq!(h.outliers(), 1);
-        assert_eq!(h.total(), 0);
     }
 
     #[test]
@@ -161,6 +216,8 @@ mod tests {
                 prop_assert_eq!(h.total() + h.outliers(), samples.len());
                 let expected_in = samples.iter().filter(|&&x| (0.0..10.0).contains(&x)).count();
                 prop_assert_eq!(h.total(), expected_in);
+                let expected_under = samples.iter().filter(|&&x| x < 0.0).count();
+                prop_assert_eq!(h.underflow(), expected_under);
             }
 
             #[test]
@@ -187,5 +244,18 @@ mod tests {
         let s = h.to_string();
         assert!(s.contains('#'));
         assert!(s.lines().count() >= 2);
+    }
+
+    #[test]
+    fn render_surfaces_out_of_range_counts() {
+        let mut h = Histogram::new(0.0, 2.0, 2);
+        h.add(-1.0);
+        h.add(0.5);
+        h.add(2.0);
+        h.add(3.0);
+        let s = h.to_string();
+        assert!(s.contains("below"), "{s}");
+        assert!(s.contains("and above"), "{s}");
+        assert!(s.contains("      2"), "{s}");
     }
 }

@@ -3,6 +3,7 @@
 use onoc_baselines::{ctoring, ornoc, xring, BaselineError};
 use onoc_graph::CommGraph;
 use onoc_photonics::RouterDesign;
+use onoc_trace::Trace;
 use onoc_units::TechnologyParameters;
 use sring_core::{AssignmentStrategy, SringConfig, SringError, SringSynthesizer};
 use std::fmt;
@@ -55,17 +56,33 @@ impl Method {
         app: &CommGraph,
         tech: &TechnologyParameters,
     ) -> Result<RouterDesign, EvalError> {
+        self.synthesize_traced(app, tech, &Trace::disabled())
+    }
+
+    /// [`Method::synthesize`] with tracing: the underlying method runs
+    /// under its own span tree (`ornoc`/`ctoring`/`xring`/`synth` with
+    /// the per-stage sub-phases each method records).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Method::synthesize`].
+    pub fn synthesize_traced(
+        &self,
+        app: &CommGraph,
+        tech: &TechnologyParameters,
+        trace: &Trace,
+    ) -> Result<RouterDesign, EvalError> {
         match self {
-            Method::Ornoc => Ok(ornoc::synthesize(app, tech)?),
-            Method::Ctoring => Ok(ctoring::synthesize(app, tech)?),
-            Method::Xring => Ok(xring::synthesize(app, tech)?),
+            Method::Ornoc => Ok(ornoc::synthesize_traced(app, tech, trace)?),
+            Method::Ctoring => Ok(ctoring::synthesize_traced(app, tech, trace)?),
+            Method::Xring => Ok(xring::synthesize_traced(app, tech, trace)?),
             Method::Sring(strategy) => {
                 let synth = SringSynthesizer::with_config(SringConfig {
                     strategy: strategy.clone(),
                     tech: tech.clone(),
                     ..SringConfig::default()
                 });
-                Ok(synth.synthesize(app)?)
+                Ok(synth.synthesize_detailed_traced(app, trace)?.design)
             }
         }
     }

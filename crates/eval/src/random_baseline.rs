@@ -24,6 +24,7 @@ use crate::par::run_indexed;
 use onoc_graph::{CommGraph, NodeId};
 use onoc_layout::Cycle;
 use onoc_photonics::{insertion_loss, PathGeometry};
+use onoc_trace::Trace;
 use onoc_units::{Decibels, Millimeters, TechnologyParameters};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -120,6 +121,22 @@ pub fn sample_random_solutions(
     tech: &TechnologyParameters,
     config: &RandomSolutionConfig,
 ) -> RandomSolutionStats {
+    sample_random_solutions_traced(app, tech, config, &Trace::disabled())
+}
+
+/// [`sample_random_solutions`] with tracing: the sampler runs under a
+/// `fig8_sampler` span with one aggregated `fig8_sampler/shard` phase
+/// (per-shard wall-clock; `calls` = shards actually drawn), plus
+/// `eval/samples_attempted` / `eval/samples_feasible` counters. Because
+/// shards — not threads — own the random streams, the counters and the
+/// shard call count are identical for every thread count.
+#[must_use]
+pub fn sample_random_solutions_traced(
+    app: &CommGraph,
+    tech: &TechnologyParameters,
+    config: &RandomSolutionConfig,
+    trace: &Trace,
+) -> RandomSolutionStats {
     let n = app.node_count();
     if n < 2 || app.message_count() == 0 || config.pool_size == 0 {
         return RandomSolutionStats {
@@ -127,12 +144,15 @@ pub fn sample_random_solutions(
             feasible: Vec::new(),
         };
     }
+    let _span = trace.span_at("fig8_sampler");
 
     // Fixed shard sizes: the first `samples % SHARD_COUNT` shards get one
     // extra sample, independent of the thread count.
     let base = config.samples / SHARD_COUNT;
     let extra = config.samples % SHARD_COUNT;
     let shards = run_indexed(SHARD_COUNT, config.threads, |shard| {
+        // Absolute path: worker threads have no span stack of their own.
+        let _shard_span = trace.span_at("fig8_sampler/shard");
         let mut rng = SmallRng::seed_from_u64(shard_seed(config.seed, shard));
         let count = base + usize::from(shard < extra);
         let mut found = Vec::new();
@@ -143,10 +163,13 @@ pub fn sample_random_solutions(
         }
         found
     });
-    RandomSolutionStats {
+    let stats = RandomSolutionStats {
         attempted: config.samples,
         feasible: shards.into_iter().flatten().collect(),
-    }
+    };
+    trace.incr("eval/samples_attempted", stats.attempted as u64);
+    trace.incr("eval/samples_feasible", stats.feasible.len() as u64);
+    stats
 }
 
 /// Decorrelates per-shard streams (SplitMix64-style odd-constant mix).

@@ -645,7 +645,7 @@ mod tests {
             .neighbors(v2)
             .iter()
             .copied()
-            .min_by(|&a, &b| g.manhattan(v2, a).partial_cmp(&g.manhattan(v2, b)).unwrap())
+            .min_by(|&a, &b| g.manhattan(v2, a).0.total_cmp(&g.manhattan(v2, b).0))
             .unwrap();
         assert_eq!(closest, v1);
     }

@@ -142,7 +142,7 @@ pub enum Status {
 
 /// Aggregate solver statistics for one MILP solve, accumulated per worker
 /// and merged at the end of the search.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SolveStats {
     /// Branch-and-bound nodes whose LP relaxation was solved.
     pub nodes_explored: usize,
@@ -161,6 +161,19 @@ pub struct SolveStats {
     /// Warm-start attempts that finished on the dual-simplex path — no
     /// phase-1, no cold start.
     pub warm_start_hits: usize,
+    /// Explored nodes bucketed by tree depth (`nodes_by_depth[d]` =
+    /// nodes at depth `d`); sums to `nodes_explored`.
+    pub nodes_by_depth: Vec<usize>,
+    /// Wall-clock spent in node LPs that re-optimized on the warm
+    /// dual-simplex path.
+    pub time_in_dual: Duration,
+    /// Wall-clock spent in node LPs that went through the (cold)
+    /// two-phase primal path.
+    pub time_in_primal: Duration,
+    /// Wall-clock of the presolve reductions, when presolve ran.
+    pub presolve_time: Duration,
+    /// Wall-clock of the whole solve, presolve included.
+    pub solve_time: Duration,
 }
 
 impl SolveStats {
@@ -184,13 +197,55 @@ impl SolveStats {
         }
     }
 
-    pub(crate) fn record_lp(&mut self, result: &crate::simplex::LpResult, attempted_warm: bool) {
+    /// Combined wall-clock of all node LP solves.
+    #[must_use]
+    pub fn lp_time(&self) -> Duration {
+        self.time_in_dual + self.time_in_primal
+    }
+
+    /// Wall-clock of the search outside presolve and the node LPs:
+    /// branching, bound bookkeeping and (parallel) pool coordination.
+    /// Zero until the solve finishes populating `solve_time`.
+    #[must_use]
+    pub fn branching_time(&self) -> Duration {
+        self.solve_time
+            .saturating_sub(self.presolve_time)
+            .saturating_sub(self.lp_time())
+    }
+
+    /// Deepest tree level any explored node sat at.
+    #[must_use]
+    pub fn max_depth(&self) -> usize {
+        self.nodes_by_depth.len().saturating_sub(1)
+    }
+
+    pub(crate) fn record_lp(
+        &mut self,
+        result: &crate::simplex::LpResult,
+        attempted_warm: bool,
+        elapsed: Duration,
+    ) {
         self.lp_solves += 1;
         self.primal_pivots += result.pivots;
         self.dual_pivots += result.dual_pivots;
         self.phase1_solves += usize::from(result.phase1);
         self.warm_start_attempts += usize::from(attempted_warm);
         self.warm_start_hits += usize::from(result.warm_used);
+        // Whole-LP granularity: a warm solve that fell back to the cold
+        // path reports `warm_used = false`, so its time (including the
+        // abandoned dual attempt) lands in the primal bucket.
+        if result.warm_used {
+            self.time_in_dual += elapsed;
+        } else {
+            self.time_in_primal += elapsed;
+        }
+    }
+
+    pub(crate) fn record_node(&mut self, depth: usize) {
+        if self.nodes_by_depth.len() <= depth {
+            self.nodes_by_depth.resize(depth + 1, 0);
+        }
+        self.nodes_by_depth[depth] += 1;
     }
 
     pub(crate) fn merge(&mut self, other: &SolveStats) {
@@ -201,6 +256,16 @@ impl SolveStats {
         self.phase1_solves += other.phase1_solves;
         self.warm_start_attempts += other.warm_start_attempts;
         self.warm_start_hits += other.warm_start_hits;
+        if self.nodes_by_depth.len() < other.nodes_by_depth.len() {
+            self.nodes_by_depth.resize(other.nodes_by_depth.len(), 0);
+        }
+        for (mine, theirs) in self.nodes_by_depth.iter_mut().zip(&other.nodes_by_depth) {
+            *mine += theirs;
+        }
+        self.time_in_dual += other.time_in_dual;
+        self.time_in_primal += other.time_in_primal;
+        self.presolve_time += other.presolve_time;
+        self.solve_time += other.solve_time;
     }
 }
 
@@ -479,6 +544,7 @@ pub(crate) fn evaluate_node(
     } else {
         None
     };
+    let lp_start = Instant::now();
     let result = solve_lp_warm(
         ctx.lp,
         &scratch.lower,
@@ -487,7 +553,10 @@ pub(crate) fn evaluate_node(
         &mut scratch.workspace,
         warm,
     );
-    scratch.stats.record_lp(&result, warm.is_some());
+    scratch.stats.record_node(node.depth);
+    scratch
+        .stats
+        .record_lp(&result, warm.is_some(), lp_start.elapsed());
     match result.status {
         LpStatus::Infeasible => return NodeOutcome::Infeasible,
         LpStatus::Unbounded => return NodeOutcome::Unbounded,
@@ -645,13 +714,17 @@ pub(crate) fn assemble(ctx: &SearchCtx<'_>, end: SearchEnd) -> Result<MilpSoluti
 pub(crate) fn solve(model: &Model, options: &SolveOptions) -> Result<MilpSolution, ModelError> {
     // Presolve keeps the variable set, so solutions map back one-to-one.
     if options.presolve {
+        let presolve_start = Instant::now();
         let reduced = crate::presolve::presolve(model)?;
+        let presolve_time = presolve_start.elapsed();
         let mut inner = options.clone();
         inner.presolve = false;
         let mut sol = solve(&reduced.model, &inner)?;
         // Report the objective against the original model (identical by
         // construction, but re-evaluating guards against drift).
         sol.objective = model.objective.evaluate(sol.values());
+        sol.stats.presolve_time += presolve_time;
+        sol.stats.solve_time += presolve_time;
         return Ok(sol);
     }
     let start = Instant::now();
@@ -691,7 +764,9 @@ pub(crate) fn solve(model: &Model, options: &SolveOptions) -> Result<MilpSolutio
     } else {
         search_serial(&ctx, root, incumbent)
     };
-    assemble(&ctx, end)
+    let mut sol = assemble(&ctx, end)?;
+    sol.stats.solve_time = start.elapsed();
+    Ok(sol)
 }
 
 fn search_serial(
@@ -1295,6 +1370,11 @@ mod tests {
         assert_eq!(cs.warm_start_hits, 0);
         assert_eq!(cs.phase1_solves, cs.lp_solves);
         assert_eq!(cs.dual_pivots, 0);
+        // Timer attribution mirrors the path taken: all-dual when every
+        // warm start hit, all-primal when none was attempted.
+        assert!(ws.time_in_dual > Duration::ZERO, "{ws:?}");
+        assert_eq!(cs.time_in_dual, Duration::ZERO, "{cs:?}");
+        assert!(cs.time_in_primal > Duration::ZERO, "{cs:?}");
         // The point of the exercise: warm starting pivots strictly less.
         assert!(
             ws.total_pivots() < cs.total_pivots(),
@@ -1318,6 +1398,27 @@ mod tests {
             assert!(s.warm_start_attempts < s.lp_solves);
             assert!(s.phase1_solves <= s.lp_solves);
             assert!(s.warm_hit_rate() >= 0.9, "{threads} threads: {s:?}");
+            // Depth histogram: one bucket entry per explored node, rooted
+            // at a single depth-0 node (presolve solves a second trivial
+            // root when it fixes everything — not on this model).
+            assert_eq!(
+                s.nodes_by_depth.iter().sum::<usize>(),
+                s.nodes_explored,
+                "{threads} threads: {s:?}"
+            );
+            assert!(s.max_depth() >= 1, "{threads} threads: {s:?}");
+            // Phase timers: every LP landed in exactly one bucket. With
+            // one worker LP time is nested inside the solve wall-clock;
+            // across several workers the summed LP time may exceed it.
+            assert!(s.solve_time > Duration::ZERO);
+            assert!(s.lp_time() > Duration::ZERO);
+            if threads == 1 {
+                assert!(s.solve_time >= s.presolve_time + s.lp_time(), "{s:?}");
+                assert_eq!(
+                    s.branching_time() + s.presolve_time + s.lp_time(),
+                    s.solve_time
+                );
+            }
         }
     }
 

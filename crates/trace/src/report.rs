@@ -1,0 +1,320 @@
+//! Immutable snapshots of a trace registry, plus the two sinks: a
+//! human-readable per-phase breakdown and a machine-readable JSON
+//! document that round-trips exactly.
+
+use crate::json::{self, JsonError, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+/// Aggregated timing for one span path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// How many spans closed on this path.
+    pub calls: u64,
+    /// Total wall-clock across all of them.
+    pub total: Duration,
+    /// The single longest call.
+    pub max: Duration,
+}
+
+impl PhaseStat {
+    /// Mean wall-clock per call (zero when no calls were recorded).
+    #[must_use]
+    pub fn mean(&self) -> Duration {
+        if self.calls == 0 {
+            Duration::ZERO
+        } else {
+            self.total / u32::try_from(self.calls).unwrap_or(u32::MAX)
+        }
+    }
+}
+
+/// A point-in-time snapshot of everything a [`crate::Trace`] recorded.
+///
+/// Phases are keyed by their slash-separated span path
+/// (`"synth/assign/milp"`), so the hierarchy is recoverable from the flat
+/// map; counters and gauges are flat name/value pairs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceReport {
+    /// Wall-clock per span path.
+    pub phases: BTreeMap<String, PhaseStat>,
+    /// Monotonic event counts.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins measurements.
+    pub gauges: BTreeMap<String, f64>,
+}
+
+impl TraceReport {
+    /// The stat recorded under `path`, if any.
+    #[must_use]
+    pub fn phase(&self, path: &str) -> Option<&PhaseStat> {
+        self.phases.get(path)
+    }
+
+    /// The counter named `name`, if any.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// The gauge named `name`, if any.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Sum of the totals of all *top-level* phases (paths without a `/`).
+    /// When every top-level stage of a program runs under a span, this is
+    /// its observed wall-clock.
+    #[must_use]
+    pub fn top_level_total(&self) -> Duration {
+        self.phases
+            .iter()
+            .filter(|(path, _)| !path.contains('/'))
+            .map(|(_, stat)| stat.total)
+            .sum()
+    }
+
+    /// Sum of the totals of the *direct* children of `path`.
+    #[must_use]
+    pub fn children_total(&self, path: &str) -> Duration {
+        let prefix = format!("{path}/");
+        self.phases
+            .iter()
+            .filter(|(p, _)| {
+                p.strip_prefix(&prefix)
+                    .is_some_and(|rest| !rest.contains('/'))
+            })
+            .map(|(_, stat)| stat.total)
+            .sum()
+    }
+
+    /// Renders the human-readable sink: an indented per-phase breakdown
+    /// followed by the counters and gauges.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "── trace: phase breakdown ──");
+        if self.phases.is_empty() {
+            let _ = writeln!(out, "  (no spans recorded)");
+        }
+        // BTreeMap order is lexicographic on the path, which lists every
+        // phase immediately after its parent; the depth gives the indent.
+        for (path, stat) in &self.phases {
+            let depth = path.matches('/').count();
+            let label = path.rsplit('/').next().unwrap_or(path);
+            let _ = writeln!(
+                out,
+                "  {:indent$}{:<width$} {:>12} ×{}",
+                "",
+                label,
+                format_duration(stat.total),
+                stat.calls,
+                indent = depth * 2,
+                width = 28usize.saturating_sub(depth * 2),
+            );
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "── trace: counters ──");
+            for (name, value) in &self.counters {
+                let _ = writeln!(out, "  {name} = {value}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "── trace: gauges ──");
+            for (name, value) in &self.gauges {
+                let _ = writeln!(out, "  {name} = {value}");
+            }
+        }
+        out
+    }
+
+    /// Serializes to the JSON sink format.
+    ///
+    /// Durations are written as integer nanoseconds (`total_ns`,
+    /// `max_ns`), so `from_json` reconstructs the report *exactly* —
+    /// no float rounding of timing data.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let phases = self
+            .phases
+            .iter()
+            .map(|(path, stat)| {
+                (
+                    path.clone(),
+                    Value::Object(vec![
+                        ("calls".to_string(), Value::Number(stat.calls as f64)),
+                        ("total_ns".to_string(), nanos(stat.total)),
+                        ("max_ns".to_string(), nanos(stat.max)),
+                    ]),
+                )
+            })
+            .collect();
+        let counters = self
+            .counters
+            .iter()
+            .map(|(name, value)| (name.clone(), Value::Number(*value as f64)))
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|(name, value)| (name.clone(), Value::Number(*value)))
+            .collect();
+        Value::Object(vec![
+            ("phases".to_string(), Value::Object(phases)),
+            ("counters".to_string(), Value::Object(counters)),
+            ("gauges".to_string(), Value::Object(gauges)),
+        ])
+        .to_json()
+    }
+
+    /// Parses a document produced by [`TraceReport::to_json`].
+    pub fn from_json(text: &str) -> Result<TraceReport, JsonError> {
+        let doc = json::parse(text)?;
+        let bad = |message: &str| JsonError {
+            message: message.to_string(),
+            offset: 0,
+        };
+        let mut report = TraceReport::default();
+        for (path, entry) in section(&doc, "phases")? {
+            let field = |name: &str| {
+                entry
+                    .get(name)
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| bad(&format!("phase `{path}` missing integer `{name}`")))
+            };
+            report.phases.insert(
+                path.clone(),
+                PhaseStat {
+                    calls: field("calls")?,
+                    total: Duration::from_nanos(field("total_ns")?),
+                    max: Duration::from_nanos(field("max_ns")?),
+                },
+            );
+        }
+        for (name, entry) in section(&doc, "counters")? {
+            let value = entry
+                .as_u64()
+                .ok_or_else(|| bad(&format!("counter `{name}` is not an integer")))?;
+            report.counters.insert(name.clone(), value);
+        }
+        for (name, entry) in section(&doc, "gauges")? {
+            let value = entry
+                .as_f64()
+                .ok_or_else(|| bad(&format!("gauge `{name}` is not a number")))?;
+            report.gauges.insert(name.clone(), value);
+        }
+        Ok(report)
+    }
+}
+
+fn section<'a>(doc: &'a Value, name: &str) -> Result<&'a [(String, Value)], JsonError> {
+    doc.get(name)
+        .and_then(Value::as_object)
+        .ok_or_else(|| JsonError {
+            message: format!("missing `{name}` object"),
+            offset: 0,
+        })
+}
+
+#[allow(clippy::cast_precision_loss)] // ns totals stay far below 2^53
+fn nanos(d: Duration) -> Value {
+    Value::Number(d.as_nanos().min(u128::from(u64::MAX)) as f64)
+}
+
+/// `1.234 s` / `56.789 ms` / `12.3 µs`, right-sized to the magnitude.
+fn format_duration(d: Duration) -> String {
+    let secs = d.as_secs_f64();
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else {
+        format!("{:.1} µs", secs * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TraceReport {
+        let mut report = TraceReport::default();
+        report.phases.insert(
+            "synth".to_string(),
+            PhaseStat {
+                calls: 1,
+                total: Duration::from_nanos(1_234_567_891),
+                max: Duration::from_nanos(1_234_567_891),
+            },
+        );
+        report.phases.insert(
+            "synth/cluster".to_string(),
+            PhaseStat {
+                calls: 3,
+                total: Duration::from_nanos(41_999),
+                max: Duration::from_nanos(40_000),
+            },
+        );
+        report
+            .counters
+            .insert("milp/nodes_explored".to_string(), 97);
+        report
+            .gauges
+            .insert("milp/warm_hit_rate".to_string(), 0.875);
+        report
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let report = sample();
+        let parsed = TraceReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn render_indents_children_and_lists_metrics() {
+        let text = sample().render();
+        assert!(text.contains("synth"), "{text}");
+        assert!(text.contains("    cluster"), "{text}");
+        assert!(text.contains("milp/nodes_explored = 97"), "{text}");
+        assert!(text.contains("milp/warm_hit_rate = 0.875"), "{text}");
+    }
+
+    #[test]
+    fn totals_helpers() {
+        let report = sample();
+        assert_eq!(
+            report.top_level_total(),
+            Duration::from_nanos(1_234_567_891)
+        );
+        assert_eq!(report.children_total("synth"), Duration::from_nanos(41_999));
+        assert_eq!(report.children_total("synth/cluster"), Duration::ZERO);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_reports() {
+        assert!(TraceReport::from_json("{}").is_err());
+        assert!(TraceReport::from_json(
+            r#"{"phases": {"p": {"calls": 1}}, "counters": {}, "gauges": {}}"#
+        )
+        .is_err());
+        assert!(
+            TraceReport::from_json(r#"{"phases": {}, "counters": {"c": 0.5}, "gauges": {}}"#)
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn mean_handles_zero_calls() {
+        assert_eq!(PhaseStat::default().mean(), Duration::ZERO);
+        let stat = PhaseStat {
+            calls: 4,
+            total: Duration::from_nanos(1000),
+            max: Duration::from_nanos(400),
+        };
+        assert_eq!(stat.mean(), Duration::from_nanos(250));
+    }
+}

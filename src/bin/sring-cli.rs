@@ -5,29 +5,68 @@
 //! sring-cli synth   --benchmark mwd [--method sring|ornoc|ctoring|xring]
 //!                   [--pitch 0.26] [--threads N] [--svg out.svg]
 //!                   [--crosstalk] [--report] [--solver-stats]
+//!                   [--trace] [--trace-json out.json]
 //! sring-cli compare --benchmark vopd [--pitch 0.26] [--threads N]
+//!                   [--trace] [--trace-json out.json]
+//! sring-cli trace-check <trace.json> [--phase NAME]...
 //! ```
 //!
 //! `--threads N` (default: one worker per available core) parallelizes
 //! `compare`'s method grid and SRing's MILP search in `synth`; results are
 //! identical for every thread count.
+//!
+//! `--trace` prints the per-phase breakdown to stderr; `--trace-json`
+//! writes the machine-readable trace report. `trace-check` validates such
+//! a report: it must parse, contain every `--phase` path, and its
+//! top-level span times must sum to the recorded `total_ns` runtime
+//! within 10% (plus a 5 ms floor for very short runs).
 
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
 use sring::core::{AssignmentStrategy, SringConfig, SringSynthesizer};
-use sring::eval::comparison::{compare_grid, format_table1};
+use sring::eval::comparison::{compare_grid_traced, format_table1};
 use sring::eval::methods::Method;
 use sring::graph::benchmarks::Benchmark;
 use sring::graph::CommGraph;
 use sring::layout::svg;
 use sring::photonics::{analyze_crosstalk, render_report};
+use sring::trace::{Trace, TraceReport};
 use sring::units::{Millimeters, TechnologyParameters};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  sring-cli list\n  sring-cli synth --benchmark <name> [--method sring|ornoc|ctoring|xring] [--pitch <mm>] [--threads <n>] [--svg <path>] [--crosstalk] [--report] [--solver-stats]\n  sring-cli compare --benchmark <name> [--pitch <mm>] [--threads <n>]"
+        "usage:\n  sring-cli list\n  sring-cli synth --benchmark <name> [--method sring|ornoc|ctoring|xring] [--pitch <mm>] [--threads <n>] [--svg <path>] [--crosstalk] [--report] [--solver-stats] [--trace] [--trace-json <path>]\n  sring-cli compare --benchmark <name> [--pitch <mm>] [--threads <n>] [--trace] [--trace-json <path>]\n  sring-cli trace-check <trace.json> [--phase <path>]..."
     );
     ExitCode::from(2)
+}
+
+/// A CLI failure: usage errors exit with 2, runtime failures with 1.
+struct CliError {
+    code: u8,
+    message: String,
+}
+
+impl CliError {
+    fn usage(message: impl Into<String>) -> CliError {
+        CliError {
+            code: 2,
+            message: message.into(),
+        }
+    }
+
+    fn runtime(message: impl Into<String>) -> CliError {
+        CliError {
+            code: 1,
+            message: message.into(),
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> CliError {
+        CliError::usage(message)
+    }
 }
 
 struct Args {
@@ -59,11 +98,30 @@ impl Args {
         Some(Args { flags })
     }
 
-    fn value(&self, name: &str) -> Option<&str> {
+    /// The value of the last occurrence of `--name`.
+    ///
+    /// Distinguishes the three cases the old accessor conflated: absent
+    /// (`Ok(None)`), present with a value (`Ok(Some(..))`), and present
+    /// *without* one (`Err`), so `--svg` followed by another flag is a
+    /// reported mistake instead of a silently ignored output request.
+    fn value(&self, name: &str) -> Result<Option<&str>, String> {
+        match self.flags.iter().rev().find(|(n, _)| n == name) {
+            None => Ok(None),
+            Some((_, Some(v))) => Ok(Some(v)),
+            Some((_, None)) => Err(format!("--{name} requires a value")),
+        }
+    }
+
+    /// The values of every occurrence of `--name`, in order.
+    fn values(&self, name: &str) -> Result<Vec<&str>, String> {
         self.flags
             .iter()
-            .find(|(n, _)| n == name)
-            .and_then(|(_, v)| v.as_deref())
+            .filter(|(n, _)| n == name)
+            .map(|(_, v)| {
+                v.as_deref()
+                    .ok_or_else(|| format!("--{name} requires a value"))
+            })
+            .collect()
     }
 
     fn has(&self, name: &str) -> bool {
@@ -82,11 +140,11 @@ fn benchmark_by_name(name: &str) -> Option<Benchmark> {
 
 fn load_app(args: &Args) -> Result<CommGraph, String> {
     let name = args
-        .value("benchmark")
+        .value("benchmark")?
         .ok_or_else(|| "missing --benchmark".to_string())?;
     let b = benchmark_by_name(name)
         .ok_or_else(|| format!("unknown benchmark `{name}` (try `sring-cli list`)"))?;
-    match args.value("pitch") {
+    match args.value("pitch")? {
         Some(p) => {
             let pitch: f64 = p.parse().map_err(|_| format!("bad --pitch `{p}`"))?;
             if pitch <= 0.0 {
@@ -109,7 +167,7 @@ fn method_by_name(name: &str) -> Option<Method> {
 }
 
 fn parse_threads(args: &Args) -> Result<usize, String> {
-    match args.value("threads") {
+    match args.value("threads")? {
         // Absent: one worker per available core.
         None => Ok(0),
         Some(v) => v.parse().map_err(|_| format!("bad --threads `{v}`")),
@@ -141,17 +199,242 @@ fn method_with_threads(method: Method, threads: usize) -> Method {
     }
 }
 
+/// Builds the trace handle for a command: live when `--trace` or
+/// `--trace-json` was given, disabled (zero-cost) otherwise.
+fn trace_from_args(args: &Args) -> Result<(Trace, Option<String>), String> {
+    let json_path = args.value("trace-json")?.map(str::to_string);
+    let trace = Trace::enabled_if(json_path.is_some() || args.has("trace"));
+    Ok((trace, json_path))
+}
+
+/// Finalizes a live trace: stamps the `total_ns` gauge with the elapsed
+/// wall-clock since program start, writes the JSON sink when requested
+/// and the human-readable breakdown to stderr on `--trace`.
+fn emit_trace(
+    trace: &Trace,
+    json_path: Option<&str>,
+    render: bool,
+    started: Instant,
+) -> Result<(), CliError> {
+    if !trace.is_enabled() {
+        return Ok(());
+    }
+    #[allow(clippy::cast_precision_loss)] // runtimes stay far below 2^53 ns
+    trace.gauge("total_ns", started.elapsed().as_nanos() as f64);
+    let report = trace.report();
+    if render {
+        eprint!("{}", report.render());
+    }
+    if let Some(path) = json_path {
+        std::fs::write(path, report.to_json())
+            .map_err(|e| CliError::runtime(format!("cannot write {path}: {e}")))?;
+        eprintln!("trace written to {path}");
+    }
+    Ok(())
+}
+
+fn run_synth(args: &Args, tech: &TechnologyParameters, started: Instant) -> Result<(), CliError> {
+    let (trace, trace_json) = trace_from_args(args)?;
+    let app = {
+        let _span = trace.span("load");
+        load_app(args)?
+    };
+    let method = match args.value("method")? {
+        None => Method::Sring(Default::default()),
+        Some(name) => method_by_name(name)
+            .ok_or_else(|| CliError::usage(format!("unknown method `{name}`")))?,
+    };
+    let method = method_with_threads(method, parse_threads(args)?);
+    // `--solver-stats` needs the detailed report (only SRing runs the
+    // MILP solver), the plain path keeps the uniform `Method` handle.
+    let (design, solver_stats) = if args.has("solver-stats") {
+        let Method::Sring(strategy) = &method else {
+            return Err(CliError::usage("--solver-stats requires --method sring"));
+        };
+        let synth = SringSynthesizer::with_config(SringConfig {
+            strategy: strategy.clone(),
+            tech: tech.clone(),
+            ..SringConfig::default()
+        });
+        let report = synth
+            .synthesize_detailed_traced(&app, &trace)
+            .map_err(|e| CliError::runtime(format!("synthesis failed: {e}")))?;
+        (report.design, Some(report.assignment.solver_stats))
+    } else {
+        let design = method
+            .synthesize_traced(&app, tech, &trace)
+            .map_err(|e| CliError::runtime(format!("synthesis failed: {e}")))?;
+        (design, None)
+    };
+    let a = {
+        let _span = trace.span("analyze");
+        design.analyze(tech)
+    };
+    {
+        let _span = trace.span("output");
+        println!("{design}");
+        println!("L        = {:.2}", a.longest_path);
+        println!("il_w     = {:.2}", a.worst_insertion_loss);
+        println!("#sp_w    = {}", a.max_splitters_passed);
+        println!("il_w^all = {:.2}", a.worst_loss_with_pdn);
+        println!("#wl      = {}", a.wavelength_count);
+        println!("power    = {:.3}", a.total_laser_power);
+        println!("crossings = {}", a.total_crossings);
+        match solver_stats {
+            Some(Some(s)) => {
+                println!("\nMILP solver statistics:");
+                println!("  nodes explored     = {}", s.nodes_explored);
+                println!("  LP solves          = {}", s.lp_solves);
+                println!(
+                    "  simplex pivots     = {} ({} primal, {} dual)",
+                    s.total_pivots(),
+                    s.primal_pivots,
+                    s.dual_pivots
+                );
+                println!("  phase-1 solves     = {}", s.phase1_solves);
+                println!(
+                    "  warm starts        = {}/{} hit ({:.1}%)",
+                    s.warm_start_hits,
+                    s.warm_start_attempts,
+                    s.warm_hit_rate() * 100.0
+                );
+                println!(
+                    "  time in LP         = {:.3} ms ({:.3} dual, {:.3} primal)",
+                    s.lp_time().as_secs_f64() * 1e3,
+                    s.time_in_dual.as_secs_f64() * 1e3,
+                    s.time_in_primal.as_secs_f64() * 1e3
+                );
+                println!("  max B&B depth      = {}", s.max_depth());
+            }
+            Some(None) => {
+                println!("\nMILP solver statistics: none (heuristic assignment, MILP not run)");
+            }
+            None => {}
+        }
+        if args.has("report") {
+            println!("\n{}", render_report(&design, &app, tech));
+        }
+        if args.has("crosstalk") {
+            let x = analyze_crosstalk(&design, tech);
+            let snr = if x.worst_snr.0.is_finite() {
+                format!("{:.1} dB", x.worst_snr.0)
+            } else {
+                "unbounded (no interferer reaches a detector)".to_string()
+            };
+            println!(
+                "worst SNR = {snr} over {} interfering contributions",
+                x.total_interferers
+            );
+        }
+        if let Some(path) = args.value("svg")? {
+            let labels: Vec<&str> = app.node_ids().map(|n| app.node_name(n)).collect();
+            let doc = svg::render(design.layout(), &labels);
+            std::fs::write(path, doc)
+                .map_err(|e| CliError::runtime(format!("cannot write {path}: {e}")))?;
+            println!("layout written to {path}");
+        }
+    }
+    emit_trace(&trace, trace_json.as_deref(), args.has("trace"), started)
+}
+
+fn run_compare(args: &Args, tech: &TechnologyParameters, started: Instant) -> Result<(), CliError> {
+    let (trace, trace_json) = trace_from_args(args)?;
+    let app = {
+        let _span = trace.span("load");
+        load_app(args)?
+    };
+    let threads = parse_threads(args)?;
+    // The grid gets the workers; methods stay internally serial so the
+    // parallelism is not multiplicative.
+    let cmp = compare_grid_traced(
+        std::slice::from_ref(&app),
+        tech,
+        &Method::standard(),
+        threads,
+        &trace,
+    )
+    .map(|mut v| v.remove(0))
+    .map_err(|e| CliError::runtime(e.to_string()))?;
+    {
+        let _span = trace.span("output");
+        print!("{}", format_table1(std::slice::from_ref(&cmp)));
+        println!("\n{:<10} {:>10} {:>6}", "method", "power[mW]", "#wl");
+        for r in &cmp.rows {
+            println!(
+                "{:<10} {:>10.3} {:>6}",
+                r.method, r.total_laser_power.0, r.wavelength_count
+            );
+        }
+    }
+    emit_trace(&trace, trace_json.as_deref(), args.has("trace"), started)
+}
+
+/// How far the top-level span sum may drift from the recorded runtime:
+/// 10% of the runtime, with a 5 ms floor so sub-millisecond runs are not
+/// failed on scheduler noise.
+fn trace_check_slack(total: Duration) -> Duration {
+    total.mul_f64(0.10).max(Duration::from_millis(5))
+}
+
+fn run_trace_check(rest: &[String]) -> Result<(), CliError> {
+    let Some((path, flag_rest)) = rest.split_first() else {
+        return Err(CliError::usage("trace-check needs a trace JSON path"));
+    };
+    if path.starts_with("--") {
+        return Err(CliError::usage(
+            "trace-check takes the path first, then --phase flags",
+        ));
+    }
+    let args = Args::parse(flag_rest)
+        .ok_or_else(|| CliError::usage("trace-check accepts only --phase flags after the path"))?;
+    let phases = args.values("phase")?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::runtime(format!("cannot read {path}: {e}")))?;
+    let report = TraceReport::from_json(&text)
+        .map_err(|e| CliError::runtime(format!("{path}: invalid trace JSON: {e}")))?;
+    for phase in &phases {
+        if report.phase(phase).is_none() {
+            return Err(CliError::runtime(format!(
+                "{path}: missing required phase `{phase}`"
+            )));
+        }
+    }
+    let total_ns = report
+        .gauge("total_ns")
+        .ok_or_else(|| CliError::runtime(format!("{path}: missing `total_ns` gauge")))?;
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let total = Duration::from_nanos(total_ns.max(0.0) as u64);
+    let covered = report.top_level_total();
+    let slack = trace_check_slack(total);
+    if covered + slack < total {
+        return Err(CliError::runtime(format!(
+            "{path}: top-level spans cover only {covered:?} of the {total:?} runtime"
+        )));
+    }
+    if covered > total + slack {
+        return Err(CliError::runtime(format!(
+            "{path}: top-level spans sum to {covered:?}, exceeding the {total:?} runtime \
+             (parallel top-level spans? trace-check expects a serial top level)"
+        )));
+    }
+    let pct = 100.0 * covered.as_secs_f64() / total.as_secs_f64().max(1e-12);
+    println!(
+        "ok: {} phases recorded, {} required present; top-level spans cover {pct:.1}% of {total:?}",
+        report.phases.len(),
+        phases.len()
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
+    let started = Instant::now();
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = raw.split_first() else {
         return usage();
     };
-    let Some(args) = Args::parse(rest) else {
-        return usage();
-    };
     let tech = TechnologyParameters::default();
 
-    match command.as_str() {
+    let outcome = match command.as_str() {
         "list" => {
             println!("available benchmarks:");
             for b in Benchmark::ALL {
@@ -162,163 +445,91 @@ fn main() -> ExitCode {
                     b.message_count()
                 );
             }
-            ExitCode::SUCCESS
+            Ok(())
         }
-        "synth" => {
-            let app = match load_app(&args) {
-                Ok(app) => app,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    return ExitCode::from(2);
-                }
+        "synth" | "compare" => {
+            let Some(args) = Args::parse(rest) else {
+                return usage();
             };
-            let method = match args.value("method") {
-                None => Method::Sring(Default::default()),
-                Some(name) => match method_by_name(name) {
-                    Some(m) => m,
-                    None => {
-                        eprintln!("error: unknown method `{name}`");
-                        return ExitCode::from(2);
-                    }
-                },
-            };
-            let method = match parse_threads(&args) {
-                Ok(threads) => method_with_threads(method, threads),
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    return ExitCode::from(2);
-                }
-            };
-            // `--solver-stats` needs the detailed report (only SRing runs
-            // the MILP solver), the plain path keeps the uniform `Method`
-            // handle.
-            let (design, solver_stats) = if args.has("solver-stats") {
-                let Method::Sring(strategy) = &method else {
-                    eprintln!("error: --solver-stats requires --method sring");
-                    return ExitCode::from(2);
-                };
-                let synth = SringSynthesizer::with_config(SringConfig {
-                    strategy: strategy.clone(),
-                    tech: tech.clone(),
-                    ..SringConfig::default()
-                });
-                match synth.synthesize_detailed(&app) {
-                    Ok(report) => (report.design, Some(report.assignment.solver_stats)),
-                    Err(e) => {
-                        eprintln!("error: synthesis failed: {e}");
-                        return ExitCode::FAILURE;
-                    }
-                }
+            if command == "synth" {
+                run_synth(&args, &tech, started)
             } else {
-                match method.synthesize(&app, &tech) {
-                    Ok(d) => (d, None),
-                    Err(e) => {
-                        eprintln!("error: synthesis failed: {e}");
-                        return ExitCode::FAILURE;
-                    }
-                }
-            };
-            let a = design.analyze(&tech);
-            println!("{design}");
-            println!("L        = {:.2}", a.longest_path);
-            println!("il_w     = {:.2}", a.worst_insertion_loss);
-            println!("#sp_w    = {}", a.max_splitters_passed);
-            println!("il_w^all = {:.2}", a.worst_loss_with_pdn);
-            println!("#wl      = {}", a.wavelength_count);
-            println!("power    = {:.3}", a.total_laser_power);
-            println!("crossings = {}", a.total_crossings);
-            match solver_stats {
-                Some(Some(s)) => {
-                    println!("\nMILP solver statistics:");
-                    println!("  nodes explored     = {}", s.nodes_explored);
-                    println!("  LP solves          = {}", s.lp_solves);
-                    println!(
-                        "  simplex pivots     = {} ({} primal, {} dual)",
-                        s.total_pivots(),
-                        s.primal_pivots,
-                        s.dual_pivots
-                    );
-                    println!("  phase-1 solves     = {}", s.phase1_solves);
-                    println!(
-                        "  warm starts        = {}/{} hit ({:.1}%)",
-                        s.warm_start_hits,
-                        s.warm_start_attempts,
-                        s.warm_hit_rate() * 100.0
-                    );
-                }
-                Some(None) => {
-                    println!("\nMILP solver statistics: none (heuristic assignment, MILP not run)");
-                }
-                None => {}
-            }
-            if args.has("report") {
-                println!("\n{}", render_report(&design, &app, &tech));
-            }
-            if args.has("crosstalk") {
-                let x = analyze_crosstalk(&design, &tech);
-                let snr = if x.worst_snr.0.is_finite() {
-                    format!("{:.1} dB", x.worst_snr.0)
-                } else {
-                    "unbounded (no interferer reaches a detector)".to_string()
-                };
-                println!(
-                    "worst SNR = {snr} over {} interfering contributions",
-                    x.total_interferers
-                );
-            }
-            if let Some(path) = args.value("svg") {
-                let labels: Vec<&str> = app.node_ids().map(|n| app.node_name(n)).collect();
-                let doc = svg::render(design.layout(), &labels);
-                if let Err(e) = std::fs::write(path, doc) {
-                    eprintln!("error: cannot write {path}: {e}");
-                    return ExitCode::FAILURE;
-                }
-                println!("layout written to {path}");
-            }
-            ExitCode::SUCCESS
-        }
-        "compare" => {
-            let app = match load_app(&args) {
-                Ok(app) => app,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    return ExitCode::from(2);
-                }
-            };
-            let threads = match parse_threads(&args) {
-                Ok(threads) => threads,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    return ExitCode::from(2);
-                }
-            };
-            // The grid gets the workers; methods stay internally serial so
-            // the parallelism is not multiplicative.
-            match compare_grid(
-                std::slice::from_ref(&app),
-                &tech,
-                &Method::standard(),
-                threads,
-            )
-            .map(|mut v| v.remove(0))
-            {
-                Ok(cmp) => {
-                    print!("{}", format_table1(std::slice::from_ref(&cmp)));
-                    println!("\n{:<10} {:>10} {:>6}", "method", "power[mW]", "#wl");
-                    for r in &cmp.rows {
-                        println!(
-                            "{:<10} {:>10.3} {:>6}",
-                            r.method, r.total_laser_power.0, r.wavelength_count
-                        );
-                    }
-                    ExitCode::SUCCESS
-                }
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    ExitCode::FAILURE
-                }
+                run_compare(&args, &tech, started)
             }
         }
-        _ => usage(),
+        "trace-check" => run_trace_check(rest),
+        _ => return usage(),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {}", e.message);
+            ExitCode::from(e.code)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(raw: &[&str]) -> Args {
+        let raw: Vec<String> = raw.iter().map(|s| s.to_string()).collect();
+        Args::parse(&raw).unwrap()
+    }
+
+    #[test]
+    fn value_distinguishes_absent_from_missing_value() {
+        let a = args(&["--benchmark", "mwd", "--svg", "--report"]);
+        // Absent flag: None, no error.
+        assert_eq!(a.value("pitch"), Ok(None));
+        // Present with a value.
+        assert_eq!(a.value("benchmark"), Ok(Some("mwd")));
+        // Present without one: an error, not a silent None.
+        assert!(a.value("svg").unwrap_err().contains("--svg"));
+        // Boolean flags still answer through `has`.
+        assert!(a.has("report"));
+        assert!(!a.has("crosstalk"));
+    }
+
+    #[test]
+    fn repeated_flags_last_one_wins() {
+        let a = args(&["--threads", "2", "--threads=8"]);
+        assert_eq!(a.value("threads"), Ok(Some("8")));
+        // `values` still exposes every occurrence in order.
+        assert_eq!(a.values("threads"), Ok(vec!["2", "8"]));
+    }
+
+    #[test]
+    fn bare_flag_among_repeats_is_only_an_error_when_last() {
+        let a = args(&["--phase", "--phase", "synth"]);
+        assert_eq!(a.value("phase"), Ok(Some("synth")));
+        // Collecting all values still surfaces the bare occurrence.
+        assert!(a.values("phase").is_err());
+    }
+
+    #[test]
+    fn equals_and_space_forms_parse_alike() {
+        let a = args(&["--pitch=0.5", "--benchmark", "vopd"]);
+        assert_eq!(a.value("pitch"), Ok(Some("0.5")));
+        assert_eq!(a.value("benchmark"), Ok(Some("vopd")));
+    }
+
+    #[test]
+    fn positional_tokens_are_rejected() {
+        let raw = vec!["synth".to_string()];
+        assert!(Args::parse(&raw).is_none());
+    }
+
+    #[test]
+    fn trace_check_slack_has_a_floor() {
+        assert_eq!(
+            trace_check_slack(Duration::from_millis(1)),
+            Duration::from_millis(5)
+        );
+        assert_eq!(
+            trace_check_slack(Duration::from_secs(10)),
+            Duration::from_secs(1)
+        );
     }
 }

@@ -10,6 +10,8 @@
 //! * [`layout`] — rectilinear waveguide routing and crossing/bend accounting,
 //! * [`photonics`] — insertion-loss, PDN and laser-power models,
 //! * [`milp`] — the from-scratch MILP solver replacing Gurobi,
+//! * [`trace`] — std-only hierarchical tracing/metrics (spans, counters,
+//!   gauges) with text and JSON sinks,
 //! * [`baselines`] — ORNoC, CTORing and XRing,
 //! * [`core`] — the SRing synthesis pipeline itself,
 //! * [`eval`] — the harness that regenerates every table and figure,
@@ -39,5 +41,6 @@ pub use onoc_graph as graph;
 pub use onoc_layout as layout;
 pub use onoc_photonics as photonics;
 pub use onoc_sim as simulation;
+pub use onoc_trace as trace;
 pub use onoc_units as units;
 pub use sring_core as core;
