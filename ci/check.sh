@@ -10,12 +10,18 @@ cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release --workspace
 cargo test --workspace -q
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
 # Solver smoke check: solve the MWD assignment MILP warm and cold
 # (sub-second) and fail on any solver error or empty statistics. The JSON
 # goes to a scratch path so the tracked BENCH_milp.json (full three-
 # benchmark run) is not clobbered by a partial one.
 ./target/release/milp_stats "${TMPDIR:-/tmp}/BENCH_milp_smoke.json" --benchmark mwd
+
+# Artifact-cache smoke check: the cached strategy sweep must record
+# cache hits, match the uncached sweep bit-for-bit, and be >= 1.5x
+# faster (the binary enforces all three and exits non-zero otherwise).
+./target/release/pipeline_cache "${TMPDIR:-/tmp}/BENCH_pipeline_smoke.json"
 
 # Trace smoke check: a traced synthesis must emit a JSON report that
 # parses, names the expected pipeline phases, and whose top-level span

@@ -6,12 +6,53 @@
 //! order and the wavelength-allocation policy. This module builds that
 //! structure once.
 
+use onoc_ctx::{ContentHash, ContentHasher, ContentKey, ExecCtx};
 use onoc_graph::{CommGraph, NodeId};
 use onoc_layout::{Cycle, Layout, SegmentRange, WaveguideId};
 use onoc_photonics::{DesignError, PathGeometry, PdnDesign, PdnStyle, RouterDesign, SignalPath};
-use onoc_units::Wavelength;
+use onoc_units::{TechnologyParameters, Wavelength};
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::sync::Arc;
+
+/// The content key of a baseline design: the application graph, the
+/// technology parameters and any method-specific knobs (`extras`).
+pub(crate) fn design_key(
+    app: &CommGraph,
+    tech: &TechnologyParameters,
+    extras: &[usize],
+) -> ContentKey {
+    let mut hasher = ContentHasher::new();
+    app.content_hash(&mut hasher);
+    tech.content_hash(&mut hasher);
+    for &x in extras {
+        hasher.write_usize(x);
+    }
+    hasher.finish()
+}
+
+/// Serves a whole baseline design from the context's artifact cache, or
+/// builds and stores it. Cache failures (a poisoned lock) degrade to a
+/// plain rebuild — a baseline has no error variant for them, and a missing
+/// cache entry is always safe.
+pub(crate) fn cached_design<F>(
+    ctx: &ExecCtx,
+    stage: &'static str,
+    key: ContentKey,
+    build: F,
+) -> Result<RouterDesign, BaselineError>
+where
+    F: FnOnce() -> Result<RouterDesign, BaselineError>,
+{
+    if let Ok(Some(hit)) = ctx.cache_get::<RouterDesign>(stage, key) {
+        return Ok((*hit).clone());
+    }
+    let design = Arc::new(build()?);
+    if let Some(cache) = ctx.cache() {
+        let _ = cache.insert(stage, key, design.clone());
+    }
+    Ok(Arc::try_unwrap(design).unwrap_or_else(|arc| (*arc).clone()))
+}
 
 /// Error from a baseline synthesis.
 #[derive(Debug, Clone, PartialEq)]

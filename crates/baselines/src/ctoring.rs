@@ -12,7 +12,10 @@
 //!    transmission directions and takes the one that avoids opening a new
 //!    wavelength, reducing wavelength usage below ORNoC's.
 
-use crate::common::{build_two_ring_design, AllocationPolicy, BaselineError};
+use crate::common::{
+    build_two_ring_design, cached_design, design_key, AllocationPolicy, BaselineError,
+};
+use onoc_ctx::ExecCtx;
 use onoc_graph::{CommGraph, NodeId};
 use onoc_layout::ring_order::tour_order;
 use onoc_layout::Cycle;
@@ -44,36 +47,54 @@ pub fn synthesize(
     app: &CommGraph,
     tech: &TechnologyParameters,
 ) -> Result<RouterDesign, BaselineError> {
-    synthesize_traced(app, tech, &Trace::disabled())
+    synthesize_ctx(app, tech, &ExecCtx::default())
 }
 
-/// [`synthesize`] with tracing: the construction runs under a `ctoring`
-/// span with `order` / `build` sub-phases.
+/// Deprecated trace-only entry point.
 ///
 /// # Errors
 ///
 /// Same contract as [`synthesize`].
+#[deprecated(note = "use synthesize_ctx with an ExecCtx carrying the trace")]
 pub fn synthesize_traced(
     app: &CommGraph,
     tech: &TechnologyParameters,
     trace: &Trace,
 ) -> Result<RouterDesign, BaselineError> {
-    let _ = tech;
+    synthesize_ctx(app, tech, &ExecCtx::default().with_trace(trace.clone()))
+}
+
+/// [`synthesize`] through an explicit execution context: the construction
+/// runs under a `ctoring` span with `order` / `build` sub-phases, and a
+/// cache-carrying context reuses the whole design keyed by application and
+/// technology parameters.
+///
+/// # Errors
+///
+/// Same contract as [`synthesize`].
+pub fn synthesize_ctx(
+    app: &CommGraph,
+    tech: &TechnologyParameters,
+    ctx: &ExecCtx,
+) -> Result<RouterDesign, BaselineError> {
     if app.node_count() < 2 {
         return Err(BaselineError::TooFewNodes);
     }
+    let trace = ctx.trace();
     let _span = trace.span("ctoring");
-    let order = {
-        let _s = trace.span("order");
-        tailored_order(app)
-    };
-    let _s = trace.span("build");
-    build_two_ring_design(
-        "CTORing",
-        app,
-        order,
-        AllocationPolicy::BestOfBothDirections,
-    )
+    cached_design(ctx, "ctoring", design_key(app, tech, &[]), || {
+        let order = {
+            let _s = trace.span("order");
+            tailored_order(app)
+        };
+        let _s = trace.span("build");
+        build_two_ring_design(
+            "CTORing",
+            app,
+            order,
+            AllocationPolicy::BestOfBothDirections,
+        )
+    })
 }
 
 /// Optimizes the ring node order for the application: starting from the

@@ -9,7 +9,10 @@
 //! communication, the two-waveguide setting of CTORing is adopted, and the
 //! PDN uses the shared splitter-tree construction of ref. \[22\].
 
-use crate::common::{build_two_ring_design, AllocationPolicy, BaselineError};
+use crate::common::{
+    build_two_ring_design, cached_design, design_key, AllocationPolicy, BaselineError,
+};
+use onoc_ctx::ExecCtx;
 use onoc_graph::CommGraph;
 use onoc_layout::ring_order::tour_order;
 use onoc_photonics::RouterDesign;
@@ -44,34 +47,52 @@ pub fn synthesize(
     app: &CommGraph,
     tech: &TechnologyParameters,
 ) -> Result<RouterDesign, BaselineError> {
-    synthesize_traced(app, tech, &Trace::disabled())
+    synthesize_ctx(app, tech, &ExecCtx::default())
 }
 
-/// [`synthesize`] with tracing: the construction runs under an `ornoc`
-/// span with `order` / `build` sub-phases.
+/// Deprecated trace-only entry point.
 ///
 /// # Errors
 ///
 /// Same contract as [`synthesize`].
+#[deprecated(note = "use synthesize_ctx with an ExecCtx carrying the trace")]
 pub fn synthesize_traced(
     app: &CommGraph,
     tech: &TechnologyParameters,
     trace: &Trace,
 ) -> Result<RouterDesign, BaselineError> {
-    let _ = tech;
+    synthesize_ctx(app, tech, &ExecCtx::default().with_trace(trace.clone()))
+}
+
+/// [`synthesize`] through an explicit execution context: the construction
+/// runs under an `ornoc` span with `order` / `build` sub-phases, and a
+/// cache-carrying context reuses the whole design keyed by application and
+/// technology parameters.
+///
+/// # Errors
+///
+/// Same contract as [`synthesize`].
+pub fn synthesize_ctx(
+    app: &CommGraph,
+    tech: &TechnologyParameters,
+    ctx: &ExecCtx,
+) -> Result<RouterDesign, BaselineError> {
+    let trace = ctx.trace();
     let _span = trace.span("ornoc");
-    let order = {
-        let _s = trace.span("order");
-        let positions: Vec<_> = app.node_ids().map(|v| app.position(v)).collect();
-        tour_order(&positions)
-    };
-    let _s = trace.span("build");
-    build_two_ring_design(
-        "ORNoC",
-        app,
-        order,
-        AllocationPolicy::ShorterDirectionFirstFit,
-    )
+    cached_design(ctx, "ornoc", design_key(app, tech, &[]), || {
+        let order = {
+            let _s = trace.span("order");
+            let positions: Vec<_> = app.node_ids().map(|v| app.position(v)).collect();
+            tour_order(&positions)
+        };
+        let _s = trace.span("build");
+        build_two_ring_design(
+            "ORNoC",
+            app,
+            order,
+            AllocationPolicy::ShorterDirectionFirstFit,
+        )
+    })
 }
 
 #[cfg(test)]

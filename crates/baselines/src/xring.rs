@@ -10,8 +10,9 @@
 //! PDN, which spends two extra splitter levels — the high `#sp_w` column
 //! of the paper's Table I — and the OSE drop losses on shortcut paths.
 
-use crate::common::{BaselineError, ChannelTable};
+use crate::common::{cached_design, design_key, BaselineError, ChannelTable};
 use crate::ctoring::tailored_order;
+use onoc_ctx::ExecCtx;
 use onoc_graph::{CommGraph, MessageId, NodeId};
 use onoc_layout::{Cycle, Layout, WaveguideId};
 use onoc_photonics::{PathGeometry, PdnDesign, PdnStyle, RouterDesign, SignalPath};
@@ -53,18 +54,39 @@ pub fn synthesize(
     synthesize_with_oses(app, tech, DEFAULT_MAX_OSES)
 }
 
-/// [`synthesize`] with tracing: the construction runs under an `xring`
-/// span with `route` / `shortcuts` / `share` sub-phases.
+/// Deprecated trace-only entry point.
 ///
 /// # Errors
 ///
 /// Same contract as [`synthesize`].
+#[deprecated(note = "use synthesize_ctx with an ExecCtx carrying the trace")]
 pub fn synthesize_traced(
     app: &CommGraph,
     tech: &TechnologyParameters,
     trace: &Trace,
 ) -> Result<RouterDesign, BaselineError> {
-    synthesize_with_oses_traced(app, tech, DEFAULT_MAX_OSES, trace)
+    synthesize_with_oses_ctx(
+        app,
+        tech,
+        DEFAULT_MAX_OSES,
+        &ExecCtx::default().with_trace(trace.clone()),
+    )
+}
+
+/// [`synthesize`] through an explicit execution context: the construction
+/// runs under an `xring` span with `route` / `shortcuts` / `share`
+/// sub-phases, and a cache-carrying context reuses the whole design keyed
+/// by application, technology parameters and OSE budget.
+///
+/// # Errors
+///
+/// Same contract as [`synthesize`].
+pub fn synthesize_ctx(
+    app: &CommGraph,
+    tech: &TechnologyParameters,
+    ctx: &ExecCtx,
+) -> Result<RouterDesign, BaselineError> {
+    synthesize_with_oses_ctx(app, tech, DEFAULT_MAX_OSES, ctx)
 }
 
 /// Synthesizes an XRing router with an explicit OSE budget (0 disables the
@@ -80,19 +102,40 @@ pub fn synthesize_with_oses(
     tech: &TechnologyParameters,
     max_oses: usize,
 ) -> Result<RouterDesign, BaselineError> {
-    synthesize_with_oses_traced(app, tech, max_oses, &Trace::disabled())
+    synthesize_with_oses_ctx(app, tech, max_oses, &ExecCtx::default())
 }
 
-/// [`synthesize_with_oses`] with tracing (see [`synthesize_traced`]).
+/// Deprecated trace-only entry point.
 ///
 /// # Errors
 ///
 /// Same contract as [`synthesize_with_oses`].
+#[deprecated(note = "use synthesize_with_oses_ctx with an ExecCtx carrying the trace")]
 pub fn synthesize_with_oses_traced(
     app: &CommGraph,
     tech: &TechnologyParameters,
     max_oses: usize,
     trace: &Trace,
+) -> Result<RouterDesign, BaselineError> {
+    synthesize_with_oses_ctx(
+        app,
+        tech,
+        max_oses,
+        &ExecCtx::default().with_trace(trace.clone()),
+    )
+}
+
+/// [`synthesize_with_oses`] through an explicit execution context (see
+/// [`synthesize_ctx`]).
+///
+/// # Errors
+///
+/// Same contract as [`synthesize_with_oses`].
+pub fn synthesize_with_oses_ctx(
+    app: &CommGraph,
+    tech: &TechnologyParameters,
+    max_oses: usize,
+    ctx: &ExecCtx,
 ) -> Result<RouterDesign, BaselineError> {
     if app.message_count() == 0 {
         return Err(BaselineError::NoMessages);
@@ -100,8 +143,20 @@ pub fn synthesize_with_oses_traced(
     if app.node_count() < 2 {
         return Err(BaselineError::TooFewNodes);
     }
+    let trace = ctx.trace();
     let _span = trace.span("xring");
+    cached_design(ctx, "xring", design_key(app, tech, &[max_oses]), || {
+        build_with_oses(app, tech, max_oses, trace)
+    })
+}
 
+/// The actual XRing construction, always executed on a cache miss.
+fn build_with_oses(
+    app: &CommGraph,
+    tech: &TechnologyParameters,
+    max_oses: usize,
+    trace: &Trace,
+) -> Result<RouterDesign, BaselineError> {
     let span_route = trace.span("route");
     let order = tailored_order(app);
     let cw = Cycle::new(order).expect("order is a valid permutation");

@@ -8,7 +8,9 @@
 //! configurations.
 
 use onoc_baselines::xring;
-use onoc_bench::{finish_trace, harness_tech, harness_trace, take_trace_flag};
+use onoc_bench::{
+    finish_trace, harness_ctx, harness_tech, harness_trace, take_no_cache_flag, take_trace_flag,
+};
 use onoc_graph::benchmarks::Benchmark;
 use sring_core::{
     AssignmentStrategy, ClusteringConfig, MilpOptions, SringConfig, SringSynthesizer,
@@ -18,8 +20,10 @@ use std::time::Instant;
 fn main() {
     let started = Instant::now();
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let no_cache = take_no_cache_flag(&mut raw);
     let trace_path = take_trace_flag(&mut raw);
     let trace = harness_trace(trace_path.as_ref());
+    let ctx = harness_ctx(&trace, 0, no_cache);
     let tech = harness_tech();
 
     println!("1. SRing wavelength assignment: heuristic vs MILP (Eqs. 1-8)\n");
@@ -45,7 +49,7 @@ fn main() {
                 ..SringConfig::default()
             });
             let a = synth
-                .synthesize_detailed_traced(&app, &trace)
+                .synthesize_detailed_ctx(&app, &ctx)
                 .expect("benchmark synthesizes")
                 .design
                 .analyze(&tech);
@@ -70,7 +74,7 @@ fn main() {
     );
     let app = Benchmark::Mwd.graph();
     for oses in [0usize, 1, 2, 4, 6] {
-        let a = xring::synthesize_with_oses_traced(&app, &tech, oses, &trace)
+        let a = xring::synthesize_with_oses_ctx(&app, &tech, oses, &ctx)
             .expect("synthesizes")
             .analyze(&tech);
         println!(
@@ -89,7 +93,7 @@ fn main() {
             ..SringConfig::default()
         });
         let a = synth
-            .synthesize_detailed_traced(&Benchmark::Vopd.graph(), &trace)
+            .synthesize_detailed_ctx(&Benchmark::Vopd.graph(), &ctx)
             .expect("synthesizes")
             .design
             .analyze(&tech);

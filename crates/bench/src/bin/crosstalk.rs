@@ -2,7 +2,10 @@
 //! benchmark. Quantifies the paper's Sec. II-B argument that ring routers
 //! keep crosstalk benign while OSE/crossing-based designs pay for it.
 
-use onoc_bench::{finish_trace, harness_benchmarks, harness_tech, harness_trace, take_trace_flag};
+use onoc_bench::{
+    finish_trace, harness_benchmarks, harness_ctx, harness_tech, harness_trace, take_no_cache_flag,
+    take_trace_flag,
+};
 use onoc_eval::methods::Method;
 use onoc_photonics::analyze_crosstalk;
 use std::time::Instant;
@@ -10,8 +13,10 @@ use std::time::Instant;
 fn main() {
     let started = Instant::now();
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let no_cache = take_no_cache_flag(&mut raw);
     let trace_path = take_trace_flag(&mut raw);
     let trace = harness_trace(trace_path.as_ref());
+    let ctx = harness_ctx(&trace, 0, no_cache);
     let tech = harness_tech();
     println!("worst-case SNR (dB) and total interfering contributions per design\n");
     println!(
@@ -22,9 +27,7 @@ fn main() {
         let app = b.graph();
         print!("{:<10}", b.name());
         for m in Method::standard() {
-            let design = m
-                .synthesize_traced(&app, &tech, &trace)
-                .expect("synthesizes");
+            let design = m.synthesize_ctx(&app, &tech, &ctx).expect("synthesizes");
             let x = {
                 let _span = trace.span("crosstalk_analysis");
                 analyze_crosstalk(&design, &tech)

@@ -3,7 +3,10 @@
 //! crossings and detours are counted.
 
 use onoc_baselines::lambda_router;
-use onoc_bench::{finish_trace, harness_benchmarks, harness_tech, harness_trace, take_trace_flag};
+use onoc_bench::{
+    finish_trace, harness_benchmarks, harness_ctx, harness_tech, harness_trace, take_no_cache_flag,
+    take_trace_flag,
+};
 use onoc_eval::methods::Method;
 use onoc_photonics::analyze_crosstalk;
 use sring_core::AssignmentStrategy;
@@ -12,8 +15,10 @@ use std::time::Instant;
 fn main() {
     let started = Instant::now();
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let no_cache = take_no_cache_flag(&mut raw);
     let trace_path = take_trace_flag(&mut raw);
     let trace = harness_trace(trace_path.as_ref());
+    let ctx = harness_ctx(&trace, 0, no_cache);
     let tech = harness_tech();
     println!("FIG. 1 (quantified) — placed crossbar λ-router vs ring routers\n");
     println!(
@@ -27,7 +32,7 @@ fn main() {
             lambda_router::synthesize(&app, &tech).expect("synthesizes")
         };
         let sring = Method::Sring(AssignmentStrategy::Heuristic)
-            .synthesize_traced(&app, &tech, &trace)
+            .synthesize_ctx(&app, &tech, &ctx)
             .expect("synthesizes");
         for design in [&crossbar, &sring] {
             let a = design.analyze(&tech);

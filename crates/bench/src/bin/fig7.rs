@@ -2,8 +2,11 @@
 //! of ORNoC, CTORing, XRing and SRing for (a) the four multimedia systems
 //! and (b) the three 8-node processor-memory networks.
 
-use onoc_bench::{finish_trace, harness_tech, harness_trace, take_threads_flag, take_trace_flag};
-use onoc_eval::comparison::{compare, compare_grid_traced, format_fig7};
+use onoc_bench::{
+    finish_trace, harness_ctx, harness_tech, harness_trace, take_no_cache_flag, take_threads_flag,
+    take_trace_flag,
+};
+use onoc_eval::comparison::{compare, compare_grid_ctx, format_fig7};
 use onoc_eval::methods::Method;
 use onoc_graph::benchmarks::Benchmark;
 use std::time::Instant;
@@ -12,8 +15,10 @@ fn main() {
     let started = Instant::now();
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
     let threads = take_threads_flag(&mut raw);
+    let no_cache = take_no_cache_flag(&mut raw);
     let trace_path = take_trace_flag(&mut raw);
     let trace = harness_trace(trace_path.as_ref());
+    let ctx = harness_ctx(&trace, threads, no_cache);
     let tech = harness_tech();
     let methods = Method::standard();
 
@@ -29,8 +34,8 @@ fn main() {
     ] {
         println!("FIG. 7 {title}\n");
         let apps: Vec<_> = set.iter().map(|b| b.graph()).collect();
-        let comparisons = compare_grid_traced(&apps, &tech, &methods, threads, &trace)
-            .expect("benchmark synthesizes");
+        let comparisons =
+            compare_grid_ctx(&apps, &tech, &methods, &ctx).expect("benchmark synthesizes");
         print!("{}", format_fig7(&comparisons));
 
         // The paper's qualitative claims, checked live.

@@ -9,8 +9,11 @@
 //! core) — the drawn samples are sharded by seed, not by thread, so the
 //! reported statistics are identical for every thread count.
 
-use onoc_bench::{finish_trace, harness_tech, harness_trace, take_threads_flag, take_trace_flag};
-use onoc_eval::random_baseline::{sample_random_solutions_traced, RandomSolutionConfig};
+use onoc_bench::{
+    finish_trace, harness_ctx, harness_tech, harness_trace, take_no_cache_flag, take_threads_flag,
+    take_trace_flag,
+};
+use onoc_eval::random_baseline::{sample_random_solutions_ctx, RandomSolutionConfig};
 use onoc_eval::Histogram;
 use onoc_graph::benchmarks::Benchmark;
 use sring_core::{SringConfig, SringSynthesizer};
@@ -20,8 +23,10 @@ fn main() {
     let started = Instant::now();
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
     let threads = take_threads_flag(&mut raw);
+    let no_cache = take_no_cache_flag(&mut raw);
     let trace_path = take_trace_flag(&mut raw);
     let trace = harness_trace(trace_path.as_ref());
+    let ctx = harness_ctx(&trace, threads, no_cache);
     let samples: usize = raw
         .into_iter()
         .next()
@@ -40,7 +45,7 @@ fn main() {
             threads,
             ..RandomSolutionConfig::for_app(&app)
         };
-        let stats = sample_random_solutions_traced(&app, &tech, &config, &trace);
+        let stats = sample_random_solutions_ctx(&app, &tech, &config, &ctx);
         println!(
             "{:<10} feasible: {:>7} / {} ({:.2} %)",
             b.name(),
@@ -55,7 +60,7 @@ fn main() {
                 ..SringConfig::default()
             });
             let report = synth
-                .synthesize_detailed_traced(&app, &trace)
+                .synthesize_detailed_ctx(&app, &ctx)
                 .expect("MWD synthesizes");
             mwd_stats = Some((stats, report));
         }

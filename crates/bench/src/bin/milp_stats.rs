@@ -13,9 +13,11 @@
 //! MWD alone).
 
 use milp_solver::SolveStats;
-use onoc_bench::{finish_trace, harness_tech, harness_trace, take_threads_flag, take_trace_flag};
+use onoc_bench::{
+    finish_trace, harness_ctx, harness_tech, harness_trace, take_threads_flag, take_trace_flag,
+};
+use onoc_ctx::ExecCtx;
 use onoc_graph::benchmarks::Benchmark;
-use onoc_trace::Trace;
 use sring_core::{AssignmentStrategy, MilpOptions, SringConfig, SringSynthesizer};
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -32,14 +34,14 @@ struct Run {
     stats: SolveStats,
 }
 
-fn solve(benchmark: Benchmark, milp: MilpOptions, trace: &Trace) -> Result<Run, String> {
+fn solve(benchmark: Benchmark, milp: MilpOptions, ctx: &ExecCtx) -> Result<Run, String> {
     let config = SringConfig {
         strategy: AssignmentStrategy::Milp(milp),
         tech: harness_tech(),
         ..SringConfig::default()
     };
     let report = SringSynthesizer::with_config(config)
-        .synthesize_detailed_traced(&benchmark.graph(), trace)
+        .synthesize_detailed_ctx(&benchmark.graph(), ctx)
         .map_err(|e| format!("{benchmark}: synthesis failed: {e}"))?;
     let stats = report
         .assignment
@@ -112,6 +114,9 @@ fn main() -> ExitCode {
     };
     let trace_path = take_trace_flag(&mut raw);
     let trace = harness_trace(trace_path.as_ref());
+    // No artifact cache here: the recorded wall-clocks and solver
+    // counters must always measure uncached work.
+    let ctx = harness_ctx(&trace, 0, true);
     let mut only: Option<String> = None;
     if let Some(pos) = raw.iter().position(|a| a == "--benchmark") {
         raw.remove(pos);
@@ -156,7 +161,7 @@ fn main() -> ExitCode {
                 threads,
                 ..MilpOptions::default()
             },
-            &trace,
+            &ctx,
         ) {
             Ok(r) => r,
             Err(e) => {
@@ -177,7 +182,7 @@ fn main() -> ExitCode {
                 time_limit: Duration::from_secs(60),
                 ..MilpOptions::default()
             },
-            &trace,
+            &ctx,
         ) {
             Ok(r) => r,
             Err(e) => {

@@ -1,0 +1,155 @@
+//! Artifact-cache benchmark for the stage-graph synthesis pipeline:
+//! sweeps three SRing assignment strategies over MWD/VOPD/MPEG with the
+//! content-keyed cache off and on, checks the two runs produce
+//! bit-identical comparison reports, and writes the wall-clocks, the
+//! speedup and the cache counters to `BENCH_pipeline.json` so the cache's
+//! perf trajectory is tracked across PRs.
+//!
+//! ```text
+//! pipeline_cache [out.json] [--threads N]
+//! ```
+//!
+//! Exits non-zero when the cached run records no hits, when the cached
+//! report differs from the uncached one, or when the cached sweep is not
+//! at least 1.5× faster — which makes the binary double as a CI smoke
+//! check (`ci/check.sh` runs it).
+//!
+//! The sweep varies only the assignment strategy, so with the cache on
+//! each benchmark's cluster, layout and route artifacts are computed once
+//! and reused by the other strategies; the strategies themselves are
+//! heuristic-cheap so the shared stages dominate and the speedup is
+//! robustly measurable.
+
+use onoc_bench::{harness_tech, take_threads_flag};
+use onoc_ctx::{CacheStats, ExecCtx};
+use onoc_eval::comparison::{compare_grid_ctx, to_csv, Comparison};
+use onoc_eval::methods::Method;
+use onoc_graph::benchmarks::Benchmark;
+use onoc_graph::CommGraph;
+use onoc_units::TechnologyParameters;
+use sring_core::{AssignmentStrategy, MilpOptions};
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// The benchmarks swept (the paper's three headline applications).
+const TRACKED: [Benchmark; 3] = [Benchmark::Mwd, Benchmark::Vopd, Benchmark::Mpeg];
+
+/// Required cached-over-uncached wall-clock advantage.
+const MIN_SPEEDUP: f64 = 1.5;
+
+/// Three distinct assignment strategies that share every upstream stage.
+/// `Auto` with a tiny path budget resolves to the heuristic on all three
+/// benchmarks, so each strategy is cheap but carries its own cache key.
+fn strategies() -> Vec<Method> {
+    vec![
+        Method::Sring(AssignmentStrategy::Heuristic),
+        Method::Sring(AssignmentStrategy::Auto {
+            milp_max_paths: 0,
+            options: MilpOptions::default(),
+        }),
+        Method::Sring(AssignmentStrategy::Auto {
+            milp_max_paths: 1,
+            options: MilpOptions::default(),
+        }),
+    ]
+}
+
+fn sweep(
+    apps: &[CommGraph],
+    tech: &TechnologyParameters,
+    methods: &[Method],
+    ctx: &ExecCtx,
+) -> Result<(Vec<Comparison>, f64), String> {
+    let started = Instant::now();
+    let comparisons =
+        compare_grid_ctx(apps, tech, methods, ctx).map_err(|e| format!("sweep failed: {e}"))?;
+    Ok((comparisons, started.elapsed().as_secs_f64()))
+}
+
+fn json_doc(uncached_s: f64, cached_s: f64, speedup: f64, stats: &CacheStats) -> String {
+    format!(
+        "{{\n  \"benchmarks\": [\"MWD\", \"VOPD\", \"MPEG\"],\n  \"strategies\": {},\n  \
+         \"uncached_s\": {uncached_s:.6},\n  \"cached_s\": {cached_s:.6},\n  \
+         \"speedup\": {speedup:.4},\n  \"cache\": {{\n    \"hits\": {},\n    \"misses\": {},\n    \
+         \"hit_rate\": {:.4},\n    \"entries\": {},\n    \"evictions\": {}\n  }}\n}}\n",
+        strategies().len(),
+        stats.hits,
+        stats.misses,
+        stats.hit_rate(),
+        stats.entries,
+        stats.evictions,
+    )
+}
+
+fn main() -> ExitCode {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let threads = take_threads_flag(&mut raw);
+    let out_path = raw
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+
+    let tech = harness_tech();
+    let apps: Vec<_> = TRACKED.iter().map(|b| b.graph()).collect();
+    let methods = strategies();
+
+    let uncached_ctx = ExecCtx::new().with_threads(threads);
+    let (uncached, uncached_s) = match sweep(&apps, &tech, &methods, &uncached_ctx) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: uncached {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let cached_ctx = ExecCtx::cached().with_threads(threads);
+    let (cached, cached_s) = match sweep(&apps, &tech, &methods, &cached_ctx) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: cached {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stats = cached_ctx.cache_stats().expect("cache attached");
+
+    let uncached_csv = to_csv(&uncached);
+    let cached_csv = to_csv(&cached);
+    let speedup = uncached_s / cached_s.max(1e-12);
+
+    println!(
+        "pipeline cache sweep — {} benchmarks × {} strategies",
+        apps.len(),
+        methods.len()
+    );
+    println!("uncached: {uncached_s:.3} s");
+    println!("cached:   {cached_s:.3} s ({speedup:.2}x)");
+    println!(
+        "cache:    {} hits, {} misses ({:.1}% hit rate), {} entries, {} evictions",
+        stats.hits,
+        stats.misses,
+        stats.hit_rate() * 100.0,
+        stats.entries,
+        stats.evictions
+    );
+
+    if let Err(e) = std::fs::write(&out_path, json_doc(uncached_s, cached_s, speedup, &stats)) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("stats written to {out_path}");
+
+    if cached_csv != uncached_csv {
+        eprintln!("error: cached report differs from the uncached one");
+        return ExitCode::FAILURE;
+    }
+    println!("reports: bit-identical with and without the cache");
+    if stats.hits == 0 {
+        eprintln!("error: the cached sweep recorded no cache hits");
+        return ExitCode::FAILURE;
+    }
+    if speedup < MIN_SPEEDUP {
+        eprintln!("error: cached sweep only {speedup:.2}x faster (need {MIN_SPEEDUP}x)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -8,18 +8,21 @@
 //! times are each app's own wall-clock, so they remain comparable up to
 //! core contention.
 
-use onoc_bench::{finish_trace, harness_tech, harness_trace, take_threads_flag, take_trace_flag};
+use onoc_bench::{
+    finish_trace, harness_ctx, harness_tech, harness_trace, take_no_cache_flag, take_threads_flag,
+    take_trace_flag,
+};
+use onoc_ctx::ExecCtx;
 use onoc_eval::methods::Method;
 use onoc_eval::par::run_indexed;
 use onoc_graph::synth;
 use onoc_graph::CommGraph;
-use onoc_trace::Trace;
 use onoc_units::Millimeters;
 use sring_core::AssignmentStrategy;
 use std::fmt::Write as _;
 use std::time::Instant;
 
-fn run(app: &CommGraph, trace: &Trace) -> String {
+fn run(app: &CommGraph, ctx: &ExecCtx) -> String {
     let tech = harness_tech();
     let mut line = format!(
         "{:<16} #N={:>3} #M={:>3}",
@@ -32,7 +35,7 @@ fn run(app: &CommGraph, trace: &Trace) -> String {
         Method::Ctoring,
     ] {
         let t = Instant::now();
-        let design = m.synthesize_traced(app, &tech, trace).expect("synthesizes");
+        let design = m.synthesize_ctx(app, &tech, ctx).expect("synthesizes");
         let elapsed = t.elapsed();
         let a = design.analyze(&tech);
         let _ = write!(
@@ -48,8 +51,8 @@ fn run(app: &CommGraph, trace: &Trace) -> String {
     line
 }
 
-fn sweep(apps: &[CommGraph], threads: usize, trace: &Trace) {
-    for line in run_indexed(apps.len(), threads, |i| run(&apps[i], trace)) {
+fn sweep(apps: &[CommGraph], threads: usize, ctx: &ExecCtx) {
+    for line in run_indexed(apps.len(), threads, |i| run(&apps[i], ctx)) {
         println!("{line}");
     }
 }
@@ -58,26 +61,30 @@ fn main() {
     let started = Instant::now();
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
     let threads = take_threads_flag(&mut raw);
+    // Per-app synthesis times are the point of this study: the cache is
+    // always off, `--no-cache` is accepted (and stripped) for uniformity.
+    let _ = take_no_cache_flag(&mut raw);
     let trace_path = take_trace_flag(&mut raw);
     let trace = harness_trace(trace_path.as_ref());
+    let ctx = harness_ctx(&trace, threads, true);
     let pitch = Millimeters(0.26);
     println!("pipelines (feed-forward chains):");
     let apps: Vec<_> = [8usize, 16, 24, 32, 48]
         .iter()
         .map(|&stages| synth::pipeline(stages, pitch))
         .collect();
-    sweep(&apps, threads, &trace);
+    sweep(&apps, threads, &ctx);
     println!("\nhub-and-spoke (accelerator-style):");
     let apps: Vec<_> = [4usize, 8, 12, 16]
         .iter()
         .map(|&spokes| synth::hub_spoke(spokes, pitch))
         .collect();
-    sweep(&apps, threads, &trace);
+    sweep(&apps, threads, &ctx);
     println!("\nneighbour meshes (local traffic):");
     let apps: Vec<_> = [(3usize, 3usize), (4, 4), (5, 5), (6, 6)]
         .iter()
         .map(|&(c, r)| synth::neighbor_mesh(c, r, pitch))
         .collect();
-    sweep(&apps, threads, &trace);
+    sweep(&apps, threads, &ctx);
     finish_trace(&trace, trace_path.as_deref(), started);
 }

@@ -6,10 +6,10 @@
 //! per core); an optional positional argument names a CSV output path.
 
 use onoc_bench::{
-    finish_trace, harness_benchmarks, harness_tech, harness_trace, paper_reference,
-    take_threads_flag, take_trace_flag,
+    finish_trace, harness_benchmarks, harness_ctx, harness_tech, harness_trace, paper_reference,
+    take_no_cache_flag, take_threads_flag, take_trace_flag,
 };
-use onoc_eval::comparison::{compare_grid_traced, to_csv};
+use onoc_eval::comparison::{compare_grid_ctx, to_csv};
 use onoc_eval::methods::Method;
 use std::time::Instant;
 
@@ -19,12 +19,14 @@ fn main() {
     let methods = Method::standard();
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
     let threads = take_threads_flag(&mut raw);
+    let no_cache = take_no_cache_flag(&mut raw);
     let trace_path = take_trace_flag(&mut raw);
     let trace = harness_trace(trace_path.as_ref());
+    let ctx = harness_ctx(&trace, threads, no_cache);
     let csv_path = raw.into_iter().next();
     let apps: Vec<_> = harness_benchmarks().iter().map(|b| b.graph()).collect();
-    let comparisons = compare_grid_traced(&apps, &tech, &methods, threads, &trace)
-        .expect("benchmarks synthesize");
+    let comparisons =
+        compare_grid_ctx(&apps, &tech, &methods, &ctx).expect("benchmarks synthesize");
     println!("TABLE I — measured vs paper (paper values in parentheses)\n");
     for (b, cmp) in harness_benchmarks().iter().zip(&comparisons) {
         println!(

@@ -8,6 +8,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use onoc_ctx::ExecCtx;
 use onoc_graph::benchmarks::Benchmark;
 use onoc_trace::Trace;
 use onoc_units::TechnologyParameters;
@@ -140,6 +141,32 @@ pub fn harness_trace(trace_path: Option<&String>) -> Trace {
     Trace::enabled_if(trace_path.is_some())
 }
 
+/// Removes a `--no-cache` flag from `args` and reports whether it was
+/// present.
+pub fn take_no_cache_flag(args: &mut Vec<String>) -> bool {
+    if let Some(pos) = args.iter().position(|a| a == "--no-cache") {
+        args.remove(pos);
+        return true;
+    }
+    false
+}
+
+/// The execution context for a harness binary: carries the trace handle
+/// and worker budget, with a fresh content-keyed artifact cache attached
+/// unless `no_cache` (bins whose wall-clocks must measure uncached work,
+/// like `milp_stats`, pass `true` unconditionally).
+#[must_use]
+pub fn harness_ctx(trace: &Trace, threads: usize, no_cache: bool) -> ExecCtx {
+    let ctx = ExecCtx::cached()
+        .with_trace(trace.clone())
+        .with_threads(threads);
+    if no_cache {
+        ctx.without_cache()
+    } else {
+        ctx
+    }
+}
+
 /// Finalizes a harness binary's trace: stamps the `total_ns` gauge with
 /// the wall-clock since `started` and writes the JSON sink to `path`.
 /// No-op when tracing is disabled.
@@ -213,6 +240,26 @@ mod tests {
         assert!(!harness_trace(None).is_enabled());
         let path = "t.json".to_string();
         assert!(harness_trace(Some(&path)).is_enabled());
+    }
+
+    #[test]
+    fn no_cache_flag_parsing() {
+        let mut args: Vec<String> = ["out.csv", "--no-cache"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        assert!(take_no_cache_flag(&mut args));
+        assert_eq!(args, vec!["out.csv".to_string()]);
+        assert!(!take_no_cache_flag(&mut args));
+    }
+
+    #[test]
+    fn harness_ctx_cache_follows_flag() {
+        let trace = Trace::disabled();
+        assert!(harness_ctx(&trace, 2, false).cache().is_some());
+        let ctx = harness_ctx(&trace, 2, true);
+        assert!(ctx.cache().is_none());
+        assert_eq!(ctx.threads(), 2);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! `α = β = γ = 1`.
 
 use milp_solver::{Model, ModelError, Sense, SolveOptions as MilpSolveOptions, SolveStats, Status};
+use onoc_ctx::ExecCtx;
 use onoc_graph::NodeId;
 use onoc_trace::Trace;
 use onoc_units::{Decibels, Wavelength};
@@ -274,21 +275,42 @@ pub fn assign(
     problem: &AssignmentProblem,
     strategy: &AssignmentStrategy,
 ) -> Result<Assignment, AssignError> {
-    assign_traced(problem, strategy, &Trace::disabled())
+    assign_ctx(problem, strategy, &ExecCtx::default())
 }
 
-/// [`assign`] with tracing: the heuristic and the MILP run under spans,
-/// and the solver's [`SolveStats`] are folded into `trace` as `milp/*`
-/// phases, counters and gauges.
+/// Deprecated trace-only entry point.
 ///
 /// # Errors
 ///
 /// Same contract as [`assign`].
+#[deprecated(note = "use assign_ctx with an ExecCtx carrying the trace")]
 pub fn assign_traced(
     problem: &AssignmentProblem,
     strategy: &AssignmentStrategy,
     trace: &Trace,
 ) -> Result<Assignment, AssignError> {
+    assign_ctx(
+        problem,
+        strategy,
+        &ExecCtx::default().with_trace(trace.clone()),
+    )
+}
+
+/// [`assign`] through an explicit execution context: the heuristic and the
+/// MILP run under spans of the context's trace, the solver's
+/// [`SolveStats`] are folded in as `milp/*` phases, counters and gauges,
+/// and a context deadline clamps the MILP wall-clock budget to the time
+/// remaining.
+///
+/// # Errors
+///
+/// Same contract as [`assign`].
+pub fn assign_ctx(
+    problem: &AssignmentProblem,
+    strategy: &AssignmentStrategy,
+    ctx: &ExecCtx,
+) -> Result<Assignment, AssignError> {
+    let trace = ctx.trace();
     if problem.paths.is_empty() {
         return Err(AssignError::Empty);
     }
@@ -307,6 +329,18 @@ pub fn assign_traced(
     match use_milp {
         None => Ok(finish(problem, heuristic, false, None)),
         Some(opts) => {
+            // A context deadline caps the solver budget at what is left.
+            let clamped;
+            let opts = match ctx.remaining() {
+                Some(remaining) if remaining < opts.time_limit => {
+                    clamped = MilpOptions {
+                        time_limit: remaining,
+                        ..opts.clone()
+                    };
+                    &clamped
+                }
+                _ => opts,
+            };
             let solved = {
                 let _span = trace.span("milp");
                 milp_assignment(problem, &heuristic, opts)

@@ -130,12 +130,25 @@ impl Clustering {
 pub enum ClusterError {
     /// The application has no messages, so there is nothing to construct.
     NoMessages,
+    /// Every clustering attempt — including the unbounded fallback —
+    /// produced an empty cluster set.
+    EmptyCluster,
+    /// A sub-ring could not be constructed or refined because a cycle
+    /// invariant was violated (an internal bug surfaced as a typed error
+    /// instead of a panic).
+    InvalidCycle(&'static str),
 }
 
 impl fmt::Display for ClusterError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ClusterError::NoMessages => write!(f, "application has no messages"),
+            ClusterError::EmptyCluster => {
+                write!(f, "no clustering attempt produced a non-empty cluster set")
+            }
+            ClusterError::InvalidCycle(what) => {
+                write!(f, "sub-ring cycle invariant violated: {what}")
+            }
         }
     }
 }
@@ -154,13 +167,21 @@ pub fn conventional_upper_bound(graph: &CommGraph) -> Millimeters {
     }
     let positions: Vec<_> = graph.node_ids().map(|n| graph.position(n)).collect();
     let order = tour_order(&positions);
-    let ring = Cycle::new(order).expect("graph has at least two distinct nodes");
+    // The guard above makes both constructions infallible; degrade to the
+    // documented zero bound instead of panicking if that ever changes.
+    let Ok(ring) = Cycle::new(order) else {
+        return Millimeters(0.0);
+    };
     let rev = ring.reversed();
     let dist = |a: NodeId, b: NodeId| graph.manhattan(a, b).0;
     let mut worst = 0.0f64;
     for m in graph.messages() {
-        let fwd = ring.path_length(m.src, m.dst, dist).expect("nodes on ring");
-        let bwd = rev.path_length(m.src, m.dst, dist).expect("nodes on ring");
+        let (Some(fwd), Some(bwd)) = (
+            ring.path_length(m.src, m.dst, dist),
+            rev.path_length(m.src, m.dst, dist),
+        ) else {
+            continue;
+        };
         worst = worst.max(fwd.min(bwd));
     }
     Millimeters(worst)
@@ -178,7 +199,9 @@ pub fn one_way_upper_bound(graph: &CommGraph) -> Millimeters {
     }
     let positions: Vec<_> = graph.node_ids().map(|n| graph.position(n)).collect();
     let order = tour_order(&positions);
-    let ring = Cycle::new(order).expect("graph has at least two distinct nodes");
+    let Ok(ring) = Cycle::new(order) else {
+        return Millimeters(0.0);
+    };
     let dist = |a: NodeId, b: NodeId| graph.manhattan(a, b).0;
     let msgs: Vec<(NodeId, NodeId)> = graph.messages().iter().map(|m| (m.src, m.dst)).collect();
     let (_, worst) = best_orientation(&ring, &msgs, &dist);
@@ -239,16 +262,16 @@ pub fn cluster(graph: &CommGraph, config: &ClusteringConfig) -> Result<Clusterin
     // candidates) and keeps the best — exhaustive over the same candidate
     // set, immune to a single misleading branch decision.
     for k in 0..count {
-        if let Some(solution) = cluster_with_l_max(graph, candidate(k)) {
+        if let Some(solution) = try_cluster_with_l_max(graph, candidate(k))? {
             consider(solution, &mut best);
         }
     }
     if best.is_none() {
-        if let Some(solution) = cluster_with_l_max(graph, f64::INFINITY) {
+        if let Some(solution) = try_cluster_with_l_max(graph, f64::INFINITY)? {
             consider(solution, &mut best);
         }
     }
-    Ok(best.expect("unbounded clustering always succeeds").0)
+    best.map(|(c, _)| c).ok_or(ClusterError::EmptyCluster)
 }
 
 /// A proxy for the total laser power a clustering solution will need:
@@ -274,6 +297,22 @@ fn power_proxy(solution: &Clustering, graph: &CommGraph) -> f64 {
 /// realized longest path wins.
 #[must_use]
 pub fn cluster_with_l_max(graph: &CommGraph, l_max: f64) -> Option<Clustering> {
+    try_cluster_with_l_max(graph, l_max).ok().flatten()
+}
+
+/// [`cluster_with_l_max`] with internal invariant violations surfaced as
+/// typed [`ClusterError`]s instead of being swallowed (or, historically,
+/// panicking). `Ok(None)` still means "no valid clustering under this
+/// bound".
+///
+/// # Errors
+///
+/// [`ClusterError::InvalidCycle`] when a sub-ring construction or
+/// refinement step violates a cycle invariant.
+pub fn try_cluster_with_l_max(
+    graph: &CommGraph,
+    l_max: f64,
+) -> Result<Option<Clustering>, ClusterError> {
     let n = graph.node_count();
     // Candidate passes: two selection criteria × several cluster-size
     // caps. Uncapped growth minimizes the inter ring; capped growth keeps
@@ -292,7 +331,7 @@ pub fn cluster_with_l_max(graph: &CommGraph, l_max: f64) -> Option<Clustering> {
             if cap < 2 || cap >= binding_size {
                 continue;
             }
-            if let Some(c) = cluster_pass(graph, l_max, criterion, cap) {
+            if let Some(c) = cluster_pass(graph, l_max, criterion, cap)? {
                 let max_cluster = c
                     .clusters
                     .iter()
@@ -316,7 +355,7 @@ pub fn cluster_with_l_max(graph: &CommGraph, l_max: f64) -> Option<Clustering> {
             }
         }
     }
-    best.map(|(c, _)| c)
+    Ok(best.map(|(c, _)| c))
 }
 
 /// How the best grown cluster is chosen among the candidate initial
@@ -334,7 +373,7 @@ fn cluster_pass(
     l_max: f64,
     criterion: SelectionCriterion,
     size_cap: usize,
-) -> Option<Clustering> {
+) -> Result<Option<Clustering>, ClusterError> {
     let n = graph.node_count();
     let dist = |a: NodeId, b: NodeId| graph.manhattan(a, b).0;
 
@@ -359,9 +398,12 @@ fn cluster_pass(
         // happens through the binary search over L_max itself.
         let mut best: Option<(f64, usize, GrownCluster)> = None;
         for &initial in &unclustered {
-            let entry = cache
-                .entry(initial)
-                .or_insert_with(|| grow_intra(graph, initial, &unclustered, l_max, size_cap));
+            let entry = match cache.entry(initial) {
+                std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::btree_map::Entry::Vacant(v) => {
+                    v.insert(grow_intra(graph, initial, &unclustered, l_max, size_cap)?)
+                }
+            };
             if let Some(grown) = entry.clone() {
                 let key = (grown.longest, grown.members.len());
                 let better = match &best {
@@ -394,7 +436,7 @@ fn cluster_pass(
                             .filter(|m| member_set.contains(&m.src) && member_set.contains(&m.dst))
                             .map(|m| (m.src, m.dst))
                             .collect();
-                        let (refined, refined_longest) = improve_cycle(&ring, &msgs, &dist, l_max);
+                        let (refined, refined_longest) = improve_cycle(&ring, &msgs, &dist, l_max)?;
                         (Some(refined), refined_longest)
                     }
                     None => (None, longest),
@@ -461,7 +503,7 @@ fn cluster_pass(
         let mut best: Option<(f64, Cycle)> = None;
         for &initial in &v_inter {
             if let Some((cycle, longest)) =
-                grow_inter(initial, &v_inter, &inter_messages, l_max, &dist)
+                grow_inter(initial, &v_inter, &inter_messages, l_max, &dist)?
             {
                 let better = match &best {
                     None => true,
@@ -476,16 +518,17 @@ fn cluster_pass(
         // from every initial vertex and refine the few best raw rings —
         // refinement can pull them under the bound.
         if best.is_none() {
-            let mut raw: Vec<(f64, Cycle)> = v_inter
-                .iter()
-                .filter_map(|&initial| {
-                    grow_inter(initial, &v_inter, &inter_messages, f64::INFINITY, &dist)
-                        .map(|(c, l)| (l, c))
-                })
-                .collect();
+            let mut raw: Vec<(f64, Cycle)> = Vec::with_capacity(v_inter.len());
+            for &initial in &v_inter {
+                if let Some((c, l)) =
+                    grow_inter(initial, &v_inter, &inter_messages, f64::INFINITY, &dist)?
+                {
+                    raw.push((l, c));
+                }
+            }
             raw.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
             for (_, cycle) in raw.into_iter().take(3) {
-                let (refined, longest) = improve_cycle(&cycle, &inter_messages, &dist, l_max);
+                let (refined, longest) = improve_cycle(&cycle, &inter_messages, &dist, l_max)?;
                 if longest <= l_max + 1e-12 {
                     let better = match &best {
                         None => true,
@@ -499,22 +542,24 @@ fn cluster_pass(
         }
         // No initial vertex at all → the whole clustering solution is
         // invalid (paper Sec. III-A-2).
-        let (_, cycle) = best?;
-        let (cycle, longest) = improve_cycle(&cycle, &inter_messages, &dist, l_max);
+        let Some((_, cycle)) = best else {
+            return Ok(None);
+        };
+        let (cycle, longest) = improve_cycle(&cycle, &inter_messages, &dist, l_max)?;
         if longest > l_max + 1e-12 {
-            return None;
+            return Ok(None);
         }
         longest_overall = longest_overall.max(longest);
         Some(cycle)
     };
 
-    Some(Clustering {
+    Ok(Some(Clustering {
         clusters,
         inter_ring,
         l_max: Millimeters(l_max),
         longest_path: Millimeters(longest_overall),
         cluster_of,
-    })
+    }))
 }
 
 /// The insertion positions worth evaluating when absorbing `x` into
@@ -557,7 +602,7 @@ fn improve_cycle(
     messages: &[(NodeId, NodeId)],
     dist: &impl Fn(NodeId, NodeId) -> f64,
     l_max: f64,
-) -> (Cycle, f64) {
+) -> Result<(Cycle, f64), ClusterError> {
     // Score: the same laser-power proxy the L_max search uses —
     // congestion × 10^(longest/10) — then longest, then total path
     // length. Moves may trade a slightly longer worst path (still within
@@ -572,8 +617,8 @@ fn improve_cycle(
             if !(oriented.contains(*s) && oriented.contains(*d)) {
                 continue;
             }
-            total += oriented.path_length(*s, *d, dist).expect("on cycle");
-            for seg in oriented.path_segments(*s, *d).expect("on cycle").iter() {
+            total += oriented.path_length(*s, *d, dist)?;
+            for seg in oriented.path_segments(*s, *d)?.iter() {
                 load[seg] += 1;
                 congestion = congestion.max(load[seg]);
             }
@@ -594,7 +639,9 @@ fn improve_cycle(
 
     let mut order = cycle.nodes().to_vec();
     let n = order.len();
-    let mut current = score(&order).expect("cycle is valid");
+    let mut current = score(&order).ok_or(ClusterError::InvalidCycle(
+        "refinement input cycle is not scorable",
+    ))?;
     if n >= 4 {
         let mut improved = true;
         while improved {
@@ -632,9 +679,10 @@ fn improve_cycle(
             }
         }
     }
-    let refined = Cycle::new(order).expect("refined order is a permutation");
+    let refined = Cycle::new(order)
+        .map_err(|_| ClusterError::InvalidCycle("refined order is not a permutation"))?;
     let (oriented, longest) = best_orientation(&refined, messages, dist);
-    (oriented, longest)
+    Ok((oriented, longest))
 }
 
 /// Longest directed signal path over `messages` on `cycle`, evaluated in
@@ -663,7 +711,10 @@ fn longest_on(
     messages
         .iter()
         .filter(|(s, d)| cycle.contains(*s) && cycle.contains(*d))
-        .map(|(s, d)| cycle.path_length(*s, *d, dist).expect("endpoints on cycle"))
+        // The filter guarantees both endpoints are on the cycle; should
+        // that invariant ever break, an infinite length invalidates the
+        // candidate instead of panicking.
+        .map(|(s, d)| cycle.path_length(*s, *d, dist).unwrap_or(f64::INFINITY))
         .fold(0.0, f64::max)
 }
 
@@ -677,7 +728,7 @@ fn grow_intra(
     unclustered: &BTreeSet<NodeId>,
     l_max: f64,
     size_cap: usize,
-) -> Option<GrownCluster> {
+) -> Result<Option<GrownCluster>, ClusterError> {
     let dist = |a: NodeId, b: NodeId| graph.manhattan(a, b).0;
 
     // Initial cluster: the nearest unclustered communication partner.
@@ -693,19 +744,20 @@ fn grow_intra(
                 .then(a.cmp(&b))
         });
     let Some(first) = nearest else {
-        return Some(GrownCluster {
+        return Ok(Some(GrownCluster {
             members: vec![initial],
             ring: None,
             longest: 0.0,
-        });
+        }));
     };
     if dist(initial, first) > l_max {
-        return None;
+        return Ok(None);
     }
 
     let mut members = vec![initial, first];
     let mut member_set: BTreeSet<NodeId> = members.iter().copied().collect();
-    let mut cycle = Cycle::new(members.clone()).expect("two distinct nodes");
+    let mut cycle = Cycle::new(members.clone())
+        .map_err(|_| ClusterError::InvalidCycle("initial pair does not form a cycle"))?;
     let intra_messages = |set: &BTreeSet<NodeId>| -> Vec<(NodeId, NodeId)> {
         graph
             .messages()
@@ -750,7 +802,9 @@ fn grow_intra(
             trial_set.insert(x);
             let msgs = intra_messages(&trial_set);
             for seg in candidate_segments(&cycle, x, &dist, 8) {
-                let inserted = cycle.insert_at(seg, x).expect("x not on cycle");
+                let inserted = cycle
+                    .insert_at(seg, x)
+                    .map_err(|_| ClusterError::InvalidCycle("absorbed node already on ring"))?;
                 let (oriented, l) = best_orientation(&inserted, &msgs, &dist);
                 if l <= l_max + 1e-12 {
                     let better = match &best {
@@ -778,11 +832,11 @@ fn grow_intra(
         }
     }
 
-    Some(GrownCluster {
+    Ok(Some(GrownCluster {
         members,
         ring: Some(cycle),
         longest,
-    })
+    }))
 }
 
 /// Grows the inter-cluster sub-ring from `initial`: it must absorb *all*
@@ -794,8 +848,8 @@ fn grow_inter(
     inter_messages: &[(NodeId, NodeId)],
     l_max: f64,
     dist: &impl Fn(NodeId, NodeId) -> f64,
-) -> Option<(Cycle, f64)> {
-    let nearest = v_inter
+) -> Result<Option<(Cycle, f64)>, ClusterError> {
+    let Some(nearest) = v_inter
         .iter()
         .copied()
         .filter(|&v| v != initial)
@@ -804,8 +858,12 @@ fn grow_inter(
                 .partial_cmp(&dist(initial, b))
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then(a.cmp(&b))
-        })?;
-    let mut cycle = Cycle::new(vec![initial, nearest]).expect("two distinct nodes");
+        })
+    else {
+        return Ok(None);
+    };
+    let mut cycle = Cycle::new(vec![initial, nearest])
+        .map_err(|_| ClusterError::InvalidCycle("initial pair does not form a cycle"))?;
     let mut remaining: BTreeSet<NodeId> = v_inter
         .iter()
         .copied()
@@ -813,14 +871,16 @@ fn grow_inter(
         .collect();
     let mut longest = best_orientation(&cycle, inter_messages, dist).1;
     if longest > l_max + 1e-12 {
-        return None;
+        return Ok(None);
     }
 
     while !remaining.is_empty() {
         let mut best: Option<(f64, NodeId, Cycle)> = None;
         for &x in &remaining {
             for seg in candidate_segments(&cycle, x, dist, 8) {
-                let inserted = cycle.insert_at(seg, x).expect("x not on cycle");
+                let inserted = cycle
+                    .insert_at(seg, x)
+                    .map_err(|_| ClusterError::InvalidCycle("absorbed node already on ring"))?;
                 let (oriented, l) = best_orientation(&inserted, inter_messages, dist);
                 if l <= l_max + 1e-12 {
                     let better = match &best {
@@ -835,15 +895,17 @@ fn grow_inter(
                 }
             }
         }
-        let (l, x, new_cycle) = best?;
+        let Some((l, x, new_cycle)) = best else {
+            return Ok(None);
+        };
         remaining.remove(&x);
         cycle = new_cycle;
         longest = l;
     }
     if longest > l_max + 1e-12 {
-        return None;
+        return Ok(None);
     }
-    Some((cycle, longest))
+    Ok(Some((cycle, longest)))
 }
 
 #[cfg(test)]

@@ -42,10 +42,15 @@
 
 pub mod assignment;
 pub mod cluster;
+pub mod stages;
 pub mod synthesis;
 
 pub use assignment::{
-    assign, AssignPath, Assignment, AssignmentProblem, AssignmentStrategy, MilpOptions,
+    assign, assign_ctx, AssignPath, Assignment, AssignmentProblem, AssignmentStrategy, MilpOptions,
 };
-pub use cluster::{cluster, ClusterError, Clustering, ClusteringConfig};
+pub use cluster::{cluster, try_cluster_with_l_max, ClusterError, Clustering, ClusteringConfig};
+pub use stages::{
+    assign_key, cluster_key, route_key, run_stage, AssignStage, ClusterStage, LayoutArtifact,
+    LayoutStage, RouteArtifact, RouteStage, Stage,
+};
 pub use synthesis::{SringConfig, SringError, SringReport, SringSynthesizer};

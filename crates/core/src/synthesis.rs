@@ -1,15 +1,12 @@
 //! The end-to-end SRing synthesis pipeline: clustering → physical
 //! implementation → wavelength assignment → router design.
 
-use crate::assignment::{
-    assign_traced, AssignError, AssignPath, Assignment, AssignmentProblem, AssignmentStrategy,
-};
-use crate::cluster::{cluster, Cluster, ClusterError, Clustering, ClusteringConfig};
+use crate::assignment::{AssignError, Assignment, AssignmentStrategy};
+use crate::cluster::{ClusterError, Clustering, ClusteringConfig};
+use crate::stages::{run_stage, AssignStage, ClusterStage, LayoutStage, RouteStage};
+use onoc_ctx::{CacheError, ExecCtx};
 use onoc_graph::{CommGraph, NodeId};
-use onoc_layout::{Layout, WaveguideId};
-use onoc_photonics::{
-    insertion_loss, DesignError, PathGeometry, PdnDesign, PdnStyle, RouterDesign, SignalPath,
-};
+use onoc_photonics::{DesignError, PdnDesign, PdnStyle, RouterDesign};
 use onoc_trace::Trace;
 use onoc_units::TechnologyParameters;
 use std::collections::BTreeSet;
@@ -88,6 +85,8 @@ pub enum SringError {
     Assign(AssignError),
     /// The assembled design failed validation (an internal invariant).
     Design(DesignError),
+    /// The artifact cache failed (a worker panic poisoned its lock).
+    Cache(CacheError),
 }
 
 impl fmt::Display for SringError {
@@ -96,6 +95,7 @@ impl fmt::Display for SringError {
             SringError::Cluster(e) => write!(f, "clustering failed: {e}"),
             SringError::Assign(e) => write!(f, "wavelength assignment failed: {e}"),
             SringError::Design(e) => write!(f, "design validation failed: {e}"),
+            SringError::Cache(e) => write!(f, "artifact cache failed: {e}"),
         }
     }
 }
@@ -115,6 +115,11 @@ impl From<AssignError> for SringError {
 impl From<DesignError> for SringError {
     fn from(e: DesignError) -> Self {
         SringError::Design(e)
+    }
+}
+impl From<CacheError> for SringError {
+    fn from(e: CacheError) -> Self {
+        SringError::Cache(e)
     }
 }
 
@@ -154,227 +159,105 @@ impl SringSynthesizer {
     ///
     /// See [`SringError`].
     pub fn synthesize_detailed(&self, app: &CommGraph) -> Result<SringReport, SringError> {
-        self.synthesize_detailed_traced(app, &Trace::disabled())
+        self.synthesize_detailed_ctx(app, &ExecCtx::default())
     }
 
-    /// [`SringSynthesizer::synthesize_detailed`] with tracing: every
-    /// pipeline stage runs under a span (`synth/cluster`, `synth/layout`,
-    /// `synth/route`, `synth/assign` with the MILP sub-phases beneath it,
-    /// `synth/pdn`, `synth/validate`), and headline results are recorded
-    /// as counters/gauges. Pass [`Trace::disabled`] (what
-    /// [`SringSynthesizer::synthesize_detailed`] does) to skip all of it.
+    /// [`SringSynthesizer::synthesize`] through an explicit execution
+    /// context.
     ///
     /// # Errors
     ///
     /// See [`SringError`].
-    pub fn synthesize_detailed_traced(
+    pub fn synthesize_ctx(
         &self,
         app: &CommGraph,
-        trace: &Trace,
+        ctx: &ExecCtx,
+    ) -> Result<RouterDesign, SringError> {
+        Ok(self.synthesize_detailed_ctx(app, ctx)?.design)
+    }
+
+    /// [`SringSynthesizer::synthesize_detailed`] through an explicit
+    /// [`ExecCtx`]: the pipeline runs as the stage graph
+    /// `cluster → layout → route → assign → pdn → validate` (see
+    /// [`crate::stages`]).
+    ///
+    /// * Tracing: every stage runs under a span (`synth/cluster`,
+    ///   `synth/layout`, `synth/route`, `synth/assign` with the MILP
+    ///   sub-phases beneath it, `synth/pdn`, `synth/validate`) of the
+    ///   context's trace, and headline results land as counters/gauges.
+    /// * Caching: with a cache attached, the `cluster`, `layout`, `route`
+    ///   and `assign` artifacts are reused across runs whose content keys
+    ///   match; `ExecCtx::default()` (no cache) recomputes everything.
+    /// * Deadline: a context deadline clamps the MILP time budget, which
+    ///   also marks the `assign` stage uncacheable for that run.
+    ///
+    /// # Errors
+    ///
+    /// See [`SringError`].
+    pub fn synthesize_detailed_ctx(
+        &self,
+        app: &CommGraph,
+        ctx: &ExecCtx,
     ) -> Result<SringReport, SringError> {
         let start = Instant::now();
+        let trace = ctx.trace();
         let span_synth = trace.span("synth");
 
-        let span_cluster = trace.span("cluster");
-        let clustering = cluster(app, &self.config.clustering)?;
-        drop(span_cluster);
+        let clustering = run_stage(
+            ctx,
+            &ClusterStage {
+                app,
+                config: &self.config,
+            },
+        )?;
+        let layout = run_stage(
+            ctx,
+            &LayoutStage {
+                app,
+                config: &self.config,
+                clustering: &clustering,
+            },
+        )?;
+        let route = run_stage(
+            ctx,
+            &RouteStage {
+                app,
+                config: &self.config,
+                clustering: &clustering,
+                layout: &layout,
+            },
+        )?;
+        let assignment = run_stage(
+            ctx,
+            &AssignStage {
+                app,
+                config: &self.config,
+                route: &route,
+                cacheable: ctx.deadline().is_none(),
+            },
+        )?;
 
-        // --- Physical implementation (Sec. III-A-3). ---
-        let span_layout = trace.span("layout");
-        let positions: Vec<_> = app.node_ids().map(|v| app.position(v)).collect();
-        let mut layout = Layout::new(positions);
-        let mut intra_wg: Vec<Option<WaveguideId>> = Vec::with_capacity(clustering.clusters.len());
-        for Cluster { ring, .. } in &clustering.clusters {
-            intra_wg.push(ring.as_ref().map(|r| layout.route_cycle(r)));
-        }
-        let inter_wg = clustering
-            .inter_ring
-            .as_ref()
-            .map(|r| layout.route_cycle(r));
-        drop(span_layout);
-
-        let span_route = trace.span("route");
-        // --- Signal-path construction. ---
-        // Candidate routes per message: the cluster ring for same-cluster
-        // messages, the inter ring for cross-cluster ones, and (with
-        // flexible routing) the inter ring as an alternative whenever both
-        // endpoints happen to lie on it.
-        struct Candidate {
-            wg: WaveguideId,
-            occupancy: Vec<(WaveguideId, usize)>,
-            geometry: PathGeometry,
-            is_inter: bool,
-        }
-        let build_candidate = |wg: WaveguideId,
-                               cycle: &onoc_layout::Cycle,
-                               src: NodeId,
-                               dst: NodeId,
-                               is_inter: bool|
-         -> Candidate {
-            let range = cycle
-                .path_segments(src, dst)
-                .expect("message endpoints lie on the chosen ring");
-            let routed = layout.waveguide(wg);
-            let mut geometry = PathGeometry::new();
-            let mut occupancy = Vec::with_capacity(range.len());
-            for seg in range.iter() {
-                let g = routed.segment(seg);
-                geometry.length += g.length;
-                geometry.bends += g.bends;
-                occupancy.push((wg, seg));
-            }
-            geometry.crossings = layout.path_crossings(wg, &range);
-            Candidate {
-                wg,
-                occupancy,
-                geometry,
-                is_inter,
-            }
-        };
-
-        let mut candidates: Vec<Vec<Candidate>> = Vec::with_capacity(app.message_count());
-        for id in app.message_ids() {
-            let msg = app.message(id);
-            let mut options = Vec::with_capacity(2);
-            if clustering.same_cluster(msg.src, msg.dst) {
-                let c = clustering.cluster_of[msg.src.index()];
-                let ring = clustering.clusters[c]
-                    .ring
-                    .as_ref()
-                    .expect("a same-cluster message implies a multi-node cluster");
-                options.push(build_candidate(
-                    intra_wg[c].expect("multi-node clusters are routed"),
-                    ring,
-                    msg.src,
-                    msg.dst,
-                    false,
-                ));
-                if self.config.flexible_routing {
-                    if let (Some(wg), Some(ring)) = (inter_wg, clustering.inter_ring.as_ref()) {
-                        if ring.contains(msg.src) && ring.contains(msg.dst) {
-                            options.push(build_candidate(wg, ring, msg.src, msg.dst, true));
-                        }
-                    }
-                }
-            } else {
-                options.push(build_candidate(
-                    inter_wg.expect("cross-cluster messages imply an inter ring"),
-                    clustering
-                        .inter_ring
-                        .as_ref()
-                        .expect("cross-cluster messages imply an inter ring"),
-                    msg.src,
-                    msg.dst,
-                    true,
-                ));
-            }
-            candidates.push(options);
-        }
-
-        // Greedy route selection: forced routes first, then flexible ones
-        // (longest first) choosing the option with the lower resulting peak
-        // channel load, ties to the shorter route.
-        let mut load: std::collections::HashMap<(usize, usize), usize> =
-            std::collections::HashMap::new();
-        let mut chosen: Vec<Option<usize>> = vec![None; candidates.len()];
-        let commit =
-            |cand: &Candidate, load: &mut std::collections::HashMap<(usize, usize), usize>| {
-                for &(wg, seg) in &cand.occupancy {
-                    *load.entry((wg.index(), seg)).or_insert(0) += 1;
-                }
-            };
-        for (i, options) in candidates.iter().enumerate() {
-            if options.len() == 1 {
-                commit(&options[0], &mut load);
-                chosen[i] = Some(0);
-            }
-        }
-        let mut flexible: Vec<usize> = (0..candidates.len())
-            .filter(|&i| chosen[i].is_none())
-            .collect();
-        flexible.sort_by(|&a, &b| {
-            candidates[b][0]
-                .geometry
-                .length
-                .partial_cmp(&candidates[a][0].geometry.length)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.cmp(&b))
-        });
-        for i in flexible {
-            let best = candidates[i]
-                .iter()
-                .enumerate()
-                .min_by(|(_, x), (_, y)| {
-                    let peak = |c: &Candidate| {
-                        c.occupancy
-                            .iter()
-                            .map(|&(wg, seg)| {
-                                load.get(&(wg.index(), seg)).copied().unwrap_or(0) + 1
-                            })
-                            .max()
-                            .unwrap_or(1)
-                    };
-                    (peak(x), x.geometry.length.0)
-                        .partial_cmp(&(peak(y), y.geometry.length.0))
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                })
-                .map(|(k, _)| k)
-                .expect("every message has at least one candidate");
-            commit(&candidates[i][best], &mut load);
-            chosen[i] = Some(best);
-        }
-
-        let mut signal_paths = Vec::with_capacity(app.message_count());
-        let mut assign_paths = Vec::with_capacity(app.message_count());
-        for (i, id) in app.message_ids().enumerate() {
-            let msg = app.message(id);
-            let cand = &candidates[i][chosen[i].expect("all messages routed")];
-            let loss = insertion_loss(&cand.geometry, &self.config.tech);
-            assign_paths.push(AssignPath {
-                src: msg.src,
-                is_inter: cand.is_inter,
-                loss,
-                channels: cand
-                    .occupancy
-                    .iter()
-                    .map(|&(w, s)| (w.index(), s))
-                    .collect(),
-            });
-            signal_paths.push(SignalPath {
-                message: id,
-                src: msg.src,
-                dst: msg.dst,
-                waveguide: cand.wg,
-                occupancy: cand.occupancy.clone(),
-                geometry: cand.geometry,
-                wavelength: onoc_units::Wavelength(0), // set after assignment
-            });
-        }
-
-        drop(span_route);
-
-        // --- Wavelength assignment (Sec. III-B). ---
-        let span_assign = trace.span("assign");
-        let problem = AssignmentProblem::new(
-            app.node_count(),
-            assign_paths,
-            self.config.tech.splitter_loss(),
-        );
-        let assignment = assign_traced(&problem, &self.config.strategy, trace)?;
+        // --- PDN (construction of ref. [22]) and final assembly. ---
+        // Uncached: the assembled design embeds every upstream artifact,
+        // so caching it would only duplicate the assign entry.
+        let span_pdn = trace.span("pdn");
+        let mut signal_paths = route.signal_paths.clone();
         for (p, &w) in signal_paths.iter_mut().zip(&assignment.wavelengths) {
             p.wavelength = w;
         }
-        drop(span_assign);
-
-        // --- PDN (construction of ref. [22]). ---
-        let span_pdn = trace.span("pdn");
         let sender_nodes: BTreeSet<NodeId> = signal_paths.iter().map(|p| p.src).collect();
         let pdn = PdnDesign::new(
             PdnStyle::SharedTree,
             assignment.node_splitter.clone(),
             sender_nodes.len(),
         );
-        let design = RouterDesign::new("SRing", app.name(), layout, signal_paths, pdn)?;
+        let design = RouterDesign::new(
+            "SRing",
+            app.name(),
+            layout.layout.clone(),
+            signal_paths,
+            pdn,
+        )?;
         drop(span_pdn);
 
         let span_validate = trace.span("validate");
@@ -386,12 +269,27 @@ impl SringSynthesizer {
         trace.incr("synth/messages", app.message_count() as u64);
         trace.gauge("synth/wavelengths", assignment.wavelength_count as f64);
         trace.gauge("synth/sub_rings", clustering.sub_ring_count() as f64);
+        ctx.publish_cache_stats();
         Ok(SringReport {
             design,
-            clustering,
-            assignment,
+            clustering: (*clustering).clone(),
+            assignment: (*assignment).clone(),
             runtime: start.elapsed(),
         })
+    }
+
+    /// Deprecated trace-only entry point.
+    ///
+    /// # Errors
+    ///
+    /// See [`SringError`].
+    #[deprecated(note = "use synthesize_detailed_ctx with an ExecCtx carrying the trace")]
+    pub fn synthesize_detailed_traced(
+        &self,
+        app: &CommGraph,
+        trace: &Trace,
+    ) -> Result<SringReport, SringError> {
+        self.synthesize_detailed_ctx(app, &ExecCtx::default().with_trace(trace.clone()))
     }
 }
 

@@ -1,0 +1,691 @@
+//! Unified execution context for the synthesis pipeline.
+//!
+//! Every pipeline entry point takes one [`ExecCtx`], which carries:
+//!
+//! * the [`Trace`] handle (spans, counters, gauges),
+//! * an optional thread-safe content-addressed [`ArtifactCache`] keyed by
+//!   deterministic [`ContentKey`]s over stage inputs,
+//! * an optional wall-clock deadline,
+//! * a thread budget for parallel harness stages.
+//!
+//! Content keys are derived with [`ContentHasher`], a deterministic
+//! 128-bit streaming hash. Types describe how they feed the hasher via
+//! [`ContentHash`]; the derived key of a pipeline stage covers every
+//! input the stage's output depends on, so equal keys imply equal
+//! artifacts.
+//!
+//! The cache stores artifacts as `Arc<dyn Any + Send + Sync>` under a
+//! `(stage, key)` pair and is bounded: inserting beyond capacity evicts
+//! the least-recently-used entry. Hits, misses and evictions are counted
+//! and can be published into a trace via
+//! [`ExecCtx::publish_cache_stats`]. A poisoned cache lock surfaces as
+//! the typed [`CacheError::Poisoned`] instead of a panic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use onoc_trace::Trace;
+use std::any::Any;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A deterministic 128-bit content key over a stage's inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ContentKey(pub [u64; 2]);
+
+impl fmt::Display for ContentKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}{:016x}", self.0[0], self.0[1])
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A deterministic streaming hasher producing [`ContentKey`]s.
+///
+/// Two decorrelated FNV-1a lanes over the same byte stream. The hash is
+/// stable across runs, platforms and thread counts — unlike
+/// [`std::collections::hash_map::DefaultHasher`], which is randomly
+/// seeded per process — so it is safe to use for cache keys that must be
+/// reproducible.
+#[derive(Debug, Clone)]
+pub struct ContentHasher {
+    lo: u64,
+    hi: u64,
+}
+
+impl Default for ContentHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ContentHasher {
+    /// A fresh hasher.
+    #[must_use]
+    pub fn new() -> Self {
+        ContentHasher {
+            lo: FNV_OFFSET,
+            hi: FNV_OFFSET ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Feeds one byte.
+    pub fn write_u8(&mut self, b: u8) {
+        self.lo = (self.lo ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        self.hi = (self.hi.rotate_left(5) ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+
+    /// Feeds raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u8(b);
+        }
+    }
+
+    /// Feeds a 64-bit integer (little-endian bytes).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feeds a pointer-sized integer.
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Feeds a float through its exact bit pattern.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Feeds a string, length-prefixed so concatenations cannot collide.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// The key over everything written so far.
+    #[must_use]
+    pub fn finish(&self) -> ContentKey {
+        ContentKey([self.lo, self.hi])
+    }
+}
+
+/// Types that can feed their content into a [`ContentHasher`].
+///
+/// Implementations must be deterministic (no address- or iteration-order
+/// dependence) and must cover every field that influences downstream
+/// results.
+pub trait ContentHash {
+    /// Feeds `self` into the hasher.
+    fn content_hash(&self, hasher: &mut ContentHasher);
+}
+
+impl ContentHash for bool {
+    fn content_hash(&self, hasher: &mut ContentHasher) {
+        hasher.write_u8(u8::from(*self));
+    }
+}
+
+impl ContentHash for u32 {
+    fn content_hash(&self, hasher: &mut ContentHasher) {
+        hasher.write_u64(u64::from(*self));
+    }
+}
+
+impl ContentHash for u64 {
+    fn content_hash(&self, hasher: &mut ContentHasher) {
+        hasher.write_u64(*self);
+    }
+}
+
+impl ContentHash for usize {
+    fn content_hash(&self, hasher: &mut ContentHasher) {
+        hasher.write_usize(*self);
+    }
+}
+
+impl ContentHash for f64 {
+    fn content_hash(&self, hasher: &mut ContentHasher) {
+        hasher.write_f64(*self);
+    }
+}
+
+impl ContentHash for str {
+    fn content_hash(&self, hasher: &mut ContentHasher) {
+        hasher.write_str(self);
+    }
+}
+
+impl ContentHash for String {
+    fn content_hash(&self, hasher: &mut ContentHasher) {
+        hasher.write_str(self);
+    }
+}
+
+impl<T: ContentHash + ?Sized> ContentHash for &T {
+    fn content_hash(&self, hasher: &mut ContentHasher) {
+        (**self).content_hash(hasher);
+    }
+}
+
+impl<T: ContentHash> ContentHash for Option<T> {
+    fn content_hash(&self, hasher: &mut ContentHasher) {
+        match self {
+            None => hasher.write_u8(0),
+            Some(v) => {
+                hasher.write_u8(1);
+                v.content_hash(hasher);
+            }
+        }
+    }
+}
+
+impl<T: ContentHash> ContentHash for [T] {
+    fn content_hash(&self, hasher: &mut ContentHasher) {
+        hasher.write_usize(self.len());
+        for v in self {
+            v.content_hash(hasher);
+        }
+    }
+}
+
+impl<T: ContentHash> ContentHash for Vec<T> {
+    fn content_hash(&self, hasher: &mut ContentHasher) {
+        self.as_slice().content_hash(hasher);
+    }
+}
+
+impl ContentHash for Duration {
+    fn content_hash(&self, hasher: &mut ContentHasher) {
+        hasher.write_u64(self.as_secs());
+        hasher.write_u64(u64::from(self.subsec_nanos()));
+    }
+}
+
+/// Error from the artifact cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CacheError {
+    /// The cache mutex was poisoned by a panicking thread; the cached
+    /// state can no longer be trusted.
+    Poisoned,
+}
+
+impl fmt::Display for CacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheError::Poisoned => write!(f, "artifact cache lock was poisoned"),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+/// A type-erased cached artifact.
+pub type Artifact = Arc<dyn Any + Send + Sync>;
+
+/// Counters of one [`ArtifactCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that returned a stored artifact.
+    pub hits: u64,
+    /// Lookups that found nothing (or a type-mismatched entry).
+    pub misses: u64,
+    /// Entries dropped to respect the capacity bound.
+    pub evictions: u64,
+    /// Artifacts currently stored.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hits over total lookups; zero when nothing was looked up.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct CacheEntry {
+    value: Artifact,
+    last_used: u64,
+}
+
+struct CacheInner {
+    map: BTreeMap<(&'static str, ContentKey), CacheEntry>,
+    tick: u64,
+}
+
+/// A thread-safe content-addressed artifact store with LRU eviction.
+///
+/// Entries are keyed by a `(stage, key)` pair: the stage name namespaces
+/// keys so two stages with identical inputs never alias each other's
+/// artifacts. The map is a `BTreeMap`, so no behaviour — including the
+/// eviction victim, which is chosen by a strictly monotonic use tick —
+/// depends on randomized iteration order.
+pub struct ArtifactCache {
+    capacity: usize,
+    inner: Mutex<CacheInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl fmt::Debug for ArtifactCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ArtifactCache")
+            .field("capacity", &self.capacity)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Default for ArtifactCache {
+    fn default() -> Self {
+        Self::new(Self::DEFAULT_CAPACITY)
+    }
+}
+
+impl ArtifactCache {
+    /// Default capacity: enough for a full benchmark × strategy grid.
+    pub const DEFAULT_CAPACITY: usize = 1024;
+
+    /// A cache holding at most `capacity` artifacts (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        ArtifactCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(CacheInner {
+                map: BTreeMap::new(),
+                tick: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up the artifact stored for `(stage, key)`.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::Poisoned`] when the cache lock was poisoned.
+    pub fn get(
+        &self,
+        stage: &'static str,
+        key: ContentKey,
+    ) -> Result<Option<Artifact>, CacheError> {
+        let mut inner = self.inner.lock().map_err(|_| CacheError::Poisoned)?;
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(&(stage, key)) {
+            Some(entry) => {
+                entry.last_used = tick;
+                let value = entry.value.clone();
+                drop(inner);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Ok(Some(value))
+            }
+            None => {
+                drop(inner);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Ok(None)
+            }
+        }
+    }
+
+    /// Stores `value` under `(stage, key)`, evicting the least-recently
+    /// used artifact when the capacity bound would be exceeded.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::Poisoned`] when the cache lock was poisoned.
+    pub fn insert(
+        &self,
+        stage: &'static str,
+        key: ContentKey,
+        value: Artifact,
+    ) -> Result<(), CacheError> {
+        let mut inner = self.inner.lock().map_err(|_| CacheError::Poisoned)?;
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.insert(
+            (stage, key),
+            CacheEntry {
+                value,
+                last_used: tick,
+            },
+        );
+        let mut evicted = 0u64;
+        while inner.map.len() > self.capacity {
+            // The use ticks are strictly monotonic, so the victim is
+            // unique and independent of map iteration order.
+            let victim = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k);
+            match victim {
+                Some(k) => {
+                    inner.map.remove(&k);
+                    evicted += 1;
+                }
+                None => break,
+            }
+        }
+        drop(inner);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// A snapshot of the hit/miss/eviction counters and the entry count.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.inner.lock().map(|i| i.map.len()).unwrap_or(0),
+        }
+    }
+}
+
+/// The unified execution context threaded through every pipeline entry
+/// point: trace handle, optional artifact cache, optional deadline and a
+/// thread budget.
+///
+/// Cloning is cheap — the trace and the cache are shared handles — so a
+/// context can be handed to worker threads freely.
+///
+/// ```
+/// use onoc_ctx::{ArtifactCache, ExecCtx};
+/// use std::sync::Arc;
+///
+/// let ctx = ExecCtx::default()
+///     .with_cache(Arc::new(ArtifactCache::default()))
+///     .with_threads(4);
+/// assert_eq!(ctx.threads(), 4);
+/// assert!(ctx.cache().is_some());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ExecCtx {
+    trace: Trace,
+    cache: Option<Arc<ArtifactCache>>,
+    deadline: Option<Instant>,
+    threads: usize,
+}
+
+impl ExecCtx {
+    /// A context with no tracing, no cache, no deadline and the default
+    /// thread budget (0 = "let the callee decide").
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A context with a fresh default-capacity artifact cache enabled.
+    #[must_use]
+    pub fn cached() -> Self {
+        Self::default().with_cache(Arc::new(ArtifactCache::default()))
+    }
+
+    /// Replaces the trace handle.
+    #[must_use]
+    pub fn with_trace(mut self, trace: Trace) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Attaches a (possibly shared) artifact cache.
+    #[must_use]
+    pub fn with_cache(mut self, cache: Arc<ArtifactCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Detaches the artifact cache: every stage recomputes.
+    #[must_use]
+    pub fn without_cache(mut self) -> Self {
+        self.cache = None;
+        self
+    }
+
+    /// Sets a wall-clock deadline. Stages that take time limits clamp
+    /// them to the remaining budget.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the thread budget (0 = "let the callee decide", typically one
+    /// worker per core).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The trace handle.
+    #[must_use]
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The attached artifact cache, if any.
+    #[must_use]
+    pub fn cache(&self) -> Option<&Arc<ArtifactCache>> {
+        self.cache.as_ref()
+    }
+
+    /// The wall-clock deadline, if any.
+    #[must_use]
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// The thread budget (0 = unset).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Time left until the deadline; `None` without a deadline, zero when
+    /// it has already passed.
+    #[must_use]
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// Looks up a typed artifact for `(stage, key)` and counts the
+    /// hit/miss both in the cache and as `cache/...` trace counters. A
+    /// detached cache is a silent miss without counters; an entry of the
+    /// wrong type counts as a miss.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::Poisoned`] when the cache lock was poisoned.
+    pub fn cache_get<T: Send + Sync + 'static>(
+        &self,
+        stage: &'static str,
+        key: ContentKey,
+    ) -> Result<Option<Arc<T>>, CacheError> {
+        let Some(cache) = &self.cache else {
+            return Ok(None);
+        };
+        let hit = cache
+            .get(stage, key)?
+            .and_then(|any| any.downcast::<T>().ok());
+        match &hit {
+            Some(_) => {
+                self.trace.incr("cache/hits", 1);
+                self.trace.incr(&format!("cache/{stage}/hits"), 1);
+            }
+            None => {
+                self.trace.incr("cache/misses", 1);
+                self.trace.incr(&format!("cache/{stage}/misses"), 1);
+            }
+        }
+        Ok(hit)
+    }
+
+    /// Stores a typed artifact under `(stage, key)` and returns the
+    /// shared handle. With a detached cache the value is merely wrapped.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::Poisoned`] when the cache lock was poisoned.
+    pub fn cache_put<T: Send + Sync + 'static>(
+        &self,
+        stage: &'static str,
+        key: ContentKey,
+        value: T,
+    ) -> Result<Arc<T>, CacheError> {
+        let arc = Arc::new(value);
+        if let Some(cache) = &self.cache {
+            cache.insert(stage, key, arc.clone())?;
+        }
+        Ok(arc)
+    }
+
+    /// A stats snapshot of the attached cache, if any.
+    #[must_use]
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// Publishes the cache totals as trace gauges (`cache/entries`,
+    /// `cache/evictions`, `cache/hit_rate`). No-op without a cache.
+    pub fn publish_cache_stats(&self) {
+        if let Some(stats) = self.cache_stats() {
+            self.trace.gauge("cache/entries", stats.entries as f64);
+            self.trace.gauge("cache/evictions", stats.evictions as f64);
+            self.trace.gauge("cache/hit_rate", stats.hit_rate());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hasher_is_deterministic_and_sensitive() {
+        let key = |f: &dyn Fn(&mut ContentHasher)| {
+            let mut h = ContentHasher::new();
+            f(&mut h);
+            h.finish()
+        };
+        let a = key(&|h| h.write_str("abc"));
+        let b = key(&|h| h.write_str("abc"));
+        assert_eq!(a, b);
+        assert_ne!(a, key(&|h| h.write_str("abd")));
+        // Length prefixing: ("ab", "c") never collides with ("a", "bc").
+        let ab_c = key(&|h| {
+            h.write_str("ab");
+            h.write_str("c");
+        });
+        let a_bc = key(&|h| {
+            h.write_str("a");
+            h.write_str("bc");
+        });
+        assert_ne!(ab_c, a_bc);
+        // Floats hash by bit pattern.
+        assert_ne!(key(&|h| h.write_f64(0.0)), key(&|h| h.write_f64(-0.0)));
+    }
+
+    #[test]
+    fn cache_counts_hits_misses_and_evicts_lru() {
+        let cache = ArtifactCache::new(2);
+        let key = |n: u64| ContentKey([n, n]);
+        assert!(cache.get("s", key(1)).unwrap().is_none());
+        cache.insert("s", key(1), Arc::new(1u32)).unwrap();
+        cache.insert("s", key(2), Arc::new(2u32)).unwrap();
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(cache.get("s", key(1)).unwrap().is_some());
+        cache.insert("s", key(3), Arc::new(3u32)).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 2);
+        assert!(cache.get("s", key(2)).unwrap().is_none(), "2 was evicted");
+        assert!(cache.get("s", key(1)).unwrap().is_some());
+        assert!(cache.get("s", key(3)).unwrap().is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 3);
+        assert_eq!(stats.misses, 2);
+        assert!((stats.hit_rate() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stage_names_namespace_keys() {
+        let cache = ArtifactCache::default();
+        let key = ContentKey([7, 7]);
+        cache.insert("a", key, Arc::new(1u32)).unwrap();
+        assert!(cache.get("b", key).unwrap().is_none());
+        assert!(cache.get("a", key).unwrap().is_some());
+    }
+
+    #[test]
+    fn ctx_typed_roundtrip_and_type_mismatch() {
+        let ctx = ExecCtx::cached();
+        let key = ContentKey([1, 2]);
+        ctx.cache_put("stage", key, 42u32).unwrap();
+        let hit: Option<Arc<u32>> = ctx.cache_get("stage", key).unwrap();
+        assert_eq!(hit.as_deref(), Some(&42));
+        // Same slot read at the wrong type: a miss, not a panic.
+        let wrong: Option<Arc<String>> = ctx.cache_get("stage", key).unwrap();
+        assert!(wrong.is_none());
+    }
+
+    #[test]
+    fn detached_cache_is_passthrough() {
+        let ctx = ExecCtx::default();
+        let key = ContentKey([0, 0]);
+        let stored = ctx.cache_put("stage", key, 5u32).unwrap();
+        assert_eq!(*stored, 5);
+        let hit: Option<Arc<u32>> = ctx.cache_get("stage", key).unwrap();
+        assert!(hit.is_none());
+        assert!(ctx.cache_stats().is_none());
+    }
+
+    #[test]
+    fn cross_thread_sharing() {
+        let ctx = ExecCtx::cached();
+        let key = ContentKey([9, 9]);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..50 {
+                        if ctx.cache_get::<u64>("s", key).unwrap().is_none() {
+                            ctx.cache_put("s", key, 11u64).unwrap();
+                        }
+                    }
+                });
+            }
+        });
+        let stats = ctx.cache_stats().unwrap();
+        assert!(stats.hits >= 4 * 50 - 4, "late lookups must hit");
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn deadline_remaining() {
+        let ctx = ExecCtx::default();
+        assert!(ctx.remaining().is_none());
+        let ctx = ctx.with_deadline(Instant::now() + Duration::from_secs(60));
+        let rem = ctx.remaining().unwrap();
+        assert!(rem > Duration::from_secs(50) && rem <= Duration::from_secs(60));
+    }
+}

@@ -3,6 +3,7 @@
 
 use crate::methods::{EvalError, Method};
 use crate::par::run_indexed;
+use onoc_ctx::ExecCtx;
 use onoc_graph::CommGraph;
 use onoc_photonics::RouterAnalysis;
 use onoc_trace::Trace;
@@ -40,26 +41,50 @@ pub fn compare(
     tech: &TechnologyParameters,
     methods: &[Method],
 ) -> Result<Comparison, EvalError> {
-    compare_traced(app, tech, methods, &Trace::disabled())
+    compare_ctx(app, tech, methods, &ExecCtx::default())
 }
 
-/// [`compare`] with tracing: each method runs under a
-/// `compare/<method>` span on top of the method's own span tree.
+/// Deprecated trace-only entry point.
 ///
 /// # Errors
 ///
 /// Same contract as [`compare`].
+#[deprecated(note = "use compare_ctx with an ExecCtx carrying the trace")]
 pub fn compare_traced(
     app: &CommGraph,
     tech: &TechnologyParameters,
     methods: &[Method],
     trace: &Trace,
 ) -> Result<Comparison, EvalError> {
+    compare_ctx(
+        app,
+        tech,
+        methods,
+        &ExecCtx::default().with_trace(trace.clone()),
+    )
+}
+
+/// [`compare`] through an explicit execution context: each method runs
+/// under a `compare/<method>` span on top of the method's own span tree,
+/// and a cache-carrying context reuses stage artifacts across methods —
+/// e.g. several `Method::Sring` entries differing only in assignment
+/// strategy share their cluster, layout and route artifacts.
+///
+/// # Errors
+///
+/// Same contract as [`compare`].
+pub fn compare_ctx(
+    app: &CommGraph,
+    tech: &TechnologyParameters,
+    methods: &[Method],
+    ctx: &ExecCtx,
+) -> Result<Comparison, EvalError> {
+    let trace = ctx.trace();
     let mut rows = Vec::with_capacity(methods.len());
     for m in methods {
         let design = {
             let _span = trace.span_at(&format!("compare/{}", m.name()));
-            m.synthesize_traced(app, tech, trace)?
+            m.synthesize_ctx(app, tech, ctx)?
         };
         rows.push(design.analyze(tech));
     }
@@ -87,17 +112,20 @@ pub fn compare_grid(
     methods: &[Method],
     threads: usize,
 ) -> Result<Vec<Comparison>, EvalError> {
-    compare_grid_traced(apps, tech, methods, threads, &Trace::disabled())
+    compare_grid_ctx(
+        apps,
+        tech,
+        methods,
+        &ExecCtx::default().with_threads(threads),
+    )
 }
 
-/// [`compare_grid`] with tracing: each `benchmark × method` cell runs
-/// under a `compare/<method>` span. Workers record into the shared
-/// registry, so the aggregated phase totals are independent of the
-/// thread count (wall-clock sums, not wall-clock elapsed).
+/// Deprecated trace-only entry point.
 ///
 /// # Errors
 ///
 /// Same contract as [`compare_grid`].
+#[deprecated(note = "use compare_grid_ctx with an ExecCtx carrying the trace")]
 pub fn compare_grid_traced(
     apps: &[CommGraph],
     tech: &TechnologyParameters,
@@ -105,12 +133,42 @@ pub fn compare_grid_traced(
     threads: usize,
     trace: &Trace,
 ) -> Result<Vec<Comparison>, EvalError> {
-    let cells = run_indexed(apps.len() * methods.len(), threads, |cell| {
+    compare_grid_ctx(
+        apps,
+        tech,
+        methods,
+        &ExecCtx::default()
+            .with_threads(threads)
+            .with_trace(trace.clone()),
+    )
+}
+
+/// [`compare_grid`] through an explicit execution context. The worker
+/// count comes from [`ExecCtx::threads`] (`0` = one per available core);
+/// each `benchmark × method` cell runs under a `compare/<method>` span.
+/// Workers record into the shared registry, so the aggregated phase totals
+/// are independent of the thread count (wall-clock sums, not wall-clock
+/// elapsed). A cache-carrying context is shared by all workers: cells
+/// whose stage inputs coincide (e.g. SRing strategy sweeps on one
+/// benchmark) reuse each other's cluster, layout and route artifacts
+/// across threads.
+///
+/// # Errors
+///
+/// Same contract as [`compare_grid`].
+pub fn compare_grid_ctx(
+    apps: &[CommGraph],
+    tech: &TechnologyParameters,
+    methods: &[Method],
+    ctx: &ExecCtx,
+) -> Result<Vec<Comparison>, EvalError> {
+    let trace = ctx.trace();
+    let cells = run_indexed(apps.len() * methods.len(), ctx.threads(), |cell| {
         let app = &apps[cell / methods.len()];
         let method = &methods[cell % methods.len()];
         let _span = trace.span_at(&format!("compare/{}", method.name()));
         method
-            .synthesize_traced(app, tech, trace)
+            .synthesize_ctx(app, tech, ctx)
             .map(|d| d.analyze(tech))
     });
     let mut cells = cells.into_iter();
@@ -321,7 +379,10 @@ mod tests {
         let methods = Method::standard();
         let run = |threads: usize| {
             let trace = Trace::new();
-            compare_grid_traced(&apps, &tech, &methods, threads, &trace).unwrap();
+            let ctx = ExecCtx::default()
+                .with_threads(threads)
+                .with_trace(trace.clone());
+            compare_grid_ctx(&apps, &tech, &methods, &ctx).unwrap();
             trace.report()
         };
         let reference = run(1);

@@ -38,9 +38,14 @@ pub mod par;
 pub mod random_baseline;
 pub mod runtime;
 
-pub use comparison::{compare, compare_grid, format_fig7, format_table1, to_csv, Comparison};
+pub use comparison::{
+    compare, compare_ctx, compare_grid, compare_grid_ctx, format_fig7, format_table1, to_csv,
+    Comparison,
+};
 pub use histogram::Histogram;
 pub use methods::{EvalError, Method};
 pub use par::resolve_threads;
-pub use random_baseline::{sample_random_solutions, RandomSolutionConfig, RandomSolutionStats};
+pub use random_baseline::{
+    sample_random_solutions, sample_random_solutions_ctx, RandomSolutionConfig, RandomSolutionStats,
+};
 pub use runtime::{measure_runtimes, measure_runtimes_parallel, RuntimeRow};

@@ -1,6 +1,7 @@
 //! A uniform handle over the four synthesis methods.
 
 use onoc_baselines::{ctoring, ornoc, xring, BaselineError};
+use onoc_ctx::ExecCtx;
 use onoc_graph::CommGraph;
 use onoc_photonics::RouterDesign;
 use onoc_trace::Trace;
@@ -56,33 +57,51 @@ impl Method {
         app: &CommGraph,
         tech: &TechnologyParameters,
     ) -> Result<RouterDesign, EvalError> {
-        self.synthesize_traced(app, tech, &Trace::disabled())
+        self.synthesize_ctx(app, tech, &ExecCtx::default())
     }
 
-    /// [`Method::synthesize`] with tracing: the underlying method runs
-    /// under its own span tree (`ornoc`/`ctoring`/`xring`/`synth` with
-    /// the per-stage sub-phases each method records).
+    /// Deprecated trace-only entry point.
     ///
     /// # Errors
     ///
     /// Same contract as [`Method::synthesize`].
+    #[deprecated(note = "use synthesize_ctx with an ExecCtx carrying the trace")]
     pub fn synthesize_traced(
         &self,
         app: &CommGraph,
         tech: &TechnologyParameters,
         trace: &Trace,
     ) -> Result<RouterDesign, EvalError> {
+        self.synthesize_ctx(app, tech, &ExecCtx::default().with_trace(trace.clone()))
+    }
+
+    /// [`Method::synthesize`] through an explicit execution context: the
+    /// underlying method runs under its own span tree
+    /// (`ornoc`/`ctoring`/`xring`/`synth` with the per-stage sub-phases
+    /// each method records), and a cache-carrying context reuses stage
+    /// artifacts across calls — e.g. SRing methods differing only in the
+    /// assignment strategy share cluster, layout and route artifacts.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Method::synthesize`].
+    pub fn synthesize_ctx(
+        &self,
+        app: &CommGraph,
+        tech: &TechnologyParameters,
+        ctx: &ExecCtx,
+    ) -> Result<RouterDesign, EvalError> {
         match self {
-            Method::Ornoc => Ok(ornoc::synthesize_traced(app, tech, trace)?),
-            Method::Ctoring => Ok(ctoring::synthesize_traced(app, tech, trace)?),
-            Method::Xring => Ok(xring::synthesize_traced(app, tech, trace)?),
+            Method::Ornoc => Ok(ornoc::synthesize_ctx(app, tech, ctx)?),
+            Method::Ctoring => Ok(ctoring::synthesize_ctx(app, tech, ctx)?),
+            Method::Xring => Ok(xring::synthesize_ctx(app, tech, ctx)?),
             Method::Sring(strategy) => {
                 let synth = SringSynthesizer::with_config(SringConfig {
                     strategy: strategy.clone(),
                     tech: tech.clone(),
                     ..SringConfig::default()
                 });
-                Ok(synth.synthesize_detailed_traced(app, trace)?.design)
+                Ok(synth.synthesize_detailed_ctx(app, ctx)?.design)
             }
         }
     }

@@ -21,6 +21,7 @@
 //! how many shards run concurrently.
 
 use crate::par::run_indexed;
+use onoc_ctx::ExecCtx;
 use onoc_graph::{CommGraph, NodeId};
 use onoc_layout::Cycle;
 use onoc_photonics::{insertion_loss, PathGeometry};
@@ -121,15 +122,11 @@ pub fn sample_random_solutions(
     tech: &TechnologyParameters,
     config: &RandomSolutionConfig,
 ) -> RandomSolutionStats {
-    sample_random_solutions_traced(app, tech, config, &Trace::disabled())
+    sample_random_solutions_ctx(app, tech, config, &ExecCtx::default())
 }
 
-/// [`sample_random_solutions`] with tracing: the sampler runs under a
-/// `fig8_sampler` span with one aggregated `fig8_sampler/shard` phase
-/// (per-shard wall-clock; `calls` = shards actually drawn), plus
-/// `eval/samples_attempted` / `eval/samples_feasible` counters. Because
-/// shards — not threads — own the random streams, the counters and the
-/// shard call count are identical for every thread count.
+/// Deprecated trace-only entry point.
+#[deprecated(note = "use sample_random_solutions_ctx with an ExecCtx carrying the trace")]
 #[must_use]
 pub fn sample_random_solutions_traced(
     app: &CommGraph,
@@ -137,6 +134,31 @@ pub fn sample_random_solutions_traced(
     config: &RandomSolutionConfig,
     trace: &Trace,
 ) -> RandomSolutionStats {
+    sample_random_solutions_ctx(
+        app,
+        tech,
+        config,
+        &ExecCtx::default().with_trace(trace.clone()),
+    )
+}
+
+/// [`sample_random_solutions`] through an explicit execution context: the
+/// sampler runs under a `fig8_sampler` span with one aggregated
+/// `fig8_sampler/shard` phase (per-shard wall-clock; `calls` = shards
+/// actually drawn), plus `eval/samples_attempted` /
+/// `eval/samples_feasible` counters. Because shards — not threads — own
+/// the random streams, the counters and the shard call count are
+/// identical for every thread count. A nonzero
+/// [`RandomSolutionConfig::threads`] takes precedence over
+/// [`ExecCtx::threads`] for the worker count.
+#[must_use]
+pub fn sample_random_solutions_ctx(
+    app: &CommGraph,
+    tech: &TechnologyParameters,
+    config: &RandomSolutionConfig,
+    ctx: &ExecCtx,
+) -> RandomSolutionStats {
+    let trace = ctx.trace();
     let n = app.node_count();
     if n < 2 || app.message_count() == 0 || config.pool_size == 0 {
         return RandomSolutionStats {
@@ -146,11 +168,16 @@ pub fn sample_random_solutions_traced(
     }
     let _span = trace.span_at("fig8_sampler");
 
+    let threads = if config.threads != 0 {
+        config.threads
+    } else {
+        ctx.threads()
+    };
     // Fixed shard sizes: the first `samples % SHARD_COUNT` shards get one
     // extra sample, independent of the thread count.
     let base = config.samples / SHARD_COUNT;
     let extra = config.samples % SHARD_COUNT;
-    let shards = run_indexed(SHARD_COUNT, config.threads, |shard| {
+    let shards = run_indexed(SHARD_COUNT, threads, |shard| {
         // Absolute path: worker threads have no span stack of their own.
         let _shard_span = trace.span_at("fig8_sampler/shard");
         let mut rng = SmallRng::seed_from_u64(shard_seed(config.seed, shard));

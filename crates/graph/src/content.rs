@@ -1,0 +1,103 @@
+//! [`ContentHash`] implementations for graphs, nodes and messages.
+//!
+//! The synthesis pipeline's artifact cache keys every stage by the full
+//! content of its inputs; the application graph is the dominant one. Hashing
+//! covers everything that influences synthesis: the benchmark name, every
+//! node name and position (bit-exact), and the directed message list in id
+//! order. The adjacency structure is derived from the messages and therefore
+//! not hashed separately.
+
+use crate::comm::{CommGraph, Message, MessageId};
+use crate::node::{NodeId, Point};
+use onoc_ctx::{ContentHash, ContentHasher};
+
+impl ContentHash for NodeId {
+    fn content_hash(&self, hasher: &mut ContentHasher) {
+        hasher.write_usize(self.0);
+    }
+}
+
+impl ContentHash for MessageId {
+    fn content_hash(&self, hasher: &mut ContentHasher) {
+        hasher.write_usize(self.0);
+    }
+}
+
+impl ContentHash for Point {
+    fn content_hash(&self, hasher: &mut ContentHasher) {
+        hasher.write_f64(self.x);
+        hasher.write_f64(self.y);
+    }
+}
+
+impl ContentHash for Message {
+    fn content_hash(&self, hasher: &mut ContentHasher) {
+        self.src.content_hash(hasher);
+        self.dst.content_hash(hasher);
+    }
+}
+
+impl ContentHash for CommGraph {
+    fn content_hash(&self, hasher: &mut ContentHasher) {
+        hasher.write_str(self.name());
+        hasher.write_usize(self.node_count());
+        for node in self.node_ids() {
+            hasher.write_str(self.node_name(node));
+            self.position(node).content_hash(hasher);
+        }
+        hasher.write_usize(self.message_count());
+        for m in self.messages() {
+            m.content_hash(hasher);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks;
+    use onoc_ctx::ContentKey;
+
+    fn key_of<T: ContentHash>(value: &T) -> ContentKey {
+        let mut hasher = ContentHasher::new();
+        value.content_hash(&mut hasher);
+        hasher.finish()
+    }
+
+    #[test]
+    fn graph_hash_is_deterministic() {
+        assert_eq!(key_of(&benchmarks::mwd()), key_of(&benchmarks::mwd()));
+    }
+
+    #[test]
+    fn distinct_benchmarks_hash_differently() {
+        assert_ne!(key_of(&benchmarks::mwd()), key_of(&benchmarks::vopd()));
+    }
+
+    #[test]
+    fn message_order_and_position_matter() {
+        let a = CommGraph::builder()
+            .name("t")
+            .node("a", Point::new(0.0, 0.0))
+            .node("b", Point::new(1.0, 0.0))
+            .message(NodeId(0), NodeId(1))
+            .build()
+            .unwrap();
+        let reversed = CommGraph::builder()
+            .name("t")
+            .node("a", Point::new(0.0, 0.0))
+            .node("b", Point::new(1.0, 0.0))
+            .message(NodeId(1), NodeId(0))
+            .build()
+            .unwrap();
+        let moved = CommGraph::builder()
+            .name("t")
+            .node("a", Point::new(0.0, 0.0))
+            .node("b", Point::new(1.5, 0.0))
+            .message(NodeId(0), NodeId(1))
+            .build()
+            .unwrap();
+        assert_ne!(key_of(&a), key_of(&reversed));
+        assert_ne!(key_of(&a), key_of(&moved));
+    }
+}

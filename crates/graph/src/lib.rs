@@ -26,6 +26,7 @@
 
 pub mod benchmarks;
 pub mod comm;
+pub mod content;
 pub mod node;
 pub mod placement;
 pub mod synth;

@@ -5,7 +5,7 @@
 //! The search is *anytime*: hitting a limit returns the incumbent and the
 //! proven global bound with [`Status::Feasible`]. The wall-clock deadline
 //! reaches into the simplex itself (see
-//! [`LpOptions`](crate::simplex::LpOptions)), so a single long LP
+//! [`crate::simplex::LpOptions`]), so a single long LP
 //! relaxation cannot blow the budget.
 //!
 //! With [`SolveOptions::threads`] above one the tree search runs on a
@@ -760,7 +760,7 @@ pub(crate) fn solve(model: &Model, options: &SolveOptions) -> Result<MilpSolutio
 
     let threads = options.effective_threads();
     let end = if threads > 1 {
-        crate::parallel::search(&ctx, root, incumbent, threads)
+        crate::parallel::search(&ctx, root, incumbent, threads)?
     } else {
         search_serial(&ctx, root, incumbent)
     };

@@ -325,6 +325,9 @@ pub enum ModelError {
     NoSolutionFound,
     /// The simplex exceeded its iteration budget (numerical trouble).
     IterationLimit,
+    /// A worker thread of the parallel search panicked and poisoned the
+    /// shared search state; the partial results cannot be trusted.
+    PoisonedLock,
 }
 
 impl fmt::Display for ModelError {
@@ -341,6 +344,9 @@ impl fmt::Display for ModelError {
                 write!(f, "search limit reached before finding a feasible point")
             }
             ModelError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+            ModelError::PoisonedLock => {
+                write!(f, "parallel search state was poisoned by a worker panic")
+            }
         }
     }
 }

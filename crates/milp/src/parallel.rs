@@ -4,7 +4,7 @@
 //! `(bound, depth, id)` ordering as the serial search) lives behind one
 //! mutex together with the incumbent and the search counters. Workers pop
 //! a node, solve its LP relaxation *outside* the lock — each worker owns a
-//! reusable [`SimplexWorkspace`], so the tableau is allocated once per
+//! reusable [`crate::simplex::SimplexWorkspace`], so the tableau is allocated once per
 //! thread, not once per node — and re-lock only to apply the outcome.
 //!
 //! The incumbent objective is mirrored into an [`AtomicU64`] (its `f64`
@@ -28,6 +28,7 @@ use crate::branch_bound::{
     evaluate_node, make_children, Node, NodeOutcome, SearchCtx, SearchEnd, SolveStats,
     WorkerScratch,
 };
+use crate::model::ModelError;
 use crate::simplex::LpStatus;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -94,7 +95,7 @@ pub(crate) fn search(
     root: Node,
     incumbent: Option<(f64, Vec<f64>)>,
     threads: usize,
-) -> SearchEnd {
+) -> Result<SearchEnd, ModelError> {
     let mut heap = BinaryHeap::new();
     let next_seq = root.seq;
     heap.push(root);
@@ -126,13 +127,19 @@ pub(crate) fn search(
         }
     });
 
-    let state = shared.state.into_inner().unwrap();
+    // A worker panic would normally re-raise through the scope above; a
+    // poisoned state reached without one still must not panic here — it
+    // surfaces as a typed solver error instead.
+    let state = shared
+        .state
+        .into_inner()
+        .map_err(|_| ModelError::PoisonedLock)?;
     let open_bound = state
         .heap
         .peek()
         .map_or(f64::INFINITY, |n| n.bound)
         .min(state.lost_bound);
-    SearchEnd {
+    Ok(SearchEnd {
         incumbent: state.incumbent,
         open_bound,
         limit_hit: state.limit_hit,
@@ -140,7 +147,7 @@ pub(crate) fn search(
         root_unbounded: state.root_unbounded,
         root_iteration_limit: state.root_iteration_limit,
         stats: state.stats,
-    }
+    })
 }
 
 fn worker(ctx: &SearchCtx<'_>, shared: &Shared) {
@@ -150,9 +157,14 @@ fn worker(ctx: &SearchCtx<'_>, shared: &Shared) {
     let mut local: Option<Node> = None;
 
     'outer: loop {
-        // Acquire a node to evaluate.
+        // Acquire a node to evaluate. A poisoned lock means another
+        // worker panicked; this worker stops contributing and lets the
+        // scope join surface the original panic (or `search` report the
+        // poisoning as a typed error).
         let node = {
-            let mut state = shared.state.lock().unwrap();
+            let Ok(mut state) = shared.state.lock() else {
+                return;
+            };
             loop {
                 if let Some(node) = local.take() {
                     // A locally held dive node: re-check against the
@@ -217,7 +229,10 @@ fn worker(ctx: &SearchCtx<'_>, shared: &Shared) {
                     shared.cvar.notify_all();
                     break 'outer;
                 }
-                state = shared.cvar.wait(state).unwrap();
+                state = match shared.cvar.wait(state) {
+                    Ok(state) => state,
+                    Err(_) => return,
+                };
             }
         };
 
@@ -226,7 +241,9 @@ fn worker(ctx: &SearchCtx<'_>, shared: &Shared) {
         let inc_obj = shared.load_incumbent_obj();
         let outcome = evaluate_node(ctx, &node, inc_obj, &mut scratch);
 
-        let mut state = shared.state.lock().unwrap();
+        let Ok(mut state) = shared.state.lock() else {
+            return;
+        };
         match outcome {
             NodeOutcome::Infeasible => {}
             NodeOutcome::LpTrouble(status) => {
@@ -296,8 +313,12 @@ fn worker(ctx: &SearchCtx<'_>, shared: &Shared) {
 
     // Fold this worker's counters into the shared totals exactly once, on
     // the way out — stats never influence the search, so a final merge is
-    // enough and keeps the per-node lock sections small.
-    shared.state.lock().unwrap().stats.merge(&scratch.stats);
+    // enough and keeps the per-node lock sections small. Counters are
+    // best-effort under poisoning: the search result itself is already
+    // condemned by the originating panic.
+    if let Ok(mut state) = shared.state.lock() {
+        state.stats.merge(&scratch.stats);
+    }
 }
 
 fn finish_if_idle(state: &mut SearchState, shared: &Shared) {

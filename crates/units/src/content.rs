@@ -1,0 +1,103 @@
+//! [`ContentHash`] implementations for the physical-quantity newtypes and
+//! [`TechnologyParameters`].
+//!
+//! These feed the stage-graph content keys of the synthesis pipeline: two
+//! technology records hash identically exactly when every coefficient has the
+//! same bit pattern, so cached artifacts are never reused across different
+//! process parameters.
+
+use crate::quantity::{Dbm, Decibels, Millimeters, Milliwatts};
+use crate::tech::TechnologyParameters;
+use crate::wavelength::Wavelength;
+use onoc_ctx::{ContentHash, ContentHasher};
+
+macro_rules! impl_content_hash_f64_newtype {
+    ($ty:ident) => {
+        impl ContentHash for $ty {
+            fn content_hash(&self, hasher: &mut ContentHasher) {
+                hasher.write_f64(self.0);
+            }
+        }
+    };
+}
+
+impl_content_hash_f64_newtype!(Millimeters);
+impl_content_hash_f64_newtype!(Decibels);
+impl_content_hash_f64_newtype!(Dbm);
+impl_content_hash_f64_newtype!(Milliwatts);
+
+impl ContentHash for Wavelength {
+    fn content_hash(&self, hasher: &mut ContentHasher) {
+        hasher.write_usize(self.0);
+    }
+}
+
+impl ContentHash for TechnologyParameters {
+    fn content_hash(&self, hasher: &mut ContentHasher) {
+        // Every field participates, in declaration order. A new field added
+        // to the record without extending this list would silently alias
+        // cache keys, hence the exhaustive destructuring: the compiler
+        // rejects this impl the moment the struct grows.
+        let TechnologyParameters {
+            terminal_loss,
+            propagation_loss_per_mm,
+            crossing_loss,
+            bend_loss,
+            mrr_through_loss,
+            mrr_drop_loss,
+            splitter_insertion_loss,
+            splitter_split_loss,
+            pdn_trunk_loss,
+            detector_sensitivity,
+            laser_efficiency,
+            tile_pitch,
+            mrr_adjacent_suppression,
+            mrr_far_suppression,
+            crossing_suppression,
+        } = self;
+        terminal_loss.content_hash(hasher);
+        propagation_loss_per_mm.content_hash(hasher);
+        crossing_loss.content_hash(hasher);
+        bend_loss.content_hash(hasher);
+        mrr_through_loss.content_hash(hasher);
+        mrr_drop_loss.content_hash(hasher);
+        splitter_insertion_loss.content_hash(hasher);
+        splitter_split_loss.content_hash(hasher);
+        pdn_trunk_loss.content_hash(hasher);
+        detector_sensitivity.content_hash(hasher);
+        hasher.write_f64(*laser_efficiency);
+        tile_pitch.content_hash(hasher);
+        mrr_adjacent_suppression.content_hash(hasher);
+        mrr_far_suppression.content_hash(hasher);
+        crossing_suppression.content_hash(hasher);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key_of<T: ContentHash>(value: &T) -> onoc_ctx::ContentKey {
+        let mut hasher = ContentHasher::new();
+        value.content_hash(&mut hasher);
+        hasher.finish()
+    }
+
+    #[test]
+    fn tech_hash_is_deterministic_and_field_sensitive() {
+        let base = TechnologyParameters::default();
+        assert_eq!(key_of(&base), key_of(&TechnologyParameters::default()));
+        let tweaked = TechnologyParameters {
+            crossing_loss: Decibels(0.05),
+            ..TechnologyParameters::default()
+        };
+        assert_ne!(key_of(&base), key_of(&tweaked));
+    }
+
+    #[test]
+    fn quantity_hashes_follow_bit_patterns() {
+        assert_eq!(key_of(&Millimeters(1.5)), key_of(&Millimeters(1.5)));
+        assert_ne!(key_of(&Millimeters(1.5)), key_of(&Millimeters(1.5 + 1e-9)));
+        assert_ne!(key_of(&Wavelength(0)), key_of(&Wavelength(1)));
+    }
+}

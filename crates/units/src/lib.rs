@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod content;
 pub mod quantity;
 pub mod tech;
 pub mod wavelength;

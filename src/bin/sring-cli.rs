@@ -5,8 +5,10 @@
 //! sring-cli synth   --benchmark mwd [--method sring|ornoc|ctoring|xring]
 //!                   [--pitch 0.26] [--threads N] [--svg out.svg]
 //!                   [--crosstalk] [--report] [--solver-stats]
+//!                   [--no-cache] [--cache-stats]
 //!                   [--trace] [--trace-json out.json]
 //! sring-cli compare --benchmark vopd [--pitch 0.26] [--threads N]
+//!                   [--no-cache] [--cache-stats]
 //!                   [--trace] [--trace-json out.json]
 //! sring-cli trace-check <trace.json> [--phase NAME]...
 //! ```
@@ -14,6 +16,10 @@
 //! `--threads N` (default: one worker per available core) parallelizes
 //! `compare`'s method grid and SRing's MILP search in `synth`; results are
 //! identical for every thread count.
+//!
+//! Both pipeline commands run with a content-keyed artifact cache by
+//! default (`--no-cache` disables it); `--cache-stats` prints the
+//! hit/miss/eviction totals to stderr after the run.
 //!
 //! `--trace` prints the per-phase breakdown to stderr; `--trace-json`
 //! writes the machine-readable trace report. `trace-check` validates such
@@ -25,7 +31,8 @@ use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
 use sring::core::{AssignmentStrategy, SringConfig, SringSynthesizer};
-use sring::eval::comparison::{compare_grid_traced, format_table1};
+use sring::ctx::ExecCtx;
+use sring::eval::comparison::{compare_grid_ctx, format_table1};
 use sring::eval::methods::Method;
 use sring::graph::benchmarks::Benchmark;
 use sring::graph::CommGraph;
@@ -36,7 +43,7 @@ use sring::units::{Millimeters, TechnologyParameters};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  sring-cli list\n  sring-cli synth --benchmark <name> [--method sring|ornoc|ctoring|xring] [--pitch <mm>] [--threads <n>] [--svg <path>] [--crosstalk] [--report] [--solver-stats] [--trace] [--trace-json <path>]\n  sring-cli compare --benchmark <name> [--pitch <mm>] [--threads <n>] [--trace] [--trace-json <path>]\n  sring-cli trace-check <trace.json> [--phase <path>]..."
+        "usage:\n  sring-cli list\n  sring-cli synth --benchmark <name> [--method sring|ornoc|ctoring|xring] [--pitch <mm>] [--threads <n>] [--svg <path>] [--crosstalk] [--report] [--solver-stats] [--no-cache] [--cache-stats] [--trace] [--trace-json <path>]\n  sring-cli compare --benchmark <name> [--pitch <mm>] [--threads <n>] [--no-cache] [--cache-stats] [--trace] [--trace-json <path>]\n  sring-cli trace-check <trace.json> [--phase <path>]..."
     );
     ExitCode::from(2)
 }
@@ -199,12 +206,40 @@ fn method_with_threads(method: Method, threads: usize) -> Method {
     }
 }
 
-/// Builds the trace handle for a command: live when `--trace` or
-/// `--trace-json` was given, disabled (zero-cost) otherwise.
-fn trace_from_args(args: &Args) -> Result<(Trace, Option<String>), String> {
+/// Builds the execution context for a pipeline command: the trace handle
+/// is live when `--trace` or `--trace-json` was given (disabled and
+/// zero-cost otherwise), the artifact cache is on unless `--no-cache`,
+/// and `--threads` becomes the context's thread budget.
+fn ctx_from_args(args: &Args) -> Result<(ExecCtx, Option<String>), String> {
     let json_path = args.value("trace-json")?.map(str::to_string);
     let trace = Trace::enabled_if(json_path.is_some() || args.has("trace"));
-    Ok((trace, json_path))
+    let mut ctx = ExecCtx::cached()
+        .with_trace(trace)
+        .with_threads(parse_threads(args)?);
+    if args.has("no-cache") {
+        ctx = ctx.without_cache();
+    }
+    Ok((ctx, json_path))
+}
+
+/// Prints the cache totals to stderr on `--cache-stats`. A `--no-cache`
+/// run reports the cache as disabled instead of silently printing
+/// nothing.
+fn emit_cache_stats(ctx: &ExecCtx, args: &Args) {
+    if !args.has("cache-stats") {
+        return;
+    }
+    match ctx.cache_stats() {
+        Some(s) => eprintln!(
+            "cache: {} hits, {} misses ({:.1}% hit rate), {} entries, {} evictions",
+            s.hits,
+            s.misses,
+            s.hit_rate() * 100.0,
+            s.entries,
+            s.evictions
+        ),
+        None => eprintln!("cache: disabled (--no-cache)"),
+    }
 }
 
 /// Finalizes a live trace: stamps the `total_ns` gauge with the elapsed
@@ -234,7 +269,8 @@ fn emit_trace(
 }
 
 fn run_synth(args: &Args, tech: &TechnologyParameters, started: Instant) -> Result<(), CliError> {
-    let (trace, trace_json) = trace_from_args(args)?;
+    let (ctx, trace_json) = ctx_from_args(args)?;
+    let trace = ctx.trace().clone();
     let app = {
         let _span = trace.span("load");
         load_app(args)?
@@ -257,12 +293,12 @@ fn run_synth(args: &Args, tech: &TechnologyParameters, started: Instant) -> Resu
             ..SringConfig::default()
         });
         let report = synth
-            .synthesize_detailed_traced(&app, &trace)
+            .synthesize_detailed_ctx(&app, &ctx)
             .map_err(|e| CliError::runtime(format!("synthesis failed: {e}")))?;
         (report.design, Some(report.assignment.solver_stats))
     } else {
         let design = method
-            .synthesize_traced(&app, tech, &trace)
+            .synthesize_ctx(&app, tech, &ctx)
             .map_err(|e| CliError::runtime(format!("synthesis failed: {e}")))?;
         (design, None)
     };
@@ -334,27 +370,22 @@ fn run_synth(args: &Args, tech: &TechnologyParameters, started: Instant) -> Resu
             println!("layout written to {path}");
         }
     }
+    emit_cache_stats(&ctx, args);
     emit_trace(&trace, trace_json.as_deref(), args.has("trace"), started)
 }
 
 fn run_compare(args: &Args, tech: &TechnologyParameters, started: Instant) -> Result<(), CliError> {
-    let (trace, trace_json) = trace_from_args(args)?;
+    let (ctx, trace_json) = ctx_from_args(args)?;
+    let trace = ctx.trace().clone();
     let app = {
         let _span = trace.span("load");
         load_app(args)?
     };
-    let threads = parse_threads(args)?;
     // The grid gets the workers; methods stay internally serial so the
     // parallelism is not multiplicative.
-    let cmp = compare_grid_traced(
-        std::slice::from_ref(&app),
-        tech,
-        &Method::standard(),
-        threads,
-        &trace,
-    )
-    .map(|mut v| v.remove(0))
-    .map_err(|e| CliError::runtime(e.to_string()))?;
+    let cmp = compare_grid_ctx(std::slice::from_ref(&app), tech, &Method::standard(), &ctx)
+        .map(|mut v| v.remove(0))
+        .map_err(|e| CliError::runtime(e.to_string()))?;
     {
         let _span = trace.span("output");
         print!("{}", format_table1(std::slice::from_ref(&cmp)));
@@ -366,6 +397,7 @@ fn run_compare(args: &Args, tech: &TechnologyParameters, started: Instant) -> Re
             );
         }
     }
+    emit_cache_stats(&ctx, args);
     emit_trace(&trace, trace_json.as_deref(), args.has("trace"), started)
 }
 

@@ -12,6 +12,9 @@
 //! * [`milp`] — the from-scratch MILP solver replacing Gurobi,
 //! * [`trace`] — std-only hierarchical tracing/metrics (spans, counters,
 //!   gauges) with text and JSON sinks,
+//! * [`ctx`] — the unified execution context threaded through every
+//!   pipeline entry point: trace handle, content-addressed artifact
+//!   cache, deadline and thread budget,
 //! * [`baselines`] — ORNoC, CTORing and XRing,
 //! * [`core`] — the SRing synthesis pipeline itself,
 //! * [`eval`] — the harness that regenerates every table and figure,
@@ -36,6 +39,7 @@
 
 pub use milp_solver as milp;
 pub use onoc_baselines as baselines;
+pub use onoc_ctx as ctx;
 pub use onoc_eval as eval;
 pub use onoc_graph as graph;
 pub use onoc_layout as layout;

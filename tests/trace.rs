@@ -5,8 +5,9 @@
 //! through the façade re-export.
 
 use sring::core::{AssignmentStrategy, MilpOptions, SringConfig, SringSynthesizer};
+use sring::ctx::ExecCtx;
 use sring::eval::random_baseline::{
-    sample_random_solutions_traced, RandomSolutionConfig, SHARD_COUNT,
+    sample_random_solutions_ctx, RandomSolutionConfig, SHARD_COUNT,
 };
 use sring::graph::benchmarks;
 use sring::trace::{Trace, TraceReport};
@@ -27,7 +28,7 @@ fn traced_synthesis_counters_match_solver_stats() {
         ..SringConfig::default()
     });
     let report = synth
-        .synthesize_detailed_traced(&app, &trace)
+        .synthesize_detailed_ctx(&app, &ExecCtx::default().with_trace(trace.clone()))
         .expect("MWD synthesizes");
     let stats = report.assignment.solver_stats.expect("MILP ran");
     let t = trace.report();
@@ -116,7 +117,8 @@ fn sampler_trace_is_thread_count_invariant() {
             threads,
             ..RandomSolutionConfig::for_app(&app)
         };
-        let stats = sample_random_solutions_traced(&app, &tech, &config, &trace);
+        let ctx = ExecCtx::default().with_trace(trace.clone());
+        let stats = sample_random_solutions_ctx(&app, &tech, &config, &ctx);
         (trace.report(), stats.feasible.len())
     };
     let (serial, feasible_serial) = run(1);
@@ -153,7 +155,7 @@ fn trace_report_round_trips_through_facade_json() {
         ..SringConfig::default()
     });
     synth
-        .synthesize_detailed_traced(&app, &trace)
+        .synthesize_detailed_ctx(&app, &ExecCtx::default().with_trace(trace.clone()))
         .expect("MWD synthesizes");
     trace.gauge("total_ns", 123_456_789.0);
     let report = trace.report();
@@ -164,9 +166,11 @@ fn trace_report_round_trips_through_facade_json() {
 }
 
 #[test]
-fn disabled_trace_leaves_results_unchanged() {
-    // The default (disabled) handle must not perturb synthesis: same
-    // design as the untraced entry point.
+#[allow(deprecated)]
+fn deprecated_traced_shim_leaves_results_unchanged() {
+    // The `_traced` names survive as deprecated shims over the ctx API;
+    // they must not perturb synthesis: same design as the untraced entry
+    // point.
     let app = benchmarks::vopd();
     let synth = SringSynthesizer::new();
     let plain = synth.synthesize(&app).expect("synthesizes");
