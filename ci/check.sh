@@ -1,13 +1,22 @@
 #!/usr/bin/env sh
 # The gate every PR must pass, runnable locally: `sh ci/check.sh`.
-# Formatting, lints-as-errors, a release build (bins + benches compile),
-# the full workspace test suite, and a fast MILP solver smoke check.
+# Formatting, lints-as-errors, the workspace's own static analysis
+# (onoc-lint), a release build (bins + benches compile), the full
+# workspace test suite, and a fast MILP solver smoke check. The slow
+# dynamic-analysis pass (TSan/Miri) lives in ci/sanitize.sh and runs
+# nightly, non-blocking.
 set -eux
 
 cd "$(dirname "$0")/.."
 
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Workspace static analysis (rules L1-L6, see DESIGN.md §12): blocking.
+# Exit 1 means a new finding beyond lint-baseline.toml, a stale baseline
+# entry, or a malformed suppression pragma.
+cargo run -q -p onoc-lint
+
 cargo build --release --workspace
 cargo test --workspace -q
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q

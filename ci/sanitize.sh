@@ -1,0 +1,70 @@
+#!/usr/bin/env sh
+# Dynamic-analysis pass for the concurrency layer, runnable locally:
+# `sh ci/sanitize.sh` (or `sh ci/sanitize.sh tsan` / `sh ci/sanitize.sh miri`
+# to run one half). Complements the static pass (`cargo run -p onoc-lint`):
+# the lint proves the locking *idioms* are right, this proves the actual
+# interleavings and memory accesses are.
+#
+# 1. ThreadSanitizer over the three concurrency-heavy integration suites
+#    (tests/parallel.rs, tests/cache.rs, tests/trace.rs): the MILP
+#    branch-and-bound worker pool, the shared ArtifactCache (including the
+#    seeded multi-thread stress test), and the trace registry.
+# 2. Miri over the onoc-ctx and onoc-trace unit tests: UB detection for
+#    the cache/registry internals that every other crate leans on.
+#
+# Requires the nightly toolchain plus the `rust-src` component (TSan needs
+# an instrumented std via -Zbuild-std) and the `miri` component. Missing
+# components are installed on the fly when the network allows; in an
+# offline sandbox the affected half is SKIPPED with a notice and exit 0,
+# so the blocking gate (ci/check.sh) never depends on network access.
+# The CI job for this script is nightly and non-blocking — see
+# .github/workflows/ci.yml — but local runs should be kept green.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+MODE="${1:-all}"
+HOST_TARGET="$(rustc -vV | sed -n 's/^host: //p')"
+
+# ensure_component <name>: succeed iff the nightly component is usable,
+# installing it when absent and the network allows.
+ensure_component() {
+    if rustup component list --toolchain nightly --installed 2>/dev/null | grep -q "^$1"; then
+        return 0
+    fi
+    echo "sanitize: nightly component \`$1\` not installed; attempting to add it" >&2
+    rustup component add --toolchain nightly "$1" >/dev/null 2>&1
+}
+
+if [ "$MODE" = "all" ] || [ "$MODE" = "tsan" ]; then
+    if ensure_component rust-src; then
+        # ThreadSanitizer. -Zbuild-std instruments std itself, so the
+        # suites run against a TSan-aware allocator and Mutex
+        # implementation; without it every std synchronization call would
+        # be opaque to the race detector. The sanitizer target dir is
+        # kept separate so TSan artifacts never mix with regular builds.
+        ( set -x;
+          RUSTFLAGS="-Zsanitizer=thread" \
+          CARGO_TARGET_DIR="target/tsan" \
+              cargo +nightly test -Zbuild-std --target "$HOST_TARGET" -q \
+                  --test parallel --test cache --test trace )
+    else
+        echo "sanitize: SKIP ThreadSanitizer (rust-src unavailable, likely offline)" >&2
+    fi
+fi
+
+if [ "$MODE" = "all" ] || [ "$MODE" = "miri" ]; then
+    if ensure_component miri; then
+        # Miri interprets the unit tests of the two crates that own
+        # shared mutable state. Integration suites are out of reach
+        # (Miri cannot run the MILP solver in reasonable time), so the
+        # scope is exactly the cache and registry internals.
+        ( set -x;
+          CARGO_TARGET_DIR="target/miri" \
+              cargo +nightly miri test -p onoc-ctx -p onoc-trace -q )
+    else
+        echo "sanitize: SKIP Miri (miri component unavailable, likely offline)" >&2
+    fi
+fi
+
+echo "sanitize: done (mode: $MODE)"

@@ -191,9 +191,7 @@ pub fn build_two_ring_design(
         ids.sort_by(|&a, &b| {
             let la = app.manhattan(app.message(a).src, app.message(a).dst);
             let lb = app.manhattan(app.message(b).src, app.message(b).dst);
-            lb.partial_cmp(&la)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.cmp(&b))
+            lb.total_cmp(&la).then(a.cmp(&b))
         });
     }
 

@@ -16,7 +16,6 @@ use onoc_ctx::ExecCtx;
 use onoc_graph::CommGraph;
 use onoc_layout::ring_order::tour_order;
 use onoc_photonics::RouterDesign;
-use onoc_trace::Trace;
 use onoc_units::TechnologyParameters;
 
 /// Synthesizes an ORNoC two-ring router for `app`.
@@ -48,20 +47,6 @@ pub fn synthesize(
     tech: &TechnologyParameters,
 ) -> Result<RouterDesign, BaselineError> {
     synthesize_ctx(app, tech, &ExecCtx::default())
-}
-
-/// Deprecated trace-only entry point.
-///
-/// # Errors
-///
-/// Same contract as [`synthesize`].
-#[deprecated(note = "use synthesize_ctx with an ExecCtx carrying the trace")]
-pub fn synthesize_traced(
-    app: &CommGraph,
-    tech: &TechnologyParameters,
-    trace: &Trace,
-) -> Result<RouterDesign, BaselineError> {
-    synthesize_ctx(app, tech, &ExecCtx::default().with_trace(trace.clone()))
 }
 
 /// [`synthesize`] through an explicit execution context: the construction

@@ -54,25 +54,6 @@ pub fn synthesize(
     synthesize_with_oses(app, tech, DEFAULT_MAX_OSES)
 }
 
-/// Deprecated trace-only entry point.
-///
-/// # Errors
-///
-/// Same contract as [`synthesize`].
-#[deprecated(note = "use synthesize_ctx with an ExecCtx carrying the trace")]
-pub fn synthesize_traced(
-    app: &CommGraph,
-    tech: &TechnologyParameters,
-    trace: &Trace,
-) -> Result<RouterDesign, BaselineError> {
-    synthesize_with_oses_ctx(
-        app,
-        tech,
-        DEFAULT_MAX_OSES,
-        &ExecCtx::default().with_trace(trace.clone()),
-    )
-}
-
 /// [`synthesize`] through an explicit execution context: the construction
 /// runs under an `xring` span with `route` / `shortcuts` / `share`
 /// sub-phases, and a cache-carrying context reuses the whole design keyed
@@ -103,26 +84,6 @@ pub fn synthesize_with_oses(
     max_oses: usize,
 ) -> Result<RouterDesign, BaselineError> {
     synthesize_with_oses_ctx(app, tech, max_oses, &ExecCtx::default())
-}
-
-/// Deprecated trace-only entry point.
-///
-/// # Errors
-///
-/// Same contract as [`synthesize_with_oses`].
-#[deprecated(note = "use synthesize_with_oses_ctx with an ExecCtx carrying the trace")]
-pub fn synthesize_with_oses_traced(
-    app: &CommGraph,
-    tech: &TechnologyParameters,
-    max_oses: usize,
-    trace: &Trace,
-) -> Result<RouterDesign, BaselineError> {
-    synthesize_with_oses_ctx(
-        app,
-        tech,
-        max_oses,
-        &ExecCtx::default().with_trace(trace.clone()),
-    )
 }
 
 /// [`synthesize_with_oses`] through an explicit execution context (see

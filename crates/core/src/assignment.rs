@@ -278,24 +278,6 @@ pub fn assign(
     assign_ctx(problem, strategy, &ExecCtx::default())
 }
 
-/// Deprecated trace-only entry point.
-///
-/// # Errors
-///
-/// Same contract as [`assign`].
-#[deprecated(note = "use assign_ctx with an ExecCtx carrying the trace")]
-pub fn assign_traced(
-    problem: &AssignmentProblem,
-    strategy: &AssignmentStrategy,
-    trace: &Trace,
-) -> Result<Assignment, AssignError> {
-    assign_ctx(
-        problem,
-        strategy,
-        &ExecCtx::default().with_trace(trace.clone()),
-    )
-}
-
 /// [`assign`] through an explicit execution context: the heuristic and the
 /// MILP run under spans of the context's trace, the solver's
 /// [`SolveStats`] are folded in as `milp/*` phases, counters and gauges,
@@ -449,12 +431,7 @@ fn heuristic_assignment(problem: &AssignmentProblem) -> Vec<Wavelength> {
         problem.conflicts[b]
             .len()
             .cmp(&problem.conflicts[a].len())
-            .then(
-                problem.paths[b]
-                    .loss
-                    .partial_cmp(&problem.paths[a].loss)
-                    .unwrap_or(std::cmp::Ordering::Equal),
-            )
+            .then(problem.paths[b].loss.total_cmp(&problem.paths[a].loss))
             .then(a.cmp(&b))
     });
 
@@ -791,6 +768,28 @@ mod tests {
         assert_eq!(p.conflicts_of(0), &[1]);
         assert_eq!(p.conflicts_of(1), &[0]);
         assert!(p.conflicts_of(2).is_empty());
+    }
+
+    #[test]
+    fn heuristic_order_survives_nan_loss() {
+        // Regression for the onoc-lint L2 bug class: the conflict-degree
+        // ordering tiebreaks on loss with `total_cmp`, so a NaN loss (a
+        // poisoned upstream model) must neither panic nor make the
+        // greedy's visit order — and with it the assignment — depend on
+        // the sort's pivot sequence.
+        let paths = vec![
+            path(0, false, f64::NAN, &[(0, 0), (0, 1)]),
+            path(1, false, 4.0, &[(0, 1), (0, 2)]),
+            path(2, false, 5.0, &[(0, 2), (0, 3)]),
+        ];
+        let p = AssignmentProblem::new(4, paths, splitter());
+        let a = assign(&p, &AssignmentStrategy::Heuristic).expect("assigns");
+        let b = assign(&p, &AssignmentStrategy::Heuristic).expect("assigns");
+        assert_eq!(
+            a.wavelengths, b.wavelengths,
+            "NaN loss must stay deterministic"
+        );
+        assert!(p.is_collision_free(&a.wavelengths));
     }
 
     #[test]

@@ -526,7 +526,7 @@ fn cluster_pass(
                     raw.push((l, c));
                 }
             }
-            raw.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            raw.sort_by(|a, b| a.0.total_cmp(&b.0));
             for (_, cycle) in raw.into_iter().take(3) {
                 let (refined, longest) = improve_cycle(&cycle, &inter_messages, &dist, l_max)?;
                 if longest <= l_max + 1e-12 {
@@ -579,7 +579,7 @@ fn candidate_segments(
             (dist(a, x) + dist(x, b) - dist(a, b), i)
         })
         .collect();
-    scored.sort_by(|p, q| p.0.partial_cmp(&q.0).unwrap_or(std::cmp::Ordering::Equal));
+    scored.sort_by(|p, q| p.0.total_cmp(&q.0));
     scored.truncate(k.max(1));
     scored.into_iter().map(|(_, i)| i).collect()
 }
@@ -739,8 +739,7 @@ fn grow_intra(
         .filter(|w| unclustered.contains(w))
         .min_by(|&a, &b| {
             dist(initial, a)
-                .partial_cmp(&dist(initial, b))
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .total_cmp(&dist(initial, b))
                 .then(a.cmp(&b))
         });
     let Some(first) = nearest else {
@@ -855,8 +854,7 @@ fn grow_inter(
         .filter(|&v| v != initial)
         .min_by(|&a, &b| {
             dist(initial, a)
-                .partial_cmp(&dist(initial, b))
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .total_cmp(&dist(initial, b))
                 .then(a.cmp(&b))
         })
     else {
@@ -927,6 +925,33 @@ mod tests {
                 .map(|b| (b, cluster(&b.graph(), &config()).expect("clusters")))
                 .collect()
         })
+    }
+
+    #[test]
+    fn candidate_segments_ranks_nan_detours_last_and_deterministically() {
+        // Regression for the onoc-lint L2 bug class: the detour sort uses
+        // `total_cmp`, so a NaN distance (e.g. a poisoned coordinate)
+        // ranks after every finite detour instead of comparing Equal to
+        // everything and shuffling the candidate order.
+        let cycle = onoc_layout::Cycle::new(vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)])
+            .expect("4-cycle");
+        let dist = |a: NodeId, b: NodeId| {
+            if a == NodeId(3) || b == NodeId(3) {
+                f64::NAN
+            } else {
+                (a.index() as f64 - b.index() as f64).abs()
+            }
+        };
+        let first = candidate_segments(&cycle, NodeId(9), &dist, 2);
+        assert_eq!(first, candidate_segments(&cycle, NodeId(9), &dist, 2));
+        assert_eq!(first.len(), 2);
+        for &i in &first {
+            let (a, b) = cycle.segment(i);
+            assert!(
+                a != NodeId(3) && b != NodeId(3),
+                "NaN detours must never outrank finite ones"
+            );
+        }
     }
 
     #[test]

@@ -401,8 +401,7 @@ impl Stage for RouteStage<'_> {
             candidates[b][0]
                 .geometry
                 .length
-                .partial_cmp(&candidates[a][0].geometry.length)
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .total_cmp(&candidates[a][0].geometry.length)
                 .then(a.cmp(&b))
         });
         for i in flexible {
@@ -419,9 +418,9 @@ impl Stage for RouteStage<'_> {
                             .max()
                             .unwrap_or(1)
                     };
-                    (peak(x), x.geometry.length.0)
-                        .partial_cmp(&(peak(y), y.geometry.length.0))
-                        .unwrap_or(std::cmp::Ordering::Equal)
+                    peak(x)
+                        .cmp(&peak(y))
+                        .then(x.geometry.length.0.total_cmp(&y.geometry.length.0))
                 })
                 .map(|(k, _)| k)
                 .expect("every message has at least one candidate");

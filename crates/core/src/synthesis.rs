@@ -7,7 +7,6 @@ use crate::stages::{run_stage, AssignStage, ClusterStage, LayoutStage, RouteStag
 use onoc_ctx::{CacheError, ExecCtx};
 use onoc_graph::{CommGraph, NodeId};
 use onoc_photonics::{DesignError, PdnDesign, PdnStyle, RouterDesign};
-use onoc_trace::Trace;
 use onoc_units::TechnologyParameters;
 use std::collections::BTreeSet;
 use std::fmt;
@@ -199,6 +198,7 @@ impl SringSynthesizer {
         app: &CommGraph,
         ctx: &ExecCtx,
     ) -> Result<SringReport, SringError> {
+        // onoc-lint: allow(L4, reason = "report-level runtime measurement returned in SringReport; not a trace span")
         let start = Instant::now();
         let trace = ctx.trace();
         let span_synth = trace.span("synth");
@@ -276,20 +276,6 @@ impl SringSynthesizer {
             assignment: (*assignment).clone(),
             runtime: start.elapsed(),
         })
-    }
-
-    /// Deprecated trace-only entry point.
-    ///
-    /// # Errors
-    ///
-    /// See [`SringError`].
-    #[deprecated(note = "use synthesize_detailed_ctx with an ExecCtx carrying the trace")]
-    pub fn synthesize_detailed_traced(
-        &self,
-        app: &CommGraph,
-        trace: &Trace,
-    ) -> Result<SringReport, SringError> {
-        self.synthesize_detailed_ctx(app, &ExecCtx::default().with_trace(trace.clone()))
     }
 }
 

@@ -24,13 +24,29 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use onoc_trace::Trace;
+use onoc_trace::{lock_or_recover, Trace};
 use std::any::Any;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Resolves a user-facing thread budget: `0` means one worker per
+/// available core, anything else is taken literally.
+///
+/// This is the *only* place outside `milp::parallel` where the workspace
+/// consults [`std::thread::available_parallelism`]; every other layer
+/// receives its worker count through an [`ExecCtx`] (or an explicit
+/// argument) so a single `--threads N` flag governs the whole pipeline.
+#[must_use]
+pub fn resolve_threads(requested: usize) -> usize {
+    match requested {
+        // onoc-lint: allow(L3, reason = "the one sanctioned probe of machine parallelism outside milp::parallel")
+        0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        n => n,
+    }
+}
 
 /// A deterministic 128-bit content key over a stage's inputs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -396,7 +412,9 @@ impl ArtifactCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
-            entries: self.inner.lock().map(|i| i.map.len()).unwrap_or(0),
+            // Statistics are diagnostics: a poisoned map is still safe to
+            // *count*, so recover rather than misreport zero entries.
+            entries: lock_or_recover(&self.inner).map.len(),
         }
     }
 }
@@ -506,6 +524,7 @@ impl ExecCtx {
     #[must_use]
     pub fn remaining(&self) -> Option<Duration> {
         self.deadline
+            // onoc-lint: allow(L4, reason = "deadline arithmetic against the ctx budget, not a measurement")
             .map(|d| d.saturating_duration_since(Instant::now()))
     }
 
@@ -678,6 +697,13 @@ mod tests {
         let stats = ctx.cache_stats().unwrap();
         assert!(stats.hits >= 4 * 50 - 4, "late lookups must hit");
         assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn resolve_threads_maps_zero_to_machine_parallelism() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(1), 1);
+        assert_eq!(resolve_threads(7), 7);
     }
 
     #[test]

@@ -6,7 +6,6 @@ use crate::par::run_indexed;
 use onoc_ctx::ExecCtx;
 use onoc_graph::CommGraph;
 use onoc_photonics::RouterAnalysis;
-use onoc_trace::Trace;
 use onoc_units::TechnologyParameters;
 use std::fmt::Write as _;
 
@@ -42,26 +41,6 @@ pub fn compare(
     methods: &[Method],
 ) -> Result<Comparison, EvalError> {
     compare_ctx(app, tech, methods, &ExecCtx::default())
-}
-
-/// Deprecated trace-only entry point.
-///
-/// # Errors
-///
-/// Same contract as [`compare`].
-#[deprecated(note = "use compare_ctx with an ExecCtx carrying the trace")]
-pub fn compare_traced(
-    app: &CommGraph,
-    tech: &TechnologyParameters,
-    methods: &[Method],
-    trace: &Trace,
-) -> Result<Comparison, EvalError> {
-    compare_ctx(
-        app,
-        tech,
-        methods,
-        &ExecCtx::default().with_trace(trace.clone()),
-    )
 }
 
 /// [`compare`] through an explicit execution context: each method runs
@@ -117,29 +96,6 @@ pub fn compare_grid(
         tech,
         methods,
         &ExecCtx::default().with_threads(threads),
-    )
-}
-
-/// Deprecated trace-only entry point.
-///
-/// # Errors
-///
-/// Same contract as [`compare_grid`].
-#[deprecated(note = "use compare_grid_ctx with an ExecCtx carrying the trace")]
-pub fn compare_grid_traced(
-    apps: &[CommGraph],
-    tech: &TechnologyParameters,
-    methods: &[Method],
-    threads: usize,
-    trace: &Trace,
-) -> Result<Vec<Comparison>, EvalError> {
-    compare_grid_ctx(
-        apps,
-        tech,
-        methods,
-        &ExecCtx::default()
-            .with_threads(threads)
-            .with_trace(trace.clone()),
     )
 }
 
@@ -301,6 +257,7 @@ pub fn to_csv(comparisons: &[Comparison]) -> String {
 mod tests {
     use super::*;
     use onoc_graph::benchmarks;
+    use onoc_trace::Trace;
 
     fn mwd_comparison() -> Comparison {
         compare(

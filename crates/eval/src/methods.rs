@@ -4,7 +4,6 @@ use onoc_baselines::{ctoring, ornoc, xring, BaselineError};
 use onoc_ctx::ExecCtx;
 use onoc_graph::CommGraph;
 use onoc_photonics::RouterDesign;
-use onoc_trace::Trace;
 use onoc_units::TechnologyParameters;
 use sring_core::{AssignmentStrategy, SringConfig, SringError, SringSynthesizer};
 use std::fmt;
@@ -58,21 +57,6 @@ impl Method {
         tech: &TechnologyParameters,
     ) -> Result<RouterDesign, EvalError> {
         self.synthesize_ctx(app, tech, &ExecCtx::default())
-    }
-
-    /// Deprecated trace-only entry point.
-    ///
-    /// # Errors
-    ///
-    /// Same contract as [`Method::synthesize`].
-    #[deprecated(note = "use synthesize_ctx with an ExecCtx carrying the trace")]
-    pub fn synthesize_traced(
-        &self,
-        app: &CommGraph,
-        tech: &TechnologyParameters,
-        trace: &Trace,
-    ) -> Result<RouterDesign, EvalError> {
-        self.synthesize_ctx(app, tech, &ExecCtx::default().with_trace(trace.clone()))
     }
 
     /// [`Method::synthesize`] through an explicit execution context: the

@@ -6,16 +6,14 @@
 //! assignment), collect the results *in job order*. Whatever the thread
 //! count, the caller sees the same `Vec`.
 
-use std::num::NonZeroUsize;
-
 /// Resolves a user-facing thread count: `0` means one worker per
 /// available core, anything else is taken literally.
+///
+/// Delegates to [`onoc_ctx::resolve_threads`] so the whole pipeline
+/// shares one notion of "let the machine decide".
 #[must_use]
 pub fn resolve_threads(threads: usize) -> usize {
-    match threads {
-        0 => std::thread::available_parallelism().map_or(1, NonZeroUsize::get),
-        n => n,
-    }
+    onoc_ctx::resolve_threads(threads)
 }
 
 /// Runs `f(0..len)` across `threads` scoped workers and returns the

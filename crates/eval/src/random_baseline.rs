@@ -25,7 +25,6 @@ use onoc_ctx::ExecCtx;
 use onoc_graph::{CommGraph, NodeId};
 use onoc_layout::Cycle;
 use onoc_photonics::{insertion_loss, PathGeometry};
-use onoc_trace::Trace;
 use onoc_units::{Decibels, Millimeters, TechnologyParameters};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -123,23 +122,6 @@ pub fn sample_random_solutions(
     config: &RandomSolutionConfig,
 ) -> RandomSolutionStats {
     sample_random_solutions_ctx(app, tech, config, &ExecCtx::default())
-}
-
-/// Deprecated trace-only entry point.
-#[deprecated(note = "use sample_random_solutions_ctx with an ExecCtx carrying the trace")]
-#[must_use]
-pub fn sample_random_solutions_traced(
-    app: &CommGraph,
-    tech: &TechnologyParameters,
-    config: &RandomSolutionConfig,
-    trace: &Trace,
-) -> RandomSolutionStats {
-    sample_random_solutions_ctx(
-        app,
-        tech,
-        config,
-        &ExecCtx::default().with_trace(trace.clone()),
-    )
 }
 
 /// [`sample_random_solutions`] through an explicit execution context: the

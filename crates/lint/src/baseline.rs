@@ -1,0 +1,229 @@
+//! The ratchet baseline.
+//!
+//! `lint-baseline.toml` at the workspace root records the grandfathered
+//! findings as `(rule, file, count)` triples. The baseline is a ratchet:
+//! a file may only ever have *at most* its baselined number of findings
+//! for a rule. Exceeding the count fails the run (new debt), and so does
+//! an entry whose count is higher than reality (stale entry — the
+//! baseline must be shrunk to match, so fixed debt cannot silently
+//! regrow).
+//!
+//! The format is a deliberately tiny TOML subset (`[[allow]]` tables
+//! with `rule`/`file`/`count` keys) parsed by hand — the workspace
+//! policy of vendored-stub-only dependencies rules out a real TOML
+//! parser, and the lint binary must not depend on the crates it lints.
+
+use crate::rules::Rule;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One grandfathered `(rule, file)` group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// The rule the findings violate.
+    pub rule: Rule,
+    /// Repo-relative, `/`-separated file path.
+    pub file: String,
+    /// Maximum number of findings tolerated in that file.
+    pub count: usize,
+}
+
+/// The parsed baseline.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Entries in file order.
+    pub entries: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// Parses the `lint-baseline.toml` text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic (with the offending line number) for syntax
+    /// errors, unknown keys or rules, missing fields, or duplicate
+    /// `(rule, file)` entries.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries: Vec<BaselineEntry> = Vec::new();
+        // Fields of the `[[allow]]` table currently being read.
+        let mut current: Option<(Option<Rule>, Option<String>, Option<usize>)> = None;
+
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            let lineno = idx + 1;
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[allow]]" {
+                if let Some(open) = current.take() {
+                    entries.push(finish_entry(open, lineno)?);
+                }
+                current = Some((None, None, None));
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("baseline line {lineno}: expected `key = value`"))?;
+            let Some(entry) = current.as_mut() else {
+                return Err(format!(
+                    "baseline line {lineno}: `{}` outside an [[allow]] table",
+                    key.trim()
+                ));
+            };
+            match key.trim() {
+                "rule" => {
+                    let token = unquote(value, lineno)?;
+                    let rule = Rule::parse(token)
+                        .ok_or_else(|| format!("baseline line {lineno}: unknown rule `{token}`"))?;
+                    entry.0 = Some(rule);
+                }
+                "file" => entry.1 = Some(unquote(value, lineno)?.to_string()),
+                "count" => {
+                    let n: usize = value.trim().parse().map_err(|_| {
+                        format!("baseline line {lineno}: `count` must be a positive integer")
+                    })?;
+                    if n == 0 {
+                        return Err(format!(
+                            "baseline line {lineno}: a zero-count entry must simply be deleted"
+                        ));
+                    }
+                    entry.2 = Some(n);
+                }
+                other => {
+                    return Err(format!("baseline line {lineno}: unknown key `{other}`"));
+                }
+            }
+        }
+        if let Some(open) = current.take() {
+            entries.push(finish_entry(open, text.lines().count())?);
+        }
+
+        let mut seen = BTreeMap::new();
+        for e in &entries {
+            if seen.insert((e.rule, e.file.clone()), ()).is_some() {
+                return Err(format!(
+                    "baseline has duplicate entry for {} in {}",
+                    e.rule.id(),
+                    e.file
+                ));
+            }
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Renders entries back to the canonical `lint-baseline.toml` text.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# Grandfathered findings tolerated by `onoc-lint` (see DESIGN.md §12).\n\
+             # This file is a ratchet: counts may only ever decrease. Regenerate a\n\
+             # *smaller* file with `cargo run -p onoc-lint -- --write-baseline` after\n\
+             # paying down debt; never hand-edit a count upward.\n",
+        );
+        for e in &self.entries {
+            let _ = write!(
+                out,
+                "\n[[allow]]\nrule = \"{}\"\nfile = \"{}\"\ncount = {}\n",
+                e.rule.id(),
+                e.file,
+                e.count
+            );
+        }
+        out
+    }
+
+    /// Baselined count for a `(rule, file)` group.
+    #[must_use]
+    pub fn allowance(&self, rule: Rule, file: &str) -> usize {
+        self.entries
+            .iter()
+            .find(|e| e.rule == rule && e.file == file)
+            .map_or(0, |e| e.count)
+    }
+}
+
+fn finish_entry(
+    (rule, file, count): (Option<Rule>, Option<String>, Option<usize>),
+    lineno: usize,
+) -> Result<BaselineEntry, String> {
+    match (rule, file, count) {
+        (Some(rule), Some(file), Some(count)) => Ok(BaselineEntry { rule, file, count }),
+        (rule, file, _) => Err(format!(
+            "baseline entry ending near line {lineno} is missing {}",
+            if rule.is_none() {
+                "`rule`"
+            } else if file.is_none() {
+                "`file`"
+            } else {
+                "`count`"
+            }
+        )),
+    }
+}
+
+fn unquote(value: &str, lineno: usize) -> Result<&str, String> {
+    value
+        .trim()
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or_else(|| format!("baseline line {lineno}: expected a quoted string value"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# comment
+[[allow]]
+rule = "L1"
+file = "crates/core/src/stages.rs"
+count = 21
+
+[[allow]]
+rule = "L2"
+file = "crates/units/src/quantity.rs"
+count = 2
+"#;
+
+    #[test]
+    fn parse_and_lookup() {
+        let b = Baseline::parse(SAMPLE).unwrap();
+        assert_eq!(b.entries.len(), 2);
+        assert_eq!(b.allowance(Rule::L1, "crates/core/src/stages.rs"), 21);
+        assert_eq!(b.allowance(Rule::L1, "crates/core/src/other.rs"), 0);
+        assert_eq!(b.allowance(Rule::L2, "crates/units/src/quantity.rs"), 2);
+    }
+
+    #[test]
+    fn render_round_trips() {
+        let b = Baseline::parse(SAMPLE).unwrap();
+        let again = Baseline::parse(&b.render()).unwrap();
+        assert_eq!(b, again);
+    }
+
+    #[test]
+    fn duplicate_entries_rejected() {
+        let text = format!(
+            "{SAMPLE}\n[[allow]]\nrule = \"L1\"\nfile = \"crates/core/src/stages.rs\"\ncount = 1\n"
+        );
+        assert!(Baseline::parse(&text).is_err());
+    }
+
+    #[test]
+    fn zero_count_rejected() {
+        let text = "[[allow]]\nrule = \"L1\"\nfile = \"a.rs\"\ncount = 0\n";
+        assert!(Baseline::parse(text).unwrap_err().contains("deleted"));
+    }
+
+    #[test]
+    fn missing_field_rejected() {
+        let text = "[[allow]]\nrule = \"L1\"\ncount = 3\n";
+        assert!(Baseline::parse(text).unwrap_err().contains("`file`"));
+    }
+
+    #[test]
+    fn empty_baseline_is_fine() {
+        assert_eq!(Baseline::parse("# nothing\n").unwrap().entries.len(), 0);
+    }
+}

@@ -1,0 +1,382 @@
+//! `onoc-lint`: the workspace's own static-analysis pass.
+//!
+//! A std-only, comment/string-aware source scanner (no external parser —
+//! the build environment is offline and dependencies are vendored stubs)
+//! that enforces the project invariants that `clippy` cannot express:
+//!
+//! | rule | name             | invariant |
+//! |------|------------------|-----------|
+//! | L1   | `no-unwrap`      | no `unwrap()`/`expect()` in non-test library code |
+//! | L2   | `float-total-cmp`| float orderings use `total_cmp`, never `partial_cmp` |
+//! | L3   | `thread-spawn`   | `thread::spawn`/`available_parallelism` only in `milp::parallel` and `onoc-ctx` |
+//! | L4   | `instant-now`    | `Instant::now()` only in `onoc-trace` |
+//! | L5   | `traced-shim`    | no callers of the deprecated `*_traced` shims |
+//! | L6   | `lock-unwrap`    | `lock_or_recover`, never bare `.lock().unwrap()` |
+//!
+//! Findings are suppressed either by an inline pragma with a mandatory
+//! reason (see [`pragma`]) or by the ratcheting `lint-baseline.toml`
+//! (see [`baseline`]); everything else fails the run. DESIGN.md §12 has
+//! the full policy.
+
+pub mod baseline;
+pub mod pragma;
+pub mod rules;
+pub mod scan;
+pub mod workspace;
+
+use baseline::Baseline;
+use rules::Rule;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+/// A single rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Repo-relative, `/`-separated path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The violated rule.
+    pub rule: Rule,
+    /// The trimmed source line, for the diagnostic.
+    pub excerpt: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{} {}] {}",
+            self.file,
+            self.line,
+            self.rule.id(),
+            self.rule.name(),
+            self.excerpt
+        )
+    }
+}
+
+/// A malformed suppression pragma (itself a failure).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PragmaError {
+    /// Repo-relative path.
+    pub file: String,
+    /// 1-based line number of the broken pragma.
+    pub line: usize,
+    /// What is wrong with it.
+    pub message: String,
+}
+
+impl fmt::Display for PragmaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: malformed pragma: {}",
+            self.file, self.line, self.message
+        )
+    }
+}
+
+/// Result of linting one file (before baseline application).
+#[derive(Debug, Default, Clone)]
+pub struct FileReport {
+    /// Findings not suppressed by a pragma.
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by a well-formed pragma.
+    pub suppressed: Vec<Finding>,
+    /// Malformed pragmas.
+    pub pragma_errors: Vec<PragmaError>,
+}
+
+/// Lints one file's source text.
+#[must_use]
+pub fn check_source(rel_path: &str, source: &str) -> FileReport {
+    let mut report = FileReport::default();
+    let lines = scan::scrub(source);
+    let mask = scan::test_region_mask(&lines);
+    let kind = rules::classify(rel_path);
+    let raw_lines: Vec<&str> = source.lines().collect();
+
+    // Parse every line's pragmas once; malformed ones are errors even
+    // when no finding is nearby (they were clearly *meant* to suppress).
+    let mut pragmas: Vec<Vec<pragma::Pragma>> = Vec::with_capacity(lines.len());
+    for (idx, line) in lines.iter().enumerate() {
+        match pragma::parse_pragmas(&line.comment) {
+            Ok(p) => pragmas.push(p),
+            Err(message) => {
+                report.pragma_errors.push(PragmaError {
+                    file: rel_path.to_string(),
+                    line: idx + 1,
+                    message,
+                });
+                pragmas.push(Vec::new());
+            }
+        }
+    }
+
+    for (idx, line) in lines.iter().enumerate() {
+        for rule in rules::scan_line(&line.code) {
+            if !rules::applies(rule, kind, mask[idx], rel_path) {
+                continue;
+            }
+            let finding = Finding {
+                file: rel_path.to_string(),
+                line: idx + 1,
+                rule,
+                excerpt: raw_lines.get(idx).map_or("", |l| l.trim()).to_string(),
+            };
+            if pragma_covers(&lines, &pragmas, idx, rule) {
+                report.suppressed.push(finding);
+            } else {
+                report.findings.push(finding);
+            }
+        }
+    }
+    report
+}
+
+/// Is a finding of `rule` on line `idx` covered by a pragma on the same
+/// line or on the run of comment-only lines directly above it?
+fn pragma_covers(
+    lines: &[scan::ScrubbedLine],
+    pragmas: &[Vec<pragma::Pragma>],
+    idx: usize,
+    rule: Rule,
+) -> bool {
+    if pragmas[idx].iter().any(|p| p.rule == rule) {
+        return true;
+    }
+    let mut j = idx;
+    while j > 0 {
+        j -= 1;
+        let above = &lines[j];
+        let comment_only = above.code.trim().is_empty() && !above.comment.trim().is_empty();
+        if !comment_only {
+            return false;
+        }
+        if pragmas[j].iter().any(|p| p.rule == rule) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Aggregate outcome of a workspace lint run.
+#[derive(Debug, Default)]
+pub struct Outcome {
+    /// Number of files scanned.
+    pub files: usize,
+    /// Findings beyond the baseline allowance — these fail the run.
+    pub violations: Vec<Finding>,
+    /// Findings absorbed by the baseline.
+    pub baselined: Vec<Finding>,
+    /// Findings suppressed by pragmas.
+    pub suppressed: Vec<Finding>,
+    /// Malformed pragmas — these fail the run.
+    pub pragma_errors: Vec<PragmaError>,
+    /// Baseline bookkeeping diagnostics: stale-ratchet entries (the
+    /// baseline allows more than reality — shrink it) and over-budget
+    /// group summaries. Stale entries fail the run on their own, so
+    /// fixed debt cannot silently regrow.
+    pub stale: Vec<String>,
+}
+
+impl Outcome {
+    /// Does the run pass?
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.pragma_errors.is_empty() && self.stale.is_empty()
+    }
+
+    /// The `(rule, file) -> count` groups of all baselined + violating
+    /// findings, i.e. what `--write-baseline` would record.
+    #[must_use]
+    pub fn grouped_debt(&self) -> Vec<baseline::BaselineEntry> {
+        let mut groups: BTreeMap<(String, Rule), usize> = BTreeMap::new();
+        for f in self.baselined.iter().chain(&self.violations) {
+            *groups.entry((f.file.clone(), f.rule)).or_insert(0) += 1;
+        }
+        groups
+            .into_iter()
+            .map(|((file, rule), count)| baseline::BaselineEntry { rule, file, count })
+            .collect()
+    }
+}
+
+/// Errors that abort a run (as opposed to findings, which fail it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LintError {
+    /// Filesystem trouble.
+    Io(String),
+    /// Broken configuration: workspace manifest or baseline file.
+    Config(String),
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintError::Io(m) => write!(f, "I/O error: {m}"),
+            LintError::Config(m) => write!(f, "configuration error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// Lints the whole workspace under `root` against `baseline`.
+///
+/// # Errors
+///
+/// Returns [`LintError`] when the workspace cannot be walked or a file
+/// cannot be read; findings are reported through the [`Outcome`], not
+/// as errors.
+pub fn run(root: &Path, baseline: &Baseline) -> Result<Outcome, LintError> {
+    let files = workspace::source_files(root)?;
+    let mut outcome = Outcome {
+        files: files.len(),
+        ..Outcome::default()
+    };
+
+    // Per (file, rule): the findings, applied against the allowance.
+    let mut groups: BTreeMap<(String, Rule), Vec<Finding>> = BTreeMap::new();
+    for rel in &files {
+        let path = root.join(rel);
+        let source = fs::read_to_string(&path)
+            .map_err(|e| LintError::Io(format!("reading {}: {e}", path.display())))?;
+        let report = check_source(rel, &source);
+        outcome.suppressed.extend(report.suppressed);
+        outcome.pragma_errors.extend(report.pragma_errors);
+        for f in report.findings {
+            groups.entry((f.file.clone(), f.rule)).or_default().push(f);
+        }
+    }
+
+    for ((file, rule), findings) in groups {
+        let allowance = baseline.allowance(rule, &file);
+        if findings.len() > allowance {
+            if allowance > 0 {
+                // The whole group is over budget; report every site so
+                // the fix (or the baseline shrink) is easy to locate.
+                outcome.stale.push(format!(
+                    "{file}: {} has {} findings, baseline allows {allowance}",
+                    rule.id(),
+                    findings.len(),
+                ));
+            }
+            outcome.violations.extend(findings);
+        } else {
+            if findings.len() < allowance {
+                outcome.stale.push(format!(
+                    "stale baseline: {file} has {} {} findings but the baseline allows \
+                     {allowance} — shrink the entry (the baseline only ratchets down)",
+                    findings.len(),
+                    rule.id(),
+                ));
+            }
+            outcome.baselined.extend(findings);
+        }
+    }
+
+    // Entries for (rule, file) pairs with no findings at all are stale too.
+    for e in &baseline.entries {
+        let present = outcome
+            .baselined
+            .iter()
+            .chain(&outcome.violations)
+            .any(|f| f.rule == e.rule && f.file == e.file);
+        if !present {
+            outcome.stale.push(format!(
+                "stale baseline: {} has no {} findings any more — delete the entry",
+                e.file,
+                e.rule.id(),
+            ));
+        }
+    }
+
+    Ok(outcome)
+}
+
+/// Loads the baseline file, treating a missing file as an empty baseline.
+///
+/// # Errors
+///
+/// Returns [`LintError::Config`] when the file exists but does not parse.
+pub fn load_baseline(path: &Path) -> Result<Baseline, LintError> {
+    match fs::read_to_string(path) {
+        Ok(text) => Baseline::parse(&text)
+            .map_err(|m| LintError::Config(format!("{}: {m}", path.display()))),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Baseline::default()),
+        Err(e) => Err(LintError::Io(format!("reading {}: {e}", path.display()))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn findings_format_as_file_line_rule() {
+        let report = check_source(
+            "crates/demo/src/lib.rs",
+            "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+        );
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(
+            report.findings[0].to_string(),
+            "crates/demo/src/lib.rs:2: [L1 no-unwrap] x.unwrap()"
+        );
+    }
+
+    #[test]
+    fn pragma_on_preceding_comment_line_suppresses() {
+        let src = "\
+pub fn f() {
+    // onoc-lint: allow(L4, reason = \"deadline check against the ctx budget\")
+    let t = Instant::now();
+}
+";
+        let report = check_source("crates/demo/src/lib.rs", src);
+        assert!(report.findings.is_empty());
+        assert_eq!(report.suppressed.len(), 1);
+        assert_eq!(report.suppressed[0].rule, Rule::L4);
+    }
+
+    #[test]
+    fn pragma_for_the_wrong_rule_does_not_suppress() {
+        let src = "\
+pub fn f() {
+    // onoc-lint: allow(L1, reason = \"not the right rule\")
+    let t = Instant::now();
+}
+";
+        let report = check_source("crates/demo/src/lib.rs", src);
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].rule, Rule::L4);
+    }
+
+    #[test]
+    fn malformed_pragma_is_reported() {
+        let src = "// onoc-lint: allow(L1)\nfn f() {}\n";
+        let report = check_source("crates/demo/src/lib.rs", src);
+        assert_eq!(report.pragma_errors.len(), 1);
+        assert_eq!(report.pragma_errors[0].line, 1);
+    }
+
+    #[test]
+    fn grouped_debt_counts_per_file_and_rule() {
+        let mut outcome = Outcome::default();
+        for line in [3, 7] {
+            outcome.violations.push(Finding {
+                file: "crates/demo/src/lib.rs".into(),
+                line,
+                rule: Rule::L1,
+                excerpt: String::new(),
+            });
+        }
+        let debt = outcome.grouped_debt();
+        assert_eq!(debt.len(), 1);
+        assert_eq!(debt[0].count, 2);
+    }
+}

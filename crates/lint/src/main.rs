@@ -1,0 +1,147 @@
+//! The `onoc-lint` binary.
+//!
+//! ```text
+//! cargo run -p onoc-lint                  # lint the workspace, exit 1 on findings
+//! cargo run -p onoc-lint -- --list        # print the rule set
+//! cargo run -p onoc-lint -- --write-baseline   # regenerate lint-baseline.toml
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings / stale baseline / malformed
+//! pragmas, `2` usage or I/O errors.
+
+use onoc_lint::{baseline::Baseline, load_baseline, rules::Rule, run, workspace, LintError};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    write_baseline: bool,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        baseline: None,
+        write_baseline: false,
+        list: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                let v = it.next().ok_or("--root needs a path")?;
+                args.root = Some(PathBuf::from(v));
+            }
+            "--baseline" => {
+                let v = it.next().ok_or("--baseline needs a path")?;
+                args.baseline = Some(PathBuf::from(v));
+            }
+            "--write-baseline" => args.write_baseline = true,
+            "--list" => args.list = true,
+            "--help" | "-h" => {
+                println!(
+                    "onoc-lint: workspace static analysis\n\n\
+                     USAGE: onoc-lint [--root DIR] [--baseline FILE] [--write-baseline] [--list]\n\n\
+                     Lints every workspace member (vendor/ excluded) against rules L1-L6;\n\
+                     see `--list` for the rule set and DESIGN.md §12 for the policy."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    match try_main() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("onoc-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn try_main() -> Result<ExitCode, LintError> {
+    let args = parse_args().map_err(LintError::Config)?;
+
+    if args.list {
+        for rule in Rule::ALL {
+            println!("{rule:<20} {}", rule.summary());
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let root = match args.root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir()
+                .map_err(|e| LintError::Io(format!("resolving the current directory: {e}")))?;
+            workspace::find_root(&cwd)?
+        }
+    };
+    let baseline_path = args
+        .baseline
+        .unwrap_or_else(|| root.join("lint-baseline.toml"));
+
+    if args.write_baseline {
+        // Lint against an empty baseline so every finding becomes debt,
+        // then record the grouped counts.
+        let outcome = run(&root, &Baseline::default())?;
+        if !outcome.pragma_errors.is_empty() {
+            for e in &outcome.pragma_errors {
+                eprintln!("{e}");
+            }
+            return Ok(ExitCode::FAILURE);
+        }
+        let baseline = Baseline {
+            entries: outcome.grouped_debt(),
+        };
+        std::fs::write(&baseline_path, baseline.render())
+            .map_err(|e| LintError::Io(format!("writing {}: {e}", baseline_path.display())))?;
+        println!(
+            "wrote {} with {} entries covering {} findings ({} files scanned, {} suppressed by pragma)",
+            baseline_path.display(),
+            baseline.entries.len(),
+            outcome.violations.len(),
+            outcome.files,
+            outcome.suppressed.len(),
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let baseline = load_baseline(&baseline_path)?;
+    let outcome = run(&root, &baseline)?;
+
+    for f in &outcome.violations {
+        println!("{f}");
+    }
+    for e in &outcome.pragma_errors {
+        println!("{e}");
+    }
+    for s in &outcome.stale {
+        println!("{s}");
+    }
+    println!(
+        "onoc-lint: {} files, {} violations, {} baselined ({} baseline entries), {} suppressed by pragma{}",
+        outcome.files,
+        outcome.violations.len(),
+        outcome.baselined.len(),
+        baseline.entries.len(),
+        outcome.suppressed.len(),
+        if outcome.stale.is_empty() {
+            String::new()
+        } else {
+            format!(", {} baseline problems", outcome.stale.len())
+        },
+    );
+
+    if outcome.is_clean() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Ok(ExitCode::FAILURE)
+    }
+}

@@ -1,0 +1,305 @@
+//! The rule set and its per-file-kind applicability.
+
+use std::fmt;
+
+/// A lint rule. Ids `L1`–`L6` are stable and are what baseline entries
+/// and pragmas refer to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// `unwrap()`/`expect()` in non-test library code.
+    L1,
+    /// `partial_cmp`/float `==` ordering where `total_cmp` is required.
+    L2,
+    /// `thread::spawn`/`available_parallelism` outside the sanctioned
+    /// concurrency modules.
+    L3,
+    /// `Instant::now()` outside `onoc-trace`.
+    L4,
+    /// Calls to the deprecated `*_traced` shims.
+    L5,
+    /// Bare `.lock().unwrap()` on shared state instead of the
+    /// poison-recovery helper.
+    L6,
+}
+
+impl Rule {
+    /// All rules, in id order.
+    pub const ALL: [Rule; 6] = [Rule::L1, Rule::L2, Rule::L3, Rule::L4, Rule::L5, Rule::L6];
+
+    /// Stable id, e.g. `"L2"`.
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::L1 => "L1",
+            Rule::L2 => "L2",
+            Rule::L3 => "L3",
+            Rule::L4 => "L4",
+            Rule::L5 => "L5",
+            Rule::L6 => "L6",
+        }
+    }
+
+    /// Human-readable slug, e.g. `"float-total-cmp"`.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::L1 => "no-unwrap",
+            Rule::L2 => "float-total-cmp",
+            Rule::L3 => "thread-spawn",
+            Rule::L4 => "instant-now",
+            Rule::L5 => "traced-shim",
+            Rule::L6 => "lock-unwrap",
+        }
+    }
+
+    /// One-line rationale shown in `--list`.
+    #[must_use]
+    pub fn summary(self) -> &'static str {
+        match self {
+            Rule::L1 => "library code must propagate errors, not unwrap()/expect() them",
+            Rule::L2 => "float orderings must use total_cmp, not partial_cmp (NaN breaks sort/heap invariants)",
+            Rule::L3 => "thread::spawn/available_parallelism only in milp::parallel and onoc-ctx (thread budget is centralized)",
+            Rule::L4 => "Instant::now() only in onoc-trace (timing flows through the trace layer)",
+            Rule::L5 => "the deprecated *_traced shims must not gain new callers",
+            Rule::L6 => "shared registries must use lock_or_recover, not .lock().unwrap()",
+        }
+    }
+
+    /// Parses an id (`"L1"`) or slug (`"no-unwrap"`).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.id() == s || r.name() == s)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.id(), self.name())
+    }
+}
+
+/// What kind of source a file is, derived from its repo-relative path.
+/// Rules apply per kind: the hard invariants (L2 float ordering, L5 shim
+/// calls) apply everywhere, the library-hygiene rules (L1, L4) only to
+/// library code, and the concurrency rules (L3, L6) everywhere except
+/// test code (tests may spawn scratch threads and poison scratch locks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library source under a member's `src/`.
+    Lib,
+    /// A binary (`src/main.rs`, `src/bin/*`).
+    Bin,
+    /// An example under `examples/`.
+    Example,
+    /// Bench code (`benches/`, plus the whole `crates/bench` harness).
+    Bench,
+    /// Integration tests under `tests/`.
+    Test,
+}
+
+/// Classifies a repo-relative, `/`-separated path.
+#[must_use]
+pub fn classify(rel_path: &str) -> FileKind {
+    let components: Vec<&str> = rel_path.split('/').collect();
+    if components.contains(&"tests") {
+        FileKind::Test
+    } else if components.contains(&"examples") {
+        FileKind::Example
+    } else if components.contains(&"benches") || rel_path.starts_with("crates/bench/") {
+        FileKind::Bench
+    } else if components.contains(&"bin") || rel_path.ends_with("src/main.rs") {
+        FileKind::Bin
+    } else {
+        FileKind::Lib
+    }
+}
+
+/// Does `rule` apply to a line in the given file kind / test region,
+/// taking the per-rule path allowlists into account?
+#[must_use]
+pub fn applies(rule: Rule, kind: FileKind, in_test_region: bool, rel_path: &str) -> bool {
+    let in_test_code = in_test_region || kind == FileKind::Test;
+    match rule {
+        // Library hygiene: binaries, examples and benches may unwrap at
+        // the top level and take wall-clock timestamps for reporting.
+        Rule::L1 | Rule::L4 => {
+            if kind != FileKind::Lib || in_test_region {
+                return false;
+            }
+            if rule == Rule::L4 && rel_path.starts_with("crates/trace/src/") {
+                return false;
+            }
+            true
+        }
+        // Hard invariants: everywhere, including test code.
+        Rule::L2 | Rule::L5 => true,
+        // Concurrency rules: everywhere except test code.
+        Rule::L3 => {
+            !in_test_code
+                && rel_path != "crates/milp/src/parallel.rs"
+                && !rel_path.starts_with("crates/ctx/src/")
+        }
+        Rule::L6 => !in_test_code,
+    }
+}
+
+/// Scans one scrubbed code line and returns one rule entry per pattern
+/// occurrence (a line with two `unwrap()` calls yields two `L1` hits).
+#[must_use]
+pub fn scan_line(code: &str) -> Vec<Rule> {
+    let mut hits = Vec::new();
+
+    // L1 / L6 share the `.unwrap()` / `.expect(` tails; an occurrence
+    // directly preceded by `.lock()` is the L6 shape, otherwise L1.
+    for pat in [".unwrap()", ".expect("] {
+        for pos in find_all(code, pat) {
+            if code[..pos].ends_with(".lock()") {
+                hits.push(Rule::L6);
+            } else {
+                hits.push(Rule::L1);
+            }
+        }
+    }
+
+    for pat in [".partial_cmp(", "::partial_cmp"] {
+        for _ in find_all(code, pat) {
+            hits.push(Rule::L2);
+        }
+    }
+
+    for pat in ["thread::spawn", "available_parallelism"] {
+        for _ in find_all(code, pat) {
+            hits.push(Rule::L3);
+        }
+    }
+
+    for _ in find_all(code, "Instant::now") {
+        hits.push(Rule::L4);
+    }
+
+    for pos in find_all(code, "_traced(") {
+        if is_traced_call(code, pos) {
+            hits.push(Rule::L5);
+        }
+    }
+
+    hits.sort();
+    hits
+}
+
+/// Non-overlapping occurrences of `pat` in `code`.
+fn find_all(code: &str, pat: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    while let Some(off) = code[start..].find(pat) {
+        out.push(start + off);
+        start += off + pat.len();
+    }
+    out
+}
+
+/// Is the `_traced(` occurrence at `pos` a *call* (as opposed to the
+/// shim's own `fn …_traced(` definition)?
+fn is_traced_call(code: &str, pos: usize) -> bool {
+    let bytes = code.as_bytes();
+    // Walk back over the identifier the `_traced` suffix belongs to.
+    let mut i = pos;
+    while i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
+        i -= 1;
+    }
+    if i == pos {
+        // `_traced(` with no identifier head: not a shim call.
+        return false;
+    }
+    // Skip whitespace before the identifier and look for a `fn` keyword
+    // (`_fn` would be an identifier tail, not the keyword).
+    let head = code[..i].trim_end();
+    let is_definition = head.ends_with("fn") && !head.ends_with("_fn");
+    !is_definition
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_parse_accepts_ids_and_slugs() {
+        assert_eq!(Rule::parse("L3"), Some(Rule::L3));
+        assert_eq!(Rule::parse("float-total-cmp"), Some(Rule::L2));
+        assert_eq!(Rule::parse("L9"), None);
+        assert_eq!(Rule::L4.to_string(), "L4 instant-now");
+    }
+
+    #[test]
+    fn classify_matches_the_repo_layout() {
+        assert_eq!(classify("crates/core/src/cluster.rs"), FileKind::Lib);
+        assert_eq!(classify("src/bin/sring-cli.rs"), FileKind::Bin);
+        assert_eq!(classify("crates/lint/src/main.rs"), FileKind::Bin);
+        assert_eq!(classify("examples/quickstart.rs"), FileKind::Example);
+        assert_eq!(classify("tests/pipeline.rs"), FileKind::Test);
+        assert_eq!(classify("crates/bench/src/bin/fig7.rs"), FileKind::Bench);
+        assert_eq!(classify("crates/bench/benches/milp.rs"), FileKind::Bench);
+        assert_eq!(classify("crates/milp/src/lib.rs"), FileKind::Lib);
+    }
+
+    #[test]
+    fn unwrap_after_lock_is_l6_not_l1() {
+        assert_eq!(scan_line("let g = m.lock().unwrap();"), vec![Rule::L6]);
+        assert_eq!(scan_line("let g = m.lock().expect(\"\");"), vec![Rule::L6]);
+        assert_eq!(scan_line("let v = o.unwrap();"), vec![Rule::L1]);
+        assert_eq!(
+            scan_line("a.unwrap(); b.lock().unwrap();"),
+            vec![Rule::L1, Rule::L6]
+        );
+    }
+
+    #[test]
+    fn unwrap_or_is_not_flagged() {
+        assert!(scan_line("x.unwrap_or(0)").is_empty());
+        assert!(scan_line("x.unwrap_or_else(|| 0)").is_empty());
+        assert!(scan_line("x.expect_err(\"\")").is_empty());
+    }
+
+    #[test]
+    fn partial_cmp_calls_hit_but_definitions_do_not() {
+        assert_eq!(scan_line("a.partial_cmp(&b)"), vec![Rule::L2]);
+        assert_eq!(scan_line("xs.sort_by(f64::partial_cmp)"), vec![Rule::L2]);
+        assert!(scan_line("fn partial_cmp(&self, other: &Self) -> Option<Ordering> {").is_empty());
+    }
+
+    #[test]
+    fn traced_calls_hit_but_definitions_do_not() {
+        assert_eq!(
+            scan_line("let d = xring::synthesize_traced(&app);"),
+            vec![Rule::L5]
+        );
+        assert!(scan_line("pub fn synthesize_traced(app: &CommGraph) {").is_empty());
+    }
+
+    #[test]
+    fn thread_and_instant_patterns() {
+        assert_eq!(scan_line("std::thread::spawn(move || {})"), vec![Rule::L3]);
+        assert_eq!(scan_line("thread::available_parallelism()"), vec![Rule::L3]);
+        assert_eq!(scan_line("let t0 = Instant::now();"), vec![Rule::L4]);
+    }
+
+    #[test]
+    fn applicability_honors_kind_region_and_allowlists() {
+        use FileKind::*;
+        assert!(applies(Rule::L1, Lib, false, "crates/core/src/lib.rs"));
+        assert!(!applies(Rule::L1, Lib, true, "crates/core/src/lib.rs"));
+        assert!(!applies(Rule::L1, Bin, false, "src/bin/sring-cli.rs"));
+        assert!(applies(Rule::L2, Test, true, "tests/pipeline.rs"));
+        assert!(!applies(
+            Rule::L3,
+            Lib,
+            false,
+            "crates/milp/src/parallel.rs"
+        ));
+        assert!(!applies(Rule::L3, Lib, false, "crates/ctx/src/lib.rs"));
+        assert!(applies(Rule::L3, Lib, false, "crates/eval/src/par.rs"));
+        assert!(!applies(Rule::L4, Lib, false, "crates/trace/src/lib.rs"));
+        assert!(applies(Rule::L4, Lib, false, "crates/ctx/src/lib.rs"));
+        assert!(!applies(Rule::L6, Test, false, "tests/trace.rs"));
+    }
+}

@@ -1,0 +1,322 @@
+//! Comment/string-aware source scrubbing.
+//!
+//! The scanner does not parse Rust; it lexes just enough of it to split
+//! every physical line into a *code* channel and a *comment* channel, so
+//! that rule patterns never fire inside comments, doc examples, string
+//! literals or char literals, and so that pragma comments can be read
+//! back out of the comment channel.
+//!
+//! Handled: `//` line comments (incl. doc comments), nested `/* */`
+//! block comments, `"…"` strings with escapes, `r"…"`/`r#"…"#` raw
+//! strings (and their `b`-prefixed byte variants), char literals, and
+//! the char-literal/lifetime ambiguity of `'`.
+
+/// One physical source line, split into its code and comment text.
+#[derive(Debug, Clone, Default)]
+pub struct ScrubbedLine {
+    /// Code text with comments removed and string/char *contents*
+    /// blanked (the delimiting quotes are kept so the line still reads
+    /// like code).
+    pub code: String,
+    /// Concatenated comment text of the line, `//`/`/*` markers included.
+    pub comment: String,
+}
+
+/// Lexer mode carried across lines.
+enum Mode {
+    Code,
+    /// Inside `/* */`, with the current nesting depth.
+    Block(usize),
+    /// Inside a normal (escaped) string literal.
+    Str,
+    /// Inside a raw string literal closed by `"` followed by this many `#`.
+    RawStr(usize),
+}
+
+/// Splits `source` into per-line code/comment channels.
+#[must_use]
+pub fn scrub(source: &str) -> Vec<ScrubbedLine> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut lines = Vec::new();
+    let mut line = ScrubbedLine::default();
+    let mut mode = Mode::Code;
+    let mut i = 0;
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            lines.push(std::mem::take(&mut line));
+            i += 1;
+            continue;
+        }
+        match mode {
+            Mode::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    // Line comment: consume to end of line.
+                    while i < chars.len() && chars[i] != '\n' {
+                        line.comment.push(chars[i]);
+                        i += 1;
+                    }
+                } else if c == '/' && next == Some('*') {
+                    line.comment.push_str("/*");
+                    mode = Mode::Block(1);
+                    i += 2;
+                } else if c == '"' {
+                    line.code.push('"');
+                    mode = Mode::Str;
+                    i += 1;
+                } else if is_raw_intro(&chars, i) {
+                    // r"…", r#"…"#, br"…", br#"…"# — consume the prefix
+                    // up to and including the opening quote.
+                    let mut j = i;
+                    while chars[j] != '#' && chars[j] != '"' {
+                        line.code.push(chars[j]);
+                        j += 1;
+                    }
+                    let mut hashes = 0;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    line.code.push('"');
+                    mode = Mode::RawStr(hashes);
+                    i = j + 1;
+                } else if c == 'b' && next == Some('"') {
+                    line.code.push_str("b\"");
+                    mode = Mode::Str;
+                    i += 2;
+                } else if c == '\'' || (c == 'b' && next == Some('\'')) {
+                    i = consume_char_or_lifetime(&chars, i, &mut line.code);
+                } else {
+                    line.code.push(c);
+                    i += 1;
+                }
+            }
+            Mode::Block(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    line.comment.push_str("/*");
+                    mode = Mode::Block(depth + 1);
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    line.comment.push_str("*/");
+                    mode = if depth == 1 {
+                        Mode::Code
+                    } else {
+                        Mode::Block(depth - 1)
+                    };
+                    i += 2;
+                } else {
+                    line.comment.push(c);
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if c == '\\' {
+                    i += 2; // Escape: skip the escaped char (contents are blanked anyway).
+                } else if c == '"' {
+                    line.code.push('"');
+                    mode = Mode::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            Mode::RawStr(hashes) => {
+                if c == '"' && (1..=hashes).all(|k| chars.get(i + k) == Some(&'#')) {
+                    line.code.push('"');
+                    mode = Mode::Code;
+                    i += 1 + hashes;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !line.code.is_empty() || !line.comment.is_empty() {
+        lines.push(line);
+    }
+    lines
+}
+
+/// Is position `i` the start of a raw-string prefix (`r"`, `r#`, `br"`,
+/// `br#`) that is not just the tail of an identifier like `attr"`?
+fn is_raw_intro(chars: &[char], i: usize) -> bool {
+    if i > 0 {
+        let prev = chars[i - 1];
+        if prev.is_alphanumeric() || prev == '_' {
+            return false;
+        }
+    }
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return false;
+    }
+    j += 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// Consumes either a char literal (`'a'`, `'\n'`, `b'x'`, `'\u{1F600}'`)
+/// or a lone `'` introducing a lifetime; returns the next index.
+fn consume_char_or_lifetime(chars: &[char], mut i: usize, code: &mut String) -> usize {
+    if chars.get(i) == Some(&'b') {
+        code.push('b');
+        i += 1;
+    }
+    code.push('\'');
+    i += 1; // past the opening quote
+    match chars.get(i) {
+        // Escaped char literal: consume until the closing quote.
+        Some('\\') => {
+            i += 1;
+            while i < chars.len() && chars[i] != '\'' && chars[i] != '\n' {
+                i += 1;
+            }
+            code.push('\'');
+            i + 1
+        }
+        // Plain char literal `'x'` (incl. non-identifier chars like `'.'`).
+        Some(_) if chars.get(i + 1) == Some(&'\'') => {
+            i += 1;
+            code.push('\'');
+            i + 1
+        }
+        // Anything else: a lifetime (`'a`, `'static`) — keep lexing as code.
+        _ => i,
+    }
+}
+
+/// Per-line mask: `true` where the line is inside a `#[cfg(test)]` /
+/// `#[test]` region (the attribute line, the braced item it introduces,
+/// and everything inside it).
+#[must_use]
+pub fn test_region_mask(lines: &[ScrubbedLine]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    let mut depth = 0usize;
+    let mut pending = false;
+    // Brace depth at which the current test region was opened, if any.
+    let mut region: Option<usize> = None;
+
+    for (idx, line) in lines.iter().enumerate() {
+        let mut in_test = region.is_some();
+        if line.code.contains("#[cfg(test)]") || line.code.contains("#[test]") {
+            pending = true;
+            in_test = true;
+        }
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    if pending {
+                        // The attributed item starts here; a `#[test]`
+                        // inside an already-open region adds nothing.
+                        if region.is_none() {
+                            region = Some(depth);
+                            in_test = true;
+                        }
+                        pending = false;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    if region == Some(depth) {
+                        region = None;
+                    }
+                }
+                // `#[cfg(test)] use …;` — the attribute covers only the
+                // statement, which ends without opening a region.
+                ';' if pending && region.is_none() => pending = false,
+                _ => {}
+            }
+        }
+        mask[idx] = in_test;
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> Vec<String> {
+        scrub(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn line_comments_move_to_comment_channel() {
+        let lines = scrub("let x = 1; // x.unwrap()\n");
+        assert_eq!(lines[0].code.trim_end(), "let x = 1;");
+        assert!(lines[0].comment.contains("x.unwrap()"));
+    }
+
+    #[test]
+    fn nested_block_comments_are_blanked() {
+        let src = "a /* one /* two */ still */ b\n";
+        assert_eq!(code_of(src)[0].replace(' ', ""), "ab");
+    }
+
+    #[test]
+    fn string_contents_are_blanked_but_quotes_kept() {
+        let src = "call(\"do not .unwrap() here\", r#\"nor .expect( here\"#);\n";
+        let code = &code_of(src)[0];
+        assert!(!code.contains("unwrap"));
+        assert!(!code.contains("expect"));
+        assert!(code.contains("call(\"\""));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let src = "let s = \"a \\\" b\"; s.unwrap();\n";
+        let code = &code_of(src)[0];
+        assert!(code.contains(".unwrap()"));
+        assert_eq!(code.matches('"').count(), 2);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x } // 'c'\nlet c = 'x';\nlet n = '\\n';\n";
+        let code = code_of(src);
+        assert!(code[0].contains("&'a str"));
+        assert_eq!(code[1].trim_end(), "let c = '';");
+        assert_eq!(code[2].trim_end(), "let n = '';");
+    }
+
+    #[test]
+    fn multiline_strings_stay_blanked() {
+        let src = "let s = \"line one\nline .unwrap() two\";\nx.unwrap();\n";
+        let code = code_of(src);
+        assert!(!code[1].contains("unwrap"));
+        assert!(code[2].contains(".unwrap()"));
+    }
+
+    #[test]
+    fn cfg_test_region_masks_the_whole_module() {
+        let src = "\
+fn lib() {}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { x.unwrap(); }
+}
+fn lib2() {}
+";
+        let lines = scrub(src);
+        let mask = test_region_mask(&lines);
+        assert_eq!(mask, vec![false, true, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_test_statement_without_braces_does_not_open_a_region() {
+        let src = "#[cfg(test)]\nuse helpers::t;\nfn lib() {}\n";
+        let lines = scrub(src);
+        let mask = test_region_mask(&lines);
+        assert!(!mask[2]);
+    }
+}

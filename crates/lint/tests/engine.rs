@@ -1,0 +1,204 @@
+//! End-to-end tests of the lint engine: fixture files with seeded
+//! violations, pragma placement, the ratchet baseline, and — last but
+//! most load-bearing — the real workspace linting clean against the
+//! checked-in `lint-baseline.toml`.
+
+use onoc_lint::baseline::Baseline;
+use onoc_lint::rules::Rule;
+use onoc_lint::{check_source, load_baseline, run};
+use std::path::{Path, PathBuf};
+
+const SEEDED: &str = include_str!("fixtures/seeded_violations.rs");
+const TRICKY: &str = include_str!("fixtures/tricky.rs");
+const PRAGMAS: &str = include_str!("fixtures/pragmas.rs");
+
+/// Fixtures are checked as if they were library code.
+const LIB_PATH: &str = "crates/demo/src/lib.rs";
+
+fn findings_of(source: &str) -> Vec<(usize, Rule)> {
+    check_source(LIB_PATH, source)
+        .findings
+        .iter()
+        .map(|f| (f.line, f.rule))
+        .collect()
+}
+
+#[test]
+fn every_rule_is_detected_once_in_the_seeded_fixture() {
+    let report = check_source(LIB_PATH, SEEDED);
+    assert_eq!(
+        findings_of(SEEDED),
+        vec![
+            (8, Rule::L1),
+            (12, Rule::L2),
+            (16, Rule::L3),
+            (20, Rule::L4),
+            (24, Rule::L5),
+            (28, Rule::L6),
+        ]
+    );
+    assert!(report.suppressed.is_empty());
+    assert!(report.pragma_errors.is_empty());
+}
+
+#[test]
+fn seeded_fixture_rules_shift_with_file_kind() {
+    // As a binary, the library-hygiene rules (L1, L4) drop out but the
+    // hard and concurrency rules stay.
+    let as_bin: Vec<Rule> = check_source("crates/demo/src/main.rs", SEEDED)
+        .findings
+        .iter()
+        .map(|f| f.rule)
+        .collect();
+    assert_eq!(as_bin, vec![Rule::L2, Rule::L3, Rule::L5, Rule::L6]);
+
+    // As an integration test, only the hard invariants remain.
+    let as_test: Vec<Rule> = check_source("tests/demo.rs", SEEDED)
+        .findings
+        .iter()
+        .map(|f| f.rule)
+        .collect();
+    assert_eq!(as_test, vec![Rule::L2, Rule::L5]);
+}
+
+#[test]
+fn strings_comments_and_cfg_test_do_not_hide_or_invent_findings() {
+    // Everything lexically hidden in strings/comments stays hidden; the
+    // two real findings (an L1 in library code, an L2 inside the test
+    // module) are found at their exact lines.
+    assert_eq!(findings_of(TRICKY), vec![(18, Rule::L1), (28, Rule::L2)]);
+}
+
+#[test]
+fn pragma_placement_suppresses_exactly_where_documented() {
+    let report = check_source(LIB_PATH, PRAGMAS);
+    let suppressed: Vec<(usize, Rule)> =
+        report.suppressed.iter().map(|f| (f.line, f.rule)).collect();
+    assert_eq!(suppressed, vec![(6, Rule::L1), (13, Rule::L2)]);
+
+    let violations: Vec<(usize, Rule)> = report.findings.iter().map(|f| (f.line, f.rule)).collect();
+    assert_eq!(
+        violations,
+        vec![(18, Rule::L1), (24, Rule::L1), (29, Rule::L1)]
+    );
+
+    assert_eq!(report.pragma_errors.len(), 1);
+    assert_eq!(report.pragma_errors[0].line, 28);
+}
+
+/// A throwaway single-member workspace on disk, for exercising `run`.
+struct ScratchWorkspace {
+    root: PathBuf,
+}
+
+impl ScratchWorkspace {
+    fn new(tag: &str, lib_source: &str) -> ScratchWorkspace {
+        let root = std::env::temp_dir().join(format!("onoc-lint-{tag}-{}", std::process::id()));
+        let src = root.join("member/src");
+        std::fs::create_dir_all(&src).unwrap();
+        std::fs::write(
+            root.join("Cargo.toml"),
+            "[workspace]\nmembers = [\"member\"]\n",
+        )
+        .unwrap();
+        std::fs::write(
+            root.join("member/Cargo.toml"),
+            "[package]\nname = \"member\"\n",
+        )
+        .unwrap();
+        std::fs::write(src.join("lib.rs"), lib_source).unwrap();
+        ScratchWorkspace { root }
+    }
+}
+
+impl Drop for ScratchWorkspace {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+const TWO_UNWRAPS: &str =
+    "pub fn f(x: Option<u32>, y: Option<u32>) -> u32 {\n    x.unwrap() + y.unwrap()\n}\n";
+
+#[test]
+fn baseline_absorbs_exactly_its_count() {
+    let ws = ScratchWorkspace::new("exact", TWO_UNWRAPS);
+    let baseline =
+        Baseline::parse("[[allow]]\nrule = \"L1\"\nfile = \"member/src/lib.rs\"\ncount = 2\n")
+            .unwrap();
+    let outcome = run(&ws.root, &baseline).unwrap();
+    assert!(outcome.is_clean(), "stale: {:?}", outcome.stale);
+    assert_eq!(outcome.baselined.len(), 2);
+    assert_eq!(outcome.files, 1);
+}
+
+#[test]
+fn exceeding_the_baseline_count_fails() {
+    let ws = ScratchWorkspace::new("over", TWO_UNWRAPS);
+    let baseline =
+        Baseline::parse("[[allow]]\nrule = \"L1\"\nfile = \"member/src/lib.rs\"\ncount = 1\n")
+            .unwrap();
+    let outcome = run(&ws.root, &baseline).unwrap();
+    assert!(!outcome.is_clean());
+    assert_eq!(outcome.violations.len(), 2);
+}
+
+#[test]
+fn the_baseline_is_a_ratchet_stale_counts_fail() {
+    // The file got better (2 findings, 3 allowed): the run must FAIL
+    // until the baseline is shrunk, so debt cannot silently regrow.
+    let ws = ScratchWorkspace::new("stale", TWO_UNWRAPS);
+    let baseline =
+        Baseline::parse("[[allow]]\nrule = \"L1\"\nfile = \"member/src/lib.rs\"\ncount = 3\n")
+            .unwrap();
+    let outcome = run(&ws.root, &baseline).unwrap();
+    assert!(!outcome.is_clean());
+    assert!(outcome.violations.is_empty());
+    assert!(
+        outcome.stale[0].contains("ratchets down"),
+        "{:?}",
+        outcome.stale
+    );
+
+    // An entry for a file with no findings at all is stale too.
+    let ws2 = ScratchWorkspace::new("gone", "pub fn ok() {}\n");
+    let baseline =
+        Baseline::parse("[[allow]]\nrule = \"L1\"\nfile = \"member/src/lib.rs\"\ncount = 1\n")
+            .unwrap();
+    let outcome = run(&ws2.root, &baseline).unwrap();
+    assert!(!outcome.is_clean());
+    assert!(
+        outcome.stale[0].contains("delete the entry"),
+        "{:?}",
+        outcome.stale
+    );
+}
+
+#[test]
+fn the_real_workspace_lints_clean_against_the_checked_in_baseline() {
+    // CARGO_MANIFEST_DIR = crates/lint; the workspace root is two up.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .unwrap();
+    let baseline = load_baseline(&root.join("lint-baseline.toml")).unwrap();
+    assert!(
+        baseline.entries.len() <= 50,
+        "the baseline must keep shrinking, not growing: {} entries",
+        baseline.entries.len()
+    );
+    let outcome = run(&root, &baseline).unwrap();
+    let report: Vec<String> = outcome
+        .violations
+        .iter()
+        .map(ToString::to_string)
+        .chain(outcome.pragma_errors.iter().map(ToString::to_string))
+        .chain(outcome.stale.iter().cloned())
+        .collect();
+    assert!(
+        outcome.is_clean(),
+        "onoc-lint is not clean:\n{}",
+        report.join("\n")
+    );
+}

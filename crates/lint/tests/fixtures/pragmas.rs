@@ -1,0 +1,30 @@
+//! Lint fixture: pragma placement and malformedness. Not compiled (see
+//! seeded_violations.rs). Line numbers are asserted exactly by
+//! tests/engine.rs.
+
+pub fn same_line(x: Option<u32>) -> u32 {
+    x.unwrap() // onoc-lint: allow(L1, reason = "fixture: same-line pragma")
+}
+
+pub fn comment_above(a: f64, b: f64) -> std::cmp::Ordering {
+    // A multi-line justification is fine: the pragma may sit anywhere in
+    // onoc-lint: allow(L2, reason = "fixture: pragma on the comment run above")
+    // the run of comment-only lines directly above the finding.
+    a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Equal)
+}
+
+pub fn wrong_rule(x: Option<u32>) -> u32 {
+    // onoc-lint: allow(L2, reason = "fixture: wrong rule, does not cover L1")
+    x.unwrap() // line 18: still a violation
+}
+
+pub fn interrupted_run(x: Option<u32>) -> u32 {
+    // onoc-lint: allow(L1, reason = "fixture: code intervenes, pragma does not reach")
+    let _ = 1;
+    x.unwrap() // line 24: still a violation
+}
+
+pub fn malformed(x: Option<u32>) -> u32 {
+    // onoc-lint: allow(L1) -- line 28: missing reason, malformed
+    x.unwrap() // line 29: violation (malformed pragma suppresses nothing)
+}

@@ -123,10 +123,7 @@ impl SolveOptions {
     /// machine's available parallelism.
     #[must_use]
     pub fn effective_threads(&self) -> usize {
-        match self.threads {
-            0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
-            n => n,
-        }
+        crate::parallel::resolve_threads(self.threads)
     }
 }
 
@@ -377,10 +374,15 @@ impl Ord for Node {
         // breaking ties toward deeper nodes (diving) and then by the fixed
         // node id (`seq`) — never by anything timing- or address-dependent,
         // so the pool order is well-defined under concurrency too.
+        // `total_cmp`, not `partial_cmp(..).unwrap_or(Equal)`: a NaN bound
+        // under the partial order would compare Equal to every other
+        // bound, corrupting the heap invariant and with it the best-first
+        // exploration order. Under the total order a NaN bound sorts past
+        // +inf — i.e. as the worst possible bound, popped last — and the
+        // pool order stays deterministic.
         other
             .bound
-            .partial_cmp(&self.bound)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&self.bound)
             .then_with(|| self.depth.cmp(&other.depth))
             .then_with(|| self.seq.cmp(&other.seq))
     }
@@ -544,6 +546,7 @@ pub(crate) fn evaluate_node(
     } else {
         None
     };
+    // onoc-lint: allow(L4, reason = "per-LP timing feeds SolveStats; milp-solver is dependency-free by design and cannot use onoc-trace")
     let lp_start = Instant::now();
     let result = solve_lp_warm(
         ctx.lp,
@@ -714,6 +717,7 @@ pub(crate) fn assemble(ctx: &SearchCtx<'_>, end: SearchEnd) -> Result<MilpSoluti
 pub(crate) fn solve(model: &Model, options: &SolveOptions) -> Result<MilpSolution, ModelError> {
     // Presolve keeps the variable set, so solutions map back one-to-one.
     if options.presolve {
+        // onoc-lint: allow(L4, reason = "presolve timing feeds SolveStats; milp-solver is dependency-free by design")
         let presolve_start = Instant::now();
         let reduced = crate::presolve::presolve(model)?;
         let presolve_time = presolve_start.elapsed();
@@ -727,6 +731,7 @@ pub(crate) fn solve(model: &Model, options: &SolveOptions) -> Result<MilpSolutio
         sol.stats.solve_time += presolve_time;
         return Ok(sol);
     }
+    // onoc-lint: allow(L4, reason = "solve_time stat and time-limit anchor; milp-solver is dependency-free by design")
     let start = Instant::now();
     let obj_constant = model.objective.constant();
     let lp = build_lp(model);
@@ -877,6 +882,36 @@ mod tests {
     use super::*;
     use crate::expr::LinExpr;
     use crate::model::{Model, Sense, VarType};
+
+    #[test]
+    fn node_pool_order_is_total_even_with_nan_bounds() {
+        // Regression for the L2 bug class (PR 3 / onoc-lint L2): the pool
+        // ordering must be a *total* order even when an LP relaxation
+        // produces a NaN bound, or the BinaryHeap invariant silently
+        // breaks and the exploration order becomes nondeterministic.
+        use std::cmp::Ordering;
+        let node = |bound: f64, seq: usize| Node {
+            bound,
+            depth: 0,
+            seq,
+            changes: None,
+            basis: None,
+        };
+        let nan = node(f64::NAN, 0);
+        let good = node(1.0, 1);
+        // NaN is no longer Equal to everything …
+        assert_ne!(nan.cmp(&good), Ordering::Equal);
+        // … the order is antisymmetric …
+        assert_eq!(nan.cmp(&good), good.cmp(&nan).reverse());
+        // … and a NaN bound ranks as the worst bound: the max-heap (which
+        // pops the *smallest* bound first) yields it last.
+        let mut heap = std::collections::BinaryHeap::new();
+        heap.push(node(f64::NAN, 0));
+        heap.push(node(1.0, 1));
+        heap.push(node(2.0, 2));
+        let popped: Vec<usize> = std::iter::from_fn(|| heap.pop().map(|n| n.seq)).collect();
+        assert_eq!(popped, [1, 2, 0]);
+    }
 
     #[test]
     fn pure_lp_solves_without_branching() {

@@ -34,6 +34,17 @@ use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 
+/// Resolves a worker budget: `0` means one worker per available core,
+/// anything else is taken literally. This module is the only place in
+/// `milp-solver` allowed to probe machine parallelism — callers outside
+/// the solver route their budgets through `onoc-ctx` instead.
+pub(crate) fn resolve_threads(requested: usize) -> usize {
+    match requested {
+        0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        n => n,
+    }
+}
+
 /// Mutable search state shared by every worker.
 struct SearchState {
     heap: BinaryHeap<Node>,

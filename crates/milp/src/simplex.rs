@@ -273,6 +273,7 @@ impl Tableau<'_> {
             }
             if self.iterations.is_multiple_of(64) {
                 if let Some(deadline) = self.deadline {
+                    // onoc-lint: allow(L4, reason = "coarse deadline poll every 64 pivots; milp-solver is dependency-free by design")
                     if Instant::now() >= deadline {
                         return Err(LpStatus::TimedOut);
                     }
@@ -501,6 +502,7 @@ impl Tableau<'_> {
             }
             if self.iterations.is_multiple_of(64) {
                 if let Some(deadline) = self.deadline {
+                    // onoc-lint: allow(L4, reason = "coarse deadline poll every 64 pivots; milp-solver is dependency-free by design")
                     if Instant::now() >= deadline {
                         return Err(LpStatus::TimedOut);
                     }

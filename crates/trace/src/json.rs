@@ -213,7 +213,7 @@ impl Parser<'_> {
         }
     }
 
-    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+    fn expect_byte(&mut self, byte: u8) -> Result<(), JsonError> {
         if self.peek() == Some(byte) {
             self.pos += 1;
             Ok(())
@@ -248,7 +248,7 @@ impl Parser<'_> {
     }
 
     fn array(&mut self, depth: usize) -> Result<Value, JsonError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -271,7 +271,7 @@ impl Parser<'_> {
     }
 
     fn object(&mut self, depth: usize) -> Result<Value, JsonError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut members = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -282,7 +282,7 @@ impl Parser<'_> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let value = self.value(depth + 1)?;
             members.push((key, value));
@@ -299,7 +299,7 @@ impl Parser<'_> {
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             let Some(byte) = self.peek() else {
@@ -354,7 +354,9 @@ impl Parser<'_> {
                 _ => {
                     let rest = &self.bytes[self.pos..];
                     let s = std::str::from_utf8(rest).map_err(|_| self.error("invalid utf-8"))?;
-                    let c = s.chars().next().unwrap();
+                    let Some(c) = s.chars().next() else {
+                        return Err(self.error("unterminated string"));
+                    };
                     if (c as u32) < 0x20 {
                         return Err(self.error("unescaped control character"));
                     }
@@ -394,7 +396,8 @@ impl Parser<'_> {
         ) {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid number"))?;
         match text.parse::<f64>() {
             Ok(n) if n.is_finite() => Ok(Value::Number(n)),
             _ => Err(self.error("invalid number")),

@@ -50,8 +50,28 @@ pub use report::{PhaseStat, TraceReport};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
+
+/// Locks `mutex`, recovering the guard when the lock was poisoned by a
+/// panicking thread.
+///
+/// The shared registries in this workspace (trace registry, artifact
+/// cache bookkeeping) hold additive counters and last-write-wins values:
+/// a panic on *another* thread mid-update cannot leave them in a state
+/// that is unsafe to read, only possibly missing that thread's final
+/// contribution. Propagating the poison instead would turn one worker
+/// panic into a cascade — and [`Span`] records from `Drop`, where a
+/// second panic during unwind aborts the process. Recovering is therefore
+/// the correct policy for these registries; code that genuinely cannot
+/// trust post-panic state should keep using a typed poison error instead
+/// (see `onoc-ctx`'s `CacheError::Poisoned`).
+pub fn lock_or_recover<T: ?Sized>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
 
 /// The aggregated metrics store shared by all clones of a [`Trace`].
 #[derive(Default)]
@@ -183,7 +203,7 @@ impl Trace {
     /// matter which thread or span recorded them).
     pub fn incr(&self, name: &str, delta: u64) {
         if let Some(registry) = &self.registry {
-            let mut registry = registry.lock().unwrap();
+            let mut registry = lock_or_recover(registry);
             *registry.counters.entry(name.to_string()).or_insert(0) += delta;
         }
     }
@@ -191,7 +211,7 @@ impl Trace {
     /// Sets the gauge named `name` (last write wins).
     pub fn gauge(&self, name: &str, value: f64) {
         if let Some(registry) = &self.registry {
-            let mut registry = registry.lock().unwrap();
+            let mut registry = lock_or_recover(registry);
             registry.gauges.insert(name.to_string(), value);
         }
     }
@@ -203,7 +223,7 @@ impl Trace {
         match &self.registry {
             None => TraceReport::default(),
             Some(registry) => {
-                let registry = registry.lock().unwrap();
+                let registry = lock_or_recover(registry);
                 TraceReport {
                     phases: registry.phases.clone(),
                     counters: registry.counters.clone(),
@@ -215,7 +235,7 @@ impl Trace {
 }
 
 fn record(registry: &Mutex<Registry>, path: &str, elapsed: Duration, calls: u64) {
-    let mut registry = registry.lock().unwrap();
+    let mut registry = lock_or_recover(registry);
     let stat = registry.phases.entry(path.to_string()).or_default();
     stat.calls += calls;
     stat.total += elapsed;
@@ -375,6 +395,47 @@ mod tests {
         clone.incr("shared", 1);
         trace.incr("shared", 1);
         assert_eq!(trace.report().counter("shared"), Some(2));
+    }
+
+    #[test]
+    fn lock_or_recover_survives_poison() {
+        let shared = Arc::new(Mutex::new(7u32));
+        let poisoner = Arc::clone(&shared);
+        std::thread::spawn(move || {
+            let _guard = poisoner.lock().expect("first lock cannot be poisoned");
+            panic!("poison the mutex");
+        })
+        .join()
+        .expect_err("poisoner must panic");
+        assert!(shared.lock().is_err(), "mutex must actually be poisoned");
+        let mut guard = lock_or_recover(&shared);
+        assert_eq!(*guard, 7, "poisoned state is still readable");
+        *guard += 1;
+        drop(guard);
+        assert_eq!(*lock_or_recover(&shared), 8);
+    }
+
+    #[test]
+    fn trace_records_survive_a_worker_panic() {
+        // A worker that panics while other clones of the trace keep
+        // recording must not take the registry down with it: recording
+        // happens in `Span::drop`, where a poisoned-lock panic during
+        // unwind would abort the process.
+        let trace = Trace::new();
+        trace.incr("before", 1);
+        let worker = trace.clone();
+        std::thread::spawn(move || {
+            let _span = worker.span_at("worker/doomed");
+            panic!("worker dies with an open span");
+        })
+        .join()
+        .expect_err("worker must panic");
+        trace.incr("after", 1);
+        let report = trace.report();
+        assert_eq!(report.counter("before"), Some(1));
+        assert_eq!(report.counter("after"), Some(1));
+        // The doomed span still recorded on unwind.
+        assert_eq!(report.phase("worker/doomed").unwrap().calls, 1);
     }
 
     #[test]

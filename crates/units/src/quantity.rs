@@ -141,6 +141,7 @@ macro_rules! impl_linear_ops {
         }
         impl PartialOrd for $ty {
             fn partial_cmp(&self, other: &$ty) -> Option<std::cmp::Ordering> {
+                // onoc-lint: allow(L2, reason = "PartialOrd impl must mirror f64 partial semantics; call sites use total_cmp")
                 self.0.partial_cmp(&other.0)
             }
         }
@@ -166,6 +167,20 @@ macro_rules! impl_linear_ops {
             #[must_use]
             pub fn is_finite(self) -> bool {
                 self.0.is_finite()
+            }
+
+            /// Total ordering on the wrapped value ([`f64::total_cmp`]).
+            ///
+            /// Sorts, maxes and comparator chains must use this instead of
+            /// `partial_cmp(..).unwrap_or(Equal)`: a NaN under the partial
+            /// order silently compares `Equal` to *everything*, which can
+            /// reorder a sort non-deterministically depending on the
+            /// pivot sequence. Under the total order NaN has a fixed place
+            /// (after +inf), so ordering stays deterministic even for
+            /// poisoned inputs.
+            #[must_use]
+            pub fn total_cmp(&self, other: &$ty) -> std::cmp::Ordering {
+                self.0.total_cmp(&other.0)
             }
         }
     };
@@ -231,7 +246,17 @@ impl Sub for Dbm {
 
 impl PartialOrd for Dbm {
     fn partial_cmp(&self, other: &Dbm) -> Option<std::cmp::Ordering> {
+        // onoc-lint: allow(L2, reason = "PartialOrd impl must mirror f64 partial semantics; call sites use total_cmp")
         self.0.partial_cmp(&other.0)
+    }
+}
+
+impl Dbm {
+    /// Total ordering on the wrapped value ([`f64::total_cmp`]); see the
+    /// same method on the linear quantities for why sorts use this.
+    #[must_use]
+    pub fn total_cmp(&self, other: &Dbm) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
     }
 }
 
@@ -250,6 +275,29 @@ mod tests {
         assert_eq!(x * 2.0, Millimeters(2.5));
         assert_eq!(Millimeters(3.0) / 2.0, Millimeters(1.5));
         assert_eq!(-Millimeters(1.0), Millimeters(-1.0));
+    }
+
+    #[test]
+    fn total_cmp_gives_nan_a_fixed_place() {
+        // Regression for the onoc-lint L2 bug class: quantity sorts use
+        // `total_cmp`, which puts NaN after +inf instead of letting it
+        // compare Equal to everything under the partial order.
+        let mut v = [
+            Millimeters(f64::NAN),
+            Millimeters(1.0),
+            Millimeters(f64::INFINITY),
+            Millimeters(-1.0),
+        ];
+        v.sort_by(Millimeters::total_cmp);
+        assert_eq!(v[0], Millimeters(-1.0));
+        assert_eq!(v[1], Millimeters(1.0));
+        assert_eq!(v[2], Millimeters(f64::INFINITY));
+        assert!(v[3].0.is_nan(), "NaN sorts last under the total order");
+        assert_eq!(Dbm(1.0).total_cmp(&Dbm(f64::NAN)), std::cmp::Ordering::Less);
+        assert_eq!(
+            Decibels(f64::NAN).total_cmp(&Decibels(f64::NAN)),
+            std::cmp::Ordering::Equal
+        );
     }
 
     #[test]

@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let worst = latency
         .messages
         .iter()
-        .max_by(|a, b| a.total_ps().partial_cmp(&b.total_ps()).expect("finite"))
+        .max_by(|a, b| a.total_ps().total_cmp(&b.total_ps()))
         .expect("at least one message");
     println!(
         "slowest message m{}: {:.2} ns propagation + {:.2} ns serialization",

@@ -35,6 +35,32 @@ fn sweep() -> &'static Vec<(Benchmark, &'static str, RouterDesign, RouterAnalysi
 }
 
 #[test]
+fn flexible_route_selection_is_run_to_run_deterministic() {
+    // Regression for the onoc-lint L2 bug class: the greedy route
+    // selection in the route stage orders flexible messages by geometric
+    // length and breaks peak-load ties by length, both via `total_cmp`.
+    // Two independent synthesis runs must choose bit-identical designs —
+    // under the old `partial_cmp(..).unwrap_or(Equal)` comparators a NaN
+    // length would have made this ordering pivot-sequence-dependent.
+    use sring::core::{AssignmentStrategy, SringConfig, SringSynthesizer};
+    for b in Benchmark::ALL {
+        let app = b.graph();
+        let synth = SringSynthesizer::with_config(SringConfig {
+            strategy: AssignmentStrategy::Heuristic,
+            ..SringConfig::default()
+        });
+        let first = synth.synthesize(&app).expect("synthesizes");
+        let second = synth.synthesize(&app).expect("synthesizes");
+        let t = tech();
+        assert_eq!(
+            format!("{:?}", first.analyze(&t)),
+            format!("{:?}", second.analyze(&t)),
+            "{b}: repeated synthesis must be bit-identical"
+        );
+    }
+}
+
+#[test]
 fn every_method_serves_every_benchmark() {
     for (b, name, design, _) in sweep() {
         let app = b.graph();

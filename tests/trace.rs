@@ -166,16 +166,16 @@ fn trace_report_round_trips_through_facade_json() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_traced_shim_leaves_results_unchanged() {
-    // The `_traced` names survive as deprecated shims over the ctx API;
-    // they must not perturb synthesis: same design as the untraced entry
-    // point.
+fn disabled_trace_ctx_leaves_results_unchanged() {
+    // A context carrying the disabled trace handle must not perturb
+    // synthesis: same design as the untraced entry point. (This test
+    // formerly exercised the `*_traced` shims, which are gone — the ctx
+    // API is the only instrumented entry point now.)
     let app = benchmarks::vopd();
     let synth = SringSynthesizer::new();
     let plain = synth.synthesize(&app).expect("synthesizes");
     let traced = synth
-        .synthesize_detailed_traced(&app, &Trace::disabled())
+        .synthesize_detailed_ctx(&app, &ExecCtx::default().with_trace(Trace::disabled()))
         .expect("synthesizes")
         .design;
     assert_eq!(
