@@ -6,13 +6,22 @@
 //! perf trajectory is tracked across PRs.
 //!
 //! ```text
-//! pipeline_cache [out.json] [--threads N]
+//! pipeline_cache [out.json] [--threads N] [--cache-dir DIR]
 //! ```
 //!
-//! Exits non-zero when the cached run records no hits, when the cached
-//! report differs from the uncached one, or when the cached sweep is not
-//! at least 1.5× faster — which makes the binary double as a CI smoke
-//! check (`ci/check.sh` runs it).
+//! On top of the in-memory comparison the binary measures a **warm
+//! restart**: a seed sweep populates a persistent on-disk store (under
+//! `--cache-dir`, or a scratch directory by default), then a sweep with a
+//! fresh memory cache and a *new* store handle over the same directory —
+//! everything a process restart would keep — must reach at least the same
+//! 1.5× speedup purely from disk hits, again with a bit-identical report.
+//! The `warm_restart` section of the JSON records both wall-clocks and the
+//! disk counters.
+//!
+//! Exits non-zero when the cached run records no hits, when any report
+//! differs from the uncached one, when the warm restart sees corruption,
+//! or when either speedup is below 1.5× — which makes the binary double as
+//! a CI smoke check (`ci/check.sh` runs it).
 //!
 //! The sweep varies only the assignment strategy, so with the cache on
 //! each benchmark's cluster, layout and route artifacts are computed once
@@ -20,15 +29,18 @@
 //! heuristic-cheap so the shared stages dominate and the speedup is
 //! robustly measurable.
 
-use onoc_bench::{harness_tech, take_threads_flag};
-use onoc_ctx::{CacheStats, ExecCtx};
+use onoc_bench::{harness_tech, take_threads_flag, take_value_flag};
+use onoc_ctx::{ArtifactStore, CacheStats, ExecCtx, StoreStats};
 use onoc_eval::comparison::{compare_grid_ctx, to_csv, Comparison};
 use onoc_eval::methods::Method;
 use onoc_graph::benchmarks::Benchmark;
 use onoc_graph::CommGraph;
+use onoc_store::DiskStore;
 use onoc_units::TechnologyParameters;
 use sring_core::{AssignmentStrategy, MilpOptions};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The benchmarks swept (the paper's three headline applications).
@@ -66,28 +78,108 @@ fn sweep(
     Ok((comparisons, started.elapsed().as_secs_f64()))
 }
 
-fn json_doc(uncached_s: f64, cached_s: f64, speedup: f64, stats: &CacheStats) -> String {
+/// Wall-clocks and disk counters of the cold-process warm-restart pass.
+struct WarmRestart {
+    seed_s: f64,
+    warm_s: f64,
+    speedup: f64,
+    disk: StoreStats,
+}
+
+fn json_doc(
+    uncached_s: f64,
+    cached_s: f64,
+    speedup: f64,
+    stats: &CacheStats,
+    warm: &WarmRestart,
+) -> String {
     format!(
         "{{\n  \"benchmarks\": [\"MWD\", \"VOPD\", \"MPEG\"],\n  \"strategies\": {},\n  \
          \"uncached_s\": {uncached_s:.6},\n  \"cached_s\": {cached_s:.6},\n  \
          \"speedup\": {speedup:.4},\n  \"cache\": {{\n    \"hits\": {},\n    \"misses\": {},\n    \
-         \"hit_rate\": {:.4},\n    \"entries\": {},\n    \"evictions\": {}\n  }}\n}}\n",
+         \"hit_rate\": {:.4},\n    \"entries\": {},\n    \"evictions\": {}\n  }},\n  \
+         \"warm_restart\": {{\n    \"seed_s\": {:.6},\n    \"warm_s\": {:.6},\n    \
+         \"speedup\": {:.4},\n    \"disk_hits\": {},\n    \"disk_misses\": {},\n    \
+         \"disk_corrupt\": {},\n    \"disk_version_skips\": {},\n    \"disk_writes\": {},\n    \
+         \"disk_write_errors\": {}\n  }}\n}}\n",
         strategies().len(),
         stats.hits,
         stats.misses,
         stats.hit_rate(),
         stats.entries,
         stats.evictions,
+        warm.seed_s,
+        warm.warm_s,
+        warm.speedup,
+        warm.disk.hits,
+        warm.disk.misses,
+        warm.disk.corrupt,
+        warm.disk.version_skips,
+        warm.disk.writes,
+        warm.disk.write_errors,
     )
+}
+
+/// Measures the persistent tier: a seed sweep populates `dir`, then a sweep
+/// with a fresh memory cache and a *new* [`DiskStore`] handle over the same
+/// directory — exactly the state a process restart preserves — must be
+/// served from disk. Returns the warm comparisons alongside the timings so
+/// the caller can check bit-identity against the uncached report.
+fn warm_restart(
+    apps: &[CommGraph],
+    tech: &TechnologyParameters,
+    methods: &[Method],
+    threads: usize,
+    dir: &Path,
+    uncached_s: f64,
+) -> Result<(Vec<Comparison>, WarmRestart), String> {
+    let open = |d: &Path| -> Result<Arc<DiskStore>, String> {
+        Ok(Arc::new(DiskStore::open(d).map_err(|e| {
+            format!("cannot open store {}: {e}", d.display())
+        })?))
+    };
+
+    let seed_ctx = ExecCtx::cached()
+        .with_threads(threads)
+        .with_store(open(dir)?);
+    let (_, seed_s) = sweep(apps, tech, methods, &seed_ctx)?;
+
+    // Cold process: only the on-disk records survive. A fresh memory cache
+    // plus a new store handle over the same directory reproduces that.
+    let warm_store = open(dir)?;
+    let warm_ctx = ExecCtx::cached()
+        .with_threads(threads)
+        .with_store(Arc::clone(&warm_store) as Arc<dyn ArtifactStore>);
+    let (warm, warm_s) = sweep(apps, tech, methods, &warm_ctx)?;
+
+    let restart = WarmRestart {
+        seed_s,
+        warm_s,
+        speedup: uncached_s / warm_s.max(1e-12),
+        disk: warm_store.stats(),
+    };
+    Ok((warm, restart))
 }
 
 fn main() -> ExitCode {
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
     let threads = take_threads_flag(&mut raw);
+    let cache_dir = take_value_flag(&mut raw, "cache-dir").map(PathBuf::from);
     let out_path = raw
         .first()
         .cloned()
         .unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+
+    // A user-supplied --cache-dir is kept afterwards (it is their store);
+    // the default scratch directory is wiped before and after the run so
+    // the seed sweep always starts cold.
+    let user_dir = cache_dir.is_some();
+    let store_dir = cache_dir.unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("sring-pipeline-cache-{}", std::process::id()))
+    });
+    if !user_dir {
+        let _ = std::fs::remove_dir_all(&store_dir);
+    }
 
     let tech = harness_tech();
     let apps: Vec<_> = TRACKED.iter().map(|b| b.graph()).collect();
@@ -112,8 +204,21 @@ fn main() -> ExitCode {
     };
     let stats = cached_ctx.cache_stats().expect("cache attached");
 
+    let (warm, restart) =
+        match warm_restart(&apps, &tech, &methods, threads, &store_dir, uncached_s) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: warm restart: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    if !user_dir {
+        let _ = std::fs::remove_dir_all(&store_dir);
+    }
+
     let uncached_csv = to_csv(&uncached);
     let cached_csv = to_csv(&cached);
+    let warm_csv = to_csv(&warm);
     let speedup = uncached_s / cached_s.max(1e-12);
 
     println!(
@@ -131,8 +236,23 @@ fn main() -> ExitCode {
         stats.entries,
         stats.evictions
     );
+    println!(
+        "warm restart: seed {:.3} s, warm {:.3} s ({:.2}x vs uncached); disk {} hits, \
+         {} misses, {} corrupt, {} version skips, {} writes",
+        restart.seed_s,
+        restart.warm_s,
+        restart.speedup,
+        restart.disk.hits,
+        restart.disk.misses,
+        restart.disk.corrupt,
+        restart.disk.version_skips,
+        restart.disk.writes
+    );
 
-    if let Err(e) = std::fs::write(&out_path, json_doc(uncached_s, cached_s, speedup, &stats)) {
+    if let Err(e) = std::fs::write(
+        &out_path,
+        json_doc(uncached_s, cached_s, speedup, &stats, &restart),
+    ) {
         eprintln!("error: cannot write {out_path}: {e}");
         return ExitCode::FAILURE;
     }
@@ -142,13 +262,35 @@ fn main() -> ExitCode {
         eprintln!("error: cached report differs from the uncached one");
         return ExitCode::FAILURE;
     }
-    println!("reports: bit-identical with and without the cache");
+    if warm_csv != uncached_csv {
+        eprintln!("error: warm-restart report differs from the uncached one");
+        return ExitCode::FAILURE;
+    }
+    println!("reports: bit-identical uncached, cached and warm-restarted");
     if stats.hits == 0 {
         eprintln!("error: the cached sweep recorded no cache hits");
         return ExitCode::FAILURE;
     }
     if speedup < MIN_SPEEDUP {
         eprintln!("error: cached sweep only {speedup:.2}x faster (need {MIN_SPEEDUP}x)");
+        return ExitCode::FAILURE;
+    }
+    if restart.disk.hits == 0 {
+        eprintln!("error: the warm-restart sweep recorded no disk hits");
+        return ExitCode::FAILURE;
+    }
+    if restart.disk.corrupt > 0 {
+        eprintln!(
+            "error: the warm-restart sweep hit {} corrupt store record(s)",
+            restart.disk.corrupt
+        );
+        return ExitCode::FAILURE;
+    }
+    if restart.speedup < MIN_SPEEDUP {
+        eprintln!(
+            "error: warm restart only {:.2}x faster than uncached (need {MIN_SPEEDUP}x)",
+            restart.speedup
+        );
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -141,6 +141,28 @@ pub fn harness_trace(trace_path: Option<&String>) -> Trace {
     Trace::enabled_if(trace_path.is_some())
 }
 
+/// Removes a generic `--NAME VALUE` / `--NAME=VALUE` flag from `args` and
+/// returns the value, if one was given. A dangling `--NAME` without a
+/// value is removed and maps to `None`, mirroring the other flag takers'
+/// tolerance for malformed input.
+pub fn take_value_flag(args: &mut Vec<String>, name: &str) -> Option<String> {
+    let flag = format!("--{name}");
+    let prefix = format!("--{name}=");
+    if let Some(pos) = args.iter().position(|a| *a == flag) {
+        args.remove(pos);
+        if pos < args.len() {
+            return Some(args.remove(pos));
+        }
+        return None;
+    }
+    if let Some(pos) = args.iter().position(|a| a.starts_with(&prefix)) {
+        let value = args[pos][prefix.len()..].to_string();
+        args.remove(pos);
+        return (!value.is_empty()).then_some(value);
+    }
+    None
+}
+
 /// Removes a `--no-cache` flag from `args` and reports whether it was
 /// present.
 pub fn take_no_cache_flag(args: &mut Vec<String>) -> bool {
@@ -240,6 +262,35 @@ mod tests {
         assert!(!harness_trace(None).is_enabled());
         let path = "t.json".to_string();
         assert!(harness_trace(Some(&path)).is_enabled());
+    }
+
+    #[test]
+    fn value_flag_parsing() {
+        let mut args: Vec<String> = ["out.json", "--cache-dir", "/tmp/x"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        assert_eq!(
+            take_value_flag(&mut args, "cache-dir"),
+            Some("/tmp/x".to_string())
+        );
+        assert_eq!(args, vec!["out.json".to_string()]);
+
+        let mut args = vec!["--cache-dir=/tmp/y".to_string()];
+        assert_eq!(
+            take_value_flag(&mut args, "cache-dir"),
+            Some("/tmp/y".to_string())
+        );
+        assert!(args.is_empty());
+
+        // Dangling flag: removed, no value.
+        let mut args = vec!["--cache-dir".to_string()];
+        assert_eq!(take_value_flag(&mut args, "cache-dir"), None);
+        assert!(args.is_empty());
+
+        let mut args = vec!["plain".to_string()];
+        assert_eq!(take_value_flag(&mut args, "cache-dir"), None);
+        assert_eq!(args.len(), 1);
     }
 
     #[test]

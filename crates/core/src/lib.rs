@@ -42,6 +42,7 @@
 
 pub mod assignment;
 pub mod cluster;
+pub mod persist;
 pub mod stages;
 pub mod synthesis;
 

@@ -34,6 +34,7 @@ use onoc_ctx::{ContentHash, ContentHasher, ContentKey, ExecCtx};
 use onoc_graph::{CommGraph, NodeId};
 use onoc_layout::{Layout, WaveguideId};
 use onoc_photonics::{insertion_loss, PathGeometry, SignalPath};
+use onoc_store::Persist;
 use std::sync::Arc;
 
 impl ContentHash for ClusteringConfig {
@@ -176,13 +177,24 @@ pub trait Stage {
 }
 
 /// Runs one stage through the context: opens its trace span, consults the
-/// artifact cache, and executes the stage only on a miss.
+/// in-memory artifact cache, then the persistent store, and executes the
+/// stage only when both tiers miss. Computed and disk-loaded artifacts
+/// are written through to the tiers above them, so a warm disk store
+/// repopulates the memory cache and a fresh computation lands in both.
+///
+/// A disk payload that passes the store's checksum but fails the typed
+/// [`Persist`] decode (schema drift without a format-version bump) is
+/// counted on the `cache/disk_decode_errors` trace counter and treated as
+/// a miss — never trusted, never fatal.
 ///
 /// # Errors
 ///
 /// Propagates the stage's own error, or [`SringError::Cache`] when the
 /// artifact cache lock was poisoned.
-pub fn run_stage<S: Stage>(ctx: &ExecCtx, stage: &S) -> Result<Arc<S::Output>, SringError> {
+pub fn run_stage<S: Stage>(ctx: &ExecCtx, stage: &S) -> Result<Arc<S::Output>, SringError>
+where
+    S::Output: Persist,
+{
     let _span = ctx.trace().span(stage.name());
     if !stage.cacheable() {
         return Ok(Arc::new(stage.run(ctx)?));
@@ -191,7 +203,18 @@ pub fn run_stage<S: Stage>(ctx: &ExecCtx, stage: &S) -> Result<Arc<S::Output>, S
     if let Some(hit) = ctx.cache_get::<S::Output>(stage.name(), key)? {
         return Ok(hit);
     }
+    if let Some(store) = ctx.store() {
+        if let Some(payload) = store.load(stage.name(), key) {
+            match S::Output::from_store_bytes(&payload) {
+                Ok(output) => return Ok(ctx.cache_put(stage.name(), key, output)?),
+                Err(_) => ctx.trace().incr("cache/disk_decode_errors", 1),
+            }
+        }
+    }
     let output = stage.run(ctx)?;
+    if let Some(store) = ctx.store() {
+        store.save(stage.name(), key, &output.to_store_bytes());
+    }
     Ok(ctx.cache_put(stage.name(), key, output)?)
 }
 

@@ -5,6 +5,10 @@
 //! * the [`Trace`] handle (spans, counters, gauges),
 //! * an optional thread-safe content-addressed [`ArtifactCache`] keyed by
 //!   deterministic [`ContentKey`]s over stage inputs,
+//! * an optional persistent [`ArtifactStore`] tier behind the in-memory
+//!   cache (implemented by `onoc-store`'s `DiskStore`), so artifacts
+//!   survive process restarts: lookups fall through memory → store →
+//!   compute and computed artifacts are written through to both,
 //! * an optional wall-clock deadline,
 //! * a thread budget for parallel harness stages.
 //!
@@ -113,9 +117,23 @@ impl ContentHasher {
         self.write_u64(v as u64);
     }
 
-    /// Feeds a float through its exact bit pattern.
+    /// Feeds a float through a canonicalized bit pattern: `-0.0`
+    /// normalizes to `+0.0` (the two compare equal, so semantically
+    /// identical configurations must produce identical keys) and every
+    /// NaN collapses to one canonical quiet NaN. Without this, a negative
+    /// zero in a bandwidth or loss config would mint a second key for the
+    /// same input — a spurious recompute in memory, and a persistent
+    /// duplicate file once artifacts live on disk.
     pub fn write_f64(&mut self, v: f64) {
-        self.write_u64(v.to_bits());
+        const CANONICAL_NAN: u64 = 0x7ff8_0000_0000_0000;
+        let bits = if v.is_nan() {
+            CANONICAL_NAN
+        } else if v == 0.0 {
+            0 // +0.0; also reached for -0.0, which compares equal
+        } else {
+            v.to_bits()
+        };
+        self.write_u64(bits);
     }
 
     /// Feeds a string, length-prefixed so concatenations cannot collide.
@@ -252,7 +270,8 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that found nothing (or a type-mismatched entry).
     pub misses: u64,
-    /// Entries dropped to respect the capacity bound.
+    /// Entries dropped to respect the capacity bound, plus type-mismatched
+    /// entries evicted by [`ArtifactCache::get_as`].
     pub evictions: u64,
     /// Artifacts currently stored.
     pub entries: usize,
@@ -343,17 +362,64 @@ impl ArtifactCache {
         let mut inner = self.inner.lock().map_err(|_| CacheError::Poisoned)?;
         inner.tick += 1;
         let tick = inner.tick;
+        // Counters tick while the lock is held so a `stats` snapshot
+        // (which also takes the lock) always sees hit/miss totals
+        // consistent with the entry count.
         match inner.map.get_mut(&(stage, key)) {
             Some(entry) => {
                 entry.last_used = tick;
                 let value = entry.value.clone();
-                drop(inner);
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                drop(inner);
                 Ok(Some(value))
             }
             None => {
-                drop(inner);
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                drop(inner);
+                Ok(None)
+            }
+        }
+    }
+
+    /// Looks up the artifact stored for `(stage, key)` at type `T`.
+    ///
+    /// Unlike [`get`](Self::get) followed by a caller-side downcast, a
+    /// stored entry of the *wrong* type counts as a miss (the caller will
+    /// recompute, so counting it as a hit would overstate the hit rate)
+    /// and the mismatched entry is evicted: it can never satisfy this
+    /// call site again, and leaving it in place would force every future
+    /// lookup of the key through the same failed downcast.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::Poisoned`] when the cache lock was poisoned.
+    pub fn get_as<T: Send + Sync + 'static>(
+        &self,
+        stage: &'static str,
+        key: ContentKey,
+    ) -> Result<Option<Arc<T>>, CacheError> {
+        let mut inner = self.inner.lock().map_err(|_| CacheError::Poisoned)?;
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(&(stage, key)) {
+            Some(entry) => match entry.value.clone().downcast::<T>() {
+                Ok(value) => {
+                    entry.last_used = tick;
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    drop(inner);
+                    Ok(Some(value))
+                }
+                Err(_) => {
+                    inner.map.remove(&(stage, key));
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    drop(inner);
+                    Ok(None)
+                }
+            },
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                drop(inner);
                 Ok(None)
             }
         }
@@ -398,30 +464,80 @@ impl ArtifactCache {
                 None => break,
             }
         }
-        drop(inner);
         if evicted > 0 {
             self.evictions.fetch_add(evicted, Ordering::Relaxed);
         }
+        drop(inner);
         Ok(())
     }
 
     /// A snapshot of the hit/miss/eviction counters and the entry count.
+    ///
+    /// The snapshot is taken while holding the inner lock, and every
+    /// counter is incremented under that same lock, so the published
+    /// totals are mutually consistent: a concurrent burst of lookups can
+    /// never yield a snapshot whose `hits + misses` disagrees with the
+    /// map state those lookups produced.
     #[must_use]
     pub fn stats(&self) -> CacheStats {
+        // Statistics are diagnostics: a poisoned map is still safe to
+        // *count*, so recover rather than misreport zero entries.
+        let inner = lock_or_recover(&self.inner);
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
-            // Statistics are diagnostics: a poisoned map is still safe to
-            // *count*, so recover rather than misreport zero entries.
-            entries: lock_or_recover(&self.inner).map.len(),
+            entries: inner.map.len(),
         }
     }
 }
 
+/// Counters of a persistent artifact-store tier (see [`ArtifactStore`]).
+///
+/// All counts are cumulative over the lifetime of the store handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Lookups answered with a validated record.
+    pub hits: u64,
+    /// Lookups that found no record for the key.
+    pub misses: u64,
+    /// Records skipped because framing or checksum validation failed.
+    /// Corruption is detected, counted and *skipped* — never trusted and
+    /// never fatal; the caller recomputes instead.
+    pub corrupt: u64,
+    /// Records skipped because they carry an unknown (future) format
+    /// version.
+    pub version_skips: u64,
+    /// Records written.
+    pub writes: u64,
+    /// Best-effort writes that failed (e.g. a full or read-only disk).
+    pub write_errors: u64,
+}
+
+/// A persistent second tier behind the in-memory [`ArtifactCache`]:
+/// byte-level storage of serialized artifacts keyed by `(stage, key)`.
+///
+/// Implementations (see the `onoc-store` crate's `DiskStore`) must be
+/// *infallible at the API boundary*: a lookup that cannot be satisfied —
+/// missing, truncated, checksum-mismatched or version-skewed record —
+/// returns `None` and is counted in [`StoreStats`], and a failed write is
+/// counted rather than surfaced, so persistence problems degrade to
+/// recomputation instead of failing the pipeline.
+pub trait ArtifactStore: Send + Sync + fmt::Debug {
+    /// Loads the validated payload stored for `(stage, key)`, or `None`
+    /// on a miss / corrupt record / version mismatch (each counted).
+    fn load(&self, stage: &str, key: ContentKey) -> Option<Vec<u8>>;
+
+    /// Stores `payload` under `(stage, key)`, best-effort.
+    fn save(&self, stage: &str, key: ContentKey, payload: &[u8]);
+
+    /// A snapshot of the store's counters.
+    fn stats(&self) -> StoreStats;
+}
+
 /// The unified execution context threaded through every pipeline entry
-/// point: trace handle, optional artifact cache, optional deadline and a
-/// thread budget.
+/// point: trace handle, optional artifact cache, optional persistent
+/// artifact store, optional deadline and a thread budget.
 ///
 /// Cloning is cheap — the trace and the cache are shared handles — so a
 /// context can be handed to worker threads freely.
@@ -440,6 +556,7 @@ impl ArtifactCache {
 pub struct ExecCtx {
     trace: Trace,
     cache: Option<Arc<ArtifactCache>>,
+    store: Option<Arc<dyn ArtifactStore>>,
     deadline: Option<Instant>,
     threads: usize,
 }
@@ -479,6 +596,22 @@ impl ExecCtx {
         self
     }
 
+    /// Attaches a persistent artifact store as the tier behind the
+    /// in-memory cache: stage lookups fall through memory → store →
+    /// compute, and computed artifacts are written through to both.
+    #[must_use]
+    pub fn with_store(mut self, store: Arc<dyn ArtifactStore>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Detaches the persistent artifact store.
+    #[must_use]
+    pub fn without_store(mut self) -> Self {
+        self.store = None;
+        self
+    }
+
     /// Sets a wall-clock deadline. Stages that take time limits clamp
     /// them to the remaining budget.
     #[must_use]
@@ -507,6 +640,12 @@ impl ExecCtx {
         self.cache.as_ref()
     }
 
+    /// The attached persistent artifact store, if any.
+    #[must_use]
+    pub fn store(&self) -> Option<&Arc<dyn ArtifactStore>> {
+        self.store.as_ref()
+    }
+
     /// The wall-clock deadline, if any.
     #[must_use]
     pub fn deadline(&self) -> Option<Instant> {
@@ -531,7 +670,8 @@ impl ExecCtx {
     /// Looks up a typed artifact for `(stage, key)` and counts the
     /// hit/miss both in the cache and as `cache/...` trace counters. A
     /// detached cache is a silent miss without counters; an entry of the
-    /// wrong type counts as a miss.
+    /// wrong type counts as a miss (and is evicted, see
+    /// [`ArtifactCache::get_as`]).
     ///
     /// # Errors
     ///
@@ -544,9 +684,7 @@ impl ExecCtx {
         let Some(cache) = &self.cache else {
             return Ok(None);
         };
-        let hit = cache
-            .get(stage, key)?
-            .and_then(|any| any.downcast::<T>().ok());
+        let hit = cache.get_as::<T>(stage, key)?;
         match &hit {
             Some(_) => {
                 self.trace.incr("cache/hits", 1);
@@ -585,13 +723,31 @@ impl ExecCtx {
         self.cache.as_ref().map(|c| c.stats())
     }
 
+    /// A stats snapshot of the attached persistent store, if any.
+    #[must_use]
+    pub fn store_stats(&self) -> Option<StoreStats> {
+        self.store.as_ref().map(|s| s.stats())
+    }
+
     /// Publishes the cache totals as trace gauges (`cache/entries`,
-    /// `cache/evictions`, `cache/hit_rate`). No-op without a cache.
+    /// `cache/evictions`, `cache/hit_rate`) and, when a persistent store
+    /// is attached, its counters as `cache/disk_*` gauges. No-op without
+    /// a cache or store.
     pub fn publish_cache_stats(&self) {
         if let Some(stats) = self.cache_stats() {
             self.trace.gauge("cache/entries", stats.entries as f64);
             self.trace.gauge("cache/evictions", stats.evictions as f64);
             self.trace.gauge("cache/hit_rate", stats.hit_rate());
+        }
+        if let Some(stats) = self.store_stats() {
+            self.trace.gauge("cache/disk_hits", stats.hits as f64);
+            self.trace.gauge("cache/disk_misses", stats.misses as f64);
+            self.trace.gauge("cache/disk_corrupt", stats.corrupt as f64);
+            self.trace
+                .gauge("cache/disk_version_skips", stats.version_skips as f64);
+            self.trace.gauge("cache/disk_writes", stats.writes as f64);
+            self.trace
+                .gauge("cache/disk_write_errors", stats.write_errors as f64);
         }
     }
 }
@@ -621,8 +777,29 @@ mod tests {
             h.write_str("bc");
         });
         assert_ne!(ab_c, a_bc);
-        // Floats hash by bit pattern.
-        assert_ne!(key(&|h| h.write_f64(0.0)), key(&|h| h.write_f64(-0.0)));
+        // Floats hash by canonicalized bit pattern: semantically equal
+        // inputs produce equal keys, distinct values distinct keys.
+        assert_ne!(key(&|h| h.write_f64(1.0)), key(&|h| h.write_f64(2.0)));
+    }
+
+    #[test]
+    fn f64_hash_canonicalizes_signed_zero_and_nan() {
+        let key = |v: f64| {
+            let mut h = ContentHasher::new();
+            h.write_f64(v);
+            h.finish()
+        };
+        // -0.0 == 0.0, so the two must share one content key; before the
+        // fix they hashed by raw bit pattern and diverged.
+        assert_eq!(key(0.0), key(-0.0));
+        // Every NaN payload collapses to one canonical key.
+        let other_nan = f64::from_bits(0x7ff8_0000_0000_0001);
+        assert!(other_nan.is_nan());
+        assert_eq!(key(f64::NAN), key(other_nan));
+        assert_eq!(key(f64::NAN), key(-f64::NAN));
+        // Canonicalization must not fold distinct ordinary values.
+        assert_ne!(key(0.0), key(f64::MIN_POSITIVE));
+        assert_ne!(key(1.0), key(-1.0));
     }
 
     #[test]
@@ -666,6 +843,61 @@ mod tests {
         // Same slot read at the wrong type: a miss, not a panic.
         let wrong: Option<Arc<String>> = ctx.cache_get("stage", key).unwrap();
         assert!(wrong.is_none());
+    }
+
+    #[test]
+    fn type_mismatch_counts_a_miss_and_evicts_the_entry() {
+        // Regression test: `get` used to count a type-mismatched entry as
+        // a *hit* even though the caller's downcast failed and the stage
+        // recomputed, so the published hit rate overstated cache utility.
+        let cache = ArtifactCache::default();
+        let key = ContentKey([3, 4]);
+        cache.insert("stage", key, Arc::new(42u32)).unwrap();
+        let wrong: Option<Arc<String>> = cache.get_as("stage", key).unwrap();
+        assert!(wrong.is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 0, "a failed downcast must not count a hit");
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.evictions, 1, "the mismatched entry is evicted");
+        assert_eq!(stats.entries, 0);
+        // The slot is free again: a correctly-typed insert works.
+        cache.insert("stage", key, Arc::new(1u32)).unwrap();
+        let right: Option<Arc<u32>> = cache.get_as("stage", key).unwrap();
+        assert_eq!(right.as_deref(), Some(&1));
+    }
+
+    #[test]
+    fn stats_snapshot_is_internally_consistent_under_load() {
+        // Counters tick under the same lock that guards the map, so any
+        // concurrent snapshot must satisfy the bookkeeping invariant of
+        // the get-then-put protocol below: every stored entry was
+        // inserted after a counted miss, hence entries ≤ misses. Before
+        // the fix, counters ticked after the lock was dropped, so a
+        // snapshot could observe the inserted entry before its miss.
+        let cache = Arc::new(ArtifactCache::new(64));
+        std::thread::scope(|scope| {
+            let snapshotter = {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    for _ in 0..500 {
+                        let s = cache.stats();
+                        assert!(s.entries as u64 <= s.misses, "torn snapshot: {s:?}");
+                    }
+                })
+            };
+            for t in 0..4u64 {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    for i in 0..500u64 {
+                        let key = ContentKey([t, i % 32]);
+                        if cache.get_as::<u64>("s", key).unwrap().is_none() {
+                            cache.insert("s", key, Arc::new(i)).unwrap();
+                        }
+                    }
+                });
+            }
+            snapshotter.join().unwrap();
+        });
     }
 
     #[test]

@@ -155,6 +155,12 @@ impl Layout {
         self.positions[node.0]
     }
 
+    /// The full node placement, indexed by node id.
+    #[must_use]
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
     /// Number of routed waveguides.
     #[must_use]
     pub fn waveguide_count(&self) -> usize {

@@ -5,11 +5,13 @@
 //! sring-cli synth   --benchmark mwd [--method sring|ornoc|ctoring|xring]
 //!                   [--pitch 0.26] [--threads N] [--svg out.svg]
 //!                   [--crosstalk] [--report] [--solver-stats]
-//!                   [--no-cache] [--cache-stats]
+//!                   [--no-cache] [--cache-stats] [--cache-dir DIR]
 //!                   [--trace] [--trace-json out.json]
 //! sring-cli compare --benchmark vopd [--pitch 0.26] [--threads N]
-//!                   [--no-cache] [--cache-stats]
+//!                   [--no-cache] [--cache-stats] [--cache-dir DIR]
 //!                   [--trace] [--trace-json out.json]
+//! sring-cli export  --cache-dir DIR --archive FILE
+//! sring-cli import  --cache-dir DIR --archive FILE
 //! sring-cli trace-check <trace.json> [--phase NAME]...
 //! ```
 //!
@@ -19,7 +21,13 @@
 //!
 //! Both pipeline commands run with a content-keyed artifact cache by
 //! default (`--no-cache` disables it); `--cache-stats` prints the
-//! hit/miss/eviction totals to stderr after the run.
+//! hit/miss/eviction totals to stderr after the run. `--cache-dir DIR`
+//! adds a persistent on-disk tier under `DIR`: lookups fall through
+//! memory → disk → compute, results are written through, and damaged or
+//! version-skewed files are skipped and counted, never trusted.
+//! `export` packs such a directory into one portable archive file;
+//! `import` unpacks an archive into a directory, skipping and counting
+//! any records that fail validation.
 //!
 //! `--trace` prints the per-phase breakdown to stderr; `--trace-json`
 //! writes the machine-readable trace report. `trace-check` validates such
@@ -27,7 +35,9 @@
 //! top-level span times must sum to the recorded `total_ns` runtime
 //! within 10% (plus a 5 ms floor for very short runs).
 
+use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sring::core::{AssignmentStrategy, SringConfig, SringSynthesizer};
@@ -38,12 +48,13 @@ use sring::graph::benchmarks::Benchmark;
 use sring::graph::CommGraph;
 use sring::layout::svg;
 use sring::photonics::{analyze_crosstalk, render_report};
+use sring::store::{export_to_path, import_from_path, DiskStore};
 use sring::trace::{Trace, TraceReport};
 use sring::units::{Millimeters, TechnologyParameters};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  sring-cli list\n  sring-cli synth --benchmark <name> [--method sring|ornoc|ctoring|xring] [--pitch <mm>] [--threads <n>] [--svg <path>] [--crosstalk] [--report] [--solver-stats] [--no-cache] [--cache-stats] [--trace] [--trace-json <path>]\n  sring-cli compare --benchmark <name> [--pitch <mm>] [--threads <n>] [--no-cache] [--cache-stats] [--trace] [--trace-json <path>]\n  sring-cli trace-check <trace.json> [--phase <path>]..."
+        "usage:\n  sring-cli list\n  sring-cli synth --benchmark <name> [--method sring|ornoc|ctoring|xring] [--pitch <mm>] [--threads <n>] [--svg <path>] [--crosstalk] [--report] [--solver-stats] [--no-cache] [--cache-stats] [--cache-dir <dir>] [--trace] [--trace-json <path>]\n  sring-cli compare --benchmark <name> [--pitch <mm>] [--threads <n>] [--no-cache] [--cache-stats] [--cache-dir <dir>] [--trace] [--trace-json <path>]\n  sring-cli export --cache-dir <dir> --archive <file>\n  sring-cli import --cache-dir <dir> --archive <file>\n  sring-cli trace-check <trace.json> [--phase <path>]..."
     );
     ExitCode::from(2)
 }
@@ -209,7 +220,10 @@ fn method_with_threads(method: Method, threads: usize) -> Method {
 /// Builds the execution context for a pipeline command: the trace handle
 /// is live when `--trace` or `--trace-json` was given (disabled and
 /// zero-cost otherwise), the artifact cache is on unless `--no-cache`,
-/// and `--threads` becomes the context's thread budget.
+/// `--cache-dir` attaches the persistent disk tier, and `--threads`
+/// becomes the context's thread budget. `--no-cache` disables both
+/// tiers: a run that asked for no caching must not read or write disk
+/// state either.
 fn ctx_from_args(args: &Args) -> Result<(ExecCtx, Option<String>), String> {
     let json_path = args.value("trace-json")?.map(str::to_string);
     let trace = Trace::enabled_if(json_path.is_some() || args.has("trace"));
@@ -218,6 +232,10 @@ fn ctx_from_args(args: &Args) -> Result<(ExecCtx, Option<String>), String> {
         .with_threads(parse_threads(args)?);
     if args.has("no-cache") {
         ctx = ctx.without_cache();
+    } else if let Some(dir) = args.value("cache-dir")? {
+        let store =
+            DiskStore::open(dir).map_err(|e| format!("cannot open cache dir {dir}: {e}"))?;
+        ctx = ctx.with_store(Arc::new(store));
     }
     Ok((ctx, json_path))
 }
@@ -239,6 +257,12 @@ fn emit_cache_stats(ctx: &ExecCtx, args: &Args) {
             s.evictions
         ),
         None => eprintln!("cache: disabled (--no-cache)"),
+    }
+    if let Some(s) = ctx.store_stats() {
+        eprintln!(
+            "disk cache: {} hits, {} misses, {} corrupt, {} version skips, {} writes, {} write errors",
+            s.hits, s.misses, s.corrupt, s.version_skips, s.writes, s.write_errors
+        );
     }
 }
 
@@ -401,6 +425,55 @@ fn run_compare(args: &Args, tech: &TechnologyParameters, started: Instant) -> Re
     emit_trace(&trace, trace_json.as_deref(), args.has("trace"), started)
 }
 
+/// Resolves the `--cache-dir`/`--archive` pair shared by `export` and
+/// `import`.
+fn store_and_archive<'a>(args: &'a Args, command: &str) -> Result<(DiskStore, &'a str), CliError> {
+    let dir = args
+        .value("cache-dir")?
+        .ok_or_else(|| CliError::usage(format!("{command} needs --cache-dir <dir>")))?;
+    let path = args
+        .value("archive")?
+        .ok_or_else(|| CliError::usage(format!("{command} needs --archive <file>")))?;
+    let store = DiskStore::open(dir)
+        .map_err(|e| CliError::runtime(format!("cannot open cache dir {dir}: {e}")))?;
+    Ok((store, path))
+}
+
+/// `export`: packs a cache directory into one portable archive file.
+/// Records that fail validation on the way out are skipped and counted —
+/// corruption is reported, never laundered into a clean archive.
+fn run_export(args: &Args) -> Result<(), CliError> {
+    let (store, path) = store_and_archive(args, "export")?;
+    let summary = export_to_path(&store, Path::new(path))
+        .map_err(|e| CliError::runtime(format!("export failed: {e}")))?;
+    if summary.skipped > 0 {
+        eprintln!(
+            "warning: {} corrupt or unreadable record(s) skipped during export",
+            summary.skipped
+        );
+    }
+    println!("exported {summary} to {path}");
+    Ok(())
+}
+
+/// `import`: unpacks an archive into a cache directory. Damaged or
+/// version-skewed records are skipped and counted; only an archive that
+/// cannot be interpreted at all (bad magic, future version, I/O failure)
+/// is an error.
+fn run_import(args: &Args) -> Result<(), CliError> {
+    let (store, path) = store_and_archive(args, "import")?;
+    let summary = import_from_path(&store, Path::new(path))
+        .map_err(|e| CliError::runtime(format!("import failed: {e}")))?;
+    if summary.skipped > 0 {
+        eprintln!(
+            "warning: {} record(s) skipped during import (corrupt or version-skewed)",
+            summary.skipped
+        );
+    }
+    println!("imported {summary} from {path}");
+    Ok(())
+}
+
 /// How far the top-level span sum may drift from the recorded runtime:
 /// 10% of the runtime, with a 5 ms floor so sub-millisecond runs are not
 /// failed on scheduler noise.
@@ -487,6 +560,16 @@ fn main() -> ExitCode {
                 run_synth(&args, &tech, started)
             } else {
                 run_compare(&args, &tech, started)
+            }
+        }
+        "export" | "import" => {
+            let Some(args) = Args::parse(rest) else {
+                return usage();
+            };
+            if command == "export" {
+                run_export(&args)
+            } else {
+                run_import(&args)
             }
         }
         "trace-check" => run_trace_check(rest),

@@ -15,6 +15,9 @@
 //! * [`ctx`] — the unified execution context threaded through every
 //!   pipeline entry point: trace handle, content-addressed artifact
 //!   cache, deadline and thread budget,
+//! * [`store`] — the persistent on-disk artifact tier: a versioned,
+//!   checksummed interchange format, the disk cache behind the in-memory
+//!   one, and portable export/import archives,
 //! * [`baselines`] — ORNoC, CTORing and XRing,
 //! * [`core`] — the SRing synthesis pipeline itself,
 //! * [`eval`] — the harness that regenerates every table and figure,
@@ -45,6 +48,7 @@ pub use onoc_graph as graph;
 pub use onoc_layout as layout;
 pub use onoc_photonics as photonics;
 pub use onoc_sim as simulation;
+pub use onoc_store as store;
 pub use onoc_trace as trace;
 pub use onoc_units as units;
 pub use sring_core as core;

@@ -165,6 +165,47 @@ fn deadline_bearing_contexts_do_not_poison_the_cache() {
 }
 
 #[test]
+fn lru_eviction_respects_get_recency() {
+    // A hit must refresh an entry's recency: after touching the oldest
+    // entry, a capacity-forced eviction removes the *untouched* one.
+    use sring::ctx::{ArtifactCache, ContentHasher, ContentKey};
+    use std::sync::Arc;
+
+    fn key_of(k: u64) -> ContentKey {
+        let mut h = ContentHasher::new();
+        h.write_u64(k);
+        h.finish()
+    }
+
+    let cache = Arc::new(ArtifactCache::new(2));
+    let ctx = ExecCtx::new().with_cache(Arc::clone(&cache));
+    ctx.cache_put("stage", key_of(1), 1u64).expect("healthy");
+    ctx.cache_put("stage", key_of(2), 2u64).expect("healthy");
+    // Refresh entry 1 — it is now the most recently used of the two.
+    assert!(ctx
+        .cache_get::<u64>("stage", key_of(1))
+        .expect("healthy")
+        .is_some());
+    // Inserting a third entry must evict entry 2, not the refreshed 1.
+    ctx.cache_put("stage", key_of(3), 3u64).expect("healthy");
+    assert!(
+        ctx.cache_get::<u64>("stage", key_of(1))
+            .expect("healthy")
+            .is_some(),
+        "refreshed entry was evicted despite being most recently used"
+    );
+    assert!(
+        ctx.cache_get::<u64>("stage", key_of(2))
+            .expect("healthy")
+            .is_none(),
+        "stale entry survived a capacity-forced eviction"
+    );
+    let stats = cache.stats();
+    assert_eq!(stats.evictions, 1);
+    assert_eq!(stats.entries, 2);
+}
+
+#[test]
 fn seeded_multithread_stress_keeps_the_cache_consistent() {
     // N workers hammer one shared ArtifactCache with a seeded (fully
     // deterministic) mix of gets and puts over a key space larger than
