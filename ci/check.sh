@@ -23,9 +23,15 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
 # Solver smoke check: solve the MWD assignment MILP warm and cold
 # (sub-second) and fail on any solver error or empty statistics. The JSON
-# goes to a scratch path so the tracked BENCH_milp.json (full three-
-# benchmark run) is not clobbered by a partial one.
+# goes to a scratch path so the tracked BENCH_milp.json (full tracked
+# run) is not clobbered by a partial one.
 ./target/release/milp_stats "${TMPDIR:-/tmp}/BENCH_milp_smoke.json" --benchmark mwd
+
+# Optimality gate: the sparse revised simplex must prove the VOPD
+# assignment MILP optimal within the default budgets (the headline
+# capability of the factorized-basis work). Release mode, warm path.
+./target/release/milp_stats "${TMPDIR:-/tmp}/BENCH_milp_vopd.json" \
+    --benchmark vopd --require-optimal
 
 # Artifact-cache smoke check: the cached strategy sweep must record
 # cache hits, match the uncached sweep bit-for-bit, and be >= 1.5x

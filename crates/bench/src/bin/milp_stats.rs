@@ -6,11 +6,14 @@
 //!
 //! ```text
 //! milp_stats [out.json] [--benchmark mwd] [--threads N] [--trace-json t.json]
+//!            [--require-optimal] [--time-limit SECS]
 //! ```
 //!
 //! Exits non-zero when any solve fails or reports empty statistics, which
 //! makes the binary double as a CI smoke check (`ci/check.sh` runs it on
-//! MWD alone).
+//! MWD alone). `--require-optimal` additionally fails the run when any
+//! selected benchmark's warm solve ends without a proven optimum — the
+//! release-mode gate `ci/check.sh` holds VOPD to.
 
 use milp_solver::SolveStats;
 use onoc_bench::{
@@ -23,9 +26,10 @@ use std::fmt::Write as _;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
-/// The benchmarks whose assignment MILPs are tracked (the paper's three
-/// headline applications).
-const TRACKED: [&str; 3] = ["MWD", "VOPD", "MPEG"];
+/// The benchmarks whose assignment MILPs are tracked: the paper's three
+/// headline applications plus the smallest processor-memory network,
+/// added once the sparse simplex brought its model within reach.
+const TRACKED: [&str; 4] = ["MWD", "VOPD", "MPEG", "8PM-24"];
 
 struct Run {
     wall_s: f64,
@@ -80,7 +84,10 @@ fn json_run(out: &mut String, label: &str, run: &Run) {
          \"warm_start_hits\": {},\n      \"non_root_warm_rate\": {:.4},\n      \
          \"lp_time_s\": {:.6},\n      \"time_in_dual_s\": {:.6},\n      \
          \"time_in_primal_s\": {:.6},\n      \"presolve_time_s\": {:.6},\n      \
-         \"solve_time_s\": {:.6},\n      \"max_depth\": {}\n    }}",
+         \"solve_time_s\": {:.6},\n      \"max_depth\": {},\n      \
+         \"refactorizations\": {},\n      \"eta_updates\": {},\n      \
+         \"max_eta_chain\": {},\n      \"max_fill_in\": {},\n      \
+         \"presolve_cols_removed\": {}\n    }}",
         run.wall_s,
         run.objective,
         run.proven_optimal,
@@ -99,6 +106,11 @@ fn json_run(out: &mut String, label: &str, run: &Run) {
         s.presolve_time.as_secs_f64(),
         s.solve_time.as_secs_f64(),
         s.max_depth(),
+        s.refactorizations,
+        s.eta_updates,
+        s.max_eta_chain,
+        s.max_fill_in,
+        s.presolve_cols_removed,
     );
 }
 
@@ -117,6 +129,28 @@ fn main() -> ExitCode {
     // No artifact cache here: the recorded wall-clocks and solver
     // counters must always measure uncached work.
     let ctx = harness_ctx(&trace, 0, true);
+    let require_optimal = if let Some(pos) = raw.iter().position(|a| a == "--require-optimal") {
+        raw.remove(pos);
+        true
+    } else {
+        false
+    };
+    let mut time_limit: Option<Duration> = None;
+    if let Some(pos) = raw.iter().position(|a| a == "--time-limit") {
+        raw.remove(pos);
+        if pos < raw.len() {
+            match raw.remove(pos).parse::<f64>() {
+                Ok(s) if s > 0.0 => time_limit = Some(Duration::from_secs_f64(s)),
+                _ => {
+                    eprintln!("error: --time-limit needs a positive number of seconds");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            eprintln!("error: --time-limit needs a value");
+            return ExitCode::from(2);
+        }
+    }
     let mut only: Option<String> = None;
     if let Some(pos) = raw.iter().position(|a| a == "--benchmark") {
         raw.remove(pos);
@@ -159,6 +193,7 @@ fn main() -> ExitCode {
             b,
             MilpOptions {
                 threads,
+                time_limit: time_limit.unwrap_or(MilpOptions::default().time_limit),
                 ..MilpOptions::default()
             },
             &ctx,
@@ -169,6 +204,15 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
+        if require_optimal && !warm.proven_optimal {
+            eprintln!(
+                "error: {}: warm solve ended without a proven optimum (objective {:.6}, {} nodes)",
+                b.name(),
+                warm.objective,
+                warm.stats.nodes_explored
+            );
+            return ExitCode::FAILURE;
+        }
         // The cold baseline gets the warm run's node count as its node
         // budget with a relaxed wall-clock limit: on the larger models the
         // default time limit truncates the cold search after far fewer

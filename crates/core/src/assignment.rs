@@ -10,12 +10,14 @@
 //! wavelength worst-case losses `Σ il_λ^max` (Eq. 7) with weights
 //! `α = β = γ = 1`.
 
-use milp_solver::{Model, ModelError, Sense, SolveOptions as MilpSolveOptions, SolveStats, Status};
+use milp_solver::{
+    Model, ModelError, Sense, SolveOptions as MilpSolveOptions, SolveStats, Status, VarType,
+};
 use onoc_ctx::ExecCtx;
 use onoc_graph::NodeId;
 use onoc_trace::Trace;
 use onoc_units::{Decibels, Wavelength};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::time::Duration;
 
@@ -208,6 +210,12 @@ pub struct MilpOptions {
     /// two-phase primal solves at every node — useful only as a baseline
     /// when benchmarking.
     pub warm_basis: bool,
+    /// Run the solver's conservative presolve reductions (singleton rows,
+    /// forcing rows, integer bound rounding, fixed/dominated column
+    /// elimination) before the tree search (on by default). `false` feeds
+    /// the model to branch and bound untouched — useful as an ablation
+    /// baseline; both settings reach the same optimum.
+    pub presolve: bool,
 }
 
 impl Default for MilpOptions {
@@ -218,6 +226,7 @@ impl Default for MilpOptions {
             node_limit: 20_000,
             threads: 1,
             warm_basis: true,
+            presolve: true,
         }
     }
 }
@@ -373,12 +382,20 @@ fn record_solver_stats(trace: &Trace, stats: &SolveStats) {
     trace.incr("milp/phase1_solves", stats.phase1_solves as u64);
     trace.incr("milp/warm_start_attempts", stats.warm_start_attempts as u64);
     trace.incr("milp/warm_start_hits", stats.warm_start_hits as u64);
+    trace.incr("milp/refactorizations", stats.refactorizations as u64);
+    trace.incr("milp/eta_updates", stats.eta_updates as u64);
+    trace.incr(
+        "milp/presolve_cols_removed",
+        stats.presolve_cols_removed as u64,
+    );
     for (depth, &count) in stats.nodes_by_depth.iter().enumerate() {
         if count > 0 {
             trace.incr(&format!("milp/nodes_at_depth/{depth:02}"), count as u64);
         }
     }
     trace.gauge("milp/warm_hit_rate", stats.warm_hit_rate());
+    trace.gauge("milp/max_eta_chain", stats.max_eta_chain as f64);
+    trace.gauge("milp/max_fill_in", stats.max_fill_in as f64);
 }
 
 fn finish(
@@ -551,6 +568,205 @@ fn partial_objective(problem: &AssignmentProblem, assignment: &[Wavelength]) -> 
     used.len() as f64 + il_smax + sum_il
 }
 
+/// The `Σ_λ il_max[λ]` term of Eq. 8 for a complete assignment: the sum
+/// over used wavelengths of the maximum member insertion loss, splitter
+/// penalties included (a source whose intra and inter senders share a
+/// wavelength taxes every path it drives). This is the exact quantity
+/// the MILP's `Σ il_max` takes at the corresponding integer point.
+fn sum_il_max(problem: &AssignmentProblem, assignment: &[Wavelength]) -> f64 {
+    const UNASSIGNED: Wavelength = Wavelength(usize::MAX);
+    let n = assignment.len();
+    let mut split = vec![false; problem.node_count];
+    for i in 0..n {
+        if !problem.paths[i].is_inter || assignment[i] == UNASSIGNED {
+            continue;
+        }
+        for j in 0..n {
+            if i != j
+                && !problem.paths[j].is_inter
+                && assignment[j] != UNASSIGNED
+                && problem.paths[i].src == problem.paths[j].src
+                && assignment[i] == assignment[j]
+            {
+                split[problem.paths[i].src.index()] = true;
+            }
+        }
+    }
+    let il = |i: usize| {
+        problem.paths[i].loss.0
+            + if split[problem.paths[i].src.index()] {
+                problem.splitter_loss.0
+            } else {
+                0.0
+            }
+    };
+    let used: BTreeSet<Wavelength> = assignment
+        .iter()
+        .copied()
+        .filter(|&w| w != Wavelength(usize::MAX))
+        .collect();
+    used.iter()
+        .map(|&w| {
+            (0..n)
+                .filter(|&i| assignment[i] == w)
+                .map(il)
+                .fold(0.0, f64::max)
+        })
+        .sum()
+}
+
+/// Exact guaranteed `Σ il_max` surplus over a clique's loss sum when the
+/// wavelength count equals the clique size (the pigeonhole cut in
+/// [`milp_assignment`]). With `wl_count = |C|` the clique members occupy
+/// the used wavelengths bijectively, so every outside path is a "guest"
+/// of exactly one non-conflicting member ("host"), co-located guests are
+/// pairwise conflict-free, and a wavelength's `il_max` is the loss
+/// maximum over its host and guests. The minimum total surplus over all
+/// such hostings lower-bounds every feasible integer point; a small
+/// exhaustive search finds it exactly over the guests that can
+/// contribute surplus at all (non-gainful guests never raise any
+/// wavelength's maximum, and dropping a guest only lowers the minimum,
+/// so truncating the guest list keeps the bound valid). Returns `+∞`
+/// when some outside path conflicts with every member — `wl_count = |C|`
+/// is then itself infeasible.
+fn pigeonhole_surplus(problem: &AssignmentProblem, set: &[usize]) -> f64 {
+    let loss = |s: usize| problem.paths[s].loss.0;
+    let conflict = |a: usize, b: usize| problem.conflicts[a].binary_search(&b).is_ok();
+    // Guests that must pay a surplus at every compatible host.
+    let mut guests: Vec<(f64, usize, Vec<usize>)> = Vec::new(); // (min gain, t, hosts)
+    for t in 0..problem.paths.len() {
+        if set.contains(&t) {
+            continue;
+        }
+        let hosts: Vec<usize> = (0..set.len()).filter(|&i| !conflict(t, set[i])).collect();
+        if hosts.is_empty() {
+            return f64::INFINITY;
+        }
+        let min_gain = hosts
+            .iter()
+            .map(|&i| loss(t).max(loss(set[i])) - loss(set[i]))
+            .fold(f64::INFINITY, f64::min);
+        guests.push((min_gain, t, hosts));
+    }
+    if guests.is_empty() {
+        return 0.0;
+    }
+    // Largest individual gains first: strongest pruning, and the order in
+    // which truncation (the fallback below) keeps the most information.
+    // Zero-gain guests still matter — co-location conflicts can force
+    // them onto costly hosts — so they stay in the search, heaviest
+    // first.
+    guests.sort_by(|a, b| {
+        b.0.total_cmp(&a.0)
+            .then_with(|| loss(b.1).total_cmp(&loss(a.1)))
+            .then(a.1.cmp(&b.1))
+    });
+
+    // DFS over host assignments, tracking each host's guest-loss maximum.
+    // The step budget bounds the exhaustive search; `None` means it was
+    // exceeded and the caller must retry on a relaxed guest list.
+    #[allow(clippy::too_many_arguments)] // recursion over the enclosing fn's locals
+    fn dfs(
+        problem: &AssignmentProblem,
+        guests: &[(f64, usize, Vec<usize>)],
+        k: usize,
+        set: &[usize],
+        occupants: &mut Vec<Vec<usize>>,
+        loss: &dyn Fn(usize) -> f64,
+        conflict: &dyn Fn(usize, usize) -> bool,
+        total: f64,
+        best: &mut f64,
+        steps: &mut usize,
+    ) -> Option<()> {
+        if *steps == 0 {
+            return None;
+        }
+        *steps -= 1;
+        if total >= *best {
+            return Some(());
+        }
+        let Some((_, t, hosts)) = guests.get(k) else {
+            // Leaf: score the hosting exactly, splitter penalties
+            // included — the splitterless running `total` is only the
+            // optimistic bound used for pruning. Guests beyond a
+            // truncated list stay unassigned, which can only lower the
+            // score (fewer co-locations, fewer maxima), keeping the
+            // minimum a valid bound.
+            let mut assignment = vec![Wavelength(usize::MAX); problem.paths.len()];
+            let mut base = 0.0;
+            for (i, &c) in set.iter().enumerate() {
+                assignment[c] = Wavelength(i);
+                base += loss(c);
+                for &g in &occupants[i] {
+                    assignment[g] = Wavelength(i);
+                }
+            }
+            let surplus = sum_il_max(problem, &assignment) - base;
+            if surplus < *best {
+                *best = surplus;
+            }
+            return Some(());
+        };
+        for &i in hosts {
+            if occupants[i].iter().any(|&q| conflict(*t, q)) {
+                continue;
+            }
+            let host_loss = loss(set[i]);
+            let old = occupants[i]
+                .iter()
+                .map(|&q| loss(q))
+                .fold(host_loss, f64::max);
+            let delta = loss(*t).max(old) - old;
+            occupants[i].push(*t);
+            let r = dfs(
+                problem,
+                guests,
+                k + 1,
+                set,
+                occupants,
+                loss,
+                conflict,
+                total + delta,
+                best,
+                steps,
+            );
+            occupants[i].pop();
+            r?;
+        }
+        Some(())
+    }
+    // Exhausting the step budget means the best-so-far is only an upper
+    // bound on the hosting minimum — unusable. Dropping trailing guests
+    // relaxes the problem (a smaller minimum, still valid), so retry on
+    // ever-shorter prefixes until the search completes; the empty prefix
+    // trivially does.
+    let mut len = guests.len();
+    loop {
+        let mut best = f64::INFINITY;
+        let mut occupants = vec![Vec::new(); set.len()];
+        let mut steps = 1_000_000usize;
+        if dfs(
+            problem,
+            &guests[..len],
+            0,
+            set,
+            &mut occupants,
+            &loss,
+            &conflict,
+            0.0,
+            &mut best,
+            &mut steps,
+        )
+        .is_some()
+        {
+            // Every branch infeasible: the guests cannot be hosted at
+            // all, so wl_count = |C| is infeasible outright.
+            return best;
+        }
+        len = len.saturating_sub(2);
+    }
+}
+
 /// Builds and solves the paper's MILP. Returns the wavelength vector and
 /// whether optimality (over the offered pool) was proven.
 fn milp_assignment(
@@ -562,7 +778,6 @@ fn milp_assignment(
     let heuristic_wl = warm.iter().map(|w| w.index() + 1).max().unwrap_or(1);
     let pool = (heuristic_wl + opts.pool_slack).min(n.max(1));
     let l_sp = problem.splitter_loss.0;
-    let xi = problem.paths.iter().map(|p| p.loss.0).fold(0.0, f64::max) + l_sp + 1.0;
 
     let mut m = Model::new();
     // b[s][λ] — Eq. 1 variables.
@@ -585,29 +800,142 @@ fn milp_assignment(
     let il_max: Vec<_> = (0..pool)
         .map(|l| m.add_continuous(format!("ilmax_{l}")))
         .collect();
+    // Aggregate wavelength count, declared integer and tied to Σu below.
+    // Redundant at integer points, but it hands branch and bound the one
+    // dichotomy the b/u variables cannot express: a fractional LP count
+    // of 6.4 wavelengths branches directly into Σu ≤ 6 vs Σu ≥ 7, which
+    // is how the last sliver of the i_wl gap closes.
+    let wl_count = m.add_var(VarType::Integer, 0.0, pool as f64, "wl_count")?;
 
     // Eq. 1: each path gets exactly one wavelength.
     for bs in &b {
         let sum: Vec<_> = bs.iter().map(|&v| (v, 1.0)).collect();
         m.add_constraint(sum, Sense::Eq, 1.0)?;
     }
-    // Eq. 2: conflicting paths use distinct wavelengths. The paper sums
-    // over the whole conflict set of `s`; that aggregated form is only
-    // valid when the set is a clique, so we post the exact pairwise form.
-    for s in 0..n {
-        for &q in &problem.conflicts[s] {
-            if q < s {
-                continue; // each pair once
-            }
-            for (&bs, &bq) in b[s].iter().zip(&b[q]) {
-                m.add_constraint([(bs, 1.0), (bq, 1.0)], Sense::Le, 1.0)?;
+    // Eq. 2 + Eq. 3, posted as channel cliques: all paths occupying one
+    // waveguide channel mutually conflict (that is exactly how
+    // `conflicts` is derived), so for every channel `c` and wavelength λ
+    // the clique row Σ_{s∈c} b[s][λ] ≤ u[λ] is valid — and it both
+    // implies every pairwise conflict constraint of Eq. 2 and dominates
+    // the per-path u ≥ b linearization of Eq. 3 for the covered paths.
+    // The aggregated form the paper writes is safe here precisely
+    // because each set is a clique; the LP relaxation it induces is far
+    // tighter than the pairwise one (a fractional spread over k
+    // conflicting paths must still buy a full wavelength), which is what
+    // lets branch and bound close VOPD/MPEG-sized trees.
+    let mut cliques: Vec<Vec<usize>> = {
+        let mut by_channel: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
+        for (s, p) in problem.paths.iter().enumerate() {
+            for &c in &p.channels {
+                by_channel.entry(c).or_default().push(s);
             }
         }
+        let mut sets: Vec<Vec<usize>> = by_channel.into_values().collect();
+        for set in &mut sets {
+            set.dedup();
+        }
+        sets.sort();
+        sets.dedup();
+        sets
+    };
+    // Drop cliques contained in another (their rows are implied).
+    cliques = {
+        let all = cliques.clone();
+        cliques
+            .into_iter()
+            .filter(|c| {
+                !all.iter()
+                    .any(|o| o.len() > c.len() && c.iter().all(|s| o.binary_search(s).is_ok()))
+            })
+            .collect()
+    };
+    let mut covered = vec![false; n];
+    for clique in &cliques {
+        for &s in clique {
+            covered[s] = true;
+        }
+        for l in 0..pool {
+            let mut row: Vec<_> = clique.iter().map(|&s| (b[s][l], 1.0)).collect();
+            row.push((u[l], -1.0));
+            m.add_constraint(row, Sense::Le, 0.0)?;
+        }
     }
-    // Eq. 3 linearization: u[λ] ≥ b[s][λ].
-    for bs in &b {
+    // Paths in no clique still need the plain Eq. 3 rows u[λ] ≥ b[s][λ].
+    for (s, bs) in b.iter().enumerate() {
+        if covered[s] {
+            continue;
+        }
         for l in 0..pool {
             m.add_constraint([(u[l], 1.0), (bs[l], -1.0)], Sense::Ge, 0.0)?;
+        }
+    }
+    // Clique loss cuts: the paths of a clique sit on pairwise-distinct
+    // wavelengths, and the wavelength carrying `s` has (Eq. 7)
+    // il_max ≥ L_s + b_sp·L_sp, so summing over the clique's distinct
+    // wavelengths (every other il_max is ≥ 0):
+    //     Σ_λ il_max[λ] ≥ Σ_{s∈C} (L_s + b_sp(src(s))·L_sp).
+    // Redundant at integer points but a large lift for the LP
+    // relaxation, where Σ il_max otherwise collapses toward zero under
+    // fractional b. Posted per maximal channel clique and per uncovered
+    // path (the singleton case).
+    {
+        let mut cut_sets: Vec<Vec<usize>> = cliques.clone();
+        for (s, &cov) in covered.iter().enumerate() {
+            if !cov {
+                cut_sets.push(vec![s]);
+            }
+        }
+        // Each cut row is dense in the il_max block, and a pile of
+        // near-parallel dense rows makes the warm dual re-solves heavily
+        // degenerate. The bound lift is concentrated in the heaviest
+        // cliques, so keep only the strongest few by total loss.
+        cut_sets.sort_by(|a, b| {
+            let la: f64 = a.iter().map(|&s| problem.paths[s].loss.0).sum();
+            let lb: f64 = b.iter().map(|&s| problem.paths[s].loss.0).sum();
+            lb.total_cmp(&la)
+        });
+        cut_sets.truncate(2);
+        for set in cut_sets {
+            let mut row: Vec<(milp_solver::Var, f64)> = il_max.iter().map(|&v| (v, 1.0)).collect();
+            let mut rhs = 0.0;
+            for &s in &set {
+                // onoc-lint: allow(L1, reason = "every path src is in sender_nodes, so its bsp var exists by construction")
+                let node_bsp = bsp[problem.paths[s].src.index()].expect("sender has bsp");
+                row.push((node_bsp, -l_sp));
+                rhs += problem.paths[s].loss.0;
+            }
+            m.add_constraint(row, Sense::Ge, rhs)?;
+
+            // Conditional pigeonhole tightening. When wl_count = |C|, the
+            // |C| mutually conflicting paths occupy the used wavelengths
+            // bijectively, so every outside path t shares its wavelength
+            // with exactly one clique member ("host") it does not
+            // conflict with, and that wavelength's il_max is
+            // ≥ max(L_t, L_host), not just L_host. The guaranteed joint
+            // surplus G over all such configurations is computed exactly
+            // by `pigeonhole_surplus` below; the row
+            //     Σ il_max + G·wl_count ≥ Σ_C L_c + G·(|C| + 1)
+            // is then valid at every integer point: exact at
+            // wl_count = |C|, the plain clique cut above at |C| + 1, and
+            // strictly weaker than it beyond. This closes min-max slack
+            // that no per-wavelength row can see — the LP otherwise piles
+            // the whole clique loss sum onto one il_max and dodges the
+            // second-order pigeonhole cost entirely.
+            let base_sum: f64 = set.iter().map(|&s| problem.paths[s].loss.0).sum();
+            let gain = pigeonhole_surplus(problem, &set);
+            if gain.is_infinite() {
+                // Some outside path conflicts with every clique member:
+                // |C| wavelengths can never suffice.
+                #[allow(clippy::cast_precision_loss)]
+                m.add_constraint([(wl_count, 1.0)], Sense::Ge, (set.len() + 1) as f64)?;
+            } else if gain > 1e-9 {
+                let mut row: Vec<(milp_solver::Var, f64)> =
+                    il_max.iter().map(|&v| (v, 1.0)).collect();
+                row.push((wl_count, gain));
+                #[allow(clippy::cast_precision_loss)]
+                let rhs = base_sum + gain * (set.len() + 1) as f64;
+                m.add_constraint(row, Sense::Ge, rhs)?;
+            }
         }
     }
     // Eq. 4: a node whose intra sender and inter sender share a wavelength
@@ -641,14 +969,20 @@ fn milp_assignment(
             problem.paths[s].loss.0,
         )?;
     }
-    // Eq. 7: il_max[λ] ≥ L_s + b_sp·L_sp − (1 − b[s][λ])·Ξ.
+    // Eq. 7: il_max[λ] ≥ L_s + b_sp·L_sp − (1 − b[s][λ])·Ξ_s. The paper
+    // uses one global big-M; the per-path constant Ξ_s = L_s + L_sp is the
+    // smallest valid one (with b[s][λ] = 0 the right side becomes
+    // b_sp·L_sp − L_sp ≤ 0 ≤ il_max[λ], so no integer point is cut) and
+    // gives a strictly tighter LP relaxation — the branch-and-bound tree
+    // shrinks by an order of magnitude on VOPD/MPEG.
     for s in 0..n {
         let node_bsp = bsp[problem.paths[s].src.index()].expect("sender node has a bsp var");
+        let xi_s = problem.paths[s].loss.0 + l_sp;
         for l in 0..pool {
             m.add_constraint(
-                [(il_max[l], 1.0), (node_bsp, -l_sp), (b[s][l], -xi)],
+                [(il_max[l], 1.0), (node_bsp, -l_sp), (b[s][l], -xi_s)],
                 Sense::Ge,
-                problem.paths[s].loss.0 - xi,
+                problem.paths[s].loss.0 - xi_s,
             )?;
         }
     }
@@ -658,6 +992,12 @@ fn milp_assignment(
         m.add_constraint([(u[l - 1], 1.0), (u[l], -1.0)], Sense::Ge, 0.0)?;
     }
     m.add_constraint([(b[0][0], 1.0)], Sense::Eq, 1.0)?;
+    // wl_count = Σ u (see the variable's declaration above).
+    {
+        let mut row: Vec<_> = u.iter().map(|&v| (v, 1.0)).collect();
+        row.push((wl_count, -1.0));
+        m.add_constraint(row, Sense::Eq, 0.0)?;
+    }
 
     // Eq. 8 with α = β = γ = 1.
     let mut objective: Vec<(milp_solver::Var, f64)> = u.iter().map(|&v| (v, 1.0)).collect();
@@ -677,6 +1017,9 @@ fn milp_assignment(
             start[u[l].index()] = 1.0;
         }
     }
+    start[wl_count.index()] = (0..pool)
+        .filter(|&l| warm.iter().any(|w| w.index() == l))
+        .count() as f64;
     let il = |s: usize| {
         problem.paths[s].loss.0
             + if split[problem.paths[s].src.index()] {
@@ -711,6 +1054,7 @@ fn milp_assignment(
         .with_node_limit(opts.node_limit)
         .with_threads(opts.threads)
         .with_warm_basis(opts.warm_basis)
+        .with_presolve(opts.presolve)
         .with_warm_start(start);
     let sol = m.solve(&options)?;
 

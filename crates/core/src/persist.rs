@@ -373,6 +373,11 @@ fn put_solve_stats(enc: &mut Encoder, s: &SolveStats) {
         phase1_solves,
         warm_start_attempts,
         warm_start_hits,
+        presolve_cols_removed,
+        refactorizations,
+        eta_updates,
+        max_eta_chain,
+        max_fill_in,
         nodes_by_depth,
         time_in_dual,
         time_in_primal,
@@ -386,6 +391,11 @@ fn put_solve_stats(enc: &mut Encoder, s: &SolveStats) {
     enc.put_usize(*phase1_solves);
     enc.put_usize(*warm_start_attempts);
     enc.put_usize(*warm_start_hits);
+    enc.put_usize(*presolve_cols_removed);
+    enc.put_usize(*refactorizations);
+    enc.put_usize(*eta_updates);
+    enc.put_usize(*max_eta_chain);
+    enc.put_usize(*max_fill_in);
     nodes_by_depth.persist(enc);
     time_in_dual.persist(enc);
     time_in_primal.persist(enc);
@@ -402,6 +412,11 @@ fn take_solve_stats(dec: &mut Decoder<'_>) -> Result<SolveStats, DecodeError> {
         phase1_solves: dec.take_usize()?,
         warm_start_attempts: dec.take_usize()?,
         warm_start_hits: dec.take_usize()?,
+        presolve_cols_removed: dec.take_usize()?,
+        refactorizations: dec.take_usize()?,
+        eta_updates: dec.take_usize()?,
+        max_eta_chain: dec.take_usize()?,
+        max_fill_in: dec.take_usize()?,
         nodes_by_depth: Vec::<usize>::restore(dec)?,
         time_in_dual: std::time::Duration::restore(dec)?,
         time_in_primal: std::time::Duration::restore(dec)?,

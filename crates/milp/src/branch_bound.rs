@@ -15,7 +15,7 @@
 
 use crate::model::{Model, ModelError, VarType};
 use crate::simplex::{
-    solve_lp_warm, Basis, LpOptions, LpProblem, LpRow, LpStatus, SimplexWorkspace,
+    solve_lp_warm, Basis, LpEngine, LpOptions, LpProblem, LpRow, LpStatus, SimplexWorkspace,
 };
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -23,6 +23,11 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 pub(crate) const INT_TOL: f64 = 1e-6;
+
+/// Strong-branch candidate cap at the root node: both child LPs of this
+/// many best-ranked fractional variables are solved before the first
+/// branch is committed (see [`evaluate_node`]).
+pub(crate) const STRONG_BRANCH_CANDIDATES: usize = 24;
 
 /// Options controlling the branch-and-bound search.
 #[derive(Debug, Clone)]
@@ -60,6 +65,11 @@ pub struct SolveOptions {
     /// optima — warm starting only changes how each node LP is solved, so
     /// it is safe in deterministic mode too.
     pub warm_basis: bool,
+    /// Which LP engine solves the node relaxations (default
+    /// [`LpEngine::Sparse`]; the dense tableau is retained as a reference
+    /// implementation). Both engines honor the same warm-start and
+    /// determinism contracts.
+    pub lp_engine: LpEngine,
 }
 
 impl Default for SolveOptions {
@@ -73,6 +83,7 @@ impl Default for SolveOptions {
             threads: 1,
             deterministic: true,
             warm_basis: true,
+            lp_engine: LpEngine::default(),
         }
     }
 }
@@ -112,10 +123,24 @@ impl SolveOptions {
         self
     }
 
+    /// Enables or disables the presolve reductions (default enabled).
+    #[must_use]
+    pub fn with_presolve(mut self, presolve: bool) -> Self {
+        self.presolve = presolve;
+        self
+    }
+
     /// Enables or disables warm-started node LPs (default enabled).
     #[must_use]
     pub fn with_warm_basis(mut self, warm_basis: bool) -> Self {
         self.warm_basis = warm_basis;
+        self
+    }
+
+    /// Selects the LP engine for node relaxations (default sparse).
+    #[must_use]
+    pub fn with_lp_engine(mut self, lp_engine: LpEngine) -> Self {
+        self.lp_engine = lp_engine;
         self
     }
 
@@ -158,6 +183,22 @@ pub struct SolveStats {
     /// Warm-start attempts that finished on the dual-simplex path — no
     /// phase-1, no cold start.
     pub warm_start_hits: usize,
+    /// Variables fixed (and hence eliminated from the search) by the
+    /// presolve's empty/dominated-column pass; zero when presolve is off.
+    pub presolve_cols_removed: usize,
+    /// Basis LU factorizations across all node LPs (sparse engine;
+    /// initial factorizations plus refactorizations on eta-chain length,
+    /// tiny eta pivots, or drift).
+    pub refactorizations: usize,
+    /// Product-form eta updates appended across all node LPs (sparse
+    /// engine).
+    pub eta_updates: usize,
+    /// Longest eta chain any node LP reached before refactorizing
+    /// (sparse engine).
+    pub max_eta_chain: usize,
+    /// Peak LU fill-in any node LP saw: nonzeros in `L + U` beyond the
+    /// basis matrix's own (sparse engine).
+    pub max_fill_in: usize,
     /// Explored nodes bucketed by tree depth (`nodes_by_depth[d]` =
     /// nodes at depth `d`); sums to `nodes_explored`.
     pub nodes_by_depth: Vec<usize>,
@@ -228,6 +269,10 @@ impl SolveStats {
         self.phase1_solves += usize::from(result.phase1);
         self.warm_start_attempts += usize::from(attempted_warm);
         self.warm_start_hits += usize::from(result.warm_used);
+        self.refactorizations += result.factor.refactorizations;
+        self.eta_updates += result.factor.eta_updates;
+        self.max_eta_chain = self.max_eta_chain.max(result.factor.max_eta_chain);
+        self.max_fill_in = self.max_fill_in.max(result.factor.max_fill_in);
         // Whole-LP granularity: a warm solve that fell back to the cold
         // path reports `warm_used = false`, so its time (including the
         // abandoned dual attempt) lands in the primal bucket.
@@ -253,6 +298,11 @@ impl SolveStats {
         self.phase1_solves += other.phase1_solves;
         self.warm_start_attempts += other.warm_start_attempts;
         self.warm_start_hits += other.warm_start_hits;
+        self.presolve_cols_removed += other.presolve_cols_removed;
+        self.refactorizations += other.refactorizations;
+        self.eta_updates += other.eta_updates;
+        self.max_eta_chain = self.max_eta_chain.max(other.max_eta_chain);
+        self.max_fill_in = self.max_fill_in.max(other.max_fill_in);
         if self.nodes_by_depth.len() < other.nodes_by_depth.len() {
             self.nodes_by_depth.resize(other.nodes_by_depth.len(), 0);
         }
@@ -355,6 +405,76 @@ pub(crate) struct Node {
     /// The parent node's optimal basis, inherited for warm-starting this
     /// node's LP relaxation.
     pub(crate) basis: Option<Arc<Basis>>,
+    /// Fractional distance the branching moved this node's variable (`f`
+    /// for the down child, `1 − f` for the up child; `0` at the root).
+    /// Solving this node's LP attributes `(lp_obj − bound) / frac` to the
+    /// branch variable's pseudocost.
+    pub(crate) frac: f64,
+}
+
+/// Per-variable branching pseudocosts: the running average LP-bound
+/// degradation per unit of fractional distance, kept separately for the
+/// down and up directions. Variables without observations borrow the
+/// direction's global average, and before any observation exists both
+/// directions default to the same constant — which makes the product
+/// score collapse to `f·(1 − f)`, i.e. plain most-fractional branching.
+///
+/// Each worker keeps its own table (inside [`WorkerScratch`]): serial
+/// searches stay bit-reproducible, and parallel workers avoid contending
+/// on a shared table at the cost of each learning independently.
+#[derive(Default)]
+pub(crate) struct Pseudocosts {
+    down_sum: Vec<f64>,
+    down_cnt: Vec<u32>,
+    up_sum: Vec<f64>,
+    up_cnt: Vec<u32>,
+    down_total: (f64, u32),
+    up_total: (f64, u32),
+}
+
+impl Pseudocosts {
+    fn ensure(&mut self, n: usize) {
+        if self.down_sum.len() < n {
+            self.down_sum.resize(n, 0.0);
+            self.down_cnt.resize(n, 0);
+            self.up_sum.resize(n, 0.0);
+            self.up_cnt.resize(n, 0);
+        }
+    }
+
+    fn observe(&mut self, j: usize, up: bool, per_unit: f64) {
+        if up {
+            self.up_sum[j] += per_unit;
+            self.up_cnt[j] += 1;
+            self.up_total.0 += per_unit;
+            self.up_total.1 += 1;
+        } else {
+            self.down_sum[j] += per_unit;
+            self.down_cnt[j] += 1;
+            self.down_total.0 += per_unit;
+            self.down_total.1 += 1;
+        }
+    }
+
+    /// Per-direction fallback estimates for unobserved variables: the
+    /// global average observation, or `1` before any exist.
+    fn defaults(&self) -> (f64, f64) {
+        let avg = |(sum, cnt): (f64, u32)| if cnt == 0 { 1.0 } else { sum / f64::from(cnt) };
+        (avg(self.down_total), avg(self.up_total))
+    }
+
+    fn estimate(&self, j: usize, up: bool, default: f64) -> f64 {
+        let (sum, cnt) = if up {
+            (self.up_sum[j], self.up_cnt[j])
+        } else {
+            (self.down_sum[j], self.down_cnt[j])
+        };
+        if cnt == 0 {
+            default
+        } else {
+            sum / f64::from(cnt)
+        }
+    }
 }
 
 impl PartialEq for Node {
@@ -493,6 +613,7 @@ pub(crate) struct WorkerScratch {
     pub(crate) lower: Vec<f64>,
     pub(crate) upper: Vec<f64>,
     pub(crate) stats: SolveStats,
+    pub(crate) pseudo: Pseudocosts,
 }
 
 impl WorkerScratch {
@@ -502,6 +623,7 @@ impl WorkerScratch {
             lower: Vec::new(),
             upper: Vec::new(),
             stats: SolveStats::default(),
+            pseudo: Pseudocosts::default(),
         }
     }
 
@@ -537,9 +659,11 @@ pub(crate) fn evaluate_node(
     scratch: &mut WorkerScratch,
 ) -> NodeOutcome {
     scratch.load_bounds(ctx, node);
+    scratch.pseudo.ensure(scratch.lower.len());
     let lp_options = LpOptions {
         deadline: ctx.deadline,
         capture_basis: ctx.options.warm_basis,
+        engine: ctx.options.lp_engine,
     };
     let warm = if ctx.options.warm_basis {
         node.basis.as_deref()
@@ -569,26 +693,131 @@ pub(crate) fn evaluate_node(
         LpStatus::Optimal => {}
     }
     let lp_obj = result.objective;
+    // Credit the branching that created this node with the observed
+    // LP-bound degradation per unit of fractional distance — the
+    // pseudocost update. Free information, so it runs even for nodes the
+    // incumbent is about to prune.
+    if node.frac > INT_TOL {
+        if let Some(change) = node.changes.as_deref() {
+            let degrade = (lp_obj - node.bound).max(0.0);
+            scratch
+                .pseudo
+                .observe(change.var, !change.is_upper, degrade / node.frac);
+        }
+    }
     if let Some(inc) = inc_obj {
         if lp_obj >= inc - 1e-9 {
             return NodeOutcome::PrunedByBound;
         }
     }
 
-    // Find the most fractional integer variable.
-    let mut branch_var: Option<(usize, f64)> = None; // (var, fractionality score)
+    // Pick the branch variable by the pseudocost product rule: estimated
+    // down-degradation × up-degradation, each the direction's learned
+    // per-unit pseudocost times the fractional distance. Unobserved
+    // variables use the global-average defaults, so before any pseudocost
+    // exists the score is `f·(1 − f)` — plain most-fractional branching.
+    let (down_def, up_def) = scratch.pseudo.defaults();
+    let mut candidates: Vec<(usize, f64, f64)> = Vec::new(); // (var, frac, score)
     for &j in ctx.integer_vars {
         let x = result.values[j];
-        let frac = (x - x.round()).abs();
-        if frac > INT_TOL {
-            let score = (x - x.floor() - 0.5).abs(); // smaller = more fractional
-            let better = match branch_var {
+        let frac = x - x.floor();
+        if frac > INT_TOL && frac < 1.0 - INT_TOL {
+            let down = scratch.pseudo.estimate(j, false, down_def) * frac;
+            let up = scratch.pseudo.estimate(j, true, up_def) * (1.0 - frac);
+            candidates.push((j, frac, down.max(1e-9) * up.max(1e-9)));
+        }
+    }
+    let mut branch_var: Option<(usize, f64)> = None; // (var, score; larger = better)
+    for &(j, _, score) in &candidates {
+        let better = match branch_var {
+            None => true,
+            Some((_, best)) => score > best,
+        };
+        if better {
+            branch_var = Some((j, score));
+        }
+    }
+
+    // Root strong branching. At depth 0 no pseudocost has been observed,
+    // so the product rule above is blind most-fractional branching — and
+    // the whole tree shape hangs on that first choice. Spend real LP
+    // solves to make it: for the best-ranked candidates, solve both child
+    // LPs (warm from the root basis) and score by the product of actual
+    // bound degradations. A structurally decisive variable (e.g. an
+    // aggregate count a cut pivots on) has small fractionality but huge
+    // degradation, exactly what the estimate-free score misses. The
+    // observed degradations also seed the pseudocost table, so the rest
+    // of the tree starts informed instead of uniform. Root only: cost is
+    // bounded by `2·STRONG_BRANCH_CANDIDATES` warm LPs per solve.
+    if node.depth == 0 && candidates.len() > 1 {
+        let mut ranked = candidates.clone();
+        ranked.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.0.cmp(&b.0)));
+        ranked.truncate(STRONG_BRANCH_CANDIDATES);
+        let sb_options = LpOptions {
+            deadline: ctx.deadline,
+            capture_basis: false,
+            engine: ctx.options.lp_engine,
+        };
+        let warm_root = result.basis.as_ref();
+        let mut best: Option<(usize, f64)> = None;
+        for &(j, frac, _) in &ranked {
+            // onoc-lint: allow(L4, reason = "deadline poll between strong-branch probes; milp-solver is dependency-free by design")
+            if ctx.deadline.is_some_and(|d| Instant::now() >= d) {
+                break;
+            }
+            let x = result.values[j];
+            // Tighten one bound, solve, restore. Depth 0 means the
+            // effective bounds are the root LP's, so restoring from
+            // `ctx.lp` is exact.
+            let mut probe = |is_upper: bool, value: f64| -> f64 {
+                if is_upper {
+                    scratch.upper[j] = value;
+                } else {
+                    scratch.lower[j] = value;
+                }
+                // onoc-lint: allow(L4, reason = "per-LP timing feeds SolveStats; milp-solver is dependency-free by design and cannot use onoc-trace")
+                let lp_start = Instant::now();
+                let res = solve_lp_warm(
+                    ctx.lp,
+                    &scratch.lower,
+                    &scratch.upper,
+                    &sb_options,
+                    &mut scratch.workspace,
+                    warm_root,
+                );
+                scratch
+                    .stats
+                    .record_lp(&res, warm_root.is_some(), lp_start.elapsed());
+                if is_upper {
+                    scratch.upper[j] = ctx.lp.upper[j];
+                } else {
+                    scratch.lower[j] = ctx.lp.lower[j];
+                }
+                match res.status {
+                    LpStatus::Optimal => (res.objective - lp_obj).max(0.0),
+                    LpStatus::Infeasible => f64::INFINITY,
+                    _ => 0.0,
+                }
+            };
+            let d_down = probe(true, x.floor());
+            let d_up = probe(false, x.ceil());
+            if d_down.is_finite() && frac > INT_TOL {
+                scratch.pseudo.observe(j, false, d_down / frac);
+            }
+            if d_up.is_finite() && 1.0 - frac > INT_TOL {
+                scratch.pseudo.observe(j, true, d_up / (1.0 - frac));
+            }
+            let score = d_down.max(1e-9) * d_up.max(1e-9);
+            let better = match best {
                 None => true,
-                Some((_, best)) => score < best,
+                Some((_, b)) => score > b,
             };
             if better {
-                branch_var = Some((j, score));
+                best = Some((j, score));
             }
+        }
+        if best.is_some() {
+            branch_var = best;
         }
     }
 
@@ -633,7 +862,8 @@ pub(crate) fn make_children(
     basis: Option<Arc<Basis>>,
     next_seq: &mut usize,
 ) -> (Option<Node>, Option<Node>) {
-    let mut child = |is_upper: bool, value: f64, feasible: bool| {
+    let f = x - x.floor();
+    let mut child = |is_upper: bool, value: f64, frac: f64, feasible: bool| {
         *next_seq += 1;
         feasible.then(|| Node {
             bound: lp_obj,
@@ -646,10 +876,11 @@ pub(crate) fn make_children(
                 parent: node.changes.clone(),
             })),
             basis: basis.clone(),
+            frac,
         })
     };
-    let down = child(true, x.floor(), bounds_j.0 <= x.floor());
-    let up = child(false, x.ceil(), x.ceil() <= bounds_j.1);
+    let down = child(true, x.floor(), f, bounds_j.0 <= x.floor());
+    let up = child(false, x.ceil(), 1.0 - f, x.ceil() <= bounds_j.1);
     (down, up)
 }
 
@@ -729,6 +960,7 @@ pub(crate) fn solve(model: &Model, options: &SolveOptions) -> Result<MilpSolutio
         sol.objective = model.objective.evaluate(sol.values());
         sol.stats.presolve_time += presolve_time;
         sol.stats.solve_time += presolve_time;
+        sol.stats.presolve_cols_removed += reduced.cols_removed;
         return Ok(sol);
     }
     // onoc-lint: allow(L4, reason = "solve_time stat and time-limit anchor; milp-solver is dependency-free by design")
@@ -761,6 +993,7 @@ pub(crate) fn solve(model: &Model, options: &SolveOptions) -> Result<MilpSolutio
         seq: 0,
         changes: None,
         basis: None,
+        frac: 0.0,
     };
 
     let threads = options.effective_threads();
@@ -892,6 +1125,7 @@ mod tests {
         use std::cmp::Ordering;
         let node = |bound: f64, seq: usize| Node {
             bound,
+            frac: 0.0,
             depth: 0,
             seq,
             changes: None,
@@ -1428,7 +1662,9 @@ mod tests {
                 .unwrap();
             let s = sol.stats();
             assert_eq!(s.nodes_explored, sol.nodes_explored());
-            assert!(s.lp_solves <= s.nodes_explored);
+            // One LP per node, plus up to two strong-branch probes per
+            // root candidate.
+            assert!(s.lp_solves <= s.nodes_explored + 2 * STRONG_BRANCH_CANDIDATES);
             assert!(s.warm_start_hits <= s.warm_start_attempts);
             assert!(s.warm_start_attempts < s.lp_solves);
             assert!(s.phase1_solves <= s.lp_solves);

@@ -6,9 +6,13 @@
 //!
 //! * a [`Model`] building API — continuous/integer/binary variables with
 //!   bounds, linear constraints (`≤`, `≥`, `=`) and a linear objective,
-//! * a dense **two-phase primal simplex** for the LP relaxation, with
-//!   bounded variables handled natively (bound flips, no extra rows) and
-//!   Bland's-rule anti-cycling ([`simplex`]),
+//! * a **sparse revised simplex** for the LP relaxation — CSC column
+//!   storage, an LU-factorized basis with product-form eta updates and
+//!   refactorize-on-drift, partial pricing and a Harris two-pass ratio
+//!   test — with bounded variables handled natively (bound flips, no
+//!   extra rows) and Bland's-rule anti-cycling; the original dense
+//!   two-phase tableau is retained as a cross-checked reference engine
+//!   ([`simplex::LpEngine`]),
 //! * a warm-startable **dual simplex** that re-optimizes a parent-optimal
 //!   basis after a bound tightening — the move branch and bound makes at
 //!   every child node — with a bound-flipping ratio test and automatic
@@ -54,13 +58,17 @@
 pub mod branch_bound;
 pub mod expr;
 pub mod io;
+mod lu;
 pub mod model;
 pub mod parallel;
 pub mod presolve;
+mod pricing;
 pub mod simplex;
+mod sparse;
+pub mod tolerances;
 
 pub use branch_bound::{MilpSolution, SolveOptions, SolveStats, Status};
 pub use expr::{LinExpr, Var};
 pub use model::{Model, ModelError, Sense, VarType};
 pub use presolve::{presolve, Presolved};
-pub use simplex::Basis;
+pub use simplex::{Basis, LpEngine};

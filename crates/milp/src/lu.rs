@@ -1,0 +1,320 @@
+//! Sparse LU factorization of the simplex basis with product-form
+//! updates.
+//!
+//! The revised simplex never forms `B⁻¹` explicitly; it needs two linear
+//! solves per iteration — `ftran` (`B·x = v`, for the entering column and
+//! the basic values) and `btran` (`Bᵀ·y = c`, for the duals and the
+//! leaving row) — against a basis matrix that changes by one column per
+//! pivot. [`LuFactors`] supports exactly that:
+//!
+//! * **Factorization** is left-looking (Gilbert–Peierls style with a dense
+//!   work vector): basis columns are processed in a static sparsest-first
+//!   order with threshold partial pivoting inside each column — a
+//!   Markowitz-flavored compromise that keeps both fill-in and pivot
+//!   growth small on the assignment models' near-triangular bases. `L` is
+//!   stored as per-step multiplier columns, `U` column-wise over pivot
+//!   steps.
+//! * **Updates** are product-form etas: replacing the column of basis slot
+//!   `p` with the ftran'd entering column `w` multiplies the factorization
+//!   by an elementary matrix whose inverse needs only `w` and its pivot
+//!   `w_p`. Etas compound, so the chain is capped
+//!   ([`REFACTOR_INTERVAL`]) and a too-small `w_p`
+//!   ([`crate::tolerances::ETA_PIVOT_TOL`]) or drift in the incrementally
+//!   maintained basic values forces a fresh factorization.
+//!
+//! Counters (factorization count, eta updates, fill-in, longest eta
+//! chain) feed [`crate::simplex::FactorStats`] and from there the solver
+//! statistics.
+
+use crate::sparse::CscMatrix;
+use crate::tolerances::{ETA_PIVOT_TOL, SINGULAR_TOL};
+
+/// Refactorize once this many product-form etas have accumulated. Each
+/// eta lengthens every subsequent `ftran`/`btran` by its nonzero count,
+/// so past a few dozen updates a fresh factorization is cheaper than the
+/// chain it replaces.
+pub(crate) const REFACTOR_INTERVAL: usize = 64;
+
+/// One product-form update: basis slot `pos`'s column was replaced by the
+/// column whose ftran image was `w`. Applying the update inverse during
+/// `ftran` needs `w`'s off-pivot entries and the pivot `w[pos]`.
+#[derive(Debug)]
+struct Eta {
+    pos: usize,
+    pivot: f64,
+    idx: Vec<u32>,
+    val: Vec<f64>,
+}
+
+/// LU factors of the current basis plus the eta chain appended since the
+/// last refactorization. All storage is arena-style and reused across
+/// factorizations.
+#[derive(Debug, Default)]
+pub(crate) struct LuFactors {
+    m: usize,
+    /// Elimination step `k` pivoted on matrix row `pivot_row[k]`,
+    /// factoring the basis column of slot `pivot_pos[k]`.
+    pivot_row: Vec<u32>,
+    pivot_pos: Vec<u32>,
+    /// `L` multipliers per step (rows still active below the pivot).
+    l_ptr: Vec<usize>,
+    l_row: Vec<u32>,
+    l_val: Vec<f64>,
+    /// `U` column per step: entries over *earlier* steps plus a diagonal.
+    u_ptr: Vec<usize>,
+    u_step: Vec<u32>,
+    u_val: Vec<f64>,
+    u_diag: Vec<f64>,
+    etas: Vec<Eta>,
+    /// Scratch: dense work column, its touched-row list and membership
+    /// marks, pivoted-row flags, and the column elimination order.
+    work: Vec<f64>,
+    touched: Vec<u32>,
+    in_touch: Vec<bool>,
+    row_used: Vec<bool>,
+    order: Vec<u32>,
+    /// Lifetime counters, reset by [`Self::reset_counters`].
+    pub(crate) refactorizations: usize,
+    pub(crate) eta_updates: usize,
+    pub(crate) max_eta_chain: usize,
+    pub(crate) max_fill_in: usize,
+}
+
+impl LuFactors {
+    /// Clears the per-solve counters (the factors themselves are
+    /// overwritten by the next [`Self::factorize`]).
+    pub(crate) fn reset_counters(&mut self) {
+        self.refactorizations = 0;
+        self.eta_updates = 0;
+        self.max_eta_chain = 0;
+        self.max_fill_in = 0;
+    }
+
+    /// Number of etas appended since the last factorization.
+    pub(crate) fn eta_count(&self) -> usize {
+        self.etas.len()
+    }
+
+    /// Factorizes the basis `B = A[:, basis]`. Returns `Err(())` when the
+    /// basis is numerically singular (best available pivot below
+    /// [`SINGULAR_TOL`]); the factors are unusable in that case.
+    pub(crate) fn factorize(&mut self, a: &CscMatrix, basis: &[usize]) -> Result<(), ()> {
+        let m = basis.len();
+        debug_assert_eq!(m, a.m, "basis must be square over the row space");
+        self.m = m;
+        self.refactorizations += 1;
+        self.etas.clear();
+        self.pivot_row.clear();
+        self.pivot_pos.clear();
+        self.l_ptr.clear();
+        self.l_ptr.push(0);
+        self.l_row.clear();
+        self.l_val.clear();
+        self.u_ptr.clear();
+        self.u_ptr.push(0);
+        self.u_step.clear();
+        self.u_val.clear();
+        self.u_diag.clear();
+        self.work.clear();
+        self.work.resize(m, 0.0);
+        self.touched.clear();
+        self.in_touch.clear();
+        self.in_touch.resize(m, false);
+        self.row_used.clear();
+        self.row_used.resize(m, false);
+
+        // Static sparsest-column-first elimination order (ties by slot for
+        // determinism): cheap to compute and close to a Markowitz ordering
+        // on these mostly-unit bases.
+        self.order.clear();
+        self.order.extend(0..m as u32);
+        self.order
+            .sort_by_key(|&slot| (a.col_nnz(basis[slot as usize]), slot));
+
+        let mut basis_nnz = 0usize;
+        for k in 0..m {
+            let slot = self.order[k] as usize;
+            // Scatter the basis column into the dense work vector.
+            let (rows, vals) = a.col(basis[slot]);
+            basis_nnz += rows.len();
+            for (&r, &v) in rows.iter().zip(vals) {
+                let r = r as usize;
+                if !self.in_touch[r] {
+                    self.in_touch[r] = true;
+                    self.touched.push(r as u32);
+                }
+                self.work[r] += v;
+            }
+            // Left-looking elimination against all earlier steps; the
+            // value at an earlier pivot row right before its elimination
+            // is the `U` entry for this column.
+            for t in 0..k {
+                let pr = self.pivot_row[t] as usize;
+                let xv = self.work[pr];
+                if xv == 0.0 {
+                    continue;
+                }
+                self.u_step.push(t as u32);
+                self.u_val.push(xv);
+                for idx in self.l_ptr[t]..self.l_ptr[t + 1] {
+                    let r = self.l_row[idx] as usize;
+                    if !self.in_touch[r] {
+                        self.in_touch[r] = true;
+                        self.touched.push(r as u32);
+                    }
+                    self.work[r] -= self.l_val[idx] * xv;
+                }
+            }
+            self.u_ptr.push(self.u_step.len());
+            // Partial pivoting over the still-active rows: largest
+            // magnitude, ties to the smallest row index.
+            let mut best_r = usize::MAX;
+            let mut best_mag = SINGULAR_TOL;
+            for &r in &self.touched {
+                let r = r as usize;
+                if self.row_used[r] {
+                    continue;
+                }
+                let mag = self.work[r].abs();
+                if mag > best_mag || (mag == best_mag && r < best_r) {
+                    best_mag = mag;
+                    best_r = r;
+                }
+            }
+            if best_r == usize::MAX {
+                for &r in &self.touched {
+                    self.work[r as usize] = 0.0;
+                    self.in_touch[r as usize] = false;
+                }
+                self.touched.clear();
+                return Err(());
+            }
+            let diag = self.work[best_r];
+            self.pivot_row.push(best_r as u32);
+            self.pivot_pos.push(slot as u32);
+            self.u_diag.push(diag);
+            self.row_used[best_r] = true;
+            for &r in &self.touched {
+                let r = r as usize;
+                if !self.row_used[r] && self.work[r] != 0.0 {
+                    self.l_row.push(r as u32);
+                    self.l_val.push(self.work[r] / diag);
+                }
+                self.work[r] = 0.0;
+                self.in_touch[r] = false;
+            }
+            self.touched.clear();
+            self.l_ptr.push(self.l_row.len());
+        }
+        let factored_nnz = self.l_row.len() + self.u_step.len() + m;
+        self.max_fill_in = self.max_fill_in.max(factored_nnz.saturating_sub(basis_nnz));
+        Ok(())
+    }
+
+    /// Solves `B·x = v`. `rhs` is a dense row-space vector, consumed and
+    /// left all-zero; the solution lands in `out` indexed by *basis slot*.
+    pub(crate) fn ftran(&self, rhs: &mut [f64], out: &mut Vec<f64>) {
+        let m = self.m;
+        // Forward L solve over rows, in elimination order.
+        for t in 0..m {
+            let xv = rhs[self.pivot_row[t] as usize];
+            if xv == 0.0 {
+                continue;
+            }
+            for idx in self.l_ptr[t]..self.l_ptr[t + 1] {
+                rhs[self.l_row[idx] as usize] -= self.l_val[idx] * xv;
+            }
+        }
+        // Backward U solve; every matrix row is some step's pivot row, so
+        // this pass also re-zeroes `rhs` for the caller.
+        out.clear();
+        out.resize(m, 0.0);
+        for k in (0..m).rev() {
+            let pr = self.pivot_row[k] as usize;
+            let xv = rhs[pr];
+            rhs[pr] = 0.0;
+            if xv == 0.0 {
+                continue;
+            }
+            let xq = xv / self.u_diag[k];
+            for idx in self.u_ptr[k]..self.u_ptr[k + 1] {
+                rhs[self.pivot_row[self.u_step[idx] as usize] as usize] -= self.u_val[idx] * xq;
+            }
+            out[self.pivot_pos[k] as usize] = xq;
+        }
+        // Product-form updates, oldest first.
+        for eta in &self.etas {
+            let t = out[eta.pos];
+            if t == 0.0 {
+                continue;
+            }
+            let t = t / eta.pivot;
+            out[eta.pos] = t;
+            for (&i, &v) in eta.idx.iter().zip(&eta.val) {
+                out[i as usize] -= v * t;
+            }
+        }
+    }
+
+    /// Solves `Bᵀ·y = c`. `c` is a dense *slot-space* vector (entry per
+    /// basis slot), consumed; the solution lands in `out` over matrix
+    /// rows.
+    pub(crate) fn btran(&self, c: &mut [f64], out: &mut Vec<f64>) {
+        let m = self.m;
+        // Transposed updates, newest first.
+        for eta in self.etas.iter().rev() {
+            let mut s = c[eta.pos];
+            for (&i, &v) in eta.idx.iter().zip(&eta.val) {
+                s -= v * c[i as usize];
+            }
+            c[eta.pos] = s / eta.pivot;
+        }
+        // Forward Uᵀ solve into row space.
+        out.clear();
+        out.resize(m, 0.0);
+        for k in 0..m {
+            let mut s = c[self.pivot_pos[k] as usize];
+            for idx in self.u_ptr[k]..self.u_ptr[k + 1] {
+                s -= self.u_val[idx] * out[self.pivot_row[self.u_step[idx] as usize] as usize];
+            }
+            out[self.pivot_row[k] as usize] = s / self.u_diag[k];
+        }
+        // Backward Lᵀ solve.
+        for t in (0..m).rev() {
+            let pr = self.pivot_row[t] as usize;
+            let mut s = out[pr];
+            for idx in self.l_ptr[t]..self.l_ptr[t + 1] {
+                s -= self.l_val[idx] * out[self.l_row[idx] as usize];
+            }
+            out[pr] = s;
+        }
+    }
+
+    /// Records the basis change "slot `pos` takes the column whose ftran
+    /// image is `w`" as a product-form eta. Returns `false` (chain
+    /// unchanged) when `w[pos]` is too small to divide by — the caller
+    /// must refactorize instead.
+    pub(crate) fn push_eta(&mut self, pos: usize, w: &[f64]) -> bool {
+        let pivot = w[pos];
+        if pivot.abs() < ETA_PIVOT_TOL {
+            return false;
+        }
+        let mut idx = Vec::new();
+        let mut val = Vec::new();
+        for (i, &v) in w.iter().enumerate() {
+            if i != pos && v != 0.0 {
+                idx.push(i as u32);
+                val.push(v);
+            }
+        }
+        self.etas.push(Eta {
+            pos,
+            pivot,
+            idx,
+            val,
+        });
+        self.eta_updates += 1;
+        self.max_eta_chain = self.max_eta_chain.max(self.etas.len());
+        true
+    }
+}

@@ -16,11 +16,20 @@
 //!   so their slack column can start basic — the simplex then needs no
 //!   artificial variable for them (the paper's Eq. 3 linearization rows
 //!   `u − b ≥ 0` all have this shape), which both shrinks phase 1 in
-//!   cold solves and keeps warm-start basis snapshots artificial-free.
+//!   cold solves and keeps warm-start basis snapshots artificial-free,
+//! * **empty and sign-dominated columns** are fixed at their best bound:
+//!   a variable absent from every row is decided by its objective sign
+//!   alone, and a variable whose every coefficient relaxes its rows when
+//!   the variable moves toward one (finite) bound — with an objective
+//!   that does not prefer the other direction — is fixed there.
 //!
-//! Every reduction preserves the feasible set exactly (no primal
-//! heuristics, no dual reductions), so the reduced model has the same
-//! optimal value and every solution maps back one-to-one.
+//! The row reductions preserve the feasible set exactly. The column
+//! fixings are the one *dual* reduction here: they may discard alternate
+//! optima but provably keep at least one, so the optimal value (and a
+//! valid optimal assignment for every original variable) is unchanged.
+//! Duplicate-column *merging* is deliberately not attempted — the solver
+//! reports a value per original variable, and splitting a merged value
+//! back apart is ambiguous.
 
 use crate::expr::LinExpr;
 use crate::model::{Model, ModelError, Sense, VarType};
@@ -37,6 +46,9 @@ pub struct Presolved {
     pub bounds_tightened: usize,
     /// `≥` rows negated into slack-basic-friendly `≤` rows.
     pub rows_normalized: usize,
+    /// Columns fixed at a bound because they were empty (no rows) or
+    /// sign-dominated; the LP never has to price them.
+    pub cols_removed: usize,
 }
 
 /// Applies the reductions. Returns [`ModelError::Infeasible`] when a
@@ -218,11 +230,93 @@ pub fn presolve(model: &Model) -> Result<Presolved, ModelError> {
         }
     }
 
+    // --- Pass 6: fix empty and sign-dominated columns. ---
+    // A column is *decreasing-safe* when lowering it can only relax its
+    // rows (coefficient ≥ 0 in every `≤` row, ≤ 0 in every `≥` row, absent
+    // from equalities); with an objective coefficient ≥ 0 the variable can
+    // sit at its lower bound in some optimal solution, so we fix it there.
+    // The increasing-safe/upper-bound case mirrors it. Empty columns (no
+    // rows at all) are decided by the objective sign alone. Only finite
+    // target bounds are used — an empty column pushing an infinite bound
+    // is genuine unboundedness and is left for the solver to certify.
+    let mut cols_removed = 0usize;
+    {
+        let n = m.vars.len();
+        let mut appears = vec![false; n];
+        let mut in_eq = vec![false; n];
+        let mut dec_safe = vec![true; n];
+        let mut inc_safe = vec![true; n];
+        for c in &m.constraints {
+            for (v, a) in c.expr.terms() {
+                let i = v.index();
+                appears[i] = true;
+                match c.sense {
+                    Sense::Eq => in_eq[i] = true,
+                    Sense::Le => {
+                        if a < 0.0 {
+                            dec_safe[i] = false;
+                        }
+                        if a > 0.0 {
+                            inc_safe[i] = false;
+                        }
+                    }
+                    Sense::Ge => {
+                        if a > 0.0 {
+                            dec_safe[i] = false;
+                        }
+                        if a < 0.0 {
+                            inc_safe[i] = false;
+                        }
+                    }
+                }
+            }
+        }
+        let mut cost = vec![0.0f64; n];
+        for (v, a) in m.objective.terms() {
+            cost[v.index()] += a;
+        }
+        for i in 0..n {
+            let data = &mut m.vars[i];
+            if data.lower.is_finite() && (data.upper - data.lower).abs() <= TOL {
+                continue; // already fixed (pass 3 substituted it)
+            }
+            let c = cost[i];
+            let fix_at = if !appears[i] {
+                if c > 0.0 {
+                    data.lower.is_finite().then_some(data.lower)
+                } else if c < 0.0 {
+                    data.upper.is_finite().then_some(data.upper)
+                } else if data.lower.is_finite() {
+                    Some(data.lower)
+                } else if data.upper.is_finite() {
+                    Some(data.upper)
+                } else {
+                    // Free, costless, unconstrained: any value is optimal.
+                    Some(0.0)
+                }
+            } else if in_eq[i] {
+                None
+            } else if c >= 0.0 && dec_safe[i] && data.lower.is_finite() {
+                Some(data.lower)
+            } else if c <= 0.0 && inc_safe[i] && data.upper.is_finite() {
+                Some(data.upper)
+            } else {
+                None
+            };
+            if let Some(v) = fix_at {
+                data.lower = v;
+                data.upper = v;
+                cols_removed += 1;
+            }
+        }
+    }
+
     Ok(Presolved {
         model: m,
         rows_removed,
         bounds_tightened,
         rows_normalized,
+        cols_removed,
     })
 }
 
@@ -241,18 +335,25 @@ mod tests {
         assert_eq!(p.model.constraint_count(), 0);
         assert_eq!(p.rows_removed, 2);
         assert!(p.bounds_tightened >= 2);
-        assert!((p.model.vars[0].upper - 2.0).abs() < 1e-9);
+        // Pass 1 tightens x to [1, 2]; with no rows left and no objective,
+        // pass 6 then fixes the empty column at its lower bound.
         assert!((p.model.vars[0].lower - 1.0).abs() < 1e-9);
+        assert!((p.model.vars[0].upper - 1.0).abs() < 1e-9);
+        assert_eq!(p.cols_removed, 1);
     }
 
     #[test]
     fn integer_bounds_round_inward() {
         let mut m = Model::new();
         let x = m.add_var(VarType::Integer, 0.2, 4.9, "x").unwrap();
-        let _ = x;
+        // Anchor x in an equality so the column-fixing pass leaves it
+        // alone and the rounded bounds stay observable.
+        let y = m.add_continuous("y");
+        m.add_constraint([(x, 1.0), (y, 1.0)], Sense::Eq, 2.0)
+            .unwrap();
         let p = presolve(&m).unwrap();
-        assert_eq!(p.model.vars[0].lower, 1.0);
-        assert_eq!(p.model.vars[0].upper, 4.0);
+        assert_eq!(p.model.vars[x.index()].lower, 1.0);
+        assert_eq!(p.model.vars[x.index()].upper, 4.0);
     }
 
     #[test]
@@ -337,6 +438,85 @@ mod tests {
         let sol = m.solve(&SolveOptions::default()).unwrap();
         assert!((sol.objective() - 1.0).abs() < 1e-6);
         assert!(sol.value(u) > 0.5);
+    }
+
+    #[test]
+    fn empty_columns_fixed_by_objective_sign() {
+        let mut m = Model::new();
+        let x = m.add_var(VarType::Continuous, 1.0, 5.0, "x").unwrap();
+        let y = m.add_var(VarType::Continuous, 0.0, 2.0, "y").unwrap();
+        let z = m.add_var(VarType::Continuous, 0.0, 7.0, "z").unwrap();
+        // Keep a row alive so the model is not trivially empty; only x
+        // appears in it.
+        let w = m.add_continuous("w");
+        m.add_constraint([(x, 1.0), (w, 1.0)], Sense::Ge, 2.0)
+            .unwrap();
+        m.set_objective([(x, 1.0), (y, 3.0), (z, -2.0)]);
+        let p = presolve(&m).unwrap();
+        // y (cost > 0) lands on its lower bound, z (cost < 0) on its
+        // upper; both count as removed columns.
+        assert_eq!(p.model.vars[y.index()].lower, 0.0);
+        assert_eq!(p.model.vars[y.index()].upper, 0.0);
+        assert_eq!(p.model.vars[z.index()].lower, 7.0);
+        assert_eq!(p.model.vars[z.index()].upper, 7.0);
+        assert!(p.cols_removed >= 2, "cols_removed = {}", p.cols_removed);
+    }
+
+    #[test]
+    fn dominated_column_fixed_at_lower() {
+        // min x + y s.t. x + y ≤ 4, y ≥ 1 (as a two-term row so it
+        // survives pass 1): x only loosens its ≤ row by decreasing and
+        // costs ≥ 0, so it is fixed at 0. The optimum is unchanged.
+        let mut m = Model::new();
+        let x = m.add_var(VarType::Continuous, 0.0, 10.0, "x").unwrap();
+        let y = m.add_var(VarType::Continuous, 0.0, 10.0, "y").unwrap();
+        let z = m.add_var(VarType::Continuous, 0.0, 10.0, "z").unwrap();
+        m.add_constraint([(x, 1.0), (y, 1.0)], Sense::Le, 4.0)
+            .unwrap();
+        m.add_constraint([(y, 1.0), (z, 1.0)], Sense::Ge, 1.0)
+            .unwrap();
+        m.set_objective([(x, 1.0), (y, 1.0), (z, 2.0)]);
+        let direct = m.solve(&SolveOptions::default()).unwrap();
+        let p = presolve(&m).unwrap();
+        assert_eq!(p.model.vars[x.index()].upper, 0.0, "x fixed at lower");
+        assert!(p.cols_removed >= 1);
+        let reduced = p.model.solve(&SolveOptions::default()).unwrap();
+        assert!((direct.objective() - reduced.objective()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dominated_column_fixed_at_upper() {
+        // max x (min −x) where x only appears with a negative coefficient
+        // in a ≤ row: increasing x relaxes the row, so x pins to its
+        // upper bound.
+        let mut m = Model::new();
+        let x = m.add_var(VarType::Continuous, 0.0, 3.0, "x").unwrap();
+        let y = m.add_var(VarType::Continuous, 0.0, 10.0, "y").unwrap();
+        m.add_constraint([(x, -1.0), (y, 1.0)], Sense::Le, 2.0)
+            .unwrap();
+        m.set_objective([(x, -1.0), (y, 1.0)]);
+        let p = presolve(&m).unwrap();
+        assert_eq!(p.model.vars[x.index()].lower, 3.0, "x fixed at upper");
+        let direct = m.solve(&SolveOptions::default()).unwrap();
+        let reduced = p.model.solve(&SolveOptions::default()).unwrap();
+        assert!((direct.objective() - reduced.objective()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_members_never_fixed() {
+        // The paper's assignment shape: binaries in an equality row must
+        // stay free for the search even when their costs are one-sided.
+        let mut m = Model::new();
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        m.add_constraint([(a, 1.0), (b, 1.0)], Sense::Eq, 1.0)
+            .unwrap();
+        m.set_objective([(a, 1.0), (b, 2.0)]);
+        let p = presolve(&m).unwrap();
+        assert_eq!(p.cols_removed, 0);
+        assert_ne!(p.model.vars[a.index()].lower, p.model.vars[a.index()].upper);
+        let sol = p.model.solve(&SolveOptions::default()).unwrap();
+        assert!((sol.objective() - 1.0).abs() < 1e-6);
     }
 
     #[test]

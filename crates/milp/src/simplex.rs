@@ -1,5 +1,5 @@
-//! Dense two-phase primal simplex with bounded variables, plus a
-//! warm-startable dual simplex.
+//! LP solves for branch and bound: problem form, engine dispatch, and the
+//! dense reference engine.
 //!
 //! The LP relaxations solved during branch and bound have the form
 //!
@@ -16,6 +16,20 @@
 //! basic variable no artificial is created. Degeneracy triggers Bland's
 //! rule to guarantee termination.
 //!
+//! Two engines share this contract (selected by [`LpOptions::engine`]):
+//!
+//! * [`LpEngine::Sparse`] (the default) — a revised simplex over CSC
+//!   column storage with an LU-factorized basis, product-form eta
+//!   updates, partial pricing and a Harris ratio test (the private
+//!   `sparse`, `lu` and `pricing` modules).
+//! * [`LpEngine::Dense`] — the original dense tableau, retained as the
+//!   reference implementation the sparse engine is tested against.
+//!
+//! Both engines transform the input through the same internal bounded
+//! form (shift/mirror/split of general bounds onto `[0, u]` variables,
+//! slacks, `rhs ≥ 0` normalization), so a [`Basis`] snapshot captured by
+//! either engine replays on the other.
+//!
 //! [`solve_lp_warm`] additionally accepts a [`Basis`] snapshot from a
 //! previous solve of a near-identical problem (branch and bound: the
 //! parent node). The snapshot is refactorized and re-optimized with a
@@ -28,6 +42,7 @@
 //! consumer is [`crate::branch_bound`].
 
 use crate::model::Sense;
+use crate::tolerances::{COST_TOL, FEAS_TOL, PIVOT_TOL, SINGULAR_TOL, UNIT_TOL};
 use std::time::Instant;
 
 /// A linear-programming problem in the solver's input form.
@@ -70,6 +85,19 @@ pub enum LpStatus {
     TimedOut,
 }
 
+/// Which simplex implementation runs the solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LpEngine {
+    /// Sparse revised simplex: CSC columns, LU-factorized basis with
+    /// product-form updates, partial pricing, Harris ratio test. The
+    /// default.
+    #[default]
+    Sparse,
+    /// Dense tableau simplex — the original implementation, kept as the
+    /// reference the sparse engine is cross-checked against.
+    Dense,
+}
+
 /// Options for a single LP solve.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct LpOptions {
@@ -83,11 +111,13 @@ pub struct LpOptions {
     /// an artificial column remains basic (the snapshot could not seed a
     /// dual solve) or when the solve does not reach optimality.
     pub capture_basis: bool,
+    /// The simplex implementation to use (default [`LpEngine::Sparse`]).
+    pub engine: LpEngine,
 }
 
 /// Status of one internal column in a [`Basis`] snapshot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum BasisCol {
+pub(crate) enum BasisCol {
     Basic,
     AtLower,
     AtUpper,
@@ -105,11 +135,13 @@ enum BasisCol {
 /// sides and internal upper bounds but **not** the constraint coefficients
 /// or reduced costs, so the parent's optimal basis stays dual-feasible.
 /// Validity (column count, row count, nonsingularity, dual feasibility) is
-/// re-checked on load; any mismatch falls back to the cold start.
+/// re-checked on load; any mismatch falls back to the cold start. The
+/// internal column space is engine-independent, so a snapshot captured by
+/// one [`LpEngine`] replays on the other.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Basis {
-    cols: Vec<BasisCol>,
-    basic: usize,
+    pub(crate) cols: Vec<BasisCol>,
+    pub(crate) basic: usize,
 }
 
 impl Basis {
@@ -134,10 +166,11 @@ impl Basis {
 
 /// Reusable scratch buffers for [`solve_lp_with`].
 ///
-/// The dense tableau is the dominant allocation of an LP solve; branch and
-/// bound solves one LP per node, all of the same shape. Keeping one
-/// workspace per worker thread means the tableau is allocated once per
-/// thread instead of once per node.
+/// The dense tableau (or, on the sparse path, the factorization arenas)
+/// is the dominant allocation of an LP solve; branch and bound solves one
+/// LP per node, all of the same shape. Keeping one workspace per worker
+/// thread means those buffers are allocated once per thread instead of
+/// once per node.
 #[derive(Debug, Default)]
 pub struct SimplexWorkspace {
     t: Vec<f64>,
@@ -145,13 +178,13 @@ pub struct SimplexWorkspace {
     cost_row: Vec<f64>,
     basis: Vec<usize>,
     status: Vec<VarStatus>,
-    ub: Vec<f64>,
     banned: Vec<bool>,
     phase1_cost: Vec<f64>,
-    full_cost: Vec<f64>,
     /// Rows already claimed by a basic column during warm-start
     /// refactorization.
     row_done: Vec<bool>,
+    /// Sparse-engine scratch (CSC matrix, LU arenas, work vectors).
+    pub(crate) sparse: crate::sparse::SparseScratch,
 }
 
 impl SimplexWorkspace {
@@ -160,6 +193,22 @@ impl SimplexWorkspace {
     pub fn new() -> Self {
         Self::default()
     }
+}
+
+/// Counters from the sparse engine's factorization layer, reported per
+/// solve in [`LpResult::factor`] (all zero on the dense path, which has
+/// no factorization to account for).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FactorStats {
+    /// Basis LU factorizations performed (initial plus refactorizations
+    /// triggered by eta-chain length, tiny eta pivots, or drift).
+    pub refactorizations: usize,
+    /// Product-form eta updates appended between refactorizations.
+    pub eta_updates: usize,
+    /// Longest eta chain reached before a refactorization reset it.
+    pub max_eta_chain: usize,
+    /// Peak LU fill-in: nonzeros in `L + U` beyond the basis matrix's own.
+    pub max_fill_in: usize,
 }
 
 /// Result of an LP solve: status, objective value and a value per
@@ -185,10 +234,12 @@ pub struct LpResult {
     pub warm_used: bool,
     /// Optimal-basis snapshot (see [`LpOptions::capture_basis`]).
     pub basis: Option<Basis>,
+    /// Factorization-layer counters (sparse engine only).
+    pub factor: FactorStats,
 }
 
 /// A result with no solution attached (infeasible / unbounded / limits).
-fn lp_terminal(
+pub(crate) fn lp_terminal(
     status: LpStatus,
     pivots: usize,
     dual_pivots: usize,
@@ -204,15 +255,12 @@ fn lp_terminal(
         phase1,
         warm_used,
         basis: None,
+        factor: FactorStats::default(),
     }
 }
 
-const PIVOT_TOL: f64 = 1e-9;
-const COST_TOL: f64 = 1e-9;
-const FEAS_TOL: f64 = 1e-7;
-
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum VarStatus {
+pub(crate) enum VarStatus {
     Basic(usize),
     AtLower,
     AtUpper,
@@ -220,13 +268,180 @@ enum VarStatus {
 
 /// How an original variable maps onto internal non-negative variables.
 #[derive(Debug, Clone, Copy)]
-enum Recover {
+pub(crate) enum Recover {
     /// `x = x_int + shift`
     Shift { col: usize, shift: f64 },
     /// `x = mirror − x_int` (used for `(-inf, u]` variables)
     Mirror { col: usize, mirror: f64 },
     /// `x = x_plus − x_minus` (free variables)
     Split { plus: usize, minus: usize },
+}
+
+/// One internal equality row: shifted/mirrored/split coefficients, a
+/// non-negative right-hand side, and the slack column if the row has one.
+pub(crate) struct InternalRow {
+    pub(crate) coeffs: Vec<(usize, f64)>,
+    pub(crate) rhs: f64,
+    pub(crate) slack: Option<usize>,
+}
+
+/// The engine-independent internal form of an LP: every variable mapped
+/// onto `[0, u]`, every row an equality with `rhs ≥ 0`, slacks appended
+/// after the structural columns. Both engines consume (and may extend —
+/// artificial columns are appended in place) the same form, which is what
+/// makes [`Basis`] snapshots portable between them.
+pub(crate) struct InternalForm {
+    pub(crate) recover: Vec<Recover>,
+    /// Internal upper bounds, structural + slack columns (engines append
+    /// artificial columns for the cold start).
+    pub(crate) ub: Vec<f64>,
+    /// Phase-2 costs over the same columns.
+    pub(crate) cost: Vec<f64>,
+    /// Constant objective offset from bound shifts.
+    pub(crate) cost_constant: f64,
+    pub(crate) rows: Vec<InternalRow>,
+    /// Per row: no slack can start basic, an artificial is needed.
+    pub(crate) needs_artificial: Vec<bool>,
+    /// Structural + slack column count (artificials come after).
+    pub(crate) n_struct_slack: usize,
+    /// Number of artificial columns a cold start needs.
+    pub(crate) n_art: usize,
+}
+
+/// Builds the internal bounded form shared by both engines: variable
+/// transforms, slack columns, and `rhs ≥ 0` row normalization.
+///
+/// # Panics
+///
+/// Panics if a row references an out-of-range column.
+pub(crate) fn build_internal_form(
+    problem: &LpProblem,
+    lower: &impl Fn(usize) -> f64,
+    upper: &impl Fn(usize) -> f64,
+) -> InternalForm {
+    let n = problem.cost.len();
+
+    // --- Transform original variables to internal non-negative ones. ---
+    let mut recover = Vec::with_capacity(n);
+    let mut internal_ub = Vec::with_capacity(n + problem.rows.len());
+    let mut internal_cost = Vec::with_capacity(n + problem.rows.len());
+    let mut cost_constant = 0.0;
+    for j in 0..n {
+        let (l, u) = (lower(j), upper(j));
+        if l.is_finite() {
+            let col = internal_ub.len();
+            internal_ub.push((u - l).max(0.0));
+            internal_cost.push(problem.cost[j]);
+            cost_constant += problem.cost[j] * l;
+            recover.push(Recover::Shift { col, shift: l });
+        } else if u.is_finite() {
+            let col = internal_ub.len();
+            internal_ub.push(f64::INFINITY);
+            internal_cost.push(-problem.cost[j]);
+            cost_constant += problem.cost[j] * u;
+            recover.push(Recover::Mirror { col, mirror: u });
+        } else {
+            let plus = internal_ub.len();
+            internal_ub.push(f64::INFINITY);
+            internal_cost.push(problem.cost[j]);
+            let minus = internal_ub.len();
+            internal_ub.push(f64::INFINITY);
+            internal_cost.push(-problem.cost[j]);
+            recover.push(Recover::Split { plus, minus });
+        }
+    }
+
+    // --- Build internal equality rows with slacks. ---
+    let mut internal_rows = Vec::with_capacity(problem.rows.len());
+    let mut next_col = internal_ub.len();
+    for row in &problem.rows {
+        let mut coeffs: Vec<(usize, f64)> = Vec::with_capacity(row.coeffs.len() + 1);
+        let mut rhs = row.rhs;
+        for &(col, a) in &row.coeffs {
+            assert!(col < n, "row references out-of-range column {col}");
+            match recover[col] {
+                Recover::Shift { col: ic, shift } => {
+                    coeffs.push((ic, a));
+                    rhs -= a * shift;
+                }
+                Recover::Mirror { col: ic, mirror } => {
+                    coeffs.push((ic, -a));
+                    rhs -= a * mirror;
+                }
+                Recover::Split { plus, minus } => {
+                    coeffs.push((plus, a));
+                    coeffs.push((minus, -a));
+                }
+            }
+        }
+        let slack = match row.sense {
+            Sense::Le => {
+                let s = next_col;
+                next_col += 1;
+                coeffs.push((s, 1.0));
+                Some(s)
+            }
+            Sense::Ge => {
+                let s = next_col;
+                next_col += 1;
+                coeffs.push((s, -1.0));
+                Some(s)
+            }
+            Sense::Eq => None,
+        };
+        internal_rows.push(InternalRow { coeffs, rhs, slack });
+    }
+    let n_slacks = next_col - internal_ub.len();
+    internal_ub.extend(std::iter::repeat_n(f64::INFINITY, n_slacks));
+    internal_cost.extend(std::iter::repeat_n(0.0, n_slacks));
+
+    // --- Normalize rows to rhs ≥ 0 and pick initial basics. ---
+    let m = internal_rows.len();
+    let mut needs_artificial = vec![false; m];
+    for (i, row) in internal_rows.iter_mut().enumerate() {
+        if row.rhs < 0.0 {
+            row.rhs = -row.rhs;
+            for c in row.coeffs.iter_mut() {
+                c.1 = -c.1;
+            }
+        }
+        // A slack with +1 coefficient (after normalization) can be the
+        // initial basic variable.
+        let slack_ok = row
+            .slack
+            .map(|s| {
+                row.coeffs
+                    .iter()
+                    .any(|&(c, a)| c == s && (a - 1.0).abs() < UNIT_TOL)
+            })
+            .unwrap_or(false);
+        needs_artificial[i] = !slack_ok;
+    }
+    let n_struct_slack = next_col;
+    let n_art: usize = needs_artificial.iter().filter(|&&b| b).count();
+
+    InternalForm {
+        recover,
+        ub: internal_ub,
+        cost: internal_cost,
+        cost_constant,
+        rows: internal_rows,
+        needs_artificial,
+        n_struct_slack,
+        n_art,
+    }
+}
+
+/// Maps internal-column values back to the original variable space.
+pub(crate) fn recover_values(recover: &[Recover], value: impl Fn(usize) -> f64) -> Vec<f64> {
+    recover
+        .iter()
+        .map(|rec| match *rec {
+            Recover::Shift { col, shift } => value(col) + shift,
+            Recover::Mirror { col, mirror } => mirror - value(col),
+            Recover::Split { plus, minus } => value(plus) - value(minus),
+        })
+        .collect()
 }
 
 struct Tableau<'w> {
@@ -703,11 +918,12 @@ pub fn solve_lp_with(
 /// basis per node.
 ///
 /// When the snapshot matches the internal column/row structure, it is
-/// refactorized (Gauss–Jordan with partial pivoting) and re-optimized with
-/// the dual simplex. On any mismatch — wrong shape, singular basis, dual
-/// infeasibility, or a dual stall — the solve silently falls back to the
-/// cold two-phase primal start, so the result is the same either way
-/// (see [`LpResult::warm_used`] for which path ran).
+/// refactorized and re-optimized with the dual simplex. On any mismatch —
+/// wrong shape, singular basis, dual infeasibility, or a dual stall — the
+/// solve silently falls back to the cold two-phase primal start, so the
+/// result is the same either way (see [`LpResult::warm_used`] for which
+/// path ran). [`LpOptions::engine`] selects the implementation; both honor
+/// the same contract.
 ///
 /// # Panics
 ///
@@ -745,127 +961,46 @@ pub fn solve_lp_warm(
         }
     }
 
+    let mut form = build_internal_form(problem, &lower, &upper);
+    match lp_options.engine {
+        LpEngine::Sparse => {
+            crate::sparse::solve_sparse(problem, &mut form, lp_options, workspace, warm)
+        }
+        LpEngine::Dense => solve_dense(problem, &mut form, lp_options, workspace, warm),
+    }
+}
+
+/// The dense tableau engine: warm dual attempt, then cold two-phase.
+fn solve_dense(
+    problem: &LpProblem,
+    form: &mut InternalForm,
+    lp_options: &LpOptions,
+    workspace: &mut SimplexWorkspace,
+    warm: Option<&Basis>,
+) -> LpResult {
     let SimplexWorkspace {
         t,
         beta,
         cost_row,
         basis,
         status,
-        ub,
         banned,
         phase1_cost,
-        full_cost,
         row_done,
+        ..
     } = workspace;
-
-    // --- Transform original variables to internal non-negative ones. ---
-    // `ub` and `full_cost` double as the build buffers for the internal
-    // bounds and costs.
-    let mut recover = Vec::with_capacity(n);
-    let internal_ub = ub;
-    internal_ub.clear();
-    let internal_cost = full_cost;
-    internal_cost.clear();
-    let mut cost_constant = 0.0;
-    for j in 0..n {
-        let (l, u) = (lower(j), upper(j));
-        if l.is_finite() {
-            let col = internal_ub.len();
-            internal_ub.push((u - l).max(0.0));
-            internal_cost.push(problem.cost[j]);
-            cost_constant += problem.cost[j] * l;
-            recover.push(Recover::Shift { col, shift: l });
-        } else if u.is_finite() {
-            let col = internal_ub.len();
-            internal_ub.push(f64::INFINITY);
-            internal_cost.push(-problem.cost[j]);
-            cost_constant += problem.cost[j] * u;
-            recover.push(Recover::Mirror { col, mirror: u });
-        } else {
-            let plus = internal_ub.len();
-            internal_ub.push(f64::INFINITY);
-            internal_cost.push(problem.cost[j]);
-            let minus = internal_ub.len();
-            internal_ub.push(f64::INFINITY);
-            internal_cost.push(-problem.cost[j]);
-            recover.push(Recover::Split { plus, minus });
-        }
-    }
-
-    // --- Build internal equality rows with slacks. ---
-    struct InternalRow {
-        coeffs: Vec<(usize, f64)>,
-        rhs: f64,
-        slack: Option<usize>,
-    }
-    let mut internal_rows = Vec::with_capacity(problem.rows.len());
-    let mut next_col = internal_ub.len();
-    for row in &problem.rows {
-        let mut coeffs: Vec<(usize, f64)> = Vec::with_capacity(row.coeffs.len() + 1);
-        let mut rhs = row.rhs;
-        for &(col, a) in &row.coeffs {
-            assert!(col < n, "row references out-of-range column {col}");
-            match recover[col] {
-                Recover::Shift { col: ic, shift } => {
-                    coeffs.push((ic, a));
-                    rhs -= a * shift;
-                }
-                Recover::Mirror { col: ic, mirror } => {
-                    coeffs.push((ic, -a));
-                    rhs -= a * mirror;
-                }
-                Recover::Split { plus, minus } => {
-                    coeffs.push((plus, a));
-                    coeffs.push((minus, -a));
-                }
-            }
-        }
-        let slack = match row.sense {
-            Sense::Le => {
-                let s = next_col;
-                next_col += 1;
-                coeffs.push((s, 1.0));
-                Some(s)
-            }
-            Sense::Ge => {
-                let s = next_col;
-                next_col += 1;
-                coeffs.push((s, -1.0));
-                Some(s)
-            }
-            Sense::Eq => None,
-        };
-        internal_rows.push(InternalRow { coeffs, rhs, slack });
-    }
-    let n_slacks = next_col - internal_ub.len();
-    internal_ub.extend(std::iter::repeat_n(f64::INFINITY, n_slacks));
-    internal_cost.extend(std::iter::repeat_n(0.0, n_slacks));
-
-    // --- Normalize rows to rhs ≥ 0 and pick initial basics. ---
+    let InternalForm {
+        recover,
+        ub: internal_ub,
+        cost: internal_cost,
+        cost_constant,
+        rows: internal_rows,
+        needs_artificial,
+        n_struct_slack,
+        n_art,
+    } = form;
+    let (cost_constant, n_struct_slack, n_art) = (*cost_constant, *n_struct_slack, *n_art);
     let m = internal_rows.len();
-    // Count artificials first.
-    let mut needs_artificial = vec![false; m];
-    for (i, row) in internal_rows.iter_mut().enumerate() {
-        if row.rhs < 0.0 {
-            row.rhs = -row.rhs;
-            for c in row.coeffs.iter_mut() {
-                c.1 = -c.1;
-            }
-        }
-        // A slack with +1 coefficient (after normalization) can be the
-        // initial basic variable.
-        let slack_ok = row
-            .slack
-            .map(|s| {
-                row.coeffs
-                    .iter()
-                    .any(|&(c, a)| c == s && (a - 1.0).abs() < 1e-12)
-            })
-            .unwrap_or(false);
-        needs_artificial[i] = !slack_ok;
-    }
-    let n_struct_slack = next_col;
-    let n_art: usize = needs_artificial.iter().filter(|&&b| b).count();
 
     // --- Warm start: refactorize the inherited basis, dual-simplex it. ---
     let mut dual_pivots = 0usize;
@@ -910,7 +1045,7 @@ pub fn solve_lp_warm(
         let mut singular = false;
         for j in (0..ntot).filter(|&j| snapshot.cols[j] == BasisCol::Basic) {
             let mut best_r = usize::MAX;
-            let mut best_mag = 1e-7; // below this the basis counts as singular
+            let mut best_mag = SINGULAR_TOL; // below this the basis counts as singular
             for (i, done) in row_done.iter().enumerate() {
                 if !done {
                     let mag = t[i * ntot + j].abs();
@@ -1008,7 +1143,7 @@ pub fn solve_lp_warm(
             Ok(()) => {
                 return finish_optimal(
                     &tab,
-                    &recover,
+                    recover,
                     problem,
                     internal_cost,
                     cost_constant,
@@ -1067,7 +1202,9 @@ pub fn solve_lp_warm(
             phase1_cost[art_col] = 1.0;
             art_col += 1;
         } else {
-            let s = row.slack.expect("slack exists when no artificial needed");
+            let Some(s) = row.slack else {
+                unreachable!("slack exists when no artificial needed")
+            };
             basis[i] = s;
             status[s] = VarStatus::Basic(i);
         }
@@ -1122,7 +1259,8 @@ pub fn solve_lp_warm(
         for i in 0..m {
             if tab.basis[i] >= n_struct_slack {
                 if let Some(j) = (0..n_struct_slack).find(|&j| {
-                    !matches!(tab.status[j], VarStatus::Basic(_)) && tab.at(i, j).abs() > 1e-7
+                    !matches!(tab.status[j], VarStatus::Basic(_))
+                        && tab.at(i, j).abs() > SINGULAR_TOL
                 }) {
                     tab.pivot(i, j, 1.0, 0.0, false);
                 }
@@ -1143,7 +1281,7 @@ pub fn solve_lp_warm(
 
     finish_optimal(
         &tab,
-        &recover,
+        recover,
         problem,
         internal_cost,
         cost_constant,
@@ -1172,15 +1310,7 @@ fn finish_optimal(
     phase1: bool,
     warm_used: bool,
 ) -> LpResult {
-    let internal_value = |j: usize| tab.nonbasic_value(j);
-    let mut values = vec![0.0; recover.len()];
-    for (j, rec) in recover.iter().enumerate() {
-        values[j] = match *rec {
-            Recover::Shift { col, shift } => internal_value(col) + shift,
-            Recover::Mirror { col, mirror } => mirror - internal_value(col),
-            Recover::Split { plus, minus } => internal_value(plus) - internal_value(minus),
-        };
-    }
+    let values = recover_values(recover, |j| tab.nonbasic_value(j));
     let objective = values
         .iter()
         .zip(&problem.cost)
@@ -1229,6 +1359,7 @@ fn finish_optimal(
         phase1,
         warm_used,
         basis,
+        factor: FactorStats::default(),
     }
 }
 
@@ -1475,7 +1606,8 @@ mod tests {
     #[test]
     fn workspace_reuse_matches_fresh_solves() {
         // The same workspace across differently shaped problems must give
-        // byte-identical results to fresh per-solve allocation.
+        // byte-identical results to fresh per-solve allocation — on both
+        // engines.
         let problems = vec![
             LpProblem {
                 cost: vec![-1.0, -1.0],
@@ -1499,13 +1631,19 @@ mod tests {
                 rows: vec![row(&[(0, 1.0), (1, 1.0)], Sense::Ge, 5.0)],
             },
         ];
-        let mut ws = SimplexWorkspace::new();
-        for p in &problems {
-            let reused = solve_lp_with(p, &[], &[], &LpOptions::default(), &mut ws);
-            let fresh = solve_lp(p, &[], &[]);
-            assert_eq!(reused.status, fresh.status);
-            assert_eq!(reused.objective.to_bits(), fresh.objective.to_bits());
-            assert_eq!(reused.values, fresh.values);
+        for engine in [LpEngine::Sparse, LpEngine::Dense] {
+            let opts = LpOptions {
+                engine,
+                ..LpOptions::default()
+            };
+            let mut ws = SimplexWorkspace::new();
+            for p in &problems {
+                let reused = solve_lp_with(p, &[], &[], &opts, &mut ws);
+                let fresh = solve_lp_with(p, &[], &[], &opts, &mut SimplexWorkspace::new());
+                assert_eq!(reused.status, fresh.status);
+                assert_eq!(reused.objective.to_bits(), fresh.objective.to_bits());
+                assert_eq!(reused.values, fresh.values);
+            }
         }
     }
 

@@ -6,7 +6,7 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic  "ONOC"
-//! 4       4     format version (u32 LE, currently 1)
+//! 4       4     format version (u32 LE, currently 2)
 //! 8       8+s   stage name (u64 LE length prefix + UTF-8 bytes)
 //! ..      16    content key (2 × u64 LE)
 //! ..      8     payload length (u64 LE)
@@ -16,10 +16,15 @@
 //!
 //! The checksum is the 128-bit [`ContentHasher`] digest over **everything
 //! before it** — header and payload — so any flipped bit anywhere in the
-//! record is detected, not just payload damage. Records are forward-gated
-//! by the version field: a record written by a *newer* format is reported
-//! as [`RecordError::UnsupportedVersion`] (skipped and counted by the
-//! store tier), never guessed at.
+//! record is detected, not just payload damage. Records are gated by the
+//! version field: a record written by any *other* format version — newer
+//! or older — is reported as [`RecordError::UnsupportedVersion`] (skipped
+//! and counted by the store tier), never guessed at. Payload layouts are
+//! not self-describing, so an older record is just as undecodable as a
+//! future one; the store treats both as misses and rewrites fresh.
+//!
+//! Version history: 1 = initial layout; 2 = `SolveStats` payloads gained
+//! the presolve column-elimination and sparse-LU factorization counters.
 
 use crate::codec::{Decoder, Encoder};
 use onoc_ctx::{ContentHasher, ContentKey};
@@ -29,7 +34,7 @@ use std::fmt;
 pub const RECORD_MAGIC: [u8; 4] = *b"ONOC";
 
 /// The format version this build reads and writes.
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
 
 /// One decoded record: the `(stage, key)` address and the raw payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,7 +58,8 @@ pub enum RecordError {
     },
     /// The first four bytes are not [`RECORD_MAGIC`].
     BadMagic,
-    /// The record was written by an unknown (future) format version.
+    /// The record was written by a different format version (older layouts
+    /// are not payload-compatible, future ones are unknown).
     UnsupportedVersion(u32),
     /// The trailing checksum does not match the record contents.
     ChecksumMismatch,
@@ -72,7 +78,7 @@ impl fmt::Display for RecordError {
             RecordError::UnsupportedVersion(v) => {
                 write!(
                     f,
-                    "record format version {v} is newer than the supported {FORMAT_VERSION}"
+                    "record format version {v} is not the supported {FORMAT_VERSION}"
                 )
             }
             RecordError::ChecksumMismatch => write!(f, "record checksum mismatch"),
@@ -111,11 +117,12 @@ pub fn encode_record(stage: &str, key: ContentKey, payload: &[u8]) -> Vec<u8> {
 ///
 /// # Errors
 ///
-/// [`RecordError`] on truncation, wrong magic, a future format version,
-/// checksum mismatch, or malformed framing. Validation order matters for
-/// the caller's counters: magic and version are checked *before* the
-/// checksum, so a valid record of a future format is reported as
-/// [`RecordError::UnsupportedVersion`] rather than as corruption.
+/// [`RecordError`] on truncation, wrong magic, a mismatched format
+/// version, checksum mismatch, or malformed framing. Validation order
+/// matters for the caller's counters: magic and version are checked
+/// *before* the checksum, so a valid record of another format version is
+/// reported as [`RecordError::UnsupportedVersion`] rather than as
+/// corruption.
 pub fn decode_record(bytes: &[u8]) -> Result<(Record, usize), RecordError> {
     let mut dec = Decoder::new(bytes);
     let truncated = |d: &Decoder<'_>| RecordError::Truncated {
@@ -126,11 +133,13 @@ pub fn decode_record(bytes: &[u8]) -> Result<(Record, usize), RecordError> {
         return Err(RecordError::BadMagic);
     }
     let version = dec.take_u32().map_err(|_| truncated(&dec))?;
-    if version > FORMAT_VERSION {
-        return Err(RecordError::UnsupportedVersion(version));
-    }
     if version == 0 {
         return Err(RecordError::Malformed("format version 0".to_string()));
+    }
+    // Older versions are as unreadable as future ones: payload layouts
+    // are not self-describing, so anything but an exact match is skipped.
+    if version != FORMAT_VERSION {
+        return Err(RecordError::UnsupportedVersion(version));
     }
     let stage = dec
         .take_str()
