@@ -71,3 +71,32 @@ rm -rf "$STORE_SMOKE"
 ./target/release/sring-cli trace-check "${TMPDIR:-/tmp}/sring_trace_smoke.json" \
     --phase synth --phase synth/cluster --phase synth/layout \
     --phase synth/assign --phase synth/assign/milp
+
+# Daemon smoke check: start sring-served on an ephemeral loopback port,
+# submit one MWD job, prove a second identical job is answered from the
+# shared cache (all four cacheable stages hit), and drain cleanly. The
+# port file doubles as the readiness signal (written atomically after
+# bind).
+SERVED_SMOKE="${TMPDIR:-/tmp}/sring_served_smoke"
+rm -rf "$SERVED_SMOKE"
+mkdir -p "$SERVED_SMOKE"
+./target/release/sring-served serve --addr 127.0.0.1:0 \
+    --port-file "$SERVED_SMOKE/port" \
+    --metrics "$SERVED_SMOKE/metrics.jsonl" &
+SERVED_PID=$!
+for _ in $(seq 1 100); do
+    [ -f "$SERVED_SMOKE/port" ] && break
+    sleep 0.1
+done
+[ -f "$SERVED_SMOKE/port" ]
+SERVED_ADDR=$(cat "$SERVED_SMOKE/port")
+./target/release/sring-served ping --addr "$SERVED_ADDR"
+./target/release/sring-served submit --addr "$SERVED_ADDR" --benchmark mwd
+./target/release/sring-served submit --addr "$SERVED_ADDR" --benchmark mwd \
+    --require-cache-hits 4
+./target/release/sring-served stats --addr "$SERVED_ADDR"
+./target/release/sring-served shutdown --addr "$SERVED_ADDR"
+wait "$SERVED_PID"
+# Two finished jobs -> two metrics records.
+[ "$(wc -l < "$SERVED_SMOKE/metrics.jsonl")" = "2" ]
+rm -rf "$SERVED_SMOKE"

@@ -189,14 +189,22 @@ pub trait Stage {
 /// counted on the `cache/disk_decode_errors` trace counter and treated as
 /// a miss — never trusted, never fatal.
 ///
+/// The context's deadline is checked *before* any work (including cache
+/// lookups): a deadline that expired while the previous stage ran aborts
+/// the pipeline here with [`SringError::Deadline`], instead of silently
+/// starting the next stage and only being noticed by a deadline-aware
+/// solver deep inside `assign`.
+///
 /// # Errors
 ///
-/// Propagates the stage's own error, or [`SringError::Cache`] when the
+/// Propagates the stage's own error, [`SringError::Deadline`] when the
+/// context's deadline has passed, or [`SringError::Cache`] when the
 /// artifact cache lock was poisoned.
 pub fn run_stage<S: Stage>(ctx: &ExecCtx, stage: &S) -> Result<Arc<S::Output>, SringError>
 where
     S::Output: Persist,
 {
+    ctx.check_deadline()?;
     let _span = ctx.trace().span(stage.name());
     if !stage.cacheable() {
         return Ok(Arc::new(stage.run(ctx)?));
@@ -708,6 +716,44 @@ mod tests {
         assert_eq!(stats_before.hits, stats_after.hits);
         assert_eq!(stats_before.misses, stats_after.misses);
         assert_eq!(*a, *b, "recomputation is still deterministic");
+    }
+
+    #[test]
+    fn deadline_expiring_between_stages_aborts_before_the_next_stage() {
+        // Regression: the deadline used to be consulted only *inside*
+        // `assign` (as a solver-budget clamp), so a deadline that lapsed
+        // after `cluster` would happily run `layout` and `route` to
+        // completion. `run_stage` now aborts before starting a stage.
+        let app = benchmarks::mwd();
+        let cfg = config();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_millis(500);
+        let ctx = ExecCtx::cached().with_deadline(deadline);
+        let clustering = run_stage(
+            &ctx,
+            &ClusterStage {
+                app: &app,
+                config: &cfg,
+            },
+        )
+        .expect("cluster finishes well within the deadline");
+        std::thread::sleep(std::time::Duration::from_millis(600));
+        let stats_before = ctx.cache_stats().unwrap();
+        let err = run_stage(
+            &ctx,
+            &LayoutStage {
+                app: &app,
+                config: &cfg,
+                clustering: &clustering,
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, SringError::Deadline(_)),
+            "expected a typed deadline abort, got {err:?}"
+        );
+        // The abort happens before any work — not even a cache lookup ran.
+        let stats_after = ctx.cache_stats().unwrap();
+        assert_eq!(stats_before.gets, stats_after.gets);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use crate::assignment::{AssignError, Assignment, AssignmentStrategy};
 use crate::cluster::{ClusterError, Clustering, ClusteringConfig};
 use crate::stages::{run_stage, AssignStage, ClusterStage, LayoutStage, RouteStage};
-use onoc_ctx::{CacheError, ExecCtx};
+use onoc_ctx::{CacheError, DeadlineExceeded, ExecCtx};
 use onoc_graph::{CommGraph, NodeId};
 use onoc_photonics::{DesignError, PdnDesign, PdnStyle, RouterDesign};
 use onoc_units::TechnologyParameters;
@@ -86,6 +86,10 @@ pub enum SringError {
     Design(DesignError),
     /// The artifact cache failed (a worker panic poisoned its lock).
     Cache(CacheError),
+    /// The context's wall-clock deadline expired before the pipeline
+    /// finished: either it was already past at entry (fail-fast, nothing
+    /// ran) or it lapsed between stages (the next stage never started).
+    Deadline(DeadlineExceeded),
 }
 
 impl fmt::Display for SringError {
@@ -95,6 +99,7 @@ impl fmt::Display for SringError {
             SringError::Assign(e) => write!(f, "wavelength assignment failed: {e}"),
             SringError::Design(e) => write!(f, "design validation failed: {e}"),
             SringError::Cache(e) => write!(f, "artifact cache failed: {e}"),
+            SringError::Deadline(e) => write!(f, "synthesis aborted: {e}"),
         }
     }
 }
@@ -119,6 +124,11 @@ impl From<DesignError> for SringError {
 impl From<CacheError> for SringError {
     fn from(e: CacheError) -> Self {
         SringError::Cache(e)
+    }
+}
+impl From<DeadlineExceeded> for SringError {
+    fn from(e: DeadlineExceeded) -> Self {
+        SringError::Deadline(e)
     }
 }
 
@@ -187,8 +197,12 @@ impl SringSynthesizer {
     /// * Caching: with a cache attached, the `cluster`, `layout`, `route`
     ///   and `assign` artifacts are reused across runs whose content keys
     ///   match; `ExecCtx::default()` (no cache) recomputes everything.
-    /// * Deadline: a context deadline clamps the MILP time budget, which
-    ///   also marks the `assign` stage uncacheable for that run.
+    /// * Deadline: a context deadline clamps the MILP time budget (which
+    ///   also marks the `assign` stage uncacheable for that run), and it
+    ///   is *checked between stages*: an already-expired deadline fails
+    ///   fast with [`SringError::Deadline`] before anything runs, and a
+    ///   deadline that lapses mid-pipeline aborts before the next stage
+    ///   starts (see [`run_stage`]).
     ///
     /// # Errors
     ///
@@ -198,6 +212,9 @@ impl SringSynthesizer {
         app: &CommGraph,
         ctx: &ExecCtx,
     ) -> Result<SringReport, SringError> {
+        // Fail fast: a deadline that is already past at construction must
+        // not run the full pipeline only to have its result discarded.
+        ctx.check_deadline()?;
         // onoc-lint: allow(L4, reason = "report-level runtime measurement returned in SringReport; not a trace span")
         let start = Instant::now();
         let trace = ctx.trace();
@@ -239,7 +256,11 @@ impl SringSynthesizer {
 
         // --- PDN (construction of ref. [22]) and final assembly. ---
         // Uncached: the assembled design embeds every upstream artifact,
-        // so caching it would only duplicate the assign entry.
+        // so caching it would only duplicate the assign entry. Still
+        // deadline-guarded: assembly/validation is cheap but not free, and
+        // a caller whose budget lapsed during `assign` wants the typed
+        // abort, not a late result.
+        ctx.check_deadline()?;
         let span_pdn = trace.span("pdn");
         let mut signal_paths = route.signal_paths.clone();
         for (p, &w) in signal_paths.iter_mut().zip(&assignment.wavelengths) {
@@ -368,6 +389,28 @@ mod tests {
         let report = heuristic_synth().synthesize_detailed(&app).unwrap();
         let analysis = report.design.analyze(&TechnologyParameters::default());
         assert!((analysis.longest_path.0 - report.clustering.longest_path.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pre_expired_deadline_fails_fast_with_a_typed_error() {
+        // Regression: an already-expired deadline used to run the whole
+        // pipeline (the deadline only clamped the MILP budget), returning
+        // a result the caller was going to discard. It must fail fast
+        // before any stage executes.
+        let app = benchmarks::mwd();
+        let ctx =
+            onoc_ctx::ExecCtx::cached().with_deadline(Instant::now() - Duration::from_millis(1));
+        let err = heuristic_synth()
+            .synthesize_detailed_ctx(&app, &ctx)
+            .unwrap_err();
+        assert!(
+            matches!(err, SringError::Deadline(_)),
+            "expected a typed deadline error, got {err:?}"
+        );
+        assert!(err.to_string().contains("deadline exceeded"));
+        // Nothing ran: the cache never saw a single lookup.
+        let stats = ctx.cache_stats().unwrap();
+        assert_eq!(stats.gets, 0, "fail-fast must not start any stage");
     }
 
     #[test]

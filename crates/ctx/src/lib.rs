@@ -32,7 +32,6 @@ use onoc_trace::{lock_or_recover, Trace};
 use std::any::Any;
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -260,10 +259,35 @@ impl fmt::Display for CacheError {
 
 impl std::error::Error for CacheError {}
 
+/// The context's wall-clock deadline has already passed.
+///
+/// Returned by [`ExecCtx::check_deadline`]; pipeline drivers surface it
+/// as a typed error so callers can distinguish "ran out of budget" from
+/// a genuine synthesis failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlineExceeded {
+    /// How far past the deadline the check ran. Zero when the deadline
+    /// expired at the very instant of the check.
+    pub overdue: Duration,
+}
+
+impl fmt::Display for DeadlineExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deadline exceeded by {:?}", self.overdue)
+    }
+}
+
+impl std::error::Error for DeadlineExceeded {}
+
 /// A type-erased cached artifact.
 pub type Artifact = Arc<dyn Any + Send + Sync>;
 
 /// Counters of one [`ArtifactCache`].
+///
+/// Snapshots are coherent: every counter is maintained under the same
+/// lock that guards the map, so `hits + misses == gets` holds in *every*
+/// snapshot, no matter how many threads are hammering the cache while it
+/// is taken.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Lookups that returned a stored artifact.
@@ -273,6 +297,8 @@ pub struct CacheStats {
     /// Entries dropped to respect the capacity bound, plus type-mismatched
     /// entries evicted by [`ArtifactCache::get_as`].
     pub evictions: u64,
+    /// Total lookups issued (always exactly `hits + misses`).
+    pub gets: u64,
     /// Artifacts currently stored.
     pub entries: usize,
 }
@@ -298,6 +324,17 @@ struct CacheEntry {
 struct CacheInner {
     map: BTreeMap<(&'static str, ContentKey), CacheEntry>,
     tick: u64,
+    // Counters live *inside* the lock-protected state, not in separate
+    // atomics: a `stats` snapshot taken under the lock is then coherent
+    // by construction (hits + misses == gets, and the entry count agrees
+    // with the lookups that produced it). With separate Relaxed atomics a
+    // snapshot could observe a hit whose `gets` increment had not landed
+    // yet — harmless for a single counter, but it breaks the invariants
+    // the server's admission/metrics layer wants to assert on.
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    gets: u64,
 }
 
 /// A thread-safe content-addressed artifact store with LRU eviction.
@@ -310,9 +347,6 @@ struct CacheInner {
 pub struct ArtifactCache {
     capacity: usize,
     inner: Mutex<CacheInner>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
 }
 
 impl fmt::Debug for ArtifactCache {
@@ -342,10 +376,11 @@ impl ArtifactCache {
             inner: Mutex::new(CacheInner {
                 map: BTreeMap::new(),
                 tick: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+                gets: 0,
             }),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
         }
     }
 
@@ -365,16 +400,17 @@ impl ArtifactCache {
         // Counters tick while the lock is held so a `stats` snapshot
         // (which also takes the lock) always sees hit/miss totals
         // consistent with the entry count.
+        inner.gets += 1;
         match inner.map.get_mut(&(stage, key)) {
             Some(entry) => {
                 entry.last_used = tick;
                 let value = entry.value.clone();
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                inner.hits += 1;
                 drop(inner);
                 Ok(Some(value))
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                inner.misses += 1;
                 drop(inner);
                 Ok(None)
             }
@@ -401,24 +437,25 @@ impl ArtifactCache {
         let mut inner = self.inner.lock().map_err(|_| CacheError::Poisoned)?;
         inner.tick += 1;
         let tick = inner.tick;
+        inner.gets += 1;
         match inner.map.get_mut(&(stage, key)) {
             Some(entry) => match entry.value.clone().downcast::<T>() {
                 Ok(value) => {
                     entry.last_used = tick;
-                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    inner.hits += 1;
                     drop(inner);
                     Ok(Some(value))
                 }
                 Err(_) => {
                     inner.map.remove(&(stage, key));
-                    self.misses.fetch_add(1, Ordering::Relaxed);
-                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    inner.misses += 1;
+                    inner.evictions += 1;
                     drop(inner);
                     Ok(None)
                 }
             },
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                inner.misses += 1;
                 drop(inner);
                 Ok(None)
             }
@@ -464,29 +501,30 @@ impl ArtifactCache {
                 None => break,
             }
         }
-        if evicted > 0 {
-            self.evictions.fetch_add(evicted, Ordering::Relaxed);
-        }
+        inner.evictions += evicted;
         drop(inner);
         Ok(())
     }
 
-    /// A snapshot of the hit/miss/eviction counters and the entry count.
+    /// A snapshot of the hit/miss/eviction/get counters and the entry
+    /// count.
     ///
     /// The snapshot is taken while holding the inner lock, and every
-    /// counter is incremented under that same lock, so the published
-    /// totals are mutually consistent: a concurrent burst of lookups can
-    /// never yield a snapshot whose `hits + misses` disagrees with the
-    /// map state those lookups produced.
+    /// counter lives *in* the lock-protected state, so the published
+    /// totals are mutually consistent: `hits + misses == gets` in every
+    /// snapshot, and a concurrent burst of lookups can never yield a
+    /// snapshot whose counters disagree with the map state those lookups
+    /// produced.
     #[must_use]
     pub fn stats(&self) -> CacheStats {
         // Statistics are diagnostics: a poisoned map is still safe to
         // *count*, so recover rather than misreport zero entries.
         let inner = lock_or_recover(&self.inner);
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            gets: inner.gets,
             entries: inner.map.len(),
         }
     }
@@ -665,6 +703,33 @@ impl ExecCtx {
         self.deadline
             // onoc-lint: allow(L4, reason = "deadline arithmetic against the ctx budget, not a measurement")
             .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// Fails when the wall-clock deadline has passed; a no-op without a
+    /// deadline.
+    ///
+    /// Pipeline drivers call this *between* stages so a deadline that
+    /// expires mid-pipeline aborts before the next stage starts, and at
+    /// entry so an already-expired deadline fails fast instead of running
+    /// the full pipeline.
+    ///
+    /// # Errors
+    ///
+    /// [`DeadlineExceeded`] when the deadline has passed, carrying how far
+    /// overdue the check ran.
+    pub fn check_deadline(&self) -> Result<(), DeadlineExceeded> {
+        let Some(deadline) = self.deadline else {
+            return Ok(());
+        };
+        // onoc-lint: allow(L4, reason = "deadline arithmetic against the ctx budget, not a measurement")
+        let now = Instant::now();
+        if now >= deadline {
+            Err(DeadlineExceeded {
+                overdue: now - deadline,
+            })
+        } else {
+            Ok(())
+        }
     }
 
     /// Looks up a typed artifact for `(stage, key)` and counts the
@@ -936,6 +1001,35 @@ mod tests {
         assert!(resolve_threads(0) >= 1);
         assert_eq!(resolve_threads(1), 1);
         assert_eq!(resolve_threads(7), 7);
+    }
+
+    #[test]
+    fn stats_gets_always_equals_hits_plus_misses() {
+        let cache = ArtifactCache::new(4);
+        let key = |n: u64| ContentKey([n, n]);
+        for i in 0..10u64 {
+            let _ = cache.get("s", key(i % 3)).unwrap();
+            if i % 2 == 0 {
+                cache.insert("s", key(i % 3), Arc::new(i)).unwrap();
+            }
+        }
+        let s = cache.stats();
+        assert_eq!(s.gets, 10);
+        assert_eq!(s.hits + s.misses, s.gets);
+    }
+
+    #[test]
+    fn check_deadline_passes_then_fails() {
+        // No deadline: always fine.
+        assert!(ExecCtx::default().check_deadline().is_ok());
+        // A generous deadline passes.
+        let ctx = ExecCtx::default().with_deadline(Instant::now() + Duration::from_secs(60));
+        assert!(ctx.check_deadline().is_ok());
+        // An already-expired deadline fails with a typed error carrying a
+        // sensible overdue amount.
+        let ctx = ExecCtx::default().with_deadline(Instant::now() - Duration::from_millis(5));
+        let err = ctx.check_deadline().unwrap_err();
+        assert!(err.overdue >= Duration::from_millis(5), "overdue {err}");
     }
 
     #[test]

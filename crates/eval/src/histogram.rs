@@ -9,7 +9,14 @@ use std::fmt;
 /// *overflow*, and both are reported separately so a mis-sized range
 /// cannot silently distort the distribution. `NaN` is rejected with a
 /// debug assertion (a `NaN` sample is always an upstream bug); release
-/// builds count it as overflow rather than aborting an overnight run.
+/// builds, where the assert is compiled out, count it on a dedicated
+/// [`nan`](Self::nan) counter — it used to masquerade as overflow, which
+/// made a poisoned metric indistinguishable from a mis-sized range.
+///
+/// [`add`](Self::add) treats the range as half-open (`value == max` is
+/// overflow); [`record`](Self::record) closes the upper edge (`value ==
+/// max` lands in the top bin), which is the right convention for latency
+/// metrics where the observed maximum is a legitimate sample.
 ///
 /// # Examples
 ///
@@ -33,6 +40,7 @@ pub struct Histogram {
     counts: Vec<usize>,
     underflow: usize,
     overflow: usize,
+    nan: usize,
 }
 
 impl Histogram {
@@ -40,9 +48,15 @@ impl Histogram {
     ///
     /// # Panics
     ///
-    /// Panics if `min >= max` or `bins == 0`.
+    /// Panics if `min >= max` (which also rejects the zero-width `min ==
+    /// max` range and any non-finite bound ordering), if either bound is
+    /// not finite, or if `bins == 0`.
     #[must_use]
     pub fn new(min: f64, max: f64, bins: usize) -> Self {
+        assert!(
+            min.is_finite() && max.is_finite(),
+            "histogram bounds must be finite"
+        );
         assert!(min < max, "histogram range must be non-empty");
         assert!(bins > 0, "histogram needs at least one bin");
         Histogram {
@@ -51,28 +65,76 @@ impl Histogram {
             counts: vec![0; bins],
             underflow: 0,
             overflow: 0,
+            nan: 0,
         }
     }
 
+    /// The bin of an in-range sample.
+    ///
+    /// Computed as a fraction of the *whole* range rather than a division
+    /// by the per-bin width: for a subnormal range with many bins the
+    /// width `(max - min) / bins` can round to exactly zero, and dividing
+    /// by it turns every sample into `±inf`/`NaN` — the fraction is
+    /// finite for every `min <= value <= max` because the bounds are.
+    fn bin_index(&self, value: f64) -> usize {
+        let bins = self.counts.len();
+        let frac = (value - self.min) / (self.max - self.min);
+        ((frac * bins as f64) as usize).min(bins - 1)
+    }
+
     /// Adds a sample; values below `min` count as underflow, values at or
-    /// above `max` as overflow.
+    /// above `max` as overflow, `NaN` on the [`nan`](Self::nan) counter.
     ///
     /// # Panics
     ///
     /// Debug builds panic on a `NaN` sample.
     pub fn add(&mut self, value: f64) {
         debug_assert!(!value.is_nan(), "NaN sample added to histogram");
+        if value.is_nan() {
+            // Release builds compile the assert out; a NaN must still be
+            // visible as its own category, not disguised as overflow.
+            self.nan += 1;
+            return;
+        }
         if value < self.min {
             self.underflow += 1;
             return;
         }
-        if value >= self.max || value.is_nan() {
-            // ≥ max, +inf — and NaN in release builds.
+        if value >= self.max {
+            // ≥ max, +inf.
             self.overflow += 1;
             return;
         }
-        let width = (self.max - self.min) / self.counts.len() as f64;
-        let bin = (((value - self.min) / width) as usize).min(self.counts.len() - 1);
+        let bin = self.bin_index(value);
+        self.counts[bin] += 1;
+    }
+
+    /// Adds a sample with a *closed* upper edge: `value == max` lands in
+    /// the top bin instead of counting as overflow. Everything else
+    /// behaves like [`add`](Self::add).
+    ///
+    /// Use this for observed-extremum data (latency percentiles, loss
+    /// maxima) where the range was sized from the samples themselves and
+    /// the maximum is a legitimate member of the distribution.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic on a `NaN` sample.
+    pub fn record(&mut self, value: f64) {
+        debug_assert!(!value.is_nan(), "NaN sample recorded in histogram");
+        if value.is_nan() {
+            self.nan += 1;
+            return;
+        }
+        if value < self.min {
+            self.underflow += 1;
+            return;
+        }
+        if value > self.max {
+            self.overflow += 1;
+            return;
+        }
+        let bin = self.bin_index(value);
         self.counts[bin] += 1;
     }
 
@@ -92,6 +154,13 @@ impl Histogram {
     #[must_use]
     pub fn overflow(&self) -> usize {
         self.overflow
+    }
+
+    /// `NaN` samples (only observable in release builds; debug builds
+    /// assert instead).
+    #[must_use]
+    pub fn nan(&self) -> usize {
+        self.nan
     }
 
     /// Samples that fell outside the range (underflow + overflow).
@@ -135,6 +204,9 @@ impl fmt::Display for Histogram {
         }
         if self.overflow > 0 {
             writeln!(f, "[{:>9.3} and above)  {:>7}", self.max, self.overflow)?;
+        }
+        if self.nan > 0 {
+            writeln!(f, "[NaN              )  {:>7}", self.nan)?;
         }
         Ok(())
     }
@@ -196,7 +268,68 @@ mod tests {
     #[test]
     #[should_panic(expected = "non-empty")]
     fn empty_range_panics() {
+        // `min == max` would make every bin zero-width; `new` rejects it
+        // up front so the bin computation can never divide by zero.
         let _ = Histogram::new(1.0, 1.0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_bounds_panic() {
+        let _ = Histogram::new(0.0, f64::INFINITY, 3);
+    }
+
+    #[test]
+    fn record_closes_the_upper_edge() {
+        // Regression: with the half-open `add` convention, a latency
+        // histogram sized `[min_observed, max_observed]` always dropped
+        // its own maximum into overflow. `record` keeps it in the top bin.
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        h.record(0.0);
+        h.record(3.999);
+        h.record(4.0); // == max: top bin, not overflow
+        assert_eq!(h.counts(), &[1, 0, 0, 2]);
+        assert_eq!(h.overflow(), 0);
+        h.record(4.000001); // > max: still overflow
+        h.record(-0.1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn subnormal_range_does_not_divide_by_zero() {
+        // Regression: the bin used to be `(value - min) / width` with
+        // `width = (max - min) / bins`; for a subnormal range the width
+        // rounds to exactly 0.0 and the division produces inf/NaN. The
+        // fraction-of-range computation keeps every sample finite.
+        let tiny = f64::from_bits(1); // smallest positive subnormal
+        let mut h = Histogram::new(0.0, tiny, 2);
+        h.record(0.0);
+        h.record(tiny);
+        assert_eq!(h.total(), 2);
+        assert_eq!(h.outliers(), 0);
+        assert_eq!(h.counts()[1], 1, "max lands in the top bin");
+        let mut h = Histogram::new(0.0, tiny, 2);
+        h.add(0.0);
+        h.add(tiny); // half-open: the max overflows, but must not panic
+        assert_eq!(h.total(), 1);
+        assert_eq!(h.overflow(), 1);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn nan_counts_separately_in_release_builds() {
+        // Regression: with the debug assert compiled out, a NaN sample
+        // used to be silently counted as *overflow*, making a poisoned
+        // metric indistinguishable from a mis-sized range.
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(f64::NAN);
+        h.record(f64::NAN);
+        assert_eq!(h.nan(), 2);
+        assert_eq!(h.overflow(), 0);
+        assert_eq!(h.outliers(), 0);
+        assert_eq!(h.total(), 0);
     }
 
     mod properties {

@@ -1,0 +1,143 @@
+//! A minimal blocking client for the `sring-served` protocol.
+//!
+//! One [`Client`] wraps one TCP connection; requests are answered in
+//! order on the same stream. The CLI, the load generator and the
+//! integration tests all talk to the server through this type.
+
+use crate::proto::{
+    read_frame, write_message, FrameError, JobSpec, Request, Response, ServerStats,
+    DEFAULT_MAX_FRAME,
+};
+use onoc_store::{DecodeError, Persist};
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Errors a [`Client`] call can produce.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ClientError {
+    /// Connecting or configuring the socket failed.
+    Io(io::Error),
+    /// The response frame was malformed or the connection broke mid-frame.
+    Frame(FrameError),
+    /// The response payload did not decode as a [`Response`].
+    Decode(DecodeError),
+    /// The server answered with an unexpected response variant.
+    Unexpected(&'static str),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Frame(e) => write!(f, "framing error: {e}"),
+            ClientError::Decode(e) => write!(f, "undecodable response: {e}"),
+            ClientError::Unexpected(what) => write!(f, "unexpected response: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+impl From<DecodeError> for ClientError {
+    fn from(e: DecodeError) -> Self {
+        ClientError::Decode(e)
+    }
+}
+
+/// A blocking connection to one `sring-served` instance.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    max_frame: u32,
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from establishing the connection.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            max_frame: DEFAULT_MAX_FRAME,
+        })
+    }
+
+    /// Sends one request and reads the matching response.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`]/[`ClientError::Frame`] when the connection
+    /// breaks, [`ClientError::Decode`] when the payload is malformed.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_message(&mut self.stream, request, self.max_frame)?;
+        let payload = read_frame(&mut self.stream, self.max_frame)?;
+        Ok(Response::from_store_bytes(&payload)?)
+    }
+
+    /// Submits one job and returns the server's answer (`Job`,
+    /// `Rejected` or `Error`).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors as for [`Client::request`].
+    pub fn submit(&mut self, spec: JobSpec) -> Result<Response, ClientError> {
+        self.request(&Request::Job(spec))
+    }
+
+    /// Fetches a server stats snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or [`ClientError::Unexpected`] when the server
+    /// answers with anything but a stats snapshot.
+    pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            _ => Err(ClientError::Unexpected("wanted Stats")),
+        }
+    }
+
+    /// Round-trips a ping.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or [`ClientError::Unexpected`] on a non-pong
+    /// answer.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            _ => Err(ClientError::Unexpected("wanted Pong")),
+        }
+    }
+
+    /// Asks the server to begin a graceful drain.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or [`ClientError::Unexpected`] when the server
+    /// does not acknowledge the shutdown.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            _ => Err(ClientError::Unexpected("wanted ShuttingDown")),
+        }
+    }
+}

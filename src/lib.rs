@@ -22,7 +22,10 @@
 //! * [`core`] — the SRing synthesis pipeline itself,
 //! * [`eval`] — the harness that regenerates every table and figure,
 //! * [`simulation`] — functional transmission simulation (collision
-//!   checking, latency, throughput).
+//!   checking, latency, throughput),
+//! * [`served`] — the `sring-served` batch synthesis daemon: wire
+//!   protocol, bounded worker pool with a shared artifact cache,
+//!   admission control and a blocking client.
 //!
 //! # Quickstart
 //!
@@ -47,6 +50,7 @@ pub use onoc_eval as eval;
 pub use onoc_graph as graph;
 pub use onoc_layout as layout;
 pub use onoc_photonics as photonics;
+pub use onoc_served as served;
 pub use onoc_sim as simulation;
 pub use onoc_store as store;
 pub use onoc_trace as trace;

@@ -238,6 +238,21 @@ fn seeded_multithread_stress_keeps_the_cache_consistent() {
 
     let cache = Arc::new(ArtifactCache::new(CAPACITY));
     let total_gets: u64 = std::thread::scope(|scope| {
+        // A dedicated snapshotter races `stats()` against the workers:
+        // every snapshot must be internally coherent (hits + misses ==
+        // gets). With the counters in separate atomics read outside the
+        // inner lock this invariant could tear mid-burst; with the
+        // counters folded into the lock-protected state it holds by
+        // construction.
+        let snapshotter = {
+            let cache = Arc::clone(&cache);
+            scope.spawn(move || {
+                for _ in 0..2_000 {
+                    let s = cache.stats();
+                    assert_eq!(s.hits + s.misses, s.gets, "torn mid-flight snapshot: {s:?}");
+                }
+            })
+        };
         let handles: Vec<_> = (0..THREADS)
             .map(|t| {
                 let ctx = ExecCtx::new().with_cache(Arc::clone(&cache));
@@ -271,6 +286,7 @@ fn seeded_multithread_stress_keeps_the_cache_consistent() {
                 })
             })
             .collect();
+        snapshotter.join().expect("snapshotter panicked");
         handles
             .into_iter()
             .map(|h| h.join().expect("worker panicked"))
@@ -282,6 +298,10 @@ fn seeded_multithread_stress_keeps_the_cache_consistent() {
         stats.entries <= CAPACITY,
         "LRU bound violated: {}",
         stats.entries
+    );
+    assert_eq!(
+        stats.gets, total_gets,
+        "the gets counter drifted from the lookups issued"
     );
     assert_eq!(
         stats.hits + stats.misses,
