@@ -72,11 +72,24 @@ rm -rf "$STORE_SMOKE"
     --phase synth --phase synth/cluster --phase synth/layout \
     --phase synth/assign --phase synth/assign/milp
 
+# Delta smoke check: synthesize MWD, retarget one message, re-synthesize
+# incrementally and verify the result is byte-identical to a from-scratch
+# run of the edited graph (--verify makes the binary do the diff and exit
+# non-zero on divergence).
+./target/release/sring-cli resynth --benchmark mwd \
+    --delta retarget:0,0,3 --verify
+
+# Incremental re-synthesis smoke check: the 16-edit interactive mix on
+# MWD/VOPD/MPEG must stay bit-identical and >= 5x faster incrementally
+# (the binary enforces both and exits non-zero otherwise).
+./target/release/delta_resynth "${TMPDIR:-/tmp}/BENCH_delta_smoke.json"
+
 # Daemon smoke check: start sring-served on an ephemeral loopback port,
 # submit one MWD job, prove a second identical job is answered from the
 # shared cache (all four cacheable stages hit), and drain cleanly. The
 # port file doubles as the readiness signal (written atomically after
-# bind).
+# bind). The cache-hit probe rides the new --repeat path, so the two
+# jobs also exercise single-connection reuse.
 SERVED_SMOKE="${TMPDIR:-/tmp}/sring_served_smoke"
 rm -rf "$SERVED_SMOKE"
 mkdir -p "$SERVED_SMOKE"
@@ -91,12 +104,15 @@ done
 [ -f "$SERVED_SMOKE/port" ]
 SERVED_ADDR=$(cat "$SERVED_SMOKE/port")
 ./target/release/sring-served ping --addr "$SERVED_ADDR"
-./target/release/sring-served submit --addr "$SERVED_ADDR" --benchmark mwd
 ./target/release/sring-served submit --addr "$SERVED_ADDR" --benchmark mwd \
-    --require-cache-hits 4
+    --repeat 2 --require-cache-hits 4 --save-as base
+# Delta-job round-trip: a bandwidth re-weight against the saved result
+# must be served entirely from the cache warmed by the base job.
+./target/release/sring-served submit --addr "$SERVED_ADDR" \
+    --base base --delta scale:0,2.0 --require-cache-hits 4
 ./target/release/sring-served stats --addr "$SERVED_ADDR"
 ./target/release/sring-served shutdown --addr "$SERVED_ADDR"
 wait "$SERVED_PID"
-# Two finished jobs -> two metrics records.
-[ "$(wc -l < "$SERVED_SMOKE/metrics.jsonl")" = "2" ]
+# Three finished jobs -> three metrics records.
+[ "$(wc -l < "$SERVED_SMOKE/metrics.jsonl")" = "3" ]
 rm -rf "$SERVED_SMOKE"

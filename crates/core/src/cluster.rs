@@ -10,6 +10,7 @@
 //! communicating nodes and `d₂` the longest signal path of a conventional
 //! all-node ring.
 
+use onoc_ctx::{ContentHash, ContentHasher, ContentKey, ExecCtx};
 use onoc_graph::{CommGraph, NodeId};
 use onoc_layout::ring_order::tour_order;
 use onoc_layout::Cycle;
@@ -218,6 +219,26 @@ pub fn one_way_upper_bound(graph: &CommGraph) -> Millimeters {
 /// candidate `L_max` in `[d₁, d₂]` validates, the algorithm falls back to
 /// an unbounded run, which always succeeds.
 pub fn cluster(graph: &CommGraph, config: &ClusteringConfig) -> Result<Clustering, ClusterError> {
+    cluster_ctx(graph, config, &ExecCtx::new())
+}
+
+/// [`cluster`] with an execution context. When `ctx` carries a memo tier
+/// ([`ExecCtx::memo`]), the pure sub-ring construction units — greedy
+/// cluster growth, cycle refinement, and inter-ring growth — are
+/// content-keyed by exactly the input slice each depends on and served
+/// from the memo on repeat invocations. A memo hit returns precisely what
+/// recomputation would, so results are bit-identical with or without the
+/// memo; this is what makes incremental re-synthesis fast without a
+/// separate (and potentially divergent) incremental algorithm.
+///
+/// # Errors
+///
+/// Same contract as [`cluster`].
+pub fn cluster_ctx(
+    graph: &CommGraph,
+    config: &ClusteringConfig,
+    ctx: &ExecCtx,
+) -> Result<Clustering, ClusterError> {
     if graph.message_count() == 0 {
         return Err(ClusterError::NoMessages);
     }
@@ -262,12 +283,12 @@ pub fn cluster(graph: &CommGraph, config: &ClusteringConfig) -> Result<Clusterin
     // candidates) and keeps the best — exhaustive over the same candidate
     // set, immune to a single misleading branch decision.
     for k in 0..count {
-        if let Some(solution) = try_cluster_with_l_max(graph, candidate(k))? {
+        if let Some(solution) = try_cluster_with_l_max_ctx(graph, candidate(k), ctx)? {
             consider(solution, &mut best);
         }
     }
     if best.is_none() {
-        if let Some(solution) = try_cluster_with_l_max(graph, f64::INFINITY)? {
+        if let Some(solution) = try_cluster_with_l_max_ctx(graph, f64::INFINITY, ctx)? {
             consider(solution, &mut best);
         }
     }
@@ -313,6 +334,20 @@ pub fn try_cluster_with_l_max(
     graph: &CommGraph,
     l_max: f64,
 ) -> Result<Option<Clustering>, ClusterError> {
+    try_cluster_with_l_max_ctx(graph, l_max, &ExecCtx::new())
+}
+
+/// [`try_cluster_with_l_max`] with an execution context whose memo tier
+/// (if any) serves the pure construction units; see [`cluster_ctx`].
+///
+/// # Errors
+///
+/// Same contract as [`try_cluster_with_l_max`].
+pub fn try_cluster_with_l_max_ctx(
+    graph: &CommGraph,
+    l_max: f64,
+    ctx: &ExecCtx,
+) -> Result<Option<Clustering>, ClusterError> {
     let n = graph.node_count();
     // Candidate passes: two selection criteria × several cluster-size
     // caps. Uncapped growth minimizes the inter ring; capped growth keeps
@@ -331,7 +366,7 @@ pub fn try_cluster_with_l_max(
             if cap < 2 || cap >= binding_size {
                 continue;
             }
-            if let Some(c) = cluster_pass(graph, l_max, criterion, cap)? {
+            if let Some(c) = cluster_pass(graph, l_max, criterion, cap, ctx)? {
                 let max_cluster = c
                     .clusters
                     .iter()
@@ -368,14 +403,135 @@ enum SelectionCriterion {
     TightestFirst,
 }
 
+/// Appends `v` and its position — the identity *and* geometry a
+/// construction unit sees for one node.
+fn hash_node(graph: &CommGraph, v: NodeId, hasher: &mut ContentHasher) {
+    hasher.write_usize(v.index());
+    graph.position(v).content_hash(hasher);
+}
+
+/// Memo key for [`grow_intra`]: the growth is a pure function of the
+/// initial vertex, the unclustered set (with positions), the messages
+/// restricted to that set (its neighbor, affinity, and path evaluations
+/// never look outside it), and the `(l_max, size_cap)` bounds.
+fn grow_key(
+    graph: &CommGraph,
+    initial: NodeId,
+    unclustered: &BTreeSet<NodeId>,
+    l_max: f64,
+    size_cap: usize,
+) -> ContentKey {
+    let mut hasher = ContentHasher::new();
+    hasher.write_usize(initial.index());
+    hasher.write_f64(l_max);
+    hasher.write_usize(size_cap);
+    hasher.write_usize(unclustered.len());
+    for &v in unclustered {
+        hash_node(graph, v, &mut hasher);
+    }
+    for m in graph.messages() {
+        if unclustered.contains(&m.src) && unclustered.contains(&m.dst) {
+            hasher.write_usize(m.src.index());
+            hasher.write_usize(m.dst.index());
+        }
+    }
+    hasher.finish()
+}
+
+/// Memo key for [`improve_cycle`]: the refinement depends on the cycle's
+/// visiting order, the message list it scores (in order, with endpoint
+/// positions), and the bound.
+fn refine_key(
+    graph: &CommGraph,
+    cycle: &Cycle,
+    messages: &[(NodeId, NodeId)],
+    l_max: f64,
+) -> ContentKey {
+    let mut hasher = ContentHasher::new();
+    hasher.write_f64(l_max);
+    hasher.write_usize(cycle.len());
+    for &v in cycle.nodes() {
+        hash_node(graph, v, &mut hasher);
+    }
+    hasher.write_usize(messages.len());
+    for &(s, d) in messages {
+        hash_node(graph, s, &mut hasher);
+        hash_node(graph, d, &mut hasher);
+    }
+    hasher.finish()
+}
+
+/// Memo key for [`grow_inter`]: the initial vertex, the full `v_inter`
+/// list (with positions), the cross-cluster messages, and the bound.
+fn inter_key(
+    graph: &CommGraph,
+    initial: NodeId,
+    v_inter: &[NodeId],
+    inter_messages: &[(NodeId, NodeId)],
+    l_max: f64,
+) -> ContentKey {
+    let mut hasher = ContentHasher::new();
+    hasher.write_usize(initial.index());
+    hasher.write_f64(l_max);
+    hasher.write_usize(v_inter.len());
+    for &v in v_inter {
+        hash_node(graph, v, &mut hasher);
+    }
+    hasher.write_usize(inter_messages.len());
+    for &(s, d) in inter_messages {
+        hash_node(graph, s, &mut hasher);
+        hash_node(graph, d, &mut hasher);
+    }
+    hasher.finish()
+}
+
 fn cluster_pass(
     graph: &CommGraph,
     l_max: f64,
     criterion: SelectionCriterion,
     size_cap: usize,
+    ctx: &ExecCtx,
 ) -> Result<Option<Clustering>, ClusterError> {
     let n = graph.node_count();
     let dist = |a: NodeId, b: NodeId| graph.manhattan(a, b).0;
+
+    // Memo-served wrappers for the three pure construction units. A hit
+    // returns exactly what the wrapped computation would, so the pass is
+    // bit-identical with or without a memo tier on `ctx`.
+    let grow_memo = |initial: NodeId,
+                     unclustered: &BTreeSet<NodeId>|
+     -> Result<Option<GrownCluster>, ClusterError> {
+        let key = grow_key(graph, initial, unclustered, l_max, size_cap);
+        if let Some(hit) = ctx.memo_get::<Option<GrownCluster>>("cluster_grow", key) {
+            return Ok((*hit).clone());
+        }
+        let grown = grow_intra(graph, initial, unclustered, l_max, size_cap)?;
+        ctx.memo_put("cluster_grow", key, grown.clone());
+        Ok(grown)
+    };
+    let refine_memo =
+        |cycle: &Cycle, messages: &[(NodeId, NodeId)]| -> Result<(Cycle, f64), ClusterError> {
+            let key = refine_key(graph, cycle, messages, l_max);
+            if let Some(hit) = ctx.memo_get::<(Cycle, f64)>("cluster_refine", key) {
+                return Ok((*hit).clone());
+            }
+            let refined = improve_cycle(cycle, messages, &dist, l_max)?;
+            ctx.memo_put("cluster_refine", key, refined.clone());
+            Ok(refined)
+        };
+    let inter_memo = |initial: NodeId,
+                      v_inter: &[NodeId],
+                      inter_messages: &[(NodeId, NodeId)],
+                      bound: f64|
+     -> Result<Option<(Cycle, f64)>, ClusterError> {
+        let key = inter_key(graph, initial, v_inter, inter_messages, bound);
+        if let Some(hit) = ctx.memo_get::<Option<(Cycle, f64)>>("cluster_inter", key) {
+            return Ok((*hit).clone());
+        }
+        let grown = grow_inter(initial, v_inter, inter_messages, bound, &dist)?;
+        ctx.memo_put("cluster_inter", key, grown.clone());
+        Ok(grown)
+    };
 
     // --- Intra-cluster construction. ---
     let mut unclustered: BTreeSet<NodeId> = graph.node_ids().collect();
@@ -401,7 +557,7 @@ fn cluster_pass(
             let entry = match cache.entry(initial) {
                 std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
                 std::collections::btree_map::Entry::Vacant(v) => {
-                    v.insert(grow_intra(graph, initial, &unclustered, l_max, size_cap)?)
+                    v.insert(grow_memo(initial, &unclustered)?)
                 }
             };
             if let Some(grown) = entry.clone() {
@@ -436,7 +592,7 @@ fn cluster_pass(
                             .filter(|m| member_set.contains(&m.src) && member_set.contains(&m.dst))
                             .map(|m| (m.src, m.dst))
                             .collect();
-                        let (refined, refined_longest) = improve_cycle(&ring, &msgs, &dist, l_max)?;
+                        let (refined, refined_longest) = refine_memo(&ring, &msgs)?;
                         (Some(refined), refined_longest)
                     }
                     None => (None, longest),
@@ -502,9 +658,7 @@ fn cluster_pass(
         // initial vertex; the best raw ring is refined once at the end.
         let mut best: Option<(f64, Cycle)> = None;
         for &initial in &v_inter {
-            if let Some((cycle, longest)) =
-                grow_inter(initial, &v_inter, &inter_messages, l_max, &dist)?
-            {
+            if let Some((cycle, longest)) = inter_memo(initial, &v_inter, &inter_messages, l_max)? {
                 let better = match &best {
                     None => true,
                     Some((bl, _)) => longest < *bl - 1e-12,
@@ -520,15 +674,14 @@ fn cluster_pass(
         if best.is_none() {
             let mut raw: Vec<(f64, Cycle)> = Vec::with_capacity(v_inter.len());
             for &initial in &v_inter {
-                if let Some((c, l)) =
-                    grow_inter(initial, &v_inter, &inter_messages, f64::INFINITY, &dist)?
+                if let Some((c, l)) = inter_memo(initial, &v_inter, &inter_messages, f64::INFINITY)?
                 {
                     raw.push((l, c));
                 }
             }
             raw.sort_by(|a, b| a.0.total_cmp(&b.0));
             for (_, cycle) in raw.into_iter().take(3) {
-                let (refined, longest) = improve_cycle(&cycle, &inter_messages, &dist, l_max)?;
+                let (refined, longest) = refine_memo(&cycle, &inter_messages)?;
                 if longest <= l_max + 1e-12 {
                     let better = match &best {
                         None => true,
@@ -545,7 +698,7 @@ fn cluster_pass(
         let Some((_, cycle)) = best else {
             return Ok(None);
         };
-        let (cycle, longest) = improve_cycle(&cycle, &inter_messages, &dist, l_max)?;
+        let (cycle, longest) = refine_memo(&cycle, &inter_messages)?;
         if longest > l_max + 1e-12 {
             return Ok(None);
         }

@@ -13,13 +13,28 @@
 //!
 //! # Key derivation
 //!
-//! * `cluster` and `layout` depend on the application graph and the
-//!   clustering configuration only.
+//! Stage keys are *semantic*: each hashes only what the stage's output
+//! actually depends on, so edits that cannot change a stage's result reuse
+//! its cached artifact.
+//!
+//! * `cluster` and `layout` depend on the application *topology* —
+//!   [`CommGraph::topology_hash`]: node positions and message endpoints,
+//!   not names or bandwidths — plus the clustering configuration.
 //! * `route` additionally depends on the routing flexibility flag and the
 //!   technology parameters (path losses are baked into the artifact).
-//! * `assign` further depends on the assignment strategy, including every
-//!   MILP option — two runs differing only in solver limits never share an
-//!   assignment.
+//! * `assign` is keyed by the *assignment problem content* — node count,
+//!   splitter loss, and the exact [`AssignPath`] list — plus the strategy,
+//!   including every MILP option; two runs differing only in solver limits
+//!   never share an assignment, while two applications whose routed paths
+//!   coincide do.
+//!
+//! Below the whole-stage keys, the `layout` and `route` stages decompose
+//! into per-sub-ring units served from the context's memo tier
+//! ([`ExecCtx::memo_get`]): each sub-ring's waveguide and candidate set is
+//! keyed by exactly the slice of the clustering it depends on, so an edit
+//! that leaves some sub-rings untouched recomputes only the dirty ones.
+//! A memo hit replays exactly what recomputation would produce, keeping
+//! incremental results bit-identical to from-scratch runs.
 //!
 //! The wall-clock deadline of the context is deliberately *not* part of
 //! any key: a deadline-clamped assign stage is marked uncacheable instead,
@@ -28,11 +43,11 @@
 use crate::assignment::{
     assign_ctx, AssignPath, Assignment, AssignmentProblem, AssignmentStrategy, MilpOptions,
 };
-use crate::cluster::{cluster, Cluster, Clustering, ClusteringConfig};
+use crate::cluster::{cluster_ctx, Cluster, Clustering, ClusteringConfig};
 use crate::synthesis::{SringConfig, SringError};
 use onoc_ctx::{ContentHash, ContentHasher, ContentKey, ExecCtx};
 use onoc_graph::{CommGraph, NodeId};
-use onoc_layout::{Layout, WaveguideId};
+use onoc_layout::{Cycle, Layout, RoutedWaveguide, WaveguideId};
 use onoc_photonics::{insertion_loss, PathGeometry, SignalPath};
 use onoc_store::Persist;
 use std::sync::Arc;
@@ -83,8 +98,27 @@ impl ContentHash for AssignmentStrategy {
     }
 }
 
+impl ContentHash for AssignPath {
+    fn content_hash(&self, hasher: &mut ContentHasher) {
+        let AssignPath {
+            src,
+            is_inter,
+            loss,
+            channels,
+        } = self;
+        src.content_hash(hasher);
+        is_inter.content_hash(hasher);
+        hasher.write_f64(loss.0);
+        hasher.write_usize(channels.len());
+        for &(wg, seg) in channels {
+            hasher.write_usize(wg);
+            hasher.write_usize(seg);
+        }
+    }
+}
+
 fn hash_cluster_inputs(hasher: &mut ContentHasher, app: &CommGraph, config: &SringConfig) {
-    app.content_hash(hasher);
+    app.topology_hash(hasher);
     config.clustering.content_hash(hasher);
 }
 
@@ -112,13 +146,38 @@ pub fn route_key(app: &CommGraph, config: &SringConfig) -> ContentKey {
     hasher.finish()
 }
 
-/// The content key of the `assign` stage: route inputs plus the complete
-/// assignment strategy (including MILP limits).
+/// The conservative assignment key: route inputs plus the complete
+/// assignment strategy (including MILP limits). [`AssignStage`] itself
+/// uses the finer problem-content key (see [`assign_problem_key`]), which
+/// additionally lets two applications with coinciding routed paths share
+/// an assignment; this coarser key remains a correct over-approximation.
 #[must_use]
 pub fn assign_key(app: &CommGraph, config: &SringConfig) -> ContentKey {
     let mut hasher = ContentHasher::new();
     hash_route_inputs(&mut hasher, app, config);
     config.strategy.content_hash(&mut hasher);
+    hasher.finish()
+}
+
+/// The content key the `assign` stage actually runs under: the assignment
+/// problem itself (node count, splitter loss, the exact routed-path list)
+/// plus the strategy. Everything upstream — graph, clustering, layout —
+/// only matters through the paths it produced.
+#[must_use]
+pub fn assign_problem_key(
+    node_count: usize,
+    splitter_loss: f64,
+    assign_paths: &[AssignPath],
+    strategy: &AssignmentStrategy,
+) -> ContentKey {
+    let mut hasher = ContentHasher::new();
+    hasher.write_usize(node_count);
+    hasher.write_f64(splitter_loss);
+    hasher.write_usize(assign_paths.len());
+    for p in assign_paths {
+        p.content_hash(&mut hasher);
+    }
+    strategy.content_hash(&mut hasher);
     hasher.finish()
 }
 
@@ -248,9 +307,49 @@ impl Stage for ClusterStage<'_> {
         cluster_key(self.app, self.config)
     }
 
-    fn run(&self, _ctx: &ExecCtx) -> Result<Clustering, SringError> {
-        Ok(cluster(self.app, &self.config.clustering)?)
+    fn run(&self, ctx: &ExecCtx) -> Result<Clustering, SringError> {
+        Ok(cluster_ctx(self.app, &self.config.clustering, ctx)?)
     }
+}
+
+/// Feeds one sub-ring's visiting order into a layout prefix hasher.
+fn hash_cycle(cycle: &Cycle, hasher: &mut ContentHasher) {
+    hasher.write_usize(cycle.len());
+    for &v in cycle.nodes() {
+        hasher.write_usize(v.index());
+    }
+}
+
+/// The content hash of a fully routed floorplan: every node position plus
+/// every sub-ring cycle in routing order (intra rings by cluster index,
+/// then the inter ring), with explicit present/absent markers. The routed
+/// geometry — including every crossing — is a deterministic function of
+/// exactly these inputs.
+fn layout_content_key(app: &CommGraph, clustering: &Clustering) -> ContentKey {
+    let mut hasher = ContentHasher::new();
+    for v in app.node_ids() {
+        let p = app.position(v);
+        hasher.write_f64(p.x);
+        hasher.write_f64(p.y);
+    }
+    hasher.write_usize(clustering.clusters.len());
+    for Cluster { ring, .. } in &clustering.clusters {
+        match ring {
+            Some(r) => {
+                hasher.write_u8(1);
+                hash_cycle(r, &mut hasher);
+            }
+            None => hasher.write_u8(0),
+        }
+    }
+    match &clustering.inter_ring {
+        Some(r) => {
+            hasher.write_u8(1);
+            hash_cycle(r, &mut hasher);
+        }
+        None => hasher.write_u8(0),
+    }
+    hasher.finish()
 }
 
 /// The `layout` stage: rectilinear routing of every sub-ring on the
@@ -278,19 +377,44 @@ impl Stage for LayoutStage<'_> {
         cluster_key(self.app, self.config)
     }
 
-    fn run(&self, _ctx: &ExecCtx) -> Result<LayoutArtifact, SringError> {
+    fn run(&self, ctx: &ExecCtx) -> Result<LayoutArtifact, SringError> {
         let positions: Vec<_> = self.app.node_ids().map(|v| self.app.position(v)).collect();
         let mut layout = Layout::new(positions);
+
+        // Per-ring memo under *prefix* keys: `route_cycle` picks each
+        // L-shape orientation by minimizing crossings against everything
+        // routed before it, so ring k's waveguide is a pure function of
+        // the positions plus cycles 0..=k in routing order. The running
+        // hasher accumulates exactly that prefix; a hit replays the stored
+        // waveguide via `push_waveguide`, leaving the layout bit-identical
+        // to recomputation.
+        let mut prefix = ContentHasher::new();
+        for v in self.app.node_ids() {
+            let p = self.app.position(v);
+            prefix.write_f64(p.x);
+            prefix.write_f64(p.y);
+        }
+        let mut route_ring = |layout: &mut Layout, cycle: &Cycle| -> WaveguideId {
+            hash_cycle(cycle, &mut prefix);
+            let key = prefix.finish();
+            if let Some(hit) = ctx.memo_get::<RoutedWaveguide>("layout_ring", key) {
+                return layout.push_waveguide((*hit).clone());
+            }
+            let wg = layout.route_cycle(cycle);
+            ctx.memo_put("layout_ring", key, layout.waveguide(wg).clone());
+            wg
+        };
+
         let mut intra_wg: Vec<Option<WaveguideId>> =
             Vec::with_capacity(self.clustering.clusters.len());
         for Cluster { ring, .. } in &self.clustering.clusters {
-            intra_wg.push(ring.as_ref().map(|r| layout.route_cycle(r)));
+            intra_wg.push(ring.as_ref().map(|r| route_ring(&mut layout, r)));
         }
         let inter_wg = self
             .clustering
             .inter_ring
             .as_ref()
-            .map(|r| layout.route_cycle(r));
+            .map(|r| route_ring(&mut layout, r));
         Ok(LayoutArtifact {
             layout,
             intra_wg,
@@ -314,6 +438,7 @@ pub struct RouteStage<'a> {
 }
 
 /// A candidate route for one message during greedy selection.
+#[derive(Clone)]
 struct Candidate {
     wg: WaveguideId,
     occupancy: Vec<(WaveguideId, usize)>,
@@ -332,7 +457,7 @@ impl Stage for RouteStage<'_> {
         route_key(self.app, self.config)
     }
 
-    fn run(&self, _ctx: &ExecCtx) -> Result<RouteArtifact, SringError> {
+    fn run(&self, ctx: &ExecCtx) -> Result<RouteArtifact, SringError> {
         let app = self.app;
         let clustering = self.clustering;
         let layout = &self.layout.layout;
@@ -370,43 +495,118 @@ impl Stage for RouteStage<'_> {
             }
         };
 
-        let mut candidates: Vec<Vec<Candidate>> = Vec::with_capacity(app.message_count());
-        for id in app.message_ids() {
-            let msg = app.message(id);
-            let mut options = Vec::with_capacity(2);
+        // Messages grouped by home sub-ring: same-cluster messages belong
+        // to their cluster's intra ring, cross-cluster messages to the
+        // inter ring. Each group is one memo unit.
+        let messages = app.messages();
+        let mut intra_homed: Vec<Vec<usize>> = vec![Vec::new(); clustering.clusters.len()];
+        let mut inter_homed: Vec<usize> = Vec::new();
+        for (i, msg) in messages.iter().enumerate() {
             if clustering.same_cluster(msg.src, msg.dst) {
-                let c = clustering.cluster_of[msg.src.index()];
-                let ring = clustering.clusters[c]
-                    .ring
-                    .as_ref()
-                    .expect("a same-cluster message implies a multi-node cluster");
-                options.push(build_candidate(
-                    intra_wg[c].expect("multi-node clusters are routed"),
-                    ring,
-                    msg.src,
-                    msg.dst,
-                    false,
-                ));
-                if self.config.flexible_routing {
-                    if let (Some(wg), Some(ring)) = (inter_wg, clustering.inter_ring.as_ref()) {
-                        if ring.contains(msg.src) && ring.contains(msg.dst) {
-                            options.push(build_candidate(wg, ring, msg.src, msg.dst, true));
+                intra_homed[clustering.cluster_of[msg.src.index()]].push(i);
+            } else {
+                inter_homed.push(i);
+            }
+        }
+
+        // Candidate construction for one home ring's messages. Every
+        // candidate's crossing count consults the whole routed floorplan,
+        // so the unit key is the full layout content hash plus the ring
+        // tag, the homed messages' endpoints (dense order), and the
+        // flexibility flag — technology is deliberately excluded: losses
+        // are computed from the geometry after selection.
+        let layout_key = layout_content_key(app, clustering);
+        let unit_key = |tag: u8, ring_idx: usize, indices: &[usize]| -> ContentKey {
+            let mut hasher = ContentHasher::new();
+            hasher.write_u64(layout_key.0[0]);
+            hasher.write_u64(layout_key.0[1]);
+            hasher.write_u8(tag);
+            hasher.write_usize(ring_idx);
+            hasher.write_u8(u8::from(self.config.flexible_routing));
+            hasher.write_usize(indices.len());
+            for &i in indices {
+                hasher.write_usize(messages[i].src.index());
+                hasher.write_usize(messages[i].dst.index());
+            }
+            hasher.finish()
+        };
+        let build_unit = |indices: &[usize], home: Option<usize>| -> Vec<Vec<Candidate>> {
+            indices
+                .iter()
+                .map(|&i| {
+                    let msg = &messages[i];
+                    let mut options = Vec::with_capacity(2);
+                    match home {
+                        Some(c) => {
+                            let ring = clustering.clusters[c]
+                                .ring
+                                .as_ref()
+                                .expect("a same-cluster message implies a multi-node cluster");
+                            options.push(build_candidate(
+                                intra_wg[c].expect("multi-node clusters are routed"),
+                                ring,
+                                msg.src,
+                                msg.dst,
+                                false,
+                            ));
+                            if self.config.flexible_routing {
+                                if let (Some(wg), Some(ring)) =
+                                    (inter_wg, clustering.inter_ring.as_ref())
+                                {
+                                    if ring.contains(msg.src) && ring.contains(msg.dst) {
+                                        options.push(build_candidate(
+                                            wg, ring, msg.src, msg.dst, true,
+                                        ));
+                                    }
+                                }
+                            }
+                        }
+                        None => {
+                            options.push(build_candidate(
+                                inter_wg.expect("cross-cluster messages imply an inter ring"),
+                                clustering
+                                    .inter_ring
+                                    .as_ref()
+                                    .expect("cross-cluster messages imply an inter ring"),
+                                msg.src,
+                                msg.dst,
+                                true,
+                            ));
                         }
                     }
-                }
-            } else {
-                options.push(build_candidate(
-                    inter_wg.expect("cross-cluster messages imply an inter ring"),
-                    clustering
-                        .inter_ring
-                        .as_ref()
-                        .expect("cross-cluster messages imply an inter ring"),
-                    msg.src,
-                    msg.dst,
-                    true,
-                ));
+                    options
+                })
+                .collect()
+        };
+        let unit_memo = |indices: &[usize],
+                         home: Option<usize>,
+                         tag: u8,
+                         ring_idx: usize|
+         -> Vec<Vec<Candidate>> {
+            let key = unit_key(tag, ring_idx, indices);
+            if let Some(hit) = ctx.memo_get::<Vec<Vec<Candidate>>>("route_ring", key) {
+                return (*hit).clone();
             }
-            candidates.push(options);
+            let unit = build_unit(indices, home);
+            ctx.memo_put("route_ring", key, unit.clone());
+            unit
+        };
+
+        let mut candidates: Vec<Vec<Candidate>> = vec![Vec::new(); app.message_count()];
+        for (c, indices) in intra_homed.iter().enumerate() {
+            if indices.is_empty() {
+                continue;
+            }
+            let unit = unit_memo(indices, Some(c), 0, c);
+            for (&i, options) in indices.iter().zip(unit) {
+                candidates[i] = options;
+            }
+        }
+        if !inter_homed.is_empty() {
+            let unit = unit_memo(&inter_homed, None, 1, 0);
+            for (&i, options) in inter_homed.iter().zip(unit) {
+                candidates[i] = options;
+            }
         }
 
         // Greedy route selection: forced routes first, then flexible ones
@@ -519,7 +719,12 @@ impl Stage for AssignStage<'_> {
     }
 
     fn content_key(&self) -> ContentKey {
-        assign_key(self.app, self.config)
+        assign_problem_key(
+            self.app.node_count(),
+            self.config.tech.splitter_loss().0,
+            &self.route.assign_paths,
+            &self.config.strategy,
+        )
     }
 
     fn cacheable(&self) -> bool {

@@ -594,12 +594,20 @@ pub trait ArtifactStore: Send + Sync + fmt::Debug {
 pub struct ExecCtx {
     trace: Trace,
     cache: Option<Arc<ArtifactCache>>,
+    memo: Option<Arc<ArtifactCache>>,
     store: Option<Arc<dyn ArtifactStore>>,
     deadline: Option<Instant>,
     threads: usize,
 }
 
 impl ExecCtx {
+    /// Default capacity of the fine-grained memo tier (see
+    /// [`ExecCtx::memo`]): sub-ring construction produces thousands of
+    /// small entries per synthesis, so the memo is sized well above the
+    /// artifact cache to keep whole-stage artifacts and memo entries from
+    /// evicting each other.
+    pub const MEMO_CAPACITY: usize = 65_536;
+
     /// A context with no tracing, no cache, no deadline and the default
     /// thread budget (0 = "let the callee decide").
     #[must_use]
@@ -607,10 +615,13 @@ impl ExecCtx {
         Self::default()
     }
 
-    /// A context with a fresh default-capacity artifact cache enabled.
+    /// A context with a fresh default-capacity artifact cache and memo
+    /// tier enabled.
     #[must_use]
     pub fn cached() -> Self {
-        Self::default().with_cache(Arc::new(ArtifactCache::default()))
+        Self::default()
+            .with_cache(Arc::new(ArtifactCache::default()))
+            .with_memo(Arc::new(ArtifactCache::new(Self::MEMO_CAPACITY)))
     }
 
     /// Replaces the trace handle.
@@ -631,6 +642,25 @@ impl ExecCtx {
     #[must_use]
     pub fn without_cache(mut self) -> Self {
         self.cache = None;
+        self
+    }
+
+    /// Attaches a (possibly shared) memo tier: a second, larger
+    /// [`ArtifactCache`] holding *fine-grained* sub-results — per-sub-ring
+    /// construction, refinement and routing units — keyed by exactly the
+    /// slice of the input each unit depends on. Kept separate from the
+    /// whole-stage artifact cache so the many small memo entries cannot
+    /// evict full-stage artifacts (and vice versa).
+    #[must_use]
+    pub fn with_memo(mut self, memo: Arc<ArtifactCache>) -> Self {
+        self.memo = Some(memo);
+        self
+    }
+
+    /// Detaches the memo tier: every sub-result recomputes.
+    #[must_use]
+    pub fn without_memo(mut self) -> Self {
+        self.memo = None;
         self
     }
 
@@ -676,6 +706,12 @@ impl ExecCtx {
     #[must_use]
     pub fn cache(&self) -> Option<&Arc<ArtifactCache>> {
         self.cache.as_ref()
+    }
+
+    /// The attached memo tier, if any.
+    #[must_use]
+    pub fn memo(&self) -> Option<&Arc<ArtifactCache>> {
+        self.memo.as_ref()
     }
 
     /// The attached persistent artifact store, if any.
@@ -782,10 +818,57 @@ impl ExecCtx {
         Ok(arc)
     }
 
+    /// Looks up a typed memo entry for `(unit, key)` and counts the
+    /// hit/miss as `memo/...` trace counters. A detached memo tier is a
+    /// silent miss; a poisoned memo lock is treated as a miss as well —
+    /// memoization is an accelerator, never a failure source.
+    #[must_use]
+    pub fn memo_get<T: Send + Sync + 'static>(
+        &self,
+        unit: &'static str,
+        key: ContentKey,
+    ) -> Option<Arc<T>> {
+        let memo = self.memo.as_ref()?;
+        let hit = memo.get_as::<T>(unit, key).ok().flatten();
+        match &hit {
+            Some(_) => {
+                self.trace.incr("memo/hits", 1);
+                self.trace.incr(&format!("memo/{unit}/hits"), 1);
+            }
+            None => {
+                self.trace.incr("memo/misses", 1);
+                self.trace.incr(&format!("memo/{unit}/misses"), 1);
+            }
+        }
+        hit
+    }
+
+    /// Stores a typed memo entry under `(unit, key)` and returns the
+    /// shared handle. With a detached memo tier (or a poisoned lock) the
+    /// value is merely wrapped.
+    pub fn memo_put<T: Send + Sync + 'static>(
+        &self,
+        unit: &'static str,
+        key: ContentKey,
+        value: T,
+    ) -> Arc<T> {
+        let arc = Arc::new(value);
+        if let Some(memo) = &self.memo {
+            let _ = memo.insert(unit, key, arc.clone());
+        }
+        arc
+    }
+
     /// A stats snapshot of the attached cache, if any.
     #[must_use]
     pub fn cache_stats(&self) -> Option<CacheStats> {
         self.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// A stats snapshot of the attached memo tier, if any.
+    #[must_use]
+    pub fn memo_stats(&self) -> Option<CacheStats> {
+        self.memo.as_ref().map(|c| c.stats())
     }
 
     /// A stats snapshot of the attached persistent store, if any.
@@ -803,6 +886,11 @@ impl ExecCtx {
             self.trace.gauge("cache/entries", stats.entries as f64);
             self.trace.gauge("cache/evictions", stats.evictions as f64);
             self.trace.gauge("cache/hit_rate", stats.hit_rate());
+        }
+        if let Some(stats) = self.memo_stats() {
+            self.trace.gauge("memo/entries", stats.entries as f64);
+            self.trace.gauge("memo/evictions", stats.evictions as f64);
+            self.trace.gauge("memo/hit_rate", stats.hit_rate());
         }
         if let Some(stats) = self.store_stats() {
             self.trace.gauge("cache/disk_hits", stats.hits as f64);

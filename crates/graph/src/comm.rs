@@ -26,6 +26,19 @@ impl fmt::Display for MessageId {
     }
 }
 
+/// Stable identifier of a message: assigned once (at build time or when a
+/// delta adds the message) and never reused, so it survives edits that
+/// shift the dense [`MessageId`] indices. Deltas address messages by their
+/// stable id; everything content-addressed (hashing, caching) ignores it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct StableMessageId(pub u64);
+
+impl fmt::Display for StableMessageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
 /// A required point-to-point communication: `src` must be able to transmit
 /// to `dst` on a dedicated, collision-free signal path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -68,10 +81,18 @@ pub struct CommGraph {
     name: String,
     node_names: Vec<String>,
     positions: Vec<Point>,
-    messages: Vec<Message>,
+    pub(crate) messages: Vec<Message>,
+    /// Relative bandwidth demand per message (parallel to `messages`,
+    /// default `1.0`). Finite and strictly positive.
+    pub(crate) bandwidths: Vec<f64>,
+    /// Stable handle per message (parallel to `messages`); see
+    /// [`StableMessageId`].
+    pub(crate) stable_ids: Vec<u64>,
+    /// The next stable id to hand out; monotone, never reused.
+    pub(crate) next_stable: u64,
     /// Undirected adjacency: `adjacency[v]` lists every node that exchanges
     /// at least one message with `v`, sorted ascending.
-    adjacency: Vec<Vec<NodeId>>,
+    pub(crate) adjacency: Vec<Vec<NodeId>>,
 }
 
 impl CommGraph {
@@ -149,6 +170,57 @@ impl CommGraph {
     /// All message ids in index order.
     pub fn message_ids(&self) -> impl Iterator<Item = MessageId> + '_ {
         (0..self.messages.len()).map(MessageId)
+    }
+
+    /// The relative bandwidth demand of a message (default `1.0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this graph.
+    #[must_use]
+    pub fn bandwidth(&self, id: MessageId) -> f64 {
+        self.bandwidths[id.0]
+    }
+
+    /// Per-message bandwidth demands, in id order.
+    #[must_use]
+    pub fn bandwidths(&self) -> &[f64] {
+        &self.bandwidths
+    }
+
+    /// The stable handle of a message; see [`StableMessageId`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this graph.
+    #[must_use]
+    pub fn stable_id(&self, id: MessageId) -> StableMessageId {
+        StableMessageId(self.stable_ids[id.0])
+    }
+
+    /// Resolves a stable handle back to the current dense [`MessageId`];
+    /// `None` if the message has been removed (or never existed).
+    #[must_use]
+    pub fn message_by_stable(&self, stable: StableMessageId) -> Option<MessageId> {
+        self.stable_ids
+            .iter()
+            .position(|&s| s == stable.0)
+            .map(MessageId)
+    }
+
+    /// Recomputes the undirected adjacency lists from the message set.
+    /// Called after construction and after every structural delta.
+    pub(crate) fn rebuild_adjacency(&mut self) {
+        let n = self.positions.len();
+        let mut adjacency = vec![BTreeSet::new(); n];
+        for m in &self.messages {
+            adjacency[m.src.0].insert(m.dst);
+            adjacency[m.dst.0].insert(m.src);
+        }
+        self.adjacency = adjacency
+            .into_iter()
+            .map(|s| s.into_iter().collect())
+            .collect();
     }
 
     /// The communication partners of `node` (undirected), sorted ascending.
@@ -256,6 +328,7 @@ pub struct CommGraphBuilder {
     node_names: Vec<String>,
     positions: Vec<Point>,
     messages: Vec<Message>,
+    bandwidths: Vec<f64>,
     pending_named: Vec<(String, String)>,
 }
 
@@ -281,10 +354,20 @@ impl CommGraphBuilder {
         self
     }
 
-    /// Adds a directed message between node ids.
+    /// Adds a directed message between node ids with the default bandwidth
+    /// demand of `1.0`.
     #[must_use]
-    pub fn message(mut self, src: NodeId, dst: NodeId) -> Self {
+    pub fn message(self, src: NodeId, dst: NodeId) -> Self {
+        self.message_weighted(src, dst, 1.0)
+    }
+
+    /// Adds a directed message between node ids with an explicit relative
+    /// bandwidth demand (validated at [`CommGraphBuilder::build`] time:
+    /// finite and strictly positive).
+    #[must_use]
+    pub fn message_weighted(mut self, src: NodeId, dst: NodeId, bandwidth: f64) -> Self {
         self.messages.push(Message { src, dst });
+        self.bandwidths.push(bandwidth);
         self
     }
 
@@ -321,6 +404,7 @@ impl CommGraphBuilder {
                 src: NodeId(s),
                 dst: NodeId(d),
             });
+            self.bandwidths.push(1.0);
         }
 
         let n = self.positions.len();
@@ -352,14 +436,14 @@ impl CommGraphBuilder {
                 return Err(BuildGraphError::DuplicateMessage(*m));
             }
         }
-
-        let mut adjacency = vec![BTreeSet::new(); n];
-        for m in &self.messages {
-            adjacency[m.src.0].insert(m.dst);
-            adjacency[m.dst.0].insert(m.src);
+        for (i, &bw) in self.bandwidths.iter().enumerate() {
+            if !(bw.is_finite() && bw > 0.0) {
+                return Err(BuildGraphError::InvalidBandwidth(MessageId(i), bw));
+            }
         }
 
-        Ok(CommGraph {
+        let message_count = self.messages.len() as u64;
+        let mut graph = CommGraph {
             name: if self.name.is_empty() {
                 "unnamed".to_string()
             } else {
@@ -368,16 +452,18 @@ impl CommGraphBuilder {
             node_names: self.node_names,
             positions: self.positions,
             messages: self.messages,
-            adjacency: adjacency
-                .into_iter()
-                .map(|s| s.into_iter().collect())
-                .collect(),
-        })
+            bandwidths: self.bandwidths,
+            stable_ids: (0..message_count).collect(),
+            next_stable: message_count,
+            adjacency: Vec::new(),
+        };
+        graph.rebuild_adjacency();
+        Ok(graph)
     }
 }
 
 /// Error building a [`CommGraph`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum BuildGraphError {
     /// A named message referenced a node name that was never added.
@@ -392,6 +478,8 @@ pub enum BuildGraphError {
     DuplicateNodeName(String),
     /// Two nodes share a physical position.
     OverlappingNodes(NodeId),
+    /// A message's bandwidth demand is not finite and strictly positive.
+    InvalidBandwidth(MessageId, f64),
 }
 
 impl fmt::Display for BuildGraphError {
@@ -404,6 +492,9 @@ impl fmt::Display for BuildGraphError {
             BuildGraphError::DuplicateNodeName(n) => write!(f, "duplicate node name `{n}`"),
             BuildGraphError::OverlappingNodes(n) => {
                 write!(f, "node {n} overlaps another node's position")
+            }
+            BuildGraphError::InvalidBandwidth(m, bw) => {
+                write!(f, "message {m} has invalid bandwidth {bw}")
             }
         }
     }

@@ -49,6 +49,27 @@ impl ContentHash for CommGraph {
         for m in self.messages() {
             m.content_hash(hasher);
         }
+        for &bw in self.bandwidths() {
+            hasher.write_f64(bw);
+        }
+    }
+}
+
+impl CommGraph {
+    /// Hashes only what the sub-ring construction consumes: node positions
+    /// (in id order) and directed message endpoints (in id order). Names
+    /// and bandwidths are excluded, so edits to either reuse every
+    /// topology-keyed artifact; stable message ids are identity, not
+    /// content, and are never hashed.
+    pub fn topology_hash(&self, hasher: &mut ContentHasher) {
+        hasher.write_usize(self.node_count());
+        for node in self.node_ids() {
+            self.position(node).content_hash(hasher);
+        }
+        hasher.write_usize(self.message_count());
+        for m in self.messages() {
+            m.content_hash(hasher);
+        }
     }
 }
 
@@ -99,5 +120,54 @@ mod tests {
             .unwrap();
         assert_ne!(key_of(&a), key_of(&reversed));
         assert_ne!(key_of(&a), key_of(&moved));
+    }
+
+    fn topology_key_of(g: &CommGraph) -> ContentKey {
+        let mut hasher = ContentHasher::new();
+        g.topology_hash(&mut hasher);
+        hasher.finish()
+    }
+
+    #[test]
+    fn topology_hash_ignores_names_and_bandwidth() {
+        let base = CommGraph::builder()
+            .name("one")
+            .node("a", Point::new(0.0, 0.0))
+            .node("b", Point::new(1.0, 0.0))
+            .message(NodeId(0), NodeId(1))
+            .build()
+            .unwrap();
+        let renamed_reweighted = CommGraph::builder()
+            .name("two")
+            .node("x", Point::new(0.0, 0.0))
+            .node("y", Point::new(1.0, 0.0))
+            .message_weighted(NodeId(0), NodeId(1), 5.0)
+            .build()
+            .unwrap();
+        assert_eq!(topology_key_of(&base), topology_key_of(&renamed_reweighted));
+        // The full content hash distinguishes both.
+        assert_ne!(key_of(&base), key_of(&renamed_reweighted));
+        // But the topology hash still sees endpoint changes.
+        let retargeted = CommGraph::builder()
+            .name("one")
+            .node("a", Point::new(0.0, 0.0))
+            .node("b", Point::new(1.0, 0.0))
+            .message(NodeId(1), NodeId(0))
+            .build()
+            .unwrap();
+        assert_ne!(topology_key_of(&base), topology_key_of(&retargeted));
+    }
+
+    #[test]
+    fn bandwidth_changes_full_hash() {
+        let g = benchmarks::mwd();
+        let scaled = g
+            .apply_delta(&crate::delta::CommDelta::ScaleBandwidth {
+                id: g.stable_id(MessageId(0)),
+                factor: 2.0,
+            })
+            .unwrap();
+        assert_ne!(key_of(&g), key_of(&scaled));
+        assert_eq!(topology_key_of(&g), topology_key_of(&scaled));
     }
 }

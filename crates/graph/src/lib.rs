@@ -27,10 +27,12 @@
 pub mod benchmarks;
 pub mod comm;
 pub mod content;
+pub mod delta;
 pub mod node;
 pub mod placement;
 pub mod synth;
 
-pub use comm::{BuildGraphError, CommGraph, CommGraphBuilder, Message, MessageId};
+pub use comm::{BuildGraphError, CommGraph, CommGraphBuilder, Message, MessageId, StableMessageId};
+pub use delta::{CommDelta, DeltaError};
 pub use node::{NodeId, Point};
 pub use placement::GridPlacement;

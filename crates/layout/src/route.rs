@@ -195,6 +195,31 @@ impl Layout {
         self.route(cycle.nodes().to_vec(), true)
     }
 
+    /// Appends a previously routed waveguide verbatim, assigning it the
+    /// next [`WaveguideId`].
+    ///
+    /// This is the cache-replay path of per-sub-ring layout units: a
+    /// waveguide routed once against an identical placement and identical
+    /// already-routed prefix is bit-reproducible, so replaying the stored
+    /// geometry is equivalent to re-deriving every L-shape orientation.
+    /// Callers are responsible for that equivalence — the placement and
+    /// the routed prefix must match the ones the waveguide was computed
+    /// under, which content-keyed callers guarantee by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any node of the waveguide is outside the placement.
+    pub fn push_waveguide(&mut self, waveguide: RoutedWaveguide) -> WaveguideId {
+        for &n in waveguide.nodes() {
+            assert!(
+                n.0 < self.positions.len(),
+                "replayed waveguide node outside the placement"
+            );
+        }
+        self.waveguides.push(waveguide);
+        WaveguideId(self.waveguides.len() - 1)
+    }
+
     /// Routes an open waveguide (e.g. an OSE chord) visiting `nodes` in
     /// order.
     ///

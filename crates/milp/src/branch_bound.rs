@@ -70,6 +70,15 @@ pub struct SolveOptions {
     /// implementation). Both engines honor the same warm-start and
     /// determinism contracts.
     pub lp_engine: LpEngine,
+    /// A basis snapshot from a prior solve — typically
+    /// [`MilpSolution::root_basis`] of a structurally similar model — used
+    /// to warm-start the *root* LP relaxation when `warm_basis` is on.
+    /// Like per-node basis inheritance, this only changes how the root LP
+    /// is solved, never which optimum the search proves: the snapshot's
+    /// validity (column count, row count, nonsingularity, dual
+    /// feasibility) is re-checked on load and any mismatch falls back to
+    /// the cold start.
+    pub root_basis: Option<Arc<Basis>>,
 }
 
 impl Default for SolveOptions {
@@ -84,6 +93,7 @@ impl Default for SolveOptions {
             deterministic: true,
             warm_basis: true,
             lp_engine: LpEngine::default(),
+            root_basis: None,
         }
     }
 }
@@ -141,6 +151,14 @@ impl SolveOptions {
     #[must_use]
     pub fn with_lp_engine(mut self, lp_engine: LpEngine) -> Self {
         self.lp_engine = lp_engine;
+        self
+    }
+
+    /// Seeds the root LP relaxation with a surviving basis snapshot from a
+    /// prior solve (see [`SolveOptions::root_basis`]).
+    #[must_use]
+    pub fn with_root_basis(mut self, basis: Arc<Basis>) -> Self {
+        self.root_basis = Some(basis);
         self
     }
 
@@ -325,6 +343,7 @@ pub struct MilpSolution {
     values: Vec<f64>,
     nodes_explored: usize,
     stats: SolveStats,
+    root_basis: Option<Arc<Basis>>,
 }
 
 impl MilpSolution {
@@ -381,6 +400,17 @@ impl MilpSolution {
     #[must_use]
     pub fn stats(&self) -> &SolveStats {
         &self.stats
+    }
+
+    /// The optimal basis of the root LP relaxation, captured when the
+    /// search branched at the root with basis inheritance enabled (`None`
+    /// when the root solved integrally, was pruned, or `warm_basis` was
+    /// off). Feed it to [`SolveOptions::with_root_basis`] on a later solve
+    /// of a structurally similar model — an incremental re-solve after a
+    /// small edit — to start that root LP from this optimum.
+    #[must_use]
+    pub fn root_basis(&self) -> Option<&Arc<Basis>> {
+        self.root_basis.as_ref()
     }
 }
 
@@ -896,6 +926,9 @@ pub(crate) struct SearchEnd {
     pub(crate) root_unbounded: bool,
     pub(crate) root_iteration_limit: bool,
     pub(crate) stats: SolveStats,
+    /// The root node's optimal basis, when it was captured (see
+    /// [`MilpSolution::root_basis`]).
+    pub(crate) root_basis: Option<Arc<Basis>>,
 }
 
 pub(crate) fn assemble(ctx: &SearchCtx<'_>, end: SearchEnd) -> Result<MilpSolution, ModelError> {
@@ -929,6 +962,7 @@ pub(crate) fn assemble(ctx: &SearchCtx<'_>, end: SearchEnd) -> Result<MilpSoluti
                 values,
                 nodes_explored: end.nodes_explored,
                 stats,
+                root_basis: end.root_basis,
             })
         }
         None => {
@@ -992,19 +1026,131 @@ pub(crate) fn solve(model: &Model, options: &SolveOptions) -> Result<MilpSolutio
         depth: 0,
         seq: 0,
         changes: None,
-        basis: None,
+        // A surviving snapshot from a prior solve seeds the root LP; it is
+        // re-validated on load, so a stale or mismatched basis just cold
+        // starts.
+        basis: if options.warm_basis {
+            options.root_basis.clone()
+        } else {
+            None
+        },
         frac: 0.0,
     };
 
     let threads = options.effective_threads();
+    let warm_obj = incumbent.as_ref().map(|(obj, _)| *obj);
     let end = if threads > 1 {
         crate::parallel::search(&ctx, root, incumbent, threads)?
     } else {
         search_serial(&ctx, root, incumbent)
     };
+    // In deterministic mode a search-found optimum is re-derived as a pure
+    // function of the model (see `polish_canonical`): among tied optima,
+    // which one the search happens to keep depends on worker timing in
+    // parallel mode and on warm hints (root basis, prior incumbents)
+    // carried in from earlier solves, so the raw incumbent vector is not
+    // reproducible even though its objective is. A warm-start incumbent
+    // the search never improved is returned as-is — it came from the
+    // caller, not from the search.
+    let search_found = match (&end.incumbent, warm_obj) {
+        (Some((obj, _)), Some(w)) => *obj < w - 1e-12,
+        (Some(_), None) => true,
+        (None, _) => false,
+    };
+    let polish_target = end.incumbent.as_ref().map(|(obj, _)| *obj);
     let mut sol = assemble(&ctx, end)?;
+    // A single-node solve (pure LP, or an integral root) is already a
+    // pure function of the model unless a warm root basis steered the
+    // simplex to one of several optimal vertices — skip the polish there.
+    let root_only = sol.nodes_explored == 1 && options.root_basis.is_none();
+    if options.deterministic && search_found && !root_only && sol.status() == Status::Optimal {
+        if let Some(target) = polish_target {
+            if let Some((values, nodes)) = polish_canonical(&ctx, target, &mut sol.stats) {
+                sol.objective = model.objective.evaluate(&values);
+                sol.values = values;
+                // The polish's nodes fold into the explored total so the
+                // depth histogram keeps summing to it.
+                sol.nodes_explored += nodes;
+                sol.stats.nodes_explored = sol.nodes_explored;
+            }
+        }
+    }
     sol.stats.solve_time = start.elapsed();
     Ok(sol)
+}
+
+/// Re-derives a proven-optimal solution vector as a pure function of the
+/// model, erasing the timing and warm-hint dependence of the search's own
+/// incumbent. A fresh serial best-first pass, seeded with the proven
+/// objective `target`, prunes every strictly worse subtree (ties survive
+/// the `1e-9` tolerance) and accepts the first integral solution matching
+/// `target` in the fixed `(bound, depth, seq)` order — the same canonical
+/// vector on every run and every thread count. The pass starts cold
+/// (no root basis, fresh pseudocosts) so nothing from the search or from
+/// prior solves can steer it. On success returns the vector together with
+/// the pass's node count, which the caller folds into the explored total.
+/// Returns `None` — keep the search's own
+/// incumbent, forfeiting reproducibility — when a deadline, the node
+/// limit, or LP trouble interrupts the pass; with pruning at full
+/// strength from the first node the pass is far cheaper than the
+/// optimality proof that preceded it, so that is a deadline-pressure
+/// corner, not the norm.
+fn polish_canonical(
+    ctx: &SearchCtx<'_>,
+    target: f64,
+    stats: &mut SolveStats,
+) -> Option<(Vec<f64>, usize)> {
+    let mut heap = BinaryHeap::new();
+    heap.push(Node {
+        bound: f64::NEG_INFINITY,
+        depth: 0,
+        seq: 0,
+        changes: None,
+        basis: None,
+        frac: 0.0,
+    });
+    let mut next_seq = 0usize;
+    let mut scratch = WorkerScratch::new();
+    let mut nodes = 0usize;
+    // Offset so `evaluate_node`'s `lp_obj >= inc - 1e-9` prune keeps
+    // target ties alive while cutting everything strictly worse.
+    let pseudo_incumbent = target + 2e-9;
+    let mut found = None;
+    while let Some(node) = heap.pop() {
+        if node.bound >= target + 1e-9 || ctx.time_limit_reached() || ctx.node_limit_reached(nodes)
+        {
+            break;
+        }
+        nodes += 1;
+        match evaluate_node(ctx, &node, Some(pseudo_incumbent), &mut scratch) {
+            NodeOutcome::Infeasible | NodeOutcome::PrunedByBound => {}
+            NodeOutcome::LpTrouble(_) | NodeOutcome::Unbounded => break,
+            NodeOutcome::Integral { obj, values } => {
+                if obj <= target + 1e-9 {
+                    found = Some(values);
+                    break;
+                }
+            }
+            NodeOutcome::Branched {
+                lp_obj,
+                var,
+                x,
+                basis,
+            } => {
+                let bounds_var = (scratch.lower[var], scratch.upper[var]);
+                let (down, up) =
+                    make_children(&node, var, x, lp_obj, bounds_var, basis, &mut next_seq);
+                if let Some(child) = down {
+                    heap.push(child);
+                }
+                if let Some(child) = up {
+                    heap.push(child);
+                }
+            }
+        }
+    }
+    stats.merge(&scratch.stats);
+    found.map(|values| (values, nodes))
 }
 
 fn search_serial(
@@ -1025,6 +1171,7 @@ fn search_serial(
     let mut lost_bound = f64::INFINITY;
     let mut root_unbounded = false;
     let mut root_iteration_limit = false;
+    let mut root_basis: Option<Arc<Basis>> = None;
 
     while let Some(node) = heap.pop() {
         // Prune against the incumbent (best-first: once the best open bound
@@ -1082,6 +1229,9 @@ fn search_serial(
                 x,
                 basis,
             } => {
+                if node.depth == 0 {
+                    root_basis.clone_from(&basis);
+                }
                 let bounds_var = (scratch.lower[var], scratch.upper[var]);
                 let (down, up) =
                     make_children(&node, var, x, lp_obj, bounds_var, basis, &mut next_seq);
@@ -1107,6 +1257,7 @@ fn search_serial(
         root_unbounded,
         root_iteration_limit,
         stats: scratch.stats,
+        root_basis,
     }
 }
 
@@ -1627,12 +1778,14 @@ mod tests {
         );
         // The warm run must actually warm-start: every non-root node
         // carries a parent basis on this model, and inheriting it skips
-        // phase 1.
+        // phase 1. Two cold roots, not one: the search finds its own
+        // incumbent here, so the stats include the canonical polish pass
+        // and its fresh root.
         let ws = warm.stats();
         assert!(ws.lp_solves > 1, "model too easy: {ws:?}");
-        assert_eq!(ws.warm_start_attempts, ws.lp_solves - 1);
+        assert_eq!(ws.phase1_solves, 2, "{ws:?}");
+        assert_eq!(ws.warm_start_attempts, ws.lp_solves - ws.phase1_solves);
         assert_eq!(ws.warm_start_hits, ws.warm_start_attempts, "{ws:?}");
-        assert_eq!(ws.phase1_solves, 1, "{ws:?}");
         // The cold run never warm-starts and pays phase 1 at every node.
         let cs = cold.stats();
         assert_eq!(cs.warm_start_attempts, 0);
@@ -1663,15 +1816,16 @@ mod tests {
             let s = sol.stats();
             assert_eq!(s.nodes_explored, sol.nodes_explored());
             // One LP per node, plus up to two strong-branch probes per
-            // root candidate.
-            assert!(s.lp_solves <= s.nodes_explored + 2 * STRONG_BRANCH_CANDIDATES);
+            // root candidate — at both roots, since the canonical polish
+            // pass explores from a fresh depth-0 node of its own.
+            assert!(s.lp_solves <= s.nodes_explored + 4 * STRONG_BRANCH_CANDIDATES);
             assert!(s.warm_start_hits <= s.warm_start_attempts);
             assert!(s.warm_start_attempts < s.lp_solves);
             assert!(s.phase1_solves <= s.lp_solves);
             assert!(s.warm_hit_rate() >= 0.9, "{threads} threads: {s:?}");
-            // Depth histogram: one bucket entry per explored node, rooted
-            // at a single depth-0 node (presolve solves a second trivial
-            // root when it fixes everything — not on this model).
+            // Depth histogram: one bucket entry per explored node, with
+            // the polish pass's nodes folded into both sides of the
+            // equation.
             assert_eq!(
                 s.nodes_by_depth.iter().sum::<usize>(),
                 s.nodes_explored,

@@ -62,6 +62,9 @@ struct SearchState {
     done: bool,
     /// Per-worker LP/pivot counters, merged in as each worker exits.
     stats: SolveStats,
+    /// The root node's optimal basis, captured by whichever worker
+    /// branched at depth 0 (see `MilpSolution::root_basis`).
+    root_basis: Option<std::sync::Arc<crate::simplex::Basis>>,
 }
 
 struct Shared {
@@ -127,6 +130,7 @@ pub(crate) fn search(
             root_iteration_limit: false,
             done: false,
             stats: SolveStats::default(),
+            root_basis: None,
         }),
         cvar: Condvar::new(),
         best_obj_bits: AtomicU64::new(best_bits),
@@ -158,6 +162,7 @@ pub(crate) fn search(
         root_unbounded: state.root_unbounded,
         root_iteration_limit: state.root_iteration_limit,
         stats: state.stats,
+        root_basis: state.root_basis,
     })
 }
 
@@ -292,6 +297,9 @@ fn worker(ctx: &SearchCtx<'_>, shared: &Shared) {
                 x,
                 basis,
             } => {
+                if node.depth == 0 {
+                    state.root_basis.clone_from(&basis);
+                }
                 let bounds_var = (scratch.lower[var], scratch.upper[var]);
                 let (down, up) = make_children(
                     &node,

@@ -25,7 +25,7 @@ pub mod server;
 
 pub use client::{Client, ClientError};
 pub use proto::{
-    JobResult, JobSpec, JobSummary, Outcome, RejectReason, Request, Response, ServerStats,
-    StrategySpec, Workload,
+    DeltaSpec, JobResult, JobSpec, JobSummary, Outcome, RejectReason, Request, Response,
+    ServerStats, StrategySpec, Workload,
 };
 pub use server::{Server, ServerConfig};

@@ -6,9 +6,11 @@
 //!                      [--cache-capacity N] [--cache-dir DIR]
 //!                      [--metrics FILE] [--default-deadline-ms MS]
 //! sring-served submit  --addr HOST:PORT
-//!                      (--benchmark NAME | --random N,M,SEED | --sleep MS)
+//!                      (--benchmark NAME | --random N,M,SEED | --sleep MS |
+//!                       --base NAME --delta SPEC [--delta SPEC ...])
 //!                      [--strategy auto|heuristic|milp] [--deadline-ms MS]
 //!                      [--trace] [--require-cache-hits N]
+//!                      [--repeat N] [--save-as NAME]
 //! sring-served stats   --addr HOST:PORT
 //! sring-served ping    --addr HOST:PORT
 //! sring-served shutdown --addr HOST:PORT
@@ -17,12 +19,18 @@
 //! `serve` prints the bound address on stdout (useful with `:0`) and,
 //! with `--port-file`, also writes it to a file so scripts can poll for
 //! readiness; it then blocks until a client sends `shutdown`, drains the
-//! queue and exits. `submit` runs one job and prints the result;
-//! `--require-cache-hits N` makes it exit non-zero unless the job was
-//! served with at least N memory-cache hits (used by the CI smoke test to
-//! prove cross-request cache sharing).
+//! queue and exits. `submit` runs one job (or, with `--repeat N`, the
+//! same job N times over a single reused connection — one TCP connect
+//! total, not one per job) and prints each result;
+//! `--require-cache-hits N` makes it exit non-zero unless the last job
+//! was served with at least N memory-cache hits (used by the CI smoke
+//! test to prove cross-request cache sharing). `--save-as NAME` stores
+//! the result server-side; a later submit with `--base NAME` and one or
+//! more `--delta` edits re-synthesizes incrementally against it. Delta
+//! specs: `add:SRC,DST,BW`, `remove:ID`, `retarget:ID,SRC,DST`,
+//! `scale:ID,FACTOR` (IDs are stable message ids, nodes are indices).
 
-use onoc_served::proto::{JobSpec, Outcome, Response, StrategySpec, Workload};
+use onoc_served::proto::{DeltaSpec, JobSpec, Outcome, Response, StrategySpec, Workload};
 use onoc_served::server::{Server, ServerConfig};
 use onoc_served::Client;
 use std::process::ExitCode;
@@ -30,7 +38,7 @@ use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  sring-served serve [--addr <host:port>] [--port-file <file>] [--workers <n>] [--queue-depth <n>] [--cache-capacity <n>] [--cache-dir <dir>] [--metrics <file>] [--default-deadline-ms <ms>]\n  sring-served submit --addr <host:port> (--benchmark <name> | --random <nodes>,<messages>,<seed> | --sleep <ms>) [--strategy auto|heuristic|milp] [--deadline-ms <ms>] [--trace] [--require-cache-hits <n>]\n  sring-served stats --addr <host:port>\n  sring-served ping --addr <host:port>\n  sring-served shutdown --addr <host:port>"
+        "usage:\n  sring-served serve [--addr <host:port>] [--port-file <file>] [--workers <n>] [--queue-depth <n>] [--cache-capacity <n>] [--cache-dir <dir>] [--metrics <file>] [--default-deadline-ms <ms>]\n  sring-served submit --addr <host:port> (--benchmark <name> | --random <nodes>,<messages>,<seed> | --sleep <ms> | --base <name> --delta <spec>...) [--strategy auto|heuristic|milp] [--deadline-ms <ms>] [--trace] [--require-cache-hits <n>] [--repeat <n>] [--save-as <name>]\n    delta specs: add:<src>,<dst>,<bw> | remove:<id> | retarget:<id>,<src>,<dst> | scale:<id>,<factor>\n  sring-served stats --addr <host:port>\n  sring-served ping --addr <host:port>\n  sring-served shutdown --addr <host:port>"
     );
     ExitCode::from(2)
 }
@@ -102,6 +110,20 @@ impl Args {
     fn has(&self, name: &str) -> bool {
         self.flags.iter().any(|(n, _)| n == name)
     }
+
+    /// All values of a repeatable flag, in the order given.
+    fn values(&self, name: &str) -> Result<Vec<&str>, String> {
+        let mut out = Vec::new();
+        for (n, v) in &self.flags {
+            if n == name {
+                match v {
+                    Some(v) => out.push(v.as_str()),
+                    None => return Err(format!("--{name} requires a value")),
+                }
+            }
+        }
+        Ok(out)
+    }
 }
 
 fn parse_num<T: std::str::FromStr>(args: &Args, name: &str) -> Result<Option<T>, String> {
@@ -170,19 +192,62 @@ fn connect(args: &Args) -> Result<Client, CliError> {
     Client::connect(addr).map_err(|e| CliError::runtime(format!("cannot connect to {addr}: {e}")))
 }
 
+/// One `--delta` edit: `add:SRC,DST,BW`, `remove:ID`,
+/// `retarget:ID,SRC,DST` or `scale:ID,FACTOR`.
+fn parse_delta(spec: &str) -> Result<DeltaSpec, CliError> {
+    let bad = || CliError::usage(format!("bad --delta `{spec}`"));
+    let (kind, rest) = spec.split_once(':').ok_or_else(bad)?;
+    let parts: Vec<&str> = rest.split(',').collect();
+    let int = |v: &str| v.parse::<u64>().map_err(|_| bad());
+    let num = |v: &str| v.parse::<f64>().map_err(|_| bad());
+    match (kind, parts.as_slice()) {
+        ("add", [src, dst, bw]) => Ok(DeltaSpec::Add {
+            src: int(src)?,
+            dst: int(dst)?,
+            bandwidth: num(bw)?,
+        }),
+        ("remove", [id]) => Ok(DeltaSpec::Remove { id: int(id)? }),
+        ("retarget", [id, src, dst]) => Ok(DeltaSpec::Retarget {
+            id: int(id)?,
+            src: int(src)?,
+            dst: int(dst)?,
+        }),
+        ("scale", [id, factor]) => Ok(DeltaSpec::Scale {
+            id: int(id)?,
+            factor: num(factor)?,
+        }),
+        _ => Err(bad()),
+    }
+}
+
 fn parse_workload(args: &Args) -> Result<Workload, CliError> {
     let picks = [
         args.value("benchmark")?.is_some(),
         args.value("random")?.is_some(),
         args.value("sleep")?.is_some(),
+        args.value("base")?.is_some(),
     ]
     .iter()
     .filter(|p| **p)
     .count();
     if picks != 1 {
         return Err(CliError::usage(
-            "submit needs exactly one of --benchmark, --random or --sleep",
+            "submit needs exactly one of --benchmark, --random, --sleep or --base",
         ));
+    }
+    if let Some(base) = args.value("base")? {
+        let deltas = args
+            .values("delta")?
+            .iter()
+            .map(|spec| parse_delta(spec))
+            .collect::<Result<Vec<_>, _>>()?;
+        if deltas.is_empty() {
+            return Err(CliError::usage("--base needs at least one --delta"));
+        }
+        return Ok(Workload::Delta {
+            base: base.to_string(),
+            deltas,
+        });
     }
     if let Some(name) = args.value("benchmark")? {
         return Ok(Workload::Benchmark(name.to_string()));
@@ -228,60 +293,74 @@ fn run_submit(args: &Args) -> Result<(), CliError> {
     let mut spec = JobSpec::new(parse_workload(args)?);
     spec.strategy = parse_strategy(args)?;
     spec.collect_trace = args.has("trace");
+    spec.save_as = args.value("save-as")?.map(str::to_string);
     if let Some(ms) = parse_num::<u64>(args, "deadline-ms")? {
         spec.deadline = Some(Duration::from_millis(ms));
     }
     let required_hits: Option<u64> = parse_num(args, "require-cache-hits")?;
-
-    let mut client = connect(args)?;
-    let response = client
-        .submit(spec)
-        .map_err(|e| CliError::runtime(e.to_string()))?;
-    match response {
-        Response::Job(result) => {
-            match &result.outcome {
-                Outcome::Completed(summary) => println!(
-                    "job {} completed: {} → {} wavelengths, {} sub-rings, {} messages",
-                    result.job_id,
-                    summary.workload,
-                    summary.wavelengths,
-                    summary.sub_rings,
-                    summary.messages
-                ),
-                Outcome::DeadlineExceeded { overdue_ns } => println!(
-                    "job {} deadline exceeded (overdue {:.3} ms)",
-                    result.job_id,
-                    *overdue_ns as f64 / 1e6
-                ),
-                Outcome::Failed(reason) => println!("job {} failed: {reason}", result.job_id),
-            }
-            println!(
-                "  queued {:.3} ms, ran {:.3} ms, cache {}/{} hits",
-                result.queue_ns as f64 / 1e6,
-                result.run_ns as f64 / 1e6,
-                result.cache_hits,
-                result.cache_hits + result.cache_misses
-            );
-            if let Some(trace) = &result.trace_json {
-                println!("{trace}");
-            }
-            if !matches!(result.outcome, Outcome::Completed(_)) {
-                return Err(CliError::runtime("job did not complete".to_string()));
-            }
-            if let Some(required) = required_hits {
-                if result.cache_hits < required {
-                    return Err(CliError::runtime(format!(
-                        "expected ≥{required} cache hits, got {}",
-                        result.cache_hits
-                    )));
-                }
-            }
-            Ok(())
-        }
-        Response::Rejected(reason) => Err(CliError::runtime(format!("rejected: {reason}"))),
-        Response::Error(message) => Err(CliError::runtime(format!("server error: {message}"))),
-        other => Err(CliError::runtime(format!("unexpected response: {other:?}"))),
+    let repeat: u64 = parse_num(args, "repeat")?.unwrap_or(1);
+    if repeat == 0 {
+        return Err(CliError::usage("--repeat must be at least 1"));
     }
+
+    // One connection for the whole batch: `Client` reuses its stream
+    // across requests, so N repeats cost one TCP connect, not N.
+    let mut client = connect(args)?;
+    for iteration in 0..repeat {
+        let response = client
+            .submit(spec.clone())
+            .map_err(|e| CliError::runtime(e.to_string()))?;
+        let result = match response {
+            Response::Job(result) => result,
+            Response::Rejected(reason) => {
+                return Err(CliError::runtime(format!("rejected: {reason}")))
+            }
+            Response::Error(message) => {
+                return Err(CliError::runtime(format!("server error: {message}")))
+            }
+            other => return Err(CliError::runtime(format!("unexpected response: {other:?}"))),
+        };
+        match &result.outcome {
+            Outcome::Completed(summary) => println!(
+                "job {} completed: {} → {} wavelengths, {} sub-rings, {} messages",
+                result.job_id,
+                summary.workload,
+                summary.wavelengths,
+                summary.sub_rings,
+                summary.messages
+            ),
+            Outcome::DeadlineExceeded { overdue_ns } => println!(
+                "job {} deadline exceeded (overdue {:.3} ms)",
+                result.job_id,
+                *overdue_ns as f64 / 1e6
+            ),
+            Outcome::Failed(reason) => println!("job {} failed: {reason}", result.job_id),
+        }
+        println!(
+            "  queued {:.3} ms, ran {:.3} ms, cache {}/{} hits",
+            result.queue_ns as f64 / 1e6,
+            result.run_ns as f64 / 1e6,
+            result.cache_hits,
+            result.cache_hits + result.cache_misses
+        );
+        if let Some(trace) = &result.trace_json {
+            println!("{trace}");
+        }
+        if !matches!(result.outcome, Outcome::Completed(_)) {
+            return Err(CliError::runtime("job did not complete".to_string()));
+        }
+        // The cache-hit floor applies to the last job of the batch: with
+        // --repeat the earlier iterations warm the shared cache.
+        if let Some(required) = required_hits.filter(|_| iteration + 1 == repeat) {
+            if result.cache_hits < required {
+                return Err(CliError::runtime(format!(
+                    "expected ≥{required} cache hits, got {}",
+                    result.cache_hits
+                )));
+            }
+        }
+    }
+    Ok(())
 }
 
 fn run_stats(args: &Args) -> Result<(), CliError> {

@@ -19,6 +19,7 @@
 //! so the protocol inherits its bounds-checked decoding and its
 //! trailing-bytes-are-corruption discipline.
 
+use onoc_graph::{CommDelta, NodeId, StableMessageId};
 use onoc_store::{DecodeError, Decoder, Encoder, Persist};
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -27,8 +28,11 @@ use std::time::Duration;
 /// Frame magic: the first four bytes of every frame.
 pub const FRAME_MAGIC: [u8; 4] = *b"SRNG";
 
-/// Protocol version carried in every frame header.
-pub const PROTO_VERSION: u32 = 1;
+/// Protocol version carried in every frame header. Version 2 added the
+/// `Delta` workload (incremental re-synthesis against a named prior
+/// result) and the job-level `save_as` field; version-1 peers are
+/// rejected at the framing layer rather than mis-decoded.
+pub const PROTO_VERSION: u32 = 2;
 
 /// Default upper bound on a frame's payload length (1 MiB). Requests and
 /// responses are small; anything near this size is a protocol error.
@@ -242,6 +246,136 @@ pub enum Workload {
         /// How long to sleep.
         millis: u64,
     },
+    /// Incremental re-synthesis: apply an edit sequence to the named
+    /// prior result (saved server-side via [`JobSpec::save_as`]) and
+    /// re-synthesize, reusing every artifact the edits left clean.
+    Delta {
+        /// Name of the saved base result to edit.
+        base: String,
+        /// The edit sequence, in order.
+        deltas: Vec<DeltaSpec>,
+    },
+}
+
+/// One communication-graph edit on the wire (mirror of
+/// [`onoc_graph::CommDelta`] with plain integer ids).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeltaSpec {
+    /// Add a message `src → dst` with the given bandwidth.
+    Add {
+        /// Sending node index.
+        src: u64,
+        /// Receiving node index.
+        dst: u64,
+        /// Relative bandwidth demand.
+        bandwidth: f64,
+    },
+    /// Remove the message with stable id `id`.
+    Remove {
+        /// Stable message id.
+        id: u64,
+    },
+    /// Move the message with stable id `id` to new endpoints.
+    Retarget {
+        /// Stable message id.
+        id: u64,
+        /// New sending node index.
+        src: u64,
+        /// New receiving node index.
+        dst: u64,
+    },
+    /// Multiply the bandwidth of message `id` by `factor`.
+    Scale {
+        /// Stable message id.
+        id: u64,
+        /// Bandwidth multiplier.
+        factor: f64,
+    },
+}
+
+impl DeltaSpec {
+    /// The graph-level edit this wire record describes.
+    #[must_use]
+    pub fn to_comm(&self) -> CommDelta {
+        match *self {
+            DeltaSpec::Add {
+                src,
+                dst,
+                bandwidth,
+            } => CommDelta::AddMessage {
+                src: NodeId(src as usize),
+                dst: NodeId(dst as usize),
+                bandwidth,
+            },
+            DeltaSpec::Remove { id } => CommDelta::RemoveMessage {
+                id: StableMessageId(id),
+            },
+            DeltaSpec::Retarget { id, src, dst } => CommDelta::Retarget {
+                id: StableMessageId(id),
+                src: NodeId(src as usize),
+                dst: NodeId(dst as usize),
+            },
+            DeltaSpec::Scale { id, factor } => CommDelta::ScaleBandwidth {
+                id: StableMessageId(id),
+                factor,
+            },
+        }
+    }
+}
+
+impl Persist for DeltaSpec {
+    fn persist(&self, enc: &mut Encoder) {
+        match self {
+            DeltaSpec::Add {
+                src,
+                dst,
+                bandwidth,
+            } => {
+                enc.put_u8(0);
+                enc.put_u64(*src);
+                enc.put_u64(*dst);
+                enc.put_f64(*bandwidth);
+            }
+            DeltaSpec::Remove { id } => {
+                enc.put_u8(1);
+                enc.put_u64(*id);
+            }
+            DeltaSpec::Retarget { id, src, dst } => {
+                enc.put_u8(2);
+                enc.put_u64(*id);
+                enc.put_u64(*src);
+                enc.put_u64(*dst);
+            }
+            DeltaSpec::Scale { id, factor } => {
+                enc.put_u8(3);
+                enc.put_u64(*id);
+                enc.put_f64(*factor);
+            }
+        }
+    }
+
+    fn restore(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.take_u8()? {
+            0 => Ok(DeltaSpec::Add {
+                src: dec.take_u64()?,
+                dst: dec.take_u64()?,
+                bandwidth: dec.take_f64()?,
+            }),
+            1 => Ok(DeltaSpec::Remove {
+                id: dec.take_u64()?,
+            }),
+            2 => Ok(DeltaSpec::Retarget {
+                id: dec.take_u64()?,
+                src: dec.take_u64()?,
+                dst: dec.take_u64()?,
+            }),
+            3 => Ok(DeltaSpec::Scale {
+                id: dec.take_u64()?,
+                factor: dec.take_f64()?,
+            }),
+            t => Err(dec.error(format!("unknown delta tag {t}"))),
+        }
+    }
 }
 
 impl Workload {
@@ -256,6 +390,7 @@ impl Workload {
                 seed,
             } => format!("random-{nodes}n{messages}m-s{seed}"),
             Workload::Sleep { millis } => format!("sleep-{millis}ms"),
+            Workload::Delta { base, deltas } => format!("delta-{base}+{}", deltas.len()),
         }
     }
 }
@@ -281,6 +416,14 @@ impl Persist for Workload {
                 enc.put_u8(2);
                 enc.put_u64(*millis);
             }
+            Workload::Delta { base, deltas } => {
+                enc.put_u8(3);
+                enc.put_str(base);
+                enc.put_usize(deltas.len());
+                for d in deltas {
+                    d.persist(enc);
+                }
+            }
         }
     }
 
@@ -295,6 +438,15 @@ impl Persist for Workload {
             2 => Ok(Workload::Sleep {
                 millis: dec.take_u64()?,
             }),
+            3 => {
+                let base = dec.take_str()?.to_owned();
+                let len = dec.take_len(9)?;
+                let mut deltas = Vec::with_capacity(len);
+                for _ in 0..len {
+                    deltas.push(DeltaSpec::restore(dec)?);
+                }
+                Ok(Workload::Delta { base, deltas })
+            }
             t => Err(dec.error(format!("unknown workload tag {t}"))),
         }
     }
@@ -357,11 +509,15 @@ pub struct JobSpec {
     pub deadline: Option<Duration>,
     /// Return the full per-job trace report as JSON in the response.
     pub collect_trace: bool,
+    /// Save this job's synthesis result server-side under a name, making
+    /// it addressable as the base of a later [`Workload::Delta`] job. A
+    /// result saved under an existing name replaces it.
+    pub save_as: Option<String>,
 }
 
 impl JobSpec {
-    /// A job for `workload` with default strategy, no deadline and no
-    /// trace collection.
+    /// A job for `workload` with default strategy, no deadline, no trace
+    /// collection and no server-side save.
     #[must_use]
     pub fn new(workload: Workload) -> Self {
         JobSpec {
@@ -369,6 +525,7 @@ impl JobSpec {
             strategy: StrategySpec::default(),
             deadline: None,
             collect_trace: false,
+            save_as: None,
         }
     }
 }
@@ -379,6 +536,7 @@ impl Persist for JobSpec {
         self.strategy.persist(enc);
         self.deadline.persist(enc);
         enc.put_bool(self.collect_trace);
+        self.save_as.persist(enc);
     }
 
     fn restore(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
@@ -387,6 +545,7 @@ impl Persist for JobSpec {
             strategy: StrategySpec::restore(dec)?,
             deadline: Option::<Duration>::restore(dec)?,
             collect_trace: dec.take_bool()?,
+            save_as: Option::<String>::restore(dec)?,
         })
     }
 }
@@ -779,6 +938,7 @@ mod tests {
             strategy: StrategySpec::Heuristic,
             deadline: Some(Duration::from_millis(1500)),
             collect_trace: true,
+            save_as: None,
         }));
         roundtrip(&Request::Job(JobSpec::new(Workload::Random {
             nodes: 12,
@@ -786,6 +946,51 @@ mod tests {
             seed: 7,
         })));
         roundtrip(&Request::Job(JobSpec::new(Workload::Sleep { millis: 50 })));
+        let mut saved = JobSpec::new(Workload::Benchmark("VOPD".into()));
+        saved.save_as = Some("base".into());
+        roundtrip(&Request::Job(saved));
+        roundtrip(&Request::Job(JobSpec::new(Workload::Delta {
+            base: "base".into(),
+            deltas: vec![
+                DeltaSpec::Add {
+                    src: 1,
+                    dst: 2,
+                    bandwidth: 1.5,
+                },
+                DeltaSpec::Remove { id: 3 },
+                DeltaSpec::Retarget {
+                    id: 4,
+                    src: 0,
+                    dst: 5,
+                },
+                DeltaSpec::Scale { id: 6, factor: 0.5 },
+            ],
+        })));
+    }
+
+    #[test]
+    fn delta_specs_map_to_graph_deltas() {
+        use onoc_graph::CommDelta;
+        assert_eq!(
+            DeltaSpec::Retarget {
+                id: 7,
+                src: 1,
+                dst: 2
+            }
+            .to_comm(),
+            CommDelta::Retarget {
+                id: StableMessageId(7),
+                src: NodeId(1),
+                dst: NodeId(2),
+            }
+        );
+        assert_eq!(
+            DeltaSpec::Scale { id: 9, factor: 2.0 }.to_comm(),
+            CommDelta::ScaleBandwidth {
+                id: StableMessageId(9),
+                factor: 2.0,
+            }
+        );
     }
 
     #[test]

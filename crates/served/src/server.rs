@@ -31,8 +31,8 @@
 //! result), and only then do the threads join.
 
 use crate::proto::{
-    read_frame, write_message, FrameError, JobResult, JobSpec, JobSummary, Outcome, RejectReason,
-    Request, Response, ServerStats, StrategySpec, Workload, DEFAULT_MAX_FRAME,
+    read_frame, write_message, DeltaSpec, FrameError, JobResult, JobSpec, JobSummary, Outcome,
+    RejectReason, Request, Response, ServerStats, StrategySpec, Workload, DEFAULT_MAX_FRAME,
 };
 use onoc_ctx::{resolve_threads, ArtifactCache, ArtifactStore, ExecCtx};
 use onoc_graph::benchmarks::{Benchmark, DEFAULT_PITCH};
@@ -40,8 +40,11 @@ use onoc_graph::synth::random_app;
 use onoc_graph::CommGraph;
 use onoc_store::DiskStore;
 use onoc_trace::{json::Value, lock_or_recover, Trace};
-use sring_core::{AssignmentStrategy, MilpOptions, SringConfig, SringError, SringSynthesizer};
-use std::collections::VecDeque;
+use sring_core::resynth::ResynthError;
+use sring_core::{
+    AssignmentStrategy, MilpOptions, SringConfig, SringError, SringReport, SringSynthesizer,
+};
+use std::collections::{HashMap, VecDeque};
 use std::fs::OpenOptions;
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -107,11 +110,51 @@ struct QueuedJob {
     reply: mpsc::Sender<JobResult>,
 }
 
+/// A synthesis result saved under a name, serving as the base of later
+/// `Delta` jobs.
+struct SavedResult {
+    graph: CommGraph,
+    report: SringReport,
+    strategy: StrategySpec,
+}
+
+/// Named results kept for `Delta` jobs, with FIFO eviction beyond the cap.
+#[derive(Default)]
+struct ResultRegistry {
+    by_name: HashMap<String, Arc<SavedResult>>,
+    order: VecDeque<String>,
+}
+
+/// Upper bound on saved named results: each holds a full graph + report,
+/// so the registry is kept small and evicts oldest-first.
+const MAX_SAVED_RESULTS: usize = 64;
+
+impl ResultRegistry {
+    fn save(&mut self, name: &str, result: Arc<SavedResult>) {
+        if self.by_name.insert(name.to_owned(), result).is_none() {
+            self.order.push_back(name.to_owned());
+            while self.order.len() > MAX_SAVED_RESULTS {
+                if let Some(evicted) = self.order.pop_front() {
+                    self.by_name.remove(&evicted);
+                }
+            }
+        }
+    }
+
+    fn get(&self, name: &str) -> Option<Arc<SavedResult>> {
+        self.by_name.get(name).cloned()
+    }
+}
+
 struct Shared {
     config: ServerConfig,
     addr: SocketAddr,
     cache: Arc<ArtifactCache>,
+    /// Shared per-sub-ring memo tier: what makes `Delta` jobs incremental
+    /// across requests (clean sub-rings replay from here).
+    memo: Arc<ArtifactCache>,
     store: Option<Arc<dyn ArtifactStore>>,
+    results: Mutex<ResultRegistry>,
     queue: Mutex<VecDeque<QueuedJob>>,
     job_ready: Condvar,
     shutdown: AtomicBool,
@@ -230,12 +273,15 @@ impl Server {
             None => None,
         };
         let cache = Arc::new(ArtifactCache::new(config.cache_capacity));
+        let memo = Arc::new(ArtifactCache::new(ExecCtx::MEMO_CAPACITY));
         let worker_count = resolve_threads(config.workers);
         let shared = Arc::new(Shared {
             config,
             addr: local,
             cache,
+            memo,
             store,
+            results: Mutex::new(ResultRegistry::default()),
             queue: Mutex::new(VecDeque::new()),
             job_ready: Condvar::new(),
             shutdown: AtomicBool::new(false),
@@ -512,6 +558,7 @@ fn run_job(
     let mut ctx = ExecCtx::default()
         .with_trace(trace.clone())
         .with_cache(Arc::clone(&shared.cache))
+        .with_memo(Arc::clone(&shared.memo))
         .with_threads(1);
     if let Some(deadline) = job.deadline {
         ctx = ctx.with_deadline(deadline);
@@ -526,7 +573,7 @@ fn run_job(
         Err(e) => Outcome::DeadlineExceeded {
             overdue_ns: u64::try_from(e.overdue.as_nanos()).unwrap_or(u64::MAX),
         },
-        Ok(()) => execute_workload(&job.spec, &ctx),
+        Ok(()) => execute_workload(shared, &job.spec, &ctx),
     };
 
     // onoc-lint: allow(L4, reason = "run-latency measurement for the job's metrics record")
@@ -545,11 +592,11 @@ fn run_job(
     (result, job.reply, Some(trace_json))
 }
 
-fn execute_workload(spec: &JobSpec, ctx: &ExecCtx) -> Outcome {
+fn execute_workload(shared: &Arc<Shared>, spec: &JobSpec, ctx: &ExecCtx) -> Outcome {
     match &spec.workload {
         Workload::Sleep { millis } => run_sleep(*millis, ctx),
         Workload::Benchmark(name) => match benchmark_by_name(name) {
-            Some(benchmark) => run_synthesis(&benchmark.graph(), spec.strategy, ctx),
+            Some(benchmark) => run_synthesis(shared, &benchmark.graph(), spec.strategy, spec, ctx),
             None => Outcome::Failed(format!(
                 "unknown benchmark {name:?} (expected one of {})",
                 Benchmark::ALL.map(Benchmark::name).join(", ")
@@ -568,11 +615,14 @@ fn execute_workload(spec: &JobSpec, ctx: &ExecCtx) -> Outcome {
                 ));
             }
             run_synthesis(
+                shared,
                 &random_app(nodes, messages, *seed, DEFAULT_PITCH),
                 spec.strategy,
+                spec,
                 ctx,
             )
         }
+        Workload::Delta { base, deltas } => run_delta(shared, base, deltas, spec, ctx),
     }
 }
 
@@ -604,26 +654,100 @@ fn run_sleep(millis: u64, ctx: &ExecCtx) -> Outcome {
     })
 }
 
-fn run_synthesis(app: &CommGraph, strategy: StrategySpec, ctx: &ExecCtx) -> Outcome {
+fn synthesizer_for(strategy: StrategySpec) -> SringSynthesizer {
     let strategy = match strategy {
         StrategySpec::Auto => AssignmentStrategy::default(),
         StrategySpec::Heuristic => AssignmentStrategy::Heuristic,
         StrategySpec::Milp => AssignmentStrategy::Milp(MilpOptions::default()),
     };
-    let synth = SringSynthesizer::with_config(SringConfig {
+    SringSynthesizer::with_config(SringConfig {
         strategy,
         ..SringConfig::default()
-    });
+    })
+}
+
+fn summarize(app: &CommGraph, report: &SringReport) -> JobSummary {
+    JobSummary {
+        workload: app.name().to_owned(),
+        wavelengths: report.assignment.wavelength_count as u64,
+        sub_rings: report.clustering.sub_ring_count() as u64,
+        messages: app.message_count() as u64,
+    }
+}
+
+/// Saves a finished result under the job's `save_as` name, if any.
+fn maybe_save(shared: &Arc<Shared>, spec: &JobSpec, graph: &CommGraph, report: &SringReport) {
+    if let Some(name) = &spec.save_as {
+        lock_or_recover(&shared.results).save(
+            name,
+            Arc::new(SavedResult {
+                graph: graph.clone(),
+                report: report.clone(),
+                strategy: spec.strategy,
+            }),
+        );
+    }
+}
+
+fn run_synthesis(
+    shared: &Arc<Shared>,
+    app: &CommGraph,
+    strategy: StrategySpec,
+    spec: &JobSpec,
+    ctx: &ExecCtx,
+) -> Outcome {
+    let synth = synthesizer_for(strategy);
     match synth.synthesize_detailed_ctx(app, ctx) {
-        Ok(report) => Outcome::Completed(JobSummary {
-            workload: app.name().to_owned(),
-            wavelengths: report.assignment.wavelength_count as u64,
-            sub_rings: report.clustering.sub_ring_count() as u64,
-            messages: app.message_count() as u64,
-        }),
+        Ok(report) => {
+            let summary = summarize(app, &report);
+            maybe_save(shared, spec, app, &report);
+            Outcome::Completed(summary)
+        }
         Err(SringError::Deadline(e)) => Outcome::DeadlineExceeded {
             overdue_ns: u64::try_from(e.overdue.as_nanos()).unwrap_or(u64::MAX),
         },
         Err(e) => Outcome::Failed(e.to_string()),
+    }
+}
+
+/// Runs a `Delta` job: incremental re-synthesis against a saved base
+/// result. The edit is applied with `resynthesize` — byte-identical to a
+/// from-scratch run, with clean sub-rings served from the shared memo
+/// tier. The base's own strategy is used unless the job overrides it; the
+/// edited result replaces (or is saved under) `save_as`, so edit chains
+/// compose: each Delta job can name the previous one as its base.
+fn run_delta(
+    shared: &Arc<Shared>,
+    base: &str,
+    deltas: &[DeltaSpec],
+    spec: &JobSpec,
+    ctx: &ExecCtx,
+) -> Outcome {
+    let Some(saved) = lock_or_recover(&shared.results).get(base) else {
+        return Outcome::Failed(format!(
+            "unknown base result {base:?} (save one with a job's save_as field first)"
+        ));
+    };
+    // `Auto` means "inherit the base's strategy": an edit chain should
+    // not silently switch solvers mid-way.
+    let strategy = match spec.strategy {
+        StrategySpec::Auto => saved.strategy,
+        other => other,
+    };
+    let synth = synthesizer_for(strategy);
+    let comm: Vec<_> = deltas.iter().map(DeltaSpec::to_comm).collect();
+    match synth.resynthesize(&saved.graph, &saved.report, &comm, ctx) {
+        Ok(result) => {
+            let summary = summarize(&result.graph, &result.report);
+            maybe_save(shared, spec, &result.graph, &result.report);
+            Outcome::Completed(summary)
+        }
+        Err(ResynthError::Delta { index, source }) => {
+            Outcome::Failed(format!("delta {index} failed to apply: {source}"))
+        }
+        Err(ResynthError::Synth(SringError::Deadline(e))) => Outcome::DeadlineExceeded {
+            overdue_ns: u64::try_from(e.overdue.as_nanos()).unwrap_or(u64::MAX),
+        },
+        Err(ResynthError::Synth(e)) => Outcome::Failed(e.to_string()),
     }
 }

@@ -10,6 +10,10 @@
 //! sring-cli compare --benchmark vopd [--pitch 0.26] [--threads N]
 //!                   [--no-cache] [--cache-stats] [--cache-dir DIR]
 //!                   [--trace] [--trace-json out.json]
+//! sring-cli resynth --benchmark mwd --delta SPEC [--delta SPEC ...]
+//!                   [--verify] [--pitch 0.26] [--threads N]
+//!                   [--no-cache] [--cache-stats] [--cache-dir DIR]
+//!                   [--trace] [--trace-json out.json]
 //! sring-cli export  --cache-dir DIR --archive FILE
 //! sring-cli import  --cache-dir DIR --archive FILE
 //! sring-cli trace-check <trace.json> [--phase NAME]...
@@ -29,6 +33,13 @@
 //! `import` unpacks an archive into a directory, skipping and counting
 //! any records that fail validation.
 //!
+//! `resynth` demonstrates incremental re-synthesis: it synthesizes the
+//! benchmark once, applies the `--delta` edits (`add:SRC,DST,BW`,
+//! `remove:ID`, `retarget:ID,SRC,DST`, `scale:ID,FACTOR`; IDs are stable
+//! message ids, SRC/DST node indices) and re-synthesizes incrementally,
+//! reporting the dirty sub-ring fraction. `--verify` cross-checks the
+//! incremental result byte-for-byte against a cold from-scratch run.
+//!
 //! `--trace` prints the per-phase breakdown to stderr; `--trace-json`
 //! writes the machine-readable trace report. `trace-check` validates such
 //! a report: it must parse, contain every `--phase` path, and its
@@ -40,12 +51,12 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use sring::core::{AssignmentStrategy, SringConfig, SringSynthesizer};
+use sring::core::{design_bytes, AssignmentStrategy, SringConfig, SringSynthesizer};
 use sring::ctx::ExecCtx;
 use sring::eval::comparison::{compare_grid_ctx, format_table1};
 use sring::eval::methods::Method;
 use sring::graph::benchmarks::Benchmark;
-use sring::graph::CommGraph;
+use sring::graph::{CommDelta, CommGraph};
 use sring::layout::svg;
 use sring::photonics::{analyze_crosstalk, render_report};
 use sring::store::{export_to_path, import_from_path, DiskStore};
@@ -54,7 +65,7 @@ use sring::units::{Millimeters, TechnologyParameters};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  sring-cli list\n  sring-cli synth --benchmark <name> [--method sring|ornoc|ctoring|xring] [--pitch <mm>] [--threads <n>] [--svg <path>] [--crosstalk] [--report] [--solver-stats] [--no-cache] [--cache-stats] [--cache-dir <dir>] [--trace] [--trace-json <path>]\n  sring-cli compare --benchmark <name> [--pitch <mm>] [--threads <n>] [--no-cache] [--cache-stats] [--cache-dir <dir>] [--trace] [--trace-json <path>]\n  sring-cli export --cache-dir <dir> --archive <file>\n  sring-cli import --cache-dir <dir> --archive <file>\n  sring-cli trace-check <trace.json> [--phase <path>]..."
+        "usage:\n  sring-cli list\n  sring-cli synth --benchmark <name> [--method sring|ornoc|ctoring|xring] [--pitch <mm>] [--threads <n>] [--svg <path>] [--crosstalk] [--report] [--solver-stats] [--no-cache] [--cache-stats] [--cache-dir <dir>] [--trace] [--trace-json <path>]\n  sring-cli compare --benchmark <name> [--pitch <mm>] [--threads <n>] [--no-cache] [--cache-stats] [--cache-dir <dir>] [--trace] [--trace-json <path>]\n  sring-cli resynth --benchmark <name> --delta <spec>... [--verify] [--pitch <mm>] [--threads <n>] [--no-cache] [--cache-stats] [--cache-dir <dir>] [--trace] [--trace-json <path>]\n    delta specs: add:<src>,<dst>,<bw> | remove:<id> | retarget:<id>,<src>,<dst> | scale:<id>,<factor>\n  sring-cli export --cache-dir <dir> --archive <file>\n  sring-cli import --cache-dir <dir> --archive <file>\n  sring-cli trace-check <trace.json> [--phase <path>]..."
     );
     ExitCode::from(2)
 }
@@ -240,15 +251,10 @@ fn ctx_from_args(args: &Args) -> Result<(ExecCtx, Option<String>), String> {
     Ok((ctx, json_path))
 }
 
-/// Prints the cache totals to stderr on `--cache-stats`. A `--no-cache`
-/// run reports the cache as disabled instead of silently printing
-/// nothing.
-fn emit_cache_stats(ctx: &ExecCtx, args: &Args) {
-    if !args.has("cache-stats") {
-        return;
-    }
-    match ctx.cache_stats() {
-        Some(s) => eprintln!(
+/// The memory-tier line of `--cache-stats`.
+fn format_cache_line(stats: Option<&sring::ctx::CacheStats>) -> String {
+    match stats {
+        Some(s) => format!(
             "cache: {} hits, {} misses ({:.1}% hit rate), {} entries, {} evictions",
             s.hits,
             s.misses,
@@ -256,13 +262,31 @@ fn emit_cache_stats(ctx: &ExecCtx, args: &Args) {
             s.entries,
             s.evictions
         ),
-        None => eprintln!("cache: disabled (--no-cache)"),
+        None => "cache: disabled (--no-cache)".to_string(),
     }
+}
+
+/// The disk-tier line of `--cache-stats`. Besides the hit/miss/write
+/// totals this must surface the three failure counters — `corrupt`,
+/// `version_skips`, `write_errors` — because a silently decaying disk
+/// tier looks exactly like a cold one from the hit rate alone.
+fn format_disk_line(s: &sring::ctx::StoreStats) -> String {
+    format!(
+        "disk cache: {} hits, {} misses, {} corrupt, {} version skips, {} writes, {} write errors",
+        s.hits, s.misses, s.corrupt, s.version_skips, s.writes, s.write_errors
+    )
+}
+
+/// Prints the cache totals to stderr on `--cache-stats`. A `--no-cache`
+/// run reports the cache as disabled instead of silently printing
+/// nothing.
+fn emit_cache_stats(ctx: &ExecCtx, args: &Args) {
+    if !args.has("cache-stats") {
+        return;
+    }
+    eprintln!("{}", format_cache_line(ctx.cache_stats().as_ref()));
     if let Some(s) = ctx.store_stats() {
-        eprintln!(
-            "disk cache: {} hits, {} misses, {} corrupt, {} version skips, {} writes, {} write errors",
-            s.hits, s.misses, s.corrupt, s.version_skips, s.writes, s.write_errors
-        );
+        eprintln!("{}", format_disk_line(&s));
     }
 }
 
@@ -392,6 +416,119 @@ fn run_synth(args: &Args, tech: &TechnologyParameters, started: Instant) -> Resu
             std::fs::write(path, doc)
                 .map_err(|e| CliError::runtime(format!("cannot write {path}: {e}")))?;
             println!("layout written to {path}");
+        }
+    }
+    emit_cache_stats(&ctx, args);
+    emit_trace(&trace, trace_json.as_deref(), args.has("trace"), started)
+}
+
+/// One `--delta` edit for `resynth`: `add:SRC,DST,BW`, `remove:ID`,
+/// `retarget:ID,SRC,DST` or `scale:ID,FACTOR` (IDs are stable message
+/// ids, SRC/DST are node indices).
+fn parse_delta(spec: &str) -> Result<CommDelta, CliError> {
+    use sring::graph::{NodeId, StableMessageId};
+    let bad = || CliError::usage(format!("bad --delta `{spec}`"));
+    let (kind, rest) = spec.split_once(':').ok_or_else(bad)?;
+    let parts: Vec<&str> = rest.split(',').collect();
+    let node = |v: &str| v.parse::<usize>().map(NodeId).map_err(|_| bad());
+    let id = |v: &str| v.parse::<u64>().map(StableMessageId).map_err(|_| bad());
+    let num = |v: &str| v.parse::<f64>().map_err(|_| bad());
+    match (kind, parts.as_slice()) {
+        ("add", [src, dst, bw]) => Ok(CommDelta::AddMessage {
+            src: node(src)?,
+            dst: node(dst)?,
+            bandwidth: num(bw)?,
+        }),
+        ("remove", [msg]) => Ok(CommDelta::RemoveMessage { id: id(msg)? }),
+        ("retarget", [msg, src, dst]) => Ok(CommDelta::Retarget {
+            id: id(msg)?,
+            src: node(src)?,
+            dst: node(dst)?,
+        }),
+        ("scale", [msg, factor]) => Ok(CommDelta::ScaleBandwidth {
+            id: id(msg)?,
+            factor: num(factor)?,
+        }),
+        _ => Err(bad()),
+    }
+}
+
+/// `resynth`: synthesize a benchmark, apply `--delta` edits and
+/// re-synthesize incrementally, reporting how much of the design was
+/// dirty. `--verify` additionally runs a cold from-scratch synthesis of
+/// the edited graph and checks the incremental result is byte-identical.
+fn run_resynth(args: &Args, tech: &TechnologyParameters, started: Instant) -> Result<(), CliError> {
+    let (ctx, trace_json) = ctx_from_args(args)?;
+    let trace = ctx.trace().clone();
+    let app = {
+        let _span = trace.span("load");
+        load_app(args)?
+    };
+    let deltas = args
+        .values("delta")?
+        .iter()
+        .map(|spec| parse_delta(spec))
+        .collect::<Result<Vec<_>, _>>()?;
+    if deltas.is_empty() {
+        return Err(CliError::usage("resynth needs at least one --delta"));
+    }
+    let Method::Sring(strategy) =
+        method_with_threads(Method::Sring(Default::default()), parse_threads(args)?)
+    else {
+        unreachable!("method_with_threads preserves the method");
+    };
+    let synth = SringSynthesizer::with_config(SringConfig {
+        strategy,
+        tech: tech.clone(),
+        ..SringConfig::default()
+    });
+    let baseline = {
+        let _span = trace.span("baseline");
+        synth
+            .synthesize_detailed_ctx(&app, &ctx)
+            .map_err(|e| CliError::runtime(format!("baseline synthesis failed: {e}")))?
+    };
+    let result = {
+        let _span = trace.span("resynth");
+        synth
+            .resynthesize(&app, &baseline, &deltas, &ctx)
+            .map_err(|e| CliError::runtime(format!("re-synthesis failed: {e}")))?
+    };
+    {
+        let _span = trace.span("output");
+        for delta in &deltas {
+            println!("applied: {delta}");
+        }
+        let d = &result.dirty;
+        println!(
+            "dirty sub-rings: {}/{} ({:.1}%){}",
+            d.dirty.len(),
+            d.total_rings,
+            d.dirty_fraction() * 100.0,
+            if d.conservative {
+                " [conservative: a delta failed to resolve]"
+            } else {
+                ""
+            }
+        );
+        let design = &result.report.design;
+        let a = design.analyze(tech);
+        println!("{design}");
+        println!("L        = {:.2}", a.longest_path);
+        println!("il_w     = {:.2}", a.worst_insertion_loss);
+        println!("#wl      = {}", a.wavelength_count);
+        println!("power    = {:.3}", a.total_laser_power);
+        if args.has("verify") {
+            let scratch = synth
+                .synthesize_detailed(&result.graph)
+                .map_err(|e| CliError::runtime(format!("verification synthesis failed: {e}")))?;
+            if design_bytes(design) == design_bytes(&scratch.design) {
+                println!("verify: incremental result is byte-identical to from-scratch synthesis");
+            } else {
+                return Err(CliError::runtime(
+                    "verify FAILED: incremental result differs from from-scratch synthesis",
+                ));
+            }
         }
     }
     emit_cache_stats(&ctx, args);
@@ -552,14 +689,14 @@ fn main() -> ExitCode {
             }
             Ok(())
         }
-        "synth" | "compare" => {
+        "synth" | "compare" | "resynth" => {
             let Some(args) = Args::parse(rest) else {
                 return usage();
             };
-            if command == "synth" {
-                run_synth(&args, &tech, started)
-            } else {
-                run_compare(&args, &tech, started)
+            match command.as_str() {
+                "synth" => run_synth(&args, &tech, started),
+                "resynth" => run_resynth(&args, &tech, started),
+                _ => run_compare(&args, &tech, started),
             }
         }
         "export" | "import" => {
@@ -634,6 +771,104 @@ mod tests {
     fn positional_tokens_are_rejected() {
         let raw = vec!["synth".to_string()];
         assert!(Args::parse(&raw).is_none());
+    }
+
+    #[test]
+    fn disk_line_surfaces_the_failure_counters() {
+        let s = sring::ctx::StoreStats {
+            hits: 7,
+            misses: 2,
+            corrupt: 3,
+            version_skips: 4,
+            writes: 9,
+            write_errors: 5,
+        };
+        let line = format_disk_line(&s);
+        assert_eq!(
+            line,
+            "disk cache: 7 hits, 2 misses, 3 corrupt, 4 version skips, 9 writes, 5 write errors"
+        );
+        // The failure counters must never be dropped from the line: a
+        // decaying disk tier is indistinguishable from a cold one by hit
+        // rate alone.
+        for needle in ["3 corrupt", "4 version skips", "5 write errors"] {
+            assert!(line.contains(needle), "missing `{needle}` in `{line}`");
+        }
+    }
+
+    #[test]
+    fn disk_line_reflects_a_real_corrupt_record() {
+        use sring::ctx::{ArtifactStore, ContentKey};
+        let dir = std::env::temp_dir().join(format!("sring-cli-stats-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = sring::store::DiskStore::open(&dir).expect("opens");
+        let key = ContentKey([0x5ead, 0xbeef]);
+        store.save("stage", key, b"payload");
+        assert!(store.load("stage", key).is_some());
+        // Truncate the record on disk: the next load must count it as
+        // corrupt, and the disk line must say so.
+        let record = walk_single_file(&dir);
+        std::fs::write(&record, b"x").expect("truncates");
+        assert!(store.load("stage", key).is_none());
+        let line = format_disk_line(&store.stats());
+        assert!(line.contains("1 corrupt"), "{line}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The single regular file under `dir`, recursively.
+    fn walk_single_file(dir: &Path) -> std::path::PathBuf {
+        let mut files = Vec::new();
+        let mut stack = vec![dir.to_path_buf()];
+        while let Some(d) = stack.pop() {
+            for entry in std::fs::read_dir(&d).expect("readable") {
+                let path = entry.expect("entry").path();
+                if path.is_dir() {
+                    stack.push(path);
+                } else {
+                    files.push(path);
+                }
+            }
+        }
+        assert_eq!(files.len(), 1, "{files:?}");
+        files.remove(0)
+    }
+
+    #[test]
+    fn cache_line_reports_disabled_without_a_cache() {
+        assert_eq!(format_cache_line(None), "cache: disabled (--no-cache)");
+    }
+
+    #[test]
+    fn delta_specs_parse_and_reject() {
+        use sring::graph::{NodeId, StableMessageId};
+        assert_eq!(
+            parse_delta("add:1,2,1.5").map_err(|e| e.message).unwrap(),
+            CommDelta::AddMessage {
+                src: NodeId(1),
+                dst: NodeId(2),
+                bandwidth: 1.5
+            }
+        );
+        assert_eq!(
+            parse_delta("retarget:3,0,5")
+                .map_err(|e| e.message)
+                .unwrap(),
+            CommDelta::Retarget {
+                id: StableMessageId(3),
+                src: NodeId(0),
+                dst: NodeId(5)
+            }
+        );
+        assert_eq!(
+            parse_delta("scale:2,0.5").map_err(|e| e.message).unwrap(),
+            CommDelta::ScaleBandwidth {
+                id: StableMessageId(2),
+                factor: 0.5
+            }
+        );
+        for bad in ["", "add:1,2", "remove:x", "frob:1", "retarget:1,2"] {
+            assert!(parse_delta(bad).is_err(), "`{bad}` should be rejected");
+        }
     }
 
     #[test]

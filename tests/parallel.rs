@@ -11,9 +11,16 @@
 //! *anytime* contract instead: every thread count returns a feasible
 //! incumbent no worse than the heuristic warm start — and strict equality
 //! whenever both searches happen to complete.
+//!
+//! Completed searches additionally pin the exact solution *vector*, not
+//! just its objective: deterministic mode re-derives a proven optimum
+//! with a canonical serial polish pass, so tied optima cannot make the
+//! answer depend on worker timing. The edited-VOPD regression below is
+//! the graph that originally exposed that dependence.
 
-use sring::core::{AssignmentStrategy, MilpOptions, SringConfig, SringSynthesizer};
+use sring::core::{design_bytes, AssignmentStrategy, MilpOptions, SringConfig, SringSynthesizer};
 use sring::graph::benchmarks::Benchmark;
+use sring::graph::{CommDelta, NodeId, StableMessageId};
 use sring::units::TechnologyParameters;
 use std::time::Duration;
 
@@ -61,6 +68,58 @@ fn parallel_milp_matches_serial_on_mwd() {
         assert_eq!(
             serial.assignment.wavelength_count,
             parallel.assignment.wavelength_count
+        );
+        // Completed deterministic searches agree on the vector, not just
+        // the objective: the canonical polish pass makes the tied-optimum
+        // choice a pure function of the model.
+        assert_eq!(
+            serial.assignment.wavelengths, parallel.assignment.wavelengths,
+            "{threads}-thread wavelength vector diverged from serial"
+        );
+        assert_eq!(
+            design_bytes(&serial.design),
+            design_bytes(&parallel.design),
+            "{threads}-thread design bytes diverged from serial"
+        );
+    }
+}
+
+/// Regression: this edited VOPD graph has tied optimal assignments, and
+/// before the canonical polish pass the parallel search returned
+/// whichever tie a worker landed on first — different from serial *and*
+/// different run to run. Both comparisons must now hold byte-for-byte.
+#[test]
+fn parallel_milp_is_vector_deterministic_on_tied_optima() {
+    let app = Benchmark::Vopd.graph();
+    let deltas = [
+        CommDelta::Retarget {
+            id: StableMessageId(0),
+            src: NodeId(0),
+            dst: NodeId(3),
+        },
+        CommDelta::AddMessage {
+            src: NodeId(1),
+            dst: NodeId(9),
+            bandwidth: 2.0,
+        },
+    ];
+    let edited = app.apply_deltas(&deltas).expect("deltas apply");
+    let budget = Duration::from_secs(60);
+    let serial = SringSynthesizer::with_config(milp_config(1, budget))
+        .synthesize_detailed(&edited)
+        .expect("serial edited VOPD synthesizes");
+    for round in 0..2 {
+        let parallel = SringSynthesizer::with_config(milp_config(8, budget))
+            .synthesize_detailed(&edited)
+            .expect("parallel edited VOPD synthesizes");
+        assert_eq!(
+            serial.assignment.wavelengths, parallel.assignment.wavelengths,
+            "round {round}: 8-thread run diverged from serial on a tied optimum"
+        );
+        assert_eq!(
+            design_bytes(&serial.design),
+            design_bytes(&parallel.design),
+            "round {round}: design bytes diverged"
         );
     }
 }

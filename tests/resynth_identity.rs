@@ -1,0 +1,215 @@
+//! The bit-identity guarantee of incremental re-synthesis: after any
+//! sequence of random edits, `resynthesize` must produce the same design
+//! — byte for byte — as a cold from-scratch `synthesize` of the edited
+//! graph. The incremental path reuses cached and memoized artifacts; a
+//! single diverging byte means a stale artifact leaked through.
+//!
+//! A companion trace-counter test proves the reuse is real: sub-rings
+//! untouched by an edit are replayed from the shared memo tier instead of
+//! being recomputed.
+
+use proptest::prelude::*;
+use sring::core::{design_bytes, AssignmentStrategy, SringConfig, SringReport, SringSynthesizer};
+use sring::ctx::ExecCtx;
+use sring::graph::{benchmarks, CommDelta, CommGraph, MessageId, NodeId};
+use sring::trace::Trace;
+use sring::units::TechnologyParameters;
+
+/// Deterministic 64-bit LCG (same constants as `tests/random_apps.rs`).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    fn pick(&mut self, n: usize) -> usize {
+        (self.next() as usize) % n.max(1)
+    }
+}
+
+fn has_message(graph: &CommGraph, src: NodeId, dst: NodeId) -> bool {
+    graph
+        .messages()
+        .iter()
+        .any(|m| m.src == src && m.dst == dst)
+}
+
+/// One random *valid* edit against `graph`, or `None` when the dice
+/// produce nothing applicable after a few tries (e.g. a dense graph with
+/// no free slot for an add).
+fn random_delta(graph: &CommGraph, rng: &mut Lcg) -> Option<CommDelta> {
+    let n = graph.node_count();
+    let m = graph.message_count();
+    for _ in 0..16 {
+        match rng.pick(4) {
+            0 => {
+                // Add a message on a free, non-self-loop slot.
+                let (src, dst) = (NodeId(rng.pick(n)), NodeId(rng.pick(n)));
+                if src != dst && !has_message(graph, src, dst) {
+                    let bandwidth = 0.5 * (1 + rng.pick(8)) as f64;
+                    return Some(CommDelta::AddMessage {
+                        src,
+                        dst,
+                        bandwidth,
+                    });
+                }
+            }
+            1 => {
+                // Remove, but never the last message.
+                if m > 1 {
+                    let id = graph.stable_id(MessageId(rng.pick(m)));
+                    return Some(CommDelta::RemoveMessage { id });
+                }
+            }
+            2 => {
+                // Retarget onto a free, non-self-loop slot.
+                let victim = MessageId(rng.pick(m));
+                let (src, dst) = (NodeId(rng.pick(n)), NodeId(rng.pick(n)));
+                if src != dst && !has_message(graph, src, dst) {
+                    return Some(CommDelta::Retarget {
+                        id: graph.stable_id(victim),
+                        src,
+                        dst,
+                    });
+                }
+            }
+            _ => {
+                let id = graph.stable_id(MessageId(rng.pick(m)));
+                let factor = [0.5, 1.5, 2.0, 3.0][rng.pick(4)];
+                return Some(CommDelta::ScaleBandwidth { id, factor });
+            }
+        }
+    }
+    None
+}
+
+fn heuristic_synth() -> SringSynthesizer {
+    SringSynthesizer::with_config(SringConfig {
+        strategy: AssignmentStrategy::Heuristic,
+        tech: TechnologyParameters::default(),
+        ..SringConfig::default()
+    })
+}
+
+/// Drives `steps` random single-delta edits through `resynthesize` with a
+/// warm shared context, checking byte-identity against a cold
+/// from-scratch run after every step.
+fn check_edit_sequence(start: CommGraph, seed: u64, steps: usize) -> Result<(), TestCaseError> {
+    let synth = heuristic_synth();
+    let ctx = ExecCtx::cached();
+    let mut rng = Lcg(seed | 1);
+    let mut graph = start;
+    let mut report: SringReport = synth
+        .synthesize_detailed_ctx(&graph, &ctx)
+        .expect("baseline synthesizes");
+    for step in 0..steps {
+        let Some(delta) = random_delta(&graph, &mut rng) else {
+            continue;
+        };
+        let result = synth
+            .resynthesize(&graph, &report, std::slice::from_ref(&delta), &ctx)
+            .unwrap_or_else(|e| panic!("step {step} ({delta}): {e}"));
+        // Cold comparator: fresh synthesizer state, no shared cache.
+        let scratch = synth
+            .synthesize_detailed(&result.graph)
+            .unwrap_or_else(|e| panic!("step {step} scratch ({delta}): {e}"));
+        prop_assert_eq!(
+            design_bytes(&result.report.design),
+            design_bytes(&scratch.design),
+            "step {} ({}): incremental design diverged from from-scratch",
+            step,
+            delta
+        );
+        prop_assert_eq!(
+            &result.report.assignment.wavelengths,
+            &scratch.assignment.wavelengths,
+            "step {} ({}): wavelength assignment diverged",
+            step,
+            delta
+        );
+        graph = result.graph;
+        report = result.report;
+    }
+    Ok(())
+}
+
+proptest! {
+    // Every step pays a full cold synthesis for the comparison, so the
+    // case counts are small; the per-case sequences (up to 50 edits) do
+    // the exploring.
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn mwd_edit_sequences_stay_bit_identical(seed in any::<u64>(), steps in 5usize..=50) {
+        check_edit_sequence(benchmarks::mwd(), seed, steps)?;
+    }
+}
+
+proptest! {
+    // VOPD synthesizes ~4× slower than MWD; fewer and shorter sequences
+    // keep the suite inside a CI-friendly budget.
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    #[test]
+    fn vopd_edit_sequences_stay_bit_identical(seed in any::<u64>(), steps in 5usize..=20) {
+        check_edit_sequence(benchmarks::vopd(), seed, steps)?;
+    }
+}
+
+/// Clean sub-rings are *replayed*, not recomputed: a one-message retarget
+/// on VOPD leaves most sub-rings untouched, and their cluster/layout/route
+/// work must be served from the shared memo tier. The trace counters make
+/// the reuse observable.
+#[test]
+fn clean_sub_rings_are_served_from_the_memo_tier() {
+    let app = benchmarks::vopd();
+    let synth = heuristic_synth();
+    let ctx = ExecCtx::cached();
+    let baseline = synth
+        .synthesize_detailed_ctx(&app, &ctx)
+        .expect("baseline synthesizes");
+
+    // Retarget one message; the edit touches at most its old and new home
+    // rings, so with several clusters most rings stay clean.
+    let id = app.stable_id(MessageId(0));
+    let current = app.message(MessageId(0));
+    let mut dst = None;
+    for candidate in app.node_ids() {
+        if candidate != current.src && !has_message(&app, current.src, candidate) {
+            dst = Some(candidate);
+            break;
+        }
+    }
+    let delta = CommDelta::Retarget {
+        id,
+        src: current.src,
+        dst: dst.expect("VOPD has a free slot"),
+    };
+
+    let trace = Trace::enabled_if(true);
+    let traced = ctx.clone().with_trace(trace.clone());
+    let result = synth
+        .resynthesize(&app, &baseline, &[delta], &traced)
+        .expect("resynthesizes");
+
+    let clean = result.dirty.clean_rings();
+    assert!(
+        clean > 0,
+        "a one-message retarget must leave some of the {} sub-rings clean",
+        result.dirty.total_rings
+    );
+    let report = trace.report();
+    let memo_hits = report.counter("memo/hits").unwrap_or(0);
+    // Every clean sub-ring replays at least its layout and route units
+    // from the memo tier warmed by the baseline run.
+    assert!(
+        memo_hits >= 2 * clean as u64,
+        "{clean} clean sub-rings but only {memo_hits} memo hits — clean rings were recomputed"
+    );
+    assert_eq!(report.counter("resynth/runs"), Some(1));
+}

@@ -4,8 +4,8 @@
 //! drain-on-shutdown guarantee.
 
 use sring::served::proto::{
-    JobSpec, Outcome, RejectReason, Response, StrategySpec, Workload, FRAME_MAGIC, HEADER_LEN,
-    PROTO_VERSION,
+    DeltaSpec, JobSpec, Outcome, RejectReason, Response, StrategySpec, Workload, FRAME_MAGIC,
+    HEADER_LEN, PROTO_VERSION,
 };
 use sring::served::{Client, Server, ServerConfig};
 use std::io::{Read, Write};
@@ -72,6 +72,80 @@ fn second_identical_job_is_served_from_the_shared_cache() {
     assert_eq!(stats.completed, 2);
     assert_eq!(stats.protocol_errors, 0);
     assert!(stats.cache_hits >= 4);
+}
+
+#[test]
+fn a_delta_job_edits_a_saved_result_and_reuses_the_shared_cache() {
+    let mut server = server_with(ServerConfig::default());
+    let mut client = client_of(&server);
+
+    // Synthesize MWD and save it server-side under a name.
+    let mut base = mwd_job();
+    base.save_as = Some("mwd-base".into());
+    let Response::Job(first) = submitted(&mut client, base) else {
+        panic!("base job not answered");
+    };
+    let Outcome::Completed(base_summary) = &first.outcome else {
+        panic!("base job failed: {:?}", first.outcome);
+    };
+
+    // A pure bandwidth scale keeps the topology, so every stage of the
+    // re-synthesis must be served from the cache warmed by the base job.
+    let mut edit = JobSpec::new(Workload::Delta {
+        base: "mwd-base".into(),
+        deltas: vec![DeltaSpec::Scale { id: 0, factor: 2.0 }],
+    });
+    edit.save_as = Some("mwd-edited".into());
+    let Response::Job(second) = submitted(&mut client, edit) else {
+        panic!("delta job not answered");
+    };
+    let Outcome::Completed(summary) = &second.outcome else {
+        panic!("delta job failed: {:?}", second.outcome);
+    };
+    assert_eq!(summary.messages, base_summary.messages);
+    assert_eq!(summary.sub_rings, base_summary.sub_rings);
+    assert_eq!(summary.wavelengths, base_summary.wavelengths);
+    assert!(
+        second.cache_hits >= 4,
+        "a bandwidth-only edit must reuse all four stages, got {} hits",
+        second.cache_hits
+    );
+
+    // Delta jobs chain: a structural edit against the edited result works
+    // too, and an unknown base fails cleanly without killing the server.
+    let retarget = JobSpec::new(Workload::Delta {
+        base: "mwd-edited".into(),
+        deltas: vec![DeltaSpec::Retarget {
+            id: 0,
+            src: 0,
+            dst: 3,
+        }],
+    });
+    let Response::Job(third) = submitted(&mut client, retarget) else {
+        panic!("chained delta job not answered");
+    };
+    assert!(
+        matches!(third.outcome, Outcome::Completed(_)),
+        "{:?}",
+        third.outcome
+    );
+
+    let unknown = JobSpec::new(Workload::Delta {
+        base: "no-such-result".into(),
+        deltas: vec![DeltaSpec::Remove { id: 0 }],
+    });
+    let Response::Job(missing) = submitted(&mut client, unknown) else {
+        panic!("unknown-base job not answered");
+    };
+    assert!(
+        matches!(&missing.outcome, Outcome::Failed(m) if m.contains("unknown base")),
+        "{:?}",
+        missing.outcome
+    );
+
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, 3);
+    assert_eq!(stats.failed, 1);
 }
 
 #[test]
