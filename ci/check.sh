@@ -12,10 +12,21 @@ cd "$(dirname "$0")/.."
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
 
-# Workspace static analysis (rules L1-L6, see DESIGN.md §12): blocking.
+# Workspace static analysis (rules L1-L10, see DESIGN.md §12): blocking.
 # Exit 1 means a new finding beyond lint-baseline.toml, a stale baseline
-# entry, or a malformed suppression pragma.
-cargo run -q -p onoc-lint
+# entry, or a malformed suppression pragma. The JSON outcome is kept as a
+# CI artifact and must parse as a single object.
+LINT_JSON="${TMPDIR:-/tmp}/onoc_lint_outcome.json"
+cargo run -q -p onoc-lint -- --format json | tee "$LINT_JSON"
+grep -q '"clean": true' "$LINT_JSON"
+
+# Baseline drift gate: a freshly regenerated baseline must be
+# byte-identical to the committed one. Catches debt paid down but not
+# recorded (the ratchet would also fail, but this points at the fix:
+# commit the regenerated file) and any divergence in entry ordering.
+LINT_BASELINE="${TMPDIR:-/tmp}/onoc_lint_baseline.toml"
+cargo run -q -p onoc-lint -- --write-baseline --baseline "$LINT_BASELINE"
+diff -u lint-baseline.toml "$LINT_BASELINE"
 
 cargo build --release --workspace
 cargo test --workspace -q

@@ -5,10 +5,13 @@
 # the lint proves the locking *idioms* are right, this proves the actual
 # interleavings and memory accesses are.
 #
-# 1. ThreadSanitizer over the three concurrency-heavy integration suites
-#    (tests/parallel.rs, tests/cache.rs, tests/trace.rs): the MILP
-#    branch-and-bound worker pool, the shared ArtifactCache (including the
-#    seeded multi-thread stress test), and the trace registry.
+# 1. ThreadSanitizer over the concurrency-heavy integration suites
+#    (tests/parallel.rs, tests/cache.rs, tests/trace.rs, tests/served.rs):
+#    the MILP branch-and-bound worker pool, the shared ArtifactCache
+#    (including the seeded multi-thread stress test), the trace registry,
+#    and the sring-served daemon whose nested queue/session locking is
+#    exempted from the static lock-order rule (L8) on the strength of
+#    this dynamic audit.
 # 2. Miri over the onoc-ctx and onoc-trace unit tests: UB detection for
 #    the cache/registry internals that every other crate leans on.
 #
@@ -47,7 +50,7 @@ if [ "$MODE" = "all" ] || [ "$MODE" = "tsan" ]; then
           RUSTFLAGS="-Zsanitizer=thread" \
           CARGO_TARGET_DIR="target/tsan" \
               cargo +nightly test -Zbuild-std --target "$HOST_TARGET" -q \
-                  --test parallel --test cache --test trace )
+                  --test parallel --test cache --test trace --test served )
     else
         echo "sanitize: SKIP ThreadSanitizer (rust-src unavailable, likely offline)" >&2
     fi

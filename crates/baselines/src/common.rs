@@ -64,6 +64,9 @@ pub enum BaselineError {
     TooFewNodes,
     /// The assembled design failed validation (an internal invariant).
     Design(DesignError),
+    /// An internal construction invariant was violated (a node order that
+    /// forms no cycle, an endpoint off the ring, an unrouted lane).
+    Invariant(&'static str),
 }
 
 impl fmt::Display for BaselineError {
@@ -72,6 +75,7 @@ impl fmt::Display for BaselineError {
             BaselineError::NoMessages => write!(f, "application has no messages"),
             BaselineError::TooFewNodes => write!(f, "application has fewer than two nodes"),
             BaselineError::Design(e) => write!(f, "design validation failed: {e}"),
+            BaselineError::Invariant(what) => write!(f, "construction invariant violated: {what}"),
         }
     }
 }
@@ -149,7 +153,8 @@ pub fn build_two_ring_design(
         return Err(BaselineError::TooFewNodes);
     }
 
-    let cw = Cycle::new(order).expect("caller provides a valid node order");
+    let cw = Cycle::new(order)
+        .map_err(|_| BaselineError::Invariant("node order does not form a cycle"))?;
     let ccw = cw.reversed();
     let positions: Vec<_> = app.node_ids().map(|v| app.position(v)).collect();
     let mut layout = Layout::new(positions);
@@ -163,10 +168,17 @@ pub fn build_two_ring_design(
         geometry: PathGeometry,
         occupancy: Vec<(WaveguideId, usize)>,
     }
-    let candidate = |layout: &Layout, wg: WaveguideId, cycle: &Cycle, src, dst| -> Candidate {
+    let candidate = |layout: &Layout,
+                     wg: WaveguideId,
+                     cycle: &Cycle,
+                     src,
+                     dst|
+     -> Result<Candidate, BaselineError> {
         let range = cycle
             .path_segments(src, dst)
-            .expect("all nodes lie on both rings");
+            .ok_or(BaselineError::Invariant(
+                "message endpoint missing from the ring",
+            ))?;
         let routed = layout.waveguide(wg);
         let mut geometry = PathGeometry::new();
         let mut occupancy = Vec::with_capacity(range.len());
@@ -176,12 +188,12 @@ pub fn build_two_ring_design(
             occupancy.push((wg, seg));
         }
         geometry.crossings = layout.path_crossings(wg, &range);
-        Candidate {
+        Ok(Candidate {
             wg,
             range,
             geometry,
             occupancy,
-        }
+        })
     };
 
     // Allocation order: CTORing processes long paths first so they grab
@@ -199,22 +211,20 @@ pub fn build_two_ring_design(
     // wavelength, but never beyond the order's own worst shortest-direction
     // length — wavelength reuse must not degrade the longest signal path.
     let dist = |a: NodeId, b: NodeId| app.manhattan(a, b).0;
-    let length_bound = app
-        .messages()
-        .iter()
-        .map(|m| {
-            let f = cw.path_length(m.src, m.dst, dist).expect("on ring");
-            let b = ccw.path_length(m.src, m.dst, dist).expect("on ring");
-            f.min(b)
-        })
-        .fold(0.0, f64::max);
+    let mut length_bound = 0.0f64;
+    let off_ring = || BaselineError::Invariant("message endpoint missing from the ring");
+    for m in app.messages() {
+        let f = cw.path_length(m.src, m.dst, dist).ok_or_else(off_ring)?;
+        let b = ccw.path_length(m.src, m.dst, dist).ok_or_else(off_ring)?;
+        length_bound = length_bound.max(f.min(b));
+    }
 
     let mut table = ChannelTable::new();
     let mut paths = Vec::with_capacity(app.message_count());
     for id in ids {
         let msg = app.message(id);
-        let on_cw = candidate(&layout, wg_cw, &cw, msg.src, msg.dst);
-        let on_ccw = candidate(&layout, wg_ccw, &ccw, msg.src, msg.dst);
+        let on_cw = candidate(&layout, wg_cw, &cw, msg.src, msg.dst)?;
+        let on_ccw = candidate(&layout, wg_ccw, &ccw, msg.src, msg.dst)?;
         let chosen = match policy {
             AllocationPolicy::ShorterDirectionFirstFit => {
                 if on_cw.geometry.length.0 <= on_ccw.geometry.length.0 {

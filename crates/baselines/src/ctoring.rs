@@ -95,15 +95,26 @@ pub fn tailored_order(app: &CommGraph) -> Vec<NodeId> {
         return order;
     }
 
+    // A candidate that breaks a ring invariant (an order that forms no
+    // cycle, an endpoint off the ring — impossible for a permutation of
+    // the node set) scores unimprovably bad, so the search simply keeps
+    // its incumbent instead of panicking.
+    const UNSCORABLE: (f64, f64) = (f64::INFINITY, f64::INFINITY);
     let score = |order: &[NodeId]| -> (f64, f64) {
-        let ring = Cycle::new(order.to_vec()).expect("order is a permutation");
+        let Ok(ring) = Cycle::new(order.to_vec()) else {
+            return UNSCORABLE;
+        };
         let rev = ring.reversed();
         let dist = |a, b| app.manhattan(a, b).0;
         let mut worst = 0.0f64;
         let mut total = 0.0f64;
         for m in app.messages() {
-            let f = ring.path_length(m.src, m.dst, dist).expect("on ring");
-            let b = rev.path_length(m.src, m.dst, dist).expect("on ring");
+            let (Some(f), Some(b)) = (
+                ring.path_length(m.src, m.dst, dist),
+                rev.path_length(m.src, m.dst, dist),
+            ) else {
+                return UNSCORABLE;
+            };
             let l = f.min(b);
             worst = worst.max(l);
             total += l;

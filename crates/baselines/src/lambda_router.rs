@@ -117,8 +117,12 @@ pub fn synthesize(
     for id in app.message_ids() {
         let msg = app.message(id);
         let (i, j) = (msg.src.index(), msg.dst.index());
-        let row = row_wg[i].expect("sender row routed");
-        let col = col_wg[j].expect("receiver column routed");
+        let row = row_wg[i].ok_or(BaselineError::Invariant(
+            "message sender has no routed row lane",
+        ))?;
+        let col = col_wg[j].ok_or(BaselineError::Invariant(
+            "message receiver has no routed column lane",
+        ))?;
         // Row travel: from the sender to column j's x lane.
         let row_len = matrix_x(j) - positions[i].x;
         // Column travel: from the crossing at y_i down to the receiver.

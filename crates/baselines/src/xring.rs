@@ -120,7 +120,8 @@ fn build_with_oses(
 ) -> Result<RouterDesign, BaselineError> {
     let span_route = trace.span("route");
     let order = tailored_order(app);
-    let cw = Cycle::new(order).expect("order is a valid permutation");
+    let cw = Cycle::new(order)
+        .map_err(|_| BaselineError::Invariant("tailored order does not form a cycle"))?;
     let ccw = cw.reversed();
     let positions: Vec<_> = app.node_ids().map(|v| app.position(v)).collect();
     let mut layout = Layout::new(positions);
@@ -138,11 +139,17 @@ fn build_with_oses(
         bends: usize,
         ose_hops: usize,
     }
-    let ring_route = |layout: &Layout, wg: WaveguideId, cycle: &Cycle, id: MessageId| -> Route {
+    let ring_route = |layout: &Layout,
+                      wg: WaveguideId,
+                      cycle: &Cycle,
+                      id: MessageId|
+     -> Result<Route, BaselineError> {
         let msg = app.message(id);
         let range = cycle
             .path_segments(msg.src, msg.dst)
-            .expect("all nodes lie on both rings");
+            .ok_or(BaselineError::Invariant(
+                "message endpoint missing from the ring",
+            ))?;
         let routed = layout.waveguide(wg);
         let mut length = 0.0;
         let mut bends = 0;
@@ -152,7 +159,7 @@ fn build_with_oses(
             bends += routed.segment(seg).bends;
             occupancy.push((wg, seg));
         }
-        Route {
+        Ok(Route {
             message: id,
             src: msg.src,
             dst: msg.dst,
@@ -161,21 +168,19 @@ fn build_with_oses(
             length,
             bends,
             ose_hops: 0,
-        }
+        })
     };
 
-    let mut routes: Vec<Route> = app
-        .message_ids()
-        .map(|id| {
-            let on_cw = ring_route(&layout, wg_cw, &cw, id);
-            let on_ccw = ring_route(&layout, wg_ccw, &ccw, id);
-            if on_cw.length <= on_ccw.length {
-                on_cw
-            } else {
-                on_ccw
-            }
-        })
-        .collect();
+    let mut routes: Vec<Route> = Vec::with_capacity(app.message_count());
+    for id in app.message_ids() {
+        let on_cw = ring_route(&layout, wg_cw, &cw, id)?;
+        let on_ccw = ring_route(&layout, wg_ccw, &ccw, id)?;
+        routes.push(if on_cw.length <= on_ccw.length {
+            on_cw
+        } else {
+            on_ccw
+        });
+    }
 
     drop(span_route);
 
@@ -242,8 +247,8 @@ fn build_with_oses(
         // For pure ring routes, re-evaluate both directions for reuse.
         let alternatives: Vec<Route> = if r.ose_hops == 0 {
             vec![
-                ring_route(&layout, wg_cw, &cw, r.message),
-                ring_route(&layout, wg_ccw, &ccw, r.message),
+                ring_route(&layout, wg_cw, &cw, r.message)?,
+                ring_route(&layout, wg_ccw, &ccw, r.message)?,
             ]
             .into_iter()
             .filter(|alt| alt.length <= length_bound + 1e-9)
@@ -275,7 +280,7 @@ fn build_with_oses(
                 );
                 ka.0.cmp(&kb.0).then(ka.1.total_cmp(&kb.1))
             })
-            .expect("the original route is always present");
+            .ok_or(BaselineError::Invariant("route candidate set is empty"))?;
         let channels: Vec<_> = chosen
             .occupancy
             .iter()

@@ -13,7 +13,7 @@
 use milp_solver::{
     Basis, Model, ModelError, Sense, SolveOptions as MilpSolveOptions, SolveStats, Status, VarType,
 };
-use onoc_ctx::ExecCtx;
+use onoc_ctx::{DeadlineExceeded, ExecCtx};
 use onoc_graph::NodeId;
 use onoc_trace::Trace;
 use onoc_units::{Decibels, Wavelength};
@@ -261,6 +261,8 @@ pub enum AssignError {
     Empty,
     /// The MILP solver failed in an unexpected way.
     Solver(ModelError),
+    /// The execution deadline expired mid-assignment.
+    Deadline(DeadlineExceeded),
 }
 
 impl fmt::Display for AssignError {
@@ -268,11 +270,18 @@ impl fmt::Display for AssignError {
         match self {
             AssignError::Empty => write!(f, "assignment instance has no paths"),
             AssignError::Solver(e) => write!(f, "MILP solver failed: {e}"),
+            AssignError::Deadline(e) => write!(f, "assignment {e}"),
         }
     }
 }
 
 impl std::error::Error for AssignError {}
+
+impl From<DeadlineExceeded> for AssignError {
+    fn from(e: DeadlineExceeded) -> Self {
+        AssignError::Deadline(e)
+    }
+}
 
 /// Solves the wavelength assignment with the chosen strategy.
 ///
@@ -366,7 +375,7 @@ fn assign_inner(
     }
     let heuristic = {
         let _span = trace.span("heuristic");
-        heuristic_assignment(problem)
+        heuristic_assignment(problem, ctx)?
     };
     let use_milp = match strategy {
         AssignmentStrategy::Heuristic => None,
@@ -529,8 +538,12 @@ pub fn canonicalize(wavelengths: &[Wavelength]) -> Vec<Wavelength> {
 }
 
 /// Greedy construction + steepest-descent local search on the exact Eq. 8
-/// objective.
-fn heuristic_assignment(problem: &AssignmentProblem) -> Vec<Wavelength> {
+/// objective. The local search checks the deadline once per descent
+/// step; construction itself is a single bounded pass.
+fn heuristic_assignment(
+    problem: &AssignmentProblem,
+    ctx: &ExecCtx,
+) -> Result<Vec<Wavelength>, DeadlineExceeded> {
     let n = problem.paths.len();
     // Order: highest conflict degree first, then highest loss.
     let mut order: Vec<usize> = (0..n).collect();
@@ -573,6 +586,9 @@ fn heuristic_assignment(problem: &AssignmentProblem) -> Vec<Wavelength> {
     // Local search: steepest single-path recolor until no improvement.
     let mut current = problem.objective(&assignment);
     loop {
+        // Each descent step scans every (path, wavelength) move — the
+        // expensive unit worth a budget check.
+        ctx.check_deadline()?;
         let mut best_move: Option<(f64, usize, Wavelength)> = None;
         let used: BTreeSet<Wavelength> = assignment.iter().copied().collect();
         let fresh = Wavelength(used.iter().map(|w| w.index() + 1).max().unwrap_or(0));
@@ -607,7 +623,7 @@ fn heuristic_assignment(problem: &AssignmentProblem) -> Vec<Wavelength> {
             None => break,
         }
     }
-    canonicalize(&assignment)
+    Ok(canonicalize(&assignment))
 }
 
 /// Eq. 8 objective over the assigned prefix (unassigned paths ignored).
@@ -831,6 +847,7 @@ fn pigeonhole_surplus(problem: &AssignmentProblem, set: &[usize]) -> f64 {
     // ever-shorter prefixes until the search completes; the empty prefix
     // trivially does.
     let mut len = guests.len();
+    // onoc-lint: allow(L9, reason = "bounded: each retry shortens the guest prefix and the empty prefix always completes; every attempt is capped by the DFS step budget")
     loop {
         let mut best = f64::INFINITY;
         let mut occupants = vec![Vec::new(); set.len()];

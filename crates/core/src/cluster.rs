@@ -10,7 +10,7 @@
 //! communicating nodes and `d₂` the longest signal path of a conventional
 //! all-node ring.
 
-use onoc_ctx::{ContentHash, ContentHasher, ContentKey, ExecCtx};
+use onoc_ctx::{ContentHash, ContentHasher, ContentKey, DeadlineExceeded, ExecCtx};
 use onoc_graph::{CommGraph, NodeId};
 use onoc_layout::ring_order::tour_order;
 use onoc_layout::Cycle;
@@ -138,6 +138,8 @@ pub enum ClusterError {
     /// invariant was violated (an internal bug surfaced as a typed error
     /// instead of a panic).
     InvalidCycle(&'static str),
+    /// The execution deadline expired mid-pass.
+    Deadline(DeadlineExceeded),
 }
 
 impl fmt::Display for ClusterError {
@@ -150,11 +152,18 @@ impl fmt::Display for ClusterError {
             ClusterError::InvalidCycle(what) => {
                 write!(f, "sub-ring cycle invariant violated: {what}")
             }
+            ClusterError::Deadline(e) => write!(f, "clustering {e}"),
         }
     }
 }
 
 impl std::error::Error for ClusterError {}
+
+impl From<DeadlineExceeded> for ClusterError {
+    fn from(e: DeadlineExceeded) -> Self {
+        ClusterError::Deadline(e)
+    }
+}
 
 /// The longest signal path of a conventional ring router connecting all
 /// nodes sequentially with clockwise and counter-clockwise waveguides
@@ -546,6 +555,9 @@ fn cluster_pass(
     let mut cache: std::collections::BTreeMap<NodeId, Option<GrownCluster>> =
         std::collections::BTreeMap::new();
     while !unclustered.is_empty() {
+        // Each round grows a full candidate set of clusters — the
+        // natural cancellation point for a budgeted synthesis run.
+        ctx.check_deadline()?;
         // Grow a cluster from every possible initial vertex. Under the
         // L_max cap every grown cluster keeps its signal paths short, so
         // the selection prefers the *largest* cluster (more intra-cluster
@@ -797,6 +809,7 @@ fn improve_cycle(
     ))?;
     if n >= 4 {
         let mut improved = true;
+        // onoc-lint: allow(L9, reason = "terminates: each pass strictly improves a totally-ordered score over a finite permutation set; callers bound the ring size")
         while improved {
             improved = false;
             for i in 0..n {
@@ -923,6 +936,7 @@ fn grow_intra(
         best_orientation(&cycle, &msgs, &dist).1
     };
 
+    // onoc-lint: allow(L9, reason = "bounded: every round absorbs one node or breaks on an empty candidate set, capped at size_cap")
     while members.len() < size_cap {
         // Candidates: unvisited communication partners of any member.
         let candidates: BTreeSet<NodeId> = members
@@ -1025,6 +1039,7 @@ fn grow_inter(
         return Ok(None);
     }
 
+    // onoc-lint: allow(L9, reason = "bounded: every round inserts one remaining node onto the ring or returns infeasible")
     while !remaining.is_empty() {
         let mut best: Option<(f64, NodeId, Cycle)> = None;
         for &x in &remaining {

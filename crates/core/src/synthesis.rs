@@ -112,12 +112,20 @@ impl std::error::Error for SringError {}
 
 impl From<ClusterError> for SringError {
     fn from(e: ClusterError) -> Self {
-        SringError::Cluster(e)
+        match e {
+            // Budget expiry keeps its uniform top-level type no matter
+            // which stage noticed it.
+            ClusterError::Deadline(d) => SringError::Deadline(d),
+            other => SringError::Cluster(other),
+        }
     }
 }
 impl From<AssignError> for SringError {
     fn from(e: AssignError) -> Self {
-        SringError::Assign(e)
+        match e {
+            AssignError::Deadline(d) => SringError::Deadline(d),
+            other => SringError::Assign(other),
+        }
     }
 }
 impl From<DesignError> for SringError {

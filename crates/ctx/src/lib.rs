@@ -905,6 +905,34 @@ impl ExecCtx {
     }
 }
 
+/// Deterministic iteration over a [`HashMap`](std::collections::HashMap):
+/// its entries sorted by key.
+///
+/// `HashMap`/`HashSet` iteration order is the hasher's and varies between
+/// processes, so any output-producing path that walks a hash map must
+/// route through this adapter (or use a `BTreeMap` outright) to keep the
+/// byte-identity contract of DESIGN.md §16. `onoc-lint`'s L7 rule
+/// enforces exactly that: iterating a hash container directly in an
+/// output-producing crate is a finding; iterating the `Vec` this returns
+/// is not.
+#[must_use]
+pub fn sorted_entries<K: Ord, V, S>(map: &std::collections::HashMap<K, V, S>) -> Vec<(&K, &V)> {
+    let mut entries: Vec<(&K, &V)> = map.iter().collect();
+    entries.sort_by(|a, b| a.0.cmp(b.0));
+    entries
+}
+
+/// Deterministic iteration over a hash map's keys: sorted ascending.
+/// The key-only companion of [`sorted_entries`]; also the sanctioned way
+/// to walk a [`HashSet`](std::collections::HashSet) — view it as a
+/// `HashMap<K, ()>` or collect it into a `BTreeSet` instead.
+#[must_use]
+pub fn sorted_keys<K: Ord, V, S>(map: &std::collections::HashMap<K, V, S>) -> Vec<&K> {
+    let mut keys: Vec<&K> = map.keys().collect();
+    keys.sort();
+    keys
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1127,5 +1155,41 @@ mod tests {
         let ctx = ctx.with_deadline(Instant::now() + Duration::from_secs(60));
         let rem = ctx.remaining().unwrap();
         assert!(rem > Duration::from_secs(50) && rem <= Duration::from_secs(60));
+    }
+
+    #[test]
+    fn sorted_entries_orders_by_key_regardless_of_insertion() {
+        let mut forward = std::collections::HashMap::new();
+        let mut backward = std::collections::HashMap::new();
+        for i in 0..64u32 {
+            forward.insert(i, i * 2);
+            backward.insert(63 - i, (63 - i) * 2);
+        }
+        let a: Vec<(u32, u32)> = sorted_entries(&forward)
+            .into_iter()
+            .map(|(k, v)| (*k, *v))
+            .collect();
+        let b: Vec<(u32, u32)> = sorted_entries(&backward)
+            .into_iter()
+            .map(|(k, v)| (*k, *v))
+            .collect();
+        assert_eq!(a, b);
+        assert_eq!(a.first(), Some(&(0, 0)));
+        assert_eq!(a.last(), Some(&(63, 126)));
+    }
+
+    #[test]
+    fn sorted_keys_matches_entry_order() {
+        let mut map = std::collections::HashMap::new();
+        for word in ["zeta", "alpha", "mu"] {
+            map.insert(word.to_string(), ());
+        }
+        let keys: Vec<&str> = sorted_keys(&map).into_iter().map(String::as_str).collect();
+        assert_eq!(keys, vec!["alpha", "mu", "zeta"]);
+        let from_entries: Vec<&str> = sorted_entries(&map)
+            .into_iter()
+            .map(|(k, ())| k.as_str())
+            .collect();
+        assert_eq!(keys, from_entries);
     }
 }

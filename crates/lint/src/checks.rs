@@ -1,0 +1,600 @@
+//! Token-pattern detectors for the lexical and determinism rules
+//! (L1–L7) and the `Persist` symmetry rule (L10).
+//!
+//! Detectors run on a [`FileModel`] and return *raw* findings — rule
+//! applicability (file kind, test regions, per-rule path allowlists)
+//! and pragma suppression are applied centrally by [`crate::check_source`]
+//! and [`crate::run`].
+
+use crate::lex::TokenKind;
+use crate::model::{FileModel, Item, ItemKind};
+use crate::rules::Rule;
+use std::collections::BTreeSet;
+
+/// A finding before applicability/pragma/baseline filtering.
+#[derive(Debug, Clone)]
+pub struct RawFinding {
+    /// 1-based line.
+    pub line: usize,
+    /// The violated rule.
+    pub rule: Rule,
+    /// Optional rule-specific diagnosis appended to the rendered line.
+    pub note: Option<String>,
+}
+
+impl RawFinding {
+    fn new(line: usize, rule: Rule) -> RawFinding {
+        RawFinding {
+            line,
+            rule,
+            note: None,
+        }
+    }
+
+    fn with_note(line: usize, rule: Rule, note: String) -> RawFinding {
+        RawFinding {
+            line,
+            rule,
+            note: Some(note),
+        }
+    }
+}
+
+/// Map/set methods whose iteration order is the hasher's.
+const UNORDERED_ITER_METHODS: [&str; 7] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+];
+
+/// Runs every per-file token check.
+#[must_use]
+pub fn check_file(m: &FileModel) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    lexical_rules(m, &mut out);
+    unordered_iteration(m, &mut out);
+    persist_symmetry(m, &mut out);
+    out.sort_by_key(|f| (f.line, f.rule));
+    out
+}
+
+/// L1–L5 (and the L6 split of L1): straight token patterns.
+fn lexical_rules(m: &FileModel, out: &mut Vec<RawFinding>) {
+    for k in 0..m.len() {
+        let t = m.tok(k);
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let line = t.line;
+        match t.text.as_str() {
+            // `.unwrap()` / `.expect(` — L6 when chained off `.lock()`.
+            "unwrap" | "expect"
+                if punct_at(m, k + 1, '(') && punct_at(m, k.wrapping_sub(1), '.') =>
+            {
+                let off_lock = k >= 4
+                    && punct_at(m, k - 2, ')')
+                    && punct_at(m, k - 3, '(')
+                    && m.tok(k - 4).is_ident("lock");
+                out.push(RawFinding::new(
+                    line,
+                    if off_lock { Rule::L6 } else { Rule::L1 },
+                ));
+            }
+            // `.partial_cmp(` or `f64::partial_cmp` as a value.
+            "partial_cmp" => {
+                let method = punct_at(m, k.wrapping_sub(1), '.');
+                let path = k >= 2 && punct_at(m, k - 1, ':') && punct_at(m, k - 2, ':');
+                if method || path {
+                    out.push(RawFinding::new(line, Rule::L2));
+                }
+            }
+            // `thread::spawn` and `available_parallelism`.
+            "spawn"
+                if k >= 3
+                    && punct_at(m, k - 1, ':')
+                    && punct_at(m, k - 2, ':')
+                    && m.tok(k - 3).is_ident("thread") =>
+            {
+                out.push(RawFinding::new(line, Rule::L3));
+            }
+            "available_parallelism" => out.push(RawFinding::new(line, Rule::L3)),
+            // `Instant::now`.
+            "now"
+                if k >= 3
+                    && punct_at(m, k - 1, ':')
+                    && punct_at(m, k - 2, ':')
+                    && m.tok(k - 3).is_ident("Instant") =>
+            {
+                out.push(RawFinding::new(line, Rule::L4));
+            }
+            // `<ident>_traced(…)` calls; definitions are allowed.
+            name if name.ends_with("_traced") && name != "_traced" => {
+                let is_def = k > 0 && m.tok(k - 1).is_ident("fn");
+                if punct_at(m, k + 1, '(') && !is_def {
+                    out.push(RawFinding::new(line, Rule::L5));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn punct_at(m: &FileModel, k: usize, c: char) -> bool {
+    k < m.len() && m.tok(k).is_punct(c)
+}
+
+/// L7: iteration over identifiers bound to `HashMap`/`HashSet` in the
+/// same file (let bindings, struct fields, fn params — see
+/// [`unordered_bindings`]).
+fn unordered_iteration(m: &FileModel, out: &mut Vec<RawFinding>) {
+    let binders = unordered_bindings(m);
+    if binders.is_empty() {
+        return;
+    }
+    for k in 0..m.len() {
+        let t = m.tok(k);
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        // `recv.iter()` / `recv.keys()` / …
+        if UNORDERED_ITER_METHODS.contains(&t.text.as_str())
+            && punct_at(m, k + 1, '(')
+            && k >= 2
+            && punct_at(m, k - 1, '.')
+            && m.tok(k - 2).kind == TokenKind::Ident
+            && binders.contains(&m.tok(k - 2).text)
+        {
+            out.push(RawFinding::with_note(
+                t.line,
+                Rule::L7,
+                format!(
+                    "`{}` is a HashMap/HashSet; route through onoc_ctx::sorted_entries \
+                     (or use a BTreeMap) so iteration order is deterministic",
+                    m.tok(k - 2).text
+                ),
+            ));
+        }
+        // `for pat in [&[mut]] recv {`
+        if t.is_ident("for") {
+            if let Some((recv_idx, recv)) = for_loop_receiver(m, k) {
+                if binders.contains(&recv) {
+                    out.push(RawFinding::with_note(
+                        m.tok(recv_idx).line,
+                        Rule::L7,
+                        format!(
+                            "`for … in {recv}` iterates a HashMap/HashSet in hasher order; \
+                             route through onoc_ctx::sorted_entries (or use a BTreeMap)"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// For a `for` keyword at `k`, finds the loop's source expression when
+/// it is a plain identifier (possibly `&`/`&mut`-borrowed) directly
+/// followed by the body brace.
+fn for_loop_receiver(m: &FileModel, k: usize) -> Option<(usize, String)> {
+    let mut j = k + 1;
+    let cap = (k + 16).min(m.len());
+    while j < cap && !m.tok(j).is_ident("in") {
+        j += 1;
+    }
+    if j >= cap {
+        return None;
+    }
+    let mut r = j + 1;
+    while r < m.len() && (m.tok(r).is_punct('&') || m.tok(r).is_ident("mut")) {
+        r += 1;
+    }
+    if r < m.len() && m.tok(r).kind == TokenKind::Ident && punct_at(m, r + 1, '{') {
+        return Some((r, m.tok(r).text.clone()));
+    }
+    None
+}
+
+/// Names bound to a `HashMap`/`HashSet` anywhere in the file: the
+/// binder of a type ascription (`name: …HashMap<…>`, incl. struct
+/// fields and fn params through `&`/`mut`/`Arc<Mutex<…>>` wrappers) or
+/// of an initializer (`name = HashMap::new()`).
+fn unordered_bindings(m: &FileModel) -> BTreeSet<String> {
+    let mut binders = BTreeSet::new();
+    for k in 0..m.len() {
+        let t = m.tok(k);
+        if t.kind != TokenKind::Ident || (t.text != "HashMap" && t.text != "HashSet") {
+            continue;
+        }
+        // Walk back (bounded) for `IDENT :` (single colon) or `IDENT =`.
+        let floor = k.saturating_sub(12);
+        let mut j = k;
+        while j > floor {
+            j -= 1;
+            let tj = m.tok(j);
+            if tj.is_punct(';') || tj.is_punct('{') || tj.is_punct('}') {
+                break;
+            }
+            if tj.kind == TokenKind::Ident && j + 2 < m.len() {
+                let single_colon = punct_at(m, j + 1, ':') && !punct_at(m, j + 2, ':');
+                let assign = punct_at(m, j + 1, '=');
+                if single_colon || assign {
+                    binders.insert(tj.text.clone());
+                    break;
+                }
+            }
+        }
+    }
+    binders
+}
+
+/// L10: for every `impl Persist for T`, the persist body's field
+/// sequence must re-appear, same names and same relative order, in the
+/// restore body.
+fn persist_symmetry(m: &FileModel, out: &mut Vec<RawFinding>) {
+    for item in &m.items {
+        if item.kind != ItemKind::Impl || item.trait_name.as_deref() != Some("Persist") {
+            continue;
+        }
+        let persist_fn = method_of(m, item, "persist");
+        let restore_fn = method_of(m, item, "restore");
+        let (Some(p), Some(r)) = (persist_fn, restore_fn) else {
+            continue; // partial impls don't typecheck anyway
+        };
+        let Some(encode_seq) = persisted_fields(m, p) else {
+            continue; // enum / tuple-struct / primitive impl: no named fields
+        };
+        let decode_seq = restored_order(m, r, &encode_seq);
+
+        let missing: Vec<&String> = encode_seq
+            .iter()
+            .filter(|f| !decode_seq.contains(f))
+            .collect();
+        if !missing.is_empty() {
+            let list: Vec<&str> = missing.iter().map(|s| s.as_str()).collect();
+            out.push(RawFinding::with_note(
+                item.line,
+                Rule::L10,
+                format!(
+                    "impl Persist for {}: persist writes `{}` but restore never reads it",
+                    item.name,
+                    list.join("`, `"),
+                ),
+            ));
+            continue;
+        }
+        let expected: Vec<&String> = encode_seq.iter().collect();
+        let actual: Vec<&String> = decode_seq.iter().collect();
+        if expected != actual {
+            out.push(RawFinding::with_note(
+                item.line,
+                Rule::L10,
+                format!(
+                    "impl Persist for {}: restore reads fields as [{}] but persist writes [{}]",
+                    item.name,
+                    actual
+                        .iter()
+                        .map(|s| s.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    expected
+                        .iter()
+                        .map(|s| s.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                ),
+            ));
+        }
+    }
+}
+
+/// The `fn name` item nested inside `item`'s body.
+fn method_of<'m>(m: &'m FileModel, item: &Item, name: &str) -> Option<&'m Item> {
+    m.items
+        .iter()
+        .filter(|f| f.kind == ItemKind::Fn && f.name == name)
+        .find(|f| item.contains(f.open))
+}
+
+/// The ordered field names the persist body writes. `None` when the
+/// body has no named-field evidence (no `self` destructure and no
+/// `self.field` use).
+fn persisted_fields(m: &FileModel, persist_fn: &Item) -> Option<Vec<String>> {
+    let body = persist_fn.body();
+    // `let Type { a, b: alias, .. } = self;` — alias → field map.
+    let mut fields: Vec<(String, String)> = Vec::new(); // (field, binding)
+    let mut after_destructure = body.start;
+    'outer: for k in body.clone() {
+        if !m.tok(k).is_ident("let") || k + 2 >= m.len() {
+            continue;
+        }
+        if m.tok(k + 1).kind != TokenKind::Ident || !punct_at(m, k + 2, '{') {
+            continue;
+        }
+        // Parse the brace list, then require `= self ;` after it.
+        let mut j = k + 3;
+        let mut parsed: Vec<(String, String)> = Vec::new();
+        while j < body.end {
+            let t = m.tok(j);
+            if t.is_punct('}') {
+                if punct_at(m, j + 1, '=') && m.tok_in(j + 2, "self") && punct_at(m, j + 3, ';') {
+                    fields = parsed;
+                    after_destructure = j + 4;
+                    break 'outer;
+                }
+                continue 'outer;
+            }
+            if t.kind == TokenKind::Ident {
+                let field = t.text.clone();
+                if punct_at(m, j + 1, ':') && j + 2 < body.end {
+                    parsed.push((field, m.tok(j + 2).text.clone()));
+                    j += 3;
+                } else {
+                    parsed.push((field.clone(), field));
+                    j += 1;
+                }
+                continue;
+            }
+            j += 1; // `,`, `..`, etc.
+        }
+        break;
+    }
+
+    // Order of first use of each destructured binding after the
+    // destructure, plus `self.field` accesses; unused destructured
+    // fields keep declaration order at the end.
+    let mut seq: Vec<String> = Vec::new();
+    for k in after_destructure..persist_fn.close {
+        let t = m.tok(k);
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        // `self.field` — but not `self.method()` calls.
+        if k >= 2 && punct_at(m, k - 1, '.') && m.tok(k - 2).is_ident("self") {
+            if !punct_at(m, k + 1, '(') && !seq.contains(&t.text) {
+                seq.push(t.text.clone());
+            }
+            continue;
+        }
+        // A destructured binding used bare (not as someone's `.field`).
+        if punct_at(m, k.wrapping_sub(1), '.') {
+            continue;
+        }
+        if let Some((field, _)) = fields.iter().find(|(_, b)| *b == t.text) {
+            if !seq.contains(field) {
+                seq.push(field.clone());
+            }
+        }
+    }
+    for (field, _) in &fields {
+        if !seq.contains(field) {
+            seq.push(field.clone());
+        }
+    }
+    if seq.is_empty() {
+        None
+    } else {
+        Some(seq)
+    }
+}
+
+/// First-occurrence order of the persisted field names in the restore
+/// body (idents not reached through a `.`, so `other.field` accesses
+/// don't count).
+fn restored_order(m: &FileModel, restore_fn: &Item, encode_seq: &[String]) -> Vec<String> {
+    let mut seq: Vec<String> = Vec::new();
+    for k in restore_fn.body() {
+        let t = m.tok(k);
+        if t.kind != TokenKind::Ident || punct_at(m, k.wrapping_sub(1), '.') {
+            continue;
+        }
+        if encode_seq.contains(&t.text) && !seq.contains(&t.text) {
+            seq.push(t.text.clone());
+        }
+    }
+    seq
+}
+
+impl FileModel {
+    fn tok_in(&self, k: usize, s: &str) -> bool {
+        k < self.len() && self.tok(k).is_ident(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw(src: &str) -> Vec<(usize, Rule)> {
+        let m = FileModel::build("crates/core/src/demo.rs", src);
+        check_file(&m)
+            .into_iter()
+            .map(|f| (f.line, f.rule))
+            .collect()
+    }
+
+    #[test]
+    fn unwrap_after_lock_is_l6_not_l1() {
+        assert_eq!(
+            raw("fn f() { let g = m.lock().unwrap(); }"),
+            vec![(1, Rule::L6)]
+        );
+        assert_eq!(
+            raw("fn f() { let g = m.lock().expect(\"\"); }"),
+            vec![(1, Rule::L6)]
+        );
+        assert_eq!(raw("fn f() { let v = o.unwrap(); }"), vec![(1, Rule::L1)]);
+        assert_eq!(
+            raw("fn f() { a.unwrap(); b.lock().unwrap(); }"),
+            vec![(1, Rule::L1), (1, Rule::L6)]
+        );
+    }
+
+    #[test]
+    fn unwrap_or_and_strings_are_not_flagged() {
+        assert!(
+            raw("fn f() { x.unwrap_or(0); x.unwrap_or_else(|| 0); x.expect_err(\"\"); }")
+                .is_empty()
+        );
+        assert!(raw("fn f() { log(\"do not .unwrap() here\"); } // .unwrap()").is_empty());
+    }
+
+    #[test]
+    fn partial_cmp_calls_hit_but_definitions_do_not() {
+        assert_eq!(raw("fn f() { a.partial_cmp(&b); }"), vec![(1, Rule::L2)]);
+        assert_eq!(
+            raw("fn f() { xs.sort_by(f64::partial_cmp); }"),
+            vec![(1, Rule::L2)]
+        );
+        assert!(raw("fn partial_cmp(a: &F, b: &F) -> Option<Ordering> { None }").is_empty());
+    }
+
+    #[test]
+    fn thread_instant_and_traced_patterns() {
+        assert_eq!(
+            raw("fn f() { std::thread::spawn(move || {}); }"),
+            vec![(1, Rule::L3)]
+        );
+        assert_eq!(
+            raw("fn f() { thread::available_parallelism(); }"),
+            vec![(1, Rule::L3)]
+        );
+        assert_eq!(
+            raw("fn f() { let t0 = Instant::now(); }"),
+            vec![(1, Rule::L4)]
+        );
+        assert_eq!(
+            raw("fn f() { let d = xring::synthesize_traced(&app); }"),
+            vec![(1, Rule::L5)]
+        );
+        assert!(raw("pub fn synthesize_traced(app: &G) {}").is_empty());
+    }
+
+    #[test]
+    fn l7_flags_iteration_not_lookup() {
+        let src = "\
+fn f() {
+    let mut load: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    load.entry(3).or_insert(0);
+    load.get(&3);
+    for (k, v) in &load {
+        use_it(k, v);
+    }
+    let total: usize = load.values().sum();
+}
+";
+        assert_eq!(raw(src), vec![(5, Rule::L7), (8, Rule::L7)]);
+    }
+
+    #[test]
+    fn l7_sees_struct_fields_and_set_drains() {
+        let src = "\
+struct Registry {
+    by_name: HashMap<String, usize>,
+}
+impl Registry {
+    fn names(&self) -> Vec<String> {
+        self.by_name.keys().cloned().collect()
+    }
+}
+fn g(seen: &HashSet<usize>) {
+    for s in seen {
+        use_it(s);
+    }
+}
+";
+        assert_eq!(raw(src), vec![(6, Rule::L7), (10, Rule::L7)]);
+    }
+
+    #[test]
+    fn l7_ignores_vecs_and_btreemaps() {
+        let src = "\
+fn f() {
+    let xs: Vec<usize> = Vec::new();
+    for x in &xs {}
+    let m: BTreeMap<usize, usize> = BTreeMap::new();
+    for (k, v) in &m {
+        use_it(k, v);
+    }
+    xs.iter().count();
+}
+";
+        assert!(raw(src).is_empty());
+    }
+
+    #[test]
+    fn l10_symmetric_impl_is_clean() {
+        let src = "\
+impl Persist for Point {
+    fn persist(&self, enc: &mut Encoder) {
+        let Point { x, y } = self;
+        enc.put_f64(*x);
+        enc.put_f64(*y);
+    }
+    fn restore(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let x = dec.take_f64()?;
+        let y = dec.take_f64()?;
+        Ok(Point { x, y })
+    }
+}
+";
+        assert!(raw(src).is_empty());
+    }
+
+    #[test]
+    fn l10_missing_and_misordered_fields_are_found() {
+        let missing = "\
+impl Persist for Point {
+    fn persist(&self, enc: &mut Encoder) {
+        enc.put_f64(self.x);
+        enc.put_f64(self.y);
+    }
+    fn restore(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let x = dec.take_f64()?;
+        let mut p = Point::zero();
+        p.x = x;
+        Ok(p)
+    }
+}
+";
+        let swapped = "\
+impl Persist for Point {
+    fn persist(&self, enc: &mut Encoder) {
+        enc.put_f64(self.x);
+        enc.put_f64(self.y);
+    }
+    fn restore(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let y = dec.take_f64()?;
+        let x = dec.take_f64()?;
+        Ok(Point { x, y })
+    }
+}
+";
+        assert_eq!(raw(missing), vec![(1, Rule::L10)]);
+        assert_eq!(raw(swapped), vec![(1, Rule::L10)]);
+    }
+
+    #[test]
+    fn l10_enum_impls_are_skipped() {
+        let src = "\
+impl Persist for Tag {
+    fn persist(&self, enc: &mut Encoder) {
+        match self {
+            Tag::A => enc.put_u8(0),
+            Tag::B => enc.put_u8(1),
+        }
+    }
+    fn restore(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.take_u8()? {
+            0 => Ok(Tag::A),
+            _ => Ok(Tag::B),
+        }
+    }
+}
+";
+        assert!(raw(src).is_empty());
+    }
+}

@@ -1,0 +1,234 @@
+//! L9: long-running loops reachable from the public solver/synthesis
+//! entry points that never consult the deadline.
+//!
+//! Per crate: build the [`CallGraph`], take every fn whose name starts
+//! with `synthesize` or `solve` as a root, and walk its reachable set.
+//! Inside each reachable fn, every `loop`/`while` body spanning three
+//! or more lines must contain *deadline evidence*:
+//!
+//! - an identifier containing `deadline` or `time_limit` (covers
+//!   `check_deadline`, `deadline_exceeded`, the raw `Instant >= deadline`
+//!   comparisons and the MILP `time_limit_reached` guard), or
+//! - a call to a fn that transitively reaches such an identifier (the
+//!   [`CallGraph::providers`] fixpoint).
+//!
+//! `for` loops are exempt — they are bounded by their iterator — as
+//! are one- and two-line spin/retry loops. A bounded `while i < n`
+//! over a large `n` still gets flagged: boundedness is undecidable
+//! here and the pragma escape documents the reasoning at the site.
+
+use crate::callgraph::{call_at, CallGraph};
+use crate::checks::RawFinding;
+use crate::lex::TokenKind;
+use crate::model::FileModel;
+use crate::rules::Rule;
+
+/// Minimum body line-span for a loop to count as "long-running".
+const MIN_SPAN_LINES: usize = 3;
+
+/// Scans one crate's files. Returns `(file index, finding)` pairs.
+#[must_use]
+pub fn scan_crate(files: &[&FileModel]) -> Vec<(usize, RawFinding)> {
+    let graph = CallGraph::build(files);
+    let reachable =
+        graph.reachable_from(|name| name.starts_with("synthesize") || name.starts_with("solve"));
+    let providers = graph.providers(|node| {
+        let m = files[node.file];
+        let item = &m.items[node.item];
+        item.body().any(|k| is_deadline_ident(m, k))
+    });
+
+    let mut out: Vec<(usize, RawFinding)> = Vec::new();
+    for &i in &reachable {
+        let node = &graph.fns[i];
+        let m = files[node.file];
+        let item = &m.items[node.item];
+        for k in item.body() {
+            let t = m.tok(k);
+            if t.kind != TokenKind::Ident || !(t.is_ident("loop") || t.is_ident("while")) {
+                continue;
+            }
+            let Some((open, close)) = loop_body(m, k) else {
+                continue;
+            };
+            if m.tok(close).line - m.tok(open).line < MIN_SPAN_LINES {
+                continue;
+            }
+            let checked = (open..=close).any(|j| {
+                is_deadline_ident(m, j)
+                    || call_at(m, j).is_some_and(|name| providers.contains(&name))
+            });
+            if !checked {
+                let finding =
+                    RawFinding {
+                        line: t.line,
+                        rule: Rule::L9,
+                        note: Some(format!(
+                        "`{}` loop in `{}` is reachable from `{}`-style entry points but never \
+                         consults the deadline; call ExecCtx::check_deadline (or compare against \
+                         `deadline`) inside the loop",
+                        t.text,
+                        node.name,
+                        if node.name.starts_with("synthesize") { "synthesize" } else { "solve" },
+                    )),
+                    };
+                if !out
+                    .iter()
+                    .any(|(f, r)| *f == node.file && r.line == finding.line)
+                {
+                    out.push((node.file, finding));
+                }
+            }
+        }
+    }
+    out.sort_by_key(|(f, r)| (*f, r.line));
+    out
+}
+
+fn is_deadline_ident(m: &FileModel, k: usize) -> bool {
+    let t = m.tok(k);
+    t.kind == TokenKind::Ident && (t.text.contains("deadline") || t.text.contains("time_limit"))
+}
+
+/// For a `loop`/`while` keyword at `k`, the significant-token indices
+/// of the body's `{` and matching `}`. The `while` condition is
+/// skipped at paren/bracket depth 0 (struct literals are not legal in
+/// a bare loop condition, so the first depth-0 `{` opens the body).
+fn loop_body(m: &FileModel, k: usize) -> Option<(usize, usize)> {
+    let mut j = k + 1;
+    let mut depth = 0i32;
+    while j < m.len() {
+        let t = m.tok(j);
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if t.is_punct('{') && depth == 0 {
+            break;
+        } else if t.is_punct(';') {
+            return None; // e.g. `while` inside a macro fragment
+        }
+        j += 1;
+    }
+    if j >= m.len() {
+        return None;
+    }
+    let open = j;
+    let mut braces = 0i32;
+    while j < m.len() {
+        let t = m.tok(j);
+        if t.is_punct('{') {
+            braces += 1;
+        } else if t.is_punct('}') {
+            braces -= 1;
+            if braces == 0 {
+                return Some((open, j));
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(srcs: &[&str]) -> Vec<(usize, usize)> {
+        let models: Vec<FileModel> = srcs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| FileModel::build(&format!("crates/core/src/f{i}.rs"), s))
+            .collect();
+        let refs: Vec<&FileModel> = models.iter().collect();
+        scan_crate(&refs)
+            .into_iter()
+            .map(|(f, r)| (f, r.line))
+            .collect()
+    }
+
+    #[test]
+    fn unchecked_reachable_loop_is_flagged() {
+        let src = "\
+pub fn solve_lp(m: &Model) {
+    iterate(m);
+}
+fn iterate(m: &Model) {
+    loop {
+        let p = pivot(m);
+        if p.is_none() {
+            break;
+        }
+    }
+}
+";
+        assert_eq!(lines(&[src]), vec![(0, 5)]);
+    }
+
+    #[test]
+    fn deadline_ident_or_provider_call_clears_the_loop() {
+        let direct = "\
+pub fn solve_lp(m: &Model, deadline: Instant) {
+    loop {
+        if clock() >= deadline {
+            break;
+        }
+        step(m);
+    }
+}
+";
+        let via_provider = "\
+pub fn synthesize(app: &G, ctx: &ExecCtx) {
+    loop {
+        guard(ctx);
+        step(app);
+        if done(app) {
+            break;
+        }
+    }
+}
+fn guard(ctx: &ExecCtx) {
+    ctx.check_deadline();
+}
+";
+        assert!(lines(&[direct]).is_empty());
+        assert!(lines(&[via_provider]).is_empty());
+    }
+
+    #[test]
+    fn for_loops_short_loops_and_unreachable_fns_are_exempt() {
+        let src = "\
+pub fn solve_lp(m: &Model) {
+    for row in rows(m) {
+        expensive(row);
+        more(row);
+        even_more(row);
+    }
+    while busy(m) { step(m); }
+}
+fn never_called() {
+    loop {
+        spin();
+        spin();
+        spin();
+    }
+}
+";
+        assert!(lines(&[src]).is_empty());
+    }
+
+    #[test]
+    fn reachability_crosses_files() {
+        let entry = "pub fn synthesize(app: &G) { helper(app); }\n";
+        let helper = "\
+pub fn helper(app: &G) {
+    while improving(app) {
+        step(app);
+        rebalance(app);
+        audit(app);
+    }
+}
+";
+        assert_eq!(lines(&[entry, helper]), vec![(1, 2)]);
+    }
+}

@@ -1,0 +1,431 @@
+//! The token-level lexer.
+//!
+//! `onoc-lint` v2 analyses a real token stream instead of scrubbed
+//! lines. The lexer is deliberately *loss-free*: every byte of the
+//! input ends up in exactly one token's `text`, so concatenating the
+//! token texts reconstructs the source byte-for-byte (a property the
+//! proptest suite asserts on arbitrary inputs). It is also total — no
+//! input, however malformed, makes it panic; anything unrecognisable
+//! becomes an [`TokenKind::Unknown`] token and lexing continues.
+//!
+//! Handled Rust surface: identifiers and keywords (one kind — rules
+//! classify by text), lifetimes vs char literals, byte/raw/byte-raw
+//! string literals with `#` fences, nested block comments, line and doc
+//! comments, integer/float literals with suffixes, and everything else
+//! as single-character punctuation.
+
+/// What a token is. Kinds are coarse on purpose: rules match on
+/// `(kind, text)` pairs, so keywords are just [`TokenKind::Ident`]s
+/// whose text happens to be `fn`, and `::` is two `:` puncts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// A run of whitespace (including newlines).
+    Whitespace,
+    /// `// …` to end of line (doc comments included).
+    LineComment,
+    /// `/* … */`, nested; may span lines, may be unterminated at EOF.
+    BlockComment,
+    /// Identifier or keyword.
+    Ident,
+    /// `'a`, `'static` — the leading quote is part of the text.
+    Lifetime,
+    /// Integer or float literal, suffix included (`1_000u64`, `2.5e-3`).
+    Number,
+    /// Any string literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`.
+    Str,
+    /// `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// A single punctuation character.
+    Punct,
+    /// A byte the lexer could not classify (kept for round-tripping).
+    Unknown,
+}
+
+/// One token: kind, verbatim text, and the 1-based line its first
+/// character sits on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Coarse classification.
+    pub kind: TokenKind,
+    /// The exact source text of the token.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+}
+
+impl Token {
+    /// Is this token trivia (whitespace or a comment)?
+    #[must_use]
+    pub fn is_trivia(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+        )
+    }
+
+    /// Is this a punct token of exactly `c`?
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// Is this an ident token of exactly `s`?
+    #[must_use]
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+}
+
+/// Lexes `source` into a loss-free token stream.
+#[must_use]
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    tokens: Vec<Token>,
+}
+
+impl Lexer {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.chars.len() {
+            let start = self.pos;
+            let line = self.line;
+            let kind = self.next_kind();
+            debug_assert!(self.pos > start, "lexer must always make progress");
+            if self.pos == start {
+                // Defensive: never loop forever, even if a lexing rule
+                // is wrong — consume one char as Unknown.
+                self.pos += 1;
+            }
+            let text: String = self.chars[start..self.pos].iter().collect();
+            self.line += text.matches('\n').count();
+            self.tokens.push(Token { kind, text, line });
+        }
+        self.tokens
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Consumes one token's characters and returns its kind. `self.pos`
+    /// advances past the token; `self.line` is updated by the caller.
+    fn next_kind(&mut self) -> TokenKind {
+        let c = self.chars[self.pos];
+        if c.is_whitespace() {
+            while self.peek(0).is_some_and(char::is_whitespace) {
+                self.pos += 1;
+            }
+            return TokenKind::Whitespace;
+        }
+        if c == '/' && self.peek(1) == Some('/') {
+            while self.peek(0).is_some_and(|c| c != '\n') {
+                self.pos += 1;
+            }
+            return TokenKind::LineComment;
+        }
+        if c == '/' && self.peek(1) == Some('*') {
+            return self.block_comment();
+        }
+        if c == '"' {
+            self.pos += 1;
+            return self.string_body();
+        }
+        if is_ident_start(c) {
+            return self.ident_or_prefixed_literal();
+        }
+        if c == '\'' {
+            return self.char_or_lifetime();
+        }
+        if c.is_ascii_digit() {
+            return self.number();
+        }
+        self.pos += 1;
+        if c.is_ascii() && !c.is_ascii_control() {
+            TokenKind::Punct
+        } else {
+            TokenKind::Unknown
+        }
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        self.pos += 2; // past `/*`
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                (Some(_), _) => self.pos += 1,
+                (None, _) => break, // unterminated: consume to EOF
+            }
+        }
+        TokenKind::BlockComment
+    }
+
+    /// Consumes a (non-raw) string body after the opening quote.
+    fn string_body(&mut self) -> TokenKind {
+        loop {
+            match self.peek(0) {
+                Some('\\') => self.pos += if self.peek(1).is_some() { 2 } else { 1 },
+                Some('"') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => self.pos += 1,
+                None => break, // unterminated
+            }
+        }
+        TokenKind::Str
+    }
+
+    /// Consumes a raw string after the `r`/`br` prefix: `#…#"…"#…#`.
+    fn raw_string_body(&mut self) -> TokenKind {
+        let mut fences = 0usize;
+        while self.peek(0) == Some('#') {
+            fences += 1;
+            self.pos += 1;
+        }
+        if self.peek(0) != Some('"') {
+            // `r#foo` raw identifier, or plain `r#` garbage: the prefix
+            // chars consumed so far still form one token; call it Ident
+            // (raw identifiers are identifiers).
+            while self.peek(0).is_some_and(is_ident_continue) {
+                self.pos += 1;
+            }
+            return TokenKind::Ident;
+        }
+        self.pos += 1; // opening quote
+        loop {
+            match self.peek(0) {
+                Some('"') if (1..=fences).all(|k| self.peek(k) == Some('#')) => {
+                    self.pos += 1 + fences;
+                    break;
+                }
+                Some(_) => self.pos += 1,
+                None => break, // unterminated
+            }
+        }
+        TokenKind::Str
+    }
+
+    /// An identifier, or a string/char literal introduced by one of the
+    /// prefixes `r` / `b` / `br` (`rb` is not a Rust prefix).
+    fn ident_or_prefixed_literal(&mut self) -> TokenKind {
+        let start = self.pos;
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.pos += 1;
+        }
+        let ident: String = self.chars[start..self.pos].iter().collect();
+        match (ident.as_str(), self.peek(0)) {
+            ("r" | "br", Some('"' | '#')) => self.raw_string_body(),
+            ("b", Some('"')) => {
+                self.pos += 1;
+                self.string_body()
+            }
+            ("b", Some('\'')) => {
+                self.pos += 1; // the quote
+                self.char_body()
+            }
+            _ => TokenKind::Ident,
+        }
+    }
+
+    /// At a `'`: a char literal or a lifetime.
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        // `'\…'` is always a char; `'x'` (any single char then a quote)
+        // is a char; otherwise `'ident` is a lifetime and a lone quote
+        // is Unknown.
+        match (self.peek(1), self.peek(2)) {
+            (Some('\\'), _) | (_, Some('\'')) => {
+                self.pos += 1;
+                self.char_body()
+            }
+            (Some(c), _) if is_ident_start(c) => {
+                self.pos += 1;
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    self.pos += 1;
+                }
+                TokenKind::Lifetime
+            }
+            _ => {
+                self.pos += 1;
+                TokenKind::Unknown
+            }
+        }
+    }
+
+    /// Consumes a char-literal body after the opening quote.
+    fn char_body(&mut self) -> TokenKind {
+        loop {
+            match self.peek(0) {
+                Some('\\') => self.pos += if self.peek(1).is_some() { 2 } else { 1 },
+                Some('\'') => {
+                    self.pos += 1;
+                    break;
+                }
+                // A char literal never spans lines; an unterminated one
+                // ends at the newline so the rest of the file still lexes.
+                Some('\n') | None => break,
+                Some(_) => self.pos += 1,
+            }
+        }
+        TokenKind::Char
+    }
+
+    fn number(&mut self) -> TokenKind {
+        // Integer part (covers 0x/0b/0o bodies too: the radix letter and
+        // hex digits are consumed by the suffix/alnum rule below).
+        while self
+            .peek(0)
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+        {
+            self.pos += 1;
+        }
+        // Fractional part: a `.` is part of the number only when a digit
+        // follows (so `0..n` and `1.max()` lex as separate tokens).
+        if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+            {
+                self.pos += 1;
+            }
+        }
+        // Signed exponent (`2e-3`): the `e` was consumed above, the sign
+        // and digits were not.
+        if self.peek(0) == Some('-') || self.peek(0) == Some('+') {
+            let prev = self.chars[self.pos - 1];
+            if (prev == 'e' || prev == 'E') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+                self.pos += 1;
+                while self
+                    .peek(0)
+                    .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+                {
+                    self.pos += 1;
+                }
+            }
+        }
+        TokenKind::Number
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn joined(tokens: &[Token]) -> String {
+        tokens.iter().map(|t| t.text.as_str()).collect()
+    }
+
+    fn kinds_of(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .into_iter()
+            .filter(|t| !t.is_trivia())
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn round_trips_basic_source() {
+        let src = "fn main() { let x = 1.5e-3; /* hi /* nested */ */ }\n// tail\n";
+        assert_eq!(joined(&lex(src)), src);
+    }
+
+    #[test]
+    fn strings_and_raw_strings_are_single_tokens() {
+        let src = r##"call("a .unwrap() b", r#"raw " inside"#, b"bytes");"##;
+        let toks = kinds_of(src);
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Str)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(
+            strs,
+            vec!["\"a .unwrap() b\"", "r#\"raw \" inside\"#", "b\"bytes\"",]
+        );
+        assert_eq!(joined(&lex(src)), src);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; let b = b'0'; }";
+        let toks = kinds_of(src);
+        assert!(toks.contains(&(TokenKind::Lifetime, "'a".into())));
+        assert!(toks.contains(&(TokenKind::Char, "'x'".into())));
+        assert!(toks.contains(&(TokenKind::Char, "'\\n'".into())));
+        assert!(toks.contains(&(TokenKind::Char, "b'0'".into())));
+        assert_eq!(joined(&lex(src)), src);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_method_calls_or_ranges() {
+        assert_eq!(
+            kinds_of("1.max(2); 0..n; 1_000u64; 0x1f; 2.5e-3;")
+                .into_iter()
+                .filter(|(k, _)| *k == TokenKind::Number)
+                .map(|(_, t)| t)
+                .collect::<Vec<_>>(),
+            vec!["1", "2", "0", "1_000u64", "0x1f", "2.5e-3"]
+        );
+    }
+
+    #[test]
+    fn line_numbers_are_one_based_and_advance() {
+        let toks = lex("a\nbb\n\nc");
+        let idents: Vec<(String, usize)> = toks
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| (t.text, t.line))
+            .collect();
+        assert_eq!(
+            idents,
+            vec![("a".into(), 1), ("bb".into(), 2), ("c".into(), 4)]
+        );
+    }
+
+    #[test]
+    fn unterminated_constructs_do_not_panic_and_round_trip() {
+        for src in [
+            "\"unterminated",
+            "r#\"unterminated",
+            "/* unterminated /* nested",
+            "'",
+            "b'",
+            "let x = '\\",
+        ] {
+            assert_eq!(joined(&lex(src)), src, "round-trip of {src:?}");
+        }
+    }
+
+    #[test]
+    fn raw_identifiers_stay_identifiers() {
+        let toks = kinds_of("let r#type = 1;");
+        assert!(toks.contains(&(TokenKind::Ident, "r#type".into())));
+    }
+}

@@ -1,17 +1,24 @@
 //! `onoc-lint`: the workspace's own static-analysis pass.
 //!
-//! A std-only, comment/string-aware source scanner (no external parser —
-//! the build environment is offline and dependencies are vendored stubs)
-//! that enforces the project invariants that `clippy` cannot express:
+//! A std-only engine (no external parser — the build environment is
+//! offline and dependencies are vendored stubs) built from three
+//! layers: a loss-free lexer ([`lex`]), a per-file scope model that
+//! recovers items and test regions ([`model`]), and a conservative
+//! intra-crate call graph ([`callgraph`]). On top run the rules that
+//! enforce project invariants `clippy` cannot express:
 //!
-//! | rule | name             | invariant |
-//! |------|------------------|-----------|
-//! | L1   | `no-unwrap`      | no `unwrap()`/`expect()` in non-test library code |
-//! | L2   | `float-total-cmp`| float orderings use `total_cmp`, never `partial_cmp` |
-//! | L3   | `thread-spawn`   | `thread::spawn`/`available_parallelism` only in `milp::parallel` and `onoc-ctx` |
-//! | L4   | `instant-now`    | `Instant::now()` only in `onoc-trace` |
-//! | L5   | `traced-shim`    | no callers of the deprecated `*_traced` shims |
-//! | L6   | `lock-unwrap`    | `lock_or_recover`, never bare `.lock().unwrap()` |
+//! | rule | name               | invariant |
+//! |------|--------------------|-----------|
+//! | L1   | `no-unwrap`        | no `unwrap()`/`expect()` in non-test library code |
+//! | L2   | `float-total-cmp`  | float orderings use `total_cmp`, never `partial_cmp` |
+//! | L3   | `thread-spawn`     | `thread::spawn`/`available_parallelism` only in `milp::parallel` and `onoc-ctx` |
+//! | L4   | `instant-now`      | `Instant::now()` only in `onoc-trace` |
+//! | L5   | `traced-shim`      | no callers of the deprecated `*_traced` shims |
+//! | L6   | `lock-unwrap`      | `lock_or_recover`, never bare `.lock().unwrap()` |
+//! | L7   | `unordered-iter`   | no `HashMap`/`HashSet` iteration in output-producing crates |
+//! | L8   | `lock-order`       | no nested / inconsistently-ordered Mutex acquisition |
+//! | L9   | `deadline-loop`    | solver/synthesis loops consult the deadline |
+//! | L10  | `persist-symmetry` | `Persist` impls encode and decode the same fields in the same order |
 //!
 //! Findings are suppressed either by an inline pragma with a mandatory
 //! reason (see [`pragma`]) or by the ratcheting `lint-baseline.toml`
@@ -19,14 +26,21 @@
 //! the full policy.
 
 pub mod baseline;
+pub mod callgraph;
+pub mod checks;
+pub mod deadline;
+pub mod lex;
+pub mod locks;
+pub mod model;
 pub mod pragma;
 pub mod rules;
-pub mod scan;
 pub mod workspace;
 
 use baseline::Baseline;
+use checks::RawFinding;
+use model::FileModel;
 use rules::Rule;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::fs;
 use std::path::Path;
@@ -42,6 +56,9 @@ pub struct Finding {
     pub rule: Rule,
     /// The trimmed source line, for the diagnostic.
     pub excerpt: String,
+    /// Optional rule-specific diagnosis (what exactly is unordered,
+    /// which lock pair, which `Persist` fields diverge).
+    pub note: Option<String>,
 }
 
 impl fmt::Display for Finding {
@@ -54,7 +71,11 @@ impl fmt::Display for Finding {
             self.rule.id(),
             self.rule.name(),
             self.excerpt
-        )
+        )?;
+        if let Some(note) = &self.note {
+            write!(f, "\n    note: {note}")?;
+        }
+        Ok(())
     }
 }
 
@@ -90,24 +111,73 @@ pub struct FileReport {
     pub pragma_errors: Vec<PragmaError>,
 }
 
-/// Lints one file's source text.
+/// Lints one file's source text in isolation.
+///
+/// Single-file analysis covers every rule: the cross-file parts of L8
+/// (workspace-wide order comparison) and L9 (cross-file reachability)
+/// degrade gracefully to the file's own lock pairs and call graph.
 #[must_use]
 pub fn check_source(rel_path: &str, source: &str) -> FileReport {
+    let m = FileModel::build(rel_path, source);
+    let mut raw = checks::check_file(&m);
+
+    let events = locks::scan_file(&m);
+    let pairs: BTreeSet<(String, String)> = events.iter().map(locks::LockEvent::pair).collect();
+    raw.extend(lock_findings(&events, &pairs));
+
+    let singleton = [&m];
+    raw.extend(deadline::scan_crate(&singleton).into_iter().map(|(_, f)| f));
+
+    finish_report(&m, raw)
+}
+
+/// Converts lock events into raw L8 findings, upgrading the note when
+/// the reversed pair also occurs in `pairs` (the workspace-wide set).
+fn lock_findings(
+    events: &[locks::LockEvent],
+    pairs: &BTreeSet<(String, String)>,
+) -> Vec<RawFinding> {
+    events
+        .iter()
+        .map(|e| {
+            let (a, b) = e.pair();
+            let note = if pairs.contains(&(b, a)) {
+                format!(
+                    "`{}` is acquired while `{}` is held, and the workspace also acquires \
+                     them in the opposite order — pick one canonical order or collapse to \
+                     one lock",
+                    e.second, e.first,
+                )
+            } else {
+                format!(
+                    "`{}` is acquired while `{}` is held; nested guards risk deadlock — \
+                     drop the first guard before taking the second",
+                    e.second, e.first,
+                )
+            };
+            RawFinding {
+                line: e.line,
+                rule: Rule::L8,
+                note: Some(note),
+            }
+        })
+        .collect()
+}
+
+/// Applies rule applicability, pragma parsing and pragma coverage to a
+/// file's raw findings.
+fn finish_report(m: &FileModel, mut raw: Vec<RawFinding>) -> FileReport {
     let mut report = FileReport::default();
-    let lines = scan::scrub(source);
-    let mask = scan::test_region_mask(&lines);
-    let kind = rules::classify(rel_path);
-    let raw_lines: Vec<&str> = source.lines().collect();
 
     // Parse every line's pragmas once; malformed ones are errors even
     // when no finding is nearby (they were clearly *meant* to suppress).
-    let mut pragmas: Vec<Vec<pragma::Pragma>> = Vec::with_capacity(lines.len());
-    for (idx, line) in lines.iter().enumerate() {
-        match pragma::parse_pragmas(&line.comment) {
+    let mut pragmas: Vec<Vec<pragma::Pragma>> = Vec::with_capacity(m.comments.len());
+    for (idx, comment) in m.comments.iter().enumerate() {
+        match pragma::parse_pragmas(comment) {
             Ok(p) => pragmas.push(p),
             Err(message) => {
                 report.pragma_errors.push(PragmaError {
-                    file: rel_path.to_string(),
+                    file: m.path.clone(),
                     line: idx + 1,
                     message,
                 });
@@ -116,43 +186,41 @@ pub fn check_source(rel_path: &str, source: &str) -> FileReport {
         }
     }
 
-    for (idx, line) in lines.iter().enumerate() {
-        for rule in rules::scan_line(&line.code) {
-            if !rules::applies(rule, kind, mask[idx], rel_path) {
-                continue;
-            }
-            let finding = Finding {
-                file: rel_path.to_string(),
-                line: idx + 1,
-                rule,
-                excerpt: raw_lines.get(idx).map_or("", |l| l.trim()).to_string(),
-            };
-            if pragma_covers(&lines, &pragmas, idx, rule) {
-                report.suppressed.push(finding);
-            } else {
-                report.findings.push(finding);
-            }
+    raw.sort_by_key(|f| (f.line, f.rule));
+    for rf in raw {
+        if !rules::applies(rf.rule, m.kind, m.in_test_region(rf.line), &m.path) {
+            continue;
+        }
+        let finding = Finding {
+            file: m.path.clone(),
+            line: rf.line,
+            rule: rf.rule,
+            excerpt: m.excerpt(rf.line),
+            note: rf.note,
+        };
+        if pragma_covers(m, &pragmas, rf.line, rf.rule) {
+            report.suppressed.push(finding);
+        } else {
+            report.findings.push(finding);
         }
     }
     report
 }
 
-/// Is a finding of `rule` on line `idx` covered by a pragma on the same
-/// line or on the run of comment-only lines directly above it?
-fn pragma_covers(
-    lines: &[scan::ScrubbedLine],
-    pragmas: &[Vec<pragma::Pragma>],
-    idx: usize,
-    rule: Rule,
-) -> bool {
-    if pragmas[idx].iter().any(|p| p.rule == rule) {
+/// Is a finding of `rule` on 1-based `line` covered by a pragma on the
+/// same line or on the run of comment-only lines directly above it?
+fn pragma_covers(m: &FileModel, pragmas: &[Vec<pragma::Pragma>], line: usize, rule: Rule) -> bool {
+    let idx = line.saturating_sub(1);
+    if pragmas
+        .get(idx)
+        .is_some_and(|p| p.iter().any(|p| p.rule == rule))
+    {
         return true;
     }
     let mut j = idx;
     while j > 0 {
         j -= 1;
-        let above = &lines[j];
-        let comment_only = above.code.trim().is_empty() && !above.comment.trim().is_empty();
+        let comment_only = !m.has_code[j] && !m.comments[j].trim().is_empty();
         if !comment_only {
             return false;
         }
@@ -203,6 +271,90 @@ impl Outcome {
             .map(|((file, rule), count)| baseline::BaselineEntry { rule, file, count })
             .collect()
     }
+
+    /// Renders the outcome as a single JSON object (std-only, no
+    /// serializer dependency): `findings` (violations), `pragma_errors`,
+    /// `stale`, the summary counters and the overall `clean` flag.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"findings\": [");
+        for (i, f) in self.violations.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"name\": {}, \
+                 \"excerpt\": {}, \"note\": {}}}",
+                json_str(&f.file),
+                f.line,
+                json_str(f.rule.id()),
+                json_str(f.rule.name()),
+                json_str(&f.excerpt),
+                f.note
+                    .as_deref()
+                    .map_or_else(|| "null".to_string(), json_str),
+            ));
+        }
+        if self.violations.is_empty() {
+            s.push(']');
+        } else {
+            s.push_str("\n  ]");
+        }
+        s.push_str(",\n  \"pragma_errors\": [");
+        for (i, e) in self.pragma_errors.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\"file\": {}, \"line\": {}, \"message\": {}}}",
+                json_str(&e.file),
+                e.line,
+                json_str(&e.message),
+            ));
+        }
+        if self.pragma_errors.is_empty() {
+            s.push(']');
+        } else {
+            s.push_str("\n  ]");
+        }
+        s.push_str(",\n  \"stale\": [");
+        for (i, m) in self.stale.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&json_str(m));
+        }
+        s.push(']');
+        s.push_str(&format!(
+            ",\n  \"files\": {},\n  \"violations\": {},\n  \"baselined\": {},\n  \
+             \"suppressed\": {},\n  \"clean\": {}\n}}",
+            self.files,
+            self.violations.len(),
+            self.baselined.len(),
+            self.suppressed.len(),
+            self.is_clean(),
+        ));
+        s
+    }
+}
+
+/// JSON string literal with the escapes the lint output can contain.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Errors that abort a run (as opposed to findings, which fail it).
@@ -225,7 +377,22 @@ impl fmt::Display for LintError {
 
 impl std::error::Error for LintError {}
 
+/// The crate grouping key of a workspace-relative path:
+/// `crates/core/src/stages.rs` → `crates/core`.
+fn crate_key(rel: &str) -> String {
+    let mut it = rel.split('/');
+    match (it.next(), it.next()) {
+        (Some(a), Some(b)) => format!("{a}/{b}"),
+        _ => rel.to_string(),
+    }
+}
+
 /// Lints the whole workspace under `root` against `baseline`.
+///
+/// Per-file rules run on each file's model; L8's lock-order pairs are
+/// cross-checked across *every* scanned file (exempt files contribute
+/// pairs but not findings) and L9 runs per crate over the crate's
+/// whole call graph.
 ///
 /// # Errors
 ///
@@ -239,13 +406,45 @@ pub fn run(root: &Path, baseline: &Baseline) -> Result<Outcome, LintError> {
         ..Outcome::default()
     };
 
-    // Per (file, rule): the findings, applied against the allowance.
-    let mut groups: BTreeMap<(String, Rule), Vec<Finding>> = BTreeMap::new();
+    let mut models: Vec<FileModel> = Vec::with_capacity(files.len());
     for rel in &files {
         let path = root.join(rel);
         let source = fs::read_to_string(&path)
             .map_err(|e| LintError::Io(format!("reading {}: {e}", path.display())))?;
-        let report = check_source(rel, &source);
+        models.push(FileModel::build(rel, &source));
+    }
+
+    // Per-file token checks.
+    let mut raws: Vec<Vec<RawFinding>> = models.iter().map(checks::check_file).collect();
+
+    // L8: every file's events feed the workspace-wide pair set; exempt
+    // files are dropped later by `rules::applies`.
+    let all_events: Vec<Vec<locks::LockEvent>> = models.iter().map(locks::scan_file).collect();
+    let pairs: BTreeSet<(String, String)> = all_events
+        .iter()
+        .flatten()
+        .map(locks::LockEvent::pair)
+        .collect();
+    for (i, events) in all_events.iter().enumerate() {
+        raws[i].extend(lock_findings(events, &pairs));
+    }
+
+    // L9: per crate, over the crate's whole call graph.
+    let mut crates: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (i, m) in models.iter().enumerate() {
+        crates.entry(crate_key(&m.path)).or_default().push(i);
+    }
+    for idxs in crates.values() {
+        let refs: Vec<&FileModel> = idxs.iter().map(|&i| &models[i]).collect();
+        for (file_idx, f) in deadline::scan_crate(&refs) {
+            raws[idxs[file_idx]].push(f);
+        }
+    }
+
+    // Per (file, rule): the findings, applied against the allowance.
+    let mut groups: BTreeMap<(String, Rule), Vec<Finding>> = BTreeMap::new();
+    for (m, raw) in models.iter().zip(raws) {
+        let report = finish_report(m, raw);
         outcome.suppressed.extend(report.suppressed);
         outcome.pragma_errors.extend(report.pragma_errors);
         for f in report.findings {
@@ -330,6 +529,18 @@ mod tests {
     }
 
     #[test]
+    fn notes_render_on_their_own_line() {
+        let report = check_source(
+            "crates/core/src/demo.rs",
+            "fn f(m: &HashMap<u32, u32>) {\n    for v in m.values() {\n        use_it(v);\n    }\n}\n",
+        );
+        assert_eq!(report.findings.len(), 1);
+        let rendered = report.findings[0].to_string();
+        assert!(rendered.starts_with("crates/core/src/demo.rs:2: [L7 unordered-iter]"));
+        assert!(rendered.contains("\n    note: "));
+    }
+
+    #[test]
     fn pragma_on_preceding_comment_line_suppresses() {
         let src = "\
 pub fn f() {
@@ -373,10 +584,42 @@ pub fn f() {
                 line,
                 rule: Rule::L1,
                 excerpt: String::new(),
+                note: None,
             });
         }
         let debt = outcome.grouped_debt();
         assert_eq!(debt.len(), 1);
         assert_eq!(debt[0].count, 2);
+    }
+
+    #[test]
+    fn json_output_is_well_formed_and_escaped() {
+        let mut outcome = Outcome {
+            files: 3,
+            ..Outcome::default()
+        };
+        outcome.violations.push(Finding {
+            file: "crates/demo/src/lib.rs".into(),
+            line: 4,
+            rule: Rule::L1,
+            excerpt: "x.expect(\"odd \\ case\")".into(),
+            note: None,
+        });
+        let json = outcome.to_json();
+        assert!(json.contains("\"rule\": \"L1\""));
+        assert!(json.contains("\"excerpt\": \"x.expect(\\\"odd \\\\ case\\\")\""));
+        assert!(json.contains("\"clean\": false"));
+        assert!(json.contains("\"note\": null"));
+    }
+
+    #[test]
+    fn empty_outcome_is_clean_json() {
+        let outcome = Outcome {
+            files: 1,
+            ..Outcome::default()
+        };
+        let json = outcome.to_json();
+        assert!(json.contains("\"findings\": []"));
+        assert!(json.contains("\"clean\": true"));
     }
 }

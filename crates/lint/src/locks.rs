@@ -1,0 +1,277 @@
+//! L8: nested / inconsistently-ordered Mutex acquisition.
+//!
+//! The scanner walks a file's significant tokens tracking brace depth
+//! and a stack of *held* guards. An acquisition is `recv.lock()` or
+//! `lock_or_recover(&recv)`; it is **held** (pushed) only when the
+//! statement is a `let` binding — a temporary guard (`m.lock().x += 1;`)
+//! dies at the end of its statement and cannot participate in a
+//! deadlock cycle, so it is ignored. `drop(binding)` releases a held
+//! guard early; leaving the binding's block releases the rest.
+//!
+//! Acquiring lock `B` while a *different* lock `A` is held produces a
+//! [`LockEvent`] for the ordered pair `(A, B)`. The driver in
+//! [`crate::run`] turns events in non-exempt files into findings and
+//! cross-checks the pair set of the *whole workspace* (exempt files
+//! included) for reversed pairs, which upgrade the finding's note from
+//! "nested" to "inconsistent order".
+//!
+//! Paths are compared by their rendered dotted form (`self.state`),
+//! and pairs are keyed by the last segment (`state`) so `self.state`
+//! in one crate and `shared.state` in another can still collide —
+//! deliberately conservative; a pragma with a reason is the escape.
+
+use crate::lex::TokenKind;
+use crate::model::FileModel;
+
+/// One nested acquisition: `second` acquired while `first` was held.
+#[derive(Debug, Clone)]
+pub struct LockEvent {
+    /// 1-based line of the inner acquisition.
+    pub line: usize,
+    /// Dotted path of the already-held guard.
+    pub first: String,
+    /// Dotted path of the newly-acquired guard.
+    pub second: String,
+}
+
+impl LockEvent {
+    /// The `(first, second)` pair keyed by last path segment, for
+    /// workspace-wide order comparison.
+    #[must_use]
+    pub fn pair(&self) -> (String, String) {
+        (last_segment(&self.first), last_segment(&self.second))
+    }
+}
+
+fn last_segment(path: &str) -> String {
+    path.rsplit('.').next().unwrap_or(path).to_string()
+}
+
+/// A guard currently held.
+struct Held {
+    /// Dotted receiver path.
+    path: String,
+    /// `let` binding name, for `drop(name)`.
+    binding: Option<String>,
+    /// Brace depth of the binding's block.
+    depth: usize,
+}
+
+/// Scans one file for nested acquisitions.
+#[must_use]
+pub fn scan_file(m: &FileModel) -> Vec<LockEvent> {
+    let mut events = Vec::new();
+    let mut held: Vec<Held> = Vec::new();
+    let mut depth: usize = 0;
+    for k in 0..m.len() {
+        let t = m.tok(k);
+        if t.is_punct('{') {
+            depth += 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+            held.retain(|g| g.depth <= depth);
+            if depth == 0 {
+                held.clear();
+            }
+            continue;
+        }
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        // `drop(binding)` releases a held guard early.
+        if t.is_ident("drop")
+            && punct_at(m, k + 1, '(')
+            && k + 2 < m.len()
+            && m.tok(k + 2).kind == TokenKind::Ident
+        {
+            let name = &m.tok(k + 2).text;
+            held.retain(|g| g.binding.as_deref() != Some(name.as_str()));
+            continue;
+        }
+        let acquired =
+            if t.is_ident("lock") && punct_at(m, k + 1, '(') && punct_at(m, k.wrapping_sub(1), '.')
+            {
+                receiver_path(m, k)
+            } else if t.is_ident("lock_or_recover") && punct_at(m, k + 1, '(') {
+                argument_path(m, k + 2)
+            } else {
+                None
+            };
+        let Some(path) = acquired else { continue };
+        for g in &held {
+            if g.path != path {
+                events.push(LockEvent {
+                    line: t.line,
+                    first: g.path.clone(),
+                    second: path.clone(),
+                });
+            }
+        }
+        if let Some(binding) = let_binding(m, k) {
+            held.push(Held {
+                path,
+                binding,
+                depth,
+            });
+        }
+    }
+    events
+}
+
+fn punct_at(m: &FileModel, k: usize, c: char) -> bool {
+    k < m.len() && m.tok(k).is_punct(c)
+}
+
+/// Dotted path ending just before the `.` at `k - 1`, e.g. for
+/// `self.shared.state.lock()` with `k` at `lock`: `self.shared.state`.
+fn receiver_path(m: &FileModel, k: usize) -> Option<String> {
+    if k < 2 || m.tok(k - 2).kind != TokenKind::Ident {
+        return None;
+    }
+    let mut j = k - 2;
+    let mut segs = vec![m.tok(j).text.clone()];
+    while j >= 2 && punct_at(m, j - 1, '.') && m.tok(j - 2).kind == TokenKind::Ident {
+        j -= 2;
+        segs.push(m.tok(j).text.clone());
+    }
+    segs.reverse();
+    Some(segs.join("."))
+}
+
+/// Dotted path read forward from `start`, skipping leading `&`/`mut`,
+/// e.g. for `lock_or_recover(&self.state)`: `self.state`.
+fn argument_path(m: &FileModel, start: usize) -> Option<String> {
+    let mut j = start;
+    while j < m.len() && (m.tok(j).is_punct('&') || m.tok(j).is_ident("mut")) {
+        j += 1;
+    }
+    if j >= m.len() || m.tok(j).kind != TokenKind::Ident {
+        return None;
+    }
+    let mut segs = vec![m.tok(j).text.clone()];
+    while j + 2 < m.len() && punct_at(m, j + 1, '.') && m.tok(j + 2).kind == TokenKind::Ident {
+        j += 2;
+        segs.push(m.tok(j).text.clone());
+    }
+    Some(segs.join("."))
+}
+
+/// Whether the statement containing token `k` is a `let` binding: a
+/// `let` keyword appears between the previous statement boundary
+/// (`;`, `{`, `}`) and `k`. The bound name is the ident after `let`
+/// (skipping `mut`).
+fn let_binding(m: &FileModel, k: usize) -> Option<Option<String>> {
+    let mut j = k;
+    while j > 0 {
+        j -= 1;
+        let t = m.tok(j);
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            return None;
+        }
+        if t.is_ident("let") {
+            let mut n = j + 1;
+            while n < m.len() && m.tok(n).is_ident("mut") {
+                n += 1;
+            }
+            let name =
+                (n < m.len() && m.tok(n).kind == TokenKind::Ident).then(|| m.tok(n).text.clone());
+            return Some(name);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(src: &str) -> Vec<(usize, String, String)> {
+        let m = FileModel::build("crates/core/src/demo.rs", src);
+        scan_file(&m)
+            .into_iter()
+            .map(|e| (e.line, e.first, e.second))
+            .collect()
+    }
+
+    #[test]
+    fn nested_let_bound_locks_are_an_event() {
+        let src = "\
+fn f(a: &Mutex<u32>, b: &Mutex<u32>) {
+    let ga = a.lock().unwrap();
+    let gb = b.lock().unwrap();
+    use_both(&ga, &gb);
+}
+";
+        assert_eq!(events(src), vec![(3, "a".to_string(), "b".to_string())]);
+    }
+
+    #[test]
+    fn temporary_guards_and_sequential_scopes_are_fine() {
+        let src = "\
+fn f(a: &Mutex<u32>, b: &Mutex<u32>) {
+    *a.lock().unwrap() += 1;
+    *b.lock().unwrap() += 1;
+    {
+        let ga = a.lock().unwrap();
+        use_it(&ga);
+    }
+    let gb = b.lock().unwrap();
+    use_it(&gb);
+}
+";
+        assert!(events(src).is_empty());
+    }
+
+    #[test]
+    fn drop_releases_a_guard_early() {
+        let src = "\
+fn f(a: &Mutex<u32>, b: &Mutex<u32>) {
+    let ga = a.lock().unwrap();
+    drop(ga);
+    let gb = b.lock().unwrap();
+    use_it(&gb);
+}
+";
+        assert!(events(src).is_empty());
+    }
+
+    #[test]
+    fn lock_or_recover_participates_with_dotted_paths() {
+        let src = "\
+fn f(&self) {
+    let state = lock_or_recover(&self.state);
+    let cache = lock_or_recover(&self.cache);
+    use_both(&state, &cache);
+}
+";
+        assert_eq!(
+            events(src),
+            vec![(3, "self.state".to_string(), "self.cache".to_string())]
+        );
+    }
+
+    #[test]
+    fn reacquiring_the_same_path_is_not_a_pair() {
+        let src = "\
+fn f(&self) {
+    let g = self.state.lock().unwrap();
+    drop(g);
+    let g2 = self.state.lock().unwrap();
+    use_it(&g2);
+}
+";
+        assert!(events(src).is_empty());
+    }
+
+    #[test]
+    fn pair_keys_use_the_last_segment() {
+        let e = LockEvent {
+            line: 1,
+            first: "self.shared.state".to_string(),
+            second: "cache".to_string(),
+        };
+        assert_eq!(e.pair(), ("state".to_string(), "cache".to_string()));
+    }
+}

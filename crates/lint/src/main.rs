@@ -1,8 +1,10 @@
 //! The `onoc-lint` binary.
 //!
 //! ```text
-//! cargo run -p onoc-lint                  # lint the workspace, exit 1 on findings
-//! cargo run -p onoc-lint -- --list        # print the rule set
+//! cargo run -p onoc-lint                       # lint the workspace, exit 1 on findings
+//! cargo run -p onoc-lint -- --list             # print the rule set
+//! cargo run -p onoc-lint -- --explain L8       # long-form rule documentation
+//! cargo run -p onoc-lint -- --format json      # machine-readable outcome (for CI)
 //! cargo run -p onoc-lint -- --write-baseline   # regenerate lint-baseline.toml
 //! ```
 //!
@@ -13,11 +15,19 @@ use onoc_lint::{baseline::Baseline, load_baseline, rules::Rule, run, workspace, 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
+
 struct Args {
     root: Option<PathBuf>,
     baseline: Option<PathBuf>,
     write_baseline: bool,
     list: bool,
+    explain: Option<String>,
+    format: Format,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -26,6 +36,8 @@ fn parse_args() -> Result<Args, String> {
         baseline: None,
         write_baseline: false,
         list: false,
+        explain: None,
+        format: Format::Text,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -40,12 +52,28 @@ fn parse_args() -> Result<Args, String> {
             }
             "--write-baseline" => args.write_baseline = true,
             "--list" => args.list = true,
+            "--explain" => {
+                let v = it
+                    .next()
+                    .ok_or("--explain needs a rule id or slug (try --list)")?;
+                args.explain = Some(v);
+            }
+            "--format" => {
+                let v = it.next().ok_or("--format needs `text` or `json`")?;
+                args.format = match v.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format `{other}` (text|json)")),
+                };
+            }
             "--help" | "-h" => {
                 println!(
                     "onoc-lint: workspace static analysis\n\n\
-                     USAGE: onoc-lint [--root DIR] [--baseline FILE] [--write-baseline] [--list]\n\n\
-                     Lints every workspace member (vendor/ excluded) against rules L1-L6;\n\
-                     see `--list` for the rule set and DESIGN.md §12 for the policy."
+                     USAGE: onoc-lint [--root DIR] [--baseline FILE] [--write-baseline]\n\
+                            [--list] [--explain RULE] [--format text|json]\n\n\
+                     Lints every workspace member (vendor/ excluded) against rules L1-L10;\n\
+                     see `--list` for the rule set, `--explain <rule>` for one rule's\n\
+                     rationale and escape hatches, and DESIGN.md §12 for the policy."
                 );
                 std::process::exit(0);
             }
@@ -72,6 +100,16 @@ fn try_main() -> Result<ExitCode, LintError> {
         for rule in Rule::ALL {
             println!("{rule:<20} {}", rule.summary());
         }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    if let Some(token) = &args.explain {
+        let Some(rule) = Rule::parse(token) else {
+            return Err(LintError::Config(format!(
+                "unknown rule `{token}` — try --list for ids and slugs"
+            )));
+        };
+        println!("{}", rule.explain());
         return Ok(ExitCode::SUCCESS);
     }
 
@@ -115,6 +153,15 @@ fn try_main() -> Result<ExitCode, LintError> {
 
     let baseline = load_baseline(&baseline_path)?;
     let outcome = run(&root, &baseline)?;
+
+    if args.format == Format::Json {
+        println!("{}", outcome.to_json());
+        return Ok(if outcome.is_clean() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        });
+    }
 
     for f in &outcome.violations {
         println!("{f}");

@@ -61,7 +61,7 @@ fn parse_one(tail: &str) -> Result<(Pragma, usize), String> {
         .ok_or_else(|| "pragma is missing the mandatory `reason = \"…\"` part".to_string())?;
     let rule_token = body[..comma].trim();
     let rule = Rule::parse(rule_token)
-        .ok_or_else(|| format!("unknown rule `{rule_token}` (expected L1–L6 or a rule slug)"))?;
+        .ok_or_else(|| format!("unknown rule `{rule_token}` (expected L1–L10 or a rule slug)"))?;
 
     let after_comma = body[comma + 1..].trim_start();
     let reason_body = after_comma

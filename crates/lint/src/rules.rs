@@ -1,8 +1,12 @@
-//! The rule set and its per-file-kind applicability.
+//! The rule set: ids, slugs, applicability, and the `--explain` texts.
+//!
+//! Detection lives in [`crate::checks`] (token patterns, L1–L7, L10),
+//! [`crate::locks`] (L8) and [`crate::deadline`] (L9); this module owns
+//! the vocabulary shared by baselines, pragmas and the CLI.
 
 use std::fmt;
 
-/// A lint rule. Ids `L1`–`L6` are stable and are what baseline entries
+/// A lint rule. Ids `L1`–`L10` are stable and are what baseline entries
 /// and pragmas refer to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Rule {
@@ -20,11 +24,47 @@ pub enum Rule {
     /// Bare `.lock().unwrap()` on shared state instead of the
     /// poison-recovery helper.
     L6,
+    /// Unordered `HashMap`/`HashSet` iteration in output-producing
+    /// crates.
+    L7,
+    /// Nested or inconsistently-ordered `Mutex` acquisition outside the
+    /// audited concurrency layers.
+    L8,
+    /// A long-running loop reachable from `synthesize`/`solve` that
+    /// never checks the deadline.
+    L9,
+    /// Asymmetric `Persist` impl: `persist` and `restore` disagree on
+    /// fields or field order.
+    L10,
 }
+
+/// The crates whose outputs must be byte-deterministic; L7 polices
+/// unordered iteration inside them. (`onoc-eval` consumes designs but
+/// publishes aggregate statistics; the design bytes themselves are
+/// produced by these six.)
+pub const OUTPUT_CRATES: [&str; 6] = [
+    "crates/core/",
+    "crates/graph/",
+    "crates/layout/",
+    "crates/milp/",
+    "crates/store/",
+    "crates/served/",
+];
 
 impl Rule {
     /// All rules, in id order.
-    pub const ALL: [Rule; 6] = [Rule::L1, Rule::L2, Rule::L3, Rule::L4, Rule::L5, Rule::L6];
+    pub const ALL: [Rule; 10] = [
+        Rule::L1,
+        Rule::L2,
+        Rule::L3,
+        Rule::L4,
+        Rule::L5,
+        Rule::L6,
+        Rule::L7,
+        Rule::L8,
+        Rule::L9,
+        Rule::L10,
+    ];
 
     /// Stable id, e.g. `"L2"`.
     #[must_use]
@@ -36,6 +76,10 @@ impl Rule {
             Rule::L4 => "L4",
             Rule::L5 => "L5",
             Rule::L6 => "L6",
+            Rule::L7 => "L7",
+            Rule::L8 => "L8",
+            Rule::L9 => "L9",
+            Rule::L10 => "L10",
         }
     }
 
@@ -49,6 +93,10 @@ impl Rule {
             Rule::L4 => "instant-now",
             Rule::L5 => "traced-shim",
             Rule::L6 => "lock-unwrap",
+            Rule::L7 => "unordered-iter",
+            Rule::L8 => "lock-order",
+            Rule::L9 => "deadline-loop",
+            Rule::L10 => "persist-symmetry",
         }
     }
 
@@ -62,6 +110,187 @@ impl Rule {
             Rule::L4 => "Instant::now() only in onoc-trace (timing flows through the trace layer)",
             Rule::L5 => "the deprecated *_traced shims must not gain new callers",
             Rule::L6 => "shared registries must use lock_or_recover, not .lock().unwrap()",
+            Rule::L7 => "no unordered HashMap/HashSet iteration in output-producing crates (use sorted_entries)",
+            Rule::L8 => "no nested or order-conflicting Mutex acquisition outside onoc-ctx/onoc-served",
+            Rule::L9 => "long-running loops reachable from synthesize/solve must check the deadline",
+            Rule::L10 => "Persist impls must persist and restore the same fields in the same order",
+        }
+    }
+
+    /// The full `--explain` text: rationale, what the detector actually
+    /// matches, and the false-positive policy.
+    #[must_use]
+    pub fn explain(self) -> &'static str {
+        match self {
+            Rule::L1 => {
+                "\
+L1 no-unwrap — library code must propagate errors.
+
+Why: an unwrap()/expect() in a library crate turns a recoverable
+condition into a process abort, which the daemon (onoc-served) and the
+cache layer cannot contain. Typed errors (SringError, BaselineError,
+DecodeError, …) exist for every layer.
+
+Detected: `.unwrap()` / `.expect(` method calls on the token stream, in
+non-test library code. `.unwrap_or*`/`.expect_err` are different
+identifiers and never match. `.lock().unwrap()` is L6, not L1.
+
+False positives: proven-infallible unwraps on values constructed a few
+lines above. Policy: restructure where cheap; otherwise an inline
+pragma with the invariant as the reason."
+            }
+            Rule::L2 => {
+                "\
+L2 float-total-cmp — float orderings must use total_cmp.
+
+Why: partial_cmp returns None for NaN; sort_by/min_by silently produce
+order-dependent (and thus thread-count-dependent) results when a NaN
+sneaks in. total_cmp is total and deterministic, which the byte-identity
+contract (DESIGN.md §16) depends on.
+
+Detected: `partial_cmp` as a method call (`.partial_cmp(`) or path value
+(`f64::partial_cmp`), everywhere including tests. Defining partial_cmp
+in a PartialOrd impl is allowed (`fn partial_cmp` is not a call).
+
+False positives: a PartialOrd impl delegating to an inner float's
+partial_cmp; suppress with a pragma explaining the mirroring."
+            }
+            Rule::L3 => {
+                "\
+L3 thread-spawn — parallelism is centralized.
+
+Why: `--threads N` must govern every worker pool; a stray
+thread::spawn or available_parallelism() probe creates parallelism the
+ExecCtx thread budget cannot see, breaking both determinism and the
+serial-vs-parallel equivalence tests.
+
+Detected: `thread::spawn` and `available_parallelism` tokens outside
+crates/milp/src/parallel.rs and onoc-ctx, excluding test code.
+
+False positives: none observed; scratch threads in tests are exempt."
+            }
+            Rule::L4 => {
+                "\
+L4 instant-now — wall-clock reads flow through onoc-trace.
+
+Why: Instant::now() scattered through the pipeline makes spans
+unattributable and deadline handling inconsistent; the trace layer owns
+time.
+
+Detected: `Instant::now` tokens in library code outside crates/trace.
+
+False positives: deadline arithmetic against a ctx-provided Instant;
+suppress with a pragma naming the budget being checked."
+            }
+            Rule::L5 => {
+                "\
+L5 traced-shim — the deprecated *_traced entry points are frozen.
+
+Why: the `_traced` shims survive only for API-migration diffs; new
+callers would re-entrench them.
+
+Detected: calls `<ident>_traced(…)` anywhere (tests included);
+definitions (`fn …_traced`) are allowed.
+
+False positives: none — any new call is a regression."
+            }
+            Rule::L6 => {
+                "\
+L6 lock-unwrap — poisoned locks must be recovered, not propagated.
+
+Why: a panic while holding a registry/cache lock would otherwise
+cascade: every later .lock().unwrap() re-panics. lock_or_recover
+(onoc-trace) recovers the guard and keeps counters coherent.
+
+Detected: `.lock()` immediately followed by `.unwrap()`/`.expect(` in
+non-test code.
+
+False positives: code that *wants* poison propagation (none in-tree);
+suppress with a pragma if that is ever deliberate."
+            }
+            Rule::L7 => {
+                "\
+L7 unordered-iter — no unordered map/set iteration on output paths.
+
+Why: HashMap/HashSet iteration order varies per process and per
+insertion history. Iterating one into anything that feeds design bytes,
+persisted artifacts or wire responses silently breaks the byte-identity
+contract (the PR 9 tied-optima bug is the canonical near-miss). BTreeMap
+or the sanctioned onoc_ctx::sorted_entries/sorted_keys adapters give a
+deterministic order.
+
+Detected: in non-test code of the output-producing crates (core, graph,
+layout, milp, store, served): iteration calls (.iter(), .iter_mut(),
+.keys(), .values(), .values_mut(), .drain(), .into_iter()) and
+`for … in <name>` loops whose receiver was bound or declared as a
+HashMap/HashSet in the same file. Lookups (.get/.entry/.contains_key)
+never match.
+
+False positives: a same-named Vec in a file that also binds a HashMap;
+iteration whose order provably cannot reach an output (e.g. feeding a
+commutative reduction). Fix with sorted_entries or BTreeMap where
+possible; otherwise a pragma stating why order cannot escape."
+            }
+            Rule::L8 => {
+                "\
+L8 lock-order — nested Mutex acquisition is quarantined.
+
+Why: two locks held in one scope deadlock the daemon the first time a
+second path takes them in the opposite order; the audited queue/registry
+code in onoc-ctx and onoc-served is the only place the workspace
+tolerates it.
+
+Detected: a `.lock(…)`/`lock_or_recover(…)` acquisition while a
+let-bound guard from a *different* receiver is still live in the same
+fn (scope-tracked by brace depth), outside onoc-ctx/onoc-served and
+test code. Additionally, the acquisition-order pairs of the whole
+workspace (audited crates included) are cross-checked: the same pair of
+receivers acquired in both orders anywhere is reported at every
+non-audited site.
+
+False positives: a guard dropped early via drop(guard) before the
+second acquisition. Policy: keep the drop and add a pragma citing it."
+            }
+            Rule::L9 => {
+                "\
+L9 deadline-loop — solver/stage loops must observe the deadline.
+
+Why: SringError::Deadline is only as good as the densest check:
+a loop that spins between stage boundaries can blow the budget
+arbitrarily before the next check (the PR 8 deadline bugfixes all came
+from exactly such gaps).
+
+Detected: in crates/core and crates/milp, `loop`/`while` bodies
+spanning 3+ lines inside fns reachable (by the intra-crate name-resolved
+call graph) from a fn whose name starts with `synthesize` or `solve`,
+where the body neither mentions check_deadline/deadline nor calls a fn
+that transitively does. `for` loops are exempt (bounded by their
+iterator).
+
+False positives: loops whose trip count is provably small (fixed-size
+arrays) or that run before any deadline exists. Fix by threading the
+ctx deadline where the loop is genuinely long-running; otherwise a
+pragma stating the bound."
+            }
+            Rule::L10 => {
+                "\
+L10 persist-symmetry — persist/restore must agree field-for-field.
+
+Why: the on-disk artifact store trusts Persist impls to round-trip;
+a field persisted but not restored (or restored out of order) corrupts
+every artifact written after the edit, and the mutation-sweep tests
+only catch it for types they cover.
+
+Detected: for every `impl Persist for T` whose persist body
+destructures `self` (or uses self.field), the sequence of fields
+persisted is cross-checked against the restore body: every persisted
+field must appear in restore, in the same relative order. Enum and
+tuple-struct impls (no named fields) are skipped.
+
+False positives: a field legitimately recomputed rather than read back
+(name it in restore via its binding, or suppress with a pragma
+explaining the reconstruction)."
+            }
         }
     }
 
@@ -80,9 +309,9 @@ impl fmt::Display for Rule {
 
 /// What kind of source a file is, derived from its repo-relative path.
 /// Rules apply per kind: the hard invariants (L2 float ordering, L5 shim
-/// calls) apply everywhere, the library-hygiene rules (L1, L4) only to
-/// library code, and the concurrency rules (L3, L6) everywhere except
-/// test code (tests may spawn scratch threads and poison scratch locks).
+/// calls, L10 codec symmetry) apply everywhere, the library-hygiene
+/// rules (L1, L4) only to library code, and the concurrency/determinism
+/// rules (L3, L6, L7, L8, L9) everywhere except test code.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FileKind {
     /// Library source under a member's `src/`.
@@ -132,7 +361,7 @@ pub fn applies(rule: Rule, kind: FileKind, in_test_region: bool, rel_path: &str)
             true
         }
         // Hard invariants: everywhere, including test code.
-        Rule::L2 | Rule::L5 => true,
+        Rule::L2 | Rule::L5 | Rule::L10 => true,
         // Concurrency rules: everywhere except test code.
         Rule::L3 => {
             !in_test_code
@@ -140,82 +369,21 @@ pub fn applies(rule: Rule, kind: FileKind, in_test_region: bool, rel_path: &str)
                 && !rel_path.starts_with("crates/ctx/src/")
         }
         Rule::L6 => !in_test_code,
-    }
-}
-
-/// Scans one scrubbed code line and returns one rule entry per pattern
-/// occurrence (a line with two `unwrap()` calls yields two `L1` hits).
-#[must_use]
-pub fn scan_line(code: &str) -> Vec<Rule> {
-    let mut hits = Vec::new();
-
-    // L1 / L6 share the `.unwrap()` / `.expect(` tails; an occurrence
-    // directly preceded by `.lock()` is the L6 shape, otherwise L1.
-    for pat in [".unwrap()", ".expect("] {
-        for pos in find_all(code, pat) {
-            if code[..pos].ends_with(".lock()") {
-                hits.push(Rule::L6);
-            } else {
-                hits.push(Rule::L1);
-            }
+        // Determinism: output-producing crates only.
+        Rule::L7 => !in_test_code && OUTPUT_CRATES.iter().any(|c| rel_path.starts_with(c)),
+        // Lock discipline: everywhere but the audited concurrency layers.
+        Rule::L8 => {
+            !in_test_code
+                && !rel_path.starts_with("crates/ctx/src/")
+                && !rel_path.starts_with("crates/served/src/")
+        }
+        // Deadline discipline: stage and solver code.
+        Rule::L9 => {
+            !in_test_code
+                && (rel_path.starts_with("crates/core/src/")
+                    || rel_path.starts_with("crates/milp/src/"))
         }
     }
-
-    for pat in [".partial_cmp(", "::partial_cmp"] {
-        for _ in find_all(code, pat) {
-            hits.push(Rule::L2);
-        }
-    }
-
-    for pat in ["thread::spawn", "available_parallelism"] {
-        for _ in find_all(code, pat) {
-            hits.push(Rule::L3);
-        }
-    }
-
-    for _ in find_all(code, "Instant::now") {
-        hits.push(Rule::L4);
-    }
-
-    for pos in find_all(code, "_traced(") {
-        if is_traced_call(code, pos) {
-            hits.push(Rule::L5);
-        }
-    }
-
-    hits.sort();
-    hits
-}
-
-/// Non-overlapping occurrences of `pat` in `code`.
-fn find_all(code: &str, pat: &str) -> Vec<usize> {
-    let mut out = Vec::new();
-    let mut start = 0;
-    while let Some(off) = code[start..].find(pat) {
-        out.push(start + off);
-        start += off + pat.len();
-    }
-    out
-}
-
-/// Is the `_traced(` occurrence at `pos` a *call* (as opposed to the
-/// shim's own `fn …_traced(` definition)?
-fn is_traced_call(code: &str, pos: usize) -> bool {
-    let bytes = code.as_bytes();
-    // Walk back over the identifier the `_traced` suffix belongs to.
-    let mut i = pos;
-    while i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
-        i -= 1;
-    }
-    if i == pos {
-        // `_traced(` with no identifier head: not a shim call.
-        return false;
-    }
-    // Skip whitespace before the identifier and look for a `fn` keyword
-    // (`_fn` would be an identifier tail, not the keyword).
-    let head = code[..i].trim_end();
-    let is_definition = head.ends_with("fn") && !head.ends_with("_fn");
-    !is_definition
 }
 
 #[cfg(test)]
@@ -226,8 +394,21 @@ mod tests {
     fn rule_parse_accepts_ids_and_slugs() {
         assert_eq!(Rule::parse("L3"), Some(Rule::L3));
         assert_eq!(Rule::parse("float-total-cmp"), Some(Rule::L2));
-        assert_eq!(Rule::parse("L9"), None);
+        assert_eq!(Rule::parse("unordered-iter"), Some(Rule::L7));
+        assert_eq!(Rule::parse("L10"), Some(Rule::L10));
+        assert_eq!(Rule::parse("L11"), None);
         assert_eq!(Rule::L4.to_string(), "L4 instant-now");
+    }
+
+    #[test]
+    fn every_rule_has_an_explanation() {
+        for rule in Rule::ALL {
+            assert!(
+                rule.explain().starts_with(rule.id()),
+                "{} explain text must lead with its id",
+                rule.id()
+            );
+        }
     }
 
     #[test]
@@ -240,47 +421,6 @@ mod tests {
         assert_eq!(classify("crates/bench/src/bin/fig7.rs"), FileKind::Bench);
         assert_eq!(classify("crates/bench/benches/milp.rs"), FileKind::Bench);
         assert_eq!(classify("crates/milp/src/lib.rs"), FileKind::Lib);
-    }
-
-    #[test]
-    fn unwrap_after_lock_is_l6_not_l1() {
-        assert_eq!(scan_line("let g = m.lock().unwrap();"), vec![Rule::L6]);
-        assert_eq!(scan_line("let g = m.lock().expect(\"\");"), vec![Rule::L6]);
-        assert_eq!(scan_line("let v = o.unwrap();"), vec![Rule::L1]);
-        assert_eq!(
-            scan_line("a.unwrap(); b.lock().unwrap();"),
-            vec![Rule::L1, Rule::L6]
-        );
-    }
-
-    #[test]
-    fn unwrap_or_is_not_flagged() {
-        assert!(scan_line("x.unwrap_or(0)").is_empty());
-        assert!(scan_line("x.unwrap_or_else(|| 0)").is_empty());
-        assert!(scan_line("x.expect_err(\"\")").is_empty());
-    }
-
-    #[test]
-    fn partial_cmp_calls_hit_but_definitions_do_not() {
-        assert_eq!(scan_line("a.partial_cmp(&b)"), vec![Rule::L2]);
-        assert_eq!(scan_line("xs.sort_by(f64::partial_cmp)"), vec![Rule::L2]);
-        assert!(scan_line("fn partial_cmp(&self, other: &Self) -> Option<Ordering> {").is_empty());
-    }
-
-    #[test]
-    fn traced_calls_hit_but_definitions_do_not() {
-        assert_eq!(
-            scan_line("let d = xring::synthesize_traced(&app);"),
-            vec![Rule::L5]
-        );
-        assert!(scan_line("pub fn synthesize_traced(app: &CommGraph) {").is_empty());
-    }
-
-    #[test]
-    fn thread_and_instant_patterns() {
-        assert_eq!(scan_line("std::thread::spawn(move || {})"), vec![Rule::L3]);
-        assert_eq!(scan_line("thread::available_parallelism()"), vec![Rule::L3]);
-        assert_eq!(scan_line("let t0 = Instant::now();"), vec![Rule::L4]);
     }
 
     #[test]
@@ -301,5 +441,32 @@ mod tests {
         assert!(!applies(Rule::L4, Lib, false, "crates/trace/src/lib.rs"));
         assert!(applies(Rule::L4, Lib, false, "crates/ctx/src/lib.rs"));
         assert!(!applies(Rule::L6, Test, false, "tests/trace.rs"));
+    }
+
+    #[test]
+    fn new_rule_applicability() {
+        use FileKind::*;
+        // L7: output crates only, not tests.
+        assert!(applies(Rule::L7, Lib, false, "crates/core/src/stages.rs"));
+        assert!(applies(Rule::L7, Lib, false, "crates/served/src/server.rs"));
+        assert!(!applies(Rule::L7, Lib, false, "crates/eval/src/par.rs"));
+        assert!(!applies(Rule::L7, Lib, true, "crates/core/src/stages.rs"));
+        // L8: everywhere but the audited layers and tests.
+        assert!(applies(Rule::L8, Lib, false, "crates/milp/src/parallel.rs"));
+        assert!(!applies(
+            Rule::L8,
+            Lib,
+            false,
+            "crates/served/src/server.rs"
+        ));
+        assert!(!applies(Rule::L8, Lib, false, "crates/ctx/src/lib.rs"));
+        assert!(!applies(Rule::L8, Test, false, "tests/served.rs"));
+        // L9: stage/solver code only.
+        assert!(applies(Rule::L9, Lib, false, "crates/milp/src/simplex.rs"));
+        assert!(applies(Rule::L9, Lib, false, "crates/core/src/cluster.rs"));
+        assert!(!applies(Rule::L9, Lib, false, "crates/layout/src/route.rs"));
+        // L10: everywhere, tests included.
+        assert!(applies(Rule::L10, Lib, false, "crates/store/src/codec.rs"));
+        assert!(applies(Rule::L10, Test, true, "tests/store.rs"));
     }
 }

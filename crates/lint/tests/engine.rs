@@ -11,6 +11,8 @@ use std::path::{Path, PathBuf};
 const SEEDED: &str = include_str!("fixtures/seeded_violations.rs");
 const TRICKY: &str = include_str!("fixtures/tricky.rs");
 const PRAGMAS: &str = include_str!("fixtures/pragmas.rs");
+const DETERMINISM: &str = include_str!("fixtures/determinism.rs");
+const CONCURRENCY: &str = include_str!("fixtures/concurrency.rs");
 
 /// Fixtures are checked as if they were library code.
 const LIB_PATH: &str = "crates/demo/src/lib.rs";
@@ -84,6 +86,55 @@ fn pragma_placement_suppresses_exactly_where_documented() {
 
     assert_eq!(report.pragma_errors.len(), 1);
     assert_eq!(report.pragma_errors[0].line, 28);
+}
+
+#[test]
+fn determinism_fixture_flags_l7_and_l10_at_exact_lines() {
+    // In an output crate: both unordered iterations (a `for` loop over the
+    // map and an explicit `.iter()` on the set) plus the asymmetric
+    // `Persist` impl. The `.get()` lookup and the tuple-struct impl are
+    // clean.
+    let in_core: Vec<(usize, Rule)> = check_source("crates/core/src/demo.rs", DETERMINISM)
+        .findings
+        .iter()
+        .map(|f| (f.line, f.rule))
+        .collect();
+    assert_eq!(
+        in_core,
+        vec![(7, Rule::L7), (14, Rule::L7), (26, Rule::L10)]
+    );
+}
+
+#[test]
+fn l7_applies_only_to_output_crates_but_l10_applies_everywhere() {
+    // eval is not an output crate, so iteration-order nondeterminism is
+    // tolerated there — but codec symmetry is a hard invariant.
+    let in_eval: Vec<(usize, Rule)> = check_source("crates/eval/src/demo.rs", DETERMINISM)
+        .findings
+        .iter()
+        .map(|f| (f.line, f.rule))
+        .collect();
+    assert_eq!(in_eval, vec![(26, Rule::L10)]);
+}
+
+#[test]
+fn concurrency_fixture_flags_l8_and_l9_at_exact_lines() {
+    // The nested second acquisition and the unchecked solver loop; the
+    // scoped sequential locks and the deadline-checked loop are clean.
+    let in_core: Vec<(usize, Rule)> = check_source("crates/core/src/demo.rs", CONCURRENCY)
+        .findings
+        .iter()
+        .map(|f| (f.line, f.rule))
+        .collect();
+    assert_eq!(in_core, vec![(7, Rule::L8), (13, Rule::L9)]);
+}
+
+#[test]
+fn concurrency_rules_exempt_the_audited_ctx_paths() {
+    // crates/ctx owns the documented lock-ordering discipline (L8 exempt)
+    // and is not a synthesis entry crate (L9 does not apply).
+    let in_ctx = check_source("crates/ctx/src/demo.rs", CONCURRENCY);
+    assert!(in_ctx.findings.is_empty(), "{:?}", in_ctx.findings);
 }
 
 /// A throwaway single-member workspace on disk, for exercising `run`.

@@ -1,0 +1,41 @@
+//! Fixture: seeded concurrency violations (L8, L9) at exact lines.
+#![allow(dead_code)]
+use std::sync::Mutex;
+
+pub fn transfer(a: &Mutex<u64>, b: &Mutex<u64>) {
+    let ga = lock_or_recover(a);
+    let gb = lock_or_recover(b);
+    swap(ga, gb);
+}
+
+pub fn solve_schedule(work: &Mutex<Vec<u64>>) -> u64 {
+    let mut best = 0;
+    loop {
+        let step = propose(work);
+        if step == 0 {
+            break;
+        }
+        best += step;
+    }
+    best
+}
+
+pub fn sequential(a: &Mutex<u64>, b: &Mutex<u64>) {
+    {
+        let ga = lock_or_recover(a);
+        touch(&ga);
+    }
+    let gb = lock_or_recover(b);
+    touch(&gb);
+}
+
+pub fn solve_budgeted(work: &Mutex<Vec<u64>>, deadline_hit: &dyn Fn() -> bool) -> u64 {
+    let mut best = 0;
+    loop {
+        if deadline_hit() {
+            break;
+        }
+        best += propose(work);
+    }
+    best
+}

@@ -1,0 +1,46 @@
+//! Fixture: seeded determinism violations (L7, L10) at exact lines.
+#![allow(dead_code)]
+use std::collections::{HashMap, HashSet};
+
+pub fn total_load(load: &HashMap<usize, usize>) -> usize {
+    let mut sum = 0;
+    for (_key, value) in load {
+        sum += value;
+    }
+    sum
+}
+
+pub fn names(seen: &HashSet<String>) -> Vec<String> {
+    seen.iter().cloned().collect()
+}
+
+pub fn safe_lookup(load: &HashMap<usize, usize>) -> usize {
+    *load.get(&3).unwrap_or(&0)
+}
+
+struct Point {
+    x: f64,
+    y: f64,
+}
+
+impl Persist for Point {
+    fn persist(&self, enc: &mut Encoder) {
+        let Point { x, y } = self;
+        enc.put_f64(*x);
+        enc.put_f64(*y);
+    }
+    fn restore(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let y = dec.take_f64()?;
+        let x = dec.take_f64()?;
+        Ok(Point { x, y })
+    }
+}
+
+impl Persist for Tag {
+    fn persist(&self, enc: &mut Encoder) {
+        enc.put_u8(self.0);
+    }
+    fn restore(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(Tag(dec.take_u8()?))
+    }
+}

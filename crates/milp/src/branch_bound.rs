@@ -667,6 +667,7 @@ impl WorkerScratch {
         self.upper.clear();
         self.upper.extend_from_slice(&ctx.lp.upper);
         let mut link = node.changes.as_deref();
+        // onoc-lint: allow(L9, reason = "bounded: walks the node's finite bound-delta chain, whose length is the tree depth")
         while let Some(change) = link {
             if change.is_upper {
                 let u = &mut self.upper[change.var];
